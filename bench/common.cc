@@ -1,0 +1,53 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "workloads/spec_proxies.h"
+
+namespace dmdp::bench {
+
+std::vector<Row>
+runSuite(LsuModel model, const ConfigTweak &tweak)
+{
+    std::vector<Row> rows;
+    uint64_t insts = benchScale();
+    for (const auto &spec : specProxies()) {
+        SimConfig cfg = SimConfig::forModel(model);
+        if (tweak)
+            tweak(cfg);
+        std::fprintf(stderr, "  [%s] %s...\n", lsuModelName(model),
+                     spec.name.c_str());
+        Row row;
+        row.name = spec.name;
+        row.isInteger = spec.isInteger;
+        row.stats = simulateProxy(spec.name, cfg, insts);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+double
+suiteGeomean(const std::vector<Row> &rows, bool integer,
+             const std::function<double(const SimStats &)> &metric)
+{
+    std::vector<double> values;
+    for (const auto &row : rows)
+        if (row.isInteger == integer)
+            values.push_back(metric(row.stats));
+    return geomean(values);
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s of Jin & Onder, \"Dynamic Memory Dependence "
+                "Predication\", ISCA 2018)\n", paper_ref.c_str());
+    std::printf("scale: %llu dynamic instructions per run (DMDP_SCALE to "
+                "change)\n",
+                static_cast<unsigned long long>(benchScale()));
+    std::printf("==============================================================\n");
+}
+
+} // namespace dmdp::bench

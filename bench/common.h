@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared harness glue for the table/figure reproduction binaries: run a
+ * model across all 21 proxy benchmarks, print paper-style tables, and
+ * compute the Int/FP geometric means the paper reports.
+ */
+
+#ifndef DMDP_BENCH_COMMON_H
+#define DMDP_BENCH_COMMON_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/table.h"
+#include "core/simstats.h"
+#include "sim/simulator.h"
+
+namespace dmdp::bench {
+
+/** One benchmark's result under one configuration. */
+struct Row
+{
+    std::string name;
+    bool isInteger = true;
+    SimStats stats;
+};
+
+/** Optional tweak applied to the model config before each run. */
+using ConfigTweak = std::function<void(SimConfig &)>;
+
+/**
+ * Run every proxy benchmark under @p model. Instruction budget comes
+ * from benchScale() (DMDP_SCALE env var). Progress goes to stderr.
+ */
+std::vector<Row> runSuite(LsuModel model, const ConfigTweak &tweak = {});
+
+/** Geometric mean of @p metric over Int or FP rows. */
+double suiteGeomean(const std::vector<Row> &rows, bool integer,
+                    const std::function<double(const SimStats &)> &metric);
+
+/** Print the standard header naming the experiment. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+} // namespace dmdp::bench
+
+#endif // DMDP_BENCH_COMMON_H

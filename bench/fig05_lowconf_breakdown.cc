@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 5: memory dependence prediction outcomes for low-confidence
+ * loads — IndepStore (predicted dependent, actually independent of any
+ * in-flight store), DiffStore (dependent on a different in-flight
+ * store), Correct. The paper finds IndepStore dominating everywhere,
+ * which is why predication (which handles exactly IndepStore + Correct)
+ * removes most mispredictions.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace dmdp;
+using namespace dmdp::bench;
+
+int
+main()
+{
+    printHeader("Figure 5: low-confidence prediction outcomes (DMDP)",
+                "Fig. 5");
+
+    auto rows = runSuite(LsuModel::DMDP);
+
+    Table table({"benchmark", "IndepStore%", "DiffStore%", "Correct%",
+                 "lowConfLoads"});
+    for (const auto &row : rows) {
+        const SimStats &s = row.stats;
+        double total = static_cast<double>(s.lcIndepStore + s.lcDiffStore +
+                                           s.lcCorrect);
+        if (total == 0) {
+            table.addRow({row.name, "-", "-", "-", "0"});
+            continue;
+        }
+        table.addRow({row.name,
+                      Table::num(100.0 * s.lcIndepStore / total, 1),
+                      Table::num(100.0 * s.lcDiffStore / total, 1),
+                      Table::num(100.0 * s.lcCorrect / total, 1),
+                      std::to_string(s.lcIndepStore + s.lcDiffStore +
+                                     s.lcCorrect)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\npaper shape: IndepStore dominates every benchmark; DMDP "
+                "handles IndepStore and Correct,\nso only DiffStore remains "
+                "mispredicted (3.7%% average in the paper).\n");
+    return 0;
+}

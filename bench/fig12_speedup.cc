@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 12: Spec 2006 IPC speedup of NoSQ, DMDP and Perfect over the
+ * baseline SQ/LQ machine. The headline result: DMDP beats NoSQ by 7.17%
+ * (Int) and 4.48% (FP) geomean and sits close to Perfect.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common.h"
+
+using namespace dmdp;
+using namespace dmdp::bench;
+
+int
+main()
+{
+    printHeader("Figure 12: Spec 2006 speedup over the baseline", "Fig. 12");
+
+    auto base = runSuite(LsuModel::Baseline);
+    auto nosq = runSuite(LsuModel::NoSQ);
+    auto dmdp = runSuite(LsuModel::DMDP);
+    auto perfect = runSuite(LsuModel::Perfect);
+
+    std::map<std::string, double> base_ipc;
+    for (const auto &row : base)
+        base_ipc[row.name] = row.stats.ipc();
+
+    Table table({"benchmark", "NoSQ", "DMDP", "Perfect"});
+    std::vector<double> sp_int[3], sp_fp[3];
+    for (size_t i = 0; i < nosq.size(); ++i) {
+        double b = base_ipc[nosq[i].name];
+        double sp[3] = {nosq[i].stats.ipc() / b, dmdp[i].stats.ipc() / b,
+                        perfect[i].stats.ipc() / b};
+        table.addRow({nosq[i].name, Table::num(sp[0]), Table::num(sp[1]),
+                      Table::num(sp[2])});
+        for (int m = 0; m < 3; ++m)
+            (nosq[i].isInteger ? sp_int[m] : sp_fp[m]).push_back(sp[m]);
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\ngeomean (Int): NoSQ %.3f  DMDP %.3f  Perfect %.3f   "
+                "(paper: 0.975 / 1.045 / 1.068)\n",
+                geomean(sp_int[0]), geomean(sp_int[1]), geomean(sp_int[2]));
+    std::printf("geomean (FP):  NoSQ %.3f  DMDP %.3f  Perfect %.3f   "
+                "(paper: 1.008 / 1.053 / 1.066)\n",
+                geomean(sp_fp[0]), geomean(sp_fp[1]), geomean(sp_fp[2]));
+    std::printf("DMDP over NoSQ: %.2f%% (Int), %.2f%% (FP)   "
+                "(paper: 7.17%% / 4.48%%)\n",
+                100.0 * (geomean(sp_int[1]) / geomean(sp_int[0]) - 1.0),
+                100.0 * (geomean(sp_fp[1]) / geomean(sp_fp[0]) - 1.0));
+    return 0;
+}

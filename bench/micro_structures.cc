@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the key hardware-model
+ * structures: T-SSBF lookups, store distance prediction, store-set
+ * queries, renaming throughput, cache accesses and whole-pipeline
+ * simulation speed. These measure *simulator* performance, not modeled
+ * hardware latency.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/regfile.h"
+#include "isa/assembler.h"
+#include "mem/cache.h"
+#include "pred/sdp.h"
+#include "pred/ssbf.h"
+#include "pred/storeset.h"
+#include "sim/simulator.h"
+
+using namespace dmdp;
+
+static void
+BM_SsbfStoreLoad(benchmark::State &state)
+{
+    SimConfig cfg;
+    Ssbf ssbf(cfg);
+    Rng rng(1);
+    uint64_t ssn = 0;
+    for (auto _ : state) {
+        uint32_t addr = static_cast<uint32_t>(rng.below(1 << 20)) * 4;
+        ssbf.storeRetire(addr, 0xF, ++ssn);
+        benchmark::DoNotOptimize(ssbf.loadLookup(addr, 0xF));
+    }
+}
+BENCHMARK(BM_SsbfStoreLoad);
+
+static void
+BM_SdpPredictUpdate(benchmark::State &state)
+{
+    SimConfig cfg;
+    Sdp sdp(cfg);
+    Rng rng(2);
+    for (auto _ : state) {
+        uint32_t pc = static_cast<uint32_t>(rng.below(4096)) * 4;
+        uint32_t history = static_cast<uint32_t>(rng.below(256));
+        benchmark::DoNotOptimize(sdp.predict(pc, history));
+        sdp.update(pc, history, true, static_cast<uint32_t>(rng.below(64)));
+    }
+}
+BENCHMARK(BM_SdpPredictUpdate);
+
+static void
+BM_StoreSet(benchmark::State &state)
+{
+    StoreSet ss(4096, 1024);
+    Rng rng(3);
+    uint32_t tag = 0;
+    for (auto _ : state) {
+        uint32_t pc = static_cast<uint32_t>(rng.below(1024)) * 4;
+        ss.storeRename(pc, ++tag);
+        benchmark::DoNotOptimize(ss.loadRename(pc + 4));
+        if ((tag & 63) == 0)
+            ss.violation(pc + 4, pc);
+    }
+}
+BENCHMARK(BM_StoreSet);
+
+static void
+BM_RegFileAllocRelease(benchmark::State &state)
+{
+    RegFile rf(320);
+    for (auto _ : state) {
+        int preg = rf.allocate(5);
+        rf.addConsumer(preg);
+        rf.consumerDone(preg);
+        rf.virtualRelease(preg);
+    }
+}
+BENCHMARK(BM_RegFileAllocRelease);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cc{32 * 1024, 8, 64, 4};
+    Cache cache(cc, "bm");
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.access(static_cast<uint32_t>(rng.below(1 << 22)), false));
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_PipelineSimSpeed(benchmark::State &state)
+{
+    // End-to-end simulated instructions per second on a small kernel.
+    const char *src = R"(
+main:
+    li $8, 100000
+    la $9, 0x100000
+loop:
+    lw $10, 0($9)
+    addi $10, $10, 1
+    sw $10, 0($9)
+    addi $8, $8, -1
+    bgtz $8, loop
+    halt
+)";
+    Program prog = assemble(src);
+    for (auto _ : state) {
+        SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+        cfg.maxInsts = 50000;
+        SimStats stats = Simulator::run(cfg, prog);
+        benchmark::DoNotOptimize(stats.cycles);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<int64_t>(stats.instsRetired));
+    }
+}
+BENCHMARK(BM_PipelineSimSpeed)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table VII: retire-stage stall cycles per 1000 committed instructions
+ * caused by load re-execution (the re-executing load must wait for the
+ * store buffer to drain). DMDP executes loads earlier, so its
+ * vulnerability window is wider and it stalls more than NoSQ.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace dmdp;
+using namespace dmdp::bench;
+
+int
+main()
+{
+    printHeader("Table VII: re-execution stall cycles per 1k instructions",
+                "Table VII");
+
+    auto nosq = runSuite(LsuModel::NoSQ);
+    auto dmdp = runSuite(LsuModel::DMDP);
+
+    Table table({"benchmark", "NoSQ", "DMDP", "reexecs(NoSQ)",
+                 "reexecs(DMDP)"});
+    for (size_t i = 0; i < nosq.size(); ++i) {
+        table.addRow({nosq[i].name,
+                      Table::num(nosq[i].stats.stallPerKilo(), 1),
+                      Table::num(dmdp[i].stats.stallPerKilo(), 1),
+                      std::to_string(nosq[i].stats.reexecs),
+                      std::to_string(dmdp[i].stats.reexecs)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\npaper shape: DMDP has more stall cycles than NoSQ in "
+                "every benchmark (early load execution\nwidens the "
+                "vulnerable window); lbm has the most re-execution "
+                "stalls.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Store buffers and memory consistency (paper section IV-F / VI-e).
+ * Runs a store-miss-heavy streaming workload under TSO and RMO with
+ * several store buffer sizes. Because loads in DMDP never search the
+ * store buffer, the buffer can grow cheaply — and RMO lets stores
+ * commit around a missing head entry.
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+using namespace dmdp;
+
+namespace {
+
+Program
+buildStream()
+{
+    // Block copy with an L2-sized footprint: store commits miss often,
+    // keeping the store buffer under pressure.
+    KernelParams params;
+    params.kind = KernelKind::BlockCopy;
+    params.iters = 30000;
+    params.tableWords = 512 * 1024;
+
+    Rng rng(7);
+    KernelAsm frag = emitKernel(params, 0, 0x100000, rng);
+    return assemble("main:\n" + frag.code + "    halt\n" + frag.data);
+}
+
+} // namespace
+
+int
+main()
+{
+    Program prog = buildStream();
+
+    std::printf("%-5s %-5s %10s %8s %16s\n", "model", "SB", "cycles", "IPC",
+                "SB-full stalls");
+    for (Consistency consistency : {Consistency::TSO, Consistency::RMO}) {
+        for (uint32_t sb_size : {8u, 16u, 32u, 64u}) {
+            SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+            cfg.consistency = consistency;
+            cfg.storeBufferSize = sb_size;
+            SimStats stats = Simulator::run(cfg, prog);
+            std::printf("%-5s %-5u %10llu %8.3f %16llu\n",
+                        consistencyName(consistency), sb_size,
+                        static_cast<unsigned long long>(stats.cycles),
+                        stats.ipc(),
+                        static_cast<unsigned long long>(
+                            stats.sbFullStallCycles));
+        }
+    }
+    std::printf("\nExpected: bigger store buffers hide more store misses "
+                "(fewer buffer-full\nstalls, paper Fig. 14), and RMO "
+                "tolerates a missing head entry better than TSO\nat equal "
+                "capacity.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's motivating example (Fig. 1): x[ptr]++ through an index
+ * array with occasional duplicates — an Occasionally Colliding (OC)
+ * dependence. NoSQ must delay every instance of the low-confidence
+ * load until the predicted store commits; DMDP predicates it instead
+ * and lets it run ahead.
+ *
+ * This example builds the workload with the kernel generator API and
+ * sweeps the duplicate (collision) probability, printing how the three
+ * machines diverge as the dependence becomes harder to predict.
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+using namespace dmdp;
+
+namespace {
+
+Program
+buildChase(double dup_prob)
+{
+    KernelParams params;
+    params.kind = KernelKind::PointerChaseInc;
+    params.iters = 20000;
+    params.tableWords = 4096;
+    params.idxLen = 1024;
+    params.dupProb = dup_prob;
+    params.dupLag = 4;
+
+    Rng rng(42);
+    KernelAsm frag = emitKernel(params, 0, 0x100000, rng);
+    return assemble("main:\n" + frag.code + "    halt\n" + frag.data);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%-6s | %-30s | %-30s\n", "", "NoSQ", "DMDP");
+    std::printf("%-6s | %8s %9s %7s | %8s %9s %7s\n", "dup", "IPC",
+                "delayed%", "MPKI", "IPC", "predic%", "MPKI");
+
+    for (double dup : {0.0, 0.1, 0.3, 0.5, 0.7}) {
+        Program prog = buildChase(dup);
+
+        SimConfig nosq_cfg = SimConfig::forModel(LsuModel::NoSQ);
+        SimStats nosq = Simulator::run(nosq_cfg, prog);
+
+        SimConfig dmdp_cfg = SimConfig::forModel(LsuModel::DMDP);
+        SimStats dmdp = Simulator::run(dmdp_cfg, prog);
+
+        std::printf("%-6.1f | %8.3f %8.1f%% %7.2f | %8.3f %8.1f%% %7.2f\n",
+                    dup, nosq.ipc(),
+                    100.0 * nosq.loadsDelayed / nosq.loads, nosq.mpki(),
+                    dmdp.ipc(),
+                    100.0 * dmdp.loadsPredicated / dmdp.loads, dmdp.mpki());
+    }
+
+    std::printf("\nExpected: DMDP holds its IPC across the whole sweep — "
+                "predicated loads run ahead\nand the predicate picks the "
+                "right source. NoSQ degrades in two ways: at moderate\n"
+                "collision rates confidence sinks and half its loads are "
+                "serialized (delayed);\nat high rates its balanced "
+                "confidence counter oscillates around the threshold,\n"
+                "so it keeps cloaking and paying full-recovery "
+                "mispredictions (high MPKI).\nEven at dup=0 occasional "
+                "chance collisions through the shared table create a\n"
+                "few low-confidence loads.\n");
+    return 0;
+}

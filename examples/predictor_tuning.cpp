@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tuning the memory dependence machinery (paper sections IV-E, V).
+ * Sweeps the confidence threshold and the update policy on an OC
+ * workload, showing the cloak / predicate / mispredict trade-off that
+ * the DMDP confidence predictor balances, and the size sensitivity of
+ * the store distance predictor tables.
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+using namespace dmdp;
+
+namespace {
+
+Program
+buildWorkload()
+{
+    // A mostly-but-not-always colliding dependence: confident enough
+    // to tempt the cloaking path, wrong often enough to punish it.
+    KernelParams params;
+    params.kind = KernelKind::Histogram;
+    params.iters = 25000;
+    params.tableWords = 8192;
+    params.idxLen = 1024;
+    params.dupProb = 0.85;
+    params.silentFrac = 0.05;
+    params.dupLag = 3;
+
+    Rng rng(11);
+    KernelAsm frag = emitKernel(params, 0, 0x100000, rng);
+    return assemble("main:\n" + frag.code + "    halt\n" + frag.data);
+}
+
+} // namespace
+
+int
+main()
+{
+    Program prog = buildWorkload();
+
+    std::printf("--- confidence threshold sweep (DMDP, biased updates) ---\n");
+    std::printf("%-10s %8s %9s %9s %8s\n", "threshold", "IPC", "bypass%",
+                "predic%", "MPKI");
+    for (uint32_t threshold : {15u, 31u, 63u, 95u, 119u}) {
+        SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+        cfg.confidenceThreshold = threshold;
+        SimStats s = Simulator::run(cfg, prog);
+        std::printf("%-10u %8.3f %8.1f%% %8.1f%% %8.2f\n", threshold,
+                    s.ipc(), 100.0 * s.loadsBypass / s.loads,
+                    100.0 * s.loadsPredicated / s.loads, s.mpki());
+    }
+
+    std::printf("\n--- update policy (DMDP) ---\n");
+    for (bool biased : {true, false}) {
+        SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+        cfg.biasedConfidence = biased;
+        SimStats s = Simulator::run(cfg, prog);
+        std::printf("%-22s IPC %.3f  predicated %.1f%%  MPKI %.2f\n",
+                    biased ? "divide-by-2 (paper)" : "decrement-by-1",
+                    s.ipc(), 100.0 * s.loadsPredicated / s.loads, s.mpki());
+    }
+
+    std::printf("\n--- store distance predictor size (DMDP) ---\n");
+    for (uint32_t entries : {64u, 256u, 1024u, 4096u}) {
+        SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+        cfg.sdpEntries = entries;
+        SimStats s = Simulator::run(cfg, prog);
+        std::printf("%-6u entries/table  IPC %.3f  MPKI %.2f\n", entries,
+                    s.ipc(), s.mpki());
+    }
+
+    std::printf("\nExpected: a low threshold cloaks aggressively and "
+                "mispredicts more; a high\nthreshold predicates almost "
+                "everything. The biased policy pushes loads toward\n"
+                "predication, trading micro-ops for recoveries.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: assemble a small program, run it on all four machine
+ * models (Baseline SQ/LQ, NoSQ, DMDP, Perfect) and print the key
+ * statistics. This is the smallest complete use of the public API:
+ *
+ *   SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+ *   SimStats stats = Simulator::runAsm(cfg, source);
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.h"
+
+using namespace dmdp;
+
+int
+main()
+{
+    // A register-spill loop: the store and the reload always collide
+    // (the paper's "Always Colliding" class), so the store-queue-free
+    // machines turn the memory round trip into a register dependence.
+    const char *source = R"(
+main:
+    li   $t0, 20000         # iterations
+    la   $t1, slot
+loop:
+    lw   $t2, 0($t1)        # reload (always hits the previous store)
+    addi $t2, $t2, 3
+    sw   $t2, 0($t1)        # spill
+    mul  $t3, $t2, $t2      # independent work
+    add  $t4, $t4, $t3
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+
+    .org 0x100000
+slot: .word 0
+)";
+
+    std::printf("%-9s %10s %8s %9s %9s %9s\n", "model", "cycles", "IPC",
+                "bypass%", "delayed%", "predic%");
+    for (LsuModel model : {LsuModel::Baseline, LsuModel::NoSQ,
+                           LsuModel::DMDP, LsuModel::Perfect}) {
+        SimConfig cfg = SimConfig::forModel(model);
+        SimStats stats = Simulator::runAsm(cfg, source);
+        double loads = static_cast<double>(stats.loads);
+        std::printf("%-9s %10llu %8.3f %8.1f%% %8.1f%% %8.1f%%\n",
+                    lsuModelName(model),
+                    static_cast<unsigned long long>(stats.cycles),
+                    stats.ipc(), 100.0 * stats.loadsBypass / loads,
+                    100.0 * stats.loadsDelayed / loads,
+                    100.0 * stats.loadsPredicated / loads);
+    }
+    std::printf("\nExpected: the store-queue-free machines classify the "
+                "reload as Bypassing\n(memory cloaking) and run the loop "
+                "faster than the baseline's store-queue\nforwarding.\n");
+    return 0;
+}

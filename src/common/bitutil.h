@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the simulator.
+ */
+
+#ifndef DMDP_COMMON_BITUTIL_H
+#define DMDP_COMMON_BITUTIL_H
+
+#include <cstdint>
+#include <cassert>
+
+namespace dmdp {
+
+/** Extract bits [hi:lo] (inclusive) of a 32-bit value. */
+constexpr uint32_t
+bits(uint32_t value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & ((hi - lo == 31u) ? ~0u : ((1u << (hi - lo + 1)) - 1u));
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr int32_t
+sext(uint32_t value, unsigned width)
+{
+    uint32_t shift = 32u - width;
+    return static_cast<int32_t>(value << shift) >> shift;
+}
+
+/** True if @p value is a power of two (and non-zero). */
+constexpr bool
+isPow2(uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)) for value >= 1. */
+constexpr unsigned
+floorLog2(uint64_t value)
+{
+    unsigned result = 0;
+    while (value >>= 1)
+        ++result;
+    return result;
+}
+
+/** Fold a 64-bit value down to @p width bits by XOR-ing slices. */
+constexpr uint32_t
+foldXor(uint64_t value, unsigned width)
+{
+    uint32_t mask = (width >= 32u) ? ~0u : ((1u << width) - 1u);
+    uint32_t acc = 0;
+    while (value) {
+        acc ^= static_cast<uint32_t>(value) & mask;
+        value >>= width;
+    }
+    return acc;
+}
+
+/**
+ * Byte Access Bits for a memory access: one bit per byte within the
+ * aligned word containing the access (paper section IV-D).
+ */
+constexpr uint8_t
+byteAccessBits(uint32_t addr, unsigned size)
+{
+    assert(size == 1 || size == 2 || size == 4);
+    unsigned offset = addr & 3u;
+    uint8_t base = static_cast<uint8_t>((1u << size) - 1u);
+    return static_cast<uint8_t>(base << offset) & 0xFu;
+}
+
+/** Word-aligned address of the access (BAB granularity). */
+constexpr uint32_t
+wordAddr(uint32_t addr)
+{
+    return addr & ~3u;
+}
+
+} // namespace dmdp
+
+#endif // DMDP_COMMON_BITUTIL_H

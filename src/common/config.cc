@@ -1,0 +1,52 @@
+#include "common/config.h"
+
+#include <sstream>
+
+namespace dmdp {
+
+const char *
+lsuModelName(LsuModel model)
+{
+    switch (model) {
+      case LsuModel::Baseline: return "baseline";
+      case LsuModel::NoSQ:     return "nosq";
+      case LsuModel::DMDP:     return "dmdp";
+      case LsuModel::Perfect:  return "perfect";
+    }
+    return "?";
+}
+
+const char *
+consistencyName(Consistency model)
+{
+    return model == Consistency::TSO ? "TSO" : "RMO";
+}
+
+const char *
+sdpKindName(SdpKind kind)
+{
+    return kind == SdpKind::Classic ? "classic" : "tage";
+}
+
+SimConfig
+SimConfig::forModel(LsuModel model)
+{
+    SimConfig cfg;
+    cfg.model = model;
+    // NoSQ decrements confidence by one on a misprediction; DMDP divides
+    // by two (section IV-E). Both use the silent-store-aware update.
+    cfg.biasedConfidence = (model == LsuModel::DMDP);
+    return cfg;
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::ostringstream os;
+    os << lsuModelName(model) << " " << consistencyName(consistency)
+       << " issue=" << issueWidth << " rob=" << robSize
+       << " prf=" << numPhysRegs << " sb=" << storeBufferSize;
+    return os.str();
+}
+
+} // namespace dmdp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Simulator configuration. The defaults reproduce the paper's Table III
+ * baseline machine; each evaluation model (Baseline / NoSQ / DMDP /
+ * Perfect) differs only in its store-load communication mechanism.
+ */
+
+#ifndef DMDP_COMMON_CONFIG_H
+#define DMDP_COMMON_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace dmdp {
+
+/** Which store-load communication mechanism the core uses. */
+enum class LsuModel
+{
+    Baseline,   ///< Unbounded SQ/LQ with Store-Set prediction.
+    NoSQ,       ///< Store-queue-free, cloaking + delayed low-conf loads.
+    DMDP,       ///< Store-queue-free, cloaking + dynamic predication.
+    Perfect,    ///< Oracle memory dependence prediction.
+};
+
+/** Memory consistency model enforced by the post-retirement store buffer. */
+enum class Consistency
+{
+    TSO,    ///< Stores commit to the cache strictly in program order.
+    RMO,    ///< Stores may commit out of order.
+};
+
+/** Which store distance predictor organization to use. */
+enum class SdpKind
+{
+    Classic,    ///< two-table PC / PC^history predictor (the paper's)
+    Tage,       ///< TAGE-style geometric-history predictor (related work)
+};
+
+const char *lsuModelName(LsuModel model);
+const char *consistencyName(Consistency model);
+const char *sdpKindName(SdpKind kind);
+
+/** Cache geometry for one level. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 8;
+    uint32_t lineBytes = 64;
+    uint32_t hitLatency = 4;
+};
+
+/**
+ * Full machine configuration (paper Table III plus the NoSQ/DMDP
+ * structure geometries from section V).
+ */
+struct SimConfig
+{
+    LsuModel model = LsuModel::DMDP;
+    Consistency consistency = Consistency::TSO;
+
+    // -- Pipeline widths and windows (Table III). --
+    uint32_t fetchWidth = 8;
+    uint32_t issueWidth = 8;
+    uint32_t retireWidth = 8;
+    uint32_t robSize = 256;
+    uint32_t iqSize = 64;
+    uint32_t numPhysRegs = 320;
+    uint32_t frontEndDepth = 5;     ///< fetch->rename pipeline stages
+    uint32_t branchPenalty = 12;    ///< redirect cycles after resolution
+
+    // -- Memory hierarchy. --
+    CacheConfig l1i{32 * 1024, 8, 64, 1};
+    CacheConfig l1d{32 * 1024, 8, 64, 4};
+    CacheConfig l2{2 * 1024 * 1024, 16, 64, 12};
+    uint32_t dramLatency = 200;
+    uint32_t dramBanks = 8;
+    uint32_t rowBufferHitLatency = 120;
+    uint32_t storeBufferSize = 16;
+    bool storeCoalescing = true;
+
+    // -- Baseline SQ/LQ. --
+    uint32_t sqSearchLatency = 4;   ///< same constant latency as the cache
+    uint32_t storeSetSsitSize = 4096;
+    uint32_t storeSetLfstSize = 1024;
+
+    // -- NoSQ / DMDP structures (section V). --
+    uint32_t ssbfSets = 32;         ///< 4-way x 32 sets = 128 entries
+    uint32_t ssbfWays = 4;
+    uint32_t sdpEntries = 1024;     ///< per table, 4-way
+    uint32_t sdpWays = 4;
+    uint32_t sdpHistoryBits = 8;    ///< path-sensitive XOR history
+    uint32_t confidenceMax = 127;   ///< 7-bit counter
+    uint32_t confidenceInit = 64;
+    uint32_t confidenceThreshold = 63;  ///< >63 -> cloaking
+    bool biasedConfidence = true;   ///< DMDP: divide-by-2 on mispredict
+    bool silentStoreAwareUpdate = true; ///< update SDP on every re-execution
+    SdpKind sdpKind = SdpKind::Classic;
+
+    // -- Branch prediction. --
+    uint32_t gshareBits = 16;
+    uint32_t btbEntries = 4096;
+
+    // -- Address translation (the AGI micro-op translates, IV-A). --
+    uint32_t tlbEntries = 64;       ///< fully modeled as 4-way
+    uint32_t tlbMissLatency = 20;
+
+    // -- Multi-core invalidation traffic (section IV-F). --
+    double remoteInvalPerKiloCycle = 0.0;   ///< injected invalidations
+
+    // -- Recovery. --
+    uint32_t squashPenalty = 12;    ///< refill after a full recovery
+
+    // -- Run control. --
+    uint64_t maxInsts = 0;          ///< 0 = run to halt
+    uint64_t warmupInsts = 0;       ///< stats reset after this many
+
+    /** Apply the per-model predictor policy defaults. */
+    static SimConfig forModel(LsuModel model);
+
+    /** Short human-readable description, for logs. */
+    std::string describe() const;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_COMMON_CONFIG_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*) used by the
+ * workload generators. Determinism matters: every experiment must be
+ * exactly reproducible from a seed.
+ */
+
+#ifndef DMDP_COMMON_RNG_H
+#define DMDP_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace dmdp {
+
+/** Small, fast, deterministic PRNG (xorshift64*). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli trial with probability @p p (0..1). */
+    bool
+    chance(double p)
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0) < p;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_COMMON_RNG_H

@@ -1,0 +1,33 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace dmdp {
+
+uint64_t
+Histogram::percentile(double fraction) const
+{
+    if (count_ == 0)
+        return 0;
+    uint64_t target = static_cast<uint64_t>(fraction * static_cast<double>(count_));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= target)
+            return static_cast<uint64_t>(i) * bucketWidth;
+    }
+    return static_cast<uint64_t>(buckets.size() - 1) * bucketWidth;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, s] : scalars)
+        os << name << " = " << s->value() << "\n";
+    for (const auto &[name, a] : averages)
+        os << name << " = " << a->mean() << " (n=" << a->count() << ")\n";
+    return os.str();
+}
+
+} // namespace dmdp

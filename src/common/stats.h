@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lightweight statistics package: named scalar counters, averages and
+ * histograms collected during simulation and dumped at the end of a run.
+ * Inspired by (and much smaller than) the gem5 stats package.
+ */
+
+#ifndef DMDP_COMMON_STATS_H
+#define DMDP_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmdp {
+
+/** A running scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(uint64_t n) { value_ += n; return *this; }
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** A running average: accumulates (sum, count) pairs. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    void reset() { sum_ = 0; count_ = 0; }
+    double sum() const { return sum_; }
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  private:
+    double sum_ = 0;
+    uint64_t count_ = 0;
+};
+
+/** A fixed-bucket histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(uint64_t bucket_width = 1, size_t n_buckets = 64)
+        : bucketWidth(bucket_width ? bucket_width : 1),
+          buckets(n_buckets + 1, 0)
+    {}
+
+    void
+    sample(uint64_t v)
+    {
+        size_t idx = static_cast<size_t>(v / bucketWidth);
+        if (idx >= buckets.size() - 1)
+            idx = buckets.size() - 1;
+        ++buckets[idx];
+        sum_ += v;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+    const std::vector<uint64_t> &raw() const { return buckets; }
+
+    /** Value below which @p fraction of samples fall (approximate). */
+    uint64_t percentile(double fraction) const;
+
+  private:
+    uint64_t bucketWidth;
+    std::vector<uint64_t> buckets;
+    uint64_t sum_ = 0;
+    uint64_t count_ = 0;
+};
+
+/**
+ * A registry of named statistics. Modules register references so the
+ * simulator can dump everything uniformly.
+ */
+class StatGroup
+{
+  public:
+    void regScalar(const std::string &name, const Scalar *s) { scalars[name] = s; }
+    void regAverage(const std::string &name, const Average *a) { averages[name] = a; }
+
+    /** Render "name = value" lines, sorted by name. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, const Scalar *> scalars;
+    std::map<std::string, const Average *> averages;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_COMMON_STATS_H

@@ -1,0 +1,67 @@
+#include "common/table.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace dmdp {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    row.resize(header_.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    std::string rule;
+    for (size_t c = 0; c < header_.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+} // namespace dmdp

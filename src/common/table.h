@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to render
+ * paper-style tables and figure series.
+ */
+
+#ifndef DMDP_COMMON_TABLE_H
+#define DMDP_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dmdp {
+
+/** Column-aligned text table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; cells beyond the header width are dropped. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render the whole table with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Geometric mean of a series (values must be > 0). */
+double geomean(const std::vector<double> &values);
+
+} // namespace dmdp
+
+#endif // DMDP_COMMON_TABLE_H

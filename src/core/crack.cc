@@ -1,0 +1,138 @@
+#include "core/crack.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+namespace {
+
+CrackedUop
+makeUop(UopKind kind, int s1, int s2, int dst)
+{
+    CrackedUop uop;
+    uop.kind = kind;
+    uop.lsrc1 = s1;
+    uop.lsrc2 = s2;
+    uop.ldst = dst;
+    return uop;
+}
+
+} // namespace
+
+std::vector<CrackedUop>
+crackInst(const DynInst &dyn, LsuModel model, LoadClass cls)
+{
+    const Inst &inst = dyn.inst;
+    std::vector<CrackedUop> uops;
+
+    if (inst.op == Op::HALT) {
+        uops.push_back(makeUop(UopKind::Halt, -1, -1, -1));
+    } else if (inst.isControl()) {
+        CrackedUop uop = makeUop(UopKind::Branch, inst.srcReg1(),
+                                 inst.srcReg2(), inst.destReg());
+        uops.push_back(uop);
+    } else if (!inst.isMem()) {
+        uops.push_back(makeUop(UopKind::Alu, inst.srcReg1(),
+                               inst.srcReg2(), inst.destReg()));
+    } else if (model == LsuModel::Baseline) {
+        // Fused AGU: one micro-op per memory instruction.
+        UopKind kind = inst.isLoad() ? UopKind::Load : UopKind::Store;
+        uops.push_back(makeUop(kind, inst.srcReg1(), inst.srcReg2(),
+                               inst.isLoad() ? inst.destReg() : -1));
+        if (inst.isStore())
+            uops.back().dispatch = true;    // AGU issue computes the address
+    } else if (inst.isStore()) {
+        uops.push_back(makeUop(UopKind::Agi, inst.srcReg1(), -1,
+                               static_cast<int>(kRegAddrTmp)));
+        CrackedUop store = makeUop(UopKind::Store,
+                                   static_cast<int>(kRegAddrTmp),
+                                   inst.srcReg2(), -1);
+        store.dispatch = false;     // executes at commit, never issued
+        uops.push_back(store);
+    } else {
+        // Loads in the store-queue-free machines.
+        assert(cls != LoadClass::None);
+        uops.push_back(makeUop(UopKind::Agi, inst.srcReg1(), -1,
+                               static_cast<int>(kRegAddrTmp)));
+        switch (cls) {
+          case LoadClass::Direct:
+          case LoadClass::Delayed: {
+            uops.push_back(makeUop(UopKind::Load,
+                                   static_cast<int>(kRegAddrTmp), -1,
+                                   inst.destReg()));
+            break;
+          }
+          case LoadClass::Bypass: {
+            CrackedUop load = makeUop(UopKind::Load,
+                                      static_cast<int>(kRegAddrTmp),
+                                      -1, inst.destReg());
+            if (inst.memSize() == 4) {
+                // Pure rename: reuse the store's data register.
+                load.sharedDst = true;
+                load.dispatch = false;
+            } else {
+                // Partial-word bypass: a one-cycle shift/mask op that
+                // consumes the store's data register.
+                load.lsrc2 = kLregStoreData;
+            }
+            uops.push_back(load);
+            break;
+          }
+          case LoadClass::Predicated: {
+            uops.push_back(makeUop(UopKind::Load,
+                                   static_cast<int>(kRegAddrTmp), -1,
+                                   static_cast<int>(kRegLoadTmp)));
+            uops.push_back(makeUop(UopKind::Cmp,
+                                   static_cast<int>(kRegAddrTmp),
+                                   kLregStoreAddr,
+                                   static_cast<int>(kRegPredTmp)));
+            uops.push_back(makeUop(UopKind::CmovTrue,
+                                   static_cast<int>(kRegPredTmp),
+                                   kLregStoreData, inst.destReg()));
+            CrackedUop cmov_false =
+                makeUop(UopKind::CmovFalse,
+                        static_cast<int>(kRegPredTmp),
+                        static_cast<int>(kRegLoadTmp), inst.destReg());
+            cmov_false.sharedDst = true;
+            uops.push_back(cmov_false);
+            break;
+          }
+          default:
+            assert(false);
+        }
+    }
+
+    uops.back().instEnd = true;
+    return uops;
+}
+
+bool
+extractForwarded(uint32_t store_addr, unsigned store_size,
+                 uint32_t store_value, uint32_t load_addr,
+                 const Inst &load_inst, uint32_t &value_out)
+{
+    unsigned load_size = load_inst.memSize();
+    // Every loaded byte must come from the store.
+    if (load_addr < store_addr ||
+        load_addr + load_size > store_addr + store_size) {
+        return false;
+    }
+
+    uint32_t raw = 0;
+    for (unsigned i = 0; i < load_size; ++i) {
+        unsigned offset = load_addr + i - store_addr;
+        uint32_t byte = (store_value >> (8 * offset)) & 0xffu;
+        raw |= byte << (8 * i);
+    }
+
+    switch (load_inst.op) {
+      case Op::LB:  value_out = static_cast<uint32_t>(sext(raw, 8)); break;
+      case Op::LH:  value_out = static_cast<uint32_t>(sext(raw, 16)); break;
+      default:      value_out = raw; break;
+    }
+    return true;
+}
+
+} // namespace dmdp

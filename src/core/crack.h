@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Micro-op cracking (paper sections IV-A and IV-B).
+ *
+ * In the store-queue-free machines every memory instruction is split
+ * into an address-generation micro-op (AGI, writing hidden logical
+ * register $32) and a memory access micro-op. A DMDP low-confidence
+ * load additionally receives the predication triple:
+ *
+ *   LW   $33, ($32)        ; read the cache into the hidden temp
+ *   CMP  $34, $32, stAddr  ; predicate: do the addresses match?
+ *   CMOV rt,  $34, stData  ; taken arm: forward the store data
+ *   CMOV rt, !$34, $33     ; fall-through arm: use the cache value
+ *
+ * The two CMOVs share one destination physical register (Fig. 8d).
+ * The baseline machine does not crack: each architectural instruction
+ * is a single micro-op with a fused AGU.
+ */
+
+#ifndef DMDP_CORE_CRACK_H
+#define DMDP_CORE_CRACK_H
+
+#include <vector>
+
+#include "common/config.h"
+#include "core/uop.h"
+
+namespace dmdp {
+
+/** Sentinel logical sources resolved from the Store Register Buffer. */
+constexpr int kLregStoreAddr = -2;
+constexpr int kLregStoreData = -3;
+
+/** One cracked micro-op template with logical register operands. */
+struct CrackedUop
+{
+    UopKind kind = UopKind::Alu;
+    int lsrc1 = -1;
+    int lsrc2 = -1;
+    int ldst = -1;
+    bool sharedDst = false;     ///< redefine (cloak / second CMOV)
+    bool dispatch = true;       ///< enters the issue queue
+    bool instEnd = false;       ///< last micro-op of the instruction
+};
+
+/**
+ * Crack a dynamic instruction into micro-ops.
+ * @param cls  the load class chosen at rename (None for non-loads).
+ */
+std::vector<CrackedUop> crackInst(const DynInst &dyn, LsuModel model,
+                                  LoadClass cls);
+
+/**
+ * Value a load would receive if forwarded from the given store,
+ * including partial-word shift, mask and sign/zero extension
+ * (section IV-D). Returns false if the store does not cover every
+ * byte the load reads.
+ */
+bool extractForwarded(uint32_t store_addr, unsigned store_size,
+                      uint32_t store_value, uint32_t load_addr,
+                      const Inst &load_inst, uint32_t &value_out);
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_CRACK_H

@@ -1,0 +1,151 @@
+#include "core/lsq.h"
+
+#include <cassert>
+
+#include "core/crack.h"
+
+namespace dmdp {
+
+namespace {
+
+bool
+overlaps(uint32_t a_addr, unsigned a_size, uint32_t b_addr, unsigned b_size)
+{
+    return a_addr < b_addr + b_size && b_addr < a_addr + a_size;
+}
+
+} // namespace
+
+void
+LoadStoreQueue::addStore(uint64_t seq, uint64_t ssn, uint32_t pc,
+                         int data_preg)
+{
+    SqEntry entry;
+    entry.seq = seq;
+    entry.ssn = ssn;
+    entry.pc = pc;
+    entry.dataPreg = data_preg;
+    stores.push_back(entry);
+}
+
+void
+LoadStoreQueue::addLoad(uint64_t seq, uint32_t pc)
+{
+    LqEntry entry;
+    entry.seq = seq;
+    entry.pc = pc;
+    loads.push_back(entry);
+}
+
+std::vector<LqEntry *>
+LoadStoreQueue::storeExecuted(uint64_t seq, uint32_t addr, uint8_t size,
+                              uint32_t value)
+{
+    SqEntry *store = findStore(seq);
+    assert(store);
+    store->addrKnown = true;
+    store->addr = addr;
+    store->size = size;
+    store->value = value;
+
+    std::vector<LqEntry *> violations;
+    for (auto &load : loads) {
+        if (load.seq > seq && load.executed && !load.violated &&
+            overlaps(addr, size, load.addr, load.size) &&
+            load.sourceSsn < store->ssn) {
+            load.violated = true;
+            load.violatingStorePc = store->pc;
+            violations.push_back(&load);
+        }
+    }
+    return violations;
+}
+
+SqSearchResult
+LoadStoreQueue::loadSearch(uint64_t seq, uint32_t addr, uint8_t size,
+                           const Inst &load_inst) const
+{
+    SqSearchResult result;
+    // Youngest older colliding store with a known address wins.
+    for (auto it = stores.rbegin(); it != stores.rend(); ++it) {
+        const SqEntry &store = *it;
+        if (store.seq >= seq || !store.addrKnown)
+            continue;
+        if (!overlaps(store.addr, store.size, addr, size))
+            continue;
+        uint32_t value = 0;
+        if (!extractForwarded(store.addr, store.size, store.value, addr,
+                              load_inst, value)) {
+            result.kind = SqSearchResult::Kind::Partial;
+            result.ssn = store.ssn;
+            return result;
+        }
+        result.kind = SqSearchResult::Kind::Forward;
+        result.ssn = store.ssn;
+        result.value = value;
+        result.dataPreg = store.dataPreg;
+        return result;
+    }
+    return result;
+}
+
+void
+LoadStoreQueue::loadExecuted(uint64_t seq, uint32_t addr, uint8_t size,
+                             uint64_t source_ssn)
+{
+    LqEntry *load = findLoad(seq);
+    assert(load);
+    load->executed = true;
+    load->addr = addr;
+    load->size = size;
+    load->sourceSsn = source_ssn;
+}
+
+LqEntry *
+LoadStoreQueue::findLoad(uint64_t seq)
+{
+    for (auto &load : loads)
+        if (load.seq == seq)
+            return &load;
+    return nullptr;
+}
+
+SqEntry *
+LoadStoreQueue::findStore(uint64_t seq)
+{
+    for (auto &store : stores)
+        if (store.seq == seq)
+            return &store;
+    return nullptr;
+}
+
+void
+LoadStoreQueue::removeStore(uint64_t seq)
+{
+    for (auto it = stores.begin(); it != stores.end(); ++it) {
+        if (it->seq == seq) {
+            stores.erase(it);
+            return;
+        }
+    }
+}
+
+void
+LoadStoreQueue::removeLoad(uint64_t seq)
+{
+    for (auto it = loads.begin(); it != loads.end(); ++it) {
+        if (it->seq == seq) {
+            loads.erase(it);
+            return;
+        }
+    }
+}
+
+void
+LoadStoreQueue::clear()
+{
+    stores.clear();
+    loads.clear();
+}
+
+} // namespace dmdp

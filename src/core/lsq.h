@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Baseline load/store queues (paper Table III: unbounded SQ/LQ with
+ * Store-Set dependence prediction). Loads search the SQ and the store
+ * buffer associatively when they execute; stores search the LQ for
+ * premature younger loads (memory-ordering violation detection).
+ */
+
+#ifndef DMDP_CORE_LSQ_H
+#define DMDP_CORE_LSQ_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace dmdp {
+
+/** An in-flight (renamed, unretired) store. */
+struct SqEntry
+{
+    uint64_t seq = 0;
+    uint64_t ssn = 0;
+    uint32_t pc = 0;
+    bool addrKnown = false;
+    uint32_t addr = 0;
+    uint8_t size = 0;
+    uint32_t value = 0;
+    int dataPreg = -1;      ///< physical register producing the data
+};
+
+/** An in-flight (renamed, unretired) load. */
+struct LqEntry
+{
+    uint64_t seq = 0;
+    uint32_t pc = 0;
+    bool executed = false;
+    uint32_t addr = 0;
+    uint8_t size = 0;
+    uint64_t sourceSsn = 0;     ///< SSN the value came from (0 = memory)
+    bool violated = false;
+    uint32_t violatingStorePc = 0;
+};
+
+/** What a load's SQ search found. */
+struct SqSearchResult
+{
+    enum class Kind
+    {
+        NoMatch,        ///< no older colliding store with a known address
+        Forward,        ///< full-coverage forward available
+        NotReady,       ///< colliding store's data is not produced yet
+        Partial,        ///< colliding store only covers part of the load
+    };
+
+    Kind kind = Kind::NoMatch;
+    uint64_t ssn = 0;
+    uint32_t value = 0;
+    int dataPreg = -1;
+};
+
+/** The baseline machine's load and store queues. */
+class LoadStoreQueue
+{
+  public:
+    /** A store renamed: allocate its SQ entry (age ordered). */
+    void addStore(uint64_t seq, uint64_t ssn, uint32_t pc, int data_preg);
+
+    /** A load renamed: allocate its LQ entry. */
+    void addLoad(uint64_t seq, uint32_t pc);
+
+    /**
+     * A store's address became known (AGU executed). Returns the LQ
+     * entries of younger loads that already executed with data older
+     * than this store — memory-ordering violations.
+     */
+    std::vector<LqEntry *> storeExecuted(uint64_t seq, uint32_t addr,
+                                         uint8_t size, uint32_t value);
+
+    /**
+     * A load is executing: search older stores for the youngest
+     * colliding one.
+     */
+    SqSearchResult loadSearch(uint64_t seq, uint32_t addr, uint8_t size,
+                              const Inst &load_inst) const;
+
+    /** Record a load's execution for later violation checks. */
+    void loadExecuted(uint64_t seq, uint32_t addr, uint8_t size,
+                      uint64_t source_ssn);
+
+    LqEntry *findLoad(uint64_t seq);
+    SqEntry *findStore(uint64_t seq);
+
+    /** The instruction retired: remove its queue entry. */
+    void removeStore(uint64_t seq);
+    void removeLoad(uint64_t seq);
+
+    /** Squash: both queues only ever contain unretired entries. */
+    void clear();
+
+    size_t storeCount() const { return stores.size(); }
+    size_t loadCount() const { return loads.size(); }
+
+  private:
+    std::deque<SqEntry> stores;
+    std::deque<LqEntry> loads;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_LSQ_H

@@ -1,0 +1,1132 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "pred/svw.h"
+
+namespace dmdp {
+
+namespace {
+
+/** Read a load's value from @p mem with the proper extension. */
+uint32_t
+readExtended(const MemImg &mem, uint32_t addr, const Inst &inst)
+{
+    uint32_t raw = mem.read(addr, inst.memSize());
+    switch (inst.op) {
+      case Op::LB: return static_cast<uint32_t>(sext(raw, 8));
+      case Op::LH: return static_cast<uint32_t>(sext(raw, 16));
+      default: return raw;
+    }
+}
+
+} // namespace
+
+Pipeline::Pipeline(const SimConfig &config, const Program &prog)
+    : cfg(config),
+      stream(prog),
+      mem(config),
+      rf(config.numPhysRegs),
+      bp(config),
+      sb(config, mem, committedMem, rf),
+      sdp(config),
+      sdpTage(config),
+      ssbf(config),
+      tlb(config),
+      storeSet(config.storeSetSsitSize, config.storeSetLfstSize)
+{
+    committedMem.load(prog);
+    sb.onCommit = [this](const SbEntry &entry) {
+        ++stats.storesCommitted;
+        srb.invalidate(entry.ssn);
+    };
+}
+
+Pipeline::~Pipeline() = default;
+
+void
+Pipeline::drainStoreBuffer()
+{
+    uint64_t guard = now + 1000000;
+    while (!sb.empty() && now < guard) {
+        ++now;
+        sb.tick(now);
+    }
+}
+
+void
+Pipeline::injectRemoteInvalidation(uint32_t addr)
+{
+    ssbf.invalidateLine(addr, cfg.l1d.lineBytes, sb.ssnCommit() + 1);
+    mem.l1d().invalidate(addr);
+    mem.l2().invalidate(addr);
+}
+
+SimStats
+Pipeline::run()
+{
+    while (!done) {
+        doCycle();
+        if (now - lastProgressCycle > 500000) {
+            std::ostringstream os;
+            os << "pipeline deadlock at cycle " << now << " ("
+               << cfg.describe() << "), rob=" << rob.size()
+               << " iq=" << iq.size() << " sb=" << sb.size()
+               << " freeRegs=" << rf.freeCount()
+               << " decodeQ=" << decodeQueue.size();
+            if (!rob.empty()) {
+                const Uop &head = rob.front();
+                os << " | head: kind=" << static_cast<int>(head.kind)
+                   << " cls=" << loadClassName(head.cls)
+                   << " seq=" << head.seq
+                   << " pc=" << std::hex << head.pc << std::dec
+                   << " completed=" << head.completed
+                   << " issued=" << head.issued
+                   << " dispatched=" << head.dispatched
+                   << " src1=" << head.src1
+                   << " r1=" << rf.ready(head.src1, now)
+                   << " src2=" << head.src2
+                   << " r2=" << rf.ready(head.src2, now)
+                   << " predSsn=" << head.predictedSsn
+                   << " ssnCommit=" << sb.ssnCommit()
+                   << " reexec=" << static_cast<int>(head.reexecState);
+                size_t i = 0;
+                for (const Uop &x : rob) {
+                    if (++i > 8) break;
+                    os << "\n  rob[" << i-1 << "] kind="
+                       << static_cast<int>(x.kind)
+                       << " seq=" << x.seq
+                       << " disp=" << x.dispatched
+                       << " iss=" << x.issued
+                       << " comp=" << x.completed
+                       << " s1=" << x.src1 << "/" << rf.ready(x.src1, now)
+                       << " s2=" << x.src2 << "/" << rf.ready(x.src2, now)
+                       << " dst=" << x.dst;
+                }
+                os << "\n  iq:";
+                i = 0;
+                for (const Uop *x : iq) {
+                    if (++i > 8) break;
+                    os << " [k=" << static_cast<int>(x->kind)
+                       << " seq=" << x->seq
+                       << " s1=" << x->src1 << "/" << rf.ready(x->src1, now)
+                       << " s2=" << x->src2 << "/" << rf.ready(x->src2, now)
+                       << "]";
+                }
+            }
+            throw std::runtime_error(os.str());
+        }
+    }
+
+    collectMemStats(stats);
+    if (warmupTaken)
+        return stats.minus(warmupSnapshot);
+    return stats;
+}
+
+void
+Pipeline::collectMemStats(SimStats &out) const
+{
+    out.cycles = now;
+    out.l1iAccesses = mem.l1i().accesses();
+    out.l1iMisses = mem.l1i().misses();
+    out.l1dAccesses = mem.l1d().accesses();
+    out.l1dMisses = mem.l1d().misses();
+    out.l2Accesses = mem.l2().accesses();
+    out.l2Misses = mem.l2().misses();
+    out.dramAccesses = mem.dram().accesses();
+    out.tlbMisses = tlb.misses();
+}
+
+void
+Pipeline::injectTraffic()
+{
+    if (cfg.remoteInvalPerKiloCycle <= 0 || recentStoreLines.empty())
+        return;
+    if (!trafficRng.chance(cfg.remoteInvalPerKiloCycle / 1000.0))
+        return;
+    uint32_t line = recentStoreLines[trafficRng.below(
+        recentStoreLines.size())];
+    injectRemoteInvalidation(line);
+    ++stats.remoteInvalidations;
+}
+
+void
+Pipeline::doCycle()
+{
+    ++now;
+    injectTraffic();
+    sb.tick(now);
+    stageWriteback();
+    stageRetire();
+    if (done)
+        return;
+    stageIssue();
+    stageRename();
+    stageFetch();
+}
+
+// ---------------------------------------------------------------- fetch
+
+void
+Pipeline::stageFetch()
+{
+    if (fetchedHalt || now < fetchAvailableCycle ||
+        fetchBlockedOnSeq != kNoSeq) {
+        return;
+    }
+
+    uint32_t fetched = 0;
+    while (fetched < cfg.fetchWidth && decodeQueue.size() < kDecodeQueueCap &&
+           !stream.atEnd()) {
+        const DynInst &peeked = stream.peek();
+        uint32_t line = peeked.pc / cfg.l1i.lineBytes;
+        if (line != currentFetchLine) {
+            uint32_t latency = mem.fetchLatency(peeked.pc, now);
+            currentFetchLine = line;
+            if (latency > cfg.l1i.hitLatency) {
+                fetchAvailableCycle = now + latency;
+                return;
+            }
+        }
+
+        DynInst dyn = stream.fetch();
+        ++fetched;
+        ++stats.fetchedInsts;
+        uint32_t history = bp.history();
+
+        bool mispredicted = false;
+        if (dyn.inst.isControl()) {
+            ++stats.branches;
+            bool is_call = dyn.inst.op == Op::JAL;
+            bool is_ret = dyn.inst.op == Op::JR;
+            uint32_t predicted = bp.predict(dyn.pc, dyn.inst.isCondBranch(),
+                                            is_call, is_ret);
+            bp.update(dyn.pc, dyn.inst.isCondBranch(), dyn.branchTaken,
+                      dyn.nextPc);
+            if (predicted != dyn.nextPc) {
+                mispredicted = true;
+                ++stats.branchMispredicts;
+            }
+        }
+
+        decodeQueue.push_back({dyn, now + cfg.frontEndDepth, history});
+
+        if (dyn.inst.op == Op::HALT) {
+            fetchedHalt = true;
+            return;
+        }
+        if (mispredicted) {
+            // Fetch stalls until the branch resolves; wrong-path work
+            // is modeled as bubbles (DESIGN.md).
+            fetchBlockedOnSeq = dyn.seq;
+            return;
+        }
+        if (dyn.branchTaken) {
+            currentFetchLine = ~0u;
+            return;     // one taken branch per fetch group
+        }
+    }
+}
+
+// --------------------------------------------------------------- rename
+
+Pipeline::LoadPlan
+Pipeline::classifyLoad(const DynInst &dyn, uint32_t history)
+{
+    LoadPlan plan;
+    uint64_t ssn_commit = sb.ssnCommit();
+
+    // Forward-progress fallback: a load that already raised one
+    // dependence exception re-executes with a safe classification.
+    if (exceptionSeqs.count(dyn.seq)) {
+        if (dyn.lastWriterSsn != 0 && dyn.lastWriterSsn > ssn_commit &&
+            srb.find(dyn.lastWriterSsn)) {
+            plan.cls = LoadClass::Delayed;
+            plan.predictedDependent = true;
+            plan.predictedSsn = dyn.lastWriterSsn;
+        }
+        return plan;
+    }
+
+    if (cfg.model == LsuModel::Perfect) {
+        uint64_t writer = dyn.lastWriterSsn;
+        if (writer != 0 && writer > ssn_commit && dyn.fullCoverage &&
+            dyn.inst.destReg() > 0) {
+            const SrbEntry *entry = srb.find(writer);
+            if (entry) {
+                plan.cls = LoadClass::Bypass;
+                plan.predictedDependent = true;
+                plan.confident = true;
+                plan.predictedSsn = writer;
+                plan.hasFwd = true;
+                plan.fwd = *entry;
+            }
+        }
+        return plan;
+    }
+
+    // NoSQ / DMDP: consult the store distance predictor.
+    SdpPrediction pred = predictDistance(dyn.pc, history);
+    ++stats.sdpLookups;
+    if (!pred.dependent)
+        return plan;
+
+    plan.predictedDependent = true;
+    plan.confident = pred.confident;
+    uint64_t ssn_rename = dyn.storesBefore;
+    if (pred.distance >= ssn_rename)
+        return plan;    // distance reaches before the first store
+    plan.predictedSsn = ssn_rename - pred.distance;
+    if (plan.predictedSsn <= ssn_commit)
+        return plan;    // predicted store already committed (Table I)
+
+    const SrbEntry *entry = srb.find(plan.predictedSsn);
+    if (!entry)
+        return plan;
+    plan.hasFwd = true;
+    plan.fwd = *entry;
+
+    bool has_dest = dyn.inst.destReg() > 0;
+    bool word_load = dyn.inst.memSize() == 4;
+
+    if (cfg.model == LsuModel::NoSQ) {
+        if (pred.confident && has_dest) {
+            uint32_t fwd_value = 0;
+            if (word_load) {
+                plan.cls = LoadClass::Bypass;
+            } else if (extractForwarded(entry->addr, entry->size,
+                                        entry->value, dyn.effAddr,
+                                        dyn.inst, fwd_value)) {
+                // NoSQ's "shift & mask" partial-word bypass.
+                plan.cls = LoadClass::Bypass;
+            } else {
+                plan.cls = LoadClass::Delayed;
+            }
+        } else {
+            plan.cls = LoadClass::Delayed;
+        }
+    } else {    // DMDP
+        if (pred.confident && word_load && has_dest)
+            plan.cls = LoadClass::Bypass;
+        else if (has_dest)
+            plan.cls = LoadClass::Predicated;
+        else
+            plan.cls = LoadClass::Delayed;
+    }
+    return plan;
+}
+
+int
+Pipeline::resolveSource(int lsrc, const LoadPlan &plan) const
+{
+    if (lsrc == kLregStoreAddr)
+        return plan.fwd.addrPreg;
+    if (lsrc == kLregStoreData)
+        return plan.fwd.dataPreg;
+    if (lsrc <= 0)
+        return -1;
+    return rf.map(static_cast<unsigned>(lsrc));
+}
+
+bool
+Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
+{
+    (void)budget;
+    LoadPlan plan;
+    if (dyn.isLoad() && cfg.model != LsuModel::Baseline)
+        plan = classifyLoad(dyn, history);
+
+    LoadClass cls = dyn.isLoad()
+        ? (cfg.model == LsuModel::Baseline ? LoadClass::Direct : plan.cls)
+        : LoadClass::None;
+
+    auto cracked = crackInst(dyn, cfg.model, cls);
+    // The ROB tracks architectural instructions; an instruction's
+    // micro-ops share its entry (the paper keeps one 256-entry ROB
+    // across all four machines).
+    if (robInsts + 1 > cfg.robSize)
+        return false;
+
+    uint32_t allocs = 0;
+    uint32_t iq_need = 0;
+    for (const auto &cu : cracked) {
+        if (cu.ldst > 0 && !cu.sharedDst)
+            ++allocs;
+        bool delayed_load = cu.kind == UopKind::Load &&
+                            cls == LoadClass::Delayed;
+        if (cu.dispatch && !delayed_load)
+            ++iq_need;
+    }
+    if (!rf.canAllocate(allocs))
+        return false;
+    if (iq.size() + iq_need > cfg.iqSize)
+        return false;
+
+    Uop *group_load = nullptr;
+    Uop *group_cmp = nullptr;
+    Uop *first_cmov = nullptr;
+
+    for (const auto &cu : cracked) {
+        rob.emplace_back();
+        Uop &u = rob.back();
+        u.seq = dyn.seq;
+        u.pc = dyn.pc;
+        u.kind = cu.kind;
+        u.dyn = dyn;
+        u.renameCycle = now;
+        u.instEnd = cu.instEnd;
+        u.cls = cls;
+        u.sdpHistory = history;
+        u.predictedDependent = plan.predictedDependent;
+        u.predictionConfident = plan.confident;
+        u.predictedSsn = plan.predictedSsn;
+        if (plan.hasFwd) {
+            u.fwdAddr = plan.fwd.addr;
+            u.fwdSize = plan.fwd.size;
+            u.fwdBab = plan.fwd.bab;
+            u.fwdValue = plan.fwd.value;
+        }
+
+        u.src1 = resolveSource(cu.lsrc1, plan);
+        u.src2 = resolveSource(cu.lsrc2, plan);
+        rf.addConsumer(u.src1);
+        rf.addConsumer(u.src2);
+
+        if (cu.ldst > 0) {
+            u.logicalDst = cu.ldst;
+            u.prevDst = rf.map(static_cast<unsigned>(cu.ldst));
+            if (cu.sharedDst) {
+                int shared = (u.kind == UopKind::CmovFalse)
+                    ? first_cmov->dst
+                    : plan.fwd.dataPreg;
+                rf.redefineShared(static_cast<unsigned>(cu.ldst), shared);
+                u.dst = shared;
+            } else {
+                u.dst = rf.allocate(static_cast<unsigned>(cu.ldst));
+            }
+        }
+
+        ++stats.renamedUops;
+
+        switch (u.kind) {
+          case UopKind::Load:
+            group_load = &u;
+            if (cfg.model == LsuModel::Baseline) {
+                lsq.addLoad(u.seq, u.pc);
+                uint32_t tag = storeSet.loadRename(u.pc);
+                u.waitStoreTag = tag == StoreSet::kInvalid ? ~0ull
+                                                           : uint64_t(tag);
+                ++stats.storeSetLookups;
+            } else if (cls == LoadClass::Bypass &&
+                       dyn.inst.memSize() == 4) {
+                // Pure rename: the value is the store's register.
+                u.completed = true;
+                u.obtainedValue = plan.fwd.value;
+            }
+            break;
+          case UopKind::Store:
+            if (cfg.model == LsuModel::Baseline) {
+                u.storeSetId = storeSet.storeRename(
+                    u.pc, static_cast<uint32_t>(u.seq));
+                lsq.addStore(u.seq, dyn.ssn, u.pc, u.src2);
+                ++stats.storeSetLookups;
+            } else {
+                SrbEntry entry;
+                entry.valid = true;
+                entry.ssn = dyn.ssn;
+                entry.seq = u.seq;
+                entry.dataPreg = u.src2;
+                entry.addrPreg = u.src1;
+                entry.addr = dyn.effAddr;
+                entry.size = static_cast<uint8_t>(dyn.inst.memSize());
+                entry.bab = byteAccessBits(dyn.effAddr,
+                                           dyn.inst.memSize());
+                entry.value = dyn.storeValue;
+                entry.pc = u.pc;
+                srb.insert(entry);
+                u.completed = true;     // executes at commit
+            }
+            break;
+          case UopKind::Cmp:
+            group_cmp = &u;
+            u.loadUop = group_load;
+            break;
+          case UopKind::CmovTrue:
+            first_cmov = &u;
+            u.cmpUop = group_cmp;
+            u.loadUop = group_load;
+            group_cmp->cmovTrueUop = &u;
+            break;
+          case UopKind::CmovFalse:
+            u.cmpUop = group_cmp;
+            u.loadUop = group_load;
+            group_cmp->cmovFalseUop = &u;
+            break;
+          case UopKind::Halt:
+            u.completed = true;
+            break;
+          default:
+            break;
+        }
+
+        bool delayed_load = u.kind == UopKind::Load &&
+                            cls == LoadClass::Delayed;
+        if (delayed_load) {
+            delayedLoads.push_back(&u);
+            u.dispatched = true;
+        } else if (cu.dispatch && !u.completed) {
+            iq.push_back(&u);
+            u.dispatched = true;
+            ++stats.iqWrites;
+        }
+    }
+
+    ++robInsts;
+
+    if (group_load && group_cmp)
+        group_load->cmpUop = group_cmp;
+
+    // Fig. 5 accounting: oracle outcome of low-confidence predictions.
+    if (dyn.isLoad() && plan.predictedDependent && !plan.confident &&
+        (cls == LoadClass::Delayed || cls == LoadClass::Predicated)) {
+        uint64_t writer = dyn.lastWriterSsn;
+        if (writer == 0 || writer <= sb.ssnCommit())
+            ++stats.lcIndepStore;
+        else if (writer == plan.predictedSsn)
+            ++stats.lcCorrect;
+        else
+            ++stats.lcDiffStore;
+    }
+    return true;
+}
+
+void
+Pipeline::stageRename()
+{
+    // Rename bandwidth is counted in architectural instructions; the
+    // cracked micro-ops still consume IQ, issue and energy resources.
+    uint32_t budget = cfg.issueWidth;
+    while (budget > 0 && !decodeQueue.empty() &&
+           decodeQueue.front().readyCycle <= now) {
+        const FetchedInst &fi = decodeQueue.front();
+        if (!renameInst(fi.dyn, fi.history, budget))
+            break;
+        decodeQueue.pop_front();
+        --budget;
+    }
+}
+
+// ---------------------------------------------------------------- issue
+
+bool
+Pipeline::tryIssue(Uop *u)
+{
+    // Baseline stores need only their base register to compute the
+    // address; the data is captured later.
+    bool baseline_store = cfg.model == LsuModel::Baseline &&
+                          u->kind == UopKind::Store;
+    if (!rf.ready(u->src1, now))
+        return false;
+    if (!baseline_store && !rf.ready(u->src2, now))
+        return false;
+
+    uint32_t latency = u->fixedLatency();
+
+    // The AGI translates (section IV-A): a D-TLB miss stalls it. The
+    // baseline pays the same translation inside its fused AGU cycle.
+    if (u->kind == UopKind::Agi ||
+        (cfg.model == LsuModel::Baseline &&
+         (u->kind == UopKind::Load || u->kind == UopKind::Store))) {
+        latency += tlb.access(u->dyn.effAddr);
+    }
+
+    if (u->kind == UopKind::Load) {
+        if (cfg.model == LsuModel::Baseline) {
+            // Store-set gate: wait for the flagged store's address.
+            if (u->waitStoreTag != ~0ull) {
+                SqEntry *gate = lsq.findStore(u->waitStoreTag);
+                if (gate && !gate->addrKnown)
+                    return false;
+            }
+            SqSearchResult sq = lsq.loadSearch(
+                u->seq, u->dyn.effAddr,
+                static_cast<uint8_t>(u->dyn.inst.memSize()), u->dyn.inst);
+            ++stats.sqSearches;
+            if (sq.kind == SqSearchResult::Kind::Partial)
+                return false;
+            // The fused micro-op pays one AGU cycle before the 4-cycle
+            // cache / SQ / SB access (the split machines pay this as an
+            // explicit AGI micro-op).
+            if (sq.kind == SqSearchResult::Kind::Forward) {
+                if (!rf.ready(sq.dataPreg, now))
+                    return false;
+                u->blSource = Uop::BlSource::SqForward;
+                u->blFwdValue = sq.value;
+                u->blFwdSsn = sq.ssn;
+                latency = 1 + cfg.sqSearchLatency;
+            } else {
+                auto fb = sb.findForward(
+                    u->dyn.effAddr,
+                    static_cast<uint8_t>(u->dyn.inst.memSize()),
+                    u->dyn.inst);
+                ++stats.sbSearches;
+                if (fb.kind == StoreBuffer::ForwardResult::Kind::Partial)
+                    return false;
+                if (fb.kind == StoreBuffer::ForwardResult::Kind::Forward) {
+                    u->blSource = Uop::BlSource::SbForward;
+                    u->blFwdValue = fb.value;
+                    u->blFwdSsn = fb.ssn;
+                    latency = 1 + cfg.sqSearchLatency;
+                } else {
+                    if (dcachePortsUsedThisCycle >= kDcachePorts)
+                        return false;
+                    ++dcachePortsUsedThisCycle;
+                    u->blSource = Uop::BlSource::Cache;
+                    latency = 1 + mem.loadLatency(u->dyn.effAddr, now);
+                }
+            }
+        } else if (u->cls == LoadClass::Bypass) {
+            // Partial-word bypass shift/mask op: one cycle, no cache.
+            latency = 1;
+        } else {
+            if (u->cls == LoadClass::Delayed &&
+                sb.ssnCommit() < u->predictedSsn) {
+                return false;
+            }
+            if (dcachePortsUsedThisCycle >= kDcachePorts)
+                return false;
+            ++dcachePortsUsedThisCycle;
+            latency = mem.loadLatency(u->dyn.effAddr, now);
+        }
+    }
+
+    u->issued = true;
+    u->completeCycle = now + latency;
+    execList.push_back(u);
+    ++stats.iqIssues;
+    stats.rfReads += (u->src1 >= 0 ? 1 : 0) + (u->src2 >= 0 ? 1 : 0);
+    rf.consumerDone(u->src1);
+    if (!baseline_store)
+        rf.consumerDone(u->src2);
+    return true;
+}
+
+void
+Pipeline::stageIssue()
+{
+    dcachePortsUsedThisCycle = 0;
+    uint32_t budget = cfg.issueWidth;
+
+    for (auto it = iq.begin(); it != iq.end() && budget > 0;) {
+        if (tryIssue(*it)) {
+            --budget;
+            it = iq.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // NoSQ delayed loads live outside the issue queue (an unlimited
+    // reservation-station-like structure, section I) and wake when the
+    // predicted store commits.
+    for (auto it = delayedLoads.begin();
+         it != delayedLoads.end() && budget > 0;) {
+        Uop *u = *it;
+        if (sb.ssnCommit() >= u->predictedSsn && tryIssue(u)) {
+            --budget;
+            it = delayedLoads.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+// ------------------------------------------------------------ writeback
+
+void
+Pipeline::completeLoad(Uop *u)
+{
+    if (cfg.model == LsuModel::Baseline) {
+        uint64_t source_ssn;
+        if (u->blSource == Uop::BlSource::Cache) {
+            u->obtainedValue = readExtended(committedMem, u->dyn.effAddr,
+                                            u->dyn.inst);
+            source_ssn = sb.ssnCommit();
+        } else {
+            u->obtainedValue = u->blFwdValue;
+            source_ssn = u->blFwdSsn;
+        }
+        lsq.loadExecuted(u->seq, u->dyn.effAddr,
+                         static_cast<uint8_t>(u->dyn.inst.memSize()),
+                         source_ssn);
+    } else if (u->cls == LoadClass::Bypass) {
+        // Partial-word bypass: shift/mask of the store's register.
+        uint32_t value = 0;
+        if (extractForwarded(u->fwdAddr, u->fwdSize, u->fwdValue,
+                             u->dyn.effAddr, u->dyn.inst, value)) {
+            u->obtainedValue = value;
+        } else {
+            u->obtainedValue = u->fwdValue;
+        }
+    } else {
+        u->ssnNvul = sb.ssnCommit();
+        u->obtainedValue = readExtended(committedMem, u->dyn.effAddr,
+                                        u->dyn.inst);
+    }
+
+    if (u->dst >= 0) {
+        rf.setReadyCycle(u->dst, u->completeCycle);
+        ++stats.rfWrites;
+    }
+}
+
+void
+Pipeline::completeUop(Uop *u)
+{
+    u->completed = true;
+    switch (u->kind) {
+      case UopKind::Alu:
+      case UopKind::Agi:
+        if (u->dst >= 0) {
+            rf.setReadyCycle(u->dst, u->completeCycle);
+            ++stats.rfWrites;
+        }
+        ++stats.aluOps;
+        break;
+
+      case UopKind::Branch:
+        if (u->dst >= 0) {
+            rf.setReadyCycle(u->dst, u->completeCycle);
+            ++stats.rfWrites;
+        }
+        ++stats.aluOps;
+        if (fetchBlockedOnSeq == u->seq) {
+            fetchBlockedOnSeq = kNoSeq;
+            fetchAvailableCycle = std::max(fetchAvailableCycle,
+                                           u->completeCycle +
+                                           cfg.branchPenalty);
+            currentFetchLine = ~0u;
+        }
+        break;
+
+      case UopKind::Cmp: {
+        uint8_t load_bab = byteAccessBits(u->dyn.effAddr,
+                                          u->dyn.inst.memSize());
+        u->predicateValue =
+            wordAddr(u->dyn.effAddr) == wordAddr(u->fwdAddr) &&
+            babCovers(u->fwdBab, load_bab);
+        u->predicateKnown = true;
+        // Copy the predicate into the group: the CMP may retire and
+        // leave the ROB before the CMOVs execute, so they must not
+        // chase the pointer later.
+        for (Uop *peer : {u->cmovTrueUop, u->cmovFalseUop, u->loadUop}) {
+            if (peer) {
+                peer->predicateValue = u->predicateValue;
+                peer->predicateKnown = true;
+            }
+        }
+        rf.setReadyCycle(u->dst, u->completeCycle);
+        ++stats.rfWrites;
+        ++stats.predicationOps;
+        break;
+      }
+
+      case UopKind::CmovTrue:
+        ++stats.predicationOps;
+        assert(u->predicateKnown);
+        if (u->predicateValue) {
+            rf.setReadyCycle(u->dst, u->completeCycle);
+            ++stats.rfWrites;
+        }
+        break;
+
+      case UopKind::CmovFalse:
+        ++stats.predicationOps;
+        assert(u->predicateKnown);
+        if (!u->predicateValue) {
+            rf.setReadyCycle(u->dst, u->completeCycle);
+            ++stats.rfWrites;
+        }
+        break;
+
+      case UopKind::Load:
+        completeLoad(u);
+        break;
+
+      case UopKind::Store:
+        // Baseline AGU execution: the address becomes known.
+        if (cfg.model == LsuModel::Baseline) {
+            lsq.storeExecuted(u->seq, u->dyn.effAddr,
+                              static_cast<uint8_t>(u->dyn.inst.memSize()),
+                              u->dyn.storeValue);
+            storeSet.storeIssued(u->storeSetId,
+                                 static_cast<uint32_t>(u->seq));
+            ++stats.aluOps;
+        }
+        break;
+
+      case UopKind::Halt:
+        break;
+    }
+}
+
+void
+Pipeline::stageWriteback()
+{
+    for (auto it = execList.begin(); it != execList.end();) {
+        Uop *u = *it;
+        if (u->completeCycle <= now) {
+            completeUop(u);
+            it = execList.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+// --------------------------------------------------------------- retire
+
+/** Value the load's consumers received through the forwarding path. */
+static uint32_t
+forwardedValue(const Uop *u)
+{
+    if (u->cls == LoadClass::Bypass)
+        return u->obtainedValue;
+    // Predicated, taken arm: shift/mask of the store data (CMOV).
+    uint32_t value = 0;
+    if (extractForwarded(u->fwdAddr, u->fwdSize, u->fwdValue,
+                         u->dyn.effAddr, u->dyn.inst, value)) {
+        return value;
+    }
+    return u->fwdValue;
+}
+
+SdpPrediction
+Pipeline::predictDistance(uint32_t pc, uint32_t history)
+{
+    if (cfg.sdpKind == SdpKind::Tage)
+        return sdpTage.predict(pc, history);
+    return sdp.predict(pc, history);
+}
+
+void
+Pipeline::trainDistance(uint32_t pc, uint32_t history, bool dependent,
+                        uint32_t distance)
+{
+    if (cfg.sdpKind == SdpKind::Tage)
+        sdpTage.update(pc, history, dependent, distance);
+    else
+        sdp.update(pc, history, dependent, distance);
+}
+
+void
+Pipeline::updatePredictorsAtRetire(Uop *u, bool actually_dependent,
+                                   uint64_t colliding_ssn)
+{
+    ++stats.sdpUpdates;
+    uint64_t distance = 0;
+    bool dependent = actually_dependent &&
+                     colliding_ssn <= u->dyn.storesBefore &&
+                     colliding_ssn > 0;
+    if (dependent)
+        distance = u->dyn.storesBefore - colliding_ssn;
+    trainDistance(u->pc, u->sdpHistory, dependent,
+                  static_cast<uint32_t>(distance));
+}
+
+bool
+Pipeline::verifyLoad(Uop *u)
+{
+    if (u->reexecState == Uop::ReexecState::Done)
+        return true;
+
+    uint8_t load_bab = byteAccessBits(u->dyn.effAddr,
+                                      u->dyn.inst.memSize());
+    bool forwarded =
+        u->cls == LoadClass::Bypass ||
+        (u->cls == LoadClass::Predicated && u->predicateValue);
+
+    if (!u->verifyEvaluated) {
+        u->verifyEvaluated = true;
+        SsbfResult res = ssbf.loadLookup(wordAddr(u->dyn.effAddr),
+                                         load_bab);
+        ++stats.ssbfReads;
+        u->collidingSsn = res.ssn;
+        u->collidingMatched = res.matched;
+        u->collidingBab = res.storeBab;
+
+        bool need;
+        if (forwarded) {
+            need = svwForwardedLoadNeedsReexec(res.ssn, u->predictedSsn) ||
+                   (res.matched && !babCovers(res.storeBab, load_bab));
+        } else {
+            need = svwCacheLoadNeedsReexec(res.ssn, u->ssnNvul);
+        }
+
+        // Predictor training (sections IV-A-d, IV-C, IV-E). The
+        // silent-store-aware policy trains on every re-execution; the
+        // original policy only trains when an exception is raised.
+        if (u->predictedDependent ||
+            (need && cfg.silentStoreAwareUpdate)) {
+            updatePredictorsAtRetire(u, res.matched, res.ssn);
+        } else if (need) {
+            u->deferredUpdate = true;
+        }
+
+        if (!need) {
+            u->reexecState = Uop::ReexecState::Done;
+            return true;
+        }
+        ++stats.reexecs;
+        u->reexecState = Uop::ReexecState::WaitDrain;
+    }
+
+    if (u->reexecState == Uop::ReexecState::WaitDrain) {
+        ++stats.reexecStallCycles;
+        if (!sb.empty())
+            return false;
+        // Store buffer drained: schedule the verification cache access.
+        u->reexecDoneCycle = now + mem.loadLatency(u->dyn.effAddr, now);
+        u->reexecState = Uop::ReexecState::Access;
+        return false;
+    }
+
+    // ReexecState::Access
+    if (now < u->reexecDoneCycle) {
+        ++stats.reexecStallCycles;
+        return false;
+    }
+    u->reexecState = Uop::ReexecState::Done;
+
+    uint32_t obtained = forwarded ? forwardedValue(u) : u->obtainedValue;
+    uint32_t true_value = u->dyn.resultValue;
+    if (obtained != true_value) {
+        // Exception: the consumers saw a wrong value. Full recovery.
+        ++stats.depMispredicts;
+        if (u->deferredUpdate)
+            updatePredictorsAtRetire(u, u->collidingMatched,
+                                     u->collidingSsn);
+        exceptionSeqs.insert(u->seq);
+        squashAndRefetch(u->seq);
+        return false;
+    }
+    return true;
+}
+
+bool
+Pipeline::retireStore(Uop *u)
+{
+    if (sb.full())
+        return false;
+
+    SbEntry entry;
+    entry.ssn = u->dyn.ssn;
+    entry.seq = u->seq;
+    entry.addr = u->dyn.effAddr;
+    entry.size = static_cast<uint8_t>(u->dyn.inst.memSize());
+    entry.value = u->dyn.storeValue;
+
+    if (cfg.model == LsuModel::Baseline) {
+        lsq.removeStore(u->seq);
+        rf.consumerDone(u->src2);   // data captured into the buffer
+    } else {
+        entry.dataPreg = u->src2;
+        entry.addrPreg = u->src1;
+        ssbf.storeRetire(wordAddr(u->dyn.effAddr),
+                         byteAccessBits(u->dyn.effAddr,
+                                        u->dyn.inst.memSize()),
+                         u->dyn.ssn);
+        ++stats.ssbfWrites;
+    }
+
+    sb.push(entry);
+    ssnRetire = u->dyn.ssn;
+
+    recentStoreLines.push_back(u->dyn.effAddr & ~(cfg.l1d.lineBytes - 1));
+    if (recentStoreLines.size() > 64)
+        recentStoreLines.pop_front();
+    return true;
+}
+
+void
+Pipeline::accountRetire(Uop *u)
+{
+    ++stats.uopsRetired;
+    lastProgressCycle = now;
+
+    if (u->logicalDst > 0) {
+        rf.virtualRelease(u->prevDst);
+        rf.retireMapping(static_cast<unsigned>(u->logicalDst), u->dst);
+    }
+
+    // Operand reads that never happened in the execution engine happen
+    // at retire (e.g. a cloaked load's address read for the T-SSBF).
+    // Store-queue-free stores instead read at commit, from the buffer.
+    bool store_reads_at_commit = u->kind == UopKind::Store &&
+                                 cfg.model != LsuModel::Baseline;
+    if (!u->issued && !store_reads_at_commit) {
+        rf.consumerDone(u->src1);
+        rf.consumerDone(u->src2);
+    }
+
+    if (u->kind == UopKind::Load) {
+        ++stats.loads;
+        switch (u->cls) {
+          case LoadClass::Direct: ++stats.loadsDirect; break;
+          case LoadClass::Bypass: ++stats.loadsBypass; break;
+          case LoadClass::Delayed: ++stats.loadsDelayed; break;
+          case LoadClass::Predicated: ++stats.loadsPredicated; break;
+          default: break;
+        }
+        if (cfg.model == LsuModel::Baseline)
+            lsq.removeLoad(u->seq);
+    }
+
+    if (u->instEnd) {
+        ++stats.instsRetired;
+        uint64_t ready = u->dst >= 0 ? rf.readyCycle(u->dst)
+                                     : u->completeCycle;
+        double exec_time = ready > u->renameCycle
+            ? static_cast<double>(ready - u->renameCycle) : 0.0;
+        stats.instExecTimeSum += exec_time;
+        ++stats.instExecSamples;
+
+        if (u->dyn.isLoad()) {
+            stats.loadExecTimeSum += exec_time;
+            if (u->cls == LoadClass::Bypass)
+                stats.bypassExecTimeSum += exec_time;
+            else if (u->cls == LoadClass::Delayed)
+                stats.delayedExecTimeSum += exec_time;
+            if (u->cls == LoadClass::Delayed ||
+                u->cls == LoadClass::Predicated) {
+                ++stats.lowConfLoads;
+                stats.lowConfExecTimeSum += exec_time;
+            }
+        }
+
+        if (!warmupTaken && cfg.warmupInsts &&
+            stats.instsRetired >= cfg.warmupInsts) {
+            // SimPoint-style cold-start compensation: statistics before
+            // this point are excluded from the reported run.
+            warmupTaken = true;
+            warmupSnapshot = stats;
+            collectMemStats(warmupSnapshot);
+        }
+
+        if (cfg.maxInsts && stats.instsRetired >= cfg.maxInsts)
+            done = true;
+    }
+
+    if (u->kind == UopKind::Halt)
+        done = true;
+}
+
+bool
+Pipeline::retireHead()
+{
+    Uop *u = &rob.front();
+
+    switch (u->kind) {
+      case UopKind::Store:
+        if (cfg.model == LsuModel::Baseline) {
+            if (!u->completed)
+                return false;
+        } else if (!rf.ready(u->src1, now)) {
+            return false;   // address generation not complete yet
+        }
+        break;
+      case UopKind::Load:
+        if (!u->completed)
+            return false;
+        // A predicated load's verification needs the predicate.
+        if (u->cls == LoadClass::Predicated && !u->predicateKnown)
+            return false;
+        break;
+      default:
+        if (!u->completed)
+            return false;
+        break;
+    }
+
+    // Baseline: memory-ordering violation detected by a store's AGU.
+    if (cfg.model == LsuModel::Baseline && u->kind == UopKind::Load) {
+        LqEntry *lq = lsq.findLoad(u->seq);
+        if (lq && lq->violated) {
+            ++stats.depMispredicts;
+            storeSet.violation(u->pc, lq->violatingStorePc);
+            squashAndRefetch(u->seq);
+            return false;
+        }
+    }
+
+    // Store-queue-free: SVW/T-SSBF verification.
+    if ((cfg.model == LsuModel::NoSQ || cfg.model == LsuModel::DMDP) &&
+        u->kind == UopKind::Load) {
+        if (!verifyLoad(u))
+            return false;   // blocked or squashed
+    }
+
+    if (u->kind == UopKind::Store && !retireStore(u)) {
+        ++stats.sbFullStallCycles;
+        return false;
+    }
+
+    accountRetire(u);
+    rob.pop_front();
+    return true;
+}
+
+void
+Pipeline::stageRetire()
+{
+    // Retire bandwidth is counted in architectural instructions, like
+    // rename; the budget is charged when an instruction's last micro-op
+    // leaves the ROB.
+    uint32_t budget = cfg.retireWidth;
+    while (budget > 0 && !rob.empty() && !done) {
+        bool inst_end = rob.front().instEnd;
+        if (!retireHead())
+            break;
+        if (inst_end) {
+            --budget;
+            --robInsts;
+        }
+    }
+    if (!rob.empty())
+        stream.retireUpTo(rob.front().seq);
+}
+
+// -------------------------------------------------------------- squash
+
+void
+Pipeline::squashAndRefetch(uint64_t restart_seq)
+{
+    stream.rewindTo(restart_seq);
+
+    stats.squashedUops += rob.size();
+    ++stats.squashes;
+
+    decodeQueue.clear();
+    iq.clear();
+    delayedLoads.clear();
+    execList.clear();
+    rob.clear();
+    robInsts = 0;
+
+    srb.truncateAfter(ssnRetire);
+    rf.recover(sb.heldRegs());
+    lsq.clear();
+
+    fetchBlockedOnSeq = kNoSeq;
+    fetchedHalt = false;
+    currentFetchLine = ~0u;
+    fetchAvailableCycle = now + cfg.squashPenalty;
+    lastProgressCycle = now;
+}
+
+} // namespace dmdp

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The out-of-order core timing model.
+ *
+ * Organization: timing-directed simulation over an oracle functional
+ * stream (see DESIGN.md). Each cycle runs the stages in reverse order
+ * (store-buffer commit, retire, writeback, issue, rename, fetch) over
+ * finite structures sized per the paper's Table III. The four evaluated
+ * machines (Baseline SQ/LQ, NoSQ, DMDP, Perfect) share this engine and
+ * differ in load classification at rename, issue gating, and retire-time
+ * verification.
+ */
+
+#ifndef DMDP_CORE_PIPELINE_H
+#define DMDP_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/crack.h"
+#include "core/lsq.h"
+#include "core/regfile.h"
+#include "core/simstats.h"
+#include "core/srb.h"
+#include "core/storebuffer.h"
+#include "core/uop.h"
+#include "func/oracle.h"
+#include "mem/hierarchy.h"
+#include "mem/tlb.h"
+#include "pred/gshare.h"
+#include "pred/sdp.h"
+#include "pred/sdp_tage.h"
+#include "pred/ssbf.h"
+#include "pred/storeset.h"
+
+namespace dmdp {
+
+/** The timing core. One instance simulates one program on one config. */
+class Pipeline
+{
+  public:
+    Pipeline(const SimConfig &cfg, const Program &prog);
+    ~Pipeline();
+
+    /** Run to completion (HALT retired or maxInsts) and return stats. */
+    SimStats run();
+
+    /**
+     * Multi-core consistency hook (section IV-F): pretend another core
+     * invalidated the line containing @p addr. Words of the line are
+     * entered into the T-SSBF with SSN_commit + 1.
+     */
+    void injectRemoteInvalidation(uint32_t addr);
+
+    uint64_t cycle() const { return now; }
+
+    /**
+     * The committed (cache-visible) memory image. After a run that
+     * drains the store buffer, this matches the architectural memory —
+     * the strongest end-to-end correctness invariant of the timing
+     * model (checked by the property tests).
+     */
+    const MemImg &committedMemory() const { return committedMem; }
+
+    /** Drain the store buffer to quiescence (test helper). */
+    void drainStoreBuffer();
+
+  private:
+    // ---- Per-stage logic. ----
+    void doCycle();
+    void stageFetch();
+    void stageRename();
+    void stageIssue();
+    void stageWriteback();
+    void stageRetire();
+
+    // ---- Rename helpers. ----
+    struct LoadPlan
+    {
+        LoadClass cls = LoadClass::Direct;
+        bool predictedDependent = false;
+        bool confident = false;
+        uint64_t predictedSsn = 0;
+        bool hasFwd = false;
+        SrbEntry fwd;       ///< copy of the predicted store's SRB entry
+    };
+
+    LoadPlan classifyLoad(const DynInst &dyn, uint32_t history);
+    SdpPrediction predictDistance(uint32_t pc, uint32_t history);
+    void trainDistance(uint32_t pc, uint32_t history, bool dependent,
+                       uint32_t distance);
+    void collectMemStats(SimStats &out) const;
+    void injectTraffic();
+    bool renameInst(const DynInst &dyn, uint32_t history,
+                    uint32_t &budget);
+    int resolveSource(int lsrc, const LoadPlan &plan) const;
+
+    // ---- Issue/execute helpers. ----
+    bool tryIssue(Uop *uop);
+    void completeUop(Uop *uop);
+    void completeLoad(Uop *uop);
+
+    // ---- Retire helpers. ----
+    bool retireHead();
+    bool verifyLoad(Uop *uop);      ///< false = retire blocked this cycle
+    void updatePredictorsAtRetire(Uop *uop, bool actually_dependent,
+                                  uint64_t colliding_ssn);
+    bool retireStore(Uop *uop);     ///< false = store buffer full
+    void accountRetire(Uop *uop);
+    void squashAndRefetch(uint64_t restart_seq);
+
+    // ---- Configuration and substrate. ----
+    SimConfig cfg;
+    OracleStream stream;
+    MemImg committedMem;
+    Hierarchy mem;
+    RegFile rf;
+    BranchPredictor bp;
+    StoreBuffer sb;
+
+    // Store-queue-free structures.
+    Sdp sdp;
+    SdpTage sdpTage;
+    Ssbf ssbf;
+    StoreRegisterBuffer srb;
+    Tlb tlb;
+
+    // Baseline structures.
+    LoadStoreQueue lsq;
+    StoreSet storeSet;
+
+    // ---- Pipeline state. ----
+    struct FetchedInst
+    {
+        DynInst dyn;
+        uint64_t readyCycle = 0;    ///< earliest rename cycle
+        uint32_t history = 0;       ///< branch history at fetch
+    };
+
+    uint64_t now = 0;
+    std::deque<FetchedInst> decodeQueue;
+    std::deque<Uop> rob;
+    uint32_t robInsts = 0;      ///< ROB occupancy in instructions
+    std::vector<Uop *> iq;
+    std::vector<Uop *> delayedLoads;    ///< NoSQ low-confidence loads
+    std::vector<Uop *> execList;
+
+    uint64_t fetchAvailableCycle = 0;
+    uint64_t fetchBlockedOnSeq = kNoSeq;
+    uint32_t currentFetchLine = ~0u;
+    bool fetchedHalt = false;
+    bool done = false;
+    uint64_t ssnRetire = 0;
+    uint64_t lastProgressCycle = 0;
+    uint32_t dcachePortsUsedThisCycle = 0;
+
+    /** Loads that raised an exception once: reclassified safely. */
+    std::unordered_set<uint64_t> exceptionSeqs;
+
+    // Multi-core invalidation traffic (section IV-F).
+    Rng trafficRng{0xd31};
+    std::deque<uint32_t> recentStoreLines;
+
+    // Warm-up sampling (SimPoint-style cold-start compensation).
+    bool warmupTaken = false;
+    SimStats warmupSnapshot;
+
+    SimStats stats;
+
+    static constexpr uint64_t kNoSeq = ~0ull;
+    static constexpr uint32_t kDecodeQueueCap = 32;
+    static constexpr uint32_t kDcachePorts = 2;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_PIPELINE_H

@@ -1,0 +1,147 @@
+#include "core/regfile.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dmdp {
+
+RegFile::RegFile(uint32_t num_phys_regs)
+    : regs(num_phys_regs)
+{
+    if (num_phys_regs < 2 * kNumLogicalRegs)
+        throw std::runtime_error("physical register file too small");
+
+    rat[0] = -1;
+    retireRat[0] = -1;
+    // Give every architectural register an initial, ready definition.
+    for (unsigned l = 1; l < kNumLogicalRegs; ++l) {
+        int preg = static_cast<int>(l - 1);
+        rat[l] = preg;
+        retireRat[l] = preg;
+        regs[preg].producers = 1;
+        regs[preg].free = false;
+        regs[preg].readyCycle = 0;
+    }
+    for (int p = static_cast<int>(num_phys_regs) - 1;
+         p >= static_cast<int>(kNumLogicalRegs) - 1; --p) {
+        freeList.push_back(p);
+    }
+}
+
+int
+RegFile::allocate(unsigned lreg)
+{
+    assert(lreg != 0 && lreg < kNumLogicalRegs);
+    if (freeList.empty())
+        throw std::runtime_error("register allocation with empty free list");
+    int preg = freeList.back();
+    freeList.pop_back();
+    ++allocations_;
+    PhysReg &reg = regs[preg];
+    assert(reg.free && reg.producers == 0 && reg.consumers == 0);
+    reg.free = false;
+    reg.producers = 1;
+    reg.readyCycle = kNever;
+    rat[lreg] = preg;
+    return preg;
+}
+
+void
+RegFile::redefineShared(unsigned lreg, int preg)
+{
+    assert(lreg != 0 && preg >= 0);
+    assert(!regs[preg].free);
+    ++regs[preg].producers;
+    rat[lreg] = preg;
+}
+
+void
+RegFile::addConsumer(int preg)
+{
+    if (preg < 0)
+        return;
+    assert(!regs[preg].free);
+    ++regs[preg].consumers;
+}
+
+void
+RegFile::consumerDone(int preg)
+{
+    if (preg < 0)
+        return;
+    PhysReg &reg = regs[preg];
+    assert(reg.consumers > 0);
+    --reg.consumers;
+    maybeFree(preg);
+}
+
+void
+RegFile::virtualRelease(int preg)
+{
+    if (preg < 0)
+        return;
+    PhysReg &reg = regs[preg];
+    assert(reg.producers > 0);
+    --reg.producers;
+    maybeFree(preg);
+}
+
+void
+RegFile::retireMapping(unsigned lreg, int preg)
+{
+    assert(lreg != 0 && lreg < kNumLogicalRegs);
+    retireRat[lreg] = preg;
+}
+
+void
+RegFile::maybeFree(int preg)
+{
+    PhysReg &reg = regs[preg];
+    if (!reg.free && reg.producers == 0 && reg.consumers == 0) {
+        reg.free = true;
+        reg.readyCycle = 0;
+        freeList.push_back(preg);
+    }
+}
+
+void
+RegFile::recover(const std::vector<int> &held_regs)
+{
+    rat = retireRat;
+
+    for (auto &reg : regs) {
+        reg.producers = 0;
+        reg.consumers = 0;
+        reg.free = true;
+        // Retired state is architecturally complete: every surviving
+        // register's value was produced before the squash point.
+        reg.readyCycle = 0;
+    }
+
+    // Producer counts: one live definition per retire-RAT occupant.
+    // Cloaking can map several logical registers to one physical
+    // register; each mapping is a live definition awaiting virtual
+    // release.
+    for (unsigned l = 1; l < kNumLogicalRegs; ++l) {
+        int preg = rat[l];
+        if (preg >= 0) {
+            ++regs[preg].producers;
+            regs[preg].free = false;
+        }
+    }
+
+    // Consumer counts: pending reads by the store buffer.
+    for (int preg : held_regs) {
+        if (preg >= 0) {
+            ++regs[preg].consumers;
+            regs[preg].free = false;
+        }
+    }
+
+    freeList.clear();
+    for (int p = static_cast<int>(regs.size()) - 1; p >= 0; --p)
+        if (regs[p].free)
+            freeList.push_back(p);
+}
+
+} // namespace dmdp

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Physical register file with reference-counted allocation and release
+ * (paper section IV-B-a).
+ *
+ * Unlike a conventional renamer, DMDP registers may be defined more than
+ * once (memory cloaking reuses the store's data register; the two
+ * predication CMOVs share one destination) and may be read after the
+ * defining instruction retires (a committing store reads its data and
+ * address registers from the RF; predication reads the store's
+ * registers). Two counters per register handle this:
+ *
+ *  - producer counter: incremented per definition, decremented when a
+ *    later redefinition of the same logical register retires (virtual
+ *    release, Fig. 9);
+ *  - consumer counter: incremented when an operand is renamed to the
+ *    register, decremented when the consuming operation reads it
+ *    (stores read at commit, which delays release — section IV-B-a).
+ *
+ * A register returns to the free list when both counters are zero.
+ */
+
+#ifndef DMDP_CORE_REGFILE_H
+#define DMDP_CORE_REGFILE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "isa/inst.h"
+
+namespace dmdp {
+
+/** Renamer + physical register file + reference counters. */
+class RegFile
+{
+  public:
+    explicit RegFile(uint32_t num_phys_regs);
+
+    // ---- Rename interface ----
+
+    /** Physical register currently mapped to logical @p lreg (-1 for $0). */
+    int map(unsigned lreg) const { return rat[lreg]; }
+
+    /** True if at least @p n registers can be allocated. */
+    bool canAllocate(unsigned n) const { return freeList.size() >= n; }
+
+    /**
+     * Allocate a fresh register for a new definition of @p lreg.
+     * @return the new physical register.
+     */
+    int allocate(unsigned lreg);
+
+    /**
+     * Point @p lreg at an existing register (cloaking / shared-CMOV
+     * destination): bumps the producer count instead of allocating.
+     */
+    void redefineShared(unsigned lreg, int preg);
+
+    /** Record a renamed source operand (consumer count up). */
+    void addConsumer(int preg);
+
+    /** The consuming operation has read @p preg (consumer count down). */
+    void consumerDone(int preg);
+
+    /**
+     * A retiring instruction virtually releases the previous definition
+     * of its destination logical register (producer count down).
+     */
+    void virtualRelease(int preg);
+
+    // ---- Retire-state maintenance / recovery ----
+
+    /** Commit the retiring instruction's mapping into the retire RAT. */
+    void retireMapping(unsigned lreg, int preg);
+
+    /**
+     * Full squash recovery: restore the RAT from the retire RAT and
+     * rebuild both counters from scratch. Registers referenced by
+     * pending store-buffer entries are reported via @p held_regs (one
+     * entry per outstanding read; duplicates allowed).
+     */
+    void recover(const std::vector<int> &held_regs);
+
+    // ---- Scoreboard ----
+
+    bool
+    ready(int preg, uint64_t now) const
+    {
+        return preg < 0 || regs[preg].readyCycle <= now;
+    }
+
+    uint64_t
+    readyCycle(int preg) const
+    {
+        return preg < 0 ? 0 : regs[preg].readyCycle;
+    }
+
+    void
+    setReadyCycle(int preg, uint64_t cycle)
+    {
+        if (preg >= 0)
+            regs[preg].readyCycle = cycle;
+    }
+
+    /** Mark a freshly allocated register as pending (never ready). */
+    void
+    markPending(int preg)
+    {
+        if (preg >= 0)
+            regs[preg].readyCycle = kNever;
+    }
+
+    // ---- Introspection ----
+
+    size_t freeCount() const { return freeList.size(); }
+    uint32_t producers(int preg) const { return regs[preg].producers; }
+    uint32_t consumers(int preg) const { return regs[preg].consumers; }
+    uint64_t allocations() const { return allocations_.value(); }
+
+    static constexpr uint64_t kNever = ~0ull;
+
+  private:
+    struct PhysReg
+    {
+        uint32_t producers = 0;
+        uint32_t consumers = 0;
+        uint64_t readyCycle = 0;
+        bool free = true;
+    };
+
+    void maybeFree(int preg);
+
+    std::vector<PhysReg> regs;
+    std::vector<int> freeList;
+    std::array<int, kNumLogicalRegs> rat;
+    std::array<int, kNumLogicalRegs> retireRat;
+
+    Scalar allocations_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_REGFILE_H

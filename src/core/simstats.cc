@@ -1,0 +1,91 @@
+#include "core/simstats.h"
+
+#include <sstream>
+
+namespace dmdp {
+
+std::string
+SimStats::report() const
+{
+    std::ostringstream os;
+    auto line = [&](const char *name, double value) {
+        os << name << " = " << value << "\n";
+    };
+    line("sim.cycles", static_cast<double>(cycles));
+    line("sim.insts", static_cast<double>(instsRetired));
+    line("sim.uops", static_cast<double>(uopsRetired));
+    line("sim.ipc", ipc());
+    line("loads.total", static_cast<double>(loads));
+    line("loads.direct", static_cast<double>(loadsDirect));
+    line("loads.bypass", static_cast<double>(loadsBypass));
+    line("loads.delayed", static_cast<double>(loadsDelayed));
+    line("loads.predicated", static_cast<double>(loadsPredicated));
+    line("loads.avgExecTime", avgLoadExecTime());
+    line("loads.lowConf", static_cast<double>(lowConfLoads));
+    line("loads.lowConfAvgExecTime", avgLowConfExecTime());
+    line("lowconf.indepStore", static_cast<double>(lcIndepStore));
+    line("lowconf.diffStore", static_cast<double>(lcDiffStore));
+    line("lowconf.correct", static_cast<double>(lcCorrect));
+    line("verify.reexecs", static_cast<double>(reexecs));
+    line("verify.mispredicts", static_cast<double>(depMispredicts));
+    line("verify.mpki", mpki());
+    line("verify.stallCycles", static_cast<double>(reexecStallCycles));
+    line("verify.stallPerKilo", stallPerKilo());
+    line("sb.fullStallCycles", static_cast<double>(sbFullStallCycles));
+    line("recovery.squashes", static_cast<double>(squashes));
+    line("recovery.squashedUops", static_cast<double>(squashedUops));
+    line("branch.total", static_cast<double>(branches));
+    line("branch.mispredicts", static_cast<double>(branchMispredicts));
+    line("mem.l1iAccesses", static_cast<double>(l1iAccesses));
+    line("mem.l1iMisses", static_cast<double>(l1iMisses));
+    line("mem.l1dAccesses", static_cast<double>(l1dAccesses));
+    line("mem.l1dMisses", static_cast<double>(l1dMisses));
+    line("mem.l2Accesses", static_cast<double>(l2Accesses));
+    line("mem.l2Misses", static_cast<double>(l2Misses));
+    line("mem.dramAccesses", static_cast<double>(dramAccesses));
+    line("mem.tlbMisses", static_cast<double>(tlbMisses));
+    line("mem.remoteInvalidations",
+         static_cast<double>(remoteInvalidations));
+    line("pred.sdpLookups", static_cast<double>(sdpLookups));
+    line("pred.sdpUpdates", static_cast<double>(sdpUpdates));
+    line("pred.ssbfReads", static_cast<double>(ssbfReads));
+    line("pred.ssbfWrites", static_cast<double>(ssbfWrites));
+    line("pred.storeSetLookups", static_cast<double>(storeSetLookups));
+    line("energy.predicationOps", static_cast<double>(predicationOps));
+    line("energy.storesCommitted", static_cast<double>(storesCommitted));
+    line("energy.sqSearches", static_cast<double>(sqSearches));
+    return os.str();
+}
+
+SimStats
+SimStats::minus(const SimStats &start) const
+{
+    SimStats d = *this;
+#define DMDP_SUB(field) d.field = field - start.field
+    DMDP_SUB(cycles); DMDP_SUB(instsRetired); DMDP_SUB(uopsRetired);
+    DMDP_SUB(loads); DMDP_SUB(loadsDirect); DMDP_SUB(loadsBypass);
+    DMDP_SUB(loadsDelayed); DMDP_SUB(loadsPredicated);
+    DMDP_SUB(loadExecTimeSum); DMDP_SUB(bypassExecTimeSum);
+    DMDP_SUB(delayedExecTimeSum); DMDP_SUB(lowConfExecTimeSum);
+    DMDP_SUB(lowConfLoads); DMDP_SUB(instExecTimeSum);
+    DMDP_SUB(instExecSamples);
+    DMDP_SUB(lcIndepStore); DMDP_SUB(lcDiffStore); DMDP_SUB(lcCorrect);
+    DMDP_SUB(reexecs); DMDP_SUB(depMispredicts);
+    DMDP_SUB(reexecStallCycles); DMDP_SUB(sbFullStallCycles);
+    DMDP_SUB(squashes); DMDP_SUB(squashedUops);
+    DMDP_SUB(branches); DMDP_SUB(branchMispredicts);
+    DMDP_SUB(fetchedInsts); DMDP_SUB(renamedUops); DMDP_SUB(iqWrites);
+    DMDP_SUB(iqIssues); DMDP_SUB(rfReads); DMDP_SUB(rfWrites);
+    DMDP_SUB(aluOps); DMDP_SUB(predicationOps); DMDP_SUB(storesCommitted);
+    DMDP_SUB(sqSearches); DMDP_SUB(sbSearches); DMDP_SUB(sdpLookups);
+    DMDP_SUB(sdpUpdates); DMDP_SUB(ssbfReads); DMDP_SUB(ssbfWrites);
+    DMDP_SUB(storeSetLookups);
+    DMDP_SUB(l1iAccesses); DMDP_SUB(l1iMisses); DMDP_SUB(l1dAccesses);
+    DMDP_SUB(l1dMisses); DMDP_SUB(l2Accesses); DMDP_SUB(l2Misses);
+    DMDP_SUB(dramAccesses); DMDP_SUB(tlbMisses);
+    DMDP_SUB(remoteInvalidations);
+#undef DMDP_SUB
+    return d;
+}
+
+} // namespace dmdp

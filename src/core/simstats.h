@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Every statistic a simulation run produces. The benchmark harnesses
+ * consume this struct to regenerate the paper's tables and figures.
+ */
+
+#ifndef DMDP_CORE_SIMSTATS_H
+#define DMDP_CORE_SIMSTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace dmdp {
+
+/** Aggregated results of one simulation. */
+struct SimStats
+{
+    // -- Progress. --
+    uint64_t cycles = 0;
+    uint64_t instsRetired = 0;
+    uint64_t uopsRetired = 0;
+
+    // -- Load classification (paper Fig. 2 / Fig. 4). --
+    uint64_t loads = 0;
+    uint64_t loadsDirect = 0;
+    uint64_t loadsBypass = 0;
+    uint64_t loadsDelayed = 0;
+    uint64_t loadsPredicated = 0;
+
+    // -- Load latencies (paper Fig. 3, Tables IV & V). Execution time
+    //    is rename-to-result, negative clamped to zero. --
+    double loadExecTimeSum = 0;
+    double bypassExecTimeSum = 0;
+    double delayedExecTimeSum = 0;
+    double lowConfExecTimeSum = 0;
+    uint64_t lowConfLoads = 0;
+    double instExecTimeSum = 0;
+    uint64_t instExecSamples = 0;
+
+    // -- Low-confidence prediction outcomes (paper Fig. 5). --
+    uint64_t lcIndepStore = 0;
+    uint64_t lcDiffStore = 0;
+    uint64_t lcCorrect = 0;
+
+    // -- Verification and recovery (Tables VI & VII). --
+    uint64_t reexecs = 0;
+    uint64_t depMispredicts = 0;    ///< re-execution value exceptions
+    uint64_t reexecStallCycles = 0; ///< retire-head blocked by drain
+    uint64_t sbFullStallCycles = 0;
+    uint64_t squashes = 0;
+    uint64_t squashedUops = 0;
+
+    // -- Branches. --
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;
+
+    // -- Energy accounting events (see src/power/). --
+    uint64_t fetchedInsts = 0;
+    uint64_t renamedUops = 0;
+    uint64_t iqWrites = 0;
+    uint64_t iqIssues = 0;
+    uint64_t rfReads = 0;
+    uint64_t rfWrites = 0;
+    uint64_t aluOps = 0;
+    uint64_t predicationOps = 0;    ///< CMP + CMOV executions
+    uint64_t storesCommitted = 0;
+    uint64_t sqSearches = 0;
+    uint64_t sbSearches = 0;
+    uint64_t sdpLookups = 0;
+    uint64_t sdpUpdates = 0;
+    uint64_t ssbfReads = 0;
+    uint64_t ssbfWrites = 0;
+    uint64_t storeSetLookups = 0;
+
+    // -- Memory system. --
+    uint64_t l1iAccesses = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t dramAccesses = 0;
+    uint64_t tlbMisses = 0;
+
+    // -- Multi-core traffic (section IV-F). --
+    uint64_t remoteInvalidations = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instsRetired) /
+                        static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Mispredictions per 1000 retired instructions (Table VI). */
+    double
+    mpki() const
+    {
+        return instsRetired ? 1000.0 * static_cast<double>(depMispredicts) /
+                              static_cast<double>(instsRetired)
+                            : 0.0;
+    }
+
+    /** Re-execution stall cycles per 1000 instructions (Table VII). */
+    double
+    stallPerKilo() const
+    {
+        return instsRetired ? 1000.0 *
+                              static_cast<double>(reexecStallCycles) /
+                              static_cast<double>(instsRetired)
+                            : 0.0;
+    }
+
+    double
+    avgLoadExecTime() const
+    {
+        return loads ? loadExecTimeSum / static_cast<double>(loads) : 0.0;
+    }
+
+    double
+    avgLowConfExecTime() const
+    {
+        return lowConfLoads ? lowConfExecTimeSum /
+                              static_cast<double>(lowConfLoads)
+                            : 0.0;
+    }
+    /** Human-readable multi-line report of every statistic. */
+    std::string report() const;
+
+    /** Counter-wise difference (for warm-up exclusion): this - start. */
+    SimStats minus(const SimStats &start) const;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_SIMSTATS_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Store Register Buffer (paper Fig. 6): holds, for every in-flight
+ * store (renamed but not yet committed to the cache), the physical
+ * register identities of its data and address, plus the oracle-provided
+ * architectural facts the timing model needs to evaluate forwarding
+ * correctness. Indexed by store sequence number.
+ */
+
+#ifndef DMDP_CORE_SRB_H
+#define DMDP_CORE_SRB_H
+
+#include <cstdint>
+#include <deque>
+
+namespace dmdp {
+
+/** One in-flight store's register identities and facts. */
+struct SrbEntry
+{
+    bool valid = false;
+    uint64_t ssn = 0;
+    uint64_t seq = 0;       ///< dynamic instruction sequence number
+    int dataPreg = -1;
+    int addrPreg = -1;
+    uint32_t addr = 0;      ///< architectural effective address
+    uint8_t size = 0;
+    uint8_t bab = 0;
+    uint32_t value = 0;     ///< architectural store value
+    uint32_t pc = 0;
+};
+
+/** SSN-indexed buffer of in-flight store register identities. */
+class StoreRegisterBuffer
+{
+  public:
+    /** Record a store at rename. SSNs must arrive in order. */
+    void
+    insert(const SrbEntry &entry)
+    {
+        if (entries.empty())
+            baseSsn = entry.ssn;
+        entries.push_back(entry);
+    }
+
+    /** Look up an in-flight store by SSN (nullptr if absent/invalid). */
+    const SrbEntry *
+    find(uint64_t ssn) const
+    {
+        if (entries.empty() || ssn < baseSsn ||
+            ssn >= baseSsn + entries.size()) {
+            return nullptr;
+        }
+        const SrbEntry &entry = entries[ssn - baseSsn];
+        return entry.valid ? &entry : nullptr;
+    }
+
+    /**
+     * The store committed and updated the cache: forwarding from it is
+     * no longer allowed (Table I row 1); drop the entry.
+     */
+    void
+    invalidate(uint64_t ssn)
+    {
+        if (ssn < baseSsn || ssn >= baseSsn + entries.size())
+            return;
+        entries[ssn - baseSsn].valid = false;
+        while (!entries.empty() && !entries.front().valid) {
+            entries.pop_front();
+            ++baseSsn;
+        }
+    }
+
+    /** Squash recovery: drop stores with SSN > @p last_retired_ssn. */
+    void
+    truncateAfter(uint64_t last_retired_ssn)
+    {
+        while (!entries.empty() && entries.back().ssn > last_retired_ssn)
+            entries.pop_back();
+    }
+
+    size_t size() const { return entries.size(); }
+
+  private:
+    std::deque<SrbEntry> entries;
+    uint64_t baseSsn = 0;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_SRB_H

@@ -1,0 +1,153 @@
+#include "core/storebuffer.h"
+
+#include <cassert>
+
+#include "core/crack.h"
+
+namespace dmdp {
+
+StoreBuffer::StoreBuffer(const SimConfig &config, Hierarchy &hierarchy,
+                         MemImg &committed, RegFile &regfile)
+    : cfg(config),
+      mem(hierarchy),
+      committedMem(committed),
+      rf(regfile),
+      capacity(config.storeBufferSize)
+{}
+
+void
+StoreBuffer::push(const SbEntry &entry)
+{
+    assert(!full());
+    entries.push_back(entry);
+}
+
+bool
+StoreBuffer::regsReady(const SbEntry &entry, uint64_t now) const
+{
+    return rf.ready(entry.dataPreg, now) && rf.ready(entry.addrPreg, now);
+}
+
+void
+StoreBuffer::startCommit(uint64_t now)
+{
+    // Cache writes are pipelined up to kMaxInFlight deep. Under TSO,
+    // commits start strictly in buffer order and *complete* in order
+    // (each write becomes visible no earlier than its predecessor);
+    // under RMO any ready entry may start and completes independently.
+    constexpr uint32_t kMaxInFlight = 4;
+
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (inFlight >= kMaxInFlight)
+            return;
+        SbEntry &head = entries[i];
+        if (head.started)
+            continue;
+        if (!regsReady(head, now)) {
+            if (cfg.consistency == Consistency::TSO)
+                return;
+            continue;
+        }
+
+        uint32_t latency = mem.storeLatency(head.addr, now);
+        head.started = true;
+        head.doneCycle = now + latency;
+        if (cfg.consistency == Consistency::TSO) {
+            // In-order visibility: never complete before an older store.
+            head.doneCycle = std::max(head.doneCycle, lastOrderedDone);
+            lastOrderedDone = head.doneCycle;
+        }
+        ++inFlight;
+        ++commits_;
+
+        // Store coalescing (section V): consecutive stores to the same
+        // cache line share one cache access.
+        uint32_t line = head.addr / cfg.l1d.lineBytes;
+        size_t j = i + 1;
+        while (cfg.storeCoalescing && j < entries.size()) {
+            SbEntry &next = entries[j];
+            if (next.started || next.addr / cfg.l1d.lineBytes != line ||
+                !regsReady(next, now)) {
+                break;
+            }
+            next.started = true;
+            next.doneCycle = head.doneCycle;
+            ++inFlight;
+            ++coalesced_;
+            i = j;
+            ++j;
+        }
+    }
+}
+
+void
+StoreBuffer::tick(uint64_t now)
+{
+    // Complete finished cache writes (possibly out of order under RMO).
+    // The commit-time register read (section IV-B-a) is released here,
+    // at completion: the Store Register Buffer entry stays valid (and
+    // predication may still capture these registers) until the write
+    // is visible, so the consumer counts must protect them that long.
+    for (auto &entry : entries) {
+        if (entry.started && !entry.done && entry.doneCycle <= now) {
+            entry.done = true;
+            --inFlight;
+            committedMem.write(entry.addr, entry.size, entry.value);
+            rf.consumerDone(entry.dataPreg);
+            rf.consumerDone(entry.addrPreg);
+        }
+    }
+
+    // Dequeue the done prefix; SSN_commit trails the oldest resident.
+    while (!entries.empty() && entries.front().done) {
+        ssnCommit_ = entries.front().ssn;
+        if (onCommit)
+            onCommit(entries.front());
+        entries.pop_front();
+    }
+
+    startCommit(now);
+}
+
+StoreBuffer::ForwardResult
+StoreBuffer::findForward(uint32_t addr, uint8_t size,
+                         const Inst &load_inst) const
+{
+    ForwardResult result;
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        // Entries whose cache write already completed are visible
+        // through the cache itself.
+        if (it->done)
+            continue;
+        bool overlap = it->addr < addr + size && addr < it->addr + it->size;
+        if (!overlap)
+            continue;
+        uint32_t value = 0;
+        if (extractForwarded(it->addr, it->size, it->value, addr,
+                             load_inst, value)) {
+            result.kind = ForwardResult::Kind::Forward;
+            result.ssn = it->ssn;
+            result.value = value;
+        } else {
+            result.kind = ForwardResult::Kind::Partial;
+            result.ssn = it->ssn;
+        }
+        return result;
+    }
+    return result;
+}
+
+std::vector<int>
+StoreBuffer::heldRegs() const
+{
+    std::vector<int> held;
+    for (const auto &entry : entries) {
+        if (!entry.done) {
+            held.push_back(entry.dataPreg);
+            held.push_back(entry.addrPreg);
+        }
+    }
+    return held;
+}
+
+} // namespace dmdp

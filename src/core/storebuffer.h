@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Post-retirement store buffer (paper sections I, IV-F, VI-e). Retired
+ * stores wait here until they update the data cache. Under TSO they
+ * commit strictly in order (with coalescing of consecutive same-line
+ * stores); under RMO cache writes may complete out of order, but
+ * entries still leave the buffer in order so that SSN_commit remains
+ * "the store preceding the oldest store in the buffer".
+ */
+
+#ifndef DMDP_CORE_STOREBUFFER_H
+#define DMDP_CORE_STOREBUFFER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "core/regfile.h"
+#include "func/memimg.h"
+#include "mem/hierarchy.h"
+
+namespace dmdp {
+
+/** One retired, not-yet-committed store. */
+struct SbEntry
+{
+    uint64_t ssn = 0;
+    uint64_t seq = 0;
+    uint32_t addr = 0;
+    uint8_t size = 0;
+    uint32_t value = 0;
+    int dataPreg = -1;
+    int addrPreg = -1;
+    bool started = false;   ///< register read + cache access issued
+    bool done = false;      ///< cache write completed
+    uint64_t doneCycle = 0;
+};
+
+/** The store buffer. */
+class StoreBuffer
+{
+  public:
+    StoreBuffer(const SimConfig &cfg, Hierarchy &mem, MemImg &committed,
+                RegFile &rf);
+
+    bool full() const { return entries.size() >= capacity; }
+    bool empty() const { return entries.empty(); }
+    size_t size() const { return entries.size(); }
+
+    /** Enqueue a retiring store. Caller must check full() first. */
+    void push(const SbEntry &entry);
+
+    /**
+     * Advance one cycle: start eligible commits, complete finished
+     * ones, dequeue the done prefix.
+     */
+    void tick(uint64_t now);
+
+    /** SSN of the youngest store whose cache update is visible. */
+    uint64_t ssnCommit() const { return ssnCommit_; }
+
+    /** Invoked with each entry's SSN when its cache write completes. */
+    std::function<void(const SbEntry &)> onCommit;
+
+    /** Registers still awaiting their commit-time read (recovery). */
+    std::vector<int> heldRegs() const;
+
+    /** What a baseline load's store-buffer search found. */
+    struct ForwardResult
+    {
+        enum class Kind { NoMatch, Forward, Partial };
+        Kind kind = Kind::NoMatch;
+        uint64_t ssn = 0;
+        uint32_t value = 0;
+    };
+
+    /**
+     * Baseline only (NoSQ/DMDP loads never search the store buffer):
+     * associative lookup for the youngest entry colliding with a load.
+     */
+    ForwardResult findForward(uint32_t addr, uint8_t size,
+                              const Inst &load_inst) const;
+
+    uint64_t commits() const { return commits_.value(); }
+    uint64_t coalescedCommits() const { return coalesced_.value(); }
+
+  private:
+    void startCommit(uint64_t now);
+    bool regsReady(const SbEntry &entry, uint64_t now) const;
+
+    SimConfig cfg;
+    Hierarchy &mem;
+    MemImg &committedMem;
+    RegFile &rf;
+
+    uint32_t capacity;
+    std::deque<SbEntry> entries;
+    uint64_t ssnCommit_ = 0;
+    uint32_t inFlight = 0;      ///< commits issued but not completed
+    uint64_t lastOrderedDone = 0;   ///< TSO in-order completion fence
+
+    Scalar commits_;
+    Scalar coalesced_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_STOREBUFFER_H

@@ -1,0 +1,18 @@
+#include "core/uop.h"
+
+namespace dmdp {
+
+const char *
+loadClassName(LoadClass cls)
+{
+    switch (cls) {
+      case LoadClass::None: return "none";
+      case LoadClass::Direct: return "direct";
+      case LoadClass::Bypass: return "bypass";
+      case LoadClass::Delayed: return "delayed";
+      case LoadClass::Predicated: return "predicated";
+    }
+    return "?";
+}
+
+} // namespace dmdp

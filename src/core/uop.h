@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Micro-op definitions. Architectural instructions are cracked at
+ * decode/rename into micro-ops (section IV-A): memory instructions gain
+ * an address-generation micro-op (AGI), and low-confidence loads in
+ * DMDP additionally gain a CMP and two CMOVs (section IV-B).
+ */
+
+#ifndef DMDP_CORE_UOP_H
+#define DMDP_CORE_UOP_H
+
+#include <cstdint>
+
+#include "func/emulator.h"
+
+namespace dmdp {
+
+/** Micro-op kinds. */
+enum class UopKind : uint8_t
+{
+    Alu,        ///< ALU operation (1-cycle, MUL 3-cycle)
+    Agi,        ///< address generation incl. TLB lookup (1-cycle)
+    Load,       ///< data cache access (or pure rename, when cloaked)
+    Store,      ///< store placeholder: retires to the store buffer
+    Branch,     ///< conditional branch / jump / call / return
+    Cmp,        ///< predication: compare load and store addresses
+    CmovTrue,   ///< forward the store data when the predicate is set
+    CmovFalse,  ///< forward the cache data when the predicate is clear
+    Halt,       ///< end of program
+};
+
+/** How a load obtains its value (paper Fig. 4 / Fig. 2 classes). */
+enum class LoadClass : uint8_t
+{
+    None,       ///< not a load
+    Direct,     ///< read straight from the cache
+    Bypass,     ///< memory cloaking: reuses the store's data register
+    Delayed,    ///< NoSQ: waits for the predicted store to commit
+    Predicated, ///< DMDP: CMP + CMOV selection
+};
+
+const char *loadClassName(LoadClass cls);
+
+/** One in-flight micro-op. */
+struct Uop
+{
+    // Identity.
+    uint64_t seq = 0;       ///< owning dynamic instruction
+    uint32_t pc = 0;
+    UopKind kind = UopKind::Alu;
+    DynInst dyn;            ///< architectural record (copied; small)
+
+    // Renamed operands (physical register indices, -1 = none/always
+    // ready).
+    int src1 = -1;
+    int src2 = -1;
+    int dst = -1;
+    int prevDst = -1;       ///< previous mapping of the dest logical reg
+    int logicalDst = -1;
+
+    // Pipeline state.
+    bool dispatched = false;    ///< entered the issue queue
+    bool issued = false;
+    bool completed = false;
+    uint64_t renameCycle = 0;
+    uint64_t completeCycle = 0;
+
+    // Memory state.
+    uint64_t ssnNvul = 0;       ///< SSN_commit sampled at cache read
+    uint32_t obtainedValue = 0; ///< value the load actually got
+
+    // Dependence prediction state (loads).
+    LoadClass cls = LoadClass::None;
+    bool predictedDependent = false;
+    bool predictionConfident = false;
+    uint64_t predictedSsn = 0;
+    uint32_t sdpHistory = 0;    ///< branch history at prediction time
+
+    // Predication state.
+    bool predicateValue = false;    ///< CMP outcome (addresses match)
+    bool predicateKnown = false;    ///< CMP has executed
+    Uop *cmpUop = nullptr;          ///< group CMP (on Load and CMOVs)
+    Uop *loadUop = nullptr;         ///< group Load (on CMP and CMOVs)
+    Uop *cmovTrueUop = nullptr;     ///< group CMOVs (on the CMP)
+    Uop *cmovFalseUop = nullptr;
+    bool instEnd = false;           ///< last micro-op of its instruction
+
+    // Copy of the predicted store's facts, taken from the SRB at rename
+    // (the SRB entry may be invalidated before this uop executes).
+    uint32_t fwdAddr = 0;
+    uint8_t fwdSize = 0;
+    uint8_t fwdBab = 0;
+    uint32_t fwdValue = 0;
+
+    // Retire-time verification state machine.
+    enum class ReexecState : uint8_t { None, WaitDrain, Access, Done };
+    ReexecState reexecState = ReexecState::None;
+    uint64_t reexecDoneCycle = 0;
+    bool verifyEvaluated = false;
+    uint64_t collidingSsn = 0;      ///< T-SSBF answer at retire
+    bool collidingMatched = false;
+    uint8_t collidingBab = 0;
+    bool deferredUpdate = false;    ///< SDP update pending on exception
+
+    // Baseline LSQ state.
+    enum class BlSource : uint8_t { Cache, SqForward, SbForward };
+    BlSource blSource = BlSource::Cache;
+    uint32_t blFwdValue = 0;
+    uint64_t blFwdSsn = 0;
+    uint32_t storeSetId = ~0u;
+    uint64_t waitStoreTag = ~0ull;  ///< LFST tag the load must wait for
+
+    bool isLoadUop() const { return kind == UopKind::Load; }
+    bool isStoreUop() const { return kind == UopKind::Store; }
+
+    /** Execution latency once issued (cache ops ask the hierarchy). */
+    uint32_t
+    fixedLatency() const
+    {
+        switch (kind) {
+          case UopKind::Alu:
+            return dyn.inst.op == Op::MUL ? 3 : 1;
+          case UopKind::Agi:
+          case UopKind::Branch:
+          case UopKind::Cmp:
+          case UopKind::CmovTrue:
+          case UopKind::CmovFalse:
+            return 1;
+          default:
+            return 1;
+        }
+    }
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_UOP_H

@@ -1,0 +1,154 @@
+#include "func/emulator.h"
+
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "isa/encode.h"
+
+namespace dmdp {
+
+Emulator::Emulator(const Program &prog)
+    : pc_(prog.entry)
+{
+    mem.load(prog);
+    // Conventional initial stack, high in the address space.
+    regs[29] = 0x7fff0000u;
+}
+
+uint32_t
+Emulator::aluResult(const Inst &inst) const
+{
+    uint32_t a = regs[inst.rs];
+    uint32_t b = regs[inst.rt];
+    switch (inst.op) {
+      case Op::SLL:  return a << (inst.imm & 31);
+      case Op::SRL:  return a >> (inst.imm & 31);
+      case Op::SRA:  return static_cast<uint32_t>(
+                         static_cast<int32_t>(a) >> (inst.imm & 31));
+      case Op::ADD:  return a + b;
+      case Op::SUB:  return a - b;
+      case Op::AND:  return a & b;
+      case Op::OR:   return a | b;
+      case Op::XOR:  return a ^ b;
+      case Op::SLT:  return static_cast<int32_t>(a) < static_cast<int32_t>(b);
+      case Op::SLTU: return a < b;
+      case Op::MUL:  return a * b;
+      case Op::ADDI: return a + static_cast<uint32_t>(inst.imm);
+      case Op::SLTI: return static_cast<int32_t>(a) < inst.imm;
+      case Op::SLTIU: return a < static_cast<uint32_t>(inst.imm);
+      case Op::ANDI: return a & static_cast<uint32_t>(inst.imm);
+      case Op::ORI:  return a | static_cast<uint32_t>(inst.imm);
+      case Op::XORI: return a ^ static_cast<uint32_t>(inst.imm);
+      case Op::LUI:  return static_cast<uint32_t>(inst.imm) << 16;
+      default: return 0;
+    }
+}
+
+DynInst
+Emulator::step()
+{
+    if (halted_)
+        throw std::runtime_error("emulator stepped after halt");
+
+    DynInst dyn;
+    dyn.seq = count++;
+    dyn.pc = pc_;
+    dyn.inst = decode(mem.read32(pc_));
+    const Inst &inst = dyn.inst;
+    uint32_t next = pc_ + 4;
+
+    switch (inst.op) {
+      case Op::INVALID:
+        throw std::runtime_error("invalid instruction at pc " +
+                                 std::to_string(pc_));
+      case Op::HALT:
+        halted_ = true;
+        break;
+
+      case Op::LB: case Op::LH: case Op::LW: case Op::LBU: case Op::LHU: {
+        uint32_t addr = regs[inst.rs] + static_cast<uint32_t>(inst.imm);
+        unsigned size = inst.memSize();
+        if (addr & (size - 1))
+            throw std::runtime_error("misaligned load at pc " +
+                                     std::to_string(pc_));
+        uint32_t raw = mem.read(addr, size);
+        uint32_t value = raw;
+        if (inst.op == Op::LB)
+            value = static_cast<uint32_t>(sext(raw, 8));
+        else if (inst.op == Op::LH)
+            value = static_cast<uint32_t>(sext(raw, 16));
+        dyn.effAddr = addr;
+        dyn.resultValue = value;
+        setReg(inst.rt, value);
+        break;
+      }
+
+      case Op::SB: case Op::SH: case Op::SW: {
+        uint32_t addr = regs[inst.rs] + static_cast<uint32_t>(inst.imm);
+        unsigned size = inst.memSize();
+        if (addr & (size - 1))
+            throw std::runtime_error("misaligned store at pc " +
+                                     std::to_string(pc_));
+        uint32_t value = regs[inst.rt];
+        dyn.effAddr = addr;
+        dyn.storeValue = value;
+        dyn.silentStore = (mem.read(addr, size) ==
+                           (value & ((size == 4) ? ~0u
+                                                 : ((1u << (size * 8)) - 1u))));
+        mem.write(addr, size, value);
+        break;
+      }
+
+      case Op::BEQ:
+        dyn.branchTaken = regs[inst.rs] == regs[inst.rt];
+        break;
+      case Op::BNE:
+        dyn.branchTaken = regs[inst.rs] != regs[inst.rt];
+        break;
+      case Op::BLEZ:
+        dyn.branchTaken = static_cast<int32_t>(regs[inst.rs]) <= 0;
+        break;
+      case Op::BGTZ:
+        dyn.branchTaken = static_cast<int32_t>(regs[inst.rs]) > 0;
+        break;
+      case Op::BLTZ:
+        dyn.branchTaken = static_cast<int32_t>(regs[inst.rs]) < 0;
+        break;
+      case Op::BGEZ:
+        dyn.branchTaken = static_cast<int32_t>(regs[inst.rs]) >= 0;
+        break;
+
+      case Op::J:
+        next = static_cast<uint32_t>(inst.imm) << 2;
+        dyn.branchTaken = true;
+        break;
+      case Op::JAL:
+        setReg(31, pc_ + 4);
+        dyn.resultValue = pc_ + 4;
+        next = static_cast<uint32_t>(inst.imm) << 2;
+        dyn.branchTaken = true;
+        break;
+      case Op::JR:
+        next = regs[inst.rs];
+        dyn.branchTaken = true;
+        break;
+
+      default: {
+        uint32_t value = aluResult(inst);
+        dyn.resultValue = value;
+        int dest = inst.destReg();
+        if (dest > 0)
+            setReg(static_cast<unsigned>(dest), value);
+        break;
+      }
+    }
+
+    if (inst.isCondBranch() && dyn.branchTaken)
+        next = pc_ + 4 + (static_cast<uint32_t>(inst.imm) << 2);
+
+    dyn.nextPc = next;
+    pc_ = next;
+    return dyn;
+}
+
+} // namespace dmdp

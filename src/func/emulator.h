@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Architectural interpreter. Executes the program one instruction at a
+ * time and records everything the timing model needs about each dynamic
+ * instruction (addresses, values, branch outcomes).
+ */
+
+#ifndef DMDP_FUNC_EMULATOR_H
+#define DMDP_FUNC_EMULATOR_H
+
+#include <array>
+#include <cstdint>
+
+#include "func/memimg.h"
+#include "isa/inst.h"
+#include "isa/program.h"
+
+namespace dmdp {
+
+/**
+ * One committed dynamic instruction with its architectural effects and
+ * (once annotated by the Oracle) true memory dependence information.
+ */
+struct DynInst
+{
+    uint64_t seq = 0;       ///< dynamic sequence number (0-based)
+    uint32_t pc = 0;
+    Inst inst;
+
+    // Architectural results.
+    uint32_t resultValue = 0;   ///< value written to the dest register
+    uint32_t effAddr = 0;       ///< memory ops: effective byte address
+    uint32_t storeValue = 0;    ///< stores: raw register value stored
+    bool branchTaken = false;
+    uint32_t nextPc = 0;
+
+    // Oracle memory-dependence annotations (stores and loads).
+    uint64_t ssn = 0;           ///< stores: 1-based store sequence number
+    uint64_t storesBefore = 0;  ///< #stores older than this instruction
+    uint64_t lastWriterSsn = 0; ///< loads: youngest older writer (0=none)
+    bool fullCoverage = false;  ///< loads: that writer wrote every byte read
+    bool multiWriter = false;   ///< loads: read bytes from >1 stores
+    bool silentStore = false;   ///< stores: wrote back the existing value
+
+    bool isLoad() const { return inst.isLoad(); }
+    bool isStore() const { return inst.isStore(); }
+
+    /** Oracle store distance (paper: SSN_rename - SSN_byp). */
+    uint64_t
+    storeDistance() const
+    {
+        return lastWriterSsn ? storesBefore - lastWriterSsn : 0;
+    }
+};
+
+/** Architectural state machine for the simulated ISA. */
+class Emulator
+{
+  public:
+    explicit Emulator(const Program &prog);
+
+    /** Execute one instruction; undefined if halted(). */
+    DynInst step();
+
+    bool halted() const { return halted_; }
+    uint32_t pc() const { return pc_; }
+    uint64_t instCount() const { return count; }
+
+    uint32_t reg(unsigned n) const { return regs[n]; }
+    void setReg(unsigned n, uint32_t v) { if (n) regs[n] = v; }
+
+    MemImg &memory() { return mem; }
+    const MemImg &memory() const { return mem; }
+
+  private:
+    uint32_t aluResult(const Inst &inst) const;
+
+    MemImg mem;
+    std::array<uint32_t, kNumArchRegs> regs{};
+    uint32_t pc_;
+    bool halted_ = false;
+    uint64_t count = 0;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_FUNC_EMULATOR_H

@@ -1,0 +1,95 @@
+#include "func/memimg.h"
+
+#include <cassert>
+
+namespace dmdp {
+
+void
+MemImg::load(const Program &prog)
+{
+    for (const auto &[addr, bytes] : prog.chunks) {
+        for (size_t i = 0; i < bytes.size(); ++i)
+            write8(addr + static_cast<uint32_t>(i), bytes[i]);
+    }
+}
+
+const MemImg::Page *
+MemImg::findPage(uint32_t addr) const
+{
+    auto it = pages.find(addr / kPageBytes);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+MemImg::Page &
+MemImg::touchPage(uint32_t addr)
+{
+    auto [it, inserted] = pages.try_emplace(addr / kPageBytes);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+uint8_t
+MemImg::read8(uint32_t addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? (*page)[addr % kPageBytes] : 0;
+}
+
+uint16_t
+MemImg::read16(uint32_t addr) const
+{
+    return static_cast<uint16_t>(read8(addr) |
+                                 (static_cast<uint16_t>(read8(addr + 1)) << 8));
+}
+
+uint32_t
+MemImg::read32(uint32_t addr) const
+{
+    return static_cast<uint32_t>(read16(addr)) |
+           (static_cast<uint32_t>(read16(addr + 2)) << 16);
+}
+
+void
+MemImg::write8(uint32_t addr, uint8_t value)
+{
+    touchPage(addr)[addr % kPageBytes] = value;
+}
+
+void
+MemImg::write16(uint32_t addr, uint16_t value)
+{
+    write8(addr, static_cast<uint8_t>(value));
+    write8(addr + 1, static_cast<uint8_t>(value >> 8));
+}
+
+void
+MemImg::write32(uint32_t addr, uint32_t value)
+{
+    write16(addr, static_cast<uint16_t>(value));
+    write16(addr + 2, static_cast<uint16_t>(value >> 16));
+}
+
+uint32_t
+MemImg::read(uint32_t addr, unsigned size) const
+{
+    switch (size) {
+      case 1: return read8(addr);
+      case 2: return read16(addr);
+      case 4: return read32(addr);
+      default: assert(false); return 0;
+    }
+}
+
+void
+MemImg::write(uint32_t addr, unsigned size, uint32_t value)
+{
+    switch (size) {
+      case 1: write8(addr, static_cast<uint8_t>(value)); break;
+      case 2: write16(addr, static_cast<uint16_t>(value)); break;
+      case 4: write32(addr, value); break;
+      default: assert(false);
+    }
+}
+
+} // namespace dmdp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sparse little-endian byte-addressable memory image built from 4 KiB
+ * pages. Used both by the functional emulator (architectural memory)
+ * and by the timing model (committed memory state).
+ */
+
+#ifndef DMDP_FUNC_MEMIMG_H
+#define DMDP_FUNC_MEMIMG_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "isa/program.h"
+
+namespace dmdp {
+
+/** Sparse memory image. Unmapped bytes read as zero. */
+class MemImg
+{
+  public:
+    static constexpr uint32_t kPageBytes = 4096;
+
+    MemImg() = default;
+
+    /** Copy a program's chunks into memory. */
+    void load(const Program &prog);
+
+    uint8_t read8(uint32_t addr) const;
+    uint16_t read16(uint32_t addr) const;
+    uint32_t read32(uint32_t addr) const;
+
+    void write8(uint32_t addr, uint8_t value);
+    void write16(uint32_t addr, uint16_t value);
+    void write32(uint32_t addr, uint32_t value);
+
+    /** Generic access helpers used by the memory models. */
+    uint32_t read(uint32_t addr, unsigned size) const;
+    void write(uint32_t addr, unsigned size, uint32_t value);
+
+    /** Number of mapped pages (for tests). */
+    size_t mappedPages() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    const Page *findPage(uint32_t addr) const;
+    Page &touchPage(uint32_t addr);
+
+    std::unordered_map<uint32_t, Page> pages;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_FUNC_MEMIMG_H

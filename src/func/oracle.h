@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Oracle instruction stream: wraps the functional emulator, annotates
+ * every dynamic instruction with true memory-dependence information
+ * (per-byte last-writer store sequence numbers), and provides the
+ * replayable fetch window the timing model needs for squash recovery.
+ */
+
+#ifndef DMDP_FUNC_ORACLE_H
+#define DMDP_FUNC_ORACLE_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "func/emulator.h"
+
+namespace dmdp {
+
+/**
+ * Replayable committed-order dynamic instruction stream.
+ *
+ * The timing model fetches through a cursor; on a squash it rewinds the
+ * cursor to the squash point and re-fetches the same DynInst records
+ * (wrong-path work is modeled as fetch bubbles, see DESIGN.md). Records
+ * older than the retire point may be discarded to bound memory.
+ */
+class OracleStream
+{
+  public:
+    explicit OracleStream(const Program &prog);
+
+    /** True when every generated instruction has been fetched and the
+     * program has halted. */
+    bool atEnd();
+
+    /** The next instruction to fetch (generates lazily). */
+    const DynInst &peek();
+
+    /** Fetch the next instruction and advance the cursor. */
+    DynInst fetch();
+
+    /** Rewind the fetch cursor to @p seq (squash recovery). */
+    void rewindTo(uint64_t seq);
+
+    /** Allow records with seq < @p seq to be discarded. */
+    void retireUpTo(uint64_t seq);
+
+    uint64_t cursor() const { return cursor_; }
+
+    const Emulator &emulator() const { return emu; }
+
+  private:
+    /** Run the emulator one step and annotate the result. */
+    void generateNext();
+
+    /** Ensure the record at @p seq is buffered (generating if needed). */
+    const DynInst &at(uint64_t seq);
+
+    Emulator emu;
+    std::deque<DynInst> buffer;
+    uint64_t bufferBase = 0;    ///< seq of buffer.front()
+    uint64_t cursor_ = 0;
+    uint64_t storeCount = 0;
+
+    /** word address -> SSN of the last store writing each byte. */
+    std::unordered_map<uint32_t, std::array<uint64_t, 4>> byteWriter;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_FUNC_ORACLE_H

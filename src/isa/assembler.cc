@@ -1,0 +1,446 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "isa/encode.h"
+#include "isa/inst.h"
+
+namespace dmdp {
+
+namespace {
+
+/** One parsed source statement. */
+struct Statement
+{
+    int line = 0;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+const std::map<std::string, int> &
+abiRegisters()
+{
+    static const std::map<std::string, int> regs = {
+        {"zero", 0}, {"at", 1}, {"v0", 2}, {"v1", 3},
+        {"a0", 4}, {"a1", 5}, {"a2", 6}, {"a3", 7},
+        {"t0", 8}, {"t1", 9}, {"t2", 10}, {"t3", 11},
+        {"t4", 12}, {"t5", 13}, {"t6", 14}, {"t7", 15},
+        {"s0", 16}, {"s1", 17}, {"s2", 18}, {"s3", 19},
+        {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+        {"t8", 24}, {"t9", 25}, {"k0", 26}, {"k1", 27},
+        {"gp", 28}, {"sp", 29}, {"fp", 30}, {"ra", 31},
+    };
+    return regs;
+}
+
+int
+parseReg(const std::string &token, int line)
+{
+    if (token.empty() || token[0] != '$')
+        throw AsmError(line, "expected register, got '" + token + "'");
+    std::string name = token.substr(1);
+    if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0]))) {
+        int n = std::atoi(name.c_str());
+        if (n < 0 || n >= static_cast<int>(kNumArchRegs))
+            throw AsmError(line, "register out of range: " + token);
+        return n;
+    }
+    auto it = abiRegisters().find(name);
+    if (it == abiRegisters().end())
+        throw AsmError(line, "unknown register: " + token);
+    return it->second;
+}
+
+bool
+looksNumeric(const std::string &token)
+{
+    if (token.empty())
+        return false;
+    size_t i = (token[0] == '-' || token[0] == '+') ? 1 : 0;
+    return i < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[i]));
+}
+
+int64_t
+parseNumber(const std::string &token, int line)
+{
+    if (!looksNumeric(token))
+        throw AsmError(line, "expected number, got '" + token + "'");
+    return std::strtoll(token.c_str(), nullptr, 0);
+}
+
+/** Split a raw source line into statement tokens. */
+std::vector<std::string>
+tokenize(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    for (char ch : text) {
+        if (ch == '#' || ch == ';')
+            break;
+        if (std::isspace(static_cast<unsigned char>(ch)) || ch == ',') {
+            if (!current.empty()) {
+                tokens.push_back(current);
+                current.clear();
+            }
+        } else {
+            current += ch;
+        }
+    }
+    if (!current.empty())
+        tokens.push_back(current);
+    return tokens;
+}
+
+/** Split "off(reg)" memory operands into offset and register strings. */
+void
+splitMemOperand(const std::string &token, std::string &offset,
+                std::string &reg, int line)
+{
+    size_t open = token.find('(');
+    size_t close = token.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        throw AsmError(line, "bad memory operand: " + token);
+    }
+    offset = token.substr(0, open);
+    if (offset.empty())
+        offset = "0";
+    reg = token.substr(open + 1, close - open - 1);
+}
+
+/** Size, in machine instructions, that a statement will occupy. */
+unsigned
+statementWords(const Statement &st)
+{
+    if (st.mnemonic == "li" || st.mnemonic == "la")
+        return 2;
+    return 1;
+}
+
+struct Assembler
+{
+    explicit Assembler(const std::string &source)
+    {
+        parse(source);
+    }
+
+    Program
+    run()
+    {
+        layout();
+        emit();
+        return std::move(prog);
+    }
+
+  private:
+    std::vector<std::pair<std::optional<std::string>, Statement>> items;
+    std::map<std::string, uint32_t> labels;
+    std::string entryLabel;
+    Program prog;
+
+    void
+    parse(const std::string &source)
+    {
+        std::istringstream is(source);
+        std::string raw;
+        int line_no = 0;
+        while (std::getline(is, raw)) {
+            ++line_no;
+            auto tokens = tokenize(raw);
+            size_t idx = 0;
+            std::optional<std::string> pending_label;
+            while (idx < tokens.size() && tokens[idx].back() == ':') {
+                std::string name = tokens[idx].substr(0, tokens[idx].size() - 1);
+                if (name.empty())
+                    throw AsmError(line_no, "empty label");
+                if (pending_label) {
+                    // Chain of labels on one line: record the earlier one
+                    // as a zero-length statement.
+                    Statement empty;
+                    empty.line = line_no;
+                    items.emplace_back(pending_label, empty);
+                }
+                pending_label = name;
+                ++idx;
+            }
+            Statement st;
+            st.line = line_no;
+            if (idx < tokens.size()) {
+                st.mnemonic = tokens[idx++];
+                for (char &ch : st.mnemonic)
+                    ch = static_cast<char>(std::tolower(
+                        static_cast<unsigned char>(ch)));
+                while (idx < tokens.size())
+                    st.operands.push_back(tokens[idx++]);
+            }
+            if (pending_label || !st.mnemonic.empty())
+                items.emplace_back(pending_label, st);
+        }
+    }
+
+    void
+    layout()
+    {
+        uint32_t pc = 0x1000;
+        for (auto &[label, st] : items) {
+            if (st.mnemonic == ".org") {
+                pc = static_cast<uint32_t>(parseNumber(op(st, 0), st.line));
+                if (label)
+                    labels[*label] = pc;
+                continue;
+            }
+            if (st.mnemonic == ".align") {
+                uint32_t align = 1u << parseNumber(op(st, 0), st.line);
+                pc = (pc + align - 1) & ~(align - 1);
+            }
+            if (label)
+                labels[*label] = pc;
+            if (st.mnemonic.empty() || st.mnemonic == ".align")
+                continue;
+            if (st.mnemonic == ".entry") {
+                entryLabel = op(st, 0);
+            } else if (st.mnemonic == ".word") {
+                pc += 4 * static_cast<uint32_t>(st.operands.size());
+            } else if (st.mnemonic == ".space") {
+                pc += static_cast<uint32_t>(parseNumber(op(st, 0), st.line));
+            } else {
+                pc += 4 * statementWords(st);
+            }
+        }
+    }
+
+    const std::string &
+    op(const Statement &st, size_t index) const
+    {
+        if (index >= st.operands.size())
+            throw AsmError(st.line, "missing operand for " + st.mnemonic);
+        return st.operands[index];
+    }
+
+    int64_t
+    value(const std::string &token, int line) const
+    {
+        if (looksNumeric(token))
+            return parseNumber(token, line);
+        auto it = labels.find(token);
+        if (it == labels.end())
+            throw AsmError(line, "undefined symbol: " + token);
+        return it->second;
+    }
+
+    void
+    emitInst(uint32_t &pc, const Inst &inst)
+    {
+        prog.putWord(pc, encode(inst));
+        pc += 4;
+    }
+
+    Inst
+    r3(Op opc, const Statement &st) const
+    {
+        Inst inst;
+        inst.op = opc;
+        inst.rd = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+        inst.rs = static_cast<uint8_t>(parseReg(op(st, 1), st.line));
+        inst.rt = static_cast<uint8_t>(parseReg(op(st, 2), st.line));
+        return inst;
+    }
+
+    Inst
+    i3(Op opc, const Statement &st) const
+    {
+        Inst inst;
+        inst.op = opc;
+        inst.rt = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+        inst.rs = static_cast<uint8_t>(parseReg(op(st, 1), st.line));
+        inst.imm = static_cast<int32_t>(value(op(st, 2), st.line));
+        return inst;
+    }
+
+    Inst
+    shift(Op opc, const Statement &st) const
+    {
+        Inst inst;
+        inst.op = opc;
+        inst.rd = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+        inst.rs = static_cast<uint8_t>(parseReg(op(st, 1), st.line));
+        inst.imm = static_cast<int32_t>(parseNumber(op(st, 2), st.line));
+        return inst;
+    }
+
+    Inst
+    mem(Op opc, const Statement &st) const
+    {
+        Inst inst;
+        inst.op = opc;
+        inst.rt = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+        std::string offset, reg;
+        splitMemOperand(op(st, 1), offset, reg, st.line);
+        inst.rs = static_cast<uint8_t>(parseReg(reg, st.line));
+        inst.imm = static_cast<int32_t>(value(offset, st.line));
+        return inst;
+    }
+
+    int32_t
+    branchOffset(const std::string &target, uint32_t pc, int line) const
+    {
+        int64_t addr = value(target, line);
+        return static_cast<int32_t>((addr - (static_cast<int64_t>(pc) + 4)) / 4);
+    }
+
+    void
+    emit()
+    {
+        uint32_t pc = 0x1000;
+        for (auto &[label, st] : items) {
+            (void)label;
+            const std::string &m = st.mnemonic;
+            if (m.empty())
+                continue;
+            if (m == ".org") {
+                pc = static_cast<uint32_t>(parseNumber(op(st, 0), st.line));
+                continue;
+            }
+            if (m == ".align") {
+                uint32_t align = 1u << parseNumber(op(st, 0), st.line);
+                pc = (pc + align - 1) & ~(align - 1);
+                continue;
+            }
+            if (m == ".entry") {
+                continue;
+            }
+            if (m == ".word") {
+                for (const auto &token : st.operands) {
+                    prog.putWord(pc, static_cast<uint32_t>(
+                        value(token, st.line)));
+                    pc += 4;
+                }
+                continue;
+            }
+            if (m == ".space") {
+                // Reserved space is zero-filled; unmapped memory reads
+                // as zero already, so no bytes are materialized.
+                pc += static_cast<uint32_t>(
+                    parseNumber(op(st, 0), st.line));
+                continue;
+            }
+
+            Inst inst;
+            if (m == "add") inst = r3(Op::ADD, st);
+            else if (m == "sub") inst = r3(Op::SUB, st);
+            else if (m == "and") inst = r3(Op::AND, st);
+            else if (m == "or") inst = r3(Op::OR, st);
+            else if (m == "xor") inst = r3(Op::XOR, st);
+            else if (m == "slt") inst = r3(Op::SLT, st);
+            else if (m == "sltu") inst = r3(Op::SLTU, st);
+            else if (m == "mul") inst = r3(Op::MUL, st);
+            else if (m == "sll") inst = shift(Op::SLL, st);
+            else if (m == "srl") inst = shift(Op::SRL, st);
+            else if (m == "sra") inst = shift(Op::SRA, st);
+            else if (m == "addi" || m == "addiu") inst = i3(Op::ADDI, st);
+            else if (m == "slti") inst = i3(Op::SLTI, st);
+            else if (m == "sltiu") inst = i3(Op::SLTIU, st);
+            else if (m == "andi") inst = i3(Op::ANDI, st);
+            else if (m == "ori") inst = i3(Op::ORI, st);
+            else if (m == "xori") inst = i3(Op::XORI, st);
+            else if (m == "lui") {
+                inst.op = Op::LUI;
+                inst.rt = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+                inst.imm = static_cast<int32_t>(value(op(st, 1), st.line)) & 0xffff;
+            }
+            else if (m == "lb") inst = mem(Op::LB, st);
+            else if (m == "lh") inst = mem(Op::LH, st);
+            else if (m == "lw") inst = mem(Op::LW, st);
+            else if (m == "lbu") inst = mem(Op::LBU, st);
+            else if (m == "lhu") inst = mem(Op::LHU, st);
+            else if (m == "sb") inst = mem(Op::SB, st);
+            else if (m == "sh") inst = mem(Op::SH, st);
+            else if (m == "sw") inst = mem(Op::SW, st);
+            else if (m == "beq" || m == "bne") {
+                inst.op = (m == "beq") ? Op::BEQ : Op::BNE;
+                inst.rs = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+                inst.rt = static_cast<uint8_t>(parseReg(op(st, 1), st.line));
+                inst.imm = branchOffset(op(st, 2), pc, st.line);
+            }
+            else if (m == "blez" || m == "bgtz" || m == "bltz" || m == "bgez") {
+                inst.op = (m == "blez") ? Op::BLEZ
+                        : (m == "bgtz") ? Op::BGTZ
+                        : (m == "bltz") ? Op::BLTZ : Op::BGEZ;
+                inst.rs = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+                inst.imm = branchOffset(op(st, 1), pc, st.line);
+            }
+            else if (m == "j" || m == "jal") {
+                inst.op = (m == "j") ? Op::J : Op::JAL;
+                inst.imm = static_cast<int32_t>(
+                    static_cast<uint32_t>(value(op(st, 0), st.line)) >> 2);
+            }
+            else if (m == "jr") {
+                inst.op = Op::JR;
+                inst.rs = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+            }
+            else if (m == "halt") {
+                inst.op = Op::HALT;
+            }
+            else if (m == "nop") {
+                inst.op = Op::SLL;
+            }
+            else if (m == "move") {
+                inst.op = Op::OR;
+                inst.rd = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+                inst.rs = static_cast<uint8_t>(parseReg(op(st, 1), st.line));
+                inst.rt = 0;
+            }
+            else if (m == "b") {
+                inst.op = Op::BEQ;
+                inst.imm = branchOffset(op(st, 0), pc, st.line);
+            }
+            else if (m == "li" || m == "la") {
+                uint32_t v = static_cast<uint32_t>(value(op(st, 1), st.line));
+                uint8_t rd = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
+                Inst hi;
+                hi.op = Op::LUI;
+                hi.rt = rd;
+                hi.imm = static_cast<int32_t>(v >> 16);
+                emitInst(pc, hi);
+                Inst lo;
+                lo.op = Op::ORI;
+                lo.rt = rd;
+                lo.rs = rd;
+                lo.imm = static_cast<int32_t>(v & 0xffffu);
+                emitInst(pc, lo);
+                continue;
+            }
+            else {
+                throw AsmError(st.line, "unknown mnemonic: " + m);
+            }
+            emitInst(pc, inst);
+        }
+
+        prog.symbols = labels;
+        if (!entryLabel.empty()) {
+            auto it = labels.find(entryLabel);
+            if (it == labels.end())
+                throw AsmError(0, "undefined entry label: " + entryLabel);
+            prog.entry = it->second;
+        } else if (labels.count("main")) {
+            prog.entry = labels.at("main");
+        }
+    }
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Assembler assembler(source);
+    return assembler.run();
+}
+
+} // namespace dmdp

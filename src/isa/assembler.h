@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Two-pass assembler for the simulated ISA.
+ *
+ * Syntax summary:
+ *   label:                         ; define a label
+ *   add  $t0, $t1, $t2             ; R-type ALU
+ *   addi $t0, $t1, -4              ; I-type ALU
+ *   lw   $t0, 8($sp)               ; loads/stores
+ *   beq  $t0, $t1, target          ; branches take label operands
+ *   j    target / jal target / jr $ra
+ *   li   $t0, 0x12345678           ; pseudo: lui+ori (always 2 insts)
+ *   la   $t0, label                ; pseudo: lui+ori
+ *   move $t0, $t1                  ; pseudo: or $t0, $t1, $0
+ *   b    target                    ; pseudo: beq $0, $0, target
+ *   nop                            ; pseudo: sll $0, $0, 0
+ *   halt
+ * Directives: .org ADDR, .word v[, v...], .space N, .align N,
+ *             .entry LABEL. Comments start with '#' or ';'.
+ * Registers: $0..$31 or ABI names ($zero, $at, $v0.., $a0.., $t0..,
+ * $s0.., $k0, $k1, $gp, $sp, $fp, $ra).
+ */
+
+#ifndef DMDP_ISA_ASSEMBLER_H
+#define DMDP_ISA_ASSEMBLER_H
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.h"
+
+namespace dmdp {
+
+/** Thrown on any assembly error, carrying line information. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(int line, const std::string &message)
+        : std::runtime_error("asm line " + std::to_string(line) + ": " +
+                             message),
+          line_(line)
+    {}
+
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/** Assemble @p source into a loadable program image. */
+Program assemble(const std::string &source);
+
+} // namespace dmdp
+
+#endif // DMDP_ISA_ASSEMBLER_H

@@ -1,0 +1,78 @@
+#include "isa/disasm.h"
+
+#include <sstream>
+
+#include "isa/encode.h"
+
+namespace dmdp {
+
+namespace {
+
+std::string
+reg(unsigned n)
+{
+    return "$" + std::to_string(n);
+}
+
+std::string
+hex(uint32_t v)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst, uint32_t pc)
+{
+    std::ostringstream os;
+    os << Inst::opName(inst.op) << " ";
+    switch (inst.op) {
+      case Op::ADD: case Op::SUB: case Op::AND: case Op::OR:
+      case Op::XOR: case Op::SLT: case Op::SLTU: case Op::MUL:
+        os << reg(inst.rd) << ", " << reg(inst.rs) << ", " << reg(inst.rt);
+        break;
+      case Op::SLL: case Op::SRL: case Op::SRA:
+        os << reg(inst.rd) << ", " << reg(inst.rs) << ", " << inst.imm;
+        break;
+      case Op::ADDI: case Op::SLTI: case Op::SLTIU: case Op::ANDI:
+      case Op::ORI: case Op::XORI:
+        os << reg(inst.rt) << ", " << reg(inst.rs) << ", " << inst.imm;
+        break;
+      case Op::LUI:
+        os << reg(inst.rt) << ", " << hex(static_cast<uint32_t>(inst.imm));
+        break;
+      case Op::LB: case Op::LH: case Op::LW: case Op::LBU: case Op::LHU:
+      case Op::SB: case Op::SH: case Op::SW:
+        os << reg(inst.rt) << ", " << inst.imm << "(" << reg(inst.rs) << ")";
+        break;
+      case Op::BEQ: case Op::BNE:
+        os << reg(inst.rs) << ", " << reg(inst.rt) << ", "
+           << hex(pc + 4 + static_cast<uint32_t>(inst.imm << 2));
+        break;
+      case Op::BLEZ: case Op::BGTZ: case Op::BLTZ: case Op::BGEZ:
+        os << reg(inst.rs) << ", "
+           << hex(pc + 4 + static_cast<uint32_t>(inst.imm << 2));
+        break;
+      case Op::J: case Op::JAL:
+        os << hex(static_cast<uint32_t>(inst.imm) << 2);
+        break;
+      case Op::JR:
+        os << reg(inst.rs);
+        break;
+      case Op::HALT:
+      case Op::INVALID:
+        return Inst::opName(inst.op);
+    }
+    return os.str();
+}
+
+std::string
+disassembleWord(uint32_t word, uint32_t pc)
+{
+    return disassemble(decode(word), pc);
+}
+
+} // namespace dmdp

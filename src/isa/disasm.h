@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Disassembler: renders decoded instructions back to assembly text.
+ */
+
+#ifndef DMDP_ISA_DISASM_H
+#define DMDP_ISA_DISASM_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/inst.h"
+
+namespace dmdp {
+
+/**
+ * Disassemble one instruction. @p pc is used to render branch targets
+ * as absolute addresses.
+ */
+std::string disassemble(const Inst &inst, uint32_t pc = 0);
+
+/** Decode and disassemble a raw machine word. */
+std::string disassembleWord(uint32_t word, uint32_t pc = 0);
+
+} // namespace dmdp
+
+#endif // DMDP_ISA_DISASM_H

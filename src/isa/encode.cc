@@ -1,0 +1,153 @@
+#include "isa/encode.h"
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+namespace {
+
+constexpr uint32_t kOpSpecial = 0x00;
+constexpr uint32_t kOpRegimm = 0x01;
+constexpr uint32_t kOpSpecial2 = 0x1c;
+constexpr uint32_t kOpHalt = 0x3f;
+
+uint32_t
+rType(uint32_t funct, uint32_t rs, uint32_t rt, uint32_t rd, uint32_t shamt)
+{
+    return (kOpSpecial << 26) | (rs << 21) | (rt << 16) | (rd << 11) |
+           (shamt << 6) | funct;
+}
+
+uint32_t
+iType(uint32_t opcode, uint32_t rs, uint32_t rt, int32_t imm)
+{
+    return (opcode << 26) | (rs << 21) | (rt << 16) |
+           (static_cast<uint32_t>(imm) & 0xffffu);
+}
+
+} // namespace
+
+uint32_t
+encode(const Inst &inst)
+{
+    uint32_t shamt = static_cast<uint32_t>(inst.imm) & 31u;
+    switch (inst.op) {
+      case Op::SLL:  return rType(0x00, 0, inst.rs, inst.rd, shamt);
+      case Op::SRL:  return rType(0x02, 0, inst.rs, inst.rd, shamt);
+      case Op::SRA:  return rType(0x03, 0, inst.rs, inst.rd, shamt);
+      case Op::JR:   return rType(0x08, inst.rs, 0, 0, 0);
+      case Op::ADD:  return rType(0x21, inst.rs, inst.rt, inst.rd, 0);
+      case Op::SUB:  return rType(0x23, inst.rs, inst.rt, inst.rd, 0);
+      case Op::AND:  return rType(0x24, inst.rs, inst.rt, inst.rd, 0);
+      case Op::OR:   return rType(0x25, inst.rs, inst.rt, inst.rd, 0);
+      case Op::XOR:  return rType(0x26, inst.rs, inst.rt, inst.rd, 0);
+      case Op::SLT:  return rType(0x2a, inst.rs, inst.rt, inst.rd, 0);
+      case Op::SLTU: return rType(0x2b, inst.rs, inst.rt, inst.rd, 0);
+      case Op::MUL:
+        return (kOpSpecial2 << 26) | (uint32_t(inst.rs) << 21) |
+               (uint32_t(inst.rt) << 16) | (uint32_t(inst.rd) << 11) | 0x02;
+      case Op::BLTZ: return iType(kOpRegimm, inst.rs, 0x00, inst.imm);
+      case Op::BGEZ: return iType(kOpRegimm, inst.rs, 0x01, inst.imm);
+      case Op::J:    return (0x02u << 26) | (static_cast<uint32_t>(inst.imm) & 0x03ffffffu);
+      case Op::JAL:  return (0x03u << 26) | (static_cast<uint32_t>(inst.imm) & 0x03ffffffu);
+      case Op::BEQ:  return iType(0x04, inst.rs, inst.rt, inst.imm);
+      case Op::BNE:  return iType(0x05, inst.rs, inst.rt, inst.imm);
+      case Op::BLEZ: return iType(0x06, inst.rs, 0, inst.imm);
+      case Op::BGTZ: return iType(0x07, inst.rs, 0, inst.imm);
+      case Op::ADDI: return iType(0x08, inst.rs, inst.rt, inst.imm);
+      case Op::SLTI: return iType(0x0a, inst.rs, inst.rt, inst.imm);
+      case Op::SLTIU: return iType(0x0b, inst.rs, inst.rt, inst.imm);
+      case Op::ANDI: return iType(0x0c, inst.rs, inst.rt, inst.imm);
+      case Op::ORI:  return iType(0x0d, inst.rs, inst.rt, inst.imm);
+      case Op::XORI: return iType(0x0e, inst.rs, inst.rt, inst.imm);
+      case Op::LUI:  return iType(0x0f, 0, inst.rt, inst.imm);
+      case Op::LB:   return iType(0x20, inst.rs, inst.rt, inst.imm);
+      case Op::LH:   return iType(0x21, inst.rs, inst.rt, inst.imm);
+      case Op::LW:   return iType(0x23, inst.rs, inst.rt, inst.imm);
+      case Op::LBU:  return iType(0x24, inst.rs, inst.rt, inst.imm);
+      case Op::LHU:  return iType(0x25, inst.rs, inst.rt, inst.imm);
+      case Op::SB:   return iType(0x28, inst.rs, inst.rt, inst.imm);
+      case Op::SH:   return iType(0x29, inst.rs, inst.rt, inst.imm);
+      case Op::SW:   return iType(0x2b, inst.rs, inst.rt, inst.imm);
+      case Op::HALT: return kOpHalt << 26;
+      case Op::INVALID: break;
+    }
+    return 0xffffffffu;
+}
+
+Inst
+decode(uint32_t word)
+{
+    Inst inst;
+    uint32_t opcode = bits(word, 31, 26);
+    uint32_t rs = bits(word, 25, 21);
+    uint32_t rt = bits(word, 20, 16);
+    uint32_t rd = bits(word, 15, 11);
+    uint32_t shamt = bits(word, 10, 6);
+    uint32_t funct = bits(word, 5, 0);
+    int32_t simm = sext(word & 0xffffu, 16);
+    int32_t zimm = static_cast<int32_t>(word & 0xffffu);
+
+    auto set = [&](Op op, uint8_t a, uint8_t b, uint8_t c, int32_t imm) {
+        inst.op = op;
+        inst.rs = a;
+        inst.rt = b;
+        inst.rd = c;
+        inst.imm = imm;
+    };
+
+    switch (opcode) {
+      case kOpSpecial:
+        switch (funct) {
+          case 0x00: set(Op::SLL, rt, 0, rd, static_cast<int32_t>(shamt)); break;
+          case 0x02: set(Op::SRL, rt, 0, rd, static_cast<int32_t>(shamt)); break;
+          case 0x03: set(Op::SRA, rt, 0, rd, static_cast<int32_t>(shamt)); break;
+          case 0x08: set(Op::JR, rs, 0, 0, 0); break;
+          case 0x21: set(Op::ADD, rs, rt, rd, 0); break;
+          case 0x23: set(Op::SUB, rs, rt, rd, 0); break;
+          case 0x24: set(Op::AND, rs, rt, rd, 0); break;
+          case 0x25: set(Op::OR, rs, rt, rd, 0); break;
+          case 0x26: set(Op::XOR, rs, rt, rd, 0); break;
+          case 0x2a: set(Op::SLT, rs, rt, rd, 0); break;
+          case 0x2b: set(Op::SLTU, rs, rt, rd, 0); break;
+          default: break;
+        }
+        break;
+      case kOpRegimm:
+        if (rt == 0x00)
+            set(Op::BLTZ, rs, 0, 0, simm);
+        else if (rt == 0x01)
+            set(Op::BGEZ, rs, 0, 0, simm);
+        break;
+      case kOpSpecial2:
+        if (funct == 0x02)
+            set(Op::MUL, rs, rt, rd, 0);
+        break;
+      case 0x02: set(Op::J, 0, 0, 0, static_cast<int32_t>(word & 0x03ffffffu)); break;
+      case 0x03: set(Op::JAL, 0, 0, 0, static_cast<int32_t>(word & 0x03ffffffu)); break;
+      case 0x04: set(Op::BEQ, rs, rt, 0, simm); break;
+      case 0x05: set(Op::BNE, rs, rt, 0, simm); break;
+      case 0x06: set(Op::BLEZ, rs, 0, 0, simm); break;
+      case 0x07: set(Op::BGTZ, rs, 0, 0, simm); break;
+      case 0x08: set(Op::ADDI, rs, rt, 0, simm); break;
+      case 0x0a: set(Op::SLTI, rs, rt, 0, simm); break;
+      case 0x0b: set(Op::SLTIU, rs, rt, 0, simm); break;
+      case 0x0c: set(Op::ANDI, rs, rt, 0, zimm); break;
+      case 0x0d: set(Op::ORI, rs, rt, 0, zimm); break;
+      case 0x0e: set(Op::XORI, rs, rt, 0, zimm); break;
+      case 0x0f: set(Op::LUI, 0, rt, 0, zimm); break;
+      case 0x20: set(Op::LB, rs, rt, 0, simm); break;
+      case 0x21: set(Op::LH, rs, rt, 0, simm); break;
+      case 0x23: set(Op::LW, rs, rt, 0, simm); break;
+      case 0x24: set(Op::LBU, rs, rt, 0, simm); break;
+      case 0x25: set(Op::LHU, rs, rt, 0, simm); break;
+      case 0x28: set(Op::SB, rs, rt, 0, simm); break;
+      case 0x29: set(Op::SH, rs, rt, 0, simm); break;
+      case 0x2b: set(Op::SW, rs, rt, 0, simm); break;
+      case kOpHalt: set(Op::HALT, 0, 0, 0, 0); break;
+      default: break;
+    }
+    return inst;
+}
+
+} // namespace dmdp

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Binary encoding and decoding between 32-bit machine words and decoded
+ * Inst records. The encoding follows MIPS-I conventions (R/I/J formats,
+ * REGIMM and SPECIAL2 groups); HALT occupies the unused opcode 0x3f.
+ *
+ * Immediate semantics carried in Inst::imm:
+ *  - ALU immediates: sign-extended (ANDI/ORI/XORI zero-extended);
+ *  - shifts: shamt (0..31);
+ *  - conditional branches: signed word offset relative to PC+4;
+ *  - J/JAL: absolute word index within the 256 MB region.
+ */
+
+#ifndef DMDP_ISA_ENCODE_H
+#define DMDP_ISA_ENCODE_H
+
+#include <cstdint>
+
+#include "isa/inst.h"
+
+namespace dmdp {
+
+/** Encode a decoded instruction into a 32-bit machine word. */
+uint32_t encode(const Inst &inst);
+
+/** Decode a 32-bit machine word. Unknown encodings yield Op::INVALID. */
+Inst decode(uint32_t word);
+
+} // namespace dmdp
+
+#endif // DMDP_ISA_ENCODE_H

@@ -1,0 +1,50 @@
+#include "isa/inst.h"
+
+namespace dmdp {
+
+const char *
+Inst::opName(Op op)
+{
+    switch (op) {
+      case Op::INVALID: return "invalid";
+      case Op::SLL: return "sll";
+      case Op::SRL: return "srl";
+      case Op::SRA: return "sra";
+      case Op::ADD: return "add";
+      case Op::SUB: return "sub";
+      case Op::AND: return "and";
+      case Op::OR: return "or";
+      case Op::XOR: return "xor";
+      case Op::SLT: return "slt";
+      case Op::SLTU: return "sltu";
+      case Op::MUL: return "mul";
+      case Op::ADDI: return "addi";
+      case Op::SLTI: return "slti";
+      case Op::SLTIU: return "sltiu";
+      case Op::ANDI: return "andi";
+      case Op::ORI: return "ori";
+      case Op::XORI: return "xori";
+      case Op::LUI: return "lui";
+      case Op::BEQ: return "beq";
+      case Op::BNE: return "bne";
+      case Op::BLEZ: return "blez";
+      case Op::BGTZ: return "bgtz";
+      case Op::BLTZ: return "bltz";
+      case Op::BGEZ: return "bgez";
+      case Op::J: return "j";
+      case Op::JAL: return "jal";
+      case Op::JR: return "jr";
+      case Op::LB: return "lb";
+      case Op::LH: return "lh";
+      case Op::LW: return "lw";
+      case Op::LBU: return "lbu";
+      case Op::LHU: return "lhu";
+      case Op::SB: return "sb";
+      case Op::SH: return "sh";
+      case Op::SW: return "sw";
+      case Op::HALT: return "halt";
+    }
+    return "?";
+}
+
+} // namespace dmdp

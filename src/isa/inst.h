@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The simulated instruction set: a MIPS-I-like 32-bit RISC ISA without
+ * branch delay slots (the paper simulates MIPS-I "without delayed
+ * branching", section V). Architectural registers are $0..$31 with $0
+ * hardwired to zero. The micro-architecture adds hidden logical
+ * registers ($32..$34) during micro-op cracking; those never appear in
+ * assembled programs.
+ */
+
+#ifndef DMDP_ISA_INST_H
+#define DMDP_ISA_INST_H
+
+#include <cstdint>
+#include <string>
+
+namespace dmdp {
+
+/** Number of programmer-visible architectural registers. */
+constexpr unsigned kNumArchRegs = 32;
+
+/**
+ * Hidden logical registers used by micro-op cracking (section IV-A):
+ * $32 holds generated addresses, $33 holds the cache-read value of a
+ * predicated load, $34 holds the predicate.
+ */
+constexpr unsigned kRegAddrTmp = 32;
+constexpr unsigned kRegLoadTmp = 33;
+constexpr unsigned kRegPredTmp = 34;
+constexpr unsigned kNumLogicalRegs = 35;
+
+/** Architectural opcodes. */
+enum class Op : uint8_t
+{
+    INVALID,
+    // ALU register-register
+    SLL, SRL, SRA, ADD, SUB, AND, OR, XOR, SLT, SLTU, MUL,
+    // ALU register-immediate
+    ADDI, SLTI, SLTIU, ANDI, ORI, XORI, LUI,
+    // Control
+    BEQ, BNE, BLEZ, BGTZ, BLTZ, BGEZ, J, JAL, JR,
+    // Memory
+    LB, LH, LW, LBU, LHU, SB, SH, SW,
+    // Simulation control
+    HALT,
+};
+
+/** A decoded architectural instruction. */
+struct Inst
+{
+    Op op = Op::INVALID;
+    uint8_t rs = 0;     ///< first source register
+    uint8_t rt = 0;     ///< second source / I-type destination
+    uint8_t rd = 0;     ///< R-type destination
+    int32_t imm = 0;    ///< sign-extended immediate / shamt / jump target
+
+    bool isLoad() const
+    {
+        return op == Op::LB || op == Op::LH || op == Op::LW ||
+               op == Op::LBU || op == Op::LHU;
+    }
+
+    bool isStore() const
+    {
+        return op == Op::SB || op == Op::SH || op == Op::SW;
+    }
+
+    bool isMem() const { return isLoad() || isStore(); }
+
+    /** Access size in bytes for memory ops. */
+    unsigned
+    memSize() const
+    {
+        switch (op) {
+          case Op::LB: case Op::LBU: case Op::SB: return 1;
+          case Op::LH: case Op::LHU: case Op::SH: return 2;
+          case Op::LW: case Op::SW: return 4;
+          default: return 0;
+        }
+    }
+
+    /** True for sub-word loads (which may not use memory cloaking). */
+    bool isPartialWordLoad() const { return isLoad() && memSize() < 4; }
+
+    bool isSignedLoad() const
+    {
+        return op == Op::LB || op == Op::LH || op == Op::LW;
+    }
+
+    /** Conditional branches only. */
+    bool
+    isCondBranch() const
+    {
+        switch (op) {
+          case Op::BEQ: case Op::BNE: case Op::BLEZ:
+          case Op::BGTZ: case Op::BLTZ: case Op::BGEZ:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool isJump() const { return op == Op::J || op == Op::JAL || op == Op::JR; }
+    bool isControl() const { return isCondBranch() || isJump(); }
+    bool isIndirect() const { return op == Op::JR; }
+
+    /** Destination logical register, or -1 if none (stores/branches). */
+    int
+    destReg() const
+    {
+        switch (op) {
+          case Op::SLL: case Op::SRL: case Op::SRA: case Op::ADD:
+          case Op::SUB: case Op::AND: case Op::OR: case Op::XOR:
+          case Op::SLT: case Op::SLTU: case Op::MUL:
+            return rd == 0 ? -1 : rd;
+          case Op::ADDI: case Op::SLTI: case Op::SLTIU: case Op::ANDI:
+          case Op::ORI: case Op::XORI: case Op::LUI:
+          case Op::LB: case Op::LH: case Op::LW: case Op::LBU: case Op::LHU:
+            return rt == 0 ? -1 : rt;
+          case Op::JAL:
+            return 31;
+          default:
+            return -1;
+        }
+    }
+
+    /** First source logical register, or -1. */
+    int
+    srcReg1() const
+    {
+        switch (op) {
+          case Op::J: case Op::JAL: case Op::LUI: case Op::HALT:
+          case Op::INVALID:
+            return -1;
+          default:
+            return rs;
+        }
+    }
+
+    /** Second source logical register, or -1. */
+    int
+    srcReg2() const
+    {
+        switch (op) {
+          case Op::ADD: case Op::SUB: case Op::AND: case Op::OR:
+          case Op::XOR: case Op::SLT: case Op::SLTU: case Op::MUL:
+          case Op::BEQ: case Op::BNE:
+          case Op::SB: case Op::SH: case Op::SW:
+            return rt;
+          default:
+            return -1;
+        }
+    }
+
+    /** Mnemonic for this opcode. */
+    static const char *opName(Op op);
+};
+
+} // namespace dmdp
+
+#endif // DMDP_ISA_INST_H

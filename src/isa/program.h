@@ -1,0 +1,64 @@
+/**
+ * @file
+ * An assembled program image: byte chunks at absolute addresses plus the
+ * entry point and the symbol table produced by the assembler.
+ */
+
+#ifndef DMDP_ISA_PROGRAM_H
+#define DMDP_ISA_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dmdp {
+
+/** Result of assembling a source file. */
+struct Program
+{
+    /** Contiguous byte runs keyed by start address. */
+    std::map<uint32_t, std::vector<uint8_t>> chunks;
+
+    /** Execution starts here. */
+    uint32_t entry = 0x1000;
+
+    /** Label name -> address. */
+    std::map<std::string, uint32_t> symbols;
+
+    /** Append a 32-bit little-endian word at @p addr. */
+    void
+    putWord(uint32_t addr, uint32_t word)
+    {
+        auto &bytes = chunks[addr & ~3u];
+        (void)bytes;
+        std::vector<uint8_t> b = {
+            static_cast<uint8_t>(word),
+            static_cast<uint8_t>(word >> 8),
+            static_cast<uint8_t>(word >> 16),
+            static_cast<uint8_t>(word >> 24),
+        };
+        putBytes(addr, b);
+    }
+
+    /** Append raw bytes at @p addr, merging adjacent chunks lazily. */
+    void
+    putBytes(uint32_t addr, const std::vector<uint8_t> &bytes)
+    {
+        chunks[addr].insert(chunks[addr].end(), bytes.begin(), bytes.end());
+    }
+
+    /** Total byte size across all chunks. */
+    size_t
+    size() const
+    {
+        size_t total = 0;
+        for (const auto &[addr, bytes] : chunks)
+            total += bytes.size();
+        return total;
+    }
+};
+
+} // namespace dmdp
+
+#endif // DMDP_ISA_PROGRAM_H

@@ -1,0 +1,96 @@
+#include "mem/cache.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+Cache::Cache(const CacheConfig &config, const char *name)
+    : cfg(config), name_(name)
+{
+    assert(isPow2(cfg.lineBytes));
+    numSets = cfg.sizeBytes / (cfg.lineBytes * cfg.assoc);
+    assert(numSets > 0 && isPow2(numSets));
+    lines.resize(static_cast<size_t>(numSets) * cfg.assoc);
+}
+
+uint32_t
+Cache::setIndex(uint32_t addr) const
+{
+    return (addr / cfg.lineBytes) & (numSets - 1);
+}
+
+uint32_t
+Cache::tagOf(uint32_t addr) const
+{
+    return addr / cfg.lineBytes / numSets;
+}
+
+bool
+Cache::access(uint32_t addr, bool is_write)
+{
+    uint32_t set = setIndex(addr);
+    uint32_t tag = tagOf(addr);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    ++stamp;
+
+    for (uint32_t way = 0; way < cfg.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = stamp;
+            line.dirty = line.dirty || is_write;
+            ++hits_;
+            return true;
+        }
+    }
+
+    // Miss: pick an invalid way if one exists, else the LRU way.
+    Line *victim = base;
+    for (uint32_t way = 0; way < cfg.assoc; ++way) {
+        Line &line = base[way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    ++misses_;
+    if (victim->valid && victim->dirty)
+        ++writebacks_;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lruStamp = stamp;
+    return false;
+}
+
+bool
+Cache::probe(uint32_t addr) const
+{
+    uint32_t set = setIndex(addr);
+    uint32_t tag = tagOf(addr);
+    const Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t way = 0; way < cfg.assoc; ++way)
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidate(uint32_t addr)
+{
+    uint32_t set = setIndex(addr);
+    uint32_t tag = tagOf(addr);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t way = 0; way < cfg.assoc; ++way) {
+        if (base[way].valid && base[way].tag == tag) {
+            base[way].valid = false;
+            base[way].dirty = false;
+        }
+    }
+}
+
+} // namespace dmdp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Set-associative LRU cache tag array (timing only; data lives in the
+ * committed MemImg). Write-back, write-allocate.
+ */
+
+#ifndef DMDP_MEM_CACHE_H
+#define DMDP_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace dmdp {
+
+/** One cache level's tag array. */
+class Cache
+{
+  public:
+    Cache(const CacheConfig &cfg, const char *name);
+
+    /**
+     * Access the line containing @p addr.
+     * @param is_write marks the line dirty on hit/fill.
+     * @return true on hit. On a miss the line is filled and the victim
+     *         (if dirty) counts as a writeback.
+     */
+    bool access(uint32_t addr, bool is_write);
+
+    /** Probe without fill or LRU update (used by tests/VIPT checks). */
+    bool probe(uint32_t addr) const;
+
+    /** Invalidate the line containing @p addr if present. */
+    void invalidate(uint32_t addr);
+
+    uint32_t hitLatency() const { return cfg.hitLatency; }
+    const char *name() const { return name_; }
+
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+    uint64_t accesses() const { return hits_.value() + misses_.value(); }
+    uint64_t writebacks() const { return writebacks_.value(); }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint32_t tag = 0;
+        uint64_t lruStamp = 0;
+    };
+
+    uint32_t setIndex(uint32_t addr) const;
+    uint32_t tagOf(uint32_t addr) const;
+
+    CacheConfig cfg;
+    const char *name_;
+    uint32_t numSets;
+    std::vector<Line> lines;    ///< numSets x assoc, row-major
+    uint64_t stamp = 0;
+
+    Scalar hits_;
+    Scalar misses_;
+    Scalar writebacks_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_MEM_CACHE_H

@@ -1,0 +1,38 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+Dram::Dram(const SimConfig &cfg)
+    : numBanks(cfg.dramBanks),
+      missLatency(cfg.dramLatency),
+      hitLatency(cfg.rowBufferHitLatency),
+      banks(cfg.dramBanks)
+{
+    assert(isPow2(numBanks));
+}
+
+uint32_t
+Dram::access(uint32_t addr, uint64_t now)
+{
+    ++accesses_;
+    Bank &bank = banks[bankOf(addr)];
+    uint64_t start = std::max(now, bank.nextFree);
+    uint32_t row = rowOf(addr);
+    uint32_t service;
+    if (bank.openRow == row) {
+        ++rowHits_;
+        service = hitLatency;
+    } else {
+        service = missLatency;
+        bank.openRow = row;
+    }
+    bank.nextFree = start + service;
+    return static_cast<uint32_t>(bank.nextFree - now);
+}
+
+} // namespace dmdp

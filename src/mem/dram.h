@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simple main-memory timing model (DRAMSim2 substitute, see DESIGN.md):
+ * banked DRAM with open-row policy. Each bank serves one request at a
+ * time; a request to a busy bank queues behind it. Row-buffer hits are
+ * cheaper than row conflicts.
+ */
+
+#ifndef DMDP_MEM_DRAM_H
+#define DMDP_MEM_DRAM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace dmdp {
+
+/** Banked DRAM latency model. */
+class Dram
+{
+  public:
+    explicit Dram(const SimConfig &cfg);
+
+    /**
+     * Issue an access at @p now; returns the total latency until data
+     * is available (including any bank queueing delay).
+     */
+    uint32_t access(uint32_t addr, uint64_t now);
+
+    uint64_t accesses() const { return accesses_.value(); }
+    uint64_t rowHits() const { return rowHits_.value(); }
+
+  private:
+    struct Bank
+    {
+        uint64_t nextFree = 0;
+        uint32_t openRow = ~0u;
+    };
+
+    uint32_t rowOf(uint32_t addr) const { return addr >> 12; }
+    uint32_t bankOf(uint32_t addr) const
+    {
+        return (addr >> 6) & (numBanks - 1);
+    }
+
+    uint32_t numBanks;
+    uint32_t missLatency;
+    uint32_t hitLatency;
+    std::vector<Bank> banks;
+
+    Scalar accesses_;
+    Scalar rowHits_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_MEM_DRAM_H

@@ -1,0 +1,48 @@
+#include "mem/hierarchy.h"
+
+namespace dmdp {
+
+Hierarchy::Hierarchy(const SimConfig &cfg)
+    : l1i_(cfg.l1i, "l1i"),
+      l1d_(cfg.l1d, "l1d"),
+      l2_(cfg.l2, "l2"),
+      dram_(cfg)
+{}
+
+uint32_t
+Hierarchy::missPath(uint32_t addr, bool is_write, uint64_t now)
+{
+    // L1 missed; try L2, then DRAM.
+    if (l2_.access(addr, is_write))
+        return l2_.hitLatency();
+    return l2_.hitLatency() + dram_.access(addr, now + l2_.hitLatency());
+}
+
+uint32_t
+Hierarchy::fetchLatency(uint32_t addr, uint64_t now)
+{
+    if (l1i_.access(addr, false))
+        return l1i_.hitLatency();
+    return l1i_.hitLatency() + missPath(addr, false, now + l1i_.hitLatency());
+}
+
+uint32_t
+Hierarchy::loadLatency(uint32_t addr, uint64_t now)
+{
+    if (l1d_.access(addr, false))
+        return l1d_.hitLatency();
+    return l1d_.hitLatency() + missPath(addr, false, now + l1d_.hitLatency());
+}
+
+uint32_t
+Hierarchy::storeLatency(uint32_t addr, uint64_t now)
+{
+    // Committing stores write through a dedicated L1 write port; on a
+    // hit the write retires in one cycle (the 4-cycle load latency is
+    // the read pipeline). Misses pay the full miss path.
+    if (l1d_.access(addr, true))
+        return 1;
+    return l1d_.hitLatency() + missPath(addr, true, now + l1d_.hitLatency());
+}
+
+} // namespace dmdp

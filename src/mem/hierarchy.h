@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Two-level cache hierarchy plus DRAM. The timing core asks it for the
+ * latency of instruction fetches, data loads, and store commits; the
+ * hierarchy updates tag state and statistics.
+ *
+ * The L1D access path models the paper's VIPT organization: the virtual
+ * address indexes the data and tag arrays in parallel with translation,
+ * so no extra translation cycle is charged on loads (section IV-A).
+ */
+
+#ifndef DMDP_MEM_HIERARCHY_H
+#define DMDP_MEM_HIERARCHY_H
+
+#include <cstdint>
+
+#include "common/config.h"
+#include "mem/cache.h"
+#include "mem/dram.h"
+
+namespace dmdp {
+
+/** Full memory-system timing model. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const SimConfig &cfg);
+
+    /** Latency of an instruction fetch at cycle @p now. */
+    uint32_t fetchLatency(uint32_t addr, uint64_t now);
+
+    /** Latency of a data load at cycle @p now. */
+    uint32_t loadLatency(uint32_t addr, uint64_t now);
+
+    /**
+     * Latency of a committing store at cycle @p now (the store buffer
+     * occupies its head entry for this long on a miss).
+     */
+    uint32_t storeLatency(uint32_t addr, uint64_t now);
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    Dram &dram() { return dram_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Dram &dram() const { return dram_; }
+
+  private:
+    uint32_t missPath(uint32_t addr, bool is_write, uint64_t now);
+
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Dram dram_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_MEM_HIERARCHY_H

@@ -1,0 +1,61 @@
+#include "mem/tlb.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+Tlb::Tlb(const SimConfig &cfg)
+    : sets(std::max(1u, cfg.tlbEntries / kWays)),
+      missLatency(cfg.tlbMissLatency),
+      entries(static_cast<size_t>(sets) * kWays)
+{
+    assert(isPow2(sets));
+}
+
+uint32_t
+Tlb::access(uint32_t addr)
+{
+    uint32_t vpn = addr >> kPageShift;
+    uint32_t set = vpn & (sets - 1);
+    Entry *base = &entries[static_cast<size_t>(set) * kWays];
+    ++stamp;
+
+    for (uint32_t way = 0; way < kWays; ++way) {
+        if (base[way].valid && base[way].vpn == vpn) {
+            base[way].lruStamp = stamp;
+            ++hits_;
+            return 0;
+        }
+    }
+
+    ++misses_;
+    Entry *victim = base;
+    for (uint32_t way = 0; way < kWays; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+        if (base[way].lruStamp < victim->lruStamp)
+            victim = &base[way];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lruStamp = stamp;
+    return missLatency;
+}
+
+bool
+Tlb::probe(uint32_t addr) const
+{
+    uint32_t vpn = addr >> kPageShift;
+    uint32_t set = vpn & (sets - 1);
+    const Entry *base = &entries[static_cast<size_t>(set) * kWays];
+    for (uint32_t way = 0; way < kWays; ++way)
+        if (base[way].valid && base[way].vpn == vpn)
+            return true;
+    return false;
+}
+
+} // namespace dmdp

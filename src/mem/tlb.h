@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Data TLB. In the paper's design the address-generation micro-op (AGI)
+ * translates the virtual address while the VIPT L1D is indexed in
+ * parallel (section IV-A), so a TLB hit adds no latency; a miss stalls
+ * the AGI for the walk latency.
+ */
+
+#ifndef DMDP_MEM_TLB_H
+#define DMDP_MEM_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace dmdp {
+
+/** Set-associative TLB over 4 KiB pages. */
+class Tlb
+{
+  public:
+    static constexpr uint32_t kPageShift = 12;
+
+    explicit Tlb(const SimConfig &cfg);
+
+    /**
+     * Translate the page containing @p addr.
+     * @return extra latency: 0 on a hit, the walk latency on a miss
+     *         (the entry is filled).
+     */
+    uint32_t access(uint32_t addr);
+
+    /** Probe without filling (for tests). */
+    bool probe(uint32_t addr) const;
+
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t vpn = 0;
+        uint64_t lruStamp = 0;
+    };
+
+    static constexpr uint32_t kWays = 4;
+
+    uint32_t sets;
+    uint32_t missLatency;
+    std::vector<Entry> entries;
+    uint64_t stamp = 0;
+
+    Scalar hits_;
+    Scalar misses_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_MEM_TLB_H

@@ -1,0 +1,30 @@
+#include "power/energy.h"
+
+namespace dmdp {
+
+double
+EnergyModel::totalUj(const SimStats &s) const
+{
+    double pj = 0.0;
+    pj += fetchPj * static_cast<double>(s.fetchedInsts);
+    pj += renamePj * static_cast<double>(s.renamedUops);
+    pj += iqWritePj * static_cast<double>(s.iqWrites);
+    pj += iqIssuePj * static_cast<double>(s.iqIssues);
+    pj += rfReadPj * static_cast<double>(s.rfReads);
+    pj += rfWritePj * static_cast<double>(s.rfWrites);
+    pj += aluPj * static_cast<double>(s.aluOps);
+    pj += predicationPj * static_cast<double>(s.predicationOps);
+    pj += l1Pj * static_cast<double>(s.l1iAccesses + s.l1dAccesses);
+    pj += l2Pj * static_cast<double>(s.l2Accesses);
+    pj += dramPj * static_cast<double>(s.dramAccesses);
+    pj += sqSearchPj * static_cast<double>(s.sqSearches);
+    pj += sbSearchPj * static_cast<double>(s.sbSearches);
+    pj += storeSetPj * static_cast<double>(s.storeSetLookups);
+    pj += sdpPj * static_cast<double>(s.sdpLookups + s.sdpUpdates);
+    pj += ssbfPj * static_cast<double>(s.ssbfReads + s.ssbfWrites);
+    pj += robPj * static_cast<double>(s.uopsRetired + s.squashedUops);
+    pj += staticPwPerCycle * static_cast<double>(s.cycles);
+    return pj / 1e6;
+}
+
+} // namespace dmdp

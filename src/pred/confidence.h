@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Saturating confidence counter with the two update policies compared in
+ * the paper (section IV-E): the balanced policy (+1 / -1, NoSQ) and the
+ * biased policy (+1 / divide-by-two, DMDP). The biased policy trades
+ * extra predications for fewer costly dependence mispredictions.
+ */
+
+#ifndef DMDP_PRED_CONFIDENCE_H
+#define DMDP_PRED_CONFIDENCE_H
+
+#include <cstdint>
+
+namespace dmdp {
+
+/** Saturating confidence counter. */
+class ConfidenceCounter
+{
+  public:
+    ConfidenceCounter(uint32_t init, uint32_t max)
+        : value_(init), max_(max)
+    {}
+
+    /** Reward a correct prediction. */
+    void
+    correct()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /**
+     * Penalize a misprediction.
+     * @param biased true = divide by two (DMDP), false = decrement (NoSQ)
+     */
+    void
+    incorrect(bool biased)
+    {
+        if (biased)
+            value_ >>= 1;
+        else if (value_ > 0)
+            --value_;
+    }
+
+    /** Confident when strictly above @p threshold (paper: >63). */
+    bool confident(uint32_t threshold) const { return value_ > threshold; }
+
+    uint32_t value() const { return value_; }
+    void reset(uint32_t v) { value_ = v > max_ ? max_ : v; }
+
+  private:
+    uint32_t value_;
+    uint32_t max_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_PRED_CONFIDENCE_H

@@ -1,0 +1,109 @@
+#include "pred/gshare.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+Gshare::Gshare(uint32_t history_bits)
+    : historyBits(history_bits),
+      counters(1u << history_bits, 2)  // weakly taken
+{
+    assert(history_bits <= 24);
+}
+
+uint32_t
+Gshare::index(uint32_t pc) const
+{
+    return ((pc >> 2) ^ ghr) & ((1u << historyBits) - 1u);
+}
+
+bool
+Gshare::predict(uint32_t pc) const
+{
+    return counters[index(pc)] >= 2;
+}
+
+void
+Gshare::update(uint32_t pc, bool taken)
+{
+    uint8_t &ctr = counters[index(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    ghr = ((ghr << 1) | (taken ? 1u : 0u)) & ((1u << historyBits) - 1u);
+}
+
+Btb::Btb(uint32_t entries)
+    : mask(entries - 1), table(entries)
+{
+    assert(isPow2(entries));
+}
+
+uint32_t
+Btb::lookup(uint32_t pc) const
+{
+    const Entry &entry = table[(pc >> 2) & mask];
+    return (entry.valid && entry.tag == pc) ? entry.target : 0;
+}
+
+void
+Btb::update(uint32_t pc, uint32_t target)
+{
+    Entry &entry = table[(pc >> 2) & mask];
+    entry.valid = true;
+    entry.tag = pc;
+    entry.target = target;
+}
+
+void
+Ras::push(uint32_t return_pc)
+{
+    stack[top] = return_pc;
+    top = (top + 1) % stack.size();
+    if (count < stack.size())
+        ++count;
+}
+
+uint32_t
+Ras::pop()
+{
+    if (count == 0)
+        return 0;
+    top = (top + static_cast<uint32_t>(stack.size()) - 1) %
+          static_cast<uint32_t>(stack.size());
+    --count;
+    return stack[top];
+}
+
+BranchPredictor::BranchPredictor(const SimConfig &cfg)
+    : gshare(cfg.gshareBits), btb(cfg.btbEntries)
+{}
+
+uint32_t
+BranchPredictor::predict(uint32_t pc, bool is_cond, bool is_call, bool is_ret)
+{
+    ++lookups_;
+    if (is_ret && !ras.empty())
+        return ras.pop();
+    if (is_call)
+        ras.push(pc + 4);
+    if (is_cond && !gshare.predict(pc))
+        return pc + 4;
+    uint32_t target = btb.lookup(pc);
+    return target ? target : pc + 4;
+}
+
+void
+BranchPredictor::update(uint32_t pc, bool is_cond, bool taken,
+                        uint32_t target)
+{
+    if (is_cond)
+        gshare.update(pc, taken);
+    if (taken)
+        btb.update(pc, target);
+}
+
+} // namespace dmdp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Front-end branch prediction: gshare direction predictor, a BTB for
+ * taken-branch / indirect targets, and a return address stack.
+ */
+
+#ifndef DMDP_PRED_GSHARE_H
+#define DMDP_PRED_GSHARE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace dmdp {
+
+/** Gshare two-bit counter direction predictor. */
+class Gshare
+{
+  public:
+    explicit Gshare(uint32_t history_bits);
+
+    /** Predict the direction of the branch at @p pc. */
+    bool predict(uint32_t pc) const;
+
+    /** Train and shift the actual outcome into the history. */
+    void update(uint32_t pc, bool taken);
+
+    /** Current global history (used to index path-sensitive tables). */
+    uint32_t history() const { return ghr; }
+
+  private:
+    uint32_t index(uint32_t pc) const;
+
+    uint32_t historyBits;
+    uint32_t ghr = 0;
+    std::vector<uint8_t> counters;
+};
+
+/** Branch target buffer, direct mapped on the fetch PC. */
+class Btb
+{
+  public:
+    explicit Btb(uint32_t entries);
+
+    /** Predicted target for @p pc, or 0 when no entry matches. */
+    uint32_t lookup(uint32_t pc) const;
+
+    void update(uint32_t pc, uint32_t target);
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint32_t target = 0;
+    };
+
+    uint32_t mask;
+    std::vector<Entry> table;
+};
+
+/** Return address stack for JAL/JR pairs. */
+class Ras
+{
+  public:
+    explicit Ras(uint32_t depth = 16) : stack(depth) {}
+
+    void push(uint32_t return_pc);
+    uint32_t pop();
+    bool empty() const { return count == 0; }
+
+  private:
+    std::vector<uint32_t> stack;
+    uint32_t top = 0;
+    uint32_t count = 0;
+};
+
+/**
+ * Combined front-end predictor. The timing model compares the
+ * prediction against the oracle outcome to decide whether fetch
+ * redirects cleanly or pays the misprediction penalty.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const SimConfig &cfg);
+
+    /**
+     * Predict a control instruction.
+     * @param pc       fetch address
+     * @param is_cond  conditional branch?
+     * @param is_call  JAL?
+     * @param is_ret   JR?
+     * @return predicted next PC (pc+4 for predicted not-taken).
+     */
+    uint32_t predict(uint32_t pc, bool is_cond, bool is_call, bool is_ret);
+
+    /** Train with the actual outcome. */
+    void update(uint32_t pc, bool is_cond, bool taken, uint32_t target);
+
+    uint32_t history() const { return gshare.history(); }
+
+    uint64_t lookups() const { return lookups_.value(); }
+
+  private:
+    Gshare gshare;
+    Btb btb;
+    Ras ras;
+    Scalar lookups_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_PRED_GSHARE_H

@@ -1,0 +1,143 @@
+#include "pred/sdp.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+Sdp::PredTable::PredTable(uint32_t n_entries, uint32_t n_ways)
+    : sets(n_entries / n_ways),
+      ways(n_ways),
+      entries(n_entries)
+{
+    assert(isPow2(sets));
+}
+
+Sdp::Entry *
+Sdp::PredTable::find(uint32_t index, uint32_t tag)
+{
+    Entry *base = &entries[static_cast<size_t>(index % sets) * ways];
+    for (uint32_t way = 0; way < ways; ++way) {
+        if (base[way].valid && base[way].tag == tag) {
+            base[way].lruStamp = ++stamp;
+            return &base[way];
+        }
+    }
+    return nullptr;
+}
+
+Sdp::Entry *
+Sdp::PredTable::allocate(uint32_t index, uint32_t tag, uint32_t init_conf,
+                         uint32_t max_conf)
+{
+    Entry *base = &entries[static_cast<size_t>(index % sets) * ways];
+    Entry *victim = base;
+    for (uint32_t way = 0; way < ways; ++way) {
+        if (!base[way].valid) {
+            victim = &base[way];
+            break;
+        }
+        if (base[way].lruStamp < victim->lruStamp)
+            victim = &base[way];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->distance = 0;
+    victim->conf = ConfidenceCounter(init_conf, max_conf);
+    victim->lruStamp = ++stamp;
+    return victim;
+}
+
+Sdp::Sdp(const SimConfig &config)
+    : cfg(config),
+      insens(config.sdpEntries, config.sdpWays),
+      sens(config.sdpEntries, config.sdpWays)
+{}
+
+uint32_t
+Sdp::insensIndex(uint32_t pc) const
+{
+    return pc >> 2;
+}
+
+uint32_t
+Sdp::sensIndex(uint32_t pc, uint32_t history) const
+{
+    uint32_t hist = history & ((1u << cfg.sdpHistoryBits) - 1u);
+    return (pc >> 2) ^ hist;
+}
+
+SdpPrediction
+Sdp::predict(uint32_t pc, uint32_t history)
+{
+    ++lookups_;
+    SdpPrediction pred;
+
+    // Both tables are read in parallel; the path-sensitive prediction
+    // wins if available (section IV-A-d).
+    if (Entry *entry = sens.find(sensIndex(pc, history), pc)) {
+        pred.dependent = true;
+        pred.distance = entry->distance;
+        pred.confident = entry->conf.confident(cfg.confidenceThreshold);
+        pred.pathSensitive = true;
+        return pred;
+    }
+    if (Entry *entry = insens.find(insensIndex(pc), pc)) {
+        pred.dependent = true;
+        pred.distance = entry->distance;
+        pred.confident = entry->conf.confident(cfg.confidenceThreshold);
+        return pred;
+    }
+    return pred;
+}
+
+void
+Sdp::updateTable(PredTable &table, uint32_t index, uint32_t tag,
+                 bool actually_dependent, uint32_t actual_distance)
+{
+    Entry *entry = table.find(index, tag);
+
+    if (!actually_dependent) {
+        // Predicted dependent (or re-executed) but the load was actually
+        // independent: a misprediction against any existing entry.
+        if (entry)
+            entry->conf.incorrect(cfg.biasedConfidence);
+        return;
+    }
+
+    if (actual_distance > kMaxDistance) {
+        // Unrepresentable distance: treat as independent (the hardware
+        // distance field saturates at 6 bits).
+        if (entry)
+            entry->conf.incorrect(cfg.biasedConfidence);
+        return;
+    }
+
+    if (!entry) {
+        entry = table.allocate(index, tag, cfg.confidenceInit,
+                               cfg.confidenceMax);
+        entry->distance = actual_distance;
+        ++allocations_;
+        return;
+    }
+
+    if (entry->distance == actual_distance) {
+        entry->conf.correct();
+    } else {
+        entry->conf.incorrect(cfg.biasedConfidence);
+        entry->distance = actual_distance;
+    }
+}
+
+void
+Sdp::update(uint32_t pc, uint32_t history, bool actually_dependent,
+            uint32_t actual_distance)
+{
+    updateTable(insens, insensIndex(pc), pc, actually_dependent,
+                actual_distance);
+    updateTable(sens, sensIndex(pc, history), pc, actually_dependent,
+                actual_distance);
+}
+
+} // namespace dmdp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Store Distance Predictor (paper section IV-A-d): predicts, for a load,
+ * how many stores sit between the load and its colliding store. Two
+ * set-associative tables are consulted in parallel: a path-insensitive
+ * table indexed by the load PC and a path-sensitive table indexed by
+ * PC XOR branch history. The path-sensitive prediction wins when
+ * available. Each entry embeds the confidence counter that steers the
+ * load to memory cloaking (confident) or delay/predication (not).
+ */
+
+#ifndef DMDP_PRED_SDP_H
+#define DMDP_PRED_SDP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "pred/confidence.h"
+
+namespace dmdp {
+
+/** Outcome of a store-distance lookup. */
+struct SdpPrediction
+{
+    bool dependent = false;     ///< predicted to collide with a store
+    uint32_t distance = 0;      ///< #stores between colliding store and load
+    bool confident = false;     ///< above the cloaking threshold
+    bool pathSensitive = false; ///< which table produced the prediction
+};
+
+/** Two-table store distance predictor with embedded confidence. */
+class Sdp
+{
+  public:
+    /** Distances above this cannot be represented (6-bit field). */
+    static constexpr uint32_t kMaxDistance = 63;
+
+    explicit Sdp(const SimConfig &cfg);
+
+    /** Look up both tables for the load at @p pc. */
+    SdpPrediction predict(uint32_t pc, uint32_t history);
+
+    /**
+     * Train at retire time (paper sections IV-A-d, IV-C, IV-E).
+     *
+     * @param actually_dependent the load truly collided with an
+     *        in-flight store (per T-SSBF / verification)
+     * @param actual_distance the true store distance when dependent
+     *
+     * Only called for loads that were predicted dependent or that
+     * triggered a re-execution; the silent-store-aware policy widens
+     * the second category (section IV-C).
+     */
+    void update(uint32_t pc, uint32_t history, bool actually_dependent,
+                uint32_t actual_distance);
+
+    uint64_t lookups() const { return lookups_.value(); }
+    uint64_t allocations() const { return allocations_.value(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint32_t distance = 0;
+        ConfidenceCounter conf{0, 0};
+        uint64_t lruStamp = 0;
+    };
+
+    /** One of the two prediction tables. */
+    struct PredTable
+    {
+        PredTable(uint32_t entries, uint32_t ways);
+
+        Entry *find(uint32_t index, uint32_t tag);
+        Entry *allocate(uint32_t index, uint32_t tag, uint32_t init_conf,
+                        uint32_t max_conf);
+
+        uint32_t sets;
+        uint32_t ways;
+        std::vector<Entry> entries;
+        uint64_t stamp = 0;
+    };
+
+    uint32_t insensIndex(uint32_t pc) const;
+    uint32_t sensIndex(uint32_t pc, uint32_t history) const;
+
+    void updateTable(PredTable &table, uint32_t index, uint32_t tag,
+                     bool actually_dependent, uint32_t actual_distance);
+
+    SimConfig cfg;
+    PredTable insens;
+    PredTable sens;
+
+    Scalar lookups_;
+    Scalar allocations_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_PRED_SDP_H

@@ -1,0 +1,163 @@
+#include "pred/sdp_tage.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+namespace {
+
+/** Geometric history lengths for the tagged components. */
+constexpr uint32_t kHistoryLengths[SdpTage::kNumTables] = {4, 8, 16, 24};
+
+} // namespace
+
+SdpTage::SdpTage(const SimConfig &config)
+    : cfg(config),
+      base(config),
+      tableSize(std::max(64u, config.sdpEntries / 4))
+{
+    assert(isPow2(tableSize));
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        tables[t].historyBits = kHistoryLengths[t];
+        tables[t].entries.resize(tableSize);
+    }
+}
+
+uint32_t
+SdpTage::index(unsigned table, uint32_t pc, uint32_t history) const
+{
+    uint32_t hist = foldXor(history & ((1ull << tables[table].historyBits)
+                                       - 1ull),
+                            floorLog2(tableSize));
+    return ((pc >> 2) ^ (pc >> 7) ^ hist) & (tableSize - 1);
+}
+
+uint16_t
+SdpTage::tagOf(unsigned table, uint32_t pc, uint32_t history) const
+{
+    uint32_t hist = history & ((1ull << tables[table].historyBits) - 1ull);
+    return static_cast<uint16_t>(((pc >> 2) ^ (hist * 0x9e37u) ^
+                                  (table << 7)) & 0x3ff);
+}
+
+int
+SdpTage::findProvider(uint32_t pc, uint32_t history, uint32_t *index_out,
+                      Entry **entry_out)
+{
+    for (int t = kNumTables - 1; t >= 0; --t) {
+        uint32_t idx = index(static_cast<unsigned>(t), pc, history);
+        Entry &entry = tables[t].entries[idx];
+        if (entry.valid &&
+            entry.tag == tagOf(static_cast<unsigned>(t), pc, history)) {
+            *index_out = idx;
+            *entry_out = &entry;
+            return t;
+        }
+    }
+    return -1;
+}
+
+SdpPrediction
+SdpTage::predict(uint32_t pc, uint32_t history)
+{
+    ++lookups_;
+    uint32_t idx = 0;
+    Entry *entry = nullptr;
+    int provider = findProvider(pc, history, &idx, &entry);
+    if (provider >= 0) {
+        ++taggedHits_;
+        SdpPrediction pred;
+        pred.dependent = true;
+        pred.distance = entry->distance;
+        pred.confident = entry->conf.confident(cfg.confidenceThreshold);
+        pred.pathSensitive = true;
+        return pred;
+    }
+    return base.predict(pc, history);
+}
+
+void
+SdpTage::update(uint32_t pc, uint32_t history, bool actually_dependent,
+                uint32_t actual_distance)
+{
+    // Judge the base *before* training it, then train it: it is the
+    // fallback and must keep learning, but allocation decisions need
+    // its at-prediction-time answer.
+    SdpPrediction base_pred = base.predict(pc, history);
+    base.update(pc, history, actually_dependent, actual_distance);
+
+    uint32_t idx = 0;
+    Entry *entry = nullptr;
+    int provider = findProvider(pc, history, &idx, &entry);
+
+    bool representable = actually_dependent &&
+                         actual_distance <= Sdp::kMaxDistance;
+
+    if (provider >= 0) {
+        if (representable && entry->distance == actual_distance) {
+            entry->conf.correct();
+            if (entry->useful < 3)
+                ++entry->useful;
+            return;
+        }
+        // Provider mispredicted.
+        entry->conf.incorrect(cfg.biasedConfidence);
+        if (entry->useful > 0)
+            --entry->useful;
+        if (representable)
+            entry->distance = static_cast<uint8_t>(actual_distance);
+        if (!representable && entry->useful == 0)
+            entry->valid = false;
+        // Escalate: also try to allocate in a longer-history table so
+        // deeper context can disambiguate (TAGE allocation rule).
+        if (representable && provider < static_cast<int>(kNumTables) - 1) {
+            for (unsigned t = provider + 1; t < kNumTables; ++t) {
+                uint32_t nidx = index(t, pc, history);
+                Entry &victim = tables[t].entries[nidx];
+                if (!victim.valid || victim.useful == 0) {
+                    victim.valid = true;
+                    victim.tag = tagOf(t, pc, history);
+                    victim.distance =
+                        static_cast<uint8_t>(actual_distance);
+                    victim.useful = 0;
+                    victim.conf = ConfidenceCounter(cfg.confidenceInit,
+                                                    cfg.confidenceMax);
+                    ++allocations_;
+                    break;
+                }
+                if (victim.useful > 0)
+                    --victim.useful;
+            }
+        }
+        return;
+    }
+
+    // No tagged provider: the base predicted. Allocate a short-history
+    // entry when the base got the dependence wrong.
+    if (!representable)
+        return;
+    bool base_correct = base_pred.dependent &&
+                        base_pred.distance == actual_distance;
+    if (base_correct)
+        return;
+    for (unsigned t = 0; t < kNumTables; ++t) {
+        uint32_t nidx = index(t, pc, history);
+        Entry &victim = tables[t].entries[nidx];
+        if (!victim.valid || victim.useful == 0) {
+            victim.valid = true;
+            victim.tag = tagOf(t, pc, history);
+            victim.distance = static_cast<uint8_t>(actual_distance);
+            victim.useful = 0;
+            victim.conf = ConfidenceCounter(cfg.confidenceInit,
+                                            cfg.confidenceMax);
+            ++allocations_;
+            break;
+        }
+        if (victim.useful > 0)
+            --victim.useful;
+    }
+}
+
+} // namespace dmdp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * TAGE-style store distance predictor.
+ *
+ * The paper's related-work section points out that the TAGE-like
+ * instruction distance predictor of Perais & Seznec (HPCA 2016) "could
+ * also be tuned as a Store Distance Predictor and adopted to DMDP".
+ * This is that tuning: a base table (the classic path-insensitive
+ * table) backed by four partially-tagged tables indexed with
+ * geometrically increasing branch-history lengths. The longest-history
+ * matching table provides the prediction; allocation on a misprediction
+ * moves the dependence into a longer-history table, so distances that
+ * correlate with deep path context (the bzip2 pathology) become
+ * predictable.
+ *
+ * Select it with SimConfig::sdpKind = SdpKind::Tage and compare with
+ * bench/ablation_tage.
+ */
+
+#ifndef DMDP_PRED_SDP_TAGE_H
+#define DMDP_PRED_SDP_TAGE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "pred/sdp.h"
+
+namespace dmdp {
+
+/** TAGE-organized store distance predictor. */
+class SdpTage
+{
+  public:
+    static constexpr unsigned kNumTables = 4;
+
+    explicit SdpTage(const SimConfig &cfg);
+
+    /** Look up, longest matching history first. */
+    SdpPrediction predict(uint32_t pc, uint32_t history);
+
+    /** Train at retire time; same contract as Sdp::update. */
+    void update(uint32_t pc, uint32_t history, bool actually_dependent,
+                uint32_t actual_distance);
+
+    uint64_t lookups() const { return lookups_.value(); }
+    uint64_t allocations() const { return allocations_.value(); }
+    uint64_t taggedHits() const { return taggedHits_.value(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint16_t tag = 0;
+        uint8_t distance = 0;
+        uint8_t useful = 0;             ///< replacement guard (0..3)
+        ConfidenceCounter conf{0, 0};
+    };
+
+    /** Tagged component geometry. */
+    struct Component
+    {
+        uint32_t historyBits = 0;
+        std::vector<Entry> entries;
+    };
+
+    uint32_t index(unsigned table, uint32_t pc, uint32_t history) const;
+    uint16_t tagOf(unsigned table, uint32_t pc, uint32_t history) const;
+
+    /** The provider component for this access, or -1 for the base. */
+    int findProvider(uint32_t pc, uint32_t history, uint32_t *index_out,
+                     Entry **entry_out);
+
+    SimConfig cfg;
+    Sdp base;                           ///< classic two-table predictor
+    std::array<Component, kNumTables> tables;
+    uint32_t tableSize;
+
+    Scalar lookups_;
+    Scalar allocations_;
+    Scalar taggedHits_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_PRED_SDP_TAGE_H

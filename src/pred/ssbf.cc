@@ -1,0 +1,84 @@
+#include "pred/ssbf.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+Ssbf::Ssbf(const SimConfig &cfg)
+    : sets(cfg.ssbfSets),
+      ways(cfg.ssbfWays),
+      entries(static_cast<size_t>(cfg.ssbfSets) * cfg.ssbfWays),
+      fifoHead(cfg.ssbfSets, 0)
+{
+    assert(isPow2(sets));
+}
+
+uint32_t
+Ssbf::setOf(uint32_t word_addr) const
+{
+    // Hash the word address: fold the high bits in so nearby arrays
+    // don't collide systematically.
+    uint32_t word = word_addr >> 2;
+    return (word ^ (word >> 11)) & (sets - 1);
+}
+
+uint32_t
+Ssbf::tagOf(uint32_t word_addr) const
+{
+    return (word_addr >> 2) / sets;
+}
+
+void
+Ssbf::storeRetire(uint32_t word_addr, uint8_t bab, uint64_t ssn)
+{
+    ++writes_;
+    uint32_t set = setOf(word_addr);
+    Entry &slot = entries[static_cast<size_t>(set) * ways + fifoHead[set]];
+    slot.valid = true;
+    slot.tag = tagOf(word_addr);
+    slot.ssn = ssn;
+    slot.bab = bab;
+    fifoHead[set] = (fifoHead[set] + 1) % ways;
+}
+
+SsbfResult
+Ssbf::loadLookup(uint32_t word_addr, uint8_t bab) const
+{
+    ++reads_;
+    uint32_t set = setOf(word_addr);
+    uint32_t tag = tagOf(word_addr);
+    const Entry *base = &entries[static_cast<size_t>(set) * ways];
+
+    SsbfResult result;
+    uint64_t min_ssn = ~0ull;
+    bool any_valid = false;
+    for (uint32_t way = 0; way < ways; ++way) {
+        const Entry &entry = base[way];
+        if (!entry.valid)
+            continue;
+        any_valid = true;
+        min_ssn = std::min(min_ssn, entry.ssn);
+        if (entry.tag == tag && (entry.bab & bab) != 0) {
+            if (!result.matched || entry.ssn > result.ssn) {
+                result.matched = true;
+                result.ssn = entry.ssn;
+                result.storeBab = entry.bab;
+            }
+        }
+    }
+    if (!result.matched)
+        result.ssn = any_valid ? min_ssn : 0;
+    return result;
+}
+
+void
+Ssbf::invalidateLine(uint32_t line_addr, uint32_t line_bytes, uint64_t ssn)
+{
+    uint32_t base = line_addr & ~(line_bytes - 1);
+    for (uint32_t offset = 0; offset < line_bytes; offset += 4)
+        storeRetire(base + offset, 0xF, ssn);
+}
+
+} // namespace dmdp

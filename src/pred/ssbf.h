@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tagged Store Sequence Bloom Filter (T-SSBF, paper section IV-A-b).
+ * An N-way set-associative structure indexed by the hashed word address;
+ * each set behaves as a FIFO of the last N retired stores mapping there.
+ * A retiring load looks up its address: the youngest matching SSN is its
+ * colliding store; with no match, the smallest SSN in the set is a
+ * conservative lower bound. Byte Access Bits (BAB) stored alongside the
+ * SSN detect partial-word collisions (section IV-D).
+ */
+
+#ifndef DMDP_PRED_SSBF_H
+#define DMDP_PRED_SSBF_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+
+namespace dmdp {
+
+/** Result of a load lookup in the T-SSBF. */
+struct SsbfResult
+{
+    uint64_t ssn = 0;   ///< colliding (or lower-bound) store SSN
+    bool matched = false;   ///< an address+BAB match was found
+    uint8_t storeBab = 0;   ///< BAB of the matched store (valid if matched)
+};
+
+/** The T-SSBF structure. */
+class Ssbf
+{
+  public:
+    explicit Ssbf(const SimConfig &cfg);
+
+    /** A store retired: record (hashed word address, BAB, SSN). */
+    void storeRetire(uint32_t word_addr, uint8_t bab, uint64_t ssn);
+
+    /**
+     * A load is retiring: find its colliding store's SSN.
+     * Matching requires equal tags and overlapping BABs; the youngest
+     * match wins. With no match the set's smallest SSN is returned
+     * (0 for an empty set).
+     */
+    SsbfResult loadLookup(uint32_t word_addr, uint8_t bab) const;
+
+    /**
+     * Multi-core consistency hook (section IV-F): another core
+     * invalidated the cache line at @p line_addr. Every word of the
+     * line is recorded with full BAB and SSN @p ssn (SSN_commit + 1) so
+     * in-flight loads that already executed will re-execute.
+     */
+    void invalidateLine(uint32_t line_addr, uint32_t line_bytes,
+                        uint64_t ssn);
+
+    uint64_t storeWrites() const { return writes_.value(); }
+    uint64_t loadReads() const { return reads_.value(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint32_t tag = 0;
+        uint64_t ssn = 0;
+        uint8_t bab = 0;
+    };
+
+    uint32_t setOf(uint32_t word_addr) const;
+    uint32_t tagOf(uint32_t word_addr) const;
+
+    uint32_t sets;
+    uint32_t ways;
+    std::vector<Entry> entries;     ///< sets x ways
+    std::vector<uint32_t> fifoHead; ///< per-set next insertion way
+
+    mutable Scalar writes_;
+    mutable Scalar reads_;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_PRED_SSBF_H

@@ -1,0 +1,72 @@
+#include "pred/storeset.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+StoreSet::StoreSet(uint32_t ssit_size, uint32_t lfst_size)
+    : ssitSize(ssit_size),
+      lfstSize(lfst_size),
+      ssit(ssit_size, kInvalid),
+      lfst(lfst_size, kInvalid)
+{
+    assert(isPow2(ssit_size));
+}
+
+uint32_t
+StoreSet::storeRename(uint32_t pc, uint32_t store_tag)
+{
+    uint32_t ssid = ssit[ssitIndex(pc)];
+    if (ssid != kInvalid)
+        lfst[ssid % lfstSize] = store_tag;
+    return ssid;
+}
+
+uint32_t
+StoreSet::loadRename(uint32_t pc)
+{
+    uint32_t ssid = ssit[ssitIndex(pc)];
+    if (ssid == kInvalid)
+        return kInvalid;
+    return lfst[ssid % lfstSize];
+}
+
+void
+StoreSet::storeIssued(uint32_t ssid, uint32_t store_tag)
+{
+    if (ssid == kInvalid)
+        return;
+    uint32_t &entry = lfst[ssid % lfstSize];
+    if (entry == store_tag)
+        entry = kInvalid;
+}
+
+void
+StoreSet::violation(uint32_t load_pc, uint32_t store_pc)
+{
+    uint32_t &load_set = ssit[ssitIndex(load_pc)];
+    uint32_t &store_set = ssit[ssitIndex(store_pc)];
+    if (load_set == kInvalid && store_set == kInvalid) {
+        load_set = store_set = nextSsid++ % lfstSize;
+    } else if (load_set == kInvalid) {
+        load_set = store_set;
+    } else if (store_set == kInvalid) {
+        store_set = load_set;
+    } else {
+        // Both assigned: merge into the smaller ID (declining-set rule).
+        uint32_t winner = std::min(load_set, store_set);
+        load_set = store_set = winner;
+    }
+}
+
+void
+StoreSet::clear()
+{
+    std::fill(ssit.begin(), ssit.end(), kInvalid);
+    std::fill(lfst.begin(), lfst.end(), kInvalid);
+}
+
+} // namespace dmdp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Store-Set memory dependence predictor (Chrysos & Emer, ISCA '98) used
+ * by the baseline SQ/LQ machine. Two structures: the Store Set ID Table
+ * (SSIT), indexed by instruction PC, and the Last Fetched Store Table
+ * (LFST), indexed by store-set ID.
+ */
+
+#ifndef DMDP_PRED_STORESET_H
+#define DMDP_PRED_STORESET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+
+namespace dmdp {
+
+/** Classic two-table store-set predictor. */
+class StoreSet
+{
+  public:
+    static constexpr uint32_t kInvalid = ~0u;
+
+    StoreSet(uint32_t ssit_size, uint32_t lfst_size);
+
+    /**
+     * A store is being renamed: returns its store-set ID (or kInvalid)
+     * and records it as the set's last fetched store.
+     * @param store_tag a unique in-flight tag for this store instance.
+     */
+    uint32_t storeRename(uint32_t pc, uint32_t store_tag);
+
+    /**
+     * A load is being renamed: returns the in-flight tag of the store
+     * it should wait for, or kInvalid when it may issue freely.
+     */
+    uint32_t loadRename(uint32_t pc);
+
+    /** The store with @p store_tag issued: clear its LFST entry. */
+    void storeIssued(uint32_t ssid, uint32_t store_tag);
+
+    /** A memory-order violation between these PCs: merge their sets. */
+    void violation(uint32_t load_pc, uint32_t store_pc);
+
+    /** Periodic whole-table invalidation keeps sets from saturating. */
+    void clear();
+
+  private:
+    uint32_t ssitIndex(uint32_t pc) const { return (pc >> 2) & (ssitSize - 1); }
+
+    uint32_t ssitSize;
+    uint32_t lfstSize;
+    std::vector<uint32_t> ssit;     ///< pc -> store-set id (kInvalid = none)
+    std::vector<uint32_t> lfst;     ///< ssid -> in-flight store tag
+    uint32_t nextSsid = 0;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_PRED_STORESET_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Store Vulnerability Window re-execution filter (paper section IV-A-a
+ * and Table II). Pure policy functions: given what the T-SSBF reports
+ * at retire and what the load recorded at execute, decide whether a
+ * verification re-execution is required.
+ */
+
+#ifndef DMDP_PRED_SVW_H
+#define DMDP_PRED_SVW_H
+
+#include <cstdint>
+
+namespace dmdp {
+
+/**
+ * Re-execution policy for a load that read its value from the cache
+ * (Table II, row 1): the load is vulnerable to any store that committed
+ * after it read, i.e., any colliding SSN above its SSN_nvul.
+ */
+constexpr bool
+svwCacheLoadNeedsReexec(uint64_t colliding_ssn, uint64_t ssn_nvul)
+{
+    return colliding_ssn > ssn_nvul;
+}
+
+/**
+ * Re-execution policy for a load whose value was forwarded from an
+ * in-flight store — by cloaking or by a taken predication arm
+ * (Table II, row 2): the actual colliding store must be exactly the
+ * predicted one.
+ */
+constexpr bool
+svwForwardedLoadNeedsReexec(uint64_t colliding_ssn, uint64_t predicted_ssn)
+{
+    return colliding_ssn != predicted_ssn;
+}
+
+/**
+ * Partial-word coverage check (Fig. 11): forwarding is complete only if
+ * the store wrote every byte the load reads.
+ */
+constexpr bool
+babCovers(uint8_t store_bab, uint8_t load_bab)
+{
+    return (store_bab & load_bab) == load_bab;
+}
+
+/** Collision check: any shared byte. */
+constexpr bool
+babOverlaps(uint8_t store_bab, uint8_t load_bab)
+{
+    return (store_bab & load_bab) != 0;
+}
+
+} // namespace dmdp
+
+#endif // DMDP_PRED_SVW_H

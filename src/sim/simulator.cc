@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "isa/assembler.h"
+#include "workloads/spec_proxies.h"
+
+namespace dmdp {
+
+SimStats
+Simulator::run(const SimConfig &cfg, const Program &prog)
+{
+    Pipeline pipeline(cfg, prog);
+    return pipeline.run();
+}
+
+SimStats
+Simulator::runAsm(const SimConfig &cfg, const std::string &source)
+{
+    return run(cfg, assemble(source));
+}
+
+SimStats
+simulateProxy(const std::string &name, SimConfig cfg, uint64_t insts)
+{
+    Program prog = buildProxy(name, insts);
+    cfg.maxInsts = insts;
+    return Simulator::run(cfg, prog);
+}
+
+uint64_t
+benchScale()
+{
+    if (const char *env = std::getenv("DMDP_SCALE")) {
+        uint64_t value = std::strtoull(env, nullptr, 0);
+        if (value > 0)
+            return value;
+    }
+    return 200000;
+}
+
+} // namespace dmdp

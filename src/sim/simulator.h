@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Top-level simulation facade: the one-call public API used by the
+ * examples, the tests, and the benchmark harnesses.
+ */
+
+#ifndef DMDP_SIM_SIMULATOR_H
+#define DMDP_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "core/simstats.h"
+#include "isa/program.h"
+
+namespace dmdp {
+
+/** Run one program on one machine configuration. */
+class Simulator
+{
+  public:
+    /** Simulate @p prog under @p cfg and return the run statistics. */
+    static SimStats run(const SimConfig &cfg, const Program &prog);
+
+    /**
+     * Assemble @p source and simulate it; convenience for examples and
+     * tests that write small programs inline.
+     */
+    static SimStats runAsm(const SimConfig &cfg, const std::string &source);
+};
+
+/**
+ * Simulate one SPEC-2006 proxy benchmark for @p insts dynamic
+ * instructions (see src/workloads/spec_proxies.h).
+ */
+SimStats simulateProxy(const std::string &name, SimConfig cfg,
+                       uint64_t insts);
+
+/**
+ * Dynamic instruction budget for the benchmark harnesses: the
+ * DMDP_SCALE environment variable, or 200000 by default.
+ */
+uint64_t benchScale();
+
+} // namespace dmdp
+
+#endif // DMDP_SIM_SIMULATOR_H

@@ -1,0 +1,459 @@
+#include "workloads/kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <vector>
+
+namespace dmdp {
+
+namespace {
+
+/** Tiny helper building labeled assembly text. */
+class AsmWriter
+{
+  public:
+    explicit AsmWriter(unsigned id) : id_(id) {}
+
+    std::string label(const std::string &name) const
+    {
+        return "k" + std::to_string(id_) + "_" + name;
+    }
+
+    void
+    line(const std::string &text)
+    {
+        os << "    " << text << "\n";
+    }
+
+    void
+    def(const std::string &name)
+    {
+        os << label(name) << ":\n";
+    }
+
+    /** li via the assembler's lui/ori pseudo (always 2 instructions). */
+    void li(const std::string &reg, uint64_t value)
+    {
+        line("li " + reg + ", " + std::to_string(value));
+    }
+
+    void la(const std::string &reg, const std::string &name)
+    {
+        line("la " + reg + ", " + label(name));
+    }
+
+    std::string str() const { return os.str(); }
+
+  private:
+    unsigned id_;
+    std::ostringstream os;
+};
+
+/** Emit a .word table, eight values per line. */
+void
+emitWords(std::ostringstream &os, const std::vector<uint32_t> &words)
+{
+    for (size_t i = 0; i < words.size(); i += 8) {
+        os << "    .word ";
+        for (size_t j = i; j < std::min(i + 8, words.size()); ++j) {
+            if (j != i)
+                os << ", ";
+            os << words[j];
+        }
+        os << "\n";
+    }
+}
+
+/**
+ * Standard loop prologue/epilogue: $8 is the iteration counter,
+ * $11/$12 a wrapping cursor over the index array at $9.
+ */
+void
+emitCursorWrap(AsmWriter &w, uint32_t idx_len, const char *cont_label)
+{
+    w.line("addi $11, $11, 4");
+    w.line("addi $12, $12, -1");
+    w.line(std::string("bgtz $12, ") + w.label(cont_label));
+    w.line("move $11, $9");
+    w.li("$12", idx_len);
+    w.def(cont_label);
+}
+
+KernelAsm
+emitPointerChase(const KernelParams &p, unsigned id, uint32_t base, Rng &rng)
+{
+    AsmWriter w(id);
+    w.def("entry");
+    w.li("$8", p.iters);
+    w.la("$9", "idx");
+    w.la("$10", "x");
+    w.line("move $11, $9");
+    w.li("$12", p.idxLen);
+    w.la("$15", "scratch");
+    w.def("loop");
+    w.line("lw $13, 0($11)");           // index value (NC load)
+    emitCursorWrap(w, p.idxLen, "nw");
+    w.line("sll $14, $13, 2");
+    w.line("add $14, $10, $14");
+    w.line("lw $16, 0($14)");           // x[ptr] (OC load)
+    w.line("addi $16, $16, 1");
+    w.line("sw $16, 0($14)");           // x[ptr]++ (OC store)
+    w.line("addi $8, $8, -1");
+    w.line("bgtz $8, " + w.label("loop"));
+
+    // Duplicate indices repeat the one from exactly dupLag iterations
+    // back: whether a load collides is random (the OC behavior of
+    // Fig. 1) but *when* it collides the store distance is stable, so
+    // the distance predictor can learn it — the paper's Fig. 5 shows
+    // IndepStore, not DiffStore, dominating low-confidence outcomes.
+    // The colliding store is also several stores old, so it is close
+    // to committing when the load renames (the modest delayed-load
+    // latencies of Fig. 3).
+    std::vector<uint32_t> idx(p.idxLen);
+    for (size_t i = 0; i < idx.size(); ++i) {
+        size_t lag = std::max(1u, p.dupLag);
+        if (p.varDistance)
+            lag += rng.below(2);    // data-dependent distance jitter
+        if (i >= lag && rng.chance(p.dupProb))
+            idx[i] = idx[i - lag];
+        else
+            idx[i] = static_cast<uint32_t>(rng.below(p.tableWords));
+    }
+
+    std::ostringstream data;
+    data << "    .org " << base << "\n";
+    data << w.label("idx") << ":\n";
+    emitWords(data, idx);
+    data << w.label("scratch") << ": .space 64\n";
+    data << w.label("x") << ": .space " << p.tableWords * 4 << "\n";
+
+    KernelAsm out;
+    out.code = w.str();
+    out.data = data.str();
+    out.dataBytes = p.idxLen * 4 + 64 + p.tableWords * 4;
+    return out;
+}
+
+KernelAsm
+emitArraySweep(const KernelParams &p, unsigned id, uint32_t base, Rng &rng)
+{
+    (void)rng;
+    AsmWriter w(id);
+    uint32_t count = std::max(1u, p.tableWords / std::max(1u, p.stride));
+    w.def("entry");
+    w.li("$8", p.iters);
+    w.la("$9", "arr");
+    w.line("move $11, $9");
+    w.li("$12", count);
+    w.def("loop");
+    w.line("lw $13, 0($11)");           // NC load
+    w.line("add $16, $16, $13");
+    w.line("addi $11, $11, " + std::to_string(p.stride * 4));
+    w.line("addi $12, $12, -1");
+    w.line("bgtz $12, " + w.label("nw"));
+    w.line("move $11, $9");
+    w.li("$12", count);
+    w.def("nw");
+    w.line("addi $8, $8, -1");
+    w.line("bgtz $8, " + w.label("loop"));
+
+    std::ostringstream data;
+    data << "    .org " << base << "\n";
+    data << w.label("arr") << ": .space " << p.tableWords * 4 << "\n";
+
+    KernelAsm out;
+    out.code = w.str();
+    out.data = data.str();
+    out.dataBytes = p.tableWords * 4;
+    return out;
+}
+
+KernelAsm
+emitSpillFill(const KernelParams &p, unsigned id, uint32_t base, Rng &rng)
+{
+    (void)rng;
+    AsmWriter w(id);
+    w.def("entry");
+    w.li("$8", p.iters);
+    w.la("$9", "slot");
+    w.li("$13", 7);
+    w.def("loop");
+    // The value lives in memory across iterations — the classic
+    // register-spill pattern. The store-load pair always collides at
+    // distance 0, and the reload is on the loop-carried critical path:
+    // memory cloaking collapses it to a register dependence while the
+    // baseline pays a store-queue forward every iteration.
+    w.line("lw $15, 0($9)");            // fill (AC load, distance 0)
+    w.line("addi $15, $15, 3");
+    w.line("sw $15, 0($9)");            // spill (AC store)
+    w.line("mul $14, $15, $13");        // independent work
+    w.line("add $16, $16, $14");
+    w.line("addi $8, $8, -1");
+    w.line("bgtz $8, " + w.label("loop"));
+
+    std::ostringstream data;
+    data << "    .org " << base << "\n";
+    data << w.label("slot") << ": .space 64\n";
+
+    KernelAsm out;
+    out.code = w.str();
+    out.data = data.str();
+    out.dataBytes = 64;
+    return out;
+}
+
+KernelAsm
+emitHistogram(const KernelParams &p, unsigned id, uint32_t base, Rng &rng)
+{
+    AsmWriter w(id);
+    w.def("entry");
+    w.li("$8", p.iters);
+    w.la("$9", "idx");
+    w.la("$10", "bins");
+    w.line("move $11, $9");
+    w.li("$12", p.idxLen);
+    w.def("loop");
+    w.line("lw $13, 0($11)");           // packed (bin << 1) | silent
+    emitCursorWrap(w, p.idxLen, "nw");
+    w.line("srl $14, $13, 1");
+    w.line("sll $14, $14, 2");
+    w.line("add $14, $10, $14");
+    w.line("lw $16, 0($14)");           // bin value (OC load)
+    w.line("andi $17, $13, 1");
+    w.line("bne $17, $0, " + w.label("sil"));
+    w.line("addi $16, $16, 1");
+    w.def("sil");
+    w.line("sw $16, 0($14)");           // silent when not incremented
+    w.line("addi $8, $8, -1");
+    w.line("bgtz $8, " + w.label("loop"));
+
+    std::vector<uint32_t> idx(p.idxLen);
+    std::vector<uint32_t> bins(p.idxLen);
+    for (size_t i = 0; i < idx.size(); ++i) {
+        size_t lag = std::max(1u, p.dupLag);
+        if (p.varDistance)
+            lag += rng.below(2);    // data-dependent distance jitter
+        uint32_t bin = (i >= lag && rng.chance(p.dupProb))
+            ? bins[i - lag]
+            : static_cast<uint32_t>(rng.below(p.tableWords));
+        bins[i] = bin;
+        uint32_t silent = rng.chance(p.silentFrac) ? 1 : 0;
+        idx[i] = (bin << 1) | silent;
+    }
+
+    std::ostringstream data;
+    data << "    .org " << base << "\n";
+    data << w.label("idx") << ":\n";
+    emitWords(data, idx);
+    data << w.label("bins") << ": .space " << p.tableWords * 4 << "\n";
+
+    KernelAsm out;
+    out.code = w.str();
+    out.data = data.str();
+    out.dataBytes = p.idxLen * 4 + p.tableWords * 4;
+    return out;
+}
+
+KernelAsm
+emitLinkedList(const KernelParams &p, unsigned id, uint32_t base, Rng &rng)
+{
+    constexpr uint32_t kNodeBytes = 64;     // one node per cache line
+    uint32_t nodes = std::max(2u, p.tableWords * 4 / kNodeBytes);
+
+    AsmWriter w(id);
+    w.def("entry");
+    w.li("$8", p.iters);
+    w.la("$11", "nodes");
+    w.def("loop");
+    w.line("lw $11, 0($11)");           // dependent pointer chase
+    w.line("addi $8, $8, -1");
+    w.line("bgtz $8, " + w.label("loop"));
+
+    // Build one random cycle over all nodes (a sattolo shuffle) so the
+    // chase never gets stuck in a short loop.
+    std::vector<uint32_t> perm(nodes);
+    for (uint32_t i = 0; i < nodes; ++i)
+        perm[i] = i;
+    for (uint32_t i = nodes - 1; i > 0; --i) {
+        uint32_t j = static_cast<uint32_t>(rng.below(i));
+        std::swap(perm[i], perm[j]);
+    }
+    // perm as a cycle: node perm[i] points at perm[(i+1) % nodes].
+    std::vector<uint32_t> next(nodes);
+    for (uint32_t i = 0; i < nodes; ++i)
+        next[perm[i]] = base + perm[(i + 1) % nodes] * kNodeBytes;
+
+    std::ostringstream data;
+    data << "    .org " << base << "\n";
+    data << w.label("nodes") << ":\n";
+    for (uint32_t i = 0; i < nodes; ++i) {
+        data << "    .word " << next[i] << "\n";
+        data << "    .space " << kNodeBytes - 4 << "\n";
+    }
+
+    KernelAsm out;
+    out.code = w.str();
+    out.data = data.str();
+    out.dataBytes = nodes * kNodeBytes;
+    return out;
+}
+
+KernelAsm
+emitStencil(const KernelParams &p, unsigned id, uint32_t base, Rng &rng)
+{
+    (void)rng;
+    AsmWriter w(id);
+    uint32_t count = std::max(4u, p.tableWords) - 2;
+    w.def("entry");
+    w.li("$8", p.iters);
+    w.la("$9", "in");
+    w.la("$10", "out");
+    w.line("addi $11, $9, 4");
+    w.line("addi $14, $10, 4");
+    w.li("$12", count);
+    w.def("loop");
+    w.line("lw $13, -4($11)");          // in[i-1] (NC)
+    w.line("lw $15, 0($11)");           // in[i]
+    w.line("lw $16, 4($11)");           // in[i+1]
+    w.line("add $17, $13, $15");
+    w.line("add $17, $17, $16");
+    w.line("sw $17, 0($14)");           // out[i]: no recurrence
+    w.line("addi $11, $11, 4");
+    w.line("addi $14, $14, 4");
+    w.line("addi $12, $12, -1");
+    w.line("bgtz $12, " + w.label("nw"));
+    w.line("addi $11, $9, 4");
+    w.line("addi $14, $10, 4");
+    w.li("$12", count);
+    w.def("nw");
+    w.line("addi $8, $8, -1");
+    w.line("bgtz $8, " + w.label("loop"));
+
+    std::ostringstream data;
+    data << "    .org " << base << "\n";
+    data << w.label("in") << ": .space " << p.tableWords * 4 << "\n";
+    data << w.label("out") << ": .space " << p.tableWords * 4 << "\n";
+
+    KernelAsm out;
+    out.code = w.str();
+    out.data = data.str();
+    out.dataBytes = p.tableWords * 8;
+    return out;
+}
+
+KernelAsm
+emitBlockCopy(const KernelParams &p, unsigned id, uint32_t base, Rng &rng)
+{
+    (void)rng;
+    AsmWriter w(id);
+    uint32_t count = p.tableWords;
+    w.def("entry");
+    w.li("$8", p.iters);
+    w.la("$9", "src");
+    w.la("$10", "dst");
+    w.line("move $11, $9");
+    w.line("move $14, $10");
+    w.li("$12", count);
+    w.def("loop");
+    w.line("lw $13, 0($11)");           // NC load
+    w.line("sw $13, 0($14)");           // streaming store
+    w.line("addi $11, $11, 4");
+    w.line("addi $14, $14, 4");
+    w.line("addi $12, $12, -1");
+    w.line("bgtz $12, " + w.label("nw"));
+    w.line("move $11, $9");
+    w.line("move $14, $10");
+    w.li("$12", count);
+    w.def("nw");
+    w.line("addi $8, $8, -1");
+    w.line("bgtz $8, " + w.label("loop"));
+
+    std::ostringstream data;
+    data << "    .org " << base << "\n";
+    data << w.label("src") << ": .space " << p.tableWords * 4 << "\n";
+    data << w.label("dst") << ": .space " << p.tableWords * 4 << "\n";
+
+    KernelAsm out;
+    out.code = w.str();
+    out.data = data.str();
+    out.dataBytes = p.tableWords * 8;
+    return out;
+}
+
+KernelAsm
+emitPartialWord(const KernelParams &p, unsigned id, uint32_t base, Rng &rng)
+{
+    (void)rng;
+    AsmWriter w(id);
+    w.def("entry");
+    w.li("$8", p.iters);
+    w.la("$9", "buf");
+    w.li("$13", 0x1234);
+    w.def("loop");
+    w.line("sw $13, 0($9)");            // word store
+    w.line("lhu $14, 2($9)");           // covered half load (shifted)
+    w.line("sh $13, 4($9)");            // half store
+    w.line("lw $15, 4($9)");            // partially covered word load
+    w.line("sb $13, 8($9)");            // byte store
+    w.line("lbu $16, 8($9)");           // covered byte load
+    w.line("add $17, $14, $15");
+    w.line("add $17, $17, $16");
+    w.line("addi $13, $13, 17");
+    w.line("addi $8, $8, -1");
+    w.line("bgtz $8, " + w.label("loop"));
+
+    std::ostringstream data;
+    data << "    .org " << base << "\n";
+    data << w.label("buf") << ": .space 64\n";
+
+    KernelAsm out;
+    out.code = w.str();
+    out.data = data.str();
+    out.dataBytes = 64;
+    return out;
+}
+
+} // namespace
+
+unsigned
+kernelInstsPerIter(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::PointerChaseInc: return 12;
+      case KernelKind::ArraySweep: return 7;
+      case KernelKind::SpillFill: return 7;
+      case KernelKind::Histogram: return 13;
+      case KernelKind::LinkedList: return 3;
+      case KernelKind::Stencil: return 11;
+      case KernelKind::BlockCopy: return 8;
+      case KernelKind::PartialWord: return 11;
+    }
+    return 8;
+}
+
+KernelAsm
+emitKernel(const KernelParams &params, unsigned id, uint32_t base, Rng &rng)
+{
+    switch (params.kind) {
+      case KernelKind::PointerChaseInc:
+        return emitPointerChase(params, id, base, rng);
+      case KernelKind::ArraySweep:
+        return emitArraySweep(params, id, base, rng);
+      case KernelKind::SpillFill:
+        return emitSpillFill(params, id, base, rng);
+      case KernelKind::Histogram:
+        return emitHistogram(params, id, base, rng);
+      case KernelKind::LinkedList:
+        return emitLinkedList(params, id, base, rng);
+      case KernelKind::Stencil:
+        return emitStencil(params, id, base, rng);
+      case KernelKind::BlockCopy:
+        return emitBlockCopy(params, id, base, rng);
+      case KernelKind::PartialWord:
+        return emitPartialWord(params, id, base, rng);
+    }
+    return {};
+}
+
+} // namespace dmdp

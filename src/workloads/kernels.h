@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Workload kernel generators. Each kernel emits an assembly block with a
+ * private data region; a proxy benchmark (spec_proxies.h) is a weighted
+ * composition of kernels. The kernels directly control the properties
+ * the paper's phenomena depend on:
+ *
+ *  - PointerChaseInc: the paper's Fig. 1 motif (x[ptr]++ through an
+ *    index array with controlled duplicate runs) — occasionally
+ *    colliding (OC) dependencies; an optional conditional extra store
+ *    makes the store distance vary (the bzip2 pathology of Fig. 13).
+ *  - ArraySweep: read-only streaming — never colliding (NC) loads with
+ *    a working-set-size-controlled miss rate.
+ *  - SpillFill: store-then-reload of a scratch slot — always colliding
+ *    (AC) with constant distance; memory cloaking's best case.
+ *  - Histogram: read-modify-write of random bins — OC with a
+ *    controllable silent-store fraction (section IV-C).
+ *  - LinkedList: dependent pointer chasing — low ILP, miss-bound.
+ *  - Stencil: neighbor updates — constant-distance cross-iteration
+ *    store-to-load plus NC neighbor reads.
+ *  - BlockCopy: load-store streaming with no reuse.
+ *  - PartialWord: sub-word stores/loads exercising BAB coverage,
+ *    shift/mask forwarding and re-execution (section IV-D).
+ */
+
+#ifndef DMDP_WORKLOADS_KERNELS_H
+#define DMDP_WORKLOADS_KERNELS_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace dmdp {
+
+/** Kernel kinds composable into proxy benchmarks. */
+enum class KernelKind
+{
+    PointerChaseInc,
+    ArraySweep,
+    SpillFill,
+    Histogram,
+    LinkedList,
+    Stencil,
+    BlockCopy,
+    PartialWord,
+};
+
+/** Parameters for one kernel instance. */
+struct KernelParams
+{
+    KernelKind kind = KernelKind::ArraySweep;
+    uint32_t iters = 1000;      ///< loop iterations
+    uint32_t tableWords = 1024; ///< data working set (words)
+    uint32_t idxLen = 256;      ///< index-array length (OC kernels)
+    double dupProb = 0.3;       ///< P(adjacent index repeats) — collision rate
+    uint32_t dupLag = 8;        ///< duplicates repeat from this far back
+    bool varDistance = false;   ///< conditional extra store (distance jitter)
+    double silentFrac = 0.0;    ///< fraction of silent read-modify-writes
+    uint32_t stride = 1;        ///< sweep stride in words
+};
+
+/** Approximate dynamic instructions per loop iteration of a kernel. */
+unsigned kernelInstsPerIter(KernelKind kind);
+
+/**
+ * Emit the code block for one kernel instance.
+ * @param id    unique suffix for labels
+ * @param base  start address of the kernel's private data region
+ * @param rng   deterministic source for index-array contents
+ * @return      {code, data} assembly fragments
+ */
+struct KernelAsm
+{
+    std::string code;
+    std::string data;
+    uint32_t dataBytes = 0;     ///< size of the data region consumed
+};
+
+KernelAsm emitKernel(const KernelParams &params, unsigned id,
+                     uint32_t base, Rng &rng);
+
+} // namespace dmdp
+
+#endif // DMDP_WORKLOADS_KERNELS_H

@@ -1,0 +1,261 @@
+#include "workloads/spec_proxies.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/assembler.h"
+
+namespace dmdp {
+
+namespace {
+
+/** Shorthand kernel constructors. */
+KernelParams
+chase(uint32_t table_words, double dup, bool var_distance = false,
+      uint32_t dup_lag = 8, uint32_t idx_len = 512)
+{
+    KernelParams p;
+    p.kind = KernelKind::PointerChaseInc;
+    p.tableWords = table_words;
+    p.dupProb = dup;
+    p.varDistance = var_distance;
+    p.dupLag = dup_lag;
+    p.idxLen = idx_len;
+    return p;
+}
+
+KernelParams
+sweep(uint32_t table_words, uint32_t stride = 1)
+{
+    KernelParams p;
+    p.kind = KernelKind::ArraySweep;
+    p.tableWords = table_words;
+    p.stride = stride;
+    return p;
+}
+
+KernelParams
+spill()
+{
+    KernelParams p;
+    p.kind = KernelKind::SpillFill;
+    return p;
+}
+
+KernelParams
+histo(uint32_t bins, double dup, double silent, bool var_distance = false,
+      uint32_t dup_lag = 8, uint32_t idx_len = 512)
+{
+    KernelParams p;
+    p.kind = KernelKind::Histogram;
+    p.tableWords = bins;
+    p.dupProb = dup;
+    p.silentFrac = silent;
+    p.varDistance = var_distance;
+    p.dupLag = dup_lag;
+    p.idxLen = idx_len;
+    return p;
+}
+
+KernelParams
+list(uint32_t table_words)
+{
+    KernelParams p;
+    p.kind = KernelKind::LinkedList;
+    p.tableWords = table_words;
+    return p;
+}
+
+KernelParams
+stencil(uint32_t table_words)
+{
+    KernelParams p;
+    p.kind = KernelKind::Stencil;
+    p.tableWords = table_words;
+    return p;
+}
+
+KernelParams
+copy(uint32_t table_words)
+{
+    KernelParams p;
+    p.kind = KernelKind::BlockCopy;
+    p.tableWords = table_words;
+    return p;
+}
+
+KernelParams
+partial()
+{
+    KernelParams p;
+    p.kind = KernelKind::PartialWord;
+    return p;
+}
+
+std::vector<ProxySpec>
+buildSpecs()
+{
+    // Working-set guide: L1D holds 8K words, L2 holds 512K words.
+    std::vector<ProxySpec> specs;
+    auto add = [&](const char *name, bool integer,
+                   std::vector<std::pair<double, KernelParams>> mix) {
+        specs.push_back({name, integer, std::move(mix)});
+    };
+
+    // ---- Integer ----
+    add("perl", true, {{0.12, spill()},
+                       {0.15, chase(2048, 0.30)},
+                       {0.53, sweep(8192)},
+                       {0.20, histo(4096, 0.25, 0.10)}});
+    // bzip2: OC with *varying* store distance (Fig. 13 pathology).
+    add("bzip2", true, {{0.35, chase(8192, 0.50, true, 3)},
+                        {0.20, histo(8192, 0.40, 0.05)},
+                        {0.35, sweep(65536)},
+                        {0.10, spill()}});
+    add("gcc", true, {{0.45, sweep(262144)},
+                      {0.25, chase(32768, 0.35)},
+                      {0.10, spill()},
+                      {0.20, histo(16384, 0.25, 0.10)}});
+    // mcf: memory bound, dependent misses.
+    add("mcf", true, {{0.40, list(393216)},
+                      {0.30, chase(65536, 0.35)},
+                      {0.30, sweep(262144)}});
+    add("gobmk", true, {{0.15, spill()},
+                        {0.12, chase(4096, 0.25)},
+                        {0.53, sweep(16384)},
+                        {0.20, stencil(8192)}});
+    // hmmer: silent-store heavy read-modify-writes (section IV-C).
+    add("hmmer", true, {{0.45, histo(4096, 0.50, 0.60, true, 4)},
+                        {0.12, spill()},
+                        {0.43, sweep(8192)}});
+    add("sjeng", true, {{0.15, spill()},
+                        {0.12, chase(8192, 0.25)},
+                        {0.53, sweep(16384)},
+                        {0.20, stencil(8192)}});
+    // lib(quantum): streaming, almost no in-flight collisions.
+    add("lib", true, {{0.50, copy(262144)},
+                      {0.40, sweep(524288, 2)},
+                      {0.10, chase(1024, 0.10)}});
+    // h264ref: sub-word pixel traffic.
+    add("h264ref", true, {{0.25, partial()},
+                          {0.35, chase(16384, 0.40)},
+                          {0.32, copy(32768)},
+                          {0.08, spill()}});
+    add("astar", true, {{0.25, list(131072)},
+                        {0.35, chase(16384, 0.45)},
+                        {0.10, spill()},
+                        {0.30, sweep(32768)}});
+
+    // ---- Floating point ----
+    add("bwaves", false, {{0.40, sweep(524288, 2)},
+                          {0.35, stencil(65536)},
+                          {0.15, copy(131072)},
+                          {0.10, histo(16384, 0.30, 0.05)}});
+    // milc: low-confidence loads that are mostly independent.
+    add("milc", false, {{0.35, sweep(1048576)},
+                        {0.25, histo(65536, 0.25, 0.05, false, 5)},
+                        {0.35, stencil(32768)},
+                        {0.05, spill()}});
+    add("zeusmp", false, {{0.45, stencil(32768)},
+                          {0.30, sweep(131072)},
+                          {0.08, spill()},
+                          {0.17, histo(8192, 0.30, 0.05, false, 6)}});
+    add("gromacs", false, {{0.15, spill()},
+                           {0.40, stencil(8192)},
+                           {0.35, sweep(16384)},
+                           {0.10, chase(4096, 0.35)}});
+    add("leslie3d", false, {{0.40, stencil(131072)},
+                            {0.30, sweep(262144)},
+                            {0.20, copy(65536)},
+                            {0.10, histo(16384, 0.30, 0.05, false, 6)}});
+    add("namd", false, {{0.35, stencil(4096)},
+                        {0.35, sweep(8192)},
+                        {0.10, spill()},
+                        {0.20, chase(2048, 0.30)}});
+    add("Gems", false, {{0.40, stencil(65536)},
+                        {0.35, sweep(65536)},
+                        {0.20, histo(16384, 0.25, 0.05, false, 6)},
+                        {0.05, spill()}});
+    add("tonto", false, {{0.12, spill()},
+                         {0.53, stencil(16384)},
+                         {0.20, chase(8192, 0.30)},
+                         {0.15, sweep(32768)}});
+    // lbm: store-miss streams that pressure the store buffer.
+    add("lbm", false, {{0.45, copy(524288)},
+                       {0.30, stencil(262144)},
+                       {0.15, histo(65536, 0.30, 0.05)},
+                       {0.10, sweep(131072)}});
+    // wrf: hard-to-predict OC that predication rescues.
+    add("wrf", false, {{0.30, stencil(16384)},
+                       {0.30, chase(16384, 0.55, false, 3)},
+                       {0.10, spill()},
+                       {0.30, sweep(32768)}});
+    add("sphinx3", false, {{0.40, sweep(524288)},
+                           {0.25, histo(32768, 0.30, 0.10, false, 6)},
+                           {0.30, stencil(16384)},
+                           {0.05, spill()}});
+    return specs;
+}
+
+} // namespace
+
+const std::vector<ProxySpec> &
+specProxies()
+{
+    static const std::vector<ProxySpec> specs = buildSpecs();
+    return specs;
+}
+
+const ProxySpec &
+findProxy(const std::string &name)
+{
+    for (const auto &spec : specProxies())
+        if (spec.name == name)
+            return spec;
+    throw std::out_of_range("unknown proxy benchmark: " + name);
+}
+
+Program
+buildProxy(const ProxySpec &spec, uint64_t target_insts)
+{
+    Rng rng(std::hash<std::string>{}(spec.name) | 1);
+
+    double total_weight = 0;
+    for (const auto &[weight, params] : spec.mix)
+        total_weight += weight;
+
+    std::ostringstream code;
+    std::ostringstream data;
+    code << "main:\n";
+
+    uint32_t base = 0x00400000;
+    unsigned id = 0;
+    for (const auto &[weight, params] : spec.mix) {
+        KernelParams kp = params;
+        // Programs run ~20% past the target so maxInsts caps cleanly.
+        double share = weight / total_weight;
+        uint64_t budget =
+            static_cast<uint64_t>(1.2 * share *
+                                  static_cast<double>(target_insts));
+        kp.iters = static_cast<uint32_t>(std::max<uint64_t>(
+            1, budget / kernelInstsPerIter(kp.kind)));
+        KernelAsm frag = emitKernel(kp, id, base, rng);
+        code << frag.code;
+        data << frag.data;
+        base += (frag.dataBytes + 0x1ffff) & ~0xffffu;
+        ++id;
+    }
+    code << "    halt\n";
+
+    return assemble(code.str() + data.str());
+}
+
+Program
+buildProxy(const std::string &name, uint64_t target_insts)
+{
+    return buildProxy(findProxy(name), target_insts);
+}
+
+} // namespace dmdp

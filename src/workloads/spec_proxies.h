@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SPEC CPU 2006 proxy benchmarks (see DESIGN.md, substitutions table).
+ * Each proxy is a deterministic composition of kernels whose parameters
+ * are shaped to qualitatively match the per-benchmark behavior the
+ * paper reports: the load-class mix of Fig. 2, the OC collision and
+ * distance-variability pathologies (bzip2, hmmer), memory-boundedness
+ * (mcf, lbm), and the Int/FP split of the suite.
+ */
+
+#ifndef DMDP_WORKLOADS_SPEC_PROXIES_H
+#define DMDP_WORKLOADS_SPEC_PROXIES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+#include "workloads/kernels.h"
+
+namespace dmdp {
+
+/** Descriptor of one proxy benchmark. */
+struct ProxySpec
+{
+    std::string name;
+    bool isInteger = true;
+    /** Kernel mix; weights are relative dynamic-instruction shares. */
+    std::vector<std::pair<double, KernelParams>> mix;
+};
+
+/** All 21 simulated benchmarks, paper order (10 Int + 11 FP). */
+const std::vector<ProxySpec> &specProxies();
+
+/** Look up a proxy by name (throws std::out_of_range if unknown). */
+const ProxySpec &findProxy(const std::string &name);
+
+/**
+ * Build the proxy program sized for roughly @p target_insts dynamic
+ * instructions (the program is ~20% longer; cap runs with
+ * SimConfig::maxInsts for exact lengths).
+ */
+Program buildProxy(const ProxySpec &spec, uint64_t target_insts);
+
+/** Convenience: build by name. */
+Program buildProxy(const std::string &name, uint64_t target_insts);
+
+} // namespace dmdp
+
+#endif // DMDP_WORKLOADS_SPEC_PROXIES_H

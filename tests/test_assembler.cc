@@ -1,0 +1,195 @@
+/** @file Tests for the two-pass assembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/encode.h"
+
+namespace dmdp {
+namespace {
+
+uint32_t
+wordAt(const Program &prog, uint32_t addr)
+{
+    for (const auto &[base, bytes] : prog.chunks) {
+        if (addr >= base && addr + 4 <= base + bytes.size()) {
+            size_t off = addr - base;
+            return static_cast<uint32_t>(bytes[off]) |
+                   (static_cast<uint32_t>(bytes[off + 1]) << 8) |
+                   (static_cast<uint32_t>(bytes[off + 2]) << 16) |
+                   (static_cast<uint32_t>(bytes[off + 3]) << 24);
+        }
+    }
+    ADD_FAILURE() << "no word at " << std::hex << addr;
+    return 0;
+}
+
+TEST(Assembler, BasicInstructions)
+{
+    Program prog = assemble("add $3, $1, $2\n");
+    Inst inst = decode(wordAt(prog, 0x1000));
+    EXPECT_EQ(inst.op, Op::ADD);
+    EXPECT_EQ(inst.rd, 3);
+    EXPECT_EQ(inst.rs, 1);
+    EXPECT_EQ(inst.rt, 2);
+}
+
+TEST(Assembler, AbiRegisterNames)
+{
+    Program prog = assemble("add $t0, $sp, $ra\n");
+    Inst inst = decode(wordAt(prog, 0x1000));
+    EXPECT_EQ(inst.rd, 8);
+    EXPECT_EQ(inst.rs, 29);
+    EXPECT_EQ(inst.rt, 31);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program prog = assemble("lw $t0, -8($sp)\nsw $t1, ($t2)\n");
+    Inst lw = decode(wordAt(prog, 0x1000));
+    EXPECT_EQ(lw.op, Op::LW);
+    EXPECT_EQ(lw.imm, -8);
+    Inst sw = decode(wordAt(prog, 0x1004));
+    EXPECT_EQ(sw.op, Op::SW);
+    EXPECT_EQ(sw.imm, 0);
+}
+
+TEST(Assembler, ForwardAndBackwardBranches)
+{
+    Program prog = assemble(R"(
+top:
+    addi $1, $1, 1
+    bne $1, $2, top
+    beq $1, $2, end
+    nop
+end:
+    halt
+)");
+    Inst bne = decode(wordAt(prog, 0x1004));
+    EXPECT_EQ(bne.op, Op::BNE);
+    EXPECT_EQ(bne.imm, -2);     // back to 0x1000 from pc+4=0x1008
+    Inst beq = decode(wordAt(prog, 0x1008));
+    EXPECT_EQ(beq.imm, 1);      // forward to 0x1010 from pc+4=0x100c
+}
+
+TEST(Assembler, JumpTargets)
+{
+    Program prog = assemble("j main\nmain: halt\n");
+    Inst j = decode(wordAt(prog, 0x1000));
+    EXPECT_EQ(j.op, Op::J);
+    EXPECT_EQ(static_cast<uint32_t>(j.imm) << 2, 0x1004u);
+}
+
+TEST(Assembler, LiExpandsToTwoInstructions)
+{
+    Program prog = assemble("li $t0, 0x12345678\nhalt\n");
+    Inst hi = decode(wordAt(prog, 0x1000));
+    Inst lo = decode(wordAt(prog, 0x1004));
+    EXPECT_EQ(hi.op, Op::LUI);
+    EXPECT_EQ(hi.imm, 0x1234);
+    EXPECT_EQ(lo.op, Op::ORI);
+    EXPECT_EQ(lo.imm, 0x5678);
+    EXPECT_EQ(decode(wordAt(prog, 0x1008)).op, Op::HALT);
+}
+
+TEST(Assembler, LaResolvesLabels)
+{
+    Program prog = assemble(R"(
+    la $t0, data
+    halt
+    .org 0x20000
+data: .word 99
+)");
+    Inst hi = decode(wordAt(prog, 0x1000));
+    Inst lo = decode(wordAt(prog, 0x1004));
+    uint32_t addr = (static_cast<uint32_t>(hi.imm) << 16) |
+                    static_cast<uint32_t>(lo.imm);
+    EXPECT_EQ(addr, 0x20000u);
+}
+
+TEST(Assembler, PseudoOps)
+{
+    Program prog = assemble("move $t0, $t1\nnop\nb skip\nskip: halt\n");
+    Inst mv = decode(wordAt(prog, 0x1000));
+    EXPECT_EQ(mv.op, Op::OR);
+    EXPECT_EQ(mv.rt, 0);
+    Inst nop = decode(wordAt(prog, 0x1004));
+    EXPECT_EQ(nop.op, Op::SLL);
+    Inst b = decode(wordAt(prog, 0x1008));
+    EXPECT_EQ(b.op, Op::BEQ);
+    EXPECT_EQ(b.rs, 0);
+    EXPECT_EQ(b.rt, 0);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program prog = assemble(R"(
+    halt
+    .org 0x8000
+vals: .word 1, 2, 3
+    .space 8
+after: .word 0xdeadbeef
+)");
+    EXPECT_EQ(wordAt(prog, 0x8000), 1u);
+    EXPECT_EQ(wordAt(prog, 0x8008), 3u);
+    EXPECT_EQ(prog.symbols.at("after"), 0x8014u);
+    EXPECT_EQ(wordAt(prog, 0x8014), 0xdeadbeefu);
+}
+
+TEST(Assembler, AlignDirective)
+{
+    Program prog = assemble(R"(
+    halt
+    .org 0x8001
+    .align 4
+aligned: .word 5
+)");
+    EXPECT_EQ(prog.symbols.at("aligned") % 16, 0u);
+}
+
+TEST(Assembler, EntryDirectiveAndMainLabel)
+{
+    Program with_main = assemble("nop\nmain: halt\n");
+    EXPECT_EQ(with_main.entry, 0x1004u);
+
+    Program with_entry = assemble(".entry start\nnop\nstart: halt\n");
+    EXPECT_EQ(with_entry.entry, 0x1004u);
+
+    Program bare = assemble("halt\n");
+    EXPECT_EQ(bare.entry, 0x1000u);
+}
+
+TEST(Assembler, CommentsIgnored)
+{
+    Program prog = assemble("# full line\nadd $1, $2, $3 ; trailing\n");
+    EXPECT_EQ(decode(wordAt(prog, 0x1000)).op, Op::ADD);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus $1, $2\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(Assembler, ErrorOnUndefinedSymbol)
+{
+    EXPECT_THROW(assemble("j nowhere\n"), AsmError);
+}
+
+TEST(Assembler, ErrorOnBadRegister)
+{
+    EXPECT_THROW(assemble("add $zz, $1, $2\n"), AsmError);
+    EXPECT_THROW(assemble("add $32, $1, $2\n"), AsmError);
+}
+
+TEST(Assembler, ErrorOnMissingOperand)
+{
+    EXPECT_THROW(assemble("add $1, $2\n"), AsmError);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,83 @@
+/** @file Unit tests for common/bitutil.h. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+namespace {
+
+TEST(BitUtil, BitsExtractsRanges)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 26), 0x37u);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(bits(0xffffffff, 0, 0), 1u);
+}
+
+TEST(BitUtil, SextSignExtends)
+{
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0x7fff, 16), 32767);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0x0, 16), 0);
+}
+
+TEST(BitUtil, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(1024));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(1023));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+}
+
+TEST(BitUtil, FoldXorPreservesWidth)
+{
+    EXPECT_LT(foldXor(0xdeadbeefcafebabeull, 8), 256u);
+    EXPECT_EQ(foldXor(0, 8), 0u);
+    // A value narrower than the fold width folds to itself.
+    EXPECT_EQ(foldXor(0x3f, 8), 0x3fu);
+}
+
+struct BabCase
+{
+    uint32_t addr;
+    unsigned size;
+    uint8_t expected;
+};
+
+class BabTest : public ::testing::TestWithParam<BabCase>
+{};
+
+TEST_P(BabTest, ByteAccessBits)
+{
+    const BabCase &c = GetParam();
+    EXPECT_EQ(byteAccessBits(c.addr, c.size), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlignments, BabTest,
+    ::testing::Values(BabCase{0x1000, 4, 0xF}, BabCase{0x1000, 2, 0x3},
+                      BabCase{0x1002, 2, 0xC}, BabCase{0x1000, 1, 0x1},
+                      BabCase{0x1001, 1, 0x2}, BabCase{0x1002, 1, 0x4},
+                      BabCase{0x1003, 1, 0x8}));
+
+TEST(BitUtil, WordAddrMasksLowBits)
+{
+    EXPECT_EQ(wordAddr(0x1003), 0x1000u);
+    EXPECT_EQ(wordAddr(0x1004), 0x1004u);
+}
+
+} // namespace
+} // namespace dmdp

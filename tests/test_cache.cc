@@ -1,0 +1,94 @@
+/** @file Tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace dmdp {
+namespace {
+
+CacheConfig
+tinyCache()
+{
+    // 2 sets x 2 ways x 64B lines = 256 bytes.
+    return CacheConfig{256, 2, 64, 4};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(tinyCache(), "t");
+    EXPECT_FALSE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x1000, false));
+    EXPECT_TRUE(cache.access(0x103f, false));   // same line
+    EXPECT_FALSE(cache.access(0x1040, false));  // next line, other set
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache cache(tinyCache(), "t");
+    // Three lines mapping to set 0 (line addresses 0x000, 0x080, 0x100).
+    cache.access(0x000, false);
+    cache.access(0x080, false);
+    cache.access(0x000, false);     // refresh A
+    cache.access(0x100, false);     // evicts B (LRU)
+    EXPECT_TRUE(cache.probe(0x000));
+    EXPECT_FALSE(cache.probe(0x080));
+    EXPECT_TRUE(cache.probe(0x100));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    Cache cache(tinyCache(), "t");
+    cache.access(0x000, true);      // dirty fill
+    cache.access(0x080, false);
+    cache.access(0x100, false);     // evicts dirty 0x000
+    EXPECT_EQ(cache.writebacks(), 1u);
+    cache.access(0x180, false);     // evicts clean 0x080
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache cache(tinyCache(), "t");
+    cache.access(0x000, false);
+    cache.access(0x000, true);      // hit, now dirty
+    cache.access(0x080, false);
+    cache.access(0x100, false);     // evict 0x000
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache cache(tinyCache(), "t");
+    cache.access(0x1000, true);
+    EXPECT_TRUE(cache.probe(0x1000));
+    cache.invalidate(0x1000);
+    EXPECT_FALSE(cache.probe(0x1000));
+    // Invalidate drops the dirty bit too: no writeback on refill.
+    cache.access(0x1000, false);
+    cache.access(0x1080, false);
+    cache.access(0x1100, false);
+    EXPECT_EQ(cache.writebacks(), 0u);
+}
+
+TEST(Cache, ProbeDoesNotFill)
+{
+    Cache cache(tinyCache(), "t");
+    EXPECT_FALSE(cache.probe(0x2000));
+    EXPECT_FALSE(cache.access(0x2000, false)); // still a miss
+}
+
+TEST(Cache, PaperGeometryConstructs)
+{
+    CacheConfig l1{32 * 1024, 8, 64, 4};
+    CacheConfig l2{2 * 1024 * 1024, 16, 64, 12};
+    Cache a(l1, "l1");
+    Cache b(l2, "l2");
+    EXPECT_EQ(a.hitLatency(), 4u);
+    EXPECT_EQ(b.hitLatency(), 12u);
+}
+
+} // namespace
+} // namespace dmdp

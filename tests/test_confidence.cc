@@ -1,0 +1,96 @@
+/** @file Tests for the confidence counter policies (section IV-E). */
+
+#include <gtest/gtest.h>
+
+#include "pred/confidence.h"
+
+namespace dmdp {
+namespace {
+
+TEST(Confidence, PaperDefaultsAreConfident)
+{
+    // Initial value 64, threshold 63: confident out of reset.
+    ConfidenceCounter c(64, 127);
+    EXPECT_TRUE(c.confident(63));
+}
+
+TEST(Confidence, SaturatesAtMax)
+{
+    ConfidenceCounter c(126, 127);
+    c.correct();
+    c.correct();
+    EXPECT_EQ(c.value(), 127u);
+}
+
+TEST(Confidence, BalancedDecrementsByOne)
+{
+    ConfidenceCounter c(64, 127);
+    c.incorrect(false);
+    EXPECT_EQ(c.value(), 63u);
+    EXPECT_FALSE(c.confident(63));
+    c.correct();
+    EXPECT_TRUE(c.confident(63));   // recovers in one step
+}
+
+TEST(Confidence, BiasedDividesByTwo)
+{
+    ConfidenceCounter c(64, 127);
+    c.incorrect(true);
+    EXPECT_EQ(c.value(), 32u);
+    // Recovery is slow: 32 correct predictions to re-reach 64.
+    for (int i = 0; i < 31; ++i)
+        c.correct();
+    EXPECT_FALSE(c.confident(63));
+    c.correct();
+    EXPECT_TRUE(c.confident(63));
+}
+
+TEST(Confidence, BiasedReachesZero)
+{
+    ConfidenceCounter c(64, 127);
+    for (int i = 0; i < 8; ++i)
+        c.incorrect(true);
+    EXPECT_EQ(c.value(), 0u);
+    c.incorrect(true);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Confidence, BalancedFloorsAtZero)
+{
+    ConfidenceCounter c(1, 127);
+    c.incorrect(false);
+    c.incorrect(false);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Confidence, BiasedRecoversSlowerThanBalanced)
+{
+    // The core claim of section IV-E: after a misprediction the biased
+    // policy keeps a load in predication mode much longer.
+    ConfidenceCounter biased(127, 127);
+    ConfidenceCounter balanced(127, 127);
+    biased.incorrect(true);
+    balanced.incorrect(false);
+
+    int biased_steps = 0, balanced_steps = 0;
+    while (!biased.confident(63)) {
+        biased.correct();
+        ++biased_steps;
+    }
+    while (!balanced.confident(63)) {
+        balanced.correct();
+        ++balanced_steps;
+    }
+    EXPECT_EQ(balanced_steps, 0);   // 126 is still confident
+    EXPECT_GT(biased_steps, 0);     // 63 is not
+}
+
+TEST(Confidence, ResetClampsToMax)
+{
+    ConfidenceCounter c(0, 127);
+    c.reset(200);
+    EXPECT_EQ(c.value(), 127u);
+}
+
+} // namespace
+} // namespace dmdp

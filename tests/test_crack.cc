@@ -1,0 +1,189 @@
+/** @file Tests for micro-op cracking and partial-word forwarding. */
+
+#include <gtest/gtest.h>
+
+#include "core/crack.h"
+#include "func/emulator.h"
+
+namespace dmdp {
+namespace {
+
+DynInst
+loadInst(Op op = Op::LW, uint8_t rt = 9, uint8_t rs = 3)
+{
+    DynInst dyn;
+    dyn.inst.op = op;
+    dyn.inst.rt = rt;
+    dyn.inst.rs = rs;
+    dyn.inst.imm = 4;
+    return dyn;
+}
+
+DynInst
+storeInst()
+{
+    DynInst dyn;
+    dyn.inst.op = Op::SW;
+    dyn.inst.rt = 7;
+    dyn.inst.rs = 8;
+    dyn.inst.imm = 8;
+    return dyn;
+}
+
+TEST(Crack, BaselineKeepsFusedMemOps)
+{
+    auto load = crackInst(loadInst(), LsuModel::Baseline, LoadClass::Direct);
+    ASSERT_EQ(load.size(), 1u);
+    EXPECT_EQ(load[0].kind, UopKind::Load);
+    EXPECT_EQ(load[0].lsrc1, 3);
+    EXPECT_EQ(load[0].ldst, 9);
+    EXPECT_TRUE(load[0].instEnd);
+
+    auto store = crackInst(storeInst(), LsuModel::Baseline, LoadClass::None);
+    ASSERT_EQ(store.size(), 1u);
+    EXPECT_EQ(store[0].kind, UopKind::Store);
+    EXPECT_TRUE(store[0].dispatch);
+}
+
+TEST(Crack, SqfStoreGetsAgi)
+{
+    // Fig. 7(b): ADDI $32, base, offset; SW data, ($32).
+    auto uops = crackInst(storeInst(), LsuModel::DMDP, LoadClass::None);
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_EQ(uops[0].kind, UopKind::Agi);
+    EXPECT_EQ(uops[0].lsrc1, 8);
+    EXPECT_EQ(uops[0].ldst, static_cast<int>(kRegAddrTmp));
+    EXPECT_EQ(uops[1].kind, UopKind::Store);
+    EXPECT_EQ(uops[1].lsrc1, static_cast<int>(kRegAddrTmp));
+    EXPECT_EQ(uops[1].lsrc2, 7);
+    EXPECT_FALSE(uops[1].dispatch);     // executes at commit
+    EXPECT_TRUE(uops[1].instEnd);
+}
+
+TEST(Crack, DirectLoad)
+{
+    auto uops = crackInst(loadInst(), LsuModel::NoSQ, LoadClass::Direct);
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_EQ(uops[0].kind, UopKind::Agi);
+    EXPECT_EQ(uops[1].kind, UopKind::Load);
+    EXPECT_EQ(uops[1].ldst, 9);
+    EXPECT_TRUE(uops[1].dispatch);
+}
+
+TEST(Crack, WordBypassIsPureRename)
+{
+    auto uops = crackInst(loadInst(), LsuModel::NoSQ, LoadClass::Bypass);
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_TRUE(uops[1].sharedDst);
+    EXPECT_FALSE(uops[1].dispatch);
+}
+
+TEST(Crack, PartialBypassIsShiftOp)
+{
+    auto uops = crackInst(loadInst(Op::LHU), LsuModel::NoSQ,
+                          LoadClass::Bypass);
+    ASSERT_EQ(uops.size(), 2u);
+    EXPECT_FALSE(uops[1].sharedDst);
+    EXPECT_TRUE(uops[1].dispatch);
+    EXPECT_EQ(uops[1].lsrc2, kLregStoreData);
+}
+
+TEST(Crack, PredicationInsertsFig8Sequence)
+{
+    // Fig. 8(c): AGI, LW $33, CMP $34, CMOV, CMOV (shared dest).
+    auto uops = crackInst(loadInst(), LsuModel::DMDP, LoadClass::Predicated);
+    ASSERT_EQ(uops.size(), 5u);
+    EXPECT_EQ(uops[0].kind, UopKind::Agi);
+    EXPECT_EQ(uops[1].kind, UopKind::Load);
+    EXPECT_EQ(uops[1].ldst, static_cast<int>(kRegLoadTmp));
+    EXPECT_EQ(uops[2].kind, UopKind::Cmp);
+    EXPECT_EQ(uops[2].lsrc1, static_cast<int>(kRegAddrTmp));
+    EXPECT_EQ(uops[2].lsrc2, kLregStoreAddr);
+    EXPECT_EQ(uops[2].ldst, static_cast<int>(kRegPredTmp));
+    EXPECT_EQ(uops[3].kind, UopKind::CmovTrue);
+    EXPECT_EQ(uops[3].lsrc2, kLregStoreData);
+    EXPECT_EQ(uops[3].ldst, 9);
+    EXPECT_FALSE(uops[3].sharedDst);
+    EXPECT_EQ(uops[4].kind, UopKind::CmovFalse);
+    EXPECT_EQ(uops[4].lsrc2, static_cast<int>(kRegLoadTmp));
+    EXPECT_EQ(uops[4].ldst, 9);
+    EXPECT_TRUE(uops[4].sharedDst);     // Fig. 8(d): both CMOVs -> P8
+    EXPECT_TRUE(uops[4].instEnd);
+    EXPECT_FALSE(uops[3].instEnd);
+}
+
+TEST(Crack, NonMemoryInstructions)
+{
+    DynInst alu;
+    alu.inst.op = Op::ADD;
+    alu.inst.rd = 3;
+    alu.inst.rs = 1;
+    alu.inst.rt = 2;
+    auto uops = crackInst(alu, LsuModel::DMDP, LoadClass::None);
+    ASSERT_EQ(uops.size(), 1u);
+    EXPECT_EQ(uops[0].kind, UopKind::Alu);
+
+    DynInst branch;
+    branch.inst.op = Op::BNE;
+    auto buops = crackInst(branch, LsuModel::DMDP, LoadClass::None);
+    EXPECT_EQ(buops[0].kind, UopKind::Branch);
+
+    DynInst halt;
+    halt.inst.op = Op::HALT;
+    auto huops = crackInst(halt, LsuModel::DMDP, LoadClass::None);
+    EXPECT_EQ(huops[0].kind, UopKind::Halt);
+}
+
+// ---- extractForwarded (section IV-D shift/mask/extend) ----
+
+struct FwdCase
+{
+    uint32_t st_addr;
+    unsigned st_size;
+    uint32_t st_value;
+    uint32_t ld_addr;
+    Op ld_op;
+    bool ok;
+    uint32_t expected;
+};
+
+class ExtractForward : public ::testing::TestWithParam<FwdCase>
+{};
+
+TEST_P(ExtractForward, MatchesMemorySemantics)
+{
+    const FwdCase &c = GetParam();
+    Inst load;
+    load.op = c.ld_op;
+    uint32_t value = 0;
+    bool ok = extractForwarded(c.st_addr, c.st_size, c.st_value, c.ld_addr,
+                               load, value);
+    EXPECT_EQ(ok, c.ok);
+    if (c.ok) {
+        EXPECT_EQ(value, c.expected);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShiftMaskExtend, ExtractForward,
+    ::testing::Values(
+        // Word-to-word.
+        FwdCase{0x1000, 4, 0xdeadbeef, 0x1000, Op::LW, true, 0xdeadbeef},
+        // Word store, upper-half load: right shift 16 (paper IV-D).
+        FwdCase{0x1000, 4, 0xdeadbeef, 0x1002, Op::LHU, true, 0xdead},
+        FwdCase{0x1000, 4, 0xdeadbeef, 0x1002, Op::LH, true, 0xffffdead},
+        // Word store, byte loads at each offset.
+        FwdCase{0x1000, 4, 0x44332211, 0x1000, Op::LBU, true, 0x11},
+        FwdCase{0x1000, 4, 0x44332211, 0x1003, Op::LBU, true, 0x44},
+        FwdCase{0x1000, 4, 0x00000080, 0x1000, Op::LB, true, 0xffffff80},
+        // Half store fully covering a half load.
+        FwdCase{0x1002, 2, 0xbeef, 0x1002, Op::LHU, true, 0xbeef},
+        // Half store does NOT cover a word load.
+        FwdCase{0x1000, 2, 0xbeef, 0x1000, Op::LW, false, 0},
+        // Byte store does NOT cover a half load.
+        FwdCase{0x1000, 1, 0xaa, 0x1000, Op::LHU, false, 0},
+        // Disjoint.
+        FwdCase{0x1000, 2, 0xbeef, 0x1002, Op::LHU, false, 0}));
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,86 @@
+/** @file Tests for the disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/disasm.h"
+#include "isa/encode.h"
+
+namespace dmdp {
+namespace {
+
+TEST(Disasm, RTypeFormat)
+{
+    Inst inst;
+    inst.op = Op::ADD;
+    inst.rd = 3;
+    inst.rs = 1;
+    inst.rt = 2;
+    EXPECT_EQ(disassemble(inst), "add $3, $1, $2");
+}
+
+TEST(Disasm, MemoryFormat)
+{
+    Inst inst;
+    inst.op = Op::LW;
+    inst.rt = 8;
+    inst.rs = 29;
+    inst.imm = -8;
+    EXPECT_EQ(disassemble(inst), "lw $8, -8($29)");
+}
+
+TEST(Disasm, BranchTargetUsesPc)
+{
+    Inst inst;
+    inst.op = Op::BEQ;
+    inst.rs = 1;
+    inst.rt = 2;
+    inst.imm = 3;   // pc + 4 + 12
+    EXPECT_EQ(disassemble(inst, 0x1000), "beq $1, $2, 0x1010");
+}
+
+TEST(Disasm, JumpAndHalt)
+{
+    Inst j;
+    j.op = Op::J;
+    j.imm = 0x400;
+    EXPECT_EQ(disassemble(j), "j 0x1000");
+    Inst halt;
+    halt.op = Op::HALT;
+    EXPECT_EQ(disassemble(halt), "halt");
+}
+
+TEST(Disasm, WordRoundTripKeepsMnemonic)
+{
+    // Every mnemonic survives assemble -> decode -> disassemble.
+    const char *lines[] = {
+        "add $1, $2, $3", "sub $1, $2, $3", "and $1, $2, $3",
+        "or $1, $2, $3",  "xor $1, $2, $3", "slt $1, $2, $3",
+        "sltu $1, $2, $3", "mul $1, $2, $3", "sll $1, $2, 4",
+        "srl $1, $2, 4",  "sra $1, $2, 4",  "addi $1, $2, 5",
+        "andi $1, $2, 5", "ori $1, $2, 5",  "xori $1, $2, 5",
+        "slti $1, $2, 5", "sltiu $1, $2, 5", "lw $1, 0($2)",
+        "lh $1, 0($2)",   "lhu $1, 0($2)",  "lb $1, 0($2)",
+        "lbu $1, 0($2)",  "sw $1, 0($2)",   "sh $1, 0($2)",
+        "sb $1, 0($2)",   "jr $31", "halt",
+    };
+    for (const char *line : lines) {
+        Program prog = assemble(std::string(line) + "\n");
+        uint32_t word = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            word |= static_cast<uint32_t>(
+                        prog.chunks.at(0x1000)[i]) << (8 * i);
+        std::string text = disassembleWord(word, 0x1000);
+        std::string mnemonic(line);
+        mnemonic = mnemonic.substr(0, mnemonic.find(' '));
+        EXPECT_EQ(text.substr(0, mnemonic.size()), mnemonic) << line;
+    }
+}
+
+TEST(Disasm, InvalidWord)
+{
+    EXPECT_EQ(disassembleWord(0x3eu << 26), "invalid");
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,59 @@
+/** @file Tests for the banked DRAM model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.h"
+
+namespace dmdp {
+namespace {
+
+SimConfig
+cfgWith(uint32_t banks, uint32_t miss, uint32_t hit)
+{
+    SimConfig cfg;
+    cfg.dramBanks = banks;
+    cfg.dramLatency = miss;
+    cfg.rowBufferHitLatency = hit;
+    return cfg;
+}
+
+TEST(Dram, RowMissThenRowHit)
+{
+    Dram dram(cfgWith(8, 200, 120));
+    uint32_t first = dram.access(0x100000, 0);
+    EXPECT_EQ(first, 200u);
+    // Same row, same bank, issued after the bank frees.
+    uint32_t second = dram.access(0x100000, 200);
+    EXPECT_EQ(second, 120u);
+    EXPECT_EQ(dram.rowHits(), 1u);
+    EXPECT_EQ(dram.accesses(), 2u);
+}
+
+TEST(Dram, RowConflictReopens)
+{
+    Dram dram(cfgWith(8, 200, 120));
+    dram.access(0x100000, 0);
+    // Different row (bit 12+), same bank (bits 6..8 equal).
+    uint32_t conflict = dram.access(0x100000 + (1 << 12), 200);
+    EXPECT_EQ(conflict, 200u);
+}
+
+TEST(Dram, BusyBankQueues)
+{
+    Dram dram(cfgWith(8, 200, 120));
+    dram.access(0x100000, 0);               // bank busy until 200
+    uint32_t queued = dram.access(0x100000, 50);
+    // Starts at 200, row hit: total = 200 - 50 + 120 = 270.
+    EXPECT_EQ(queued, 270u);
+}
+
+TEST(Dram, DifferentBanksProceedInParallel)
+{
+    Dram dram(cfgWith(8, 200, 120));
+    dram.access(0x100000, 0);
+    uint32_t other = dram.access(0x100040, 0);  // next line, next bank
+    EXPECT_EQ(other, 200u);     // no queueing delay
+}
+
+} // namespace
+} // namespace dmdp

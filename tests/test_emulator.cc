@@ -1,0 +1,197 @@
+/** @file Architectural-semantics tests for the functional emulator. */
+
+#include <gtest/gtest.h>
+
+#include "func/emulator.h"
+#include "isa/assembler.h"
+
+namespace dmdp {
+namespace {
+
+/** Run a source snippet until HALT and return the final emulator. */
+Emulator
+runProgram(const std::string &source, uint64_t max_steps = 100000)
+{
+    Emulator emu(assemble(source));
+    while (!emu.halted() && emu.instCount() < max_steps)
+        emu.step();
+    EXPECT_TRUE(emu.halted()) << "program did not halt";
+    return emu;
+}
+
+struct AluCase
+{
+    const char *source;
+    unsigned reg;
+    uint32_t expected;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase>
+{};
+
+TEST_P(AluSemantics, ComputesExpectedValue)
+{
+    const AluCase &c = GetParam();
+    Emulator emu = runProgram(c.source);
+    EXPECT_EQ(emu.reg(c.reg), c.expected) << c.source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, AluSemantics,
+    ::testing::Values(
+        AluCase{"li $1, 5\nli $2, 7\nadd $3, $1, $2\nhalt\n", 3, 12},
+        AluCase{"li $1, 5\nli $2, 7\nsub $3, $1, $2\nhalt\n", 3,
+                static_cast<uint32_t>(-2)},
+        AluCase{"li $1, 6\nli $2, 7\nmul $3, $1, $2\nhalt\n", 3, 42},
+        AluCase{"li $1, 0xf0\nli $2, 0x0f\nor $3, $1, $2\nhalt\n", 3, 0xff},
+        AluCase{"li $1, 0xf0\nli $2, 0x3c\nand $3, $1, $2\nhalt\n", 3, 0x30},
+        AluCase{"li $1, 0xff\nli $2, 0x0f\nxor $3, $1, $2\nhalt\n", 3, 0xf0},
+        AluCase{"li $1, 1\nsll $3, $1, 31\nhalt\n", 3, 0x80000000},
+        AluCase{"li $1, 0x80000000\nsrl $3, $1, 31\nhalt\n", 3, 1},
+        AluCase{"li $1, 0x80000000\nsra $3, $1, 31\nhalt\n", 3, 0xffffffff},
+        AluCase{"addi $3, $0, -5\nhalt\n", 3, static_cast<uint32_t>(-5)},
+        AluCase{"addi $1, $0, -1\nslti $3, $1, 0\nhalt\n", 3, 1},
+        AluCase{"addi $1, $0, -1\nsltiu $3, $1, 0\nhalt\n", 3, 0},
+        AluCase{"li $1, 3\nli $2, 5\nslt $3, $1, $2\nhalt\n", 3, 1},
+        AluCase{"addi $1, $0, -1\nli $2, 1\nsltu $3, $1, $2\nhalt\n", 3, 0},
+        AluCase{"lui $3, 0xabcd\nhalt\n", 3, 0xabcd0000},
+        AluCase{"li $1, 7\nandi $3, $1, 0xfffe\nhalt\n", 3, 6}));
+
+TEST(Emulator, RegisterZeroIsHardwired)
+{
+    Emulator emu = runProgram("addi $0, $0, 5\nadd $3, $0, $0\nhalt\n");
+    EXPECT_EQ(emu.reg(0), 0u);
+    EXPECT_EQ(emu.reg(3), 0u);
+}
+
+TEST(Emulator, LoadStoreRoundTrip)
+{
+    Emulator emu = runProgram(R"(
+    li $1, 0x100000
+    li $2, 0xdeadbeef
+    sw $2, 0($1)
+    lw $3, 0($1)
+    halt
+)");
+    EXPECT_EQ(emu.reg(3), 0xdeadbeefu);
+    EXPECT_EQ(emu.memory().read32(0x100000), 0xdeadbeefu);
+}
+
+TEST(Emulator, SignAndZeroExtension)
+{
+    Emulator emu = runProgram(R"(
+    li $1, 0x100000
+    li $2, 0xff80
+    sh $2, 0($1)
+    lh $3, 0($1)
+    lhu $4, 0($1)
+    sb $2, 4($1)
+    lb $5, 4($1)
+    lbu $6, 4($1)
+    halt
+)");
+    EXPECT_EQ(emu.reg(3), 0xffffff80u);     // lh sign-extends
+    EXPECT_EQ(emu.reg(4), 0x0000ff80u);     // lhu zero-extends
+    EXPECT_EQ(emu.reg(5), 0xffffff80u);     // lb sign-extends
+    EXPECT_EQ(emu.reg(6), 0x00000080u);     // lbu zero-extends
+}
+
+TEST(Emulator, BranchesAndLoop)
+{
+    Emulator emu = runProgram(R"(
+    li $1, 10
+loop:
+    add $2, $2, $1
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+)");
+    EXPECT_EQ(emu.reg(2), 55u);     // 10+9+...+1
+}
+
+TEST(Emulator, JalAndJr)
+{
+    Emulator emu = runProgram(R"(
+main:
+    jal func
+    addi $2, $2, 100
+    halt
+func:
+    addi $2, $2, 1
+    jr $31
+)");
+    EXPECT_EQ(emu.reg(2), 101u);
+}
+
+TEST(Emulator, ConditionalBranchVariants)
+{
+    Emulator emu = runProgram(R"(
+    li $1, -3
+    bltz $1, a
+    addi $9, $9, 1
+a:  bgez $1, b
+    addi $8, $8, 1
+b:  blez $1, c
+    addi $7, $7, 1
+c:  halt
+)");
+    EXPECT_EQ(emu.reg(9), 0u);      // bltz taken: addi skipped
+    EXPECT_EQ(emu.reg(8), 1u);      // bgez not taken: addi executed
+    EXPECT_EQ(emu.reg(7), 0u);      // blez taken: addi skipped
+}
+
+TEST(Emulator, DynInstRecordsLoadStore)
+{
+    Emulator emu(assemble(R"(
+    li $1, 0x100000
+    li $2, 42
+    sw $2, 4($1)
+    lw $3, 4($1)
+    halt
+)"));
+    for (int i = 0; i < 4; ++i)
+        emu.step();
+    DynInst store = emu.step();
+    EXPECT_TRUE(store.isStore());
+    EXPECT_EQ(store.effAddr, 0x100004u);
+    EXPECT_EQ(store.storeValue, 42u);
+    DynInst load = emu.step();
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_EQ(load.resultValue, 42u);
+}
+
+TEST(Emulator, SilentStoreDetection)
+{
+    Emulator emu(assemble(R"(
+    li $1, 0x100000
+    li $2, 7
+    sw $2, 0($1)
+    sw $2, 0($1)
+    halt
+)"));
+    for (int i = 0; i < 4; ++i)
+        emu.step();
+    DynInst first = emu.step();
+    EXPECT_FALSE(first.silentStore);    // memory was 0
+    DynInst second = emu.step();
+    EXPECT_TRUE(second.silentStore);    // same value again
+}
+
+TEST(Emulator, MisalignedAccessThrows)
+{
+    Emulator emu(assemble("li $1, 0x100001\nlw $2, 0($1)\nhalt\n"));
+    emu.step();
+    emu.step();
+    EXPECT_THROW(emu.step(), std::runtime_error);
+}
+
+TEST(Emulator, SteppingAfterHaltThrows)
+{
+    Emulator emu(assemble("halt\n"));
+    emu.step();
+    EXPECT_TRUE(emu.halted());
+    EXPECT_THROW(emu.step(), std::runtime_error);
+}
+
+} // namespace
+} // namespace dmdp

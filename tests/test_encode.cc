@@ -1,0 +1,113 @@
+/** @file Round-trip tests for the binary encoder/decoder. */
+
+#include <gtest/gtest.h>
+
+#include "isa/encode.h"
+
+namespace dmdp {
+namespace {
+
+Inst
+make(Op op, uint8_t rs, uint8_t rt, uint8_t rd, int32_t imm)
+{
+    Inst inst;
+    inst.op = op;
+    inst.rs = rs;
+    inst.rt = rt;
+    inst.rd = rd;
+    inst.imm = imm;
+    return inst;
+}
+
+class RoundTrip : public ::testing::TestWithParam<Inst>
+{};
+
+TEST_P(RoundTrip, EncodeDecodeIsIdentity)
+{
+    const Inst &original = GetParam();
+    Inst decoded = decode(encode(original));
+    EXPECT_EQ(decoded.op, original.op);
+    EXPECT_EQ(decoded.rs, original.rs);
+    EXPECT_EQ(decoded.rt, original.rt);
+    EXPECT_EQ(decoded.rd, original.rd);
+    EXPECT_EQ(decoded.imm, original.imm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, RoundTrip,
+    ::testing::Values(
+        make(Op::SLL, 3, 0, 5, 7), make(Op::SRL, 8, 0, 9, 31),
+        make(Op::SRA, 1, 0, 2, 16), make(Op::ADD, 1, 2, 3, 0),
+        make(Op::SUB, 4, 5, 6, 0), make(Op::AND, 7, 8, 9, 0),
+        make(Op::OR, 10, 11, 12, 0), make(Op::XOR, 13, 14, 15, 0),
+        make(Op::SLT, 16, 17, 18, 0), make(Op::SLTU, 19, 20, 21, 0),
+        make(Op::MUL, 22, 23, 24, 0), make(Op::ADDI, 1, 2, 0, -42),
+        make(Op::SLTI, 3, 4, 0, 100), make(Op::SLTIU, 5, 6, 0, 7),
+        make(Op::ANDI, 7, 8, 0, 0xff), make(Op::ORI, 9, 10, 0, 0xabc),
+        make(Op::XORI, 11, 12, 0, 0x123), make(Op::LUI, 0, 13, 0, 0x8000),
+        make(Op::BEQ, 1, 2, 0, -16), make(Op::BNE, 3, 4, 0, 15),
+        make(Op::BLEZ, 5, 0, 0, 8), make(Op::BGTZ, 6, 0, 0, -8),
+        make(Op::BLTZ, 7, 0, 0, 4), make(Op::BGEZ, 8, 0, 0, -4),
+        make(Op::J, 0, 0, 0, 0x40000), make(Op::JAL, 0, 0, 0, 0x123),
+        make(Op::JR, 31, 0, 0, 0), make(Op::LB, 1, 2, 0, -1),
+        make(Op::LH, 3, 4, 0, 2), make(Op::LW, 5, 6, 0, 1024),
+        make(Op::LBU, 7, 8, 0, 3), make(Op::LHU, 9, 10, 0, -6),
+        make(Op::SB, 11, 12, 0, 5), make(Op::SH, 13, 14, 0, -10),
+        make(Op::SW, 15, 16, 0, 2047), make(Op::HALT, 0, 0, 0, 0)));
+
+TEST(Decode, UnknownEncodingIsInvalid)
+{
+    // Opcode 0x3e is unassigned.
+    EXPECT_EQ(decode(0x3eu << 26).op, Op::INVALID);
+    // SPECIAL with unassigned funct.
+    EXPECT_EQ(decode(0x0000003fu).op, Op::INVALID);
+}
+
+TEST(Decode, NegativeImmediatesSignExtend)
+{
+    Inst inst = decode(encode(make(Op::ADDI, 1, 2, 0, -1)));
+    EXPECT_EQ(inst.imm, -1);
+}
+
+TEST(Decode, LogicalImmediatesZeroExtend)
+{
+    Inst inst = decode(encode(make(Op::ORI, 1, 2, 0, 0xffff)));
+    EXPECT_EQ(inst.imm, 0xffff);
+}
+
+TEST(InstQueries, Classification)
+{
+    EXPECT_TRUE(make(Op::LW, 1, 2, 0, 0).isLoad());
+    EXPECT_TRUE(make(Op::SB, 1, 2, 0, 0).isStore());
+    EXPECT_TRUE(make(Op::BEQ, 1, 2, 0, 0).isCondBranch());
+    EXPECT_TRUE(make(Op::JR, 1, 0, 0, 0).isIndirect());
+    EXPECT_FALSE(make(Op::ADD, 1, 2, 3, 0).isMem());
+    EXPECT_TRUE(make(Op::LH, 1, 2, 0, 0).isPartialWordLoad());
+    EXPECT_FALSE(make(Op::LW, 1, 2, 0, 0).isPartialWordLoad());
+    EXPECT_TRUE(make(Op::LB, 1, 2, 0, 0).isSignedLoad());
+    EXPECT_FALSE(make(Op::LBU, 1, 2, 0, 0).isSignedLoad());
+}
+
+TEST(InstQueries, MemSizes)
+{
+    EXPECT_EQ(make(Op::LB, 0, 0, 0, 0).memSize(), 1u);
+    EXPECT_EQ(make(Op::SH, 0, 0, 0, 0).memSize(), 2u);
+    EXPECT_EQ(make(Op::SW, 0, 0, 0, 0).memSize(), 4u);
+    EXPECT_EQ(make(Op::ADD, 0, 0, 0, 0).memSize(), 0u);
+}
+
+TEST(InstQueries, DestAndSources)
+{
+    EXPECT_EQ(make(Op::ADD, 1, 2, 3, 0).destReg(), 3);
+    EXPECT_EQ(make(Op::ADD, 1, 2, 0, 0).destReg(), -1);    // $0 dest
+    EXPECT_EQ(make(Op::LW, 1, 2, 0, 0).destReg(), 2);
+    EXPECT_EQ(make(Op::SW, 1, 2, 0, 0).destReg(), -1);
+    EXPECT_EQ(make(Op::JAL, 0, 0, 0, 0).destReg(), 31);
+    EXPECT_EQ(make(Op::SW, 1, 2, 0, 0).srcReg1(), 1);
+    EXPECT_EQ(make(Op::SW, 1, 2, 0, 0).srcReg2(), 2);
+    EXPECT_EQ(make(Op::LW, 1, 2, 0, 0).srcReg2(), -1);
+    EXPECT_EQ(make(Op::LUI, 0, 2, 0, 0).srcReg1(), -1);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,135 @@
+/** @file Tests for run-control extensions: warm-up sampling, injected
+ * invalidation traffic, the TAGE predictor end-to-end, and the stats
+ * report. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "workloads/spec_proxies.h"
+
+namespace dmdp {
+namespace {
+
+const char *kLoop = R"(
+main:
+    li $1, 5000
+    la $2, buf
+loop:
+    lw $3, 0($2)
+    addi $3, $3, 1
+    sw $3, 0($2)
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+    .org 0x100000
+buf: .word 0
+)";
+
+TEST(Warmup, ExcludesColdStartFromStats)
+{
+    SimConfig plain = SimConfig::forModel(LsuModel::DMDP);
+    SimStats full = Simulator::runAsm(plain, kLoop);
+
+    SimConfig warmed = plain;
+    warmed.warmupInsts = 5000;
+    SimStats sampled = Simulator::runAsm(warmed, kLoop);
+
+    // The sample covers only the post-warm-up region.
+    EXPECT_LT(sampled.instsRetired, full.instsRetired);
+    EXPECT_EQ(sampled.instsRetired + 5000, full.instsRetired);
+    EXPECT_LT(sampled.cycles, full.cycles);
+    // Cold misses, predictor training squashes and TLB walks all land
+    // in the warm-up; the sampled region runs at steady-state IPC.
+    EXPECT_GT(sampled.ipc(), full.ipc());
+    EXPECT_EQ(sampled.squashes, 0u);
+    EXPECT_EQ(sampled.tlbMisses, 0u);
+}
+
+TEST(Warmup, CountersNeverNegative)
+{
+    SimConfig cfg = SimConfig::forModel(LsuModel::NoSQ);
+    cfg.warmupInsts = 1000;
+    SimStats s = Simulator::runAsm(cfg, kLoop);
+    EXPECT_LE(s.loadsBypass, s.loads);
+    EXPECT_EQ(s.loadsDirect + s.loadsBypass + s.loadsDelayed +
+              s.loadsPredicated, s.loads);
+    EXPECT_GT(s.cycles, 0u);
+}
+
+TEST(RemoteTraffic, InjectedInvalidationsForceReexecutions)
+{
+    SimConfig quiet = SimConfig::forModel(LsuModel::DMDP);
+    SimStats base = Simulator::runAsm(quiet, kLoop);
+
+    SimConfig noisy = quiet;
+    noisy.remoteInvalPerKiloCycle = 50.0;
+    SimStats traffic = Simulator::runAsm(noisy, kLoop);
+
+    EXPECT_GT(traffic.remoteInvalidations, 10u);
+    EXPECT_GT(traffic.reexecs, base.reexecs);
+    // Correctness is unaffected: same architectural stream.
+    EXPECT_EQ(traffic.instsRetired, base.instsRetired);
+    // Invalidation pressure costs cycles.
+    EXPECT_GE(traffic.cycles, base.cycles);
+}
+
+TEST(RemoteTraffic, DeterministicAcrossRuns)
+{
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+    cfg.remoteInvalPerKiloCycle = 20.0;
+    SimStats a = Simulator::runAsm(cfg, kLoop);
+    SimStats b = Simulator::runAsm(cfg, kLoop);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.remoteInvalidations, b.remoteInvalidations);
+}
+
+TEST(TageSdp, RunsEndToEndOnProxies)
+{
+    for (const char *name : {"bzip2", "wrf"}) {
+        SimConfig classic = SimConfig::forModel(LsuModel::DMDP);
+        SimConfig tage = classic;
+        tage.sdpKind = SdpKind::Tage;
+        SimStats c = simulateProxy(name, classic, 12000);
+        SimStats t = simulateProxy(name, tage, 12000);
+        EXPECT_EQ(c.instsRetired, t.instsRetired) << name;
+        EXPECT_GT(t.ipc(), 0.0) << name;
+        // Both predictors must keep the machine within sane bounds.
+        EXPECT_GT(t.ipc(), c.ipc() * 0.5) << name;
+        EXPECT_LT(t.ipc(), c.ipc() * 2.0) << name;
+    }
+}
+
+TEST(StatsReport, ContainsKeyLines)
+{
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+    SimStats s = Simulator::runAsm(cfg, kLoop);
+    std::string report = s.report();
+    for (const char *key : {"sim.ipc", "loads.bypass", "verify.mpki",
+                            "mem.l1dAccesses", "mem.tlbMisses",
+                            "branch.mispredicts"}) {
+        EXPECT_NE(report.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(StatsMinus, SubtractsCounters)
+{
+    SimStats end;
+    end.cycles = 100;
+    end.instsRetired = 50;
+    end.loads = 20;
+    end.loadExecTimeSum = 200.0;
+    SimStats start;
+    start.cycles = 40;
+    start.instsRetired = 10;
+    start.loads = 5;
+    start.loadExecTimeSum = 80.0;
+    SimStats d = end.minus(start);
+    EXPECT_EQ(d.cycles, 60u);
+    EXPECT_EQ(d.instsRetired, 40u);
+    EXPECT_EQ(d.loads, 15u);
+    EXPECT_DOUBLE_EQ(d.loadExecTimeSum, 120.0);
+    EXPECT_DOUBLE_EQ(d.ipc(), 40.0 / 60.0);
+}
+
+} // namespace
+} // namespace dmdp

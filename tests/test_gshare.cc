@@ -1,0 +1,114 @@
+/** @file Tests for the branch prediction front end. */
+
+#include <gtest/gtest.h>
+
+#include "pred/gshare.h"
+
+namespace dmdp {
+namespace {
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    Gshare pred(12);
+    uint32_t pc = 0x1000;
+    for (int i = 0; i < 8; ++i)
+        pred.update(pc, true);
+    EXPECT_TRUE(pred.predict(pc));
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    Gshare pred(12);
+    uint32_t pc = 0x1000;
+    for (int i = 0; i < 8; ++i)
+        pred.update(pc, false);
+    EXPECT_FALSE(pred.predict(pc));
+}
+
+TEST(Gshare, LearnsAlternatingViaHistory)
+{
+    Gshare pred(12);
+    uint32_t pc = 0x2000;
+    // Warm up the alternating pattern, then verify predictions.
+    bool taken = false;
+    for (int i = 0; i < 256; ++i) {
+        pred.update(pc, taken);
+        taken = !taken;
+    }
+    int correct = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (pred.predict(pc) == taken)
+            ++correct;
+        pred.update(pc, taken);
+        taken = !taken;
+    }
+    EXPECT_GT(correct, 60);     // history disambiguates the pattern
+}
+
+TEST(Gshare, HistoryShiftsWithOutcomes)
+{
+    Gshare pred(8);
+    EXPECT_EQ(pred.history(), 0u);
+    pred.update(0x1000, true);
+    EXPECT_EQ(pred.history(), 1u);
+    pred.update(0x1000, false);
+    EXPECT_EQ(pred.history(), 2u);
+    pred.update(0x1000, true);
+    EXPECT_EQ(pred.history(), 5u);
+}
+
+TEST(Btb, StoresAndRetrievesTargets)
+{
+    Btb btb(64);
+    EXPECT_EQ(btb.lookup(0x1000), 0u);
+    btb.update(0x1000, 0x2000);
+    EXPECT_EQ(btb.lookup(0x1000), 0x2000u);
+    // Aliasing entry replaces.
+    btb.update(0x1000 + 64 * 4, 0x3000);
+    EXPECT_EQ(btb.lookup(0x1000), 0u);
+}
+
+TEST(Ras, CallReturnMatching)
+{
+    Ras ras(4);
+    ras.push(0x1004);
+    ras.push(0x2004);
+    EXPECT_EQ(ras.pop(), 0x2004u);
+    EXPECT_EQ(ras.pop(), 0x1004u);
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsOldestEntries)
+{
+    Ras ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+}
+
+TEST(BranchPredictor, PredictsReturnViaRas)
+{
+    SimConfig cfg;
+    BranchPredictor bp(cfg);
+    // A call from 0x1000 pushes 0x1004; the matching return predicts it.
+    bp.predict(0x1000, false, true, false);
+    EXPECT_EQ(bp.predict(0x5000, false, false, true), 0x1004u);
+}
+
+TEST(BranchPredictor, LearnsTakenBranchTarget)
+{
+    SimConfig cfg;
+    BranchPredictor bp(cfg);
+    uint32_t pc = 0x1000, target = 0x1400;
+    // Cold: falls through.
+    EXPECT_EQ(bp.predict(pc, true, false, false), pc + 4);
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, true, true, target);
+    EXPECT_EQ(bp.predict(pc, true, false, false), target);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,119 @@
+/** @file Whole-stack integration tests on proxy benchmarks. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "workloads/spec_proxies.h"
+
+namespace dmdp {
+namespace {
+
+constexpr uint64_t kInsts = 15000;
+
+TEST(Integration, AllModelsRetireTheSameStream)
+{
+    for (const char *name : {"perl", "wrf"}) {
+        uint64_t retired[4];
+        int i = 0;
+        for (LsuModel model : {LsuModel::Baseline, LsuModel::NoSQ,
+                               LsuModel::DMDP, LsuModel::Perfect}) {
+            SimConfig cfg = SimConfig::forModel(model);
+            retired[i++] = simulateProxy(name, cfg, kInsts).instsRetired;
+        }
+        EXPECT_EQ(retired[0], retired[1]) << name;
+        EXPECT_EQ(retired[1], retired[2]) << name;
+        EXPECT_EQ(retired[2], retired[3]) << name;
+    }
+}
+
+TEST(Integration, DmdpBeatsNosqOnOcHeavyProxy)
+{
+    SimStats nosq = simulateProxy("wrf", SimConfig::forModel(LsuModel::NoSQ),
+                                  kInsts);
+    SimStats dmdp = simulateProxy("wrf", SimConfig::forModel(LsuModel::DMDP),
+                                  kInsts);
+    EXPECT_GT(dmdp.ipc(), nosq.ipc());
+    EXPECT_GT(nosq.loadsDelayed, 0u);
+    EXPECT_GT(dmdp.loadsPredicated, 0u);
+}
+
+TEST(Integration, PerfectIsAnUpperBoundForDmdp)
+{
+    for (const char *name : {"perl", "bzip2", "hmmer"}) {
+        SimStats dmdp = simulateProxy(
+            name, SimConfig::forModel(LsuModel::DMDP), kInsts);
+        SimStats perfect = simulateProxy(
+            name, SimConfig::forModel(LsuModel::Perfect), kInsts);
+        // Perfect may lose a whisker where cloaking chains a load onto
+        // late-arriving store data that predication would not wait for.
+        EXPECT_GT(perfect.ipc(), dmdp.ipc() * 0.97) << name;
+        EXPECT_EQ(perfect.depMispredicts, 0u) << name;
+    }
+}
+
+TEST(Integration, SilentStoreProxyShowsHmmerPathology)
+{
+    // hmmer's histogram has a high silent fraction: NoSQ accumulates
+    // either re-executions or mispredictions there.
+    SimStats nosq = simulateProxy(
+        "hmmer", SimConfig::forModel(LsuModel::NoSQ), kInsts);
+    SimStats dmdp = simulateProxy(
+        "hmmer", SimConfig::forModel(LsuModel::DMDP), kInsts);
+    EXPECT_GT(dmdp.ipc(), nosq.ipc());
+}
+
+TEST(Integration, LoadExecTimeSavedByDmdp)
+{
+    // Table IV's direction on a proxy with lots of collisions.
+    SimStats base = simulateProxy(
+        "gobmk", SimConfig::forModel(LsuModel::Baseline), kInsts);
+    SimStats dmdp = simulateProxy(
+        "gobmk", SimConfig::forModel(LsuModel::DMDP), kInsts);
+    EXPECT_LT(dmdp.avgLoadExecTime(), base.avgLoadExecTime());
+}
+
+TEST(Integration, LowConfLatencySavedByPredication)
+{
+    // Table V's direction: predicated loads resolve much faster than
+    // delayed loads.
+    SimStats nosq = simulateProxy(
+        "gcc", SimConfig::forModel(LsuModel::NoSQ), kInsts);
+    SimStats dmdp = simulateProxy(
+        "gcc", SimConfig::forModel(LsuModel::DMDP), kInsts);
+    if (nosq.lowConfLoads > 50 && dmdp.lowConfLoads > 50) {
+        EXPECT_LT(dmdp.avgLowConfExecTime(), nosq.avgLowConfExecTime());
+    }
+}
+
+TEST(Integration, EnergyEventsAreConsistent)
+{
+    SimStats s = simulateProxy("perl", SimConfig::forModel(LsuModel::DMDP),
+                               kInsts);
+    EXPECT_GE(s.renamedUops, s.instsRetired);
+    EXPECT_GE(s.uopsRetired, s.instsRetired);
+    EXPECT_GE(s.rfWrites, s.loads / 2);
+    EXPECT_GT(s.l1dAccesses, 0u);
+    EXPECT_GE(s.ssbfWrites, s.storesCommitted * 9 / 10);
+    EXPECT_GT(s.predicationOps, 0u);
+    // NoSQ-only structures are silent in the baseline.
+    SimStats base = simulateProxy(
+        "perl", SimConfig::forModel(LsuModel::Baseline), kInsts);
+    EXPECT_EQ(base.ssbfReads, 0u);
+    EXPECT_EQ(base.sdpLookups, 0u);
+    EXPECT_GT(base.sqSearches, 0u);
+}
+
+TEST(Integration, StatsClassesPartitionLoads)
+{
+    for (LsuModel model : {LsuModel::Baseline, LsuModel::NoSQ,
+                           LsuModel::DMDP, LsuModel::Perfect}) {
+        SimStats s = simulateProxy("h264ref", SimConfig::forModel(model),
+                                   kInsts);
+        EXPECT_EQ(s.loadsDirect + s.loadsBypass + s.loadsDelayed +
+                  s.loadsPredicated, s.loads)
+            << lsuModelName(model);
+    }
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,136 @@
+/** @file Tests for the baseline load/store queues. */
+
+#include <gtest/gtest.h>
+
+#include "core/lsq.h"
+
+namespace dmdp {
+namespace {
+
+Inst
+wordLoad()
+{
+    Inst inst;
+    inst.op = Op::LW;
+    return inst;
+}
+
+TEST(Lsq, SearchFindsYoungestOlderStore)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);
+    lsq.addStore(3, 2, 0x104, 6);
+    lsq.addLoad(5, 0x200);
+    lsq.storeExecuted(1, 0x1000, 4, 0xaa);
+    lsq.storeExecuted(3, 0x1000, 4, 0xbb);
+
+    SqSearchResult res = lsq.loadSearch(5, 0x1000, 4, wordLoad());
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::Forward);
+    EXPECT_EQ(res.ssn, 2u);
+    EXPECT_EQ(res.value, 0xbbu);
+    EXPECT_EQ(res.dataPreg, 6);
+}
+
+TEST(Lsq, YoungerStoresAreInvisible)
+{
+    LoadStoreQueue lsq;
+    lsq.addLoad(2, 0x200);
+    lsq.addStore(4, 1, 0x100, 5);
+    lsq.storeExecuted(4, 0x1000, 4, 0xaa);
+    SqSearchResult res = lsq.loadSearch(2, 0x1000, 4, wordLoad());
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::NoMatch);
+}
+
+TEST(Lsq, UnknownAddressesAreSkipped)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);   // address never computed
+    SqSearchResult res = lsq.loadSearch(5, 0x1000, 4, wordLoad());
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::NoMatch);
+}
+
+TEST(Lsq, PartialCoverageReported)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);
+    lsq.storeExecuted(1, 0x1000, 2, 0x1234);    // half-word store
+    SqSearchResult res = lsq.loadSearch(5, 0x1000, 4, wordLoad());
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::Partial);
+    EXPECT_EQ(res.ssn, 1u);
+}
+
+TEST(Lsq, StoreExecutionDetectsViolations)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);
+    lsq.addLoad(3, 0x200);
+    // The load executed early, reading memory (source ssn 0).
+    lsq.loadExecuted(3, 0x1000, 4, 0);
+    auto violations = lsq.storeExecuted(1, 0x1000, 4, 0xaa);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0]->seq, 3u);
+    EXPECT_TRUE(violations[0]->violated);
+    EXPECT_EQ(violations[0]->violatingStorePc, 0x100u);
+}
+
+TEST(Lsq, NoViolationWhenLoadSourcedYoungerData)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);
+    lsq.addStore(2, 2, 0x104, 6);
+    lsq.addLoad(3, 0x200);
+    lsq.storeExecuted(2, 0x1000, 4, 0xbb);
+    lsq.loadExecuted(3, 0x1000, 4, 2);      // forwarded from ssn 2
+    auto violations = lsq.storeExecuted(1, 0x1000, 4, 0xaa);
+    EXPECT_TRUE(violations.empty());        // older store is harmless
+}
+
+TEST(Lsq, NoViolationOnDisjointAddresses)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);
+    lsq.addLoad(3, 0x200);
+    lsq.loadExecuted(3, 0x2000, 4, 0);
+    EXPECT_TRUE(lsq.storeExecuted(1, 0x1000, 4, 0xaa).empty());
+}
+
+TEST(Lsq, PartialOverlapIsAViolation)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);
+    lsq.addLoad(3, 0x200);
+    lsq.loadExecuted(3, 0x1000, 4, 0);
+    // Byte store into the middle of the loaded word.
+    auto violations = lsq.storeExecuted(1, 0x1002, 1, 0xcc);
+    EXPECT_EQ(violations.size(), 1u);
+}
+
+TEST(Lsq, RemoveAndClear)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);
+    lsq.addLoad(2, 0x200);
+    lsq.removeStore(1);
+    lsq.removeLoad(2);
+    EXPECT_EQ(lsq.storeCount(), 0u);
+    EXPECT_EQ(lsq.loadCount(), 0u);
+
+    lsq.addStore(3, 2, 0x100, 5);
+    lsq.clear();
+    EXPECT_EQ(lsq.storeCount(), 0u);
+}
+
+TEST(Lsq, SubWordForwardExtractsAndExtends)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x100, 5);
+    lsq.storeExecuted(1, 0x1000, 4, 0xdead8080);
+    Inst lb;
+    lb.op = Op::LB;
+    SqSearchResult res = lsq.loadSearch(9, 0x1000, 1, lb);
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::Forward);
+    EXPECT_EQ(res.value, 0xffffff80u);  // sign-extended byte 0
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,78 @@
+/** @file Tests for the sparse memory image. */
+
+#include <gtest/gtest.h>
+
+#include "func/memimg.h"
+
+namespace dmdp {
+namespace {
+
+TEST(MemImg, UnmappedReadsZero)
+{
+    MemImg mem;
+    EXPECT_EQ(mem.read8(0), 0u);
+    EXPECT_EQ(mem.read32(0xdeadbeec), 0u);
+    EXPECT_EQ(mem.mappedPages(), 0u);
+}
+
+TEST(MemImg, ByteReadWrite)
+{
+    MemImg mem;
+    mem.write8(0x1234, 0xab);
+    EXPECT_EQ(mem.read8(0x1234), 0xabu);
+    EXPECT_EQ(mem.read8(0x1235), 0u);
+}
+
+TEST(MemImg, LittleEndianLayout)
+{
+    MemImg mem;
+    mem.write32(0x1000, 0x04030201);
+    EXPECT_EQ(mem.read8(0x1000), 0x01u);
+    EXPECT_EQ(mem.read8(0x1001), 0x02u);
+    EXPECT_EQ(mem.read8(0x1002), 0x03u);
+    EXPECT_EQ(mem.read8(0x1003), 0x04u);
+    EXPECT_EQ(mem.read16(0x1000), 0x0201u);
+    EXPECT_EQ(mem.read16(0x1002), 0x0403u);
+}
+
+TEST(MemImg, CrossPageAccess)
+{
+    MemImg mem;
+    uint32_t addr = MemImg::kPageBytes - 2;
+    mem.write32(addr, 0xcafebabe);
+    EXPECT_EQ(mem.read32(addr), 0xcafebabeu);
+    EXPECT_EQ(mem.mappedPages(), 2u);
+}
+
+TEST(MemImg, GenericAccessors)
+{
+    MemImg mem;
+    mem.write(0x2000, 1, 0x11);
+    mem.write(0x2002, 2, 0x2233);
+    mem.write(0x2004, 4, 0x44556677);
+    EXPECT_EQ(mem.read(0x2000, 1), 0x11u);
+    EXPECT_EQ(mem.read(0x2002, 2), 0x2233u);
+    EXPECT_EQ(mem.read(0x2004, 4), 0x44556677u);
+}
+
+TEST(MemImg, PartialOverwrite)
+{
+    MemImg mem;
+    mem.write32(0x3000, 0xffffffff);
+    mem.write16(0x3001, 0);     // bytes 1..2
+    EXPECT_EQ(mem.read32(0x3000), 0xff0000ffu);
+}
+
+TEST(MemImg, LoadsProgramChunks)
+{
+    Program prog;
+    prog.putWord(0x1000, 0x12345678);
+    prog.putBytes(0x5000, {1, 2, 3});
+    MemImg mem;
+    mem.load(prog);
+    EXPECT_EQ(mem.read32(0x1000), 0x12345678u);
+    EXPECT_EQ(mem.read8(0x5002), 3u);
+}
+
+} // namespace
+} // namespace dmdp

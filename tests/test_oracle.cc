@@ -1,0 +1,140 @@
+/** @file Tests for the oracle stream's dependence annotations & replay. */
+
+#include <gtest/gtest.h>
+
+#include "func/oracle.h"
+#include "isa/assembler.h"
+
+namespace dmdp {
+namespace {
+
+Program
+storeLoadProgram()
+{
+    return assemble(R"(
+    li $1, 0x100000
+    li $2, 11
+    sw $2, 0($1)        # ssn 1
+    sw $2, 4($1)        # ssn 2
+    lw $3, 0($1)        # collides with ssn 1
+    lw $4, 8($1)        # no writer
+    halt
+)");
+}
+
+TEST(Oracle, SsnAssignmentInProgramOrder)
+{
+    OracleStream stream(storeLoadProgram());
+    std::vector<DynInst> insts;
+    while (!stream.atEnd())
+        insts.push_back(stream.fetch());
+    ASSERT_EQ(insts.size(), 9u);    // 2x li = 4 uops + 2 sw + 2 lw + halt
+    EXPECT_EQ(insts[4].ssn, 1u);
+    EXPECT_EQ(insts[5].ssn, 2u);
+    EXPECT_EQ(insts[4].storesBefore, 0u);
+    EXPECT_EQ(insts[5].storesBefore, 1u);
+}
+
+TEST(Oracle, LastWriterTracking)
+{
+    OracleStream stream(storeLoadProgram());
+    std::vector<DynInst> insts;
+    while (!stream.atEnd())
+        insts.push_back(stream.fetch());
+    const DynInst &hit = insts[6];
+    EXPECT_TRUE(hit.isLoad());
+    EXPECT_EQ(hit.lastWriterSsn, 1u);
+    EXPECT_TRUE(hit.fullCoverage);
+    EXPECT_FALSE(hit.multiWriter);
+    EXPECT_EQ(hit.storeDistance(), 1u);     // one store in between
+
+    const DynInst &miss = insts[7];
+    EXPECT_EQ(miss.lastWriterSsn, 0u);
+    EXPECT_FALSE(miss.fullCoverage);
+}
+
+TEST(Oracle, PartialWordCoverage)
+{
+    OracleStream stream(assemble(R"(
+    li $1, 0x100000
+    li $2, 0x1234
+    sh $2, 0($1)        # ssn 1: writes bytes 0..1
+    lw $3, 0($1)        # reads bytes 0..3: partial coverage
+    lhu $4, 0($1)       # reads bytes 0..1: full coverage
+    halt
+)"));
+    std::vector<DynInst> insts;
+    while (!stream.atEnd())
+        insts.push_back(stream.fetch());
+    const DynInst &word_load = insts[5];
+    EXPECT_EQ(word_load.lastWriterSsn, 1u);
+    EXPECT_FALSE(word_load.fullCoverage);
+    const DynInst &half_load = insts[6];
+    EXPECT_TRUE(half_load.fullCoverage);
+}
+
+TEST(Oracle, MultiWriterDetection)
+{
+    OracleStream stream(assemble(R"(
+    li $1, 0x100000
+    li $2, 0xaa
+    sh $2, 0($1)        # ssn 1: bytes 0..1
+    sh $2, 2($1)        # ssn 2: bytes 2..3
+    lw $3, 0($1)        # spliced from two stores
+    halt
+)"));
+    std::vector<DynInst> insts;
+    while (!stream.atEnd())
+        insts.push_back(stream.fetch());
+    const DynInst &load = insts[6];
+    EXPECT_TRUE(load.multiWriter);
+    EXPECT_FALSE(load.fullCoverage);
+    EXPECT_EQ(load.lastWriterSsn, 2u);
+}
+
+TEST(Oracle, RewindReplaysIdentically)
+{
+    OracleStream stream(storeLoadProgram());
+    std::vector<DynInst> first;
+    for (int i = 0; i < 7; ++i)
+        first.push_back(stream.fetch());
+
+    stream.rewindTo(3);
+    for (int i = 3; i < 7; ++i) {
+        DynInst replay = stream.fetch();
+        EXPECT_EQ(replay.seq, first[i].seq);
+        EXPECT_EQ(replay.pc, first[i].pc);
+        EXPECT_EQ(replay.effAddr, first[i].effAddr);
+        EXPECT_EQ(replay.lastWriterSsn, first[i].lastWriterSsn);
+    }
+}
+
+TEST(Oracle, RetireUpToDiscardsAndBlocksRewind)
+{
+    OracleStream stream(storeLoadProgram());
+    for (int i = 0; i < 6; ++i)
+        stream.fetch();
+    stream.retireUpTo(4);
+    EXPECT_NO_THROW(stream.rewindTo(5));
+    EXPECT_THROW(stream.rewindTo(2), std::runtime_error);
+}
+
+TEST(Oracle, PeekDoesNotAdvance)
+{
+    OracleStream stream(storeLoadProgram());
+    uint64_t seq = stream.peek().seq;
+    EXPECT_EQ(stream.peek().seq, seq);
+    EXPECT_EQ(stream.fetch().seq, seq);
+    EXPECT_EQ(stream.peek().seq, seq + 1);
+}
+
+TEST(Oracle, AtEndOnlyAfterHaltFetched)
+{
+    OracleStream stream(assemble("halt\n"));
+    EXPECT_FALSE(stream.atEnd());
+    stream.fetch();
+    EXPECT_TRUE(stream.atEnd());
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,173 @@
+/** @file Basic end-to-end pipeline tests across all four models. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace dmdp {
+namespace {
+
+const LsuModel kAllModels[] = {LsuModel::Baseline, LsuModel::NoSQ,
+                               LsuModel::DMDP, LsuModel::Perfect};
+
+class AllModels : public ::testing::TestWithParam<LsuModel>
+{};
+
+TEST_P(AllModels, AluLoopRetiresEveryInstruction)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    SimStats stats = Simulator::runAsm(cfg, R"(
+main:
+    li $1, 1000
+loop:
+    add $2, $2, $1
+    xor $3, $2, $1
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+)");
+    // 2 (li) + 1000 * 4 + 1 (halt) instructions.
+    EXPECT_EQ(stats.instsRetired, 4003u);
+    EXPECT_GT(stats.ipc(), 1.0);
+    EXPECT_EQ(stats.loads, 0u);
+    EXPECT_EQ(stats.depMispredicts, 0u);
+}
+
+TEST_P(AllModels, LoadsAreCountedOnce)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    SimStats stats = Simulator::runAsm(cfg, R"(
+main:
+    li $1, 500
+    la $2, buf
+loop:
+    sw $1, 0($2)
+    lw $3, 0($2)
+    lw $4, 4($2)
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+    .org 0x100000
+buf: .space 64
+)");
+    EXPECT_EQ(stats.loads, 1000u);
+    EXPECT_EQ(stats.loadsDirect + stats.loadsBypass + stats.loadsDelayed +
+              stats.loadsPredicated, stats.loads);
+}
+
+TEST_P(AllModels, MaxInstsCapsTheRun)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.maxInsts = 1000;
+    SimStats stats = Simulator::runAsm(cfg, R"(
+main:
+    li $1, 100000
+loop:
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+)");
+    EXPECT_GE(stats.instsRetired, 1000u);
+    EXPECT_LT(stats.instsRetired, 1010u);   // within one retire group
+}
+
+TEST_P(AllModels, BranchMispredictionsAreBounded)
+{
+    // A data-dependent unpredictable branch: bit 15 of an LCG.
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    SimStats stats = Simulator::runAsm(cfg, R"(
+main:
+    li $1, 2000
+    li $5, 12345
+    li $8, 1103515245
+loop:
+    mul $5, $5, $8
+    addi $5, $5, 12345
+    srl $6, $5, 15
+    andi $6, $6, 1
+    beq $6, $0, skip
+    addi $7, $7, 1
+skip:
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+)");
+    EXPECT_GT(stats.branches, 2000u);
+    EXPECT_GT(stats.branchMispredicts, 100u);   // ~50% of 2000 data branches
+    EXPECT_LT(stats.branchMispredicts, 1800u);
+}
+
+TEST_P(AllModels, DeterministicAcrossRuns)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    const char *src = R"(
+main:
+    li $1, 300
+    la $2, buf
+loop:
+    sw $1, 0($2)
+    lw $3, 0($2)
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+    .org 0x100000
+buf: .space 64
+)";
+    SimStats a = Simulator::runAsm(cfg, src);
+    SimStats b = Simulator::runAsm(cfg, src);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instsRetired, b.instsRetired);
+    EXPECT_EQ(a.reexecs, b.reexecs);
+}
+
+TEST_P(AllModels, InstructionCountMatchesEmulator)
+{
+    // The timing model retires exactly the architectural stream.
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    const char *src = R"(
+main:
+    li $1, 100
+    la $2, buf
+loop:
+    sw $1, 0($2)
+    lw $3, 0($2)
+    sh $1, 8($2)
+    lhu $4, 8($2)
+    add $5, $3, $4
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+    .org 0x100000
+buf: .space 64
+)";
+    SimStats stats = Simulator::runAsm(cfg, src);
+    EXPECT_EQ(stats.instsRetired, 2u + 2u + 100u * 7u + 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, AllModels, ::testing::ValuesIn(kAllModels),
+                         [](const auto &info) {
+                             return lsuModelName(info.param);
+                         });
+
+TEST(PipelineBasic, EmptyProgramHalts)
+{
+    for (LsuModel model : kAllModels) {
+        SimConfig cfg = SimConfig::forModel(model);
+        SimStats stats = Simulator::runAsm(cfg, "halt\n");
+        EXPECT_EQ(stats.instsRetired, 1u);
+        EXPECT_GT(stats.cycles, 0u);
+    }
+}
+
+TEST(PipelineBasic, CyclesScaleWithWork)
+{
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+    SimStats small = Simulator::runAsm(cfg,
+        "main:\nli $1, 100\nl: addi $1, $1, -1\nbgtz $1, l\nhalt\n");
+    SimStats large = Simulator::runAsm(cfg,
+        "main:\nli $1, 10000\nl: addi $1, $1, -1\nbgtz $1, l\nhalt\n");
+    EXPECT_GT(large.cycles, small.cycles * 10);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,150 @@
+/** @file Memory consistency: TSO vs RMO and remote invalidations. */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+
+namespace dmdp {
+namespace {
+
+/** Store-miss stream: head-of-buffer misses block TSO, not RMO. */
+const char *kMissStream = R"(
+main:
+    li $1, 400
+    la $2, 0x400000
+    la $3, hotbuf
+loop:
+    sw $1, 0($2)        # cold page: slow commit
+    addi $2, $2, 4096
+    sw $1, 0($3)        # hot line: fast commit (RMO can slip it by)
+    sw $1, 4($3)
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+    .org 0x100000
+hotbuf: .space 64
+)";
+
+TEST(Consistency, BothModelsCompleteCorrectly)
+{
+    for (Consistency model : {Consistency::TSO, Consistency::RMO}) {
+        SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+        cfg.consistency = model;
+        SimStats s = Simulator::runAsm(cfg, kMissStream);
+        EXPECT_EQ(s.instsRetired, 6u + 400u * 6u + 1u)
+            << consistencyName(model);
+    }
+}
+
+TEST(Consistency, RmoToleratesStoreMissesBetter)
+{
+    SimConfig tso = SimConfig::forModel(LsuModel::DMDP);
+    tso.consistency = Consistency::TSO;
+    tso.storeBufferSize = 8;
+    SimConfig rmo = tso;
+    rmo.consistency = Consistency::RMO;
+
+    SimStats tso_stats = Simulator::runAsm(tso, kMissStream);
+    SimStats rmo_stats = Simulator::runAsm(rmo, kMissStream);
+    EXPECT_LE(rmo_stats.cycles, tso_stats.cycles);
+}
+
+TEST(Consistency, DmdpBeatsNosqUnderRmoToo)
+{
+    // Section VI-g: DMDP surpasses NoSQ by a similar margin under RMO.
+    const char *oc = R"(
+main:
+    li $1, 3000
+    la $2, buf
+loop:
+    andi $4, $1, 1
+    sll $4, $4, 2
+    add $5, $2, $4
+    lw $3, 0($5)
+    addi $3, $3, 1
+    sw $3, 0($2)
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+    .org 0x100000
+buf: .space 64
+)";
+    SimConfig nosq = SimConfig::forModel(LsuModel::NoSQ);
+    nosq.consistency = Consistency::RMO;
+    SimConfig dmdp = SimConfig::forModel(LsuModel::DMDP);
+    dmdp.consistency = Consistency::RMO;
+    SimStats nosq_stats = Simulator::runAsm(nosq, oc);
+    SimStats dmdp_stats = Simulator::runAsm(dmdp, oc);
+    EXPECT_GE(dmdp_stats.ipc(), nosq_stats.ipc());
+}
+
+TEST(Consistency, RemoteInvalidationForcesReexecution)
+{
+    // Section IV-F: an invalidation from another core enters every word
+    // of the line into the T-SSBF with SSN_commit + 1, so loads that
+    // executed before it must re-execute. We inject the invalidation
+    // before the run: every subsequent load of that line sees a
+    // colliding SSN above its own SSN_nvul at least once.
+    Program prog = assemble(R"(
+main:
+    la $2, buf
+    lw $3, 0($2)
+    lw $4, 4($2)
+    halt
+    .org 0x100000
+buf: .word 1, 2
+)");
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+
+    Pipeline clean(cfg, prog);
+    SimStats without = clean.run();
+    EXPECT_EQ(without.reexecs, 0u);
+
+    Pipeline poked(cfg, prog);
+    poked.injectRemoteInvalidation(0x100000);
+    SimStats with_inval = poked.run();
+    EXPECT_GE(with_inval.reexecs, 2u);
+    // The values did not actually change: re-execution confirms them
+    // without raising exceptions.
+    EXPECT_EQ(with_inval.depMispredicts, 0u);
+    EXPECT_EQ(with_inval.instsRetired, without.instsRetired);
+}
+
+TEST(Consistency, SsnCommitTrailsOldestResident)
+{
+    // Under both models SSN_commit must never name a store that is
+    // still in the buffer — verified indirectly: a delayed load woken
+    // by SSN_commit always finds its predicted store's data in the
+    // cache. If the invariant broke, the re-executed value would
+    // mismatch and raise exceptions.
+    const char *delayed_heavy = R"(
+main:
+    li $1, 2000
+    la $2, buf
+loop:
+    andi $4, $1, 3
+    sll $4, $4, 2
+    add $5, $2, $4
+    lw $3, 0($5)
+    addi $3, $3, 1
+    sw $3, 0($2)
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+    .org 0x100000
+buf: .space 64
+)";
+    for (Consistency model : {Consistency::TSO, Consistency::RMO}) {
+        SimConfig cfg = SimConfig::forModel(LsuModel::NoSQ);
+        cfg.consistency = model;
+        SimStats s = Simulator::runAsm(cfg, delayed_heavy);
+        // Exceptions only from genuine first-encounter mispredictions,
+        // not from a broken commit pointer: the run completes.
+        EXPECT_EQ(s.instsRetired, 4u + 2000u * 8u + 1u);  // 8-inst body
+    }
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,135 @@
+/** @file Stress tests: the pipeline must stay correct (same retired
+ * stream, no deadlock) when every structure is squeezed to near its
+ * minimum. */
+
+#include <gtest/gtest.h>
+
+#include "isa/inst.h"
+#include "sim/simulator.h"
+
+namespace dmdp {
+namespace {
+
+const char *kMixedProgram = R"(
+main:
+    li $1, 800
+    la $2, buf
+loop:
+    lw $3, 0($2)        # AC load
+    addi $3, $3, 1
+    sw $3, 0($2)
+    andi $4, $1, 3
+    sll $4, $4, 2
+    add $5, $2, $4
+    lw $6, 8($5)        # OC-ish load
+    sh $6, 32($2)       # partial-word store
+    lhu $7, 32($2)      # partial-word load
+    mul $8, $6, $7
+    addi $1, $1, -1
+    bgtz $1, loop
+    halt
+    .org 0x100000
+buf: .space 128
+)";
+
+constexpr uint64_t kExpectedInsts = 4u + 800u * 12u + 1u;
+
+const LsuModel kAllModels[] = {LsuModel::Baseline, LsuModel::NoSQ,
+                               LsuModel::DMDP, LsuModel::Perfect};
+
+class TinyMachines : public ::testing::TestWithParam<LsuModel>
+{};
+
+TEST_P(TinyMachines, TinyRob)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.robSize = 16;
+    SimStats s = Simulator::runAsm(cfg, kMixedProgram);
+    EXPECT_EQ(s.instsRetired, kExpectedInsts);
+}
+
+TEST_P(TinyMachines, TinyIq)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.iqSize = 6;     // predication needs up to 4 slots per load
+    SimStats s = Simulator::runAsm(cfg, kMixedProgram);
+    EXPECT_EQ(s.instsRetired, kExpectedInsts);
+}
+
+TEST_P(TinyMachines, TinyPrf)
+{
+    // Just above the structural floor (2x logical registers): rename
+    // stalls constantly; register reference counting must never leak.
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.numPhysRegs = 2 * kNumLogicalRegs + 8;
+    SimStats s = Simulator::runAsm(cfg, kMixedProgram);
+    EXPECT_EQ(s.instsRetired, kExpectedInsts);
+}
+
+TEST_P(TinyMachines, SingleEntryStoreBuffer)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.storeBufferSize = 1;
+    SimStats s = Simulator::runAsm(cfg, kMixedProgram);
+    EXPECT_EQ(s.instsRetired, kExpectedInsts);
+}
+
+TEST_P(TinyMachines, ScalarWidth)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.fetchWidth = 1;
+    cfg.issueWidth = 1;
+    cfg.retireWidth = 1;
+    SimStats s = Simulator::runAsm(cfg, kMixedProgram);
+    EXPECT_EQ(s.instsRetired, kExpectedInsts);
+    EXPECT_LE(s.ipc(), 1.01);
+}
+
+TEST_P(TinyMachines, EverythingTinyAtOnce)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.robSize = 12;
+    cfg.iqSize = 6;
+    cfg.numPhysRegs = 2 * kNumLogicalRegs + 6;
+    cfg.storeBufferSize = 1;
+    cfg.fetchWidth = 2;
+    cfg.issueWidth = 2;
+    cfg.retireWidth = 2;
+    SimStats s = Simulator::runAsm(cfg, kMixedProgram);
+    EXPECT_EQ(s.instsRetired, kExpectedInsts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, TinyMachines,
+                         ::testing::ValuesIn(kAllModels),
+                         [](const auto &info) {
+                             return lsuModelName(info.param);
+                         });
+
+TEST(PipelineLimits, BiggerMachinesAreNotSlower)
+{
+    // Monotonicity sanity across the main sizing knobs.
+    SimConfig small = SimConfig::forModel(LsuModel::DMDP);
+    small.robSize = 32;
+    small.iqSize = 16;
+    SimConfig big = SimConfig::forModel(LsuModel::DMDP);
+    big.robSize = 512;
+    big.iqSize = 128;
+    SimStats s_small = Simulator::runAsm(small, kMixedProgram);
+    SimStats s_big = Simulator::runAsm(big, kMixedProgram);
+    EXPECT_GE(s_big.ipc() * 1.02, s_small.ipc());
+}
+
+TEST(PipelineLimits, RmoSurvivesTinyStructuresToo)
+{
+    for (LsuModel model : kAllModels) {
+        SimConfig cfg = SimConfig::forModel(model);
+        cfg.consistency = Consistency::RMO;
+        cfg.storeBufferSize = 2;
+        cfg.robSize = 16;
+        SimStats s = Simulator::runAsm(cfg, kMixedProgram);
+        EXPECT_EQ(s.instsRetired, kExpectedInsts) << lsuModelName(model);
+    }
+}
+
+} // namespace
+} // namespace dmdp

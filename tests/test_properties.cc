@@ -1,0 +1,306 @@
+/** @file Property-based tests: randomized sweeps checked against
+ * reference models and invariants. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "core/crack.h"
+#include "core/pipeline.h"
+#include "func/emulator.h"
+#include "core/regfile.h"
+#include "func/memimg.h"
+#include "isa/assembler.h"
+#include "mem/cache.h"
+#include "pred/ssbf.h"
+#include "sim/simulator.h"
+#include "workloads/kernels.h"
+
+namespace dmdp {
+namespace {
+
+// ---- extractForwarded vs memory semantics ----
+
+class ForwardProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ForwardProperty, MatchesMemImgReference)
+{
+    Rng rng(GetParam());
+    const Op load_ops[] = {Op::LW, Op::LH, Op::LHU, Op::LB, Op::LBU};
+    const unsigned store_sizes[] = {1, 2, 4};
+
+    for (int trial = 0; trial < 2000; ++trial) {
+        unsigned st_size = store_sizes[rng.below(3)];
+        uint32_t st_addr = 0x1000 + static_cast<uint32_t>(
+            rng.below(16)) * st_size;
+        uint32_t st_value = static_cast<uint32_t>(rng.next());
+        Inst load;
+        load.op = load_ops[rng.below(5)];
+        unsigned ld_size = load.memSize();
+        uint32_t ld_addr = 0x1000 + static_cast<uint32_t>(
+            rng.below(16)) * ld_size;
+
+        uint32_t forwarded = 0;
+        bool covered = extractForwarded(st_addr, st_size, st_value, ld_addr,
+                                        load, forwarded);
+
+        // Reference: perform the store into memory, read back.
+        MemImg mem;
+        mem.write(st_addr, st_size, st_value);
+        bool ref_covered = ld_addr >= st_addr &&
+                           ld_addr + ld_size <= st_addr + st_size;
+        EXPECT_EQ(covered, ref_covered);
+        if (covered) {
+            uint32_t raw = mem.read(ld_addr, ld_size);
+            uint32_t expected = raw;
+            if (load.op == Op::LB)
+                expected = static_cast<uint32_t>(sext(raw, 8));
+            else if (load.op == Op::LH)
+                expected = static_cast<uint32_t>(sext(raw, 16));
+            EXPECT_EQ(forwarded, expected);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForwardProperty,
+                         ::testing::Values(1, 2, 3));
+
+// ---- T-SSBF vs an unbounded reference filter ----
+
+TEST(SsbfProperty, NeverUnderestimatesYoungestResidentCollision)
+{
+    // Invariant: if the youngest colliding store's entry is still
+    // resident (not displaced by the FIFO), the lookup returns an SSN
+    // >= that store's SSN. This is what makes the filter safe: it may
+    // cause spurious re-executions, never missed ones.
+    SimConfig cfg;
+    Ssbf ssbf(cfg);
+    Rng rng(42);
+
+    std::map<uint32_t, uint64_t> youngest;  // word addr -> ssn
+    std::map<uint32_t, int> since;          // stores since, per word
+    for (uint64_t ssn = 1; ssn <= 5000; ++ssn) {
+        uint32_t addr = 0x1000 + static_cast<uint32_t>(rng.below(64)) * 4;
+        ssbf.storeRetire(addr, 0xF, ssn);
+        youngest[addr] = ssn;
+        for (auto &[a, n] : since)
+            ++n;
+        since[addr] = 0;
+
+        uint32_t probe = 0x1000 + static_cast<uint32_t>(rng.below(64)) * 4;
+        auto it = youngest.find(probe);
+        if (it == youngest.end())
+            continue;
+        SsbfResult res = ssbf.loadLookup(probe, 0xF);
+        // With 64 words over 32 sets, at most 2 words share a set;
+        // a word's youngest entry survives at least 2 insertions to
+        // its set. "since == 0" guarantees residency.
+        if (since[probe] == 0) {
+            EXPECT_TRUE(res.matched);
+            EXPECT_GE(res.ssn, it->second);
+        }
+    }
+}
+
+// ---- RegFile counter invariants under random operations ----
+
+TEST(RegFileProperty, CountersStayConsistentUnderRandomOps)
+{
+    RegFile rf(128);
+    Rng rng(7);
+    std::vector<int> live_defs;     // pregs awaiting virtual release
+    std::vector<int> pending_reads; // pregs awaiting consumerDone
+
+    for (int step = 0; step < 20000; ++step) {
+        switch (rng.below(4)) {
+          case 0:
+            if (rf.canAllocate(1)) {
+                unsigned lreg = 1 + static_cast<unsigned>(
+                    rng.below(kNumLogicalRegs - 1));
+                live_defs.push_back(rf.allocate(lreg));
+            }
+            break;
+          case 1:
+            if (!live_defs.empty()) {
+                int preg = live_defs.back();
+                live_defs.pop_back();
+                rf.virtualRelease(preg);
+            }
+            break;
+          case 2:
+            if (!live_defs.empty()) {
+                int preg = live_defs[rng.below(live_defs.size())];
+                rf.addConsumer(preg);
+                pending_reads.push_back(preg);
+            }
+            break;
+          case 3:
+            if (!pending_reads.empty()) {
+                rf.consumerDone(pending_reads.back());
+                pending_reads.pop_back();
+            }
+            break;
+        }
+    }
+    // Drain everything: all registers must return to the free pool
+    // (plus the architectural mappings).
+    for (int preg : pending_reads)
+        rf.consumerDone(preg);
+    for (int preg : live_defs)
+        rf.virtualRelease(preg);
+    EXPECT_EQ(rf.freeCount(), 128u - (kNumLogicalRegs - 1));
+}
+
+// ---- Cache sanity over random streams ----
+
+TEST(CacheProperty, AccessAfterAccessAlwaysHits)
+{
+    CacheConfig cc{4096, 4, 64, 4};
+    Cache cache(cc, "p");
+    Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        uint32_t addr = static_cast<uint32_t>(rng.below(1 << 20));
+        cache.access(addr, rng.chance(0.3));
+        EXPECT_TRUE(cache.probe(addr));
+        EXPECT_TRUE(cache.access(addr, false));
+    }
+    EXPECT_EQ(cache.hits() + cache.misses(), cache.accesses());
+}
+
+// ---- Whole pipeline: every model retires the architectural stream
+//      for randomized kernels ----
+
+struct KernelSweep
+{
+    KernelKind kind;
+    uint64_t seed;
+};
+
+class PipelineEquivalence : public ::testing::TestWithParam<KernelSweep>
+{};
+
+TEST_P(PipelineEquivalence, AllModelsRetireIdenticalCounts)
+{
+    const KernelSweep &sweep = GetParam();
+    Rng rng(sweep.seed);
+    KernelParams params;
+    params.kind = sweep.kind;
+    params.iters = 300 + static_cast<uint32_t>(rng.below(300));
+    params.tableWords = 256 << rng.below(3);
+    params.idxLen = 64 << rng.below(2);
+    params.dupProb = 0.2 + 0.2 * static_cast<double>(rng.below(3));
+    params.dupLag = 1 + static_cast<uint32_t>(rng.below(6));
+    params.silentFrac = 0.3;
+
+    Rng data_rng(sweep.seed * 31);
+    KernelAsm frag = emitKernel(params, 0, 0x100000, data_rng);
+    Program prog = assemble("main:\n" + frag.code + "    halt\n" + frag.data);
+
+    uint64_t reference = 0;
+    for (LsuModel model : {LsuModel::Baseline, LsuModel::NoSQ,
+                           LsuModel::DMDP, LsuModel::Perfect}) {
+        SimConfig cfg = SimConfig::forModel(model);
+        SimStats stats = Simulator::run(cfg, prog);
+        if (reference == 0)
+            reference = stats.instsRetired;
+        EXPECT_EQ(stats.instsRetired, reference) << lsuModelName(model);
+        EXPECT_GT(stats.ipc(), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomKernels, PipelineEquivalence,
+    ::testing::Values(KernelSweep{KernelKind::PointerChaseInc, 101},
+                      KernelSweep{KernelKind::PointerChaseInc, 102},
+                      KernelSweep{KernelKind::Histogram, 201},
+                      KernelSweep{KernelKind::Histogram, 202},
+                      KernelSweep{KernelKind::SpillFill, 301},
+                      KernelSweep{KernelKind::PartialWord, 401},
+                      KernelSweep{KernelKind::Stencil, 501},
+                      KernelSweep{KernelKind::BlockCopy, 601},
+                      KernelSweep{KernelKind::LinkedList, 701},
+                      KernelSweep{KernelKind::ArraySweep, 801}));
+
+// ---- Architectural memory equivalence: the strongest end-to-end
+//      invariant. After a full run (store buffer drained), the timing
+//      model's committed memory must byte-for-byte match the memory an
+//      un-timed functional run produces — across all four machines,
+//      squashes, re-executions and predication included. ----
+
+class MemoryEquivalence : public ::testing::TestWithParam<KernelSweep>
+{};
+
+TEST_P(MemoryEquivalence, CommittedMemoryMatchesEmulator)
+{
+    const KernelSweep &sweep = GetParam();
+    KernelParams params;
+    params.kind = sweep.kind;
+    params.iters = 400;
+    params.tableWords = 512;
+    params.idxLen = 128;
+    params.dupProb = 0.5;
+    params.dupLag = 2;      // aggressive: maximum squash pressure
+    params.silentFrac = 0.3;
+
+    Rng rng(sweep.seed);
+    KernelAsm frag = emitKernel(params, 0, 0x100000, rng);
+    Program prog = assemble("main:\n" + frag.code + "    halt\n" +
+                            frag.data);
+
+    // Reference: pure functional execution.
+    Emulator emu(prog);
+    while (!emu.halted())
+        emu.step();
+
+    for (LsuModel model : {LsuModel::Baseline, LsuModel::NoSQ,
+                           LsuModel::DMDP, LsuModel::Perfect}) {
+        SimConfig cfg = SimConfig::forModel(model);
+        Pipeline pipe(cfg, prog);
+        pipe.run();
+        pipe.drainStoreBuffer();
+        const MemImg &committed = pipe.committedMemory();
+        // Compare the kernel's whole data region byte by byte.
+        for (uint32_t addr = 0x100000; addr < 0x100000 + 512 * 4 + 1024;
+             addr += 4) {
+            ASSERT_EQ(committed.read32(addr), emu.memory().read32(addr))
+                << lsuModelName(model) << " @ " << std::hex << addr;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, MemoryEquivalence,
+    ::testing::Values(KernelSweep{KernelKind::PointerChaseInc, 11},
+                      KernelSweep{KernelKind::Histogram, 22},
+                      KernelSweep{KernelKind::SpillFill, 33},
+                      KernelSweep{KernelKind::PartialWord, 44},
+                      KernelSweep{KernelKind::Stencil, 55},
+                      KernelSweep{KernelKind::BlockCopy, 66}));
+
+// ---- Store-buffer-size monotonicity (Fig. 14's premise) ----
+
+TEST(PipelineProperty, BiggerStoreBufferNeverHurtsMuch)
+{
+    KernelParams params;
+    params.kind = KernelKind::BlockCopy;
+    params.iters = 2000;
+    params.tableWords = 64 * 1024;
+    Rng rng(5);
+    KernelAsm frag = emitKernel(params, 0, 0x100000, rng);
+    Program prog = assemble("main:\n" + frag.code + "    halt\n" + frag.data);
+
+    uint64_t prev_cycles = ~0ull;
+    for (uint32_t sb : {4u, 16u, 64u}) {
+        SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+        cfg.storeBufferSize = sb;
+        SimStats stats = Simulator::run(cfg, prog);
+        EXPECT_LE(stats.cycles, prev_cycles + prev_cycles / 50);
+        prev_cycles = stats.cycles;
+    }
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,78 @@
+/** @file Tests for the SPEC 2006 proxy benchmark suite. */
+
+#include <gtest/gtest.h>
+
+#include "func/emulator.h"
+#include "workloads/spec_proxies.h"
+
+namespace dmdp {
+namespace {
+
+TEST(Proxies, SuiteMatchesThePaper)
+{
+    const auto &specs = specProxies();
+    EXPECT_EQ(specs.size(), 21u);
+    size_t integers = 0;
+    for (const auto &spec : specs)
+        integers += spec.isInteger;
+    EXPECT_EQ(integers, 10u);           // 10 Int + 11 FP (section V)
+
+    // Spot-check the paper's benchmark names.
+    for (const char *name : {"perl", "bzip2", "gcc", "mcf", "hmmer",
+                             "h264ref", "astar", "bwaves", "milc", "lbm",
+                             "wrf", "sphinx3"}) {
+        EXPECT_NO_THROW(findProxy(name)) << name;
+    }
+    EXPECT_THROW(findProxy("doom"), std::out_of_range);
+}
+
+TEST(Proxies, WeightsRoughlyNormalized)
+{
+    for (const auto &spec : specProxies()) {
+        double total = 0;
+        for (const auto &[weight, params] : spec.mix)
+            total += weight;
+        EXPECT_NEAR(total, 1.0, 0.01) << spec.name;
+    }
+}
+
+TEST(Proxies, BuildIsDeterministic)
+{
+    Program a = buildProxy("bzip2", 10000);
+    Program b = buildProxy("bzip2", 10000);
+    EXPECT_EQ(a.entry, b.entry);
+    EXPECT_EQ(a.chunks, b.chunks);
+}
+
+TEST(Proxies, ProgramsRunCloseToTarget)
+{
+    // Programs are built ~20% past the target so maxInsts caps cleanly.
+    for (const char *name : {"perl", "hmmer"}) {
+        Program prog = buildProxy(name, 20000);
+        Emulator emu(prog);
+        while (!emu.halted() && emu.instCount() < 100000)
+            emu.step();
+        EXPECT_TRUE(emu.halted()) << name;
+        EXPECT_GT(emu.instCount(), 18000u) << name;
+        EXPECT_LT(emu.instCount(), 60000u) << name;
+    }
+}
+
+TEST(Proxies, EveryProxyAssembles)
+{
+    for (const auto &spec : specProxies()) {
+        Program prog = buildProxy(spec, 2000);
+        EXPECT_GT(prog.size(), 0u) << spec.name;
+        EXPECT_EQ(prog.entry, 0x1000u) << spec.name;
+    }
+}
+
+TEST(Proxies, DistinctBenchmarksDiffer)
+{
+    Program a = buildProxy("perl", 10000);
+    Program b = buildProxy("gcc", 10000);
+    EXPECT_NE(a.chunks, b.chunks);
+}
+
+} // namespace
+} // namespace dmdp

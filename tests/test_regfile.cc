@@ -1,0 +1,150 @@
+/** @file Tests for reference-counted renaming (section IV-B-a). */
+
+#include <gtest/gtest.h>
+
+#include "core/regfile.h"
+
+namespace dmdp {
+namespace {
+
+TEST(RegFile, InitialMappingsAndFreeList)
+{
+    RegFile rf(320);
+    EXPECT_EQ(rf.map(0), -1);
+    for (unsigned l = 1; l < kNumLogicalRegs; ++l)
+        EXPECT_GE(rf.map(l), 0);
+    EXPECT_EQ(rf.freeCount(), 320u - (kNumLogicalRegs - 1));
+    EXPECT_TRUE(rf.ready(rf.map(1), 0));
+}
+
+TEST(RegFile, AllocateRemapsAndMarksPending)
+{
+    RegFile rf(320);
+    int old_preg = rf.map(5);
+    int new_preg = rf.allocate(5);
+    EXPECT_NE(new_preg, old_preg);
+    EXPECT_EQ(rf.map(5), new_preg);
+    EXPECT_FALSE(rf.ready(new_preg, 1000000));
+    rf.setReadyCycle(new_preg, 7);
+    EXPECT_FALSE(rf.ready(new_preg, 6));
+    EXPECT_TRUE(rf.ready(new_preg, 7));
+}
+
+TEST(RegFile, VirtualReleaseFreesOldDefinition)
+{
+    RegFile rf(320);
+    size_t free_before = rf.freeCount();
+    int old_preg = rf.map(5);
+    rf.allocate(5);                 // redefinition of $5
+    EXPECT_EQ(rf.freeCount(), free_before - 1);
+    rf.virtualRelease(old_preg);    // the redefinition retires
+    EXPECT_EQ(rf.freeCount(), free_before);
+}
+
+TEST(RegFile, ConsumerCountDelaysRelease)
+{
+    // Section IV-B-a: a committing store reads its registers *after*
+    // the redefining instruction retired; the consumer count must keep
+    // the register alive until then.
+    RegFile rf(320);
+    int preg = rf.map(5);
+    rf.addConsumer(preg);           // the store's pending commit read
+    rf.allocate(5);
+    size_t free_before = rf.freeCount();
+    rf.virtualRelease(preg);        // producers hit zero...
+    EXPECT_EQ(rf.freeCount(), free_before);     // ...but not released
+    rf.consumerDone(preg);          // store commits
+    EXPECT_EQ(rf.freeCount(), free_before + 1);
+}
+
+TEST(RegFile, SharedRedefinitionNeedsTwoReleases)
+{
+    // Memory cloaking (Fig. 9): two definitions on one register, two
+    // virtual releases before it frees.
+    RegFile rf(320);
+    int preg = rf.allocate(7);      // store's data register, def #1
+    rf.setReadyCycle(preg, 0);
+    rf.redefineShared(9, preg);     // cloaked load, def #2
+    EXPECT_EQ(rf.map(9), preg);
+    EXPECT_EQ(rf.producers(preg), 2u);
+
+    size_t free_before = rf.freeCount();
+    rf.virtualRelease(preg);        // $9 redefined later, retires
+    EXPECT_EQ(rf.freeCount(), free_before);
+    rf.virtualRelease(preg);        // $7 redefined later, retires
+    EXPECT_EQ(rf.freeCount(), free_before + 1);
+}
+
+TEST(RegFile, CanAllocateTracksFreeList)
+{
+    RegFile rf(2 * kNumLogicalRegs);
+    EXPECT_TRUE(rf.canAllocate(1));
+    size_t free = rf.freeCount();
+    for (size_t i = 0; i < free; ++i)
+        rf.allocate(1);
+    EXPECT_FALSE(rf.canAllocate(1));
+    EXPECT_THROW(rf.allocate(1), std::runtime_error);
+}
+
+TEST(RegFile, TooSmallFileRejected)
+{
+    EXPECT_THROW(RegFile rf(kNumLogicalRegs), std::runtime_error);
+}
+
+TEST(RegFile, RecoverRebuildsFromRetireState)
+{
+    RegFile rf(320);
+    // Retired state: $5 -> pregA.
+    int preg_a = rf.allocate(5);
+    rf.retireMapping(5, preg_a);
+    // Speculative work after that: $5 -> pregB (not retired).
+    int preg_b = rf.allocate(5);
+    rf.addConsumer(preg_b);
+    size_t free_before = rf.freeCount();
+
+    rf.recover({});
+    EXPECT_EQ(rf.map(5), preg_a);
+    EXPECT_EQ(rf.producers(preg_a), 1u);
+    // Two registers return to the free list: the squashed definition
+    // (preg_b) and $5's initial register, whose retired redefinition
+    // (preg_a in the retire RAT) virtually released it.
+    EXPECT_EQ(rf.freeCount(), free_before + 2);
+    EXPECT_TRUE(rf.ready(preg_a, 0));
+}
+
+TEST(RegFile, RecoverCountsSharedMappings)
+{
+    RegFile rf(320);
+    int preg = rf.allocate(7);
+    rf.retireMapping(7, preg);
+    rf.redefineShared(9, preg);
+    rf.retireMapping(9, preg);
+    rf.recover({});
+    // Two retire-RAT occupants -> two live definitions.
+    EXPECT_EQ(rf.producers(preg), 2u);
+}
+
+TEST(RegFile, RecoverHonorsHeldRegisters)
+{
+    RegFile rf(320);
+    int preg = rf.allocate(6);
+    // preg is NOT in the retire RAT ($6 still maps to its initial reg
+    // there), but a store-buffer entry holds it.
+    rf.recover({preg, -1});
+    EXPECT_EQ(rf.consumers(preg), 1u);
+    size_t free_before = rf.freeCount();
+    rf.consumerDone(preg);
+    EXPECT_EQ(rf.freeCount(), free_before + 1);
+}
+
+TEST(RegFile, NegativeRegisterIsAlwaysReadyNoop)
+{
+    RegFile rf(320);
+    EXPECT_TRUE(rf.ready(-1, 0));
+    EXPECT_NO_THROW(rf.addConsumer(-1));
+    EXPECT_NO_THROW(rf.consumerDone(-1));
+    EXPECT_NO_THROW(rf.virtualRelease(-1));
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,142 @@
+/** @file Tests for the store distance predictor (section IV-A-d). */
+
+#include <gtest/gtest.h>
+
+#include "pred/sdp.h"
+
+namespace dmdp {
+namespace {
+
+constexpr uint32_t kPc = 0x1040;
+constexpr uint32_t kHistory = 0x5a;
+
+TEST(Sdp, ColdMissPredictsIndependent)
+{
+    SimConfig cfg;
+    Sdp sdp(cfg);
+    SdpPrediction pred = sdp.predict(kPc, kHistory);
+    EXPECT_FALSE(pred.dependent);
+}
+
+TEST(Sdp, DependentUpdateAllocatesEntry)
+{
+    SimConfig cfg;
+    Sdp sdp(cfg);
+    sdp.update(kPc, kHistory, true, 3);
+    SdpPrediction pred = sdp.predict(kPc, kHistory);
+    EXPECT_TRUE(pred.dependent);
+    EXPECT_EQ(pred.distance, 3u);
+    // Fresh entries start at the init confidence (64 > 63).
+    EXPECT_TRUE(pred.confident);
+    EXPECT_EQ(sdp.allocations(), 2u);   // both tables
+}
+
+TEST(Sdp, CorrectPredictionsRaiseConfidence)
+{
+    SimConfig cfg;
+    cfg.biasedConfidence = true;
+    Sdp sdp(cfg);
+    sdp.update(kPc, kHistory, true, 3);
+    for (int i = 0; i < 20; ++i)
+        sdp.update(kPc, kHistory, true, 3);
+    // One biased misprediction halves 84 -> 42 (not confident)...
+    sdp.update(kPc, kHistory, true, 7);
+    EXPECT_FALSE(sdp.predict(kPc, kHistory).confident);
+    // ...and the distance is retrained to the new value.
+    EXPECT_EQ(sdp.predict(kPc, kHistory).distance, 7u);
+}
+
+TEST(Sdp, BalancedPolicyRecoversFaster)
+{
+    SimConfig cfg;
+    cfg.biasedConfidence = false;
+    Sdp sdp(cfg);
+    sdp.update(kPc, kHistory, true, 3);
+    sdp.update(kPc, kHistory, true, 7);     // wrong distance: 64 -> 63
+    EXPECT_FALSE(sdp.predict(kPc, kHistory).confident);
+    sdp.update(kPc, kHistory, true, 7);     // correct: 63 -> 64
+    EXPECT_TRUE(sdp.predict(kPc, kHistory).confident);
+}
+
+TEST(Sdp, IndependentOutcomePenalizesExistingEntry)
+{
+    SimConfig cfg;
+    cfg.biasedConfidence = true;
+    Sdp sdp(cfg);
+    sdp.update(kPc, kHistory, true, 3);
+    sdp.update(kPc, kHistory, false, 0);    // actually independent
+    SdpPrediction pred = sdp.predict(kPc, kHistory);
+    EXPECT_TRUE(pred.dependent);            // entry remains
+    EXPECT_FALSE(pred.confident);           // 64 -> 32
+}
+
+TEST(Sdp, IndependentOutcomeDoesNotAllocate)
+{
+    SimConfig cfg;
+    Sdp sdp(cfg);
+    sdp.update(kPc, kHistory, false, 0);
+    EXPECT_FALSE(sdp.predict(kPc, kHistory).dependent);
+    EXPECT_EQ(sdp.allocations(), 0u);
+}
+
+TEST(Sdp, PathSensitivePredictionWins)
+{
+    SimConfig cfg;
+    Sdp sdp(cfg);
+    // Same PC, two histories with different distances. Both updates
+    // touch the insensitive entry (last writer wins there), but each
+    // history's sensitive entry is distinct.
+    sdp.update(kPc, 0x01, true, 2);
+    sdp.update(kPc, 0x02, true, 9);
+    EXPECT_EQ(sdp.predict(kPc, 0x01).distance, 2u);
+    EXPECT_EQ(sdp.predict(kPc, 0x01).pathSensitive, true);
+    EXPECT_EQ(sdp.predict(kPc, 0x02).distance, 9u);
+}
+
+TEST(Sdp, FallsBackToPathInsensitive)
+{
+    SimConfig cfg;
+    Sdp sdp(cfg);
+    sdp.update(kPc, 0x01, true, 4);
+    // A history never trained: the sensitive table misses, the
+    // insensitive table (indexed by PC only) hits.
+    SdpPrediction pred = sdp.predict(kPc, 0x3f);
+    EXPECT_TRUE(pred.dependent);
+    EXPECT_FALSE(pred.pathSensitive);
+    EXPECT_EQ(pred.distance, 4u);
+}
+
+TEST(Sdp, UnrepresentableDistanceTreatedAsIndependent)
+{
+    SimConfig cfg;
+    Sdp sdp(cfg);
+    sdp.update(kPc, kHistory, true, Sdp::kMaxDistance + 10);
+    EXPECT_FALSE(sdp.predict(kPc, kHistory).dependent);
+}
+
+TEST(Sdp, DistinctPcsDoNotInterfere)
+{
+    SimConfig cfg;
+    Sdp sdp(cfg);
+    sdp.update(0x1000, 0, true, 1);
+    sdp.update(0x2000, 0, true, 5);
+    EXPECT_EQ(sdp.predict(0x1000, 0).distance, 1u);
+    EXPECT_EQ(sdp.predict(0x2000, 0).distance, 5u);
+}
+
+TEST(Sdp, LruReplacementWithinSet)
+{
+    SimConfig cfg;
+    cfg.sdpEntries = 16;    // 4 sets x 4 ways: easy to overflow a set
+    cfg.sdpWays = 4;
+    Sdp sdp(cfg);
+    // Five PCs mapping to the same set (stride = sets * 4 bytes).
+    for (uint32_t i = 0; i < 5; ++i)
+        sdp.update(0x1000 + i * 4 * 4, 0, true, i);
+    // The oldest (i=0) was evicted; the newest four remain.
+    EXPECT_FALSE(sdp.predict(0x1000, 0).dependent);
+    EXPECT_TRUE(sdp.predict(0x1000 + 4 * 4 * 4, 0).dependent);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,104 @@
+/** @file Tests for the TAGE-style store distance predictor. */
+
+#include <gtest/gtest.h>
+
+#include "pred/sdp_tage.h"
+
+namespace dmdp {
+namespace {
+
+constexpr uint32_t kPc = 0x2040;
+
+TEST(SdpTage, ColdPredictsIndependent)
+{
+    SimConfig cfg;
+    SdpTage tage(cfg);
+    EXPECT_FALSE(tage.predict(kPc, 0x12).dependent);
+}
+
+TEST(SdpTage, BaseCoversSimpleDependences)
+{
+    SimConfig cfg;
+    SdpTage tage(cfg);
+    // A stationary distance is learned by the base predictor alone.
+    for (int i = 0; i < 4; ++i)
+        tage.update(kPc, 0x12, true, 5);
+    SdpPrediction pred = tage.predict(kPc, 0x12);
+    EXPECT_TRUE(pred.dependent);
+    EXPECT_EQ(pred.distance, 5u);
+}
+
+TEST(SdpTage, HistoryCorrelatedDistancesSeparate)
+{
+    // Two path contexts, two different distances: the classic
+    // predictor's single 8-bit-XOR table can learn this too, but TAGE
+    // must as well — via its tagged components.
+    SimConfig cfg;
+    SdpTage tage(cfg);
+    for (int i = 0; i < 30; ++i) {
+        tage.update(kPc, 0x0f, true, 2);
+        tage.update(kPc, 0xf0, true, 9);
+    }
+    EXPECT_EQ(tage.predict(kPc, 0x0f).distance, 2u);
+    EXPECT_EQ(tage.predict(kPc, 0xf0).distance, 9u);
+}
+
+TEST(SdpTage, DeepHistoryContext)
+{
+    // Distances that depend on history bits beyond the classic
+    // predictor's 8-bit window (bit 20): only the long-history TAGE
+    // component can separate these.
+    SimConfig cfg;
+    SdpTage tage(cfg);
+    uint32_t hist_a = 1u << 20;
+    uint32_t hist_b = 0;
+    for (int i = 0; i < 60; ++i) {
+        tage.update(kPc, hist_a, true, 3);
+        tage.update(kPc, hist_b, true, 11);
+    }
+    EXPECT_EQ(tage.predict(kPc, hist_a).distance, 3u);
+    EXPECT_EQ(tage.predict(kPc, hist_b).distance, 11u);
+}
+
+TEST(SdpTage, IndependencePenalizesProvider)
+{
+    SimConfig cfg;
+    cfg.biasedConfidence = true;
+    SdpTage tage(cfg);
+    for (int i = 0; i < 10; ++i)
+        tage.update(kPc, 0x12, true, 4);
+    ASSERT_TRUE(tage.predict(kPc, 0x12).confident);
+    tage.update(kPc, 0x12, false, 0);
+    tage.update(kPc, 0x12, false, 0);
+    EXPECT_FALSE(tage.predict(kPc, 0x12).confident);
+}
+
+TEST(SdpTage, UnrepresentableDistanceIgnored)
+{
+    SimConfig cfg;
+    SdpTage tage(cfg);
+    tage.update(kPc, 0x12, true, Sdp::kMaxDistance + 100);
+    EXPECT_FALSE(tage.predict(kPc, 0x12).dependent);
+}
+
+TEST(SdpTage, UsefulBitsProtectHotEntries)
+{
+    SimConfig cfg;
+    cfg.sdpEntries = 256;   // small tables to force replacement pressure
+    SdpTage tage(cfg);
+    // A hot, repeatedly-correct dependence...
+    for (int i = 0; i < 20; ++i)
+        tage.update(kPc, 0x3, true, 6);
+    // ...then a burst of unrelated allocations (about one replacement
+    // attempt per slot: fewer than the hot entry's usefulness credit).
+    for (uint32_t pc = 0xa0100; pc < 0xa0200; pc += 4)
+        tage.update(pc, 0x3, true, 1);
+    // The hot entry should still predict (usefulness resists victims),
+    // at worst through the base table.
+    SdpPrediction pred = tage.predict(kPc, 0x3);
+    EXPECT_TRUE(pred.dependent);
+    EXPECT_EQ(pred.distance, 6u);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,84 @@
+/** @file Tests for the Store Register Buffer. */
+
+#include <gtest/gtest.h>
+
+#include "core/srb.h"
+
+namespace dmdp {
+namespace {
+
+SrbEntry
+entry(uint64_t ssn, int data_preg = 1, int addr_preg = 2)
+{
+    SrbEntry e;
+    e.valid = true;
+    e.ssn = ssn;
+    e.dataPreg = data_preg;
+    e.addrPreg = addr_preg;
+    return e;
+}
+
+TEST(Srb, FindBySsn)
+{
+    StoreRegisterBuffer srb;
+    srb.insert(entry(5, 10, 11));
+    srb.insert(entry(6, 12, 13));
+    ASSERT_NE(srb.find(5), nullptr);
+    EXPECT_EQ(srb.find(5)->dataPreg, 10);
+    EXPECT_EQ(srb.find(6)->addrPreg, 13);
+    EXPECT_EQ(srb.find(4), nullptr);
+    EXPECT_EQ(srb.find(7), nullptr);
+}
+
+TEST(Srb, InvalidateRemovesForwarding)
+{
+    StoreRegisterBuffer srb;
+    srb.insert(entry(1));
+    srb.insert(entry(2));
+    srb.invalidate(1);
+    EXPECT_EQ(srb.find(1), nullptr);
+    ASSERT_NE(srb.find(2), nullptr);
+}
+
+TEST(Srb, OutOfOrderInvalidationLeavesHoles)
+{
+    // RMO commits out of order (section VI-g).
+    StoreRegisterBuffer srb;
+    srb.insert(entry(1));
+    srb.insert(entry(2));
+    srb.insert(entry(3));
+    srb.invalidate(2);
+    EXPECT_NE(srb.find(1), nullptr);
+    EXPECT_EQ(srb.find(2), nullptr);
+    EXPECT_NE(srb.find(3), nullptr);
+    srb.invalidate(1);
+    EXPECT_EQ(srb.find(1), nullptr);
+    EXPECT_NE(srb.find(3), nullptr);
+}
+
+TEST(Srb, TruncateAfterSquash)
+{
+    StoreRegisterBuffer srb;
+    for (uint64_t ssn = 1; ssn <= 5; ++ssn)
+        srb.insert(entry(ssn));
+    srb.truncateAfter(3);   // stores 4 and 5 were squashed
+    EXPECT_NE(srb.find(3), nullptr);
+    EXPECT_EQ(srb.find(4), nullptr);
+    EXPECT_EQ(srb.find(5), nullptr);
+    // Re-inserting after the squash point works.
+    srb.insert(entry(4, 42, 43));
+    EXPECT_EQ(srb.find(4)->dataPreg, 42);
+}
+
+TEST(Srb, ReusableAfterFullDrain)
+{
+    StoreRegisterBuffer srb;
+    srb.insert(entry(1));
+    srb.invalidate(1);
+    EXPECT_EQ(srb.size(), 0u);
+    srb.insert(entry(9));
+    EXPECT_NE(srb.find(9), nullptr);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,115 @@
+/** @file Tests for the Tagged Store Sequence Bloom Filter. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "pred/ssbf.h"
+
+namespace dmdp {
+namespace {
+
+SimConfig
+paperConfig()
+{
+    SimConfig cfg;      // 4-way x 32 sets = 128 entries, as in the paper
+    return cfg;
+}
+
+TEST(Ssbf, EmptySetReturnsZero)
+{
+    Ssbf ssbf(paperConfig());
+    SsbfResult res = ssbf.loadLookup(0x1000, 0xF);
+    EXPECT_FALSE(res.matched);
+    EXPECT_EQ(res.ssn, 0u);
+}
+
+TEST(Ssbf, MatchReturnsStoreSsn)
+{
+    Ssbf ssbf(paperConfig());
+    ssbf.storeRetire(0x1000, 0xF, 42);
+    SsbfResult res = ssbf.loadLookup(0x1000, 0xF);
+    EXPECT_TRUE(res.matched);
+    EXPECT_EQ(res.ssn, 42u);
+    EXPECT_EQ(res.storeBab, 0xF);
+}
+
+TEST(Ssbf, YoungestMatchingInstanceWins)
+{
+    Ssbf ssbf(paperConfig());
+    ssbf.storeRetire(0x1000, 0xF, 10);
+    ssbf.storeRetire(0x1000, 0xF, 20);
+    EXPECT_EQ(ssbf.loadLookup(0x1000, 0xF).ssn, 20u);
+}
+
+TEST(Ssbf, BabMustOverlap)
+{
+    Ssbf ssbf(paperConfig());
+    // Store to the low half-word, load from the high half-word.
+    ssbf.storeRetire(0x1000, 0x3, 10);
+    SsbfResult res = ssbf.loadLookup(0x1000, 0xC);
+    EXPECT_FALSE(res.matched);
+    // Overlapping BAB matches.
+    EXPECT_TRUE(ssbf.loadLookup(0x1000, 0x1).matched);
+}
+
+TEST(Ssbf, NoMatchReturnsSetMinimum)
+{
+    SimConfig cfg = paperConfig();
+    Ssbf ssbf(cfg);
+    // Two stores to addresses mapping to the same set as the probe but
+    // with different tags (stride = sets * 4 bytes).
+    uint32_t stride = cfg.ssbfSets * 4;
+    ssbf.storeRetire(0x1000 + stride, 0xF, 30);
+    ssbf.storeRetire(0x1000 + 2 * stride, 0xF, 50);
+    SsbfResult res = ssbf.loadLookup(0x1000, 0xF);
+    EXPECT_FALSE(res.matched);
+    EXPECT_EQ(res.ssn, 30u);    // conservative lower bound
+}
+
+TEST(Ssbf, FifoReplacementWithinSet)
+{
+    SimConfig cfg = paperConfig();  // 4 ways
+    Ssbf ssbf(cfg);
+    // Five stores to the same word: the oldest SSN is displaced.
+    for (uint64_t ssn = 1; ssn <= 5; ++ssn)
+        ssbf.storeRetire(0x1000, 0xF, ssn);
+    SsbfResult res = ssbf.loadLookup(0x1000, 0xF);
+    EXPECT_TRUE(res.matched);
+    EXPECT_EQ(res.ssn, 5u);
+    // All four resident entries are instances of the same address.
+    EXPECT_EQ(ssbf.storeWrites(), 5u);
+}
+
+TEST(Ssbf, DistinctWordsDoNotCollide)
+{
+    Ssbf ssbf(paperConfig());
+    ssbf.storeRetire(0x1000, 0xF, 7);
+    SsbfResult res = ssbf.loadLookup(0x1004, 0xF);
+    EXPECT_FALSE(res.matched);
+}
+
+TEST(Ssbf, RemoteInvalidationMarksWholeLine)
+{
+    SimConfig cfg = paperConfig();
+    Ssbf ssbf(cfg);
+    // Section IV-F: an invalidated line enters every word with
+    // SSN_commit + 1 and full BAB.
+    ssbf.invalidateLine(0x2000, 64, 101);
+    for (uint32_t off = 0; off < 64; off += 4) {
+        SsbfResult res = ssbf.loadLookup(0x2000 + off, 0xF);
+        EXPECT_TRUE(res.matched) << off;
+        EXPECT_EQ(res.ssn, 101u);
+    }
+}
+
+TEST(Ssbf, PartialWordStoreKeepsItsBab)
+{
+    Ssbf ssbf(paperConfig());
+    ssbf.storeRetire(0x1000, byteAccessBits(0x1002, 2), 9);
+    SsbfResult res = ssbf.loadLookup(0x1000, 0xF);
+    EXPECT_TRUE(res.matched);
+    EXPECT_EQ(res.storeBab, 0xC);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,77 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace dmdp {
+namespace {
+
+TEST(Scalar, IncrementAndAdd)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 41;
+    EXPECT_EQ(s.value(), 42u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Average, MeanOverSamples)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 9.0);
+}
+
+TEST(Histogram, CountsAndMean)
+{
+    Histogram h(10, 8);
+    for (uint64_t v : {5, 15, 15, 25})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    EXPECT_EQ(h.raw()[0], 1u);
+    EXPECT_EQ(h.raw()[1], 2u);
+    EXPECT_EQ(h.raw()[2], 1u);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(1, 4);
+    h.sample(1000);
+    EXPECT_EQ(h.raw().back(), 1u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1, 100);
+    for (uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 50.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.9)), 90.0, 2.0);
+}
+
+TEST(StatGroup, DumpContainsRegisteredStats)
+{
+    StatGroup group;
+    Scalar cycles;
+    cycles += 7;
+    Average lat;
+    lat.sample(4.0);
+    group.regScalar("sim.cycles", &cycles);
+    group.regAverage("sim.loadLatency", &lat);
+
+    std::string dump = group.dump();
+    EXPECT_NE(dump.find("sim.cycles = 7"), std::string::npos);
+    EXPECT_NE(dump.find("sim.loadLatency = 4"), std::string::npos);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,211 @@
+/** @file Tests for the post-retirement store buffer (TSO/RMO). */
+
+#include <gtest/gtest.h>
+
+#include "core/storebuffer.h"
+
+namespace dmdp {
+namespace {
+
+/** Fixture providing the substrate a store buffer needs. */
+class StoreBufferTest : public ::testing::Test
+{
+  protected:
+    StoreBufferTest()
+        : cfg(makeCfg()), mem(cfg), rf(cfg.numPhysRegs),
+          sb(cfg, mem, committed, rf)
+    {}
+
+    static SimConfig
+    makeCfg()
+    {
+        SimConfig cfg;
+        cfg.storeBufferSize = 4;
+        return cfg;
+    }
+
+    SbEntry
+    entry(uint64_t ssn, uint32_t addr, uint32_t value = 0)
+    {
+        SbEntry e;
+        e.ssn = ssn;
+        e.addr = addr;
+        e.size = 4;
+        e.value = value;
+        return e;
+    }
+
+    /** Run the buffer for @p cycles starting at @p start. */
+    uint64_t
+    drain(uint64_t start, uint64_t cycles)
+    {
+        for (uint64_t c = start; c < start + cycles; ++c)
+            sb.tick(c);
+        return start + cycles;
+    }
+
+    SimConfig cfg;
+    MemImg committed;
+    Hierarchy mem;
+    RegFile rf;
+    StoreBuffer sb;
+};
+
+TEST_F(StoreBufferTest, CommitsWriteCommittedMemory)
+{
+    sb.push(entry(1, 0x1000, 0xabcd));
+    drain(1, 400);
+    EXPECT_TRUE(sb.empty());
+    EXPECT_EQ(sb.ssnCommit(), 1u);
+    EXPECT_EQ(committed.read32(0x1000), 0xabcdu);
+}
+
+TEST_F(StoreBufferTest, FullAtCapacity)
+{
+    for (uint64_t i = 1; i <= 4; ++i)
+        sb.push(entry(i, 0x400000 + i * 64));   // cold misses: slow
+    EXPECT_TRUE(sb.full());
+}
+
+TEST_F(StoreBufferTest, SsnCommitAdvancesInOrder)
+{
+    sb.push(entry(1, 0x1000, 1));
+    sb.push(entry(2, 0x2000, 2));
+    sb.push(entry(3, 0x3000, 3));
+    uint64_t last = 0;
+    for (uint64_t c = 1; c < 800 && !sb.empty(); ++c) {
+        sb.tick(c);
+        EXPECT_GE(sb.ssnCommit(), last);
+        last = sb.ssnCommit();
+    }
+    EXPECT_EQ(sb.ssnCommit(), 3u);
+}
+
+TEST_F(StoreBufferTest, OnCommitCallbackFires)
+{
+    std::vector<uint64_t> committed_ssns;
+    sb.onCommit = [&](const SbEntry &e) { committed_ssns.push_back(e.ssn); };
+    sb.push(entry(1, 0x1000));
+    sb.push(entry(2, 0x1100));
+    drain(1, 600);
+    ASSERT_EQ(committed_ssns.size(), 2u);
+    EXPECT_EQ(committed_ssns[0], 1u);
+    EXPECT_EQ(committed_ssns[1], 2u);
+}
+
+TEST_F(StoreBufferTest, CoalescesConsecutiveSameLineStores)
+{
+    // Warm the line so commits are fast, then push four stores into
+    // one line in the same cycle: they should share one access.
+    mem.storeLatency(0x1000, 0);
+    for (uint64_t i = 1; i <= 4; ++i)
+        sb.push(entry(i, 0x1000 + static_cast<uint32_t>(i) * 4, i));
+    drain(1, 50);
+    EXPECT_EQ(sb.coalescedCommits(), 3u);
+    EXPECT_EQ(committed.read32(0x1008), 2u);
+}
+
+TEST_F(StoreBufferTest, TsoRegsGateHeadCommit)
+{
+    int preg = rf.allocate(5);      // pending producer
+    SbEntry head = entry(1, 0x1000);
+    head.dataPreg = preg;
+    sb.push(head);
+    sb.push(entry(2, 0x2000));
+    drain(1, 100);
+    // TSO: the younger store must not become visible first.
+    EXPECT_EQ(sb.ssnCommit(), 0u);
+    EXPECT_EQ(sb.size(), 2u);
+    rf.setReadyCycle(preg, 100);
+    drain(101, 1500);   // both cold misses must complete
+    EXPECT_EQ(sb.ssnCommit(), 2u);
+}
+
+TEST_F(StoreBufferTest, HeldRegsReportsPendingReads)
+{
+    SbEntry e = entry(1, 0x400000);
+    e.dataPreg = 10;
+    e.addrPreg = 11;
+    rf.addConsumer(10);
+    rf.addConsumer(11);
+    sb.push(e);
+    auto held = sb.heldRegs();
+    ASSERT_EQ(held.size(), 2u);
+    EXPECT_EQ(held[0], 10);
+    drain(1, 600);
+    EXPECT_TRUE(sb.heldRegs().empty());
+}
+
+TEST_F(StoreBufferTest, FindForwardYoungestWins)
+{
+    sb.push(entry(1, 0x400000, 0x11));
+    sb.push(entry(2, 0x400000, 0x22));
+    Inst lw;
+    lw.op = Op::LW;
+    auto res = sb.findForward(0x400000, 4, lw);
+    EXPECT_EQ(res.kind, StoreBuffer::ForwardResult::Kind::Forward);
+    EXPECT_EQ(res.ssn, 2u);
+    EXPECT_EQ(res.value, 0x22u);
+}
+
+TEST_F(StoreBufferTest, FindForwardPartialCoverage)
+{
+    SbEntry half = entry(1, 0x400000, 0x1234);
+    half.size = 2;
+    sb.push(half);
+    Inst lw;
+    lw.op = Op::LW;
+    auto res = sb.findForward(0x400000, 4, lw);
+    EXPECT_EQ(res.kind, StoreBuffer::ForwardResult::Kind::Partial);
+}
+
+TEST_F(StoreBufferTest, FindForwardNoMatch)
+{
+    sb.push(entry(1, 0x400000));
+    Inst lw;
+    lw.op = Op::LW;
+    auto res = sb.findForward(0x500000, 4, lw);
+    EXPECT_EQ(res.kind, StoreBuffer::ForwardResult::Kind::NoMatch);
+}
+
+TEST(StoreBufferRmo, YoungerHitsBypassMissingHead)
+{
+    SimConfig cfg;
+    cfg.storeBufferSize = 8;
+    cfg.consistency = Consistency::RMO;
+    MemImg committed;
+    Hierarchy mem(cfg);
+    RegFile rf(cfg.numPhysRegs);
+    StoreBuffer sb(cfg, mem, committed, rf);
+
+    // Head misses (cold far address); the second store hits a warmed
+    // line. Under RMO its value becomes visible in committed memory
+    // before the head completes.
+    mem.storeLatency(0x1000, 0);    // warm
+    SbEntry head;
+    head.ssn = 1;
+    head.addr = 0x800000;
+    head.size = 4;
+    head.value = 0xaa;
+    sb.push(head);
+    SbEntry young;
+    young.ssn = 2;
+    young.addr = 0x1000;
+    young.size = 4;
+    young.value = 0xbb;
+    sb.push(young);
+
+    for (uint64_t c = 1; c < 20; ++c)
+        sb.tick(c);
+    EXPECT_EQ(committed.read32(0x1000), 0xbbu);     // young visible
+    EXPECT_EQ(committed.read32(0x800000), 0u);      // head still flying
+    // SSN_commit still trails the oldest resident store (paper VI-g).
+    EXPECT_EQ(sb.ssnCommit(), 0u);
+
+    for (uint64_t c = 20; c < 800 && !sb.empty(); ++c)
+        sb.tick(c);
+    EXPECT_EQ(sb.ssnCommit(), 2u);
+}
+
+} // namespace
+} // namespace dmdp

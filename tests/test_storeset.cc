@@ -1,0 +1,83 @@
+/** @file Tests for the Store-Set dependence predictor (baseline). */
+
+#include <gtest/gtest.h>
+
+#include "pred/storeset.h"
+
+namespace dmdp {
+namespace {
+
+constexpr uint32_t kLoadPc = 0x1000;
+constexpr uint32_t kStorePc = 0x2000;
+
+TEST(StoreSet, ColdPredictsIndependent)
+{
+    StoreSet ss(256, 64);
+    EXPECT_EQ(ss.loadRename(kLoadPc), StoreSet::kInvalid);
+    EXPECT_EQ(ss.storeRename(kStorePc, 1), StoreSet::kInvalid);
+}
+
+TEST(StoreSet, ViolationCreatesDependence)
+{
+    StoreSet ss(256, 64);
+    ss.violation(kLoadPc, kStorePc);
+    // The store now posts itself as the set's last fetched store.
+    ss.storeRename(kStorePc, 7);
+    EXPECT_EQ(ss.loadRename(kLoadPc), 7u);
+}
+
+TEST(StoreSet, StoreIssueClearsWait)
+{
+    StoreSet ss(256, 64);
+    ss.violation(kLoadPc, kStorePc);
+    uint32_t ssid = ss.storeRename(kStorePc, 7);
+    ASSERT_NE(ssid, StoreSet::kInvalid);
+    ss.storeIssued(ssid, 7);
+    EXPECT_EQ(ss.loadRename(kLoadPc), StoreSet::kInvalid);
+}
+
+TEST(StoreSet, YoungerStoreInstanceReplacesOlder)
+{
+    StoreSet ss(256, 64);
+    ss.violation(kLoadPc, kStorePc);
+    ss.storeRename(kStorePc, 7);
+    ss.storeRename(kStorePc, 9);
+    EXPECT_EQ(ss.loadRename(kLoadPc), 9u);
+    // Clearing with the stale tag is a no-op.
+    uint32_t ssid = ss.storeRename(kStorePc, 11);
+    ss.storeIssued(ssid, 9);
+    EXPECT_EQ(ss.loadRename(kLoadPc), 11u);
+}
+
+TEST(StoreSet, MergesTwoSets)
+{
+    StoreSet ss(256, 64);
+    ss.violation(0x1000, 0x2000);
+    ss.violation(0x1100, 0x2100);
+    // A new violation between members of the two sets merges them.
+    ss.violation(0x1000, 0x2100);
+    ss.storeRename(0x2100, 42);
+    EXPECT_EQ(ss.loadRename(0x1000), 42u);
+}
+
+TEST(StoreSet, ClearForgetsEverything)
+{
+    StoreSet ss(256, 64);
+    ss.violation(kLoadPc, kStorePc);
+    ss.storeRename(kStorePc, 7);
+    ss.clear();
+    EXPECT_EQ(ss.loadRename(kLoadPc), StoreSet::kInvalid);
+}
+
+TEST(StoreSet, MultipleLoadsShareOneStoreSet)
+{
+    StoreSet ss(256, 64);
+    ss.violation(0x1000, kStorePc);
+    ss.violation(0x1004, kStorePc);
+    ss.storeRename(kStorePc, 5);
+    EXPECT_EQ(ss.loadRename(0x1000), 5u);
+    EXPECT_EQ(ss.loadRename(0x1004), 5u);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,61 @@
+/** @file Tests for the SVW re-execution policies (Table II, Fig. 11). */
+
+#include <gtest/gtest.h>
+
+#include "pred/svw.h"
+
+namespace dmdp {
+namespace {
+
+TEST(Svw, CacheLoadPolicy)
+{
+    // Table II row 1: re-execute iff the colliding store committed
+    // after the load read the cache.
+    EXPECT_FALSE(svwCacheLoadNeedsReexec(5, 10));   // committed before
+    EXPECT_FALSE(svwCacheLoadNeedsReexec(10, 10));  // exactly at nvul
+    EXPECT_TRUE(svwCacheLoadNeedsReexec(11, 10));   // after: vulnerable
+    EXPECT_FALSE(svwCacheLoadNeedsReexec(0, 0));    // no collision
+}
+
+TEST(Svw, ForwardedLoadPolicy)
+{
+    // Table II row 2: the actual colliding store must be the predicted
+    // one, exactly.
+    EXPECT_FALSE(svwForwardedLoadNeedsReexec(7, 7));
+    EXPECT_TRUE(svwForwardedLoadNeedsReexec(8, 7));     // younger actual
+    EXPECT_TRUE(svwForwardedLoadNeedsReexec(6, 7));     // older actual
+    EXPECT_TRUE(svwForwardedLoadNeedsReexec(0, 7));     // none found
+}
+
+struct BabPair
+{
+    uint8_t store;
+    uint8_t load;
+    bool covers;
+    bool overlaps;
+};
+
+class BabPolicy : public ::testing::TestWithParam<BabPair>
+{};
+
+TEST_P(BabPolicy, CoverageAndOverlap)
+{
+    const BabPair &p = GetParam();
+    EXPECT_EQ(babCovers(p.store, p.load), p.covers);
+    EXPECT_EQ(babOverlaps(p.store, p.load), p.overlaps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig11Cases, BabPolicy,
+    ::testing::Values(
+        BabPair{0xF, 0xF, true, true},      // word store, word load
+        BabPair{0xF, 0x3, true, true},      // word store covers half load
+        BabPair{0x3, 0xF, false, true},     // half store splits word load
+        BabPair{0x3, 0x3, true, true},      // exact half
+        BabPair{0x3, 0xC, false, false},    // disjoint halves
+        BabPair{0x1, 0x1, true, true},      // exact byte
+        BabPair{0xC, 0x4, true, true},      // upper-half store covers byte
+        BabPair{0x6, 0xF, false, true}));   // middle bytes only
+
+} // namespace
+} // namespace dmdp

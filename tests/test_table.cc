@@ -1,0 +1,49 @@
+/** @file Unit tests for the table printer and geomean helper. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace dmdp {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "2.5"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"x"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(1.0, 3), "1.000");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Geomean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 2.0, 4.0}), 2.0, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, SingleValue)
+{
+    EXPECT_DOUBLE_EQ(geomean({3.5}), 3.5);
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,57 @@
+/** @file Tests for the data TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.h"
+
+namespace dmdp {
+namespace {
+
+TEST(Tlb, MissThenHit)
+{
+    SimConfig cfg;
+    Tlb tlb(cfg);
+    EXPECT_EQ(tlb.access(0x100000), cfg.tlbMissLatency);
+    EXPECT_EQ(tlb.access(0x100000), 0u);
+    EXPECT_EQ(tlb.access(0x100ffc), 0u);    // same 4 KiB page
+    EXPECT_EQ(tlb.access(0x101000), cfg.tlbMissLatency);    // next page
+    EXPECT_EQ(tlb.hits(), 2u);
+    EXPECT_EQ(tlb.misses(), 2u);
+}
+
+TEST(Tlb, LruReplacementWithinSet)
+{
+    SimConfig cfg;
+    cfg.tlbEntries = 16;    // 4 sets x 4 ways
+    Tlb tlb(cfg);
+    // Five pages mapping to set 0 (vpn stride = 4).
+    for (uint32_t i = 0; i < 5; ++i)
+        tlb.access((i * 4) << Tlb::kPageShift);
+    EXPECT_FALSE(tlb.probe(0));                     // oldest evicted
+    EXPECT_TRUE(tlb.probe((4 * 4) << Tlb::kPageShift));
+    EXPECT_TRUE(tlb.probe((1 * 4) << Tlb::kPageShift));
+}
+
+TEST(Tlb, ProbeDoesNotFill)
+{
+    SimConfig cfg;
+    Tlb tlb(cfg);
+    EXPECT_FALSE(tlb.probe(0x5000));
+    EXPECT_EQ(tlb.access(0x5000), cfg.tlbMissLatency);
+}
+
+TEST(Tlb, CapacityCoversPaperFootprints)
+{
+    // 64 entries x 4 KiB = 256 KiB reach: a loop over an L1-resident
+    // array must stop missing after the first pass.
+    SimConfig cfg;
+    Tlb tlb(cfg);
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint32_t page = 0; page < 8; ++page)
+            tlb.access(0x400000 + (page << Tlb::kPageShift));
+    EXPECT_EQ(tlb.misses(), 8u);
+    EXPECT_EQ(tlb.hits(), 16u);
+}
+
+} // namespace
+} // namespace dmdp

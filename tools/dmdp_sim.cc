@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Command-line simulator driver: run a proxy benchmark or an assembly
+ * file on any of the four machines and print the full statistics
+ * report.
+ *
+ * Usage:
+ *   dmdp-sim [options]
+ *     --model M       baseline | nosq | dmdp | perfect   (default dmdp)
+ *     --proxy NAME    one of the 21 SPEC proxies         (default perl)
+ *     --asm FILE      assemble and run FILE instead of a proxy
+ *     --insts N       dynamic instruction budget         (default 200000)
+ *     --warmup N      exclude the first N instructions from statistics
+ *     --sb N          store buffer entries               (default 16)
+ *     --rob N         reorder buffer entries             (default 256)
+ *     --width N       fetch/issue/retire width           (default 8)
+ *     --prf N         physical registers                 (default 320)
+ *     --rmo           relaxed memory order (default TSO)
+ *     --tage          TAGE store distance predictor
+ *     --balanced      balanced (+1/-1) confidence updates
+ *     --no-silent-aware  original (exception-only) SDP update policy
+ *     --inval-rate R  injected remote invalidations per 1k cycles
+ *     --list          list the proxy benchmarks and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+#include "workloads/spec_proxies.h"
+
+using namespace dmdp;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--model baseline|nosq|dmdp|perfect]\n"
+                 "          [--proxy NAME | --asm FILE] [--insts N]\n"
+                 "          [--warmup N] [--sb N] [--rob N] [--width N]\n"
+                 "          [--prf N] [--rmo] [--tage] [--balanced]\n"
+                 "          [--no-silent-aware] [--inval-rate R] [--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+LsuModel
+parseModel(const std::string &name)
+{
+    if (name == "baseline")
+        return LsuModel::Baseline;
+    if (name == "nosq")
+        return LsuModel::NoSQ;
+    if (name == "dmdp")
+        return LsuModel::DMDP;
+    if (name == "perfect")
+        return LsuModel::Perfect;
+    std::fprintf(stderr, "unknown model: %s\n", name.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = "dmdp";
+    std::string proxy = "perl";
+    std::string asm_file;
+    uint64_t insts = 200000;
+    uint64_t warmup = 0;
+    SimConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--model") model_name = next();
+        else if (arg == "--proxy") proxy = next();
+        else if (arg == "--asm") asm_file = next();
+        else if (arg == "--insts") insts = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--warmup") warmup = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--sb") cfg.storeBufferSize =
+            static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+        else if (arg == "--rob") cfg.robSize =
+            static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+        else if (arg == "--prf") cfg.numPhysRegs =
+            static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+        else if (arg == "--width") {
+            uint32_t w = static_cast<uint32_t>(
+                std::strtoul(next(), nullptr, 0));
+            cfg.fetchWidth = cfg.issueWidth = cfg.retireWidth = w;
+        }
+        else if (arg == "--rmo") cfg.consistency = Consistency::RMO;
+        else if (arg == "--tage") cfg.sdpKind = SdpKind::Tage;
+        else if (arg == "--balanced") cfg.biasedConfidence = false;
+        else if (arg == "--no-silent-aware")
+            cfg.silentStoreAwareUpdate = false;
+        else if (arg == "--inval-rate")
+            cfg.remoteInvalPerKiloCycle = std::strtod(next(), nullptr);
+        else if (arg == "--list") {
+            for (const auto &spec : specProxies())
+                std::printf("%-10s %s\n", spec.name.c_str(),
+                            spec.isInteger ? "Int" : "FP");
+            return 0;
+        }
+        else usage(argv[0]);
+    }
+
+    LsuModel model = parseModel(model_name);
+    SimConfig defaults = SimConfig::forModel(model);
+    cfg.model = model;
+    cfg.biasedConfidence = cfg.biasedConfidence && defaults.biasedConfidence;
+    cfg.maxInsts = insts;
+    cfg.warmupInsts = warmup;
+
+    SimStats stats;
+    std::string workload;
+    if (!asm_file.empty()) {
+        std::ifstream in(asm_file);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", asm_file.c_str());
+            return 1;
+        }
+        std::ostringstream source;
+        source << in.rdbuf();
+        stats = Simulator::run(cfg, assemble(source.str()));
+        workload = asm_file;
+    } else {
+        stats = simulateProxy(proxy, cfg, insts);
+        workload = proxy + " (proxy)";
+    }
+
+    std::printf("workload: %s\nconfig:   %s sdp=%s warmup=%llu\n\n%s",
+                workload.c_str(), cfg.describe().c_str(),
+                sdpKindName(cfg.sdpKind),
+                static_cast<unsigned long long>(warmup),
+                stats.report().c_str());
+    return 0;
+}
