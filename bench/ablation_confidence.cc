@@ -20,10 +20,13 @@ main()
     printHeader("Ablation (IV-E): biased vs balanced confidence updates "
                 "(DMDP)", "section IV-E");
 
-    auto biased = runSuite(LsuModel::DMDP,
-                           [](SimConfig &c) { c.biasedConfidence = true; });
-    auto balanced = runSuite(LsuModel::DMDP,
-                             [](SimConfig &c) { c.biasedConfidence = false; });
+    auto suites = runSuites(
+        {{LsuModel::DMDP, [](SimConfig &c) { c.biasedConfidence = true; },
+          "dmdp-biased"},
+         {LsuModel::DMDP, [](SimConfig &c) { c.biasedConfidence = false; },
+          "dmdp-balanced"}});
+    const auto &biased = suites[0];
+    const auto &balanced = suites[1];
 
     Table table({"benchmark", "MPKI(biased)", "MPKI(balanced)",
                  "pred%(biased)", "pred%(balanced)", "IPC ratio b/b"});

@@ -21,8 +21,11 @@ namespace {
 void
 compare(const char *tag, const ConfigTweak &tweak, const char *paper)
 {
-    auto nosq = runSuite(LsuModel::NoSQ, tweak);
-    auto dmdp = runSuite(LsuModel::DMDP, tweak);
+    auto suites = runSuites(
+        {{LsuModel::NoSQ, tweak, std::string("nosq-") + tag},
+         {LsuModel::DMDP, tweak, std::string("dmdp-") + tag}});
+    const auto &nosq = suites[0];
+    const auto &dmdp = suites[1];
 
     std::vector<double> sp_int, sp_fp;
     for (size_t i = 0; i < nosq.size(); ++i) {

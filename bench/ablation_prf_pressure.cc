@@ -21,8 +21,12 @@ main()
 
     for (uint32_t prf : {320u, 160u}) {
         auto tweak = [prf](SimConfig &c) { c.numPhysRegs = prf; };
-        auto base = runSuite(LsuModel::Baseline, tweak);
-        auto dmdp = runSuite(LsuModel::DMDP, tweak);
+        std::string suffix = "-prf" + std::to_string(prf);
+        auto suites = runSuites({{LsuModel::Baseline, tweak,
+                                  "baseline" + suffix},
+                                 {LsuModel::DMDP, tweak, "dmdp" + suffix}});
+        const auto &base = suites[0];
+        const auto &dmdp = suites[1];
 
         std::vector<double> speedups;
         for (size_t i = 0; i < base.size(); ++i)

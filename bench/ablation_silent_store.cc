@@ -20,11 +20,14 @@ namespace {
 void
 runPolicy(LsuModel model)
 {
-    auto aware = runSuite(model,
-                          [](SimConfig &c) { c.silentStoreAwareUpdate = true; });
-    auto original = runSuite(model, [](SimConfig &c) {
-        c.silentStoreAwareUpdate = false;
-    });
+    std::string name = lsuModelName(model);
+    auto suites = runSuites(
+        {{model, [](SimConfig &c) { c.silentStoreAwareUpdate = true; },
+          name + "-aware"},
+         {model, [](SimConfig &c) { c.silentStoreAwareUpdate = false; },
+          name + "-orig"}});
+    const auto &aware = suites[0];
+    const auto &original = suites[1];
 
     std::printf("\n--- %s ---\n", lsuModelName(model));
     Table table({"benchmark", "reexec(aware)", "reexec(orig)",

@@ -21,12 +21,13 @@ main()
     printHeader("Ablation (VII): classic vs TAGE store distance predictor "
                 "(DMDP)", "section VII related work");
 
-    auto classic = runSuite(LsuModel::DMDP, [](SimConfig &c) {
-        c.sdpKind = SdpKind::Classic;
-    });
-    auto tage = runSuite(LsuModel::DMDP, [](SimConfig &c) {
-        c.sdpKind = SdpKind::Tage;
-    });
+    auto suites = runSuites(
+        {{LsuModel::DMDP, [](SimConfig &c) { c.sdpKind = SdpKind::Classic; },
+          "dmdp-classic"},
+         {LsuModel::DMDP, [](SimConfig &c) { c.sdpKind = SdpKind::Tage; },
+          "dmdp-tage"}});
+    const auto &classic = suites[0];
+    const auto &tage = suites[1];
 
     Table table({"benchmark", "IPC(classic)", "IPC(tage)", "tage/classic",
                  "MPKI(classic)", "MPKI(tage)"});

@@ -1,29 +1,150 @@
 #include "common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
+#include "driver/results.h"
 #include "workloads/spec_proxies.h"
 
 namespace dmdp::bench {
 
+namespace {
+
+/**
+ * Process-wide collector behind DMDP_JSON / DMDP_CSV: every sweep the
+ * harness runs is appended, and one machine-readable file per format is
+ * written at exit (a harness may call runSuites several times).
+ */
+class ResultSink
+{
+  public:
+    static ResultSink &
+    instance()
+    {
+        // Intentionally leaked: a function-local static would register
+        // its destructor *after* the constructor's std::atexit call, so
+        // the sink would be destroyed before flushAtExit() reads it.
+        static ResultSink *sink = new ResultSink;
+        return *sink;
+    }
+
+    void
+    append(const std::vector<driver::JobResult> &results)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        all_.insert(all_.end(), results.begin(), results.end());
+    }
+
+  private:
+    ResultSink()
+    {
+        const char *json = std::getenv("DMDP_JSON");
+        const char *csv = std::getenv("DMDP_CSV");
+        jsonPath_ = json ? json : "";
+        csvPath_ = csv ? csv : "";
+        if (!jsonPath_.empty() || !csvPath_.empty())
+            std::atexit(flushAtExit);
+    }
+
+    static void
+    flushAtExit()
+    {
+        instance().flush();
+    }
+
+    void
+    flush()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        try {
+            if (!jsonPath_.empty()) {
+                driver::writeTextFile(jsonPath_,
+                                      driver::resultsToJson(all_).dump(2) +
+                                          "\n");
+                std::fprintf(stderr, "wrote %zu results to %s\n",
+                             all_.size(), jsonPath_.c_str());
+            }
+            if (!csvPath_.empty()) {
+                driver::writeTextFile(csvPath_, driver::resultsToCsv(all_));
+                std::fprintf(stderr, "wrote %zu results to %s\n",
+                             all_.size(), csvPath_.c_str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "result dump failed: %s\n", e.what());
+        }
+    }
+
+    std::mutex mutex_;
+    std::vector<driver::JobResult> all_;
+    std::string jsonPath_;
+    std::string csvPath_;
+};
+
+} // namespace
+
+std::vector<std::vector<Row>>
+runSuites(const std::vector<SuiteSpec> &suites)
+{
+    uint64_t insts = benchScale();
+    const auto &proxies = specProxies();
+
+    std::vector<driver::SweepJob> jobs;
+    jobs.reserve(suites.size() * proxies.size());
+    for (size_t s = 0; s < suites.size(); ++s) {
+        const SuiteSpec &suite = suites[s];
+        std::string tag = suite.label.empty()
+                              ? std::string(lsuModelName(suite.model))
+                              : suite.label;
+        for (const auto &spec : proxies) {
+            driver::SweepJob job;
+            job.cfg = SimConfig::forModel(suite.model);
+            if (suite.tweak)
+                suite.tweak(job.cfg);
+            job.id = tag + "/" + spec.name;
+            job.proxy = spec.name;
+            job.isInteger = spec.isInteger;
+            job.insts = insts;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    driver::SweepRunner runner;
+    auto progress = [](const driver::JobResult &r, size_t done,
+                       size_t total) {
+        std::fprintf(stderr, "  [%zu/%zu] %s (%.2fs)%s%s\n", done, total,
+                     r.job.id.c_str(), r.wallSeconds,
+                     r.ok ? "" : " FAILED: ", r.ok ? "" : r.error.c_str());
+    };
+    std::fprintf(stderr, "sweep: %zu jobs on %u threads (DMDP_JOBS)\n",
+                 jobs.size(), runner.threadCount());
+    auto results = runner.run(jobs, progress);
+    ResultSink::instance().append(results);
+
+    std::vector<std::vector<Row>> out(suites.size());
+    for (size_t s = 0; s < suites.size(); ++s) {
+        out[s].reserve(proxies.size());
+        for (size_t p = 0; p < proxies.size(); ++p) {
+            const auto &r = results[s * proxies.size() + p];
+            if (!r.ok) {
+                std::fprintf(stderr, "job %s failed: %s\n",
+                             r.job.id.c_str(), r.error.c_str());
+                std::exit(1);
+            }
+            Row row;
+            row.name = r.job.proxy;
+            row.isInteger = r.job.isInteger;
+            row.stats = r.stats;
+            out[s].push_back(std::move(row));
+        }
+    }
+    return out;
+}
+
 std::vector<Row>
 runSuite(LsuModel model, const ConfigTweak &tweak)
 {
-    std::vector<Row> rows;
-    uint64_t insts = benchScale();
-    for (const auto &spec : specProxies()) {
-        SimConfig cfg = SimConfig::forModel(model);
-        if (tweak)
-            tweak(cfg);
-        std::fprintf(stderr, "  [%s] %s...\n", lsuModelName(model),
-                     spec.name.c_str());
-        Row row;
-        row.name = spec.name;
-        row.isInteger = spec.isInteger;
-        row.stats = simulateProxy(spec.name, cfg, insts);
-        rows.push_back(std::move(row));
-    }
-    return rows;
+    return runSuites({SuiteSpec{model, tweak, ""}})[0];
 }
 
 double

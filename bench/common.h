@@ -1,8 +1,15 @@
 /**
  * @file
- * Shared harness glue for the table/figure reproduction binaries: run a
- * model across all 21 proxy benchmarks, print paper-style tables, and
- * compute the Int/FP geometric means the paper reports.
+ * Shared harness glue for the table/figure reproduction binaries: run
+ * models across all 21 proxy benchmarks on the parallel sweep driver,
+ * print paper-style tables, and compute the Int/FP geometric means the
+ * paper reports.
+ *
+ * Every suite execution goes through driver::SweepRunner, so all
+ * harnesses parallelize across DMDP_JOBS worker threads (default: all
+ * hardware threads) with results bit-identical to a serial run. Set
+ * DMDP_JSON=file.json or DMDP_CSV=file.csv to additionally dump every
+ * run of the process in machine-readable form at exit.
  */
 
 #ifndef DMDP_BENCH_COMMON_H
@@ -15,6 +22,7 @@
 #include "common/config.h"
 #include "common/table.h"
 #include "core/simstats.h"
+#include "driver/sweep.h"
 #include "sim/simulator.h"
 
 namespace dmdp::bench {
@@ -30,10 +38,25 @@ struct Row
 /** Optional tweak applied to the model config before each run. */
 using ConfigTweak = std::function<void(SimConfig &)>;
 
+/** One full-suite run request: a model plus an optional config tweak. */
+struct SuiteSpec
+{
+    LsuModel model;
+    ConfigTweak tweak = {};
+    /** Distinguishes same-model suites in logs and JSON ids. */
+    std::string label;
+};
+
 /**
- * Run every proxy benchmark under @p model. Instruction budget comes
- * from benchScale() (DMDP_SCALE env var). Progress goes to stderr.
+ * Run every proxy benchmark under each suite in @p suites, all jobs
+ * interleaved on one shared thread pool (so a 4-model comparison is one
+ * 84-job sweep, not 4 serial passes). Returns one row vector per suite,
+ * proxies in paper order. Instruction budget comes from benchScale()
+ * (DMDP_SCALE env var). Progress goes to stderr.
  */
+std::vector<std::vector<Row>> runSuites(const std::vector<SuiteSpec> &suites);
+
+/** Single-suite convenience wrapper around runSuites(). */
 std::vector<Row> runSuite(LsuModel model, const ConfigTweak &tweak = {});
 
 /** Geometric mean of @p metric over Int or FP rows. */

@@ -18,10 +18,15 @@ main()
 {
     printHeader("Figure 12: Spec 2006 speedup over the baseline", "Fig. 12");
 
-    auto base = runSuite(LsuModel::Baseline);
-    auto nosq = runSuite(LsuModel::NoSQ);
-    auto dmdp = runSuite(LsuModel::DMDP);
-    auto perfect = runSuite(LsuModel::Perfect);
+    // One 84-job sweep (4 models x 21 proxies) on the shared pool.
+    auto suites = runSuites({{LsuModel::Baseline, {}, ""},
+                             {LsuModel::NoSQ, {}, ""},
+                             {LsuModel::DMDP, {}, ""},
+                             {LsuModel::Perfect, {}, ""}});
+    const auto &base = suites[0];
+    const auto &nosq = suites[1];
+    const auto &dmdp = suites[2];
+    const auto &perfect = suites[3];
 
     std::map<std::string, double> base_ipc;
     for (const auto &row : base)

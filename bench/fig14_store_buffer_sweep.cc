@@ -21,12 +21,17 @@ main()
     printHeader("Figure 14: 32/64-entry store buffer vs 16-entry (DMDP)",
                 "Fig. 14");
 
-    auto sb16 = runSuite(LsuModel::DMDP,
-                         [](SimConfig &c) { c.storeBufferSize = 16; });
-    auto sb32 = runSuite(LsuModel::DMDP,
-                         [](SimConfig &c) { c.storeBufferSize = 32; });
-    auto sb64 = runSuite(LsuModel::DMDP,
-                         [](SimConfig &c) { c.storeBufferSize = 64; });
+    // All three store-buffer sizes as one 63-job parallel sweep.
+    auto suites = runSuites(
+        {{LsuModel::DMDP, [](SimConfig &c) { c.storeBufferSize = 16; },
+          "dmdp-sb16"},
+         {LsuModel::DMDP, [](SimConfig &c) { c.storeBufferSize = 32; },
+          "dmdp-sb32"},
+         {LsuModel::DMDP, [](SimConfig &c) { c.storeBufferSize = 64; },
+          "dmdp-sb64"}});
+    const auto &sb16 = suites[0];
+    const auto &sb32 = suites[1];
+    const auto &sb64 = suites[2];
 
     Table table({"benchmark", "SB32/SB16", "SB64/SB16"});
     std::vector<double> r32_int, r32_fp, r64_int, r64_fp;

@@ -21,8 +21,10 @@ main()
     printHeader("Figure 15: EDP of DMDP normalized to NoSQ", "Fig. 15");
 
     EnergyModel energy;
-    auto nosq = runSuite(LsuModel::NoSQ);
-    auto dmdp = runSuite(LsuModel::DMDP);
+    auto suites = runSuites({{LsuModel::NoSQ, {}, ""},
+                             {LsuModel::DMDP, {}, ""}});
+    const auto &nosq = suites[0];
+    const auto &dmdp = suites[1];
 
     Table table({"benchmark", "energy(DMDP/NoSQ)", "cycles(DMDP/NoSQ)",
                  "EDP(DMDP/NoSQ)"});

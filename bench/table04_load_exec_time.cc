@@ -18,8 +18,10 @@ main()
     printHeader("Table IV: average execution time of all loads",
                 "Table IV");
 
-    auto base = runSuite(LsuModel::Baseline);
-    auto dmdp = runSuite(LsuModel::DMDP);
+    auto suites = runSuites({{LsuModel::Baseline, {}, ""},
+                             {LsuModel::DMDP, {}, ""}});
+    const auto &base = suites[0];
+    const auto &dmdp = suites[1];
 
     Table table({"benchmark", "baseline(cy)", "DMDP(cy)", "saving%"});
     double sum_base = 0, sum_dmdp = 0;

@@ -18,8 +18,10 @@ main()
     printHeader("Table V: average execution time of low-confidence loads",
                 "Table V");
 
-    auto nosq = runSuite(LsuModel::NoSQ);
-    auto dmdp = runSuite(LsuModel::DMDP);
+    auto suites = runSuites({{LsuModel::NoSQ, {}, ""},
+                             {LsuModel::DMDP, {}, ""}});
+    const auto &nosq = suites[0];
+    const auto &dmdp = suites[1];
 
     Table table({"benchmark", "NoSQ(cy)", "DMDP(cy)", "saving%", "nLowConf"});
     std::vector<double> savings;

@@ -19,8 +19,10 @@ main()
     printHeader("Table VI: memory dependence mispredictions (MPKI)",
                 "Table VI");
 
-    auto nosq = runSuite(LsuModel::NoSQ);
-    auto dmdp = runSuite(LsuModel::DMDP);
+    auto suites = runSuites({{LsuModel::NoSQ, {}, ""},
+                             {LsuModel::DMDP, {}, ""}});
+    const auto &nosq = suites[0];
+    const auto &dmdp = suites[1];
 
     Table table({"benchmark", "NoSQ", "DMDP"});
     for (size_t i = 0; i < nosq.size(); ++i) {

@@ -19,8 +19,10 @@ main()
     printHeader("Table VII: re-execution stall cycles per 1k instructions",
                 "Table VII");
 
-    auto nosq = runSuite(LsuModel::NoSQ);
-    auto dmdp = runSuite(LsuModel::DMDP);
+    auto suites = runSuites({{LsuModel::NoSQ, {}, ""},
+                             {LsuModel::DMDP, {}, ""}});
+    const auto &nosq = suites[0];
+    const auto &dmdp = suites[1];
 
     Table table({"benchmark", "NoSQ", "DMDP", "reexecs(NoSQ)",
                  "reexecs(DMDP)"});

@@ -32,11 +32,25 @@ class Rng
         return x * 0x2545f4914f6cdd1dull;
     }
 
-    /** Uniform integer in [0, bound). bound must be > 0. */
+    /**
+     * Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+     * multiply-shift rejection method: `next() % bound` over-weights
+     * small residues whenever bound does not divide 2^64, which skews
+     * every workload distribution built on top of this.
+     */
     uint64_t
     below(uint64_t bound)
     {
-        return next() % bound;
+        auto wide = static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<uint64_t>(wide);
+        if (low < bound) {
+            uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                wide = static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<uint64_t>(wide);
+            }
+        }
+        return static_cast<uint64_t>(wide >> 64);
     }
 
     /** Uniform integer in [lo, hi] inclusive. */

@@ -1,5 +1,7 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace dmdp {
@@ -9,7 +11,14 @@ Histogram::percentile(double fraction) const
 {
     if (count_ == 0)
         return 0;
-    uint64_t target = static_cast<uint64_t>(fraction * static_cast<double>(count_));
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    // Ceiling rank, at least 1: the p-th percentile is the smallest
+    // bucket whose cumulative count covers ceil(p * count) samples. A
+    // truncated rank (or rank 0) would report bucket 0 for any small
+    // sample set regardless of where the samples actually landed.
+    uint64_t target = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(fraction * static_cast<double>(count_))));
     uint64_t seen = 0;
     for (size_t i = 0; i < buckets.size(); ++i) {
         seen += buckets[i];

@@ -1,0 +1,337 @@
+#include "driver/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace dmdp::driver {
+
+// ----------------------------------------------------------------- dump
+
+namespace {
+
+void
+dumpString(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+dumpNumber(std::ostringstream &os, double d)
+{
+    if (!std::isfinite(d)) {
+        os << "null";   // JSON has no Inf/NaN
+        return;
+    }
+    // Integers (the common case for counters) print exactly; anything
+    // else uses %.17g, which round-trips IEEE doubles.
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", d);
+        os << buf;
+    } else {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        os << buf;
+    }
+}
+
+void
+dumpValue(std::ostringstream &os, const Json &j, int indent, int depth)
+{
+    auto newline = [&](int d) {
+        if (indent > 0) {
+            os << '\n';
+            for (int i = 0; i < indent * d; ++i)
+                os << ' ';
+        }
+    };
+    switch (j.kind()) {
+      case Json::Kind::Null: os << "null"; break;
+      case Json::Kind::Bool: os << (j.asBool() ? "true" : "false"); break;
+      case Json::Kind::Number: dumpNumber(os, j.asNumber()); break;
+      case Json::Kind::String: dumpString(os, j.asString()); break;
+      case Json::Kind::Array: {
+        os << '[';
+        for (size_t i = 0; i < j.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            dumpValue(os, j.at(i), indent, depth + 1);
+        }
+        if (j.size())
+            newline(depth);
+        os << ']';
+        break;
+      }
+      case Json::Kind::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, value] : j.items()) {
+            if (!first)
+                os << ',';
+            first = false;
+            newline(depth + 1);
+            dumpString(os, key);
+            os << (indent > 0 ? ": " : ":");
+            dumpValue(os, value, indent, depth + 1);
+        }
+        if (!first)
+            newline(depth);
+        os << '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+Json::dump(int indent) const
+{
+    std::ostringstream os;
+    dumpValue(os, *this, indent, 0);
+    return os.str();
+}
+
+// ---------------------------------------------------------------- parse
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    document()
+    {
+        Json j = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return j;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw JsonError("json parse error at offset " +
+                        std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Json
+    value()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return Json(string());
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        return number();
+    }
+
+    Json
+    object()
+    {
+        expect('{');
+        Json j = Json::object();
+        skipWs();
+        if (consume('}'))
+            return j;
+        for (;;) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            j.set(key, value());
+            skipWs();
+            if (consume('}'))
+                return j;
+            expect(',');
+        }
+    }
+
+    Json
+    array()
+    {
+        expect('[');
+        Json j = Json::array();
+        skipWs();
+        if (consume(']'))
+            return j;
+        for (;;) {
+            j.push(value());
+            skipWs();
+            if (consume(']'))
+                return j;
+            expect(',');
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= h - '0';
+                    else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+                    else fail("bad \\u escape digit");
+                }
+                // Our emitter only escapes control characters; decode
+                // the BMP code point as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        size_t start = pos_;
+        consume('-');
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        char *end = nullptr;
+        std::string tok = text_.substr(start, pos_ - start);
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail("malformed number");
+        return Json(d);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace dmdp::driver

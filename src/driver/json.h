@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON document model, writer and recursive-descent parser —
+ * just enough to emit sweep results and read them back (round-trip
+ * tested). No external dependency: the container bakes in nothing
+ * beyond the standard library.
+ */
+
+#ifndef DMDP_DRIVER_JSON_H
+#define DMDP_DRIVER_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dmdp::driver {
+
+/** Thrown by Json::parse on malformed input. */
+class JsonError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** A JSON value: null, bool, number, string, array or object. */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Json() = default;
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(double d) : kind_(Kind::Number), num_(d) {}
+    Json(uint64_t u) : kind_(Kind::Number), num_(static_cast<double>(u)) {}
+    Json(int i) : kind_(Kind::Number), num_(i) {}
+    Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Json(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static Json array() { Json j; j.kind_ = Kind::Array; return j; }
+    static Json object() { Json j; j.kind_ = Kind::Object; return j; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    bool asBool() const { expect(Kind::Bool); return bool_; }
+    double asNumber() const { expect(Kind::Number); return num_; }
+    const std::string &asString() const { expect(Kind::String); return str_; }
+
+    /** Array access. */
+    void push(Json v) { expect(Kind::Array); arr_.push_back(std::move(v)); }
+    size_t size() const { expect(Kind::Array); return arr_.size(); }
+    const Json &at(size_t i) const { expect(Kind::Array); return arr_.at(i); }
+
+    /** Object access. */
+    void set(const std::string &key, Json v)
+    {
+        expect(Kind::Object);
+        obj_[key] = std::move(v);
+    }
+    bool has(const std::string &key) const
+    {
+        expect(Kind::Object);
+        return obj_.count(key) != 0;
+    }
+    const Json &at(const std::string &key) const
+    {
+        expect(Kind::Object);
+        auto it = obj_.find(key);
+        if (it == obj_.end())
+            throw JsonError("missing key: " + key);
+        return it->second;
+    }
+    const std::map<std::string, Json> &items() const
+    {
+        expect(Kind::Object);
+        return obj_;
+    }
+
+    /** Serialize. Numbers use enough digits to round-trip doubles. */
+    std::string dump(int indent = 0) const;
+
+    /** Parse a complete document (throws JsonError on any trailing junk). */
+    static Json parse(const std::string &text);
+
+  private:
+    void
+    expect(Kind k) const
+    {
+        if (kind_ != k)
+            throw JsonError("json: wrong value kind");
+    }
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::vector<Json> arr_;
+    std::map<std::string, Json> obj_;
+};
+
+} // namespace dmdp::driver
+
+#endif // DMDP_DRIVER_JSON_H

@@ -1,0 +1,163 @@
+#include "driver/results.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmdp::driver {
+
+std::vector<std::pair<std::string, double>>
+statFields(const SimStats &s)
+{
+    std::vector<std::pair<std::string, double>> f;
+    auto add = [&](const char *name, double v) { f.emplace_back(name, v); };
+#define DMDP_STAT(field) add(#field, static_cast<double>(s.field))
+    DMDP_STAT(cycles);
+    DMDP_STAT(instsRetired);
+    DMDP_STAT(uopsRetired);
+    DMDP_STAT(loads);
+    DMDP_STAT(loadsDirect);
+    DMDP_STAT(loadsBypass);
+    DMDP_STAT(loadsDelayed);
+    DMDP_STAT(loadsPredicated);
+    DMDP_STAT(loadExecTimeSum);
+    DMDP_STAT(bypassExecTimeSum);
+    DMDP_STAT(delayedExecTimeSum);
+    DMDP_STAT(lowConfExecTimeSum);
+    DMDP_STAT(lowConfLoads);
+    DMDP_STAT(instExecTimeSum);
+    DMDP_STAT(instExecSamples);
+    DMDP_STAT(lcIndepStore);
+    DMDP_STAT(lcDiffStore);
+    DMDP_STAT(lcCorrect);
+    DMDP_STAT(reexecs);
+    DMDP_STAT(depMispredicts);
+    DMDP_STAT(reexecStallCycles);
+    DMDP_STAT(sbFullStallCycles);
+    DMDP_STAT(squashes);
+    DMDP_STAT(squashedUops);
+    DMDP_STAT(branches);
+    DMDP_STAT(branchMispredicts);
+    DMDP_STAT(fetchedInsts);
+    DMDP_STAT(renamedUops);
+    DMDP_STAT(iqWrites);
+    DMDP_STAT(iqIssues);
+    DMDP_STAT(rfReads);
+    DMDP_STAT(rfWrites);
+    DMDP_STAT(aluOps);
+    DMDP_STAT(predicationOps);
+    DMDP_STAT(storesCommitted);
+    DMDP_STAT(sqSearches);
+    DMDP_STAT(sbSearches);
+    DMDP_STAT(sdpLookups);
+    DMDP_STAT(sdpUpdates);
+    DMDP_STAT(ssbfReads);
+    DMDP_STAT(ssbfWrites);
+    DMDP_STAT(storeSetLookups);
+    DMDP_STAT(l1iAccesses);
+    DMDP_STAT(l1iMisses);
+    DMDP_STAT(l1dAccesses);
+    DMDP_STAT(l1dMisses);
+    DMDP_STAT(l2Accesses);
+    DMDP_STAT(l2Misses);
+    DMDP_STAT(dramAccesses);
+    DMDP_STAT(tlbMisses);
+    DMDP_STAT(remoteInvalidations);
+#undef DMDP_STAT
+    // Derived paper metrics, for consumers that should not have to
+    // re-implement the formulas.
+    add("ipc", s.ipc());
+    add("mpki", s.mpki());
+    add("stallPerKilo", s.stallPerKilo());
+    add("avgLoadExecTime", s.avgLoadExecTime());
+    add("avgLowConfExecTime", s.avgLowConfExecTime());
+    return f;
+}
+
+Json
+resultToJson(const JobResult &r)
+{
+    Json j = Json::object();
+    j.set("id", r.job.id);
+    j.set("proxy", r.job.proxy);
+    j.set("model", lsuModelName(r.job.cfg.model));
+    j.set("isInteger", r.job.isInteger);
+    j.set("insts", Json(static_cast<double>(r.job.insts)));
+    j.set("config", r.job.cfg.describe());
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(r.configDigest));
+    j.set("configDigest", digest);
+    j.set("wallSeconds", r.wallSeconds);
+    j.set("ok", r.ok);
+    if (!r.ok)
+        j.set("error", r.error);
+    Json stats = Json::object();
+    for (const auto &[name, value] : statFields(r.stats))
+        stats.set(name, value);
+    j.set("stats", std::move(stats));
+    return j;
+}
+
+Json
+resultsToJson(const std::vector<JobResult> &results)
+{
+    Json doc = Json::object();
+    doc.set("schema", "dmdp-sweep-v1");
+    doc.set("jobs", Json(static_cast<double>(results.size())));
+    Json arr = Json::array();
+    for (const auto &r : results)
+        arr.push(resultToJson(r));
+    doc.set("results", std::move(arr));
+    return doc;
+}
+
+std::string
+resultsToCsv(const std::vector<JobResult> &results)
+{
+    std::ostringstream os;
+    os << "id,proxy,model,isInteger,insts,configDigest,wallSeconds";
+    // Column set comes from the field list so the header never drifts
+    // from the rows.
+    SimStats empty;
+    for (const auto &[name, value] : statFields(empty)) {
+        (void)value;
+        os << ',' << name;
+    }
+    os << '\n';
+    for (const auto &r : results) {
+        char digest[32];
+        std::snprintf(digest, sizeof(digest), "%016llx",
+                      static_cast<unsigned long long>(r.configDigest));
+        os << r.job.id << ',' << r.job.proxy << ','
+           << lsuModelName(r.job.cfg.model) << ','
+           << (r.job.isInteger ? 1 : 0) << ',' << r.job.insts << ','
+           << digest << ',' << r.wallSeconds;
+        for (const auto &[name, value] : statFields(r.stats)) {
+            (void)name;
+            char buf[32];
+            if (value == static_cast<double>(static_cast<long long>(value)))
+                std::snprintf(buf, sizeof(buf), "%lld",
+                              static_cast<long long>(value));
+            else
+                std::snprintf(buf, sizeof(buf), "%.17g", value);
+            os << ',' << buf;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw std::runtime_error("cannot open for writing: " + path);
+    out << text;
+    if (!out)
+        throw std::runtime_error("write failed: " + path);
+}
+
+} // namespace dmdp::driver

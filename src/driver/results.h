@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine-readable emitters for sweep results: one JSON document or one
+ * CSV table per sweep, carrying every SimStats counter plus the derived
+ * paper metrics (IPC, MPKI, stall cycles per 1k) and run metadata
+ * (config description, digest, wall time). BENCH_*.json trajectories
+ * and external plotting scripts consume these directly.
+ */
+
+#ifndef DMDP_DRIVER_RESULTS_H
+#define DMDP_DRIVER_RESULTS_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/simstats.h"
+#include "driver/json.h"
+#include "driver/sweep.h"
+
+namespace dmdp::driver {
+
+/**
+ * Every statistic of a run as (name, value) pairs: all SimStats
+ * counters plus the derived metrics. One authoritative list shared by
+ * the JSON emitter, the CSV emitter and the determinism tests.
+ */
+std::vector<std::pair<std::string, double>>
+statFields(const SimStats &stats);
+
+/** One result as a JSON object (stats nested under "stats"). */
+Json resultToJson(const JobResult &result);
+
+/**
+ * A whole sweep as a JSON document:
+ * {"schema": "dmdp-sweep-v1", "jobs": N, "results": [...]}.
+ */
+Json resultsToJson(const std::vector<JobResult> &results);
+
+/** A whole sweep as CSV with a header row (columns match statFields). */
+std::string resultsToCsv(const std::vector<JobResult> &results);
+
+/** Write @p text to @p path (throws std::runtime_error on failure). */
+void writeTextFile(const std::string &path, const std::string &text);
+
+} // namespace dmdp::driver
+
+#endif // DMDP_DRIVER_RESULTS_H

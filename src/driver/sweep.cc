@@ -1,0 +1,183 @@
+#include "driver/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/simulator.h"
+#include "workloads/spec_proxies.h"
+
+namespace dmdp::driver {
+
+namespace {
+
+/** FNV-1a over the raw bytes of one value. */
+template <typename T>
+void
+hashField(uint64_t &h, const T &v)
+{
+    const auto *p = reinterpret_cast<const unsigned char *>(&v);
+    for (size_t i = 0; i < sizeof(T); ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+}
+
+void
+hashCache(uint64_t &h, const CacheConfig &c)
+{
+    hashField(h, c.sizeBytes);
+    hashField(h, c.assoc);
+    hashField(h, c.lineBytes);
+    hashField(h, c.hitLatency);
+}
+
+} // namespace
+
+uint64_t
+configDigest(const SimConfig &cfg)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    hashField(h, cfg.model);
+    hashField(h, cfg.consistency);
+    hashField(h, cfg.fetchWidth);
+    hashField(h, cfg.issueWidth);
+    hashField(h, cfg.retireWidth);
+    hashField(h, cfg.robSize);
+    hashField(h, cfg.iqSize);
+    hashField(h, cfg.numPhysRegs);
+    hashField(h, cfg.frontEndDepth);
+    hashField(h, cfg.branchPenalty);
+    hashCache(h, cfg.l1i);
+    hashCache(h, cfg.l1d);
+    hashCache(h, cfg.l2);
+    hashField(h, cfg.dramLatency);
+    hashField(h, cfg.dramBanks);
+    hashField(h, cfg.rowBufferHitLatency);
+    hashField(h, cfg.storeBufferSize);
+    hashField(h, cfg.storeCoalescing);
+    hashField(h, cfg.sqSearchLatency);
+    hashField(h, cfg.storeSetSsitSize);
+    hashField(h, cfg.storeSetLfstSize);
+    hashField(h, cfg.ssbfSets);
+    hashField(h, cfg.ssbfWays);
+    hashField(h, cfg.sdpEntries);
+    hashField(h, cfg.sdpWays);
+    hashField(h, cfg.sdpHistoryBits);
+    hashField(h, cfg.confidenceMax);
+    hashField(h, cfg.confidenceInit);
+    hashField(h, cfg.confidenceThreshold);
+    hashField(h, cfg.biasedConfidence);
+    hashField(h, cfg.silentStoreAwareUpdate);
+    hashField(h, cfg.sdpKind);
+    hashField(h, cfg.gshareBits);
+    hashField(h, cfg.btbEntries);
+    hashField(h, cfg.tlbEntries);
+    hashField(h, cfg.tlbMissLatency);
+    hashField(h, cfg.remoteInvalPerKiloCycle);
+    hashField(h, cfg.squashPenalty);
+    hashField(h, cfg.maxInsts);
+    hashField(h, cfg.warmupInsts);
+    return h;
+}
+
+unsigned
+defaultJobCount()
+{
+    if (const char *env = std::getenv("DMDP_JOBS")) {
+        unsigned long v = std::strtoul(env, nullptr, 0);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : threads_(jobs ? jobs : defaultJobCount())
+{}
+
+std::vector<JobResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs,
+                 const Progress &progress) const
+{
+    std::vector<JobResult> results(jobs.size());
+    std::atomic<size_t> nextJob{0};
+    std::atomic<size_t> nDone{0};
+    std::mutex progressMutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            size_t i = nextJob.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            JobResult &r = results[i];
+            r.job = jobs[i];
+            // simulateProxy() pins maxInsts to the budget; mirror that
+            // before digesting so the digest covers the run as executed.
+            r.job.cfg.maxInsts = jobs[i].insts;
+            r.configDigest = configDigest(r.job.cfg);
+            auto t0 = std::chrono::steady_clock::now();
+            try {
+                r.stats =
+                    simulateProxy(jobs[i].proxy, jobs[i].cfg, jobs[i].insts);
+                r.ok = true;
+            } catch (const std::exception &e) {
+                r.error = e.what();
+            } catch (...) {
+                r.error = "unknown exception";
+            }
+            r.wallSeconds = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+            size_t done = nDone.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                progress(r, done, jobs.size());
+            }
+        }
+    };
+
+    unsigned n = threads_;
+    if (n > jobs.size())
+        n = static_cast<unsigned>(jobs.size());
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (unsigned t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    return results;
+}
+
+std::vector<SweepJob>
+crossProduct(const std::vector<LsuModel> &models,
+             const std::vector<std::string> &proxies, uint64_t insts,
+             const std::function<void(SimConfig &)> &tweak)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(models.size() * proxies.size());
+    for (LsuModel model : models) {
+        for (const auto &proxy : proxies) {
+            SweepJob job;
+            job.cfg = SimConfig::forModel(model);
+            if (tweak)
+                tweak(job.cfg);
+            job.id = std::string(lsuModelName(model)) + "/" + proxy;
+            job.proxy = proxy;
+            job.isInteger = findProxy(proxy).isInteger;
+            job.insts = insts;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+} // namespace dmdp::driver

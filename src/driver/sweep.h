@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parallel sweep driver: run a batch of (model, proxy, config) jobs on
+ * a thread pool and collect machine-readable results. Every figure and
+ * table in the paper is a sweep over the 21 proxies times a handful of
+ * configurations; running the jobs concurrently turns an evaluation
+ * campaign from minutes into seconds without changing a single number —
+ * each job owns its workload RNG (seeded from the proxy name) and its
+ * pipeline, so parallel results are bit-identical to serial ones.
+ */
+
+#ifndef DMDP_DRIVER_SWEEP_H
+#define DMDP_DRIVER_SWEEP_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/simstats.h"
+
+namespace dmdp::driver {
+
+/** One unit of work: simulate one proxy under one configuration. */
+struct SweepJob
+{
+    std::string id;         ///< unique label, e.g. "dmdp/perl/sb=32"
+    std::string proxy;      ///< proxy benchmark name (spec_proxies.h)
+    bool isInteger = true;  ///< Int/FP suite membership (for geomeans)
+    SimConfig cfg;          ///< full machine configuration
+    uint64_t insts = 0;     ///< dynamic instruction budget
+};
+
+/** The outcome of one job: statistics plus run metadata. */
+struct JobResult
+{
+    SweepJob job;
+    SimStats stats;
+    double wallSeconds = 0;     ///< host wall-clock time for this job
+    uint64_t configDigest = 0;  ///< digest of job.cfg (see configDigest())
+    bool ok = false;            ///< false if the job threw
+    std::string error;          ///< exception message when !ok
+};
+
+/**
+ * Stable 64-bit digest of every field of a SimConfig. Two runs with the
+ * same digest ran the same machine; emitted with each JobResult so
+ * archived JSON/CSV results remain attributable.
+ */
+uint64_t configDigest(const SimConfig &cfg);
+
+/**
+ * Worker count for sweeps: the DMDP_JOBS environment variable if set
+ * and positive, else std::thread::hardware_concurrency(), else 1.
+ */
+unsigned defaultJobCount();
+
+/**
+ * Fixed-size thread pool that executes sweep jobs. Results are returned
+ * in job order regardless of completion order, and every job is fully
+ * independent (own program build, own pipeline, own RNGs), so the
+ * statistics are identical for any worker count.
+ */
+class SweepRunner
+{
+  public:
+    /** Called after each job completes: (result, nDone, nTotal). */
+    using Progress =
+        std::function<void(const JobResult &, size_t, size_t)>;
+
+    /** @param jobs worker threads; 0 means defaultJobCount(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned threadCount() const { return threads_; }
+
+    /**
+     * Run every job and return results in the same order. The progress
+     * callback (optional) is serialized under a mutex.
+     */
+    std::vector<JobResult> run(const std::vector<SweepJob> &jobs,
+                               const Progress &progress = {}) const;
+
+  private:
+    unsigned threads_;
+};
+
+/**
+ * Convenience: build the full (models x proxies) cross product with the
+ * per-model paper defaults, @p insts instructions each, and an optional
+ * config tweak applied to every job.
+ */
+std::vector<SweepJob>
+crossProduct(const std::vector<LsuModel> &models,
+             const std::vector<std::string> &proxies, uint64_t insts,
+             const std::function<void(SimConfig &)> &tweak = {});
+
+} // namespace dmdp::driver
+
+#endif // DMDP_DRIVER_SWEEP_H

@@ -1,0 +1,194 @@
+/** @file Unit tests for the parallel sweep driver and its emitters. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/json.h"
+#include "driver/results.h"
+#include "driver/sweep.h"
+
+namespace dmdp {
+namespace {
+
+using driver::Json;
+using driver::JobResult;
+using driver::SweepJob;
+using driver::SweepRunner;
+
+std::vector<SweepJob>
+smallJobSet()
+{
+    // Two models x three proxies, small budgets: enough work that a
+    // scheduling bug would scramble something, small enough for CI.
+    return driver::crossProduct(
+        {LsuModel::NoSQ, LsuModel::DMDP}, {"perl", "bzip2", "lbm"}, 20000);
+}
+
+TEST(SweepRunner, ParallelMatchesSerialBitForBit)
+{
+    auto jobs = smallJobSet();
+    auto serial = SweepRunner(1).run(jobs);
+    auto parallel = SweepRunner(4).run(jobs);
+
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        EXPECT_EQ(serial[i].job.id, parallel[i].job.id);
+        EXPECT_EQ(serial[i].configDigest, parallel[i].configDigest);
+        auto a = driver::statFields(serial[i].stats);
+        auto b = driver::statFields(parallel[i].stats);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t f = 0; f < a.size(); ++f) {
+            EXPECT_EQ(a[f].first, b[f].first);
+            EXPECT_EQ(a[f].second, b[f].second)
+                << jobs[i].id << " stat " << a[f].first
+                << " differs between serial and parallel runs";
+        }
+    }
+}
+
+TEST(SweepRunner, ResultsComeBackInJobOrder)
+{
+    auto jobs = smallJobSet();
+    auto results = SweepRunner(3).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(results[i].job.id, jobs[i].id);
+        EXPECT_EQ(results[i].job.proxy, jobs[i].proxy);
+        EXPECT_GT(results[i].stats.instsRetired, 0u);
+        EXPECT_GT(results[i].wallSeconds, 0.0);
+    }
+}
+
+TEST(SweepRunner, ProgressReportsEveryJobExactlyOnce)
+{
+    auto jobs = smallJobSet();
+    size_t calls = 0;
+    size_t lastTotal = 0;
+    SweepRunner(2).run(jobs, [&](const JobResult &r, size_t done,
+                                 size_t total) {
+        ++calls;
+        lastTotal = total;
+        EXPECT_TRUE(r.ok);
+        EXPECT_GE(done, 1u);
+        EXPECT_LE(done, total);
+    });
+    EXPECT_EQ(calls, jobs.size());
+    EXPECT_EQ(lastTotal, jobs.size());
+}
+
+TEST(SweepRunner, BadProxyReportsErrorInsteadOfCrashing)
+{
+    SweepJob job;
+    job.id = "dmdp/nonexistent";
+    job.proxy = "no-such-proxy";
+    job.cfg = SimConfig::forModel(LsuModel::DMDP);
+    job.insts = 1000;
+    auto results = SweepRunner(1).run({job});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_FALSE(results[0].error.empty());
+}
+
+TEST(SweepRunner, ConfigDigestSeparatesConfigs)
+{
+    SimConfig a = SimConfig::forModel(LsuModel::DMDP);
+    SimConfig b = a;
+    EXPECT_EQ(driver::configDigest(a), driver::configDigest(b));
+    b.storeBufferSize = 32;
+    EXPECT_NE(driver::configDigest(a), driver::configDigest(b));
+    SimConfig c = SimConfig::forModel(LsuModel::NoSQ);
+    EXPECT_NE(driver::configDigest(a), driver::configDigest(c));
+}
+
+TEST(SweepResults, JsonRoundTripsKeyMetrics)
+{
+    auto jobs = smallJobSet();
+    auto results = SweepRunner(0).run(jobs);
+
+    std::string text = driver::resultsToJson(results).dump(2);
+    Json doc = Json::parse(text);
+
+    EXPECT_EQ(doc.at("schema").asString(), "dmdp-sweep-v1");
+    ASSERT_EQ(static_cast<size_t>(doc.at("jobs").asNumber()), jobs.size());
+    const Json &arr = doc.at("results");
+    ASSERT_EQ(arr.size(), results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Json &r = arr.at(i);
+        EXPECT_EQ(r.at("id").asString(), results[i].job.id);
+        EXPECT_EQ(r.at("proxy").asString(), results[i].job.proxy);
+        EXPECT_TRUE(r.at("ok").asBool());
+        const Json &stats = r.at("stats");
+        EXPECT_DOUBLE_EQ(stats.at("ipc").asNumber(),
+                         results[i].stats.ipc());
+        EXPECT_DOUBLE_EQ(stats.at("squashes").asNumber(),
+                         static_cast<double>(results[i].stats.squashes));
+        EXPECT_DOUBLE_EQ(
+            stats.at("reexecStallCycles").asNumber(),
+            static_cast<double>(results[i].stats.reexecStallCycles));
+        EXPECT_DOUBLE_EQ(stats.at("cycles").asNumber(),
+                         static_cast<double>(results[i].stats.cycles));
+    }
+}
+
+TEST(SweepResults, CsvHasHeaderAndOneLinePerResult)
+{
+    auto jobs = smallJobSet();
+    auto results = SweepRunner(2).run(jobs);
+    std::string csv = driver::resultsToCsv(results);
+
+    size_t lines = 0;
+    for (char c : csv)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, results.size() + 1);
+    EXPECT_EQ(csv.rfind("id,proxy,model,", 0), 0u);
+    EXPECT_NE(csv.find(",ipc"), std::string::npos);
+}
+
+TEST(Json, ParsesScalarsArraysObjects)
+{
+    Json doc = Json::parse(
+        R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x\n\"y"}, "e": true,)"
+        R"( "f": null})");
+    EXPECT_DOUBLE_EQ(doc.at("a").asNumber(), 1.5);
+    EXPECT_EQ(doc.at("b").size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.at("b").at(2).asNumber(), 3.0);
+    EXPECT_EQ(doc.at("c").at("d").asString(), "x\n\"y");
+    EXPECT_TRUE(doc.at("e").asBool());
+    EXPECT_TRUE(doc.at("f").isNull());
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(Json::parse("{"), driver::JsonError);
+    EXPECT_THROW(Json::parse("[1, 2,]"), driver::JsonError);
+    EXPECT_THROW(Json::parse("{\"a\": 1} trailing"), driver::JsonError);
+    EXPECT_THROW(Json::parse("\"unterminated"), driver::JsonError);
+}
+
+TEST(Json, DumpParseRoundTripPreservesDoubles)
+{
+    Json obj = Json::object();
+    obj.set("pi", 3.141592653589793);
+    obj.set("big", 1234567890123.0);
+    obj.set("tiny", 6.02e-23);
+    Json back = Json::parse(obj.dump());
+    EXPECT_DOUBLE_EQ(back.at("pi").asNumber(), 3.141592653589793);
+    EXPECT_DOUBLE_EQ(back.at("big").asNumber(), 1234567890123.0);
+    EXPECT_DOUBLE_EQ(back.at("tiny").asNumber(), 6.02e-23);
+}
+
+TEST(SweepDriver, DefaultJobCountIsPositive)
+{
+    EXPECT_GE(driver::defaultJobCount(), 1u);
+    EXPECT_GE(SweepRunner(0).threadCount(), 1u);
+    EXPECT_EQ(SweepRunner(7).threadCount(), 7u);
+}
+
+} // namespace
+} // namespace dmdp

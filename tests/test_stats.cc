@@ -58,6 +58,55 @@ TEST(Histogram, Percentile)
     EXPECT_NEAR(static_cast<double>(h.percentile(0.9)), 90.0, 2.0);
 }
 
+TEST(Histogram, PercentileOfSingleSampleFindsItsBucket)
+{
+    // Regression: a truncated rank made p50 of one sample in bucket 7
+    // report bucket 0 (target = 0 matched before any count was seen).
+    Histogram h(1, 16);
+    h.sample(7);
+    EXPECT_EQ(h.percentile(0.5), 7u);
+    EXPECT_EQ(h.percentile(0.99), 7u);
+}
+
+TEST(Histogram, PercentileZeroIsSmallestOccupiedBucket)
+{
+    // Regression: percentile(0.0) always returned bucket 0 even when
+    // bucket 0 was empty; it must report the smallest occupied bucket.
+    Histogram h(1, 16);
+    h.sample(5);
+    h.sample(9);
+    EXPECT_EQ(h.percentile(0.0), 5u);
+    EXPECT_EQ(h.percentile(1.0), 9u);
+}
+
+TEST(Histogram, PercentileSmallCounts)
+{
+    Histogram h(1, 16);
+    h.sample(2);
+    h.sample(4);
+    h.sample(6);
+    h.sample(8);
+    EXPECT_EQ(h.percentile(0.25), 2u);
+    EXPECT_EQ(h.percentile(0.5), 4u);
+    EXPECT_EQ(h.percentile(0.75), 6u);
+    EXPECT_EQ(h.percentile(1.0), 8u);
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeFractions)
+{
+    Histogram h(1, 16);
+    h.sample(3);
+    h.sample(12);
+    EXPECT_EQ(h.percentile(-0.5), 3u);
+    EXPECT_EQ(h.percentile(2.0), 12u);
+}
+
+TEST(Histogram, PercentileEmptyHistogramIsZero)
+{
+    Histogram h(1, 16);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
 TEST(StatGroup, DumpContainsRegisteredStats)
 {
     StatGroup group;

@@ -2,7 +2,8 @@
  * @file
  * Command-line simulator driver: run a proxy benchmark or an assembly
  * file on any of the four machines and print the full statistics
- * report.
+ * report, or run a whole (models x proxies) sweep on the parallel
+ * driver with machine-readable output.
  *
  * Usage:
  *   dmdp-sim [options]
@@ -20,16 +21,29 @@
  *     --balanced      balanced (+1/-1) confidence updates
  *     --no-silent-aware  original (exception-only) SDP update policy
  *     --inval-rate R  injected remote invalidations per 1k cycles
+ *     --sweep         run models x proxies on the thread pool (DMDP_JOBS)
+ *     --models LIST   comma-separated models for --sweep    (default all)
+ *     --proxies LIST  comma-separated proxies for --sweep   (default all)
+ *     --json FILE     write run results as JSON ("-" for stdout)
+ *     --csv FILE      write run results as CSV  ("-" for stdout)
  *     --list          list the proxy benchmarks and exit
+ *
+ * Structure flags (--sb, --rob, ...) are overrides applied on top of
+ * the selected model's paper defaults, in any argument order.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/table.h"
+#include "driver/results.h"
+#include "driver/sweep.h"
 #include "isa/assembler.h"
 #include "sim/simulator.h"
 #include "workloads/spec_proxies.h"
@@ -46,7 +60,9 @@ usage(const char *argv0)
                  "          [--proxy NAME | --asm FILE] [--insts N]\n"
                  "          [--warmup N] [--sb N] [--rob N] [--width N]\n"
                  "          [--prf N] [--rmo] [--tage] [--balanced]\n"
-                 "          [--no-silent-aware] [--inval-rate R] [--list]\n",
+                 "          [--no-silent-aware] [--inval-rate R]\n"
+                 "          [--sweep] [--models LIST] [--proxies LIST]\n"
+                 "          [--json FILE] [--csv FILE] [--list]\n",
                  argv0);
     std::exit(2);
 }
@@ -66,6 +82,123 @@ parseModel(const std::string &name)
     std::exit(2);
 }
 
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::istringstream is(list);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/**
+ * CLI structure overrides, tracked separately from the config so the
+ * per-model defaults (SimConfig::forModel) can be applied first and the
+ * explicitly passed flags merged on top — `--model baseline --sb 64`
+ * must mean "the paper's baseline machine with a 64-entry store
+ * buffer", not "DMDP-default geometry with the baseline tag".
+ */
+struct Overrides
+{
+    std::optional<uint32_t> storeBuffer;
+    std::optional<uint32_t> rob;
+    std::optional<uint32_t> prf;
+    std::optional<uint32_t> width;
+    bool rmo = false;
+    bool tage = false;
+    bool balanced = false;
+    bool noSilentAware = false;
+    std::optional<double> invalRate;
+
+    void
+    apply(SimConfig &cfg) const
+    {
+        if (storeBuffer)
+            cfg.storeBufferSize = *storeBuffer;
+        if (rob)
+            cfg.robSize = *rob;
+        if (prf)
+            cfg.numPhysRegs = *prf;
+        if (width)
+            cfg.fetchWidth = cfg.issueWidth = cfg.retireWidth = *width;
+        if (rmo)
+            cfg.consistency = Consistency::RMO;
+        if (tage)
+            cfg.sdpKind = SdpKind::Tage;
+        if (balanced)
+            cfg.biasedConfidence = false;
+        if (noSilentAware)
+            cfg.silentStoreAwareUpdate = false;
+        if (invalRate)
+            cfg.remoteInvalPerKiloCycle = *invalRate;
+    }
+};
+
+void
+emit(const std::string &path, const std::string &text)
+{
+    if (path == "-")
+        std::fputs(text.c_str(), stdout);
+    else
+        driver::writeTextFile(path, text);
+}
+
+int
+runSweep(const std::vector<std::string> &modelNames,
+         const std::vector<std::string> &proxyNames, uint64_t insts,
+         uint64_t warmup, const Overrides &overrides,
+         const std::string &jsonPath, const std::string &csvPath)
+{
+    std::vector<LsuModel> models;
+    for (const auto &name : modelNames)
+        models.push_back(parseModel(name));
+
+    auto jobs = driver::crossProduct(
+        models, proxyNames, insts, [&](SimConfig &cfg) {
+            overrides.apply(cfg);
+            cfg.warmupInsts = warmup;
+        });
+
+    driver::SweepRunner runner;
+    std::fprintf(stderr, "sweep: %zu jobs on %u threads (DMDP_JOBS)\n",
+                 jobs.size(), runner.threadCount());
+    auto results = runner.run(
+        jobs, [](const driver::JobResult &r, size_t done, size_t total) {
+            std::fprintf(stderr, "  [%zu/%zu] %s ipc=%.3f (%.2fs)%s%s\n",
+                         done, total, r.job.id.c_str(), r.stats.ipc(),
+                         r.wallSeconds, r.ok ? "" : " FAILED: ",
+                         r.ok ? "" : r.error.c_str());
+        });
+
+    bool failed = false;
+    Table table({"job", "IPC", "MPKI", "stalls/1k", "squashes", "wall(s)"});
+    for (const auto &r : results) {
+        if (!r.ok) {
+            failed = true;
+            continue;
+        }
+        table.addRow({r.job.id, Table::num(r.stats.ipc()),
+                      Table::num(r.stats.mpki(), 2),
+                      Table::num(r.stats.stallPerKilo(), 1),
+                      std::to_string(r.stats.squashes),
+                      Table::num(r.wallSeconds, 2)});
+    }
+    // Keep stdout clean for the machine-readable document when one is
+    // routed there ("--json -" / "--csv -").
+    FILE *report =
+        (jsonPath == "-" || csvPath == "-") ? stderr : stdout;
+    std::fprintf(report, "%s", table.render().c_str());
+
+    if (!jsonPath.empty())
+        emit(jsonPath, driver::resultsToJson(results).dump(2) + "\n");
+    if (!csvPath.empty())
+        emit(csvPath, driver::resultsToCsv(results));
+    return failed ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -74,9 +207,14 @@ main(int argc, char **argv)
     std::string model_name = "dmdp";
     std::string proxy = "perl";
     std::string asm_file;
+    std::string json_path;
+    std::string csv_path;
+    std::string models_list;
+    std::string proxies_list;
+    bool sweep = false;
     uint64_t insts = 200000;
     uint64_t warmup = 0;
-    SimConfig cfg;
+    Overrides overrides;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -90,24 +228,25 @@ main(int argc, char **argv)
         else if (arg == "--asm") asm_file = next();
         else if (arg == "--insts") insts = std::strtoull(next(), nullptr, 0);
         else if (arg == "--warmup") warmup = std::strtoull(next(), nullptr, 0);
-        else if (arg == "--sb") cfg.storeBufferSize =
+        else if (arg == "--sb") overrides.storeBuffer =
             static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
-        else if (arg == "--rob") cfg.robSize =
+        else if (arg == "--rob") overrides.rob =
             static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
-        else if (arg == "--prf") cfg.numPhysRegs =
+        else if (arg == "--prf") overrides.prf =
             static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
-        else if (arg == "--width") {
-            uint32_t w = static_cast<uint32_t>(
-                std::strtoul(next(), nullptr, 0));
-            cfg.fetchWidth = cfg.issueWidth = cfg.retireWidth = w;
-        }
-        else if (arg == "--rmo") cfg.consistency = Consistency::RMO;
-        else if (arg == "--tage") cfg.sdpKind = SdpKind::Tage;
-        else if (arg == "--balanced") cfg.biasedConfidence = false;
-        else if (arg == "--no-silent-aware")
-            cfg.silentStoreAwareUpdate = false;
+        else if (arg == "--width") overrides.width =
+            static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+        else if (arg == "--rmo") overrides.rmo = true;
+        else if (arg == "--tage") overrides.tage = true;
+        else if (arg == "--balanced") overrides.balanced = true;
+        else if (arg == "--no-silent-aware") overrides.noSilentAware = true;
         else if (arg == "--inval-rate")
-            cfg.remoteInvalPerKiloCycle = std::strtod(next(), nullptr);
+            overrides.invalRate = std::strtod(next(), nullptr);
+        else if (arg == "--sweep") sweep = true;
+        else if (arg == "--models") models_list = next();
+        else if (arg == "--proxies") proxies_list = next();
+        else if (arg == "--json") json_path = next();
+        else if (arg == "--csv") csv_path = next();
         else if (arg == "--list") {
             for (const auto &spec : specProxies())
                 std::printf("%-10s %s\n", spec.name.c_str(),
@@ -117,10 +256,33 @@ main(int argc, char **argv)
         else usage(argv[0]);
     }
 
+    try {
+    if (sweep) {
+        if (!asm_file.empty()) {
+            std::fprintf(stderr, "--sweep cannot run --asm files\n");
+            return 2;
+        }
+        std::vector<std::string> models =
+            models_list.empty()
+                ? std::vector<std::string>{"baseline", "nosq", "dmdp",
+                                           "perfect"}
+                : splitList(models_list);
+        std::vector<std::string> proxies;
+        if (proxies_list.empty()) {
+            for (const auto &spec : specProxies())
+                proxies.push_back(spec.name);
+        } else {
+            proxies = splitList(proxies_list);
+        }
+        return runSweep(models, proxies, insts, warmup, overrides,
+                        json_path, csv_path);
+    }
+
+    // Single run: start from the model's paper defaults, then apply the
+    // explicitly passed structure flags on top.
     LsuModel model = parseModel(model_name);
-    SimConfig defaults = SimConfig::forModel(model);
-    cfg.model = model;
-    cfg.biasedConfidence = cfg.biasedConfidence && defaults.biasedConfidence;
+    SimConfig cfg = SimConfig::forModel(model);
+    overrides.apply(cfg);
     cfg.maxInsts = insts;
     cfg.warmupInsts = warmup;
 
@@ -141,10 +303,35 @@ main(int argc, char **argv)
         workload = proxy + " (proxy)";
     }
 
-    std::printf("workload: %s\nconfig:   %s sdp=%s warmup=%llu\n\n%s",
-                workload.c_str(), cfg.describe().c_str(),
-                sdpKindName(cfg.sdpKind),
-                static_cast<unsigned long long>(warmup),
-                stats.report().c_str());
+    // Keep stdout clean for the machine-readable document when one is
+    // routed there ("--json -" / "--csv -").
+    FILE *report = (json_path == "-" || csv_path == "-") ? stderr : stdout;
+    std::fprintf(report, "workload: %s\nconfig:   %s sdp=%s warmup=%llu\n\n%s",
+                 workload.c_str(), cfg.describe().c_str(),
+                 sdpKindName(cfg.sdpKind),
+                 static_cast<unsigned long long>(warmup),
+                 stats.report().c_str());
+
+    if (!json_path.empty() || !csv_path.empty()) {
+        driver::JobResult result;
+        result.job.id = std::string(lsuModelName(model)) + "/" + workload;
+        result.job.proxy = asm_file.empty() ? proxy : asm_file;
+        result.job.isInteger =
+            asm_file.empty() ? findProxy(proxy).isInteger : true;
+        result.job.cfg = cfg;
+        result.job.insts = insts;
+        result.stats = stats;
+        result.configDigest = driver::configDigest(cfg);
+        result.ok = true;
+        if (!json_path.empty())
+            emit(json_path,
+                 driver::resultsToJson({result}).dump(2) + "\n");
+        if (!csv_path.empty())
+            emit(csv_path, driver::resultsToCsv({result}));
+    }
     return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }
