@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Simulator-speed benchmark: how fast does the simulator itself run?
+ *
+ * Runs the Figure-12 suite (4 models x 21 proxies) twice — once on the
+ * event-driven scheduler with idle-cycle skipping (the default engine)
+ * and once on the legacy polled scheduler — and reports simulated
+ * cycles per host second for each, plus the event/legacy speedup. The
+ * two passes must produce bit-identical SimStats (the engines are
+ * timing-equivalent by construction); this harness re-checks that on
+ * every run.
+ *
+ * The speedup ratio, not the absolute cycles/sec, is the portable
+ * number: it divides out the host machine. BENCH_pr2.json records one
+ * reference measurement; `--check FILE` fails (exit 1) when the current
+ * ratio regresses more than 30% against it, which is what the CI
+ * speed-smoke job gates on.
+ *
+ * Usage: micro_speed [--json FILE] [--check FILE]
+ * Instruction budget: DMDP_SCALE (default 200000).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/results.h"
+#include "driver/sweep.h"
+#include "sim/simulator.h"
+#include "workloads/spec_proxies.h"
+
+using namespace dmdp;
+
+namespace {
+
+struct PassResult
+{
+    std::vector<driver::JobResult> results;
+    uint64_t cycles = 0;        ///< simulated cycles, summed over jobs
+    double pipeSeconds = 0;     ///< pipeline-only wall time, summed
+    double cyclesPerSec = 0;
+};
+
+PassResult
+runPass(bool legacy, uint64_t insts)
+{
+    auto jobs = driver::crossProduct(
+        {LsuModel::Baseline, LsuModel::NoSQ, LsuModel::DMDP,
+         LsuModel::Perfect},
+        [] {
+            std::vector<std::string> names;
+            for (const auto &spec : specProxies())
+                names.push_back(spec.name);
+            return names;
+        }(),
+        insts, [legacy](SimConfig &cfg) { cfg.legacyScheduler = legacy; });
+
+    PassResult pass;
+    pass.results = driver::SweepRunner().run(jobs);
+    for (const auto &r : pass.results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "job %s failed: %s\n", r.job.id.c_str(),
+                         r.error.c_str());
+            std::exit(1);
+        }
+        pass.cycles += r.stats.cycles;
+        pass.pipeSeconds += r.profile.wallSeconds;
+    }
+    pass.cyclesPerSec =
+        pass.pipeSeconds > 0
+            ? static_cast<double>(pass.cycles) / pass.pipeSeconds
+            : 0.0;
+    return pass;
+}
+
+/** Bit-exact SimStats comparison over the authoritative field list. */
+bool
+statsIdentical(const PassResult &a, const PassResult &b)
+{
+    bool same = true;
+    for (size_t i = 0; i < a.results.size(); ++i) {
+        auto fa = driver::statFields(a.results[i].stats);
+        auto fb = driver::statFields(b.results[i].stats);
+        for (size_t f = 0; f < fa.size(); ++f) {
+            if (fa[f].second != fb[f].second) {
+                std::fprintf(stderr,
+                             "STAT MISMATCH %s %s: event=%.17g legacy=%.17g\n",
+                             a.results[i].job.id.c_str(),
+                             fa[f].first.c_str(), fa[f].second,
+                             fb[f].second);
+                same = false;
+            }
+        }
+    }
+    return same;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "usage: %s [--json FILE] [--check FILE]\n",
+                             argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json")
+            json_path = next();
+        else if (arg == "--check")
+            check_path = next();
+        else {
+            std::fprintf(stderr, "usage: %s [--json FILE] [--check FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    uint64_t insts = benchScale();
+    std::fprintf(stderr, "micro_speed: fig12 suite, %llu insts/job\n",
+                 static_cast<unsigned long long>(insts));
+
+    std::fprintf(stderr, "pass 1/2: event-driven scheduler\n");
+    PassResult event = runPass(/*legacy=*/false, insts);
+    std::fprintf(stderr, "pass 2/2: legacy polled scheduler\n");
+    PassResult legacy = runPass(/*legacy=*/true, insts);
+
+    if (!statsIdentical(event, legacy)) {
+        std::fprintf(stderr,
+                     "FAIL: schedulers disagree on simulated statistics\n");
+        return 1;
+    }
+
+    double speedup = legacy.cyclesPerSec > 0
+                         ? event.cyclesPerSec / legacy.cyclesPerSec
+                         : 0.0;
+    std::printf("jobs:            %zu\n", event.results.size());
+    std::printf("cycles per pass: %llu\n",
+                static_cast<unsigned long long>(event.cycles));
+    std::printf("event:  %.3fs pipeline wall, %.3g cycles/s\n",
+                event.pipeSeconds, event.cyclesPerSec);
+    std::printf("legacy: %.3fs pipeline wall, %.3g cycles/s\n",
+                legacy.pipeSeconds, legacy.cyclesPerSec);
+    std::printf("speedup (event/legacy): %.2fx\n", speedup);
+
+    if (!json_path.empty()) {
+        driver::Json doc = driver::Json::object();
+        doc.set("schema", "dmdp-microspeed-v1");
+        doc.set("suite", "fig12");
+        doc.set("insts", driver::Json(static_cast<double>(insts)));
+        doc.set("jobs",
+                driver::Json(static_cast<double>(event.results.size())));
+        doc.set("cycles_per_pass",
+                driver::Json(static_cast<double>(event.cycles)));
+        driver::Json ev = driver::Json::object();
+        ev.set("pipeline_seconds", event.pipeSeconds);
+        ev.set("sim_cycles_per_sec", event.cyclesPerSec);
+        doc.set("event", std::move(ev));
+        driver::Json lg = driver::Json::object();
+        lg.set("pipeline_seconds", legacy.pipeSeconds);
+        lg.set("sim_cycles_per_sec", legacy.cyclesPerSec);
+        doc.set("legacy", std::move(lg));
+        doc.set("speedup", speedup);
+        driver::writeTextFile(json_path, doc.dump(2) + "\n");
+    }
+
+    if (!check_path.empty()) {
+        std::ifstream in(check_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", check_path.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        driver::Json ref = driver::Json::parse(text.str());
+        double ref_speedup = ref.at("speedup").asNumber();
+        // The ratio divides out the host machine; 30% is the CI
+        // regression budget on top of run-to-run noise.
+        double floor = 0.7 * ref_speedup;
+        std::printf("check: reference speedup %.2fx, floor %.2fx\n",
+                    ref_speedup, floor);
+        if (speedup < floor) {
+            std::fprintf(stderr,
+                         "FAIL: speedup %.2fx below floor %.2fx "
+                         "(>30%% regression vs %s)\n",
+                         speedup, floor, check_path.c_str());
+            return 1;
+        }
+        std::printf("check: OK\n");
+    }
+    return 0;
+}

@@ -114,6 +114,11 @@ struct SimConfig
     uint64_t maxInsts = 0;          ///< 0 = run to halt
     uint64_t warmupInsts = 0;       ///< stats reset after this many
 
+    // -- Simulation engine (timing-invisible; excluded from
+    //    configDigest and describe() so archived digests stay valid). --
+    bool legacyScheduler = false;   ///< polled issue-queue scan
+    bool idleSkip = true;           ///< fast-forward provably idle cycles
+
     /** Apply the per-model predictor policy defaults. */
     static SimConfig forModel(LsuModel model);
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -92,8 +93,21 @@ class Histogram
 class StatGroup
 {
   public:
-    void regScalar(const std::string &name, const Scalar *s) { scalars[name] = s; }
-    void regAverage(const std::string &name, const Average *a) { averages[name] = a; }
+    // Registration rejects duplicate names: a silent overwrite would
+    // drop the first counter from every dump with no diagnostic.
+    void
+    regScalar(const std::string &name, const Scalar *s)
+    {
+        if (!scalars.emplace(name, s).second)
+            throw std::logic_error("duplicate scalar stat: " + name);
+    }
+
+    void
+    regAverage(const std::string &name, const Average *a)
+    {
+        if (!averages.emplace(name, a).second)
+            throw std::logic_error("duplicate average stat: " + name);
+    }
 
     /** Render "name = value" lines, sorted by name. */
     std::string dump() const;

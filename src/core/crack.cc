@@ -21,47 +21,48 @@ makeUop(UopKind kind, int s1, int s2, int dst)
 
 } // namespace
 
-std::vector<CrackedUop>
-crackInst(const DynInst &dyn, LsuModel model, LoadClass cls)
+void
+crackInst(const DynInst &dyn, LsuModel model, LoadClass cls,
+          CrackedSeq &out)
 {
     const Inst &inst = dyn.inst;
-    std::vector<CrackedUop> uops;
+    out.count = 0;
 
     if (inst.op == Op::HALT) {
-        uops.push_back(makeUop(UopKind::Halt, -1, -1, -1));
+        out.push(makeUop(UopKind::Halt, -1, -1, -1));
     } else if (inst.isControl()) {
         CrackedUop uop = makeUop(UopKind::Branch, inst.srcReg1(),
                                  inst.srcReg2(), inst.destReg());
-        uops.push_back(uop);
+        out.push(uop);
     } else if (!inst.isMem()) {
-        uops.push_back(makeUop(UopKind::Alu, inst.srcReg1(),
-                               inst.srcReg2(), inst.destReg()));
+        out.push(makeUop(UopKind::Alu, inst.srcReg1(),
+                         inst.srcReg2(), inst.destReg()));
     } else if (model == LsuModel::Baseline) {
         // Fused AGU: one micro-op per memory instruction.
         UopKind kind = inst.isLoad() ? UopKind::Load : UopKind::Store;
-        uops.push_back(makeUop(kind, inst.srcReg1(), inst.srcReg2(),
-                               inst.isLoad() ? inst.destReg() : -1));
+        out.push(makeUop(kind, inst.srcReg1(), inst.srcReg2(),
+                         inst.isLoad() ? inst.destReg() : -1));
         if (inst.isStore())
-            uops.back().dispatch = true;    // AGU issue computes the address
+            out.back().dispatch = true;    // AGU issue computes the address
     } else if (inst.isStore()) {
-        uops.push_back(makeUop(UopKind::Agi, inst.srcReg1(), -1,
-                               static_cast<int>(kRegAddrTmp)));
+        out.push(makeUop(UopKind::Agi, inst.srcReg1(), -1,
+                         static_cast<int>(kRegAddrTmp)));
         CrackedUop store = makeUop(UopKind::Store,
                                    static_cast<int>(kRegAddrTmp),
                                    inst.srcReg2(), -1);
         store.dispatch = false;     // executes at commit, never issued
-        uops.push_back(store);
+        out.push(store);
     } else {
         // Loads in the store-queue-free machines.
         assert(cls != LoadClass::None);
-        uops.push_back(makeUop(UopKind::Agi, inst.srcReg1(), -1,
-                               static_cast<int>(kRegAddrTmp)));
+        out.push(makeUop(UopKind::Agi, inst.srcReg1(), -1,
+                         static_cast<int>(kRegAddrTmp)));
         switch (cls) {
           case LoadClass::Direct:
           case LoadClass::Delayed: {
-            uops.push_back(makeUop(UopKind::Load,
-                                   static_cast<int>(kRegAddrTmp), -1,
-                                   inst.destReg()));
+            out.push(makeUop(UopKind::Load,
+                             static_cast<int>(kRegAddrTmp), -1,
+                             inst.destReg()));
             break;
           }
           case LoadClass::Bypass: {
@@ -77,26 +78,26 @@ crackInst(const DynInst &dyn, LsuModel model, LoadClass cls)
                 // consumes the store's data register.
                 load.lsrc2 = kLregStoreData;
             }
-            uops.push_back(load);
+            out.push(load);
             break;
           }
           case LoadClass::Predicated: {
-            uops.push_back(makeUop(UopKind::Load,
-                                   static_cast<int>(kRegAddrTmp), -1,
-                                   static_cast<int>(kRegLoadTmp)));
-            uops.push_back(makeUop(UopKind::Cmp,
-                                   static_cast<int>(kRegAddrTmp),
-                                   kLregStoreAddr,
-                                   static_cast<int>(kRegPredTmp)));
-            uops.push_back(makeUop(UopKind::CmovTrue,
-                                   static_cast<int>(kRegPredTmp),
-                                   kLregStoreData, inst.destReg()));
+            out.push(makeUop(UopKind::Load,
+                             static_cast<int>(kRegAddrTmp), -1,
+                             static_cast<int>(kRegLoadTmp)));
+            out.push(makeUop(UopKind::Cmp,
+                             static_cast<int>(kRegAddrTmp),
+                             kLregStoreAddr,
+                             static_cast<int>(kRegPredTmp)));
+            out.push(makeUop(UopKind::CmovTrue,
+                             static_cast<int>(kRegPredTmp),
+                             kLregStoreData, inst.destReg()));
             CrackedUop cmov_false =
                 makeUop(UopKind::CmovFalse,
                         static_cast<int>(kRegPredTmp),
                         static_cast<int>(kRegLoadTmp), inst.destReg());
             cmov_false.sharedDst = true;
-            uops.push_back(cmov_false);
+            out.push(cmov_false);
             break;
           }
           default:
@@ -104,8 +105,15 @@ crackInst(const DynInst &dyn, LsuModel model, LoadClass cls)
         }
     }
 
-    uops.back().instEnd = true;
-    return uops;
+    out.back().instEnd = true;
+}
+
+std::vector<CrackedUop>
+crackInst(const DynInst &dyn, LsuModel model, LoadClass cls)
+{
+    CrackedSeq seq;
+    crackInst(dyn, model, cls, seq);
+    return std::vector<CrackedUop>(seq.begin(), seq.end());
 }
 
 bool

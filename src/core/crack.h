@@ -20,6 +20,8 @@
 #ifndef DMDP_CORE_CRACK_H
 #define DMDP_CORE_CRACK_H
 
+#include <array>
+#include <cassert>
 #include <vector>
 
 #include "common/config.h"
@@ -44,9 +46,38 @@ struct CrackedUop
 };
 
 /**
- * Crack a dynamic instruction into micro-ops.
+ * Fixed-capacity cracked-micro-op sequence. An instruction cracks into
+ * at most five micro-ops (AGI + LW + CMP + two CMOVs in the DMDP
+ * predicated case), so the hot rename path can fill a stack buffer
+ * instead of heap-allocating a vector per instruction.
+ */
+struct CrackedSeq
+{
+    static constexpr unsigned kMaxUops = 5;
+
+    std::array<CrackedUop, kMaxUops> uops;
+    unsigned count = 0;
+
+    void
+    push(const CrackedUop &u)
+    {
+        assert(count < kMaxUops);
+        uops[count++] = u;
+    }
+
+    CrackedUop &back() { return uops[count - 1]; }
+    const CrackedUop *begin() const { return uops.data(); }
+    const CrackedUop *end() const { return uops.data() + count; }
+};
+
+/**
+ * Crack a dynamic instruction into micro-ops (allocation-free form).
  * @param cls  the load class chosen at rename (None for non-loads).
  */
+void crackInst(const DynInst &dyn, LsuModel model, LoadClass cls,
+               CrackedSeq &out);
+
+/** Vector-returning convenience wrapper (tests, tools). */
 std::vector<CrackedUop> crackInst(const DynInst &dyn, LsuModel model,
                                   LoadClass cls);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
@@ -24,6 +25,22 @@ readExtended(const MemImg &mem, uint32_t addr, const Inst &inst)
     }
 }
 
+/** Run one stage, accumulating its wall time when profiling. */
+template <typename F>
+inline void
+timedStage(bool profiling, double &acc, F &&f)
+{
+    if (!profiling) {
+        f();
+        return;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    f();
+    acc += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+               .count();
+}
+
 } // namespace
 
 Pipeline::Pipeline(const SimConfig &config, const Program &prog)
@@ -43,7 +60,11 @@ Pipeline::Pipeline(const SimConfig &config, const Program &prog)
     sb.onCommit = [this](const SbEntry &entry) {
         ++stats.storesCommitted;
         srb.invalidate(entry.ssn);
+        if (!cfg.legacyScheduler)
+            releaseDelayedUpTo(entry.ssn);
     };
+    profiling_ = SimProfile::envEnabled();
+    profile_.enabled = profiling_;
 }
 
 Pipeline::~Pipeline() = default;
@@ -56,6 +77,12 @@ Pipeline::drainStoreBuffer()
         ++now;
         sb.tick(now);
     }
+    // Guard expiry means a store can never commit (e.g. a register it
+    // must read was lost): the same class of bug as a pipeline
+    // deadlock, so fail loudly with the same diagnostics.
+    if (!sb.empty())
+        throw std::runtime_error(
+            deadlockReport("store buffer failed to drain"));
 }
 
 void
@@ -69,63 +96,76 @@ Pipeline::injectRemoteInvalidation(uint32_t addr)
 SimStats
 Pipeline::run()
 {
+    auto t0 = std::chrono::steady_clock::now();
     while (!done) {
         doCycle();
-        if (now - lastProgressCycle > 500000) {
-            std::ostringstream os;
-            os << "pipeline deadlock at cycle " << now << " ("
-               << cfg.describe() << "), rob=" << rob.size()
-               << " iq=" << iq.size() << " sb=" << sb.size()
-               << " freeRegs=" << rf.freeCount()
-               << " decodeQ=" << decodeQueue.size();
-            if (!rob.empty()) {
-                const Uop &head = rob.front();
-                os << " | head: kind=" << static_cast<int>(head.kind)
-                   << " cls=" << loadClassName(head.cls)
-                   << " seq=" << head.seq
-                   << " pc=" << std::hex << head.pc << std::dec
-                   << " completed=" << head.completed
-                   << " issued=" << head.issued
-                   << " dispatched=" << head.dispatched
-                   << " src1=" << head.src1
-                   << " r1=" << rf.ready(head.src1, now)
-                   << " src2=" << head.src2
-                   << " r2=" << rf.ready(head.src2, now)
-                   << " predSsn=" << head.predictedSsn
-                   << " ssnCommit=" << sb.ssnCommit()
-                   << " reexec=" << static_cast<int>(head.reexecState);
-                size_t i = 0;
-                for (const Uop &x : rob) {
-                    if (++i > 8) break;
-                    os << "\n  rob[" << i-1 << "] kind="
-                       << static_cast<int>(x.kind)
-                       << " seq=" << x.seq
-                       << " disp=" << x.dispatched
-                       << " iss=" << x.issued
-                       << " comp=" << x.completed
-                       << " s1=" << x.src1 << "/" << rf.ready(x.src1, now)
-                       << " s2=" << x.src2 << "/" << rf.ready(x.src2, now)
-                       << " dst=" << x.dst;
-                }
-                os << "\n  iq:";
-                i = 0;
-                for (const Uop *x : iq) {
-                    if (++i > 8) break;
-                    os << " [k=" << static_cast<int>(x->kind)
-                       << " seq=" << x->seq
-                       << " s1=" << x->src1 << "/" << rf.ready(x->src1, now)
-                       << " s2=" << x->src2 << "/" << rf.ready(x->src2, now)
-                       << "]";
-                }
-            }
-            throw std::runtime_error(os.str());
-        }
+        if (now - lastProgressCycle > 500000)
+            throw std::runtime_error(deadlockReport("pipeline deadlock"));
     }
+    profile_.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    profile_.cycles = now;
 
     collectMemStats(stats);
     if (warmupTaken)
         return stats.minus(warmupSnapshot);
     return stats;
+}
+
+std::string
+Pipeline::deadlockReport(const std::string &context) const
+{
+    std::ostringstream os;
+    os << context << " at cycle " << now << " ("
+       << cfg.describe() << "), rob=" << rob.size()
+       << " iq=" << iqOccupancy() << " sb=" << sb.size()
+       << " freeRegs=" << rf.freeCount()
+       << " decodeQ=" << decodeQueue.size();
+    if (!rob.empty()) {
+        const Uop &head = rob.front();
+        os << " | head: kind=" << static_cast<int>(head.kind)
+           << " cls=" << loadClassName(head.cls)
+           << " seq=" << head.seq
+           << " pc=" << std::hex << head.pc << std::dec
+           << " completed=" << head.completed
+           << " issued=" << head.issued
+           << " dispatched=" << head.dispatched
+           << " src1=" << head.src1
+           << " r1=" << rf.ready(head.src1, now)
+           << " src2=" << head.src2
+           << " r2=" << rf.ready(head.src2, now)
+           << " predSsn=" << head.predictedSsn
+           << " ssnCommit=" << sb.ssnCommit()
+           << " reexec=" << static_cast<int>(head.reexecState);
+        size_t i = 0;
+        for (const Uop &x : rob) {
+            if (++i > 8) break;
+            os << "\n  rob[" << i-1 << "] kind="
+               << static_cast<int>(x.kind)
+               << " seq=" << x.seq
+               << " disp=" << x.dispatched
+               << " iss=" << x.issued
+               << " comp=" << x.completed
+               << " s1=" << x.src1 << "/" << rf.ready(x.src1, now)
+               << " s2=" << x.src2 << "/" << rf.ready(x.src2, now)
+               << " dst=" << x.dst;
+        }
+        os << "\n  iq:";
+        i = 0;
+        // In event mode the register-ready subset is the interesting
+        // part of the issue queue (the rest sleeps on waiter lists).
+        for (const Uop *x : cfg.legacyScheduler ? iq : readyQ) {
+            if (++i > 8) break;
+            os << " [k=" << static_cast<int>(x->kind)
+               << " seq=" << x->seq
+               << " s1=" << x->src1 << "/" << rf.ready(x->src1, now)
+               << " s2=" << x->src2 << "/" << rf.ready(x->src2, now)
+               << "]";
+        }
+    }
+    return os.str();
 }
 
 void
@@ -160,14 +200,19 @@ Pipeline::doCycle()
 {
     ++now;
     injectTraffic();
-    sb.tick(now);
-    stageWriteback();
-    stageRetire();
+    double *t = profile_.stageSeconds;
+    timedStage(profiling_, t[SimProfile::StoreBuffer],
+               [&] { sb.tick(now); });
+    timedStage(profiling_, t[SimProfile::Writeback],
+               [&] { stageWriteback(); });
+    timedStage(profiling_, t[SimProfile::Retire], [&] { stageRetire(); });
     if (done)
         return;
-    stageIssue();
-    stageRename();
-    stageFetch();
+    timedStage(profiling_, t[SimProfile::Issue], [&] { stageIssue(); });
+    timedStage(profiling_, t[SimProfile::Rename], [&] { stageRename(); });
+    timedStage(profiling_, t[SimProfile::Fetch], [&] { stageFetch(); });
+    if (cfg.idleSkip && !cfg.legacyScheduler)
+        maybeSkipIdle();
 }
 
 // ---------------------------------------------------------------- fetch
@@ -345,7 +390,8 @@ Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
         ? (cfg.model == LsuModel::Baseline ? LoadClass::Direct : plan.cls)
         : LoadClass::None;
 
-    auto cracked = crackInst(dyn, cfg.model, cls);
+    CrackedSeq cracked;
+    crackInst(dyn, cfg.model, cls, cracked);
     // The ROB tracks architectural instructions; an instruction's
     // micro-ops share its entry (the paper keeps one 256-entry ROB
     // across all four machines).
@@ -364,7 +410,7 @@ Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
     }
     if (!rf.canAllocate(allocs))
         return false;
-    if (iq.size() + iq_need > cfg.iqSize)
+    if (iqOccupancy() + iq_need > cfg.iqSize)
         return false;
 
     Uop *group_load = nullptr;
@@ -474,15 +520,22 @@ Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
             break;
         }
 
+        u.age = nextUopAge++;
         bool delayed_load = u.kind == UopKind::Load &&
                             cls == LoadClass::Delayed;
         if (delayed_load) {
-            delayedLoads.push_back(&u);
             u.dispatched = true;
+            if (cfg.legacyScheduler)
+                delayedLoads.push_back(&u);
+            else
+                dispatchDelayed(&u);
         } else if (cu.dispatch && !u.completed) {
-            iq.push_back(&u);
             u.dispatched = true;
             ++stats.iqWrites;
+            if (cfg.legacyScheduler)
+                iq.push_back(&u);
+            else
+                dispatchToIq(&u);
         }
     }
 
@@ -510,12 +563,18 @@ Pipeline::stageRename()
 {
     // Rename bandwidth is counted in architectural instructions; the
     // cracked micro-ops still consume IQ, issue and energy resources.
+    renameBlocked = false;
     uint32_t budget = cfg.issueWidth;
     while (budget > 0 && !decodeQueue.empty() &&
            decodeQueue.front().readyCycle <= now) {
         const FetchedInst &fi = decodeQueue.front();
-        if (!renameInst(fi.dyn, fi.history, budget))
+        if (!renameInst(fi.dyn, fi.history, budget)) {
+            // Resource wall (ROB / registers / IQ), as opposed to
+            // running out of rename bandwidth — the idle-skip logic
+            // needs to tell these apart.
+            renameBlocked = true;
             break;
+        }
         decodeQueue.pop_front();
         --budget;
     }
@@ -622,28 +681,141 @@ Pipeline::stageIssue()
     dcachePortsUsedThisCycle = 0;
     uint32_t budget = cfg.issueWidth;
 
-    for (auto it = iq.begin(); it != iq.end() && budget > 0;) {
-        if (tryIssue(*it)) {
-            --budget;
-            it = iq.erase(it);
-        } else {
-            ++it;
+    if (cfg.legacyScheduler) {
+        for (auto it = iq.begin(); it != iq.end() && budget > 0;) {
+            if (tryIssue(*it)) {
+                --budget;
+                it = iq.erase(it);
+            } else {
+                ++it;
+            }
         }
+
+        // NoSQ delayed loads live outside the issue queue (an unlimited
+        // reservation-station-like structure, section I) and wake when
+        // the predicted store commits.
+        for (auto it = delayedLoads.begin();
+             it != delayedLoads.end() && budget > 0;) {
+            Uop *u = *it;
+            if (sb.ssnCommit() >= u->predictedSsn && tryIssue(u)) {
+                --budget;
+                it = delayedLoads.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        return;
     }
 
-    // NoSQ delayed loads live outside the issue queue (an unlimited
-    // reservation-station-like structure, section I) and wake when the
-    // predicted store commits.
-    for (auto it = delayedLoads.begin();
-         it != delayedLoads.end() && budget > 0;) {
-        Uop *u = *it;
-        if (sb.ssnCommit() >= u->predictedSsn && tryIssue(u)) {
+    // Event-driven path: only register-ready uops are ever visited, in
+    // the same age order the polled scan observes, so the attempt
+    // sequence (and every side effect of a failed attempt: TLB fills,
+    // SQ/SB search counters, port arbitration) replays identically.
+    issueFromQueue(readyQ, budget, /*from_iq=*/true);
+    issueFromQueue(delayedReady, budget, /*from_iq=*/false);
+}
+
+void
+Pipeline::issueFromQueue(std::vector<Uop *> &q, uint32_t &budget,
+                         bool from_iq)
+{
+    // Stable two-pointer compaction: failed candidates keep their age
+    // order without the per-issue erase() shuffling. The budget check
+    // must short-circuit the attempt — once issue bandwidth is spent,
+    // the polled scan stops calling tryIssue too.
+    size_t out = 0;
+    for (size_t i = 0; i < q.size(); ++i) {
+        Uop *u = q[i];
+        if (budget > 0 && tryIssue(u)) {
             --budget;
-            it = delayedLoads.erase(it);
+            if (from_iq)
+                --iqCount;
         } else {
-            ++it;
+            q[out++] = u;
         }
     }
+    q.resize(out);
+}
+
+void
+Pipeline::enqueueReady(std::vector<Uop *> &q, Uop *u)
+{
+    // Keep age order: wakeups arrive in completion order, but the
+    // legacy scan attempts ready uops oldest-first.
+    auto it = std::lower_bound(q.begin(), q.end(), u,
+                               [](const Uop *a, const Uop *b) {
+                                   return a->age < b->age;
+                               });
+    q.insert(it, u);
+}
+
+void
+Pipeline::dispatchToIq(Uop *u)
+{
+    ++iqCount;
+    u->waitCount = 0;
+    // Baseline stores issue on the address register alone; tryIssue
+    // skips the data-register check the same way.
+    bool baseline_store = cfg.model == LsuModel::Baseline &&
+                          u->kind == UopKind::Store;
+    // Ready cycles are never in the future (producers set them at
+    // writeback, to a cycle <= now), so a source that is pending here
+    // stays pending until its producer's wakeup fires.
+    if (u->src1 >= 0 && !rf.ready(u->src1, now)) {
+        rf.addWaiter(u->src1, u);
+        ++u->waitCount;
+    }
+    if (!baseline_store && u->src2 >= 0 && !rf.ready(u->src2, now)) {
+        rf.addWaiter(u->src2, u);
+        ++u->waitCount;
+    }
+    if (u->waitCount == 0)
+        enqueueReady(readyQ, u);
+}
+
+void
+Pipeline::dispatchDelayed(Uop *u)
+{
+    // classifyLoad only picks Delayed for stores that have not
+    // committed yet; the guard is defensive.
+    if (u->predictedSsn <= sb.ssnCommit()) {
+        enqueueReady(delayedReady, u);
+        return;
+    }
+    delayedBySsn[u->predictedSsn].push_back(u);
+}
+
+void
+Pipeline::releaseDelayedUpTo(uint64_t ssn)
+{
+    while (!delayedBySsn.empty() && delayedBySsn.begin()->first <= ssn) {
+        for (Uop *u : delayedBySsn.begin()->second)
+            enqueueReady(delayedReady, u);
+        delayedBySsn.erase(delayedBySsn.begin());
+    }
+}
+
+void
+Pipeline::wakeWaiters(int preg)
+{
+    if (preg < 0)
+        return;
+    wakeScratch.clear();
+    rf.takeWaiters(preg, wakeScratch);
+    for (Uop *u : wakeScratch) {
+        assert(u->waitCount > 0);
+        if (--u->waitCount == 0)
+            enqueueReady(readyQ, u);
+    }
+}
+
+void
+Pipeline::completeDest(int preg, uint64_t cycle)
+{
+    rf.setReadyCycle(preg, cycle);
+    ++stats.rfWrites;
+    if (!cfg.legacyScheduler)
+        wakeWaiters(preg);
 }
 
 // ------------------------------------------------------------ writeback
@@ -679,10 +851,8 @@ Pipeline::completeLoad(Uop *u)
                                         u->dyn.inst);
     }
 
-    if (u->dst >= 0) {
-        rf.setReadyCycle(u->dst, u->completeCycle);
-        ++stats.rfWrites;
-    }
+    if (u->dst >= 0)
+        completeDest(u->dst, u->completeCycle);
 }
 
 void
@@ -692,18 +862,14 @@ Pipeline::completeUop(Uop *u)
     switch (u->kind) {
       case UopKind::Alu:
       case UopKind::Agi:
-        if (u->dst >= 0) {
-            rf.setReadyCycle(u->dst, u->completeCycle);
-            ++stats.rfWrites;
-        }
+        if (u->dst >= 0)
+            completeDest(u->dst, u->completeCycle);
         ++stats.aluOps;
         break;
 
       case UopKind::Branch:
-        if (u->dst >= 0) {
-            rf.setReadyCycle(u->dst, u->completeCycle);
-            ++stats.rfWrites;
-        }
+        if (u->dst >= 0)
+            completeDest(u->dst, u->completeCycle);
         ++stats.aluOps;
         if (fetchBlockedOnSeq == u->seq) {
             fetchBlockedOnSeq = kNoSeq;
@@ -730,8 +896,7 @@ Pipeline::completeUop(Uop *u)
                 peer->predicateKnown = true;
             }
         }
-        rf.setReadyCycle(u->dst, u->completeCycle);
-        ++stats.rfWrites;
+        completeDest(u->dst, u->completeCycle);
         ++stats.predicationOps;
         break;
       }
@@ -739,19 +904,15 @@ Pipeline::completeUop(Uop *u)
       case UopKind::CmovTrue:
         ++stats.predicationOps;
         assert(u->predicateKnown);
-        if (u->predicateValue) {
-            rf.setReadyCycle(u->dst, u->completeCycle);
-            ++stats.rfWrites;
-        }
+        if (u->predicateValue)
+            completeDest(u->dst, u->completeCycle);
         break;
 
       case UopKind::CmovFalse:
         ++stats.predicationOps;
         assert(u->predicateKnown);
-        if (!u->predicateValue) {
-            rf.setReadyCycle(u->dst, u->completeCycle);
-            ++stats.rfWrites;
-        }
+        if (!u->predicateValue)
+            completeDest(u->dst, u->completeCycle);
         break;
 
       case UopKind::Load:
@@ -778,15 +939,18 @@ Pipeline::completeUop(Uop *u)
 void
 Pipeline::stageWriteback()
 {
-    for (auto it = execList.begin(); it != execList.end();) {
-        Uop *u = *it;
-        if (u->completeCycle <= now) {
+    // Stable compaction: completions happen in the same (issue) order
+    // the old per-element erase() loop produced, without its quadratic
+    // shuffling.
+    size_t out = 0;
+    for (size_t i = 0; i < execList.size(); ++i) {
+        Uop *u = execList[i];
+        if (u->completeCycle <= now)
             completeUop(u);
-            it = execList.erase(it);
-        } else {
-            ++it;
-        }
+        else
+            execList[out++] = u;
     }
+    execList.resize(out);
 }
 
 // --------------------------------------------------------------- retire
@@ -1087,11 +1251,16 @@ Pipeline::stageRetire()
     // Retire bandwidth is counted in architectural instructions, like
     // rename; the budget is charged when an instruction's last micro-op
     // leaves the ROB.
+    retireBlocked = false;
     uint32_t budget = cfg.retireWidth;
     while (budget > 0 && !rob.empty() && !done) {
         bool inst_end = rob.front().instEnd;
-        if (!retireHead())
+        if (!retireHead()) {
+            // Head blocked (or squashed), as opposed to retire
+            // bandwidth running out — idle-skip tells these apart.
+            retireBlocked = true;
             break;
+        }
         if (inst_end) {
             --budget;
             --robInsts;
@@ -1099,6 +1268,134 @@ Pipeline::stageRetire()
     }
     if (!rob.empty())
         stream.retireUpTo(rob.front().seq);
+}
+
+// ----------------------------------------------------- idle-cycle skip
+
+Pipeline::RetireBlock
+Pipeline::classifyRetireBlock() const
+{
+    if (rob.empty())
+        return RetireBlock::Idle;
+    if (!retireBlocked)
+        return RetireBlock::Act;    // bandwidth-limited: retires resume
+    const Uop *u = &rob.front();
+
+    // Mirror retireHead()'s readiness gates: a head that fails one of
+    // these blocks without touching any statistic, and the inputs
+    // (completion flags, register readiness) only change at events.
+    switch (u->kind) {
+      case UopKind::Store:
+        if (cfg.model == LsuModel::Baseline) {
+            if (!u->completed)
+                return RetireBlock::Idle;
+        } else if (!rf.ready(u->src1, now)) {
+            return RetireBlock::Idle;
+        }
+        break;
+      case UopKind::Load:
+        if (!u->completed)
+            return RetireBlock::Idle;
+        if (u->cls == LoadClass::Predicated && !u->predicateKnown)
+            return RetireBlock::Idle;
+        break;
+      default:
+        if (!u->completed)
+            return RetireBlock::Idle;
+        break;
+    }
+
+    // The head passed its readiness gates, so each further cycle either
+    // performs work (retire, verify, squash — cannot skip) or bumps a
+    // per-cycle stall counter that a skip must compensate.
+    if (u->kind == UopKind::Load &&
+        (cfg.model == LsuModel::NoSQ || cfg.model == LsuModel::DMDP)) {
+        if (u->reexecState == Uop::ReexecState::WaitDrain)
+            return sb.empty() ? RetireBlock::Act
+                              : RetireBlock::ReexecStall;
+        if (u->reexecState == Uop::ReexecState::Access)
+            return RetireBlock::ReexecStall;    // capped by reexecDoneCycle
+        return RetireBlock::Act;    // unevaluated or Done: conservative
+    }
+    if (u->kind == UopKind::Store)
+        return sb.full() ? RetireBlock::SbFullStall : RetireBlock::Act;
+    return RetireBlock::Act;
+}
+
+void
+Pipeline::maybeSkipIdle()
+{
+    // Invariant: a skipped cycle must be observably empty — no stage
+    // may issue, complete, retire, fetch, rename, commit a store, touch
+    // a predictor/cache/TLB, or consume RNG state in it; per-cycle
+    // stall counters a blocked retire head would have bumped are
+    // compensated arithmetically. See docs/ARCHITECTURE.md.
+
+    // Injected invalidation traffic consumes RNG state every cycle.
+    if (cfg.remoteInvalPerKiloCycle > 0)
+        return;
+
+    // Pending issue candidates: even failed attempts have observable
+    // side effects (TLB fills, SQ/SB search counters), so step.
+    if (!readyQ.empty() || !delayedReady.empty())
+        return;
+
+    RetireBlock block = classifyRetireBlock();
+    if (block == RetireBlock::Act)
+        return;
+
+    // A store-buffer entry that would start its cache write touches
+    // the memory hierarchy.
+    if (sb.wouldStart(now + 1))
+        return;
+
+    // Rename: a ready front instruction either renames next cycle
+    // (progress), or — blocked on resources — re-classifies a load
+    // every cycle under NoSQ/DMDP (SDP lookup counter and LRU state).
+    bool front_ready = !decodeQueue.empty() &&
+                       decodeQueue.front().readyCycle <= now;
+    if (front_ready) {
+        if (!renameBlocked)
+            return;
+        if (decodeQueue.front().dyn.isLoad() &&
+            (cfg.model == LsuModel::NoSQ || cfg.model == LsuModel::DMDP))
+            return;
+    }
+
+    // Fetch: able to fetch as soon as the front-end timer allows.
+    bool fetch_capable = !fetchedHalt && fetchBlockedOnSeq == kNoSeq &&
+                         decodeQueue.size() < kDecodeQueueCap &&
+                         !stream.atEnd();
+    if (fetch_capable && fetchAvailableCycle <= now + 1)
+        return;
+
+    // Earliest cycle at which any state can change. The deadlock
+    // horizon is an event so a wedged pipeline still throws at the
+    // exact cycle the stepped loop would.
+    uint64_t next = lastProgressCycle + 500001;
+    for (const Uop *u : execList)
+        next = std::min(next, u->completeCycle);
+    next = std::min(next, sb.nextCompletionCycle());
+    if (!decodeQueue.empty() && decodeQueue.front().readyCycle > now)
+        next = std::min(next, decodeQueue.front().readyCycle);
+    if (fetch_capable)
+        next = std::min(next, fetchAvailableCycle);
+    if (!rob.empty() &&
+        rob.front().reexecState == Uop::ReexecState::Access)
+        next = std::min(next, rob.front().reexecDoneCycle);
+
+    if (next <= now + 1)
+        return;
+
+    uint64_t skipped = next - 1 - now;
+    // Per-cycle stall counters the skipped cycles would have bumped.
+    if (block == RetireBlock::SbFullStall)
+        stats.sbFullStallCycles += skipped;
+    else if (block == RetireBlock::ReexecStall)
+        stats.reexecStallCycles += skipped;
+    profile_.skippedCycles += skipped;
+    ++profile_.skipEvents;
+    now = next - 1;
 }
 
 // -------------------------------------------------------------- squash
@@ -1115,6 +1412,10 @@ Pipeline::squashAndRefetch(uint64_t restart_seq)
     iq.clear();
     delayedLoads.clear();
     execList.clear();
+    readyQ.clear();
+    delayedReady.clear();
+    delayedBySsn.clear();
+    iqCount = 0;    // rf.recover() below clears the waiter lists
     rob.clear();
     robInsts = 0;
 

@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "core/crack.h"
 #include "core/lsq.h"
 #include "core/regfile.h"
+#include "core/simprofile.h"
 #include "core/simstats.h"
 #include "core/srb.h"
 #include "core/storebuffer.h"
@@ -70,6 +73,13 @@ class Pipeline
     /** Drain the store buffer to quiescence (test helper). */
     void drainStoreBuffer();
 
+    /**
+     * Simulation-speed profile of the run: wall time, cycles/sec,
+     * skipped-cycle counts, and (when DMDP_PROFILE is set) per-stage
+     * wall-time breakdown. Timing-invisible.
+     */
+    const SimProfile &profile() const { return profile_; }
+
   private:
     // ---- Per-stage logic. ----
     void doCycle();
@@ -104,6 +114,36 @@ class Pipeline
     bool tryIssue(Uop *uop);
     void completeUop(Uop *uop);
     void completeLoad(Uop *uop);
+
+    // ---- Event-driven scheduler (default; cfg.legacyScheduler selects
+    //      the original polled scan for differential testing). ----
+    void dispatchToIq(Uop *uop);
+    void dispatchDelayed(Uop *uop);
+    void enqueueReady(std::vector<Uop *> &q, Uop *uop);
+    void wakeWaiters(int preg);
+    void completeDest(int preg, uint64_t cycle);
+    void releaseDelayedUpTo(uint64_t ssn);
+    void issueFromQueue(std::vector<Uop *> &q, uint32_t &budget,
+                        bool from_iq);
+    size_t
+    iqOccupancy() const
+    {
+        return cfg.legacyScheduler ? iq.size() : iqCount;
+    }
+
+    // ---- Idle-cycle skipping (cfg.idleSkip). ----
+    /**
+     * What the retire stage would do next cycle, given frozen state:
+     * Act (retire / evaluate something — cannot skip), Idle (blocked
+     * with no per-cycle side effects), or blocked while bumping a
+     * per-cycle stall counter that a skip must compensate.
+     */
+    enum class RetireBlock { Act, Idle, SbFullStall, ReexecStall };
+    RetireBlock classifyRetireBlock() const;
+    void maybeSkipIdle();
+
+    /** Shared diagnostics for deadlock and drain-guard failures. */
+    std::string deadlockReport(const std::string &context) const;
 
     // ---- Retire helpers. ----
     bool retireHead();
@@ -146,9 +186,22 @@ class Pipeline
     std::deque<FetchedInst> decodeQueue;
     std::deque<Uop> rob;
     uint32_t robInsts = 0;      ///< ROB occupancy in instructions
-    std::vector<Uop *> iq;
-    std::vector<Uop *> delayedLoads;    ///< NoSQ low-confidence loads
+    std::vector<Uop *> iq;              ///< legacy polled issue queue
+    std::vector<Uop *> delayedLoads;    ///< legacy NoSQ low-conf loads
     std::vector<Uop *> execList;
+
+    // Event-driven scheduler state. The issue queue splits into the
+    // per-register waiter lists (held by the RegFile) and an age-ordered
+    // queue of register-ready uops; delayed loads wait in an SSN index
+    // until the predicted store commits.
+    std::vector<Uop *> readyQ;          ///< register-ready, age order
+    std::vector<Uop *> delayedReady;    ///< released delayed loads
+    std::map<uint64_t, std::vector<Uop *>> delayedBySsn;
+    std::vector<Uop *> wakeScratch;     ///< reused wake buffer
+    uint32_t iqCount = 0;               ///< event-mode IQ occupancy
+    uint64_t nextUopAge = 0;
+    bool retireBlocked = false;     ///< stageRetire hit a blocked head
+    bool renameBlocked = false;     ///< stageRename hit a resource wall
 
     uint64_t fetchAvailableCycle = 0;
     uint64_t fetchBlockedOnSeq = kNoSeq;
@@ -171,6 +224,8 @@ class Pipeline
     SimStats warmupSnapshot;
 
     SimStats stats;
+    SimProfile profile_;
+    bool profiling_ = false;    ///< stage timers active (DMDP_PROFILE)
 
     static constexpr uint64_t kNoSeq = ~0ull;
     static constexpr uint32_t kDecodeQueueCap = 32;

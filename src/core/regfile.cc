@@ -116,6 +116,9 @@ RegFile::recover(const std::vector<int> &held_regs)
         // Retired state is architecturally complete: every surviving
         // register's value was produced before the squash point.
         reg.readyCycle = 0;
+        // Every waiter is an in-flight uop, and a squash discards all of
+        // them (the pipeline clears its queues in the same recovery).
+        reg.waiters.clear();
     }
 
     // Producer counts: one live definition per retire-RAT occupant.

@@ -32,6 +32,8 @@
 
 namespace dmdp {
 
+struct Uop;
+
 /** Renamer + physical register file + reference counters. */
 class RegFile
 {
@@ -112,6 +114,30 @@ class RegFile
             regs[preg].readyCycle = kNever;
     }
 
+    // ---- Wakeup lists (event-driven scheduler) ----
+    //
+    // A dispatched uop with a pending source registers itself on that
+    // register's waiter list; the pipeline collects the list when it
+    // sets the register's ready cycle. Waiting uops hold a consumer
+    // reference on the register (taken at rename), so a register with
+    // waiters can never be freed out from under them.
+
+    /** Register @p u as waiting for @p preg to become ready. */
+    void
+    addWaiter(int preg, Uop *u)
+    {
+        regs[preg].waiters.push_back(u);
+    }
+
+    /** Append @p preg's waiters to @p out and clear the list. */
+    void
+    takeWaiters(int preg, std::vector<Uop *> &out)
+    {
+        auto &w = regs[preg].waiters;
+        out.insert(out.end(), w.begin(), w.end());
+        w.clear();
+    }
+
     // ---- Introspection ----
 
     size_t freeCount() const { return freeList.size(); }
@@ -128,6 +154,7 @@ class RegFile
         uint32_t consumers = 0;
         uint64_t readyCycle = 0;
         bool free = true;
+        std::vector<Uop *> waiters;
     };
 
     void maybeFree(int preg);

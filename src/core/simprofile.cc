@@ -1,0 +1,45 @@
+#include "core/simprofile.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace dmdp {
+
+const char *
+SimProfile::stageName(int stage)
+{
+    switch (stage) {
+      case StoreBuffer: return "storebuffer";
+      case Writeback: return "writeback";
+      case Retire: return "retire";
+      case Issue: return "issue";
+      case Rename: return "rename";
+      case Fetch: return "fetch";
+      default: return "?";
+    }
+}
+
+bool
+SimProfile::envEnabled()
+{
+    const char *env = std::getenv("DMDP_PROFILE");
+    return env && std::strcmp(env, "0") != 0;
+}
+
+std::string
+SimProfile::report() const
+{
+    std::ostringstream os;
+    os << "sim profile: " << cycles << " cycles in " << wallSeconds
+       << "s (" << cyclesPerSec() << " cycles/s), skipped "
+       << skippedCycles << " cycles in " << skipEvents << " events\n";
+    if (enabled) {
+        for (int s = 0; s < kNumStages; ++s)
+            os << "  stage " << stageName(s) << ": " << stageSeconds[s]
+               << "s\n";
+    }
+    return os.str();
+}
+
+} // namespace dmdp

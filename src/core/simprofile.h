@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulation-speed profile: how fast the simulator itself ran, entirely
+ * separate from SimStats (which must stay bit-identical across scheduler
+ * implementations — skip counts and wall times differ by design).
+ *
+ * The cheap counters (wall time, cycles, skipped cycles) are collected
+ * on every run. The per-stage wall-time breakdown needs two clock reads
+ * per stage per cycle, so it is gated behind the DMDP_PROFILE
+ * environment variable (set to anything but "0").
+ */
+
+#ifndef DMDP_CORE_SIMPROFILE_H
+#define DMDP_CORE_SIMPROFILE_H
+
+#include <cstdint>
+#include <string>
+
+namespace dmdp {
+
+/** Speed profile of one simulation run. */
+struct SimProfile
+{
+    enum Stage
+    {
+        StoreBuffer,
+        Writeback,
+        Retire,
+        Issue,
+        Rename,
+        Fetch,
+        kNumStages,
+    };
+
+    bool enabled = false;       ///< stage timers were active
+    double wallSeconds = 0;     ///< wall time inside Pipeline::run()
+    uint64_t cycles = 0;        ///< simulated cycles (== stats.cycles)
+    uint64_t skippedCycles = 0; ///< cycles fast-forwarded as idle
+    uint64_t skipEvents = 0;    ///< fast-forward occurrences
+    double stageSeconds[kNumStages] = {};   ///< only when enabled
+
+    static const char *stageName(int stage);
+
+    /** True if DMDP_PROFILE is set (and not "0"). */
+    static bool envEnabled();
+
+    double
+    cyclesPerSec() const
+    {
+        return wallSeconds > 0
+            ? static_cast<double>(cycles) / wallSeconds
+            : 0.0;
+    }
+
+    /** Human-readable multi-line breakdown (schema in ARCHITECTURE.md). */
+    std::string report() const;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_SIMPROFILE_H

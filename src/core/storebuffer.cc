@@ -35,8 +35,6 @@ StoreBuffer::startCommit(uint64_t now)
     // commits start strictly in buffer order and *complete* in order
     // (each write becomes visible no earlier than its predecessor);
     // under RMO any ready entry may start and completes independently.
-    constexpr uint32_t kMaxInFlight = 4;
-
     for (size_t i = 0; i < entries.size(); ++i) {
         if (inFlight >= kMaxInFlight)
             return;
@@ -107,6 +105,37 @@ StoreBuffer::tick(uint64_t now)
     }
 
     startCommit(now);
+}
+
+bool
+StoreBuffer::wouldStart(uint64_t now) const
+{
+    // Mirrors the scan in startCommit() up to the first entry that
+    // would start (coalescing only ever follows a first start).
+    uint32_t in_flight = inFlight;
+    for (const auto &entry : entries) {
+        if (in_flight >= kMaxInFlight)
+            return false;
+        if (entry.started)
+            continue;
+        if (!regsReady(entry, now)) {
+            if (cfg.consistency == Consistency::TSO)
+                return false;
+            continue;
+        }
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+StoreBuffer::nextCompletionCycle() const
+{
+    uint64_t next = kNoEvent;
+    for (const auto &entry : entries)
+        if (entry.started && !entry.done && entry.doneCycle < next)
+            next = entry.doneCycle;
+    return next;
 }
 
 StoreBuffer::ForwardResult

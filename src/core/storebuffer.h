@@ -87,6 +87,26 @@ class StoreBuffer
     uint64_t commits() const { return commits_.value(); }
     uint64_t coalescedCommits() const { return coalesced_.value(); }
 
+    // ---- Idle-skip support (event-driven scheduler) ----
+
+    /** Cache writes are pipelined up to this many deep. */
+    static constexpr uint32_t kMaxInFlight = 4;
+
+    /** Sentinel for "no pending completion". */
+    static constexpr uint64_t kNoEvent = ~0ull;
+
+    /**
+     * Dry run of startCommit()'s first-start decision: would tick(@p now)
+     * issue at least one new cache write? Starting a write touches the
+     * memory hierarchy (latencies, bank state), so a cycle where this
+     * holds is not idle. Register readiness and in-flight counts only
+     * change at pipeline events, so the answer is stable until one fires.
+     */
+    bool wouldStart(uint64_t now) const;
+
+    /** Earliest doneCycle among in-flight writes (kNoEvent if none). */
+    uint64_t nextCompletionCycle() const;
+
   private:
     void startCommit(uint64_t now);
     bool regsReady(const SbEntry &entry, uint64_t now) const;

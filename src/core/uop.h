@@ -65,6 +65,14 @@ struct Uop
     uint64_t renameCycle = 0;
     uint64_t completeCycle = 0;
 
+    // Event-driven scheduler state (see pipeline.cc). `age` is the
+    // global dispatch order, used to keep the ready queue in the same
+    // age order the legacy polled scan observes; `waitCount` counts
+    // source registers that are still pending (the uop sits on their
+    // RegFile waiter lists until it drops to zero).
+    uint64_t age = 0;
+    uint8_t waitCount = 0;
+
     // Memory state.
     uint64_t ssnNvul = 0;       ///< SSN_commit sampled at cache read
     uint32_t obtainedValue = 0; ///< value the load actually got

@@ -90,9 +90,26 @@ resultToJson(const JobResult &r)
                   static_cast<unsigned long long>(r.configDigest));
     j.set("configDigest", digest);
     j.set("wallSeconds", r.wallSeconds);
+    // Simulator speed, from the pipeline-only wall clock (excludes
+    // workload construction): the headline number the speed-smoke CI
+    // gate and BENCH_*.json files track.
+    j.set("sim_cycles_per_sec", r.profile.cyclesPerSec());
     j.set("ok", r.ok);
     if (!r.ok)
         j.set("error", r.error);
+    if (r.profile.enabled) {
+        Json prof = Json::object();
+        prof.set("wallSeconds", r.profile.wallSeconds);
+        prof.set("skippedCycles",
+                 Json(static_cast<double>(r.profile.skippedCycles)));
+        prof.set("skipEvents",
+                 Json(static_cast<double>(r.profile.skipEvents)));
+        Json stages = Json::object();
+        for (int s = 0; s < SimProfile::kNumStages; ++s)
+            stages.set(SimProfile::stageName(s), r.profile.stageSeconds[s]);
+        prof.set("stageSeconds", std::move(stages));
+        j.set("profile", std::move(prof));
+    }
     Json stats = Json::object();
     for (const auto &[name, value] : statFields(r.stats))
         stats.set(name, value);
@@ -117,7 +134,8 @@ std::string
 resultsToCsv(const std::vector<JobResult> &results)
 {
     std::ostringstream os;
-    os << "id,proxy,model,isInteger,insts,configDigest,wallSeconds";
+    os << "id,proxy,model,isInteger,insts,configDigest,wallSeconds,"
+          "sim_cycles_per_sec";
     // Column set comes from the field list so the header never drifts
     // from the rows.
     SimStats empty;
@@ -133,7 +151,8 @@ resultsToCsv(const std::vector<JobResult> &results)
         os << r.job.id << ',' << r.job.proxy << ','
            << lsuModelName(r.job.cfg.model) << ','
            << (r.job.isInteger ? 1 : 0) << ',' << r.job.insts << ','
-           << digest << ',' << r.wallSeconds;
+           << digest << ',' << r.wallSeconds << ','
+           << r.profile.cyclesPerSec();
         for (const auto &[name, value] : statFields(r.stats)) {
             (void)name;
             char buf[32];

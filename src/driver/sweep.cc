@@ -122,8 +122,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
             r.configDigest = configDigest(r.job.cfg);
             auto t0 = std::chrono::steady_clock::now();
             try {
-                r.stats =
-                    simulateProxy(jobs[i].proxy, jobs[i].cfg, jobs[i].insts);
+                r.stats = simulateProxy(jobs[i].proxy, jobs[i].cfg,
+                                        jobs[i].insts, &r.profile);
                 r.ok = true;
             } catch (const std::exception &e) {
                 r.error = e.what();

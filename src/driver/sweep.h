@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "core/simprofile.h"
 #include "core/simstats.h"
 
 namespace dmdp::driver {
@@ -37,6 +38,7 @@ struct JobResult
 {
     SweepJob job;
     SimStats stats;
+    SimProfile profile;         ///< simulation-speed profile (not stats)
     double wallSeconds = 0;     ///< host wall-clock time for this job
     uint64_t configDigest = 0;  ///< digest of job.cfg (see configDigest())
     bool ok = false;            ///< false if the job threw

@@ -9,10 +9,14 @@
 namespace dmdp {
 
 SimStats
-Simulator::run(const SimConfig &cfg, const Program &prog)
+Simulator::run(const SimConfig &cfg, const Program &prog,
+               SimProfile *profile)
 {
     Pipeline pipeline(cfg, prog);
-    return pipeline.run();
+    SimStats stats = pipeline.run();
+    if (profile)
+        *profile = pipeline.profile();
+    return stats;
 }
 
 SimStats
@@ -22,11 +26,12 @@ Simulator::runAsm(const SimConfig &cfg, const std::string &source)
 }
 
 SimStats
-simulateProxy(const std::string &name, SimConfig cfg, uint64_t insts)
+simulateProxy(const std::string &name, SimConfig cfg, uint64_t insts,
+              SimProfile *profile)
 {
     Program prog = buildProxy(name, insts);
     cfg.maxInsts = insts;
-    return Simulator::run(cfg, prog);
+    return Simulator::run(cfg, prog, profile);
 }
 
 uint64_t

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/config.h"
+#include "core/simprofile.h"
 #include "core/simstats.h"
 #include "isa/program.h"
 
@@ -20,8 +21,14 @@ namespace dmdp {
 class Simulator
 {
   public:
-    /** Simulate @p prog under @p cfg and return the run statistics. */
-    static SimStats run(const SimConfig &cfg, const Program &prog);
+    /**
+     * Simulate @p prog under @p cfg and return the run statistics.
+     * @param profile  optional out-param receiving the simulation-speed
+     *                 profile (wall time, skipped cycles; per-stage
+     *                 breakdown when DMDP_PROFILE is set).
+     */
+    static SimStats run(const SimConfig &cfg, const Program &prog,
+                        SimProfile *profile = nullptr);
 
     /**
      * Assemble @p source and simulate it; convenience for examples and
@@ -35,7 +42,7 @@ class Simulator
  * instructions (see src/workloads/spec_proxies.h).
  */
 SimStats simulateProxy(const std::string &name, SimConfig cfg,
-                       uint64_t insts);
+                       uint64_t insts, SimProfile *profile = nullptr);
 
 /**
  * Dynamic instruction budget for the benchmark harnesses: the

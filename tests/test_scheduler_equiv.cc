@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Scheduler equivalence: the event-driven scheduler with idle-cycle
+ * skipping (the default engine) must produce bit-identical SimStats to
+ * the legacy polled scheduler on every machine model — same cycles,
+ * same stall counters, same predictor/cache activity, everything. The
+ * comparison runs over driver::statFields(), the authoritative list
+ * every emitter shares, so a new counter is automatically covered.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/results.h"
+#include "sim/simulator.h"
+
+namespace dmdp {
+namespace {
+
+constexpr uint64_t kInsts = 10000;
+
+SimStats
+runWith(SimConfig cfg, const std::string &proxy, bool legacy,
+        bool idle_skip)
+{
+    cfg.legacyScheduler = legacy;
+    cfg.idleSkip = idle_skip;
+    return simulateProxy(proxy, cfg, kInsts);
+}
+
+/** Expect bit-exact equality over every emitted statistic. */
+void
+expectIdentical(const SimStats &a, const SimStats &b)
+{
+    auto fa = driver::statFields(a);
+    auto fb = driver::statFields(b);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (size_t i = 0; i < fa.size(); ++i) {
+        EXPECT_EQ(fa[i].second, fb[i].second)
+            << "statistic " << fa[i].first << " differs";
+    }
+}
+
+/** Run all three engine settings and cross-check them. */
+void
+checkAllEngines(const SimConfig &cfg, const std::string &proxy)
+{
+    SimStats legacy = runWith(cfg, proxy, true, true);
+    SimStats event_skip = runWith(cfg, proxy, false, true);
+    SimStats event_step = runWith(cfg, proxy, false, false);
+    {
+        SCOPED_TRACE("event+skip vs legacy");
+        expectIdentical(event_skip, legacy);
+    }
+    {
+        SCOPED_TRACE("event stepped vs legacy");
+        expectIdentical(event_step, legacy);
+    }
+}
+
+class SchedulerEquiv : public ::testing::TestWithParam<LsuModel>
+{};
+
+TEST_P(SchedulerEquiv, BitIdenticalAcrossProxies)
+{
+    const std::vector<std::string> proxies = {"perl", "mcf", "milc"};
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    for (const auto &proxy : proxies) {
+        SCOPED_TRACE(proxy);
+        checkAllEngines(cfg, proxy);
+    }
+}
+
+TEST_P(SchedulerEquiv, BitIdenticalUnderRmoWithTinyStoreBuffer)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.consistency = Consistency::RMO;
+    cfg.storeBufferSize = 4;
+    checkAllEngines(cfg, "gcc");
+}
+
+TEST_P(SchedulerEquiv, BitIdenticalWithTageSdp)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.sdpKind = SdpKind::Tage;
+    checkAllEngines(cfg, "perl");
+}
+
+TEST_P(SchedulerEquiv, BitIdenticalWithInvalidationTraffic)
+{
+    // Per-cycle RNG consumption: idle-skip must refuse to fast-forward
+    // and still match the legacy engine cycle for cycle.
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    cfg.remoteInvalPerKiloCycle = 2.0;
+    checkAllEngines(cfg, "bzip2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, SchedulerEquiv,
+    ::testing::Values(LsuModel::Baseline, LsuModel::NoSQ, LsuModel::DMDP,
+                      LsuModel::Perfect),
+    [](const ::testing::TestParamInfo<LsuModel> &info) {
+        return std::string(lsuModelName(info.param));
+    });
+
+} // namespace
+} // namespace dmdp

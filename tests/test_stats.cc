@@ -122,5 +122,20 @@ TEST(StatGroup, DumpContainsRegisteredStats)
     EXPECT_NE(dump.find("sim.loadLatency = 4"), std::string::npos);
 }
 
+TEST(StatGroup, DuplicateRegistrationThrows)
+{
+    StatGroup group;
+    Scalar a, b;
+    Average avg_a, avg_b;
+    group.regScalar("sim.cycles", &a);
+    EXPECT_THROW(group.regScalar("sim.cycles", &b), std::logic_error);
+    group.regAverage("sim.loadLatency", &avg_a);
+    EXPECT_THROW(group.regAverage("sim.loadLatency", &avg_b),
+                 std::logic_error);
+    // A scalar and an average may share a name: separate namespaces.
+    Average avg_c;
+    group.regAverage("sim.cycles", &avg_c);
+}
+
 } // namespace
 } // namespace dmdp

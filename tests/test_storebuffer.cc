@@ -108,6 +108,7 @@ TEST_F(StoreBufferTest, CoalescesConsecutiveSameLineStores)
 TEST_F(StoreBufferTest, TsoRegsGateHeadCommit)
 {
     int preg = rf.allocate(5);      // pending producer
+    rf.addConsumer(preg);           // the buffered store holds a read
     SbEntry head = entry(1, 0x1000);
     head.dataPreg = preg;
     sb.push(head);

@@ -21,6 +21,8 @@
  *     --balanced      balanced (+1/-1) confidence updates
  *     --no-silent-aware  original (exception-only) SDP update policy
  *     --inval-rate R  injected remote invalidations per 1k cycles
+ *     --legacy-sched  polled issue-queue scan (timing-identical)
+ *     --no-idle-skip  step every cycle even when provably idle
  *     --sweep         run models x proxies on the thread pool (DMDP_JOBS)
  *     --models LIST   comma-separated models for --sweep    (default all)
  *     --proxies LIST  comma-separated proxies for --sweep   (default all)
@@ -61,6 +63,7 @@ usage(const char *argv0)
                  "          [--warmup N] [--sb N] [--rob N] [--width N]\n"
                  "          [--prf N] [--rmo] [--tage] [--balanced]\n"
                  "          [--no-silent-aware] [--inval-rate R]\n"
+                 "          [--legacy-sched] [--no-idle-skip]\n"
                  "          [--sweep] [--models LIST] [--proxies LIST]\n"
                  "          [--json FILE] [--csv FILE] [--list]\n",
                  argv0);
@@ -112,6 +115,8 @@ struct Overrides
     bool balanced = false;
     bool noSilentAware = false;
     std::optional<double> invalRate;
+    bool legacySched = false;
+    bool noIdleSkip = false;
 
     void
     apply(SimConfig &cfg) const
@@ -134,6 +139,10 @@ struct Overrides
             cfg.silentStoreAwareUpdate = false;
         if (invalRate)
             cfg.remoteInvalPerKiloCycle = *invalRate;
+        if (legacySched)
+            cfg.legacyScheduler = true;
+        if (noIdleSkip)
+            cfg.idleSkip = false;
     }
 };
 
@@ -242,6 +251,8 @@ main(int argc, char **argv)
         else if (arg == "--no-silent-aware") overrides.noSilentAware = true;
         else if (arg == "--inval-rate")
             overrides.invalRate = std::strtod(next(), nullptr);
+        else if (arg == "--legacy-sched") overrides.legacySched = true;
+        else if (arg == "--no-idle-skip") overrides.noIdleSkip = true;
         else if (arg == "--sweep") sweep = true;
         else if (arg == "--models") models_list = next();
         else if (arg == "--proxies") proxies_list = next();
@@ -287,6 +298,7 @@ main(int argc, char **argv)
     cfg.warmupInsts = warmup;
 
     SimStats stats;
+    SimProfile profile;
     std::string workload;
     if (!asm_file.empty()) {
         std::ifstream in(asm_file);
@@ -296,10 +308,10 @@ main(int argc, char **argv)
         }
         std::ostringstream source;
         source << in.rdbuf();
-        stats = Simulator::run(cfg, assemble(source.str()));
+        stats = Simulator::run(cfg, assemble(source.str()), &profile);
         workload = asm_file;
     } else {
-        stats = simulateProxy(proxy, cfg, insts);
+        stats = simulateProxy(proxy, cfg, insts, &profile);
         workload = proxy + " (proxy)";
     }
 
@@ -311,6 +323,8 @@ main(int argc, char **argv)
                  sdpKindName(cfg.sdpKind),
                  static_cast<unsigned long long>(warmup),
                  stats.report().c_str());
+    if (profile.enabled)
+        std::fprintf(report, "\n%s", profile.report().c_str());
 
     if (!json_path.empty() || !csv_path.empty()) {
         driver::JobResult result;
@@ -321,6 +335,7 @@ main(int argc, char **argv)
         result.job.cfg = cfg;
         result.job.insts = insts;
         result.stats = stats;
+        result.profile = profile;
         result.configDigest = driver::configDigest(cfg);
         result.ok = true;
         if (!json_path.empty())
