@@ -2,24 +2,38 @@
  * @file
  * Simulator-speed benchmark: how fast does the simulator itself run?
  *
- * Runs the Figure-12 suite (4 models x 21 proxies) twice — once on the
- * event-driven scheduler with idle-cycle skipping (the default engine)
- * and once on the legacy polled scheduler — and reports simulated
- * cycles per host second for each, plus the event/legacy speedup. The
- * two passes must produce bit-identical SimStats (the engines are
- * timing-equivalent by construction); this harness re-checks that on
- * every run.
+ * Runs the Figure-12 suite (4 models x 21 proxies) three times:
  *
- * The speedup ratio, not the absolute cycles/sec, is the portable
- * number: it divides out the host machine. BENCH_pr2.json records one
+ *  1. trace  — the default engine: each workload's dynamic stream is
+ *     recorded once and replayed by all four models (capture-once /
+ *     replay-many front end);
+ *  2. live   — same engine with trace reuse disabled: every job runs
+ *     the functional emulator itself;
+ *  3. legacy — live front end on the legacy polled scheduler.
+ *
+ * All three passes must produce bit-identical SimStats — the trace
+ * front end and both schedulers are timing-equivalent by construction —
+ * and this harness re-checks that on every run, which is the identity
+ * gate the CI speed-smoke job relies on.
+ *
+ * The speedup ratios, not the absolute cycles/sec, are the portable
+ * numbers: they divide out the host machine. BENCH_pr3.json records one
  * reference measurement; `--check FILE` fails (exit 1) when the current
- * ratio regresses more than 30% against it, which is what the CI
- * speed-smoke job gates on.
+ * trace-vs-live ratio (or, for a v1 reference like BENCH_pr2.json, the
+ * event-vs-legacy ratio) regresses more than 30% against it.
  *
- * Usage: micro_speed [--json FILE] [--check FILE]
+ * `--baseline FILE` additionally compares this run's trace pass against
+ * an earlier recording of the same suite on the same host (e.g.
+ * BENCH_pr2.json's event pass) and embeds the comparison in the JSON:
+ * same simulated cycles on both sides, so the pipeline-seconds ratio is
+ * the wall-clock speedup of the whole sweep.
+ *
+ * Usage: micro_speed [--json FILE] [--check FILE] [--baseline FILE]
  * Instruction budget: DMDP_SCALE (default 200000).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,12 +54,13 @@ struct PassResult
 {
     std::vector<driver::JobResult> results;
     uint64_t cycles = 0;        ///< simulated cycles, summed over jobs
+    double sweepSeconds = 0;    ///< end-to-end sweep wall time
     double pipeSeconds = 0;     ///< pipeline-only wall time, summed
-    double cyclesPerSec = 0;
+    double cyclesPerSec = 0;    ///< cycles / sweepSeconds
 };
 
 PassResult
-runPass(bool legacy, uint64_t insts)
+runPass(bool traceReuse, bool legacy, uint64_t insts)
 {
     auto jobs = driver::crossProduct(
         {LsuModel::Baseline, LsuModel::NoSQ, LsuModel::DMDP,
@@ -58,8 +73,15 @@ runPass(bool legacy, uint64_t insts)
         }(),
         insts, [legacy](SimConfig &cfg) { cfg.legacyScheduler = legacy; });
 
+    driver::SweepRunner runner;
+    runner.setTraceReuse(traceReuse);
+
     PassResult pass;
-    pass.results = driver::SweepRunner().run(jobs);
+    auto t0 = std::chrono::steady_clock::now();
+    pass.results = runner.run(jobs);
+    pass.sweepSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
     for (const auto &r : pass.results) {
         if (!r.ok) {
             std::fprintf(stderr, "job %s failed: %s\n", r.job.id.c_str(),
@@ -70,15 +92,16 @@ runPass(bool legacy, uint64_t insts)
         pass.pipeSeconds += r.profile.wallSeconds;
     }
     pass.cyclesPerSec =
-        pass.pipeSeconds > 0
-            ? static_cast<double>(pass.cycles) / pass.pipeSeconds
+        pass.sweepSeconds > 0
+            ? static_cast<double>(pass.cycles) / pass.sweepSeconds
             : 0.0;
     return pass;
 }
 
 /** Bit-exact SimStats comparison over the authoritative field list. */
 bool
-statsIdentical(const PassResult &a, const PassResult &b)
+statsIdentical(const PassResult &a, const PassResult &b,
+               const char *aName, const char *bName)
 {
     bool same = true;
     for (size_t i = 0; i < a.results.size(); ++i) {
@@ -87,15 +110,38 @@ statsIdentical(const PassResult &a, const PassResult &b)
         for (size_t f = 0; f < fa.size(); ++f) {
             if (fa[f].second != fb[f].second) {
                 std::fprintf(stderr,
-                             "STAT MISMATCH %s %s: event=%.17g legacy=%.17g\n",
+                             "STAT MISMATCH %s %s: %s=%.17g %s=%.17g\n",
                              a.results[i].job.id.c_str(),
-                             fa[f].first.c_str(), fa[f].second,
-                             fb[f].second);
+                             fa[f].first.c_str(), aName, fa[f].second,
+                             bName, fb[f].second);
                 same = false;
             }
         }
     }
     return same;
+}
+
+driver::Json
+passJson(const PassResult &pass)
+{
+    driver::Json obj = driver::Json::object();
+    obj.set("sweep_seconds", pass.sweepSeconds);
+    obj.set("pipeline_seconds", pass.pipeSeconds);
+    obj.set("sim_cycles_per_sec", pass.cyclesPerSec);
+    return obj;
+}
+
+driver::Json
+loadJson(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return driver::Json::parse(text.str());
 }
 
 } // namespace
@@ -105,13 +151,14 @@ main(int argc, char **argv)
 {
     std::string json_path;
     std::string check_path;
+    std::string baseline_path;
+    const char *usage_str =
+        "usage: %s [--json FILE] [--check FILE] [--baseline FILE]\n";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
             if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "usage: %s [--json FILE] [--check FILE]\n",
-                             argv[0]);
+                std::fprintf(stderr, usage_str, argv[0]);
                 std::exit(2);
             }
             return argv[++i];
@@ -120,9 +167,10 @@ main(int argc, char **argv)
             json_path = next();
         else if (arg == "--check")
             check_path = next();
+        else if (arg == "--baseline")
+            baseline_path = next();
         else {
-            std::fprintf(stderr, "usage: %s [--json FILE] [--check FILE]\n",
-                         argv[0]);
+            std::fprintf(stderr, usage_str, argv[0]);
             return 2;
         }
     }
@@ -131,70 +179,112 @@ main(int argc, char **argv)
     std::fprintf(stderr, "micro_speed: fig12 suite, %llu insts/job\n",
                  static_cast<unsigned long long>(insts));
 
-    std::fprintf(stderr, "pass 1/2: event-driven scheduler\n");
-    PassResult event = runPass(/*legacy=*/false, insts);
-    std::fprintf(stderr, "pass 2/2: legacy polled scheduler\n");
-    PassResult legacy = runPass(/*legacy=*/true, insts);
+    // Untimed warmup so the first measured pass doesn't absorb one-time
+    // process costs (binary paging, allocator growth, first-touch
+    // faults) — those would bias the pass-vs-pass ratios.
+    std::fprintf(stderr, "warmup pass (untimed)\n");
+    runPass(/*traceReuse=*/true, /*legacy=*/false,
+            std::max<uint64_t>(insts / 10, 1000));
 
-    if (!statsIdentical(event, legacy)) {
+    std::fprintf(stderr, "pass 1/3: trace replay (capture-once front end)\n");
+    PassResult trace = runPass(/*traceReuse=*/true, /*legacy=*/false, insts);
+    std::fprintf(stderr, "pass 2/3: live emulation front end\n");
+    PassResult live = runPass(/*traceReuse=*/false, /*legacy=*/false, insts);
+    std::fprintf(stderr, "pass 3/3: live front end, legacy scheduler\n");
+    PassResult legacy = runPass(/*traceReuse=*/false, /*legacy=*/true, insts);
+
+    bool identical =
+        statsIdentical(trace, live, "trace", "live") &&
+        statsIdentical(live, legacy, "live", "legacy");
+    if (!identical) {
         std::fprintf(stderr,
-                     "FAIL: schedulers disagree on simulated statistics\n");
+                     "FAIL: front ends disagree on simulated statistics\n");
         return 1;
     }
 
-    double speedup = legacy.cyclesPerSec > 0
-                         ? event.cyclesPerSec / legacy.cyclesPerSec
-                         : 0.0;
-    std::printf("jobs:            %zu\n", event.results.size());
+    double traceVsLive = live.sweepSeconds > 0 && trace.sweepSeconds > 0
+                             ? live.sweepSeconds / trace.sweepSeconds
+                             : 0.0;
+    double eventVsLegacy = legacy.pipeSeconds > 0 && live.pipeSeconds > 0
+                               ? (static_cast<double>(live.cycles) /
+                                  live.pipeSeconds) /
+                                     (static_cast<double>(legacy.cycles) /
+                                      legacy.pipeSeconds)
+                               : 0.0;
+    std::printf("jobs:            %zu\n", trace.results.size());
     std::printf("cycles per pass: %llu\n",
-                static_cast<unsigned long long>(event.cycles));
-    std::printf("event:  %.3fs pipeline wall, %.3g cycles/s\n",
-                event.pipeSeconds, event.cyclesPerSec);
-    std::printf("legacy: %.3fs pipeline wall, %.3g cycles/s\n",
-                legacy.pipeSeconds, legacy.cyclesPerSec);
-    std::printf("speedup (event/legacy): %.2fx\n", speedup);
+                static_cast<unsigned long long>(trace.cycles));
+    std::printf("trace:  %.3fs sweep wall, %.3g cycles/s\n",
+                trace.sweepSeconds, trace.cyclesPerSec);
+    std::printf("live:   %.3fs sweep wall, %.3g cycles/s\n",
+                live.sweepSeconds, live.cyclesPerSec);
+    std::printf("legacy: %.3fs sweep wall, %.3g cycles/s\n",
+                legacy.sweepSeconds, legacy.cyclesPerSec);
+    std::printf("speedup (trace/live front end):  %.2fx\n", traceVsLive);
+    std::printf("speedup (event/legacy scheduler): %.2fx\n", eventVsLegacy);
+
+    // Same-host, same-suite comparison against an earlier recording:
+    // identical simulated cycles, so pipeline seconds compare directly.
+    double baselineSeconds = 0.0;
+    double baselineSpeedup = 0.0;
+    if (!baseline_path.empty()) {
+        driver::Json ref = loadJson(baseline_path);
+        bool refV2 = ref.at("schema").asString() == "dmdp-microspeed-v2";
+        baselineSeconds = ref.at(refV2 ? "trace" : "event")
+                              .at("pipeline_seconds")
+                              .asNumber();
+        baselineSpeedup = trace.pipeSeconds > 0
+                              ? baselineSeconds / trace.pipeSeconds
+                              : 0.0;
+        std::printf("baseline %s: %.3fs pipeline wall; this run %.3fs "
+                    "-> %.2fx\n",
+                    baseline_path.c_str(), baselineSeconds,
+                    trace.pipeSeconds, baselineSpeedup);
+    }
 
     if (!json_path.empty()) {
         driver::Json doc = driver::Json::object();
-        doc.set("schema", "dmdp-microspeed-v1");
+        doc.set("schema", "dmdp-microspeed-v2");
         doc.set("suite", "fig12");
         doc.set("insts", driver::Json(static_cast<double>(insts)));
         doc.set("jobs",
-                driver::Json(static_cast<double>(event.results.size())));
+                driver::Json(static_cast<double>(trace.results.size())));
         doc.set("cycles_per_pass",
-                driver::Json(static_cast<double>(event.cycles)));
-        driver::Json ev = driver::Json::object();
-        ev.set("pipeline_seconds", event.pipeSeconds);
-        ev.set("sim_cycles_per_sec", event.cyclesPerSec);
-        doc.set("event", std::move(ev));
-        driver::Json lg = driver::Json::object();
-        lg.set("pipeline_seconds", legacy.pipeSeconds);
-        lg.set("sim_cycles_per_sec", legacy.cyclesPerSec);
-        doc.set("legacy", std::move(lg));
-        doc.set("speedup", speedup);
+                driver::Json(static_cast<double>(trace.cycles)));
+        doc.set("trace", passJson(trace));
+        doc.set("live", passJson(live));
+        doc.set("legacy", passJson(legacy));
+        doc.set("stats_identical", driver::Json(true));
+        doc.set("speedup_trace_vs_live", traceVsLive);
+        doc.set("speedup_event_vs_legacy", eventVsLegacy);
+        // Headline portable ratio, kept under the v1 key so tooling
+        // that reads "speedup" keeps working.
+        doc.set("speedup", traceVsLive);
+        if (!baseline_path.empty()) {
+            driver::Json base = driver::Json::object();
+            base.set("file", baseline_path);
+            base.set("pipeline_seconds", baselineSeconds);
+            base.set("speedup_vs_baseline", baselineSpeedup);
+            doc.set("baseline", base);
+        }
         driver::writeTextFile(json_path, doc.dump(2) + "\n");
     }
 
     if (!check_path.empty()) {
-        std::ifstream in(check_path);
-        if (!in) {
-            std::fprintf(stderr, "cannot open %s\n", check_path.c_str());
-            return 1;
-        }
-        std::ostringstream text;
-        text << in.rdbuf();
-        driver::Json ref = driver::Json::parse(text.str());
+        driver::Json ref = loadJson(check_path);
+        bool v2 = ref.at("schema").asString() == "dmdp-microspeed-v2";
         double ref_speedup = ref.at("speedup").asNumber();
+        double current = v2 ? traceVsLive : eventVsLegacy;
         // The ratio divides out the host machine; 30% is the CI
         // regression budget on top of run-to-run noise.
         double floor = 0.7 * ref_speedup;
-        std::printf("check: reference speedup %.2fx, floor %.2fx\n",
-                    ref_speedup, floor);
-        if (speedup < floor) {
+        std::printf("check: reference %s speedup %.2fx, floor %.2fx\n",
+                    v2 ? "trace/live" : "event/legacy", ref_speedup, floor);
+        if (current < floor) {
             std::fprintf(stderr,
                          "FAIL: speedup %.2fx below floor %.2fx "
                          "(>30%% regression vs %s)\n",
-                         speedup, floor, check_path.c_str());
+                         current, floor, check_path.c_str());
             return 1;
         }
         std::printf("check: OK\n");

@@ -7,17 +7,26 @@
  * hardware latency.
  */
 
+#include <array>
+#include <unordered_map>
+
 #include <benchmark/benchmark.h>
 
 #include "common/config.h"
 #include "common/rng.h"
 #include "core/regfile.h"
+#include "func/memimg.h"
+#include "func/oracle.h"
+#include "func/writertable.h"
 #include "isa/assembler.h"
 #include "mem/cache.h"
 #include "pred/sdp.h"
 #include "pred/ssbf.h"
 #include "pred/storeset.h"
 #include "sim/simulator.h"
+#include "trace/tracecursor.h"
+#include "trace/tracerecorder.h"
+#include "workloads/spec_proxies.h"
 
 using namespace dmdp;
 
@@ -91,6 +100,128 @@ BM_CacheAccess(benchmark::State &state)
             cache.access(static_cast<uint32_t>(rng.below(1 << 22)), false));
 }
 BENCHMARK(BM_CacheAccess);
+
+namespace {
+
+/** Store-then-load mix over a hot working set, like a proxy's heap. */
+template <typename Touch, typename Find>
+void
+writerMix(Rng &rng, uint64_t &ssn, const Touch &touch, const Find &find)
+{
+    uint32_t addr = static_cast<uint32_t>(rng.below(1 << 16)) * 4;
+    uint64_t *w = touch(addr);
+    w[0] = w[1] = w[2] = w[3] = ++ssn;
+    const uint64_t *r = find(addr ^ 4);
+    if (r) {
+        uint64_t youngest = 0;
+        for (int i = 0; i < 4; ++i)
+            youngest = std::max(youngest, r[i]);
+        benchmark::DoNotOptimize(youngest);
+    }
+}
+
+} // namespace
+
+static void
+BM_ByteWriterMap(benchmark::State &state)
+{
+    // The oracle's pre-PR3 byte-writer structure: word-keyed hash map.
+    std::unordered_map<uint32_t, std::array<uint64_t, 4>> map;
+    Rng rng(5);
+    uint64_t ssn = 0;
+    for (auto _ : state)
+        writerMix(
+            rng, ssn, [&](uint32_t a) { return map[a / 4].data(); },
+            [&](uint32_t a) -> const uint64_t * {
+                auto it = map.find(a / 4);
+                return it == map.end() ? nullptr : it->second.data();
+            });
+}
+BENCHMARK(BM_ByteWriterMap);
+
+static void
+BM_WriterTablePaged(benchmark::State &state)
+{
+    // Its replacement: paged flat per-byte SSN array with an MRU slot.
+    WriterTable table;
+    Rng rng(5);
+    uint64_t ssn = 0;
+    for (auto _ : state)
+        writerMix(
+            rng, ssn, [&](uint32_t a) { return table.touch(a); },
+            [&](uint32_t a) { return table.find(a); });
+}
+BENCHMARK(BM_WriterTablePaged);
+
+static void
+BM_MemImgSequential(benchmark::State &state)
+{
+    // Streaming access pattern: the MRU page cache turns the per-access
+    // hash probe into a compare.
+    MemImg mem;
+    uint32_t addr = 0x100000;
+    for (auto _ : state) {
+        mem.write32(addr, addr);
+        benchmark::DoNotOptimize(mem.read32(addr));
+        addr = 0x100000 + ((addr + 4) & 0xffff);
+    }
+}
+BENCHMARK(BM_MemImgSequential);
+
+static void
+BM_TraceRecord(benchmark::State &state)
+{
+    // Capture cost: functional emulation plus encoding, per recording.
+    Program prog = buildProxy("perl", 20000);
+    for (auto _ : state) {
+        trace::TraceRecorder rec(prog);
+        benchmark::DoNotOptimize(rec.record(1u << 22).count());
+    }
+}
+BENCHMARK(BM_TraceRecord)->Unit(benchmark::kMillisecond);
+
+static void
+BM_TraceReplayDecode(benchmark::State &state)
+{
+    // Replay cost: decoding the stream back, the work each sweep job
+    // pays instead of re-running the emulator.
+    Program prog = buildProxy("perl", 20000);
+    trace::TraceRecorder rec(prog);
+    const trace::TraceBuffer &buf = rec.record(1u << 22);
+    for (auto _ : state) {
+        trace::TraceCursor cur(buf);
+        uint64_t sum = 0, n = 0;
+        while (!cur.atEnd()) {
+            sum += cur.fetch().pc;
+            if (++n % 64 == 0)
+                cur.retireUpTo(n - 32);
+        }
+        benchmark::DoNotOptimize(sum);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<int64_t>(n));
+    }
+}
+BENCHMARK(BM_TraceReplayDecode)->Unit(benchmark::kMillisecond);
+
+static void
+BM_OracleLiveStream(benchmark::State &state)
+{
+    // The live alternative to BM_TraceReplayDecode: emulate + annotate.
+    Program prog = buildProxy("perl", 20000);
+    for (auto _ : state) {
+        OracleStream live(prog);
+        uint64_t sum = 0, n = 0;
+        while (!live.atEnd()) {
+            sum += live.fetch().pc;
+            if (++n % 64 == 0)
+                live.retireUpTo(n - 32);
+        }
+        benchmark::DoNotOptimize(sum);
+        state.SetItemsProcessed(state.items_processed() +
+                                static_cast<int64_t>(n));
+    }
+}
+BENCHMARK(BM_OracleLiveStream)->Unit(benchmark::kMillisecond);
 
 static void
 BM_PipelineSimSpeed(benchmark::State &state)

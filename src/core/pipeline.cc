@@ -44,8 +44,20 @@ timedStage(bool profiling, double &acc, F &&f)
 } // namespace
 
 Pipeline::Pipeline(const SimConfig &config, const Program &prog)
+    : Pipeline(config, prog, nullptr)
+{}
+
+Pipeline::Pipeline(const SimConfig &config, const Program &prog,
+                   FetchStream &externalStream)
+    : Pipeline(config, prog, &externalStream)
+{}
+
+Pipeline::Pipeline(const SimConfig &config, const Program &prog,
+                   FetchStream *externalStream)
     : cfg(config),
-      stream(prog),
+      ownedStream(externalStream ? nullptr
+                                 : std::make_unique<OracleStream>(prog)),
+      stream(externalStream ? *externalStream : *ownedStream),
       mem(config),
       rf(config.numPhysRegs),
       bp(config),
@@ -54,7 +66,10 @@ Pipeline::Pipeline(const SimConfig &config, const Program &prog)
       sdpTage(config),
       ssbf(config),
       tlb(config),
-      storeSet(config.storeSetSsitSize, config.storeSetLfstSize)
+      storeSet(config.storeSetSsitSize, config.storeSetLfstSize),
+      decodeQueue(kDecodeQueueCap),
+      rob(static_cast<size_t>(config.robSize) * CrackedSeq::kMaxUops +
+          CrackedSeq::kMaxUops)
 {
     committedMem.load(prog);
     sb.onCommit = [this](const SbEntry &entry) {
@@ -239,7 +254,8 @@ Pipeline::stageFetch()
             }
         }
 
-        DynInst dyn = stream.fetch();
+        const DynInst &dyn = peeked;
+        stream.advance();
         ++fetched;
         ++stats.fetchedInsts;
         uint32_t history = bp.history();
@@ -259,7 +275,10 @@ Pipeline::stageFetch()
             }
         }
 
-        decodeQueue.push_back({dyn, now + cfg.frontEndDepth, history});
+        FetchedInst &fi = decodeQueue.emplace_back();
+        fi.dyn = dyn;
+        fi.readyCycle = now + cfg.frontEndDepth;
+        fi.history = history;
 
         if (dyn.inst.op == Op::HALT) {
             fetchedHalt = true;
@@ -288,7 +307,7 @@ Pipeline::classifyLoad(const DynInst &dyn, uint32_t history)
 
     // Forward-progress fallback: a load that already raised one
     // dependence exception re-executes with a safe classification.
-    if (exceptionSeqs.count(dyn.seq)) {
+    if (!exceptionSeqs.empty() && exceptionSeqs.count(dyn.seq)) {
         if (dyn.lastWriterSsn != 0 && dyn.lastWriterSsn > ssn_commit &&
             srb.find(dyn.lastWriterSsn)) {
             plan.cls = LoadClass::Delayed;
@@ -782,16 +801,22 @@ Pipeline::dispatchDelayed(Uop *u)
         enqueueReady(delayedReady, u);
         return;
     }
-    delayedBySsn[u->predictedSsn].push_back(u);
+    DelayedWaiter w{u->predictedSsn, u};
+    delayedBySsn.insert(
+        std::upper_bound(delayedBySsn.begin(), delayedBySsn.end(), w,
+                         [](const DelayedWaiter &a, const DelayedWaiter &b) {
+                             return a.ssn > b.ssn;
+                         }),
+        w);
 }
 
 void
 Pipeline::releaseDelayedUpTo(uint64_t ssn)
 {
-    while (!delayedBySsn.empty() && delayedBySsn.begin()->first <= ssn) {
-        for (Uop *u : delayedBySsn.begin()->second)
-            enqueueReady(delayedReady, u);
-        delayedBySsn.erase(delayedBySsn.begin());
+    // Descending sort order: everything released pops from the back.
+    while (!delayedBySsn.empty() && delayedBySsn.back().ssn <= ssn) {
+        enqueueReady(delayedReady, delayedBySsn.back().u);
+        delayedBySsn.pop_back();
     }
 }
 

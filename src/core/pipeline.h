@@ -16,7 +16,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -32,6 +31,7 @@
 #include "core/srb.h"
 #include "core/storebuffer.h"
 #include "core/uop.h"
+#include "core/uopring.h"
 #include "func/oracle.h"
 #include "mem/hierarchy.h"
 #include "mem/tlb.h"
@@ -48,6 +48,16 @@ class Pipeline
 {
   public:
     Pipeline(const SimConfig &cfg, const Program &prog);
+
+    /**
+     * Run against an external FetchStream (e.g. a trace::TraceCursor
+     * replaying a pre-recorded TraceBuffer) instead of a live emulator.
+     * The stream must outlive the pipeline. @p prog still provides the
+     * initial committed memory image.
+     */
+    Pipeline(const SimConfig &cfg, const Program &prog,
+             FetchStream &externalStream);
+
     ~Pipeline();
 
     /** Run to completion (HALT retired or maxInsts) and return stats. */
@@ -81,6 +91,10 @@ class Pipeline
     const SimProfile &profile() const { return profile_; }
 
   private:
+    /** Common ctor: null @p externalStream means own a live oracle. */
+    Pipeline(const SimConfig &cfg, const Program &prog,
+             FetchStream *externalStream);
+
     // ---- Per-stage logic. ----
     void doCycle();
     void stageFetch();
@@ -156,7 +170,8 @@ class Pipeline
 
     // ---- Configuration and substrate. ----
     SimConfig cfg;
-    OracleStream stream;
+    std::unique_ptr<OracleStream> ownedStream;  ///< null in replay mode
+    FetchStream &stream;
     MemImg committedMem;
     Hierarchy mem;
     RegFile rf;
@@ -183,8 +198,8 @@ class Pipeline
     };
 
     uint64_t now = 0;
-    std::deque<FetchedInst> decodeQueue;
-    std::deque<Uop> rob;
+    UopRing<FetchedInst> decodeQueue;   ///< sized kDecodeQueueCap
+    UopRing<Uop> rob;           ///< sized robSize x kMaxUops in the ctor
     uint32_t robInsts = 0;      ///< ROB occupancy in instructions
     std::vector<Uop *> iq;              ///< legacy polled issue queue
     std::vector<Uop *> delayedLoads;    ///< legacy NoSQ low-conf loads
@@ -194,9 +209,18 @@ class Pipeline
     // per-register waiter lists (held by the RegFile) and an age-ordered
     // queue of register-ready uops; delayed loads wait in an SSN index
     // until the predicted store commits.
+    /** A delayed load waiting for its predicted store's SSN to commit.
+     * Kept sorted descending by ssn so releases pop from the back;
+     * order among equal SSNs is irrelevant (enqueueReady age-sorts). */
+    struct DelayedWaiter
+    {
+        uint64_t ssn;
+        Uop *u;
+    };
+
     std::vector<Uop *> readyQ;          ///< register-ready, age order
     std::vector<Uop *> delayedReady;    ///< released delayed loads
-    std::map<uint64_t, std::vector<Uop *>> delayedBySsn;
+    std::vector<DelayedWaiter> delayedBySsn;    ///< sorted desc by ssn
     std::vector<Uop *> wakeScratch;     ///< reused wake buffer
     uint32_t iqCount = 0;               ///< event-mode IQ occupancy
     uint64_t nextUopAge = 0;

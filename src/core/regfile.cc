@@ -56,52 +56,10 @@ RegFile::redefineShared(unsigned lreg, int preg)
 }
 
 void
-RegFile::addConsumer(int preg)
-{
-    if (preg < 0)
-        return;
-    assert(!regs[preg].free);
-    ++regs[preg].consumers;
-}
-
-void
-RegFile::consumerDone(int preg)
-{
-    if (preg < 0)
-        return;
-    PhysReg &reg = regs[preg];
-    assert(reg.consumers > 0);
-    --reg.consumers;
-    maybeFree(preg);
-}
-
-void
-RegFile::virtualRelease(int preg)
-{
-    if (preg < 0)
-        return;
-    PhysReg &reg = regs[preg];
-    assert(reg.producers > 0);
-    --reg.producers;
-    maybeFree(preg);
-}
-
-void
 RegFile::retireMapping(unsigned lreg, int preg)
 {
     assert(lreg != 0 && lreg < kNumLogicalRegs);
     retireRat[lreg] = preg;
-}
-
-void
-RegFile::maybeFree(int preg)
-{
-    PhysReg &reg = regs[preg];
-    if (!reg.free && reg.producers == 0 && reg.consumers == 0) {
-        reg.free = true;
-        reg.readyCycle = 0;
-        freeList.push_back(preg);
-    }
 }
 
 void

@@ -24,6 +24,7 @@
 #define DMDP_CORE_REGFILE_H
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -61,16 +62,41 @@ class RegFile
     void redefineShared(unsigned lreg, int preg);
 
     /** Record a renamed source operand (consumer count up). */
-    void addConsumer(int preg);
+    void
+    addConsumer(int preg)
+    {
+        if (preg < 0)
+            return;
+        assert(!regs[preg].free);
+        ++regs[preg].consumers;
+    }
 
     /** The consuming operation has read @p preg (consumer count down). */
-    void consumerDone(int preg);
+    void
+    consumerDone(int preg)
+    {
+        if (preg < 0)
+            return;
+        PhysReg &reg = regs[preg];
+        assert(reg.consumers > 0);
+        --reg.consumers;
+        maybeFree(preg);
+    }
 
     /**
      * A retiring instruction virtually releases the previous definition
      * of its destination logical register (producer count down).
      */
-    void virtualRelease(int preg);
+    void
+    virtualRelease(int preg)
+    {
+        if (preg < 0)
+            return;
+        PhysReg &reg = regs[preg];
+        assert(reg.producers > 0);
+        --reg.producers;
+        maybeFree(preg);
+    }
 
     // ---- Retire-state maintenance / recovery ----
 
@@ -157,7 +183,16 @@ class RegFile
         std::vector<Uop *> waiters;
     };
 
-    void maybeFree(int preg);
+    void
+    maybeFree(int preg)
+    {
+        PhysReg &reg = regs[preg];
+        if (!reg.free && reg.producers == 0 && reg.consumers == 0) {
+            reg.free = true;
+            reg.readyCycle = 0;
+            freeList.push_back(preg);
+        }
+    }
 
     std::vector<PhysReg> regs;
     std::vector<int> freeList;

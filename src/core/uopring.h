@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring of in-flight micro-ops (the ROB storage).
+ *
+ * The reorder buffer admits at most robSize *instructions*, each
+ * cracked into at most CrackedSeq::kMaxUops micro-ops, so its uop
+ * population is bounded at configuration time. A std::deque<Uop> pays a
+ * heap allocation every push once sizeof(Uop) exceeds the deque chunk
+ * size (one node per element at 288 bytes) — measurably the hottest
+ * allocation site in the whole simulator. This ring allocates once and
+ * never moves an element, which also preserves the pointer stability
+ * the scheduler relies on: the issue queue, ready queues, wakeup lists
+ * and store register buffer all hold Uop* into this storage.
+ *
+ * Requires a trivially copyable element type (enforced below): slots
+ * are recycled by assignment, not destruction.
+ */
+
+#ifndef DMDP_CORE_UOPRING_H
+#define DMDP_CORE_UOPRING_H
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+namespace dmdp {
+
+template <typename T>
+class UopRing
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "slots are recycled by assignment");
+
+  public:
+    /** @param capacity max live elements; rounded up to a power of 2. */
+    explicit UopRing(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        buf_ = std::make_unique<T[]>(cap);
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    /** Append a fresh default-initialized element; address is stable. */
+    T &
+    emplace_back()
+    {
+        assert(count_ <= mask_ && "UopRing capacity exceeded");
+        T &slot = buf_[(head_ + count_) & mask_];
+        slot = T{};
+        ++count_;
+        return slot;
+    }
+
+    T &front() { assert(count_); return buf_[head_]; }
+    const T &front() const { assert(count_); return buf_[head_]; }
+    T &back() { assert(count_); return buf_[(head_ + count_ - 1) & mask_]; }
+
+    void
+    pop_front()
+    {
+        assert(count_);
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    /** Forward iterator over occupied slots, oldest first. */
+    class const_iterator
+    {
+      public:
+        const_iterator(const UopRing *r, std::size_t i) : r_(r), i_(i) {}
+        const T &operator*() const
+        {
+            return r_->buf_[(r_->head_ + i_) & r_->mask_];
+        }
+        const_iterator &operator++() { ++i_; return *this; }
+        bool operator!=(const const_iterator &o) const { return i_ != o.i_; }
+
+      private:
+        const UopRing *r_;
+        std::size_t i_;
+    };
+
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, count_); }
+
+  private:
+    std::unique_ptr<T[]> buf_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_UOPRING_H

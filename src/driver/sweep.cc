@@ -1,13 +1,17 @@
 #include "driver/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 #include "sim/simulator.h"
+#include "trace/tracerecorder.h"
 #include "workloads/spec_proxies.h"
 
 namespace dmdp::driver {
@@ -97,8 +101,34 @@ defaultJobCount()
 }
 
 SweepRunner::SweepRunner(unsigned jobs)
-    : threads_(jobs ? jobs : defaultJobCount())
+    : threads_(jobs ? jobs : defaultJobCount()),
+      traceReuse_(std::getenv("DMDP_NO_TRACE_REUSE") == nullptr)
 {}
+
+namespace {
+
+/**
+ * Shared state for one (proxy, insts) workload: the built program and
+ * its recorded trace. The first worker that needs them builds/records
+ * under the mutex; everyone else replays the sealed, immutable buffer
+ * read-only against the same read-only program image.
+ */
+struct TraceSlot
+{
+    std::mutex m;
+    uint64_t recordCap = 0;
+    std::shared_ptr<const Program> prog;
+    std::shared_ptr<const trace::TraceBuffer> trace;
+    bool failed = false;    ///< recording threw: fall back to live
+};
+
+std::string
+workloadKey(const SweepJob &job)
+{
+    return job.proxy + '\0' + std::to_string(job.insts);
+}
+
+} // namespace
 
 std::vector<JobResult>
 SweepRunner::run(const std::vector<SweepJob> &jobs,
@@ -108,6 +138,35 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
     std::atomic<size_t> nextJob{0};
     std::atomic<size_t> nDone{0};
     std::mutex progressMutex;
+
+    // One slot per workload shared by >1 jobs. Single-use workloads run
+    // live: recording is the same emulation work plus encoding, so a
+    // trace only pays for itself on the second use. The record cap must
+    // cover the deepest fetch-ahead of any sharing config, hence the
+    // max ROB size per group.
+    std::unordered_map<std::string, std::unique_ptr<TraceSlot>> slots;
+    if (traceReuse_) {
+        struct Uses
+        {
+            size_t n = 0;
+            uint32_t maxRob = 0;
+            uint64_t insts = 0;
+        };
+        std::unordered_map<std::string, Uses> uses;
+        for (const SweepJob &job : jobs) {
+            Uses &u = uses[workloadKey(job)];
+            ++u.n;
+            u.maxRob = std::max(u.maxRob, job.cfg.robSize);
+            u.insts = job.insts;
+        }
+        for (const auto &[key, u] : uses) {
+            if (u.n < 2)
+                continue;
+            auto slot = std::make_unique<TraceSlot>();
+            slot->recordCap = proxyRecordCap(u.insts, u.maxRob);
+            slots.emplace(key, std::move(slot));
+        }
+    }
 
     auto worker = [&]() {
         for (;;) {
@@ -120,10 +179,42 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
             // before digesting so the digest covers the run as executed.
             r.job.cfg.maxInsts = jobs[i].insts;
             r.configDigest = configDigest(r.job.cfg);
+
+            TraceSlot *slot = nullptr;
+            if (!slots.empty()) {
+                auto it = slots.find(workloadKey(jobs[i]));
+                if (it != slots.end())
+                    slot = it->second.get();
+            }
+
             auto t0 = std::chrono::steady_clock::now();
+            std::shared_ptr<const Program> pg;
+            std::shared_ptr<const trace::TraceBuffer> tr;
+            if (slot) {
+                std::lock_guard<std::mutex> lock(slot->m);
+                if (!slot->trace && !slot->failed) {
+                    try {
+                        slot->prog = std::make_shared<const Program>(
+                            buildProxy(jobs[i].proxy, jobs[i].insts));
+                        trace::TraceRecorder rec(*slot->prog);
+                        rec.record(slot->recordCap);
+                        slot->trace =
+                            std::make_shared<const trace::TraceBuffer>(
+                                rec.takeBuffer());
+                    } catch (...) {
+                        slot->failed = true;
+                    }
+                }
+                pg = slot->prog;
+                tr = slot->trace;
+            }
             try {
-                r.stats = simulateProxy(jobs[i].proxy, jobs[i].cfg,
-                                        jobs[i].insts, &r.profile);
+                // r.job.cfg.maxInsts was pinned above, so the shared-
+                // program path runs exactly what simulateProxy would.
+                r.stats = tr ? Simulator::replay(r.job.cfg, *pg, *tr,
+                                                 &r.profile)
+                             : simulateProxy(jobs[i].proxy, jobs[i].cfg,
+                                             jobs[i].insts, &r.profile);
                 r.ok = true;
             } catch (const std::exception &e) {
                 r.error = e.what();

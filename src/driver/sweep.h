@@ -77,6 +77,23 @@ class SweepRunner
     unsigned threadCount() const { return threads_; }
 
     /**
+     * Capture-once / replay-many front end (default on; the
+     * DMDP_NO_TRACE_REUSE environment variable or --no-trace-reuse
+     * flips the default off). When several jobs share a (proxy, insts)
+     * workload — the common case: every figure sweeps all models over
+     * the same proxies — the dynamic instruction stream is recorded
+     * once into an immutable trace::TraceBuffer and replayed read-only
+     * by every job, instead of re-running the functional emulator per
+     * job. Stats are bit-identical either way; single-use workloads
+     * always run live. If recording itself fails (the recorder runs
+     * ahead of the retire budget, so it can reach instructions a live
+     * run never would), the affected jobs silently fall back to live
+     * emulation; replay errors are reported as job failures.
+     */
+    void setTraceReuse(bool on) { traceReuse_ = on; }
+    bool traceReuse() const { return traceReuse_; }
+
+    /**
      * Run every job and return results in the same order. The progress
      * callback (optional) is serialized under a mutex.
      */
@@ -85,6 +102,7 @@ class SweepRunner
 
   private:
     unsigned threads_;
+    bool traceReuse_;
 };
 
 /**

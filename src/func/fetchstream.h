@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The fetch-stream contract between the timing model and the functional
+ * front end: a replayable committed-order stream of DynInst records
+ * with squash rewind and retire-point discard. Implemented by the live
+ * OracleStream (emulator-backed) and by trace::TraceCursor (replay of a
+ * pre-recorded TraceBuffer); the pipeline is indifferent to which.
+ */
+
+#ifndef DMDP_FUNC_FETCHSTREAM_H
+#define DMDP_FUNC_FETCHSTREAM_H
+
+#include <cstdint>
+
+#include "func/emulator.h"
+
+namespace dmdp {
+
+/**
+ * Replayable committed-order dynamic instruction stream.
+ *
+ * The timing model fetches through a cursor; on a squash it rewinds the
+ * cursor to the squash point and re-fetches the same DynInst records
+ * (wrong-path work is modeled as fetch bubbles, see DESIGN.md). Records
+ * older than the retire point may be discarded to bound memory.
+ */
+class FetchStream
+{
+  public:
+    virtual ~FetchStream() = default;
+
+    /** True when every generated instruction has been fetched and the
+     * program has halted. */
+    virtual bool atEnd() = 0;
+
+    /** The next instruction to fetch (generates lazily). */
+    virtual const DynInst &peek() = 0;
+
+    /** Fetch the next instruction and advance the cursor. */
+    virtual DynInst fetch() = 0;
+
+    /**
+     * Advance the cursor past the record last returned by peek();
+     * equivalent to discarding fetch()'s result without the copy.
+     * Precondition: !atEnd().
+     */
+    virtual void advance() { fetch(); }
+
+    /** Rewind the fetch cursor to @p seq (squash recovery). */
+    virtual void rewindTo(uint64_t seq) = 0;
+
+    /** Allow records with seq < @p seq to be discarded. */
+    virtual void retireUpTo(uint64_t seq) = 0;
+
+    virtual uint64_t cursor() const = 0;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_FUNC_FETCHSTREAM_H

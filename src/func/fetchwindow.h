@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Replayable fetch window: the seq-indexed ring of in-flight DynInst
+ * records shared by the live OracleStream and the trace::TraceCursor.
+ *
+ * The window spans [base, frontier): records the timing model has
+ * fetched (or decoded ahead) but not yet retired, kept so a squash can
+ * rewind and re-fetch them. Its population is bounded by the pipeline's
+ * fetch-ahead depth (ROB instructions + decode queue), so a power-of-2
+ * ring with O(1) append/lookup/retire replaces the deque both streams
+ * used to pay per-element allocations and indexing arithmetic on —
+ * peek() and fetch() run once per fetched instruction per job, making
+ * this one of the hottest paths in a sweep. The ring doubles on the
+ * rare config whose fetch-ahead exceeds the initial capacity.
+ */
+
+#ifndef DMDP_FUNC_FETCHWINDOW_H
+#define DMDP_FUNC_FETCHWINDOW_H
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "func/emulator.h"
+
+namespace dmdp {
+
+class FetchWindow
+{
+    static_assert(std::is_trivially_copyable_v<DynInst>,
+                  "slots are recycled by assignment");
+
+  public:
+    FetchWindow() : slots_(kInitialCapacity) {}
+
+    uint64_t base() const { return base_; }
+    uint64_t frontier() const { return base_ + count_; }
+    bool empty() const { return count_ == 0; }
+
+    bool
+    contains(uint64_t seq) const
+    {
+        return seq >= base_ && seq - base_ < count_;
+    }
+
+    /** Record at @p seq; must satisfy contains(seq). */
+    const DynInst &
+    operator[](uint64_t seq) const
+    {
+        return slots_[(head_ + (seq - base_)) & (slots_.size() - 1)];
+    }
+
+    /** Append a fresh default-initialized slot at the frontier. */
+    DynInst &
+    append()
+    {
+        if (count_ == slots_.size())
+            grow();
+        DynInst &slot = slots_[(head_ + count_) & (slots_.size() - 1)];
+        slot = DynInst{};
+        ++count_;
+        return slot;
+    }
+
+    /** Discard every record with seq < @p seq (clamped to the window). */
+    void
+    retireTo(uint64_t seq)
+    {
+        if (seq <= base_)
+            return;
+        uint64_t n = std::min(seq - base_, count_);
+        head_ = (head_ + n) & (slots_.size() - 1);
+        base_ += n;
+        count_ -= n;
+    }
+
+  private:
+    /** Covers a 512-entry ROB plus the decode queue without growing. */
+    static constexpr size_t kInitialCapacity = 1024;
+
+    void
+    grow()
+    {
+        std::vector<DynInst> bigger(slots_.size() * 2);
+        for (uint64_t i = 0; i < count_; ++i)
+            bigger[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+        slots_.swap(bigger);
+        head_ = 0;
+    }
+
+    std::vector<DynInst> slots_;
+    uint64_t head_ = 0;     ///< slot index of the record at base_
+    uint64_t base_ = 0;     ///< seq of the oldest retained record
+    uint64_t count_ = 0;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_FUNC_FETCHWINDOW_H

@@ -16,16 +16,28 @@ MemImg::load(const Program &prog)
 const MemImg::Page *
 MemImg::findPage(uint32_t addr) const
 {
-    auto it = pages.find(addr / kPageBytes);
-    return it == pages.end() ? nullptr : &it->second;
+    uint32_t idx = addr / kPageBytes;
+    if (idx == mruIdx)
+        return mruPage;
+    auto it = pages.find(idx);
+    if (it == pages.end())
+        return nullptr;
+    mruIdx = idx;
+    mruPage = const_cast<Page *>(&it->second);
+    return mruPage;
 }
 
 MemImg::Page &
 MemImg::touchPage(uint32_t addr)
 {
-    auto [it, inserted] = pages.try_emplace(addr / kPageBytes);
+    uint32_t idx = addr / kPageBytes;
+    if (idx == mruIdx)
+        return *mruPage;
+    auto [it, inserted] = pages.try_emplace(idx);
     if (inserted)
         it->second.fill(0);
+    mruIdx = idx;
+    mruPage = &it->second;
     return it->second;
 }
 
@@ -39,6 +51,14 @@ MemImg::read8(uint32_t addr) const
 uint16_t
 MemImg::read16(uint32_t addr) const
 {
+    if (addr % kPageBytes <= kPageBytes - 2) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        const uint8_t *p = page->data() + addr % kPageBytes;
+        return static_cast<uint16_t>(p[0] |
+                                     (static_cast<uint16_t>(p[1]) << 8));
+    }
     return static_cast<uint16_t>(read8(addr) |
                                  (static_cast<uint16_t>(read8(addr + 1)) << 8));
 }
@@ -46,6 +66,16 @@ MemImg::read16(uint32_t addr) const
 uint32_t
 MemImg::read32(uint32_t addr) const
 {
+    if (addr % kPageBytes <= kPageBytes - 4) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        const uint8_t *p = page->data() + addr % kPageBytes;
+        return static_cast<uint32_t>(p[0]) |
+               (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16) |
+               (static_cast<uint32_t>(p[3]) << 24);
+    }
     return static_cast<uint32_t>(read16(addr)) |
            (static_cast<uint32_t>(read16(addr + 2)) << 16);
 }
@@ -59,6 +89,12 @@ MemImg::write8(uint32_t addr, uint8_t value)
 void
 MemImg::write16(uint32_t addr, uint16_t value)
 {
+    if (addr % kPageBytes <= kPageBytes - 2) {
+        uint8_t *p = touchPage(addr).data() + addr % kPageBytes;
+        p[0] = static_cast<uint8_t>(value);
+        p[1] = static_cast<uint8_t>(value >> 8);
+        return;
+    }
     write8(addr, static_cast<uint8_t>(value));
     write8(addr + 1, static_cast<uint8_t>(value >> 8));
 }
@@ -66,6 +102,14 @@ MemImg::write16(uint32_t addr, uint16_t value)
 void
 MemImg::write32(uint32_t addr, uint32_t value)
 {
+    if (addr % kPageBytes <= kPageBytes - 4) {
+        uint8_t *p = touchPage(addr).data() + addr % kPageBytes;
+        p[0] = static_cast<uint8_t>(value);
+        p[1] = static_cast<uint8_t>(value >> 8);
+        p[2] = static_cast<uint8_t>(value >> 16);
+        p[3] = static_cast<uint8_t>(value >> 24);
+        return;
+    }
     write16(addr, static_cast<uint16_t>(value));
     write16(addr + 2, static_cast<uint16_t>(value >> 16));
 }

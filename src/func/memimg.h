@@ -24,6 +24,26 @@ class MemImg
 
     MemImg() = default;
 
+    // The MRU pointer references this object's own page map, so copies
+    // and moves must not inherit it (a copied cache would alias the
+    // source's pages).
+    MemImg(const MemImg &other) : pages(other.pages) {}
+    MemImg(MemImg &&other) noexcept : pages(std::move(other.pages)) {}
+    MemImg &
+    operator=(const MemImg &other)
+    {
+        pages = other.pages;
+        invalidateMru();
+        return *this;
+    }
+    MemImg &
+    operator=(MemImg &&other) noexcept
+    {
+        pages = std::move(other.pages);
+        invalidateMru();
+        return *this;
+    }
+
     /** Copy a program's chunks into memory. */
     void load(const Program &prog);
 
@@ -48,7 +68,21 @@ class MemImg
     const Page *findPage(uint32_t addr) const;
     Page &touchPage(uint32_t addr);
 
+    void
+    invalidateMru()
+    {
+        mruIdx = ~0u;
+        mruPage = nullptr;
+    }
+
     std::unordered_map<uint32_t, Page> pages;
+
+    // One-entry MRU page cache: sequential access (instruction fetch,
+    // data runs) resolves the page with a compare instead of a hash
+    // probe. Element pointers into unordered_map are stable across
+    // insertions, so only copies/moves invalidate it.
+    mutable uint32_t mruIdx = ~0u;
+    mutable Page *mruPage = nullptr;
 };
 
 } // namespace dmdp

@@ -3,8 +3,6 @@
 #include <cassert>
 #include <stdexcept>
 
-#include "common/bitutil.h"
-
 namespace dmdp {
 
 OracleStream::OracleStream(const Program &prog)
@@ -15,83 +13,28 @@ void
 OracleStream::generateNext()
 {
     assert(!emu.halted());
-    DynInst dyn = emu.step();
-
-    if (dyn.isStore()) {
-        dyn.storesBefore = storeCount;
-        dyn.ssn = ++storeCount;
-        auto &writers = byteWriter[wordAddr(dyn.effAddr)];
-        unsigned offset = dyn.effAddr & 3u;
-        for (unsigned i = 0; i < dyn.inst.memSize(); ++i)
-            writers[offset + i] = dyn.ssn;
-    } else if (dyn.isLoad()) {
-        dyn.storesBefore = storeCount;
-        auto it = byteWriter.find(wordAddr(dyn.effAddr));
-        if (it != byteWriter.end()) {
-            unsigned offset = dyn.effAddr & 3u;
-            uint64_t youngest = 0;
-            bool multi = false;
-            uint64_t first = it->second[offset];
-            for (unsigned i = 0; i < dyn.inst.memSize(); ++i) {
-                uint64_t w = it->second[offset + i];
-                youngest = std::max(youngest, w);
-                if (w != first)
-                    multi = true;
-            }
-            dyn.lastWriterSsn = youngest;
-            dyn.multiWriter = multi;
-            // Full coverage: the youngest writer wrote every byte read.
-            bool covered = youngest != 0;
-            for (unsigned i = 0; covered && i < dyn.inst.memSize(); ++i)
-                covered = it->second[offset + i] == youngest;
-            dyn.fullCoverage = covered;
-        }
-    } else {
-        dyn.storesBefore = storeCount;
-    }
-
-    buffer.push_back(dyn);
+    DynInst &dyn = window.append();
+    dyn = emu.step();
+    dep.annotate(dyn);
 }
 
 const DynInst &
 OracleStream::at(uint64_t seq)
 {
-    if (seq < bufferBase)
+    if (seq < window.base())
         throw std::runtime_error("oracle record already discarded");
-    while (bufferBase + buffer.size() <= seq) {
+    while (window.frontier() <= seq) {
         if (emu.halted())
             throw std::runtime_error("oracle fetched past program end");
         generateNext();
     }
-    return buffer[seq - bufferBase];
-}
-
-bool
-OracleStream::atEnd()
-{
-    if (cursor_ < bufferBase + buffer.size())
-        return false;
-    return emu.halted();
-}
-
-const DynInst &
-OracleStream::peek()
-{
-    return at(cursor_);
-}
-
-DynInst
-OracleStream::fetch()
-{
-    DynInst dyn = at(cursor_);
-    ++cursor_;
-    return dyn;
+    return window[seq];
 }
 
 void
 OracleStream::rewindTo(uint64_t seq)
 {
-    if (seq < bufferBase)
+    if (seq < window.base())
         throw std::runtime_error("rewind below retire point");
     assert(seq <= cursor_);
     cursor_ = seq;
@@ -100,10 +43,9 @@ OracleStream::rewindTo(uint64_t seq)
 void
 OracleStream::retireUpTo(uint64_t seq)
 {
-    while (bufferBase < seq && !buffer.empty() && bufferBase < cursor_) {
-        buffer.pop_front();
-        ++bufferBase;
-    }
+    // Records at and above the cursor stay replayable regardless of the
+    // retire point (a fetched-ahead region a squash may rewind into).
+    window.retireTo(std::min(seq, cursor_));
 }
 
 } // namespace dmdp

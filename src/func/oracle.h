@@ -9,45 +9,61 @@
 #ifndef DMDP_FUNC_ORACLE_H
 #define DMDP_FUNC_ORACLE_H
 
-#include <array>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 
 #include "func/emulator.h"
+#include "func/fetchstream.h"
+#include "func/fetchwindow.h"
+#include "func/writertable.h"
 
 namespace dmdp {
 
 /**
- * Replayable committed-order dynamic instruction stream.
- *
- * The timing model fetches through a cursor; on a squash it rewinds the
- * cursor to the squash point and re-fetches the same DynInst records
- * (wrong-path work is modeled as fetch bubbles, see DESIGN.md). Records
- * older than the retire point may be discarded to bound memory.
+ * The live (emulator-backed) FetchStream: generates annotated DynInst
+ * records lazily by stepping the functional emulator. See
+ * trace::TraceCursor for the capture-once/replay-many alternative.
  */
-class OracleStream
+class OracleStream : public FetchStream
 {
   public:
     explicit OracleStream(const Program &prog);
 
-    /** True when every generated instruction has been fetched and the
-     * program has halted. */
-    bool atEnd();
+    bool
+    atEnd() override
+    {
+        return cursor_ >= window.frontier() && emu.halted();
+    }
 
-    /** The next instruction to fetch (generates lazily). */
-    const DynInst &peek();
+    const DynInst &
+    peek() override
+    {
+        if (window.contains(cursor_))
+            return window[cursor_];
+        return at(cursor_);
+    }
 
-    /** Fetch the next instruction and advance the cursor. */
-    DynInst fetch();
+    DynInst
+    fetch() override
+    {
+        if (window.contains(cursor_))
+            return window[cursor_++];
+        const DynInst &dyn = at(cursor_);
+        ++cursor_;
+        return dyn;
+    }
 
-    /** Rewind the fetch cursor to @p seq (squash recovery). */
-    void rewindTo(uint64_t seq);
+    void
+    advance() override
+    {
+        if (!window.contains(cursor_))
+            at(cursor_);    // generate (or fault) exactly like fetch()
+        ++cursor_;
+    }
 
-    /** Allow records with seq < @p seq to be discarded. */
-    void retireUpTo(uint64_t seq);
+    void rewindTo(uint64_t seq) override;
+    void retireUpTo(uint64_t seq) override;
 
-    uint64_t cursor() const { return cursor_; }
+    uint64_t cursor() const override { return cursor_; }
 
     const Emulator &emulator() const { return emu; }
 
@@ -59,13 +75,11 @@ class OracleStream
     const DynInst &at(uint64_t seq);
 
     Emulator emu;
-    std::deque<DynInst> buffer;
-    uint64_t bufferBase = 0;    ///< seq of buffer.front()
+    FetchWindow window;
     uint64_t cursor_ = 0;
-    uint64_t storeCount = 0;
 
-    /** word address -> SSN of the last store writing each byte. */
-    std::unordered_map<uint32_t, std::array<uint64_t, 4>> byteWriter;
+    /** Per-byte last-writer tracking (shared with the trace recorder). */
+    DepAnnotator dep;
 };
 
 } // namespace dmdp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Per-byte last-writer tracking for the oracle's true memory dependence
+ * annotations, plus the annotator shared by the live oracle stream and
+ * the trace recorder.
+ *
+ * WriterTable replaces the old word-keyed
+ * `std::unordered_map<uint32_t, std::array<uint64_t, 4>>` with a paged
+ * flat array mirroring MemImg's 4 KiB pages: one 8-byte SSN slot per
+ * memory byte, a hash probe only on a page change (and usually not even
+ * then, thanks to a one-entry MRU cache). Aligned accesses never cross
+ * a page, so every load/store annotation touches one contiguous run.
+ */
+
+#ifndef DMDP_FUNC_WRITERTABLE_H
+#define DMDP_FUNC_WRITERTABLE_H
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "func/emulator.h"
+#include "func/memimg.h"
+
+namespace dmdp {
+
+/** Sparse per-byte SSN-of-last-writer table. Unwritten bytes read 0. */
+class WriterTable
+{
+  public:
+    static constexpr uint32_t kPageBytes = MemImg::kPageBytes;
+
+    WriterTable() = default;
+    WriterTable(const WriterTable &) = delete;
+    WriterTable &operator=(const WriterTable &) = delete;
+
+    /** Slots for @p size bytes at @p addr, creating the page. */
+    uint64_t *
+    touch(uint32_t addr)
+    {
+        return page(addr, true) + addr % kPageBytes;
+    }
+
+    /** Slots at @p addr, or nullptr if the page was never written. */
+    const uint64_t *
+    find(uint32_t addr) const
+    {
+        uint64_t *p = const_cast<WriterTable *>(this)->page(addr, false);
+        return p ? p + addr % kPageBytes : nullptr;
+    }
+
+    size_t mappedPages() const { return pages.size(); }
+
+  private:
+    using Page = std::array<uint64_t, kPageBytes>;
+
+    uint64_t *
+    page(uint32_t addr, bool create)
+    {
+        uint32_t idx = addr / kPageBytes;
+        if (idx == mruIdx)
+            return mruPage;
+        auto it = pages.find(idx);
+        if (it == pages.end()) {
+            if (!create)
+                return nullptr;
+            it = pages.emplace(idx, std::make_unique<Page>()).first;
+            it->second->fill(0);
+        }
+        mruIdx = idx;
+        mruPage = it->second->data();
+        return mruPage;
+    }
+
+    // 32 KiB pages would bloat unordered_map nodes; keep them out of
+    // line so rehashing moves pointers, not pages.
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
+    uint32_t mruIdx = ~0u;
+    uint64_t *mruPage = nullptr;
+};
+
+/**
+ * Annotates a freshly emulated DynInst with the oracle's true memory
+ * dependence information: store sequence numbers, the youngest older
+ * writer of each load's bytes, coverage and multi-writer splicing.
+ * One instance per functional execution, fed in committed order.
+ */
+class DepAnnotator
+{
+  public:
+    void
+    annotate(DynInst &dyn)
+    {
+        dyn.storesBefore = storeCount;
+        if (dyn.isStore()) {
+            dyn.ssn = ++storeCount;
+            uint64_t *writers = table.touch(dyn.effAddr);
+            for (unsigned i = 0; i < dyn.inst.memSize(); ++i)
+                writers[i] = dyn.ssn;
+        } else if (dyn.isLoad()) {
+            const uint64_t *writers = table.find(dyn.effAddr);
+            if (!writers)
+                return;
+            uint64_t youngest = 0;
+            bool multi = false;
+            uint64_t first = writers[0];
+            for (unsigned i = 0; i < dyn.inst.memSize(); ++i) {
+                uint64_t w = writers[i];
+                youngest = std::max(youngest, w);
+                if (w != first)
+                    multi = true;
+            }
+            dyn.lastWriterSsn = youngest;
+            dyn.multiWriter = multi;
+            // Full coverage: the youngest writer wrote every byte read.
+            bool covered = youngest != 0;
+            for (unsigned i = 0; covered && i < dyn.inst.memSize(); ++i)
+                covered = writers[i] == youngest;
+            dyn.fullCoverage = covered;
+        }
+    }
+
+    uint64_t stores() const { return storeCount; }
+
+  private:
+    WriterTable table;
+    uint64_t storeCount = 0;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_FUNC_WRITERTABLE_H

@@ -4,6 +4,8 @@
 
 #include "core/pipeline.h"
 #include "isa/assembler.h"
+#include "trace/tracecursor.h"
+#include "trace/tracerecorder.h"
 #include "workloads/spec_proxies.h"
 
 namespace dmdp {
@@ -13,6 +15,18 @@ Simulator::run(const SimConfig &cfg, const Program &prog,
                SimProfile *profile)
 {
     Pipeline pipeline(cfg, prog);
+    SimStats stats = pipeline.run();
+    if (profile)
+        *profile = pipeline.profile();
+    return stats;
+}
+
+SimStats
+Simulator::replay(const SimConfig &cfg, const Program &prog,
+                  const trace::TraceBuffer &trace, SimProfile *profile)
+{
+    trace::TraceCursor cursor(trace);
+    Pipeline pipeline(cfg, prog, cursor);
     SimStats stats = pipeline.run();
     if (profile)
         *profile = pipeline.profile();
@@ -32,6 +46,24 @@ simulateProxy(const std::string &name, SimConfig cfg, uint64_t insts,
     Program prog = buildProxy(name, insts);
     cfg.maxInsts = insts;
     return Simulator::run(cfg, prog, profile);
+}
+
+trace::TraceBuffer
+recordProxyTrace(const std::string &name, uint64_t insts,
+                 uint64_t maxRecords)
+{
+    trace::TraceRecorder rec(buildProxy(name, insts));
+    rec.record(maxRecords);
+    return rec.takeBuffer();
+}
+
+SimStats
+replayProxy(const std::string &name, SimConfig cfg, uint64_t insts,
+            const trace::TraceBuffer &trace, SimProfile *profile)
+{
+    Program prog = buildProxy(name, insts);
+    cfg.maxInsts = insts;
+    return Simulator::replay(cfg, prog, trace, profile);
 }
 
 uint64_t

@@ -14,6 +14,7 @@
 #include "core/simprofile.h"
 #include "core/simstats.h"
 #include "isa/program.h"
+#include "trace/tracebuffer.h"
 
 namespace dmdp {
 
@@ -31,6 +32,18 @@ class Simulator
                         SimProfile *profile = nullptr);
 
     /**
+     * Simulate @p prog under @p cfg replaying a pre-recorded dynamic
+     * instruction trace instead of running the emulator live. Stats are
+     * bit-identical to run() on the same program as long as @p trace
+     * was recorded from it with a sufficient record cap (see
+     * trace::TraceRecorder::record). @p prog still supplies the initial
+     * committed memory image.
+     */
+    static SimStats replay(const SimConfig &cfg, const Program &prog,
+                           const trace::TraceBuffer &trace,
+                           SimProfile *profile = nullptr);
+
+    /**
      * Assemble @p source and simulate it; convenience for examples and
      * tests that write small programs inline.
      */
@@ -43,6 +56,35 @@ class Simulator
  */
 SimStats simulateProxy(const std::string &name, SimConfig cfg,
                        uint64_t insts, SimProfile *profile = nullptr);
+
+/**
+ * Record a proxy benchmark's dynamic stream once for replay under any
+ * number of configurations. @p maxRecords must cover the deepest
+ * fetch-ahead any replaying config reaches: at least
+ * insts + robSize + decode-queue depth (see proxyRecordCap).
+ */
+trace::TraceBuffer recordProxyTrace(const std::string &name, uint64_t insts,
+                                    uint64_t maxRecords);
+
+/**
+ * Replay variant of simulateProxy: identical stats, shared trace.
+ * @p trace must come from recordProxyTrace(name, insts, ...).
+ */
+SimStats replayProxy(const std::string &name, SimConfig cfg, uint64_t insts,
+                     const trace::TraceBuffer &trace,
+                     SimProfile *profile = nullptr);
+
+/**
+ * A safe record cap for replaying @p insts under configs whose largest
+ * ROB is @p maxRobSize: the pipeline never fetches more than the ROB
+ * plus the decode queue beyond the retire budget; the extra margin
+ * absorbs fetch-ahead past the last retired instruction.
+ */
+inline uint64_t
+proxyRecordCap(uint64_t insts, uint32_t maxRobSize)
+{
+    return insts + maxRobSize + 1024;
+}
 
 /**
  * Dynamic instruction budget for the benchmark harnesses: the

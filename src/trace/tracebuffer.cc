@@ -1,0 +1,67 @@
+#include "trace/tracebuffer.h"
+
+#include <cassert>
+
+#include "trace/varint.h"
+
+namespace dmdp::trace {
+
+void
+TraceBuffer::append(const DynInst &dyn, uint32_t rawWord)
+{
+    assert(!sealed);
+    assert(dyn.seq == count_);
+    assert(dyn.pc == prevNextPc);
+    assert(dyn.storesBefore == storeCount);
+
+    uint8_t flags = 0;
+    if (dyn.branchTaken)
+        flags |= kFlagTaken;
+    if (dyn.nextPc != dyn.pc + 4)
+        flags |= kFlagIrregularNext;
+    if (dyn.resultValue != 0)
+        flags |= kFlagHasResult;
+    if (dyn.lastWriterSsn != 0)
+        flags |= kFlagHasWriter;
+    if (dyn.fullCoverage)
+        flags |= kFlagFullCoverage;
+    if (dyn.multiWriter)
+        flags |= kFlagMultiWriter;
+    if (dyn.silentStore)
+        flags |= kFlagSilentStore;
+
+    auto [it, inserted] = rawAtPc.try_emplace(dyn.pc, rawWord);
+    bool hasRaw = inserted || it->second != rawWord;
+    if (hasRaw) {
+        flags |= kFlagHasRaw;
+        it->second = rawWord;
+    }
+
+    bytes.push_back(flags);
+    if (hasRaw)
+        putVarint(bytes, rawWord);
+    if (flags & kFlagIrregularNext)
+        putVarint(bytes, zigzag(static_cast<int64_t>(dyn.nextPc) -
+                                (static_cast<int64_t>(dyn.pc) + 4)));
+    if (flags & kFlagHasResult)
+        putVarint(bytes, dyn.resultValue);
+    if (dyn.inst.isMem()) {
+        putVarint(bytes, zigzag(static_cast<int64_t>(dyn.effAddr) -
+                                static_cast<int64_t>(prevEffAddr)));
+        prevEffAddr = dyn.effAddr;
+    }
+    if (dyn.inst.isStore()) {
+        ++storeCount;
+        assert(dyn.ssn == storeCount);
+        putVarint(bytes, dyn.storeValue);
+    }
+    if (flags & kFlagHasWriter) {
+        assert(dyn.inst.isLoad() && dyn.lastWriterSsn <= dyn.storesBefore);
+        putVarint(bytes, dyn.storesBefore - dyn.lastWriterSsn);
+    }
+
+    prevNextPc = dyn.nextPc;
+    ++count_;
+}
+
+} // namespace dmdp::trace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Compact append-only encoding of a committed dynamic instruction
+ * stream. One workload is recorded once (TraceRecorder) and replayed
+ * many times (TraceCursor) across sweep configurations — the stream is
+ * config-independent, so every machine model sees identical records.
+ *
+ * Record format (one per dynamic instruction, in committed order):
+ *
+ *   flags      1 byte, see kFlag* below
+ *   [raw]      varint, the 32-bit instruction word; present only the
+ *              first time a pc executes or when the word at that pc
+ *              changed (self-modifying safe). The decoder keeps the
+ *              same pc-indexed word cache, so presence is derivable.
+ *   [nextPc]   zigzag varint of (nextPc - (pc+4)); present only when
+ *              the fall-through rule does not hold (kIrregularNext).
+ *   [result]   varint resultValue; present when nonzero (kHasResult).
+ *   [effAddr]  zigzag varint delta from the previous memory op's
+ *              effAddr; present for loads/stores (derived from raw).
+ *   [storeVal] varint; present for stores.
+ *   [writerD]  varint (storesBefore - lastWriterSsn); present for
+ *              loads with a writer (kHasWriter).
+ *
+ * Everything else is derived during decode: seq (running counter), pc
+ * (previous record's nextPc, seeded with the program entry), inst
+ * (decode of the cached raw word), ssn/storesBefore (running store
+ * counter), branch/coverage bits (flags). A sealed buffer is immutable
+ * and safe to share read-only across threads.
+ */
+
+#ifndef DMDP_TRACE_TRACEBUFFER_H
+#define DMDP_TRACE_TRACEBUFFER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "func/emulator.h"
+
+namespace dmdp::trace {
+
+constexpr uint8_t kFlagTaken = 0x01;
+constexpr uint8_t kFlagIrregularNext = 0x02;
+constexpr uint8_t kFlagHasResult = 0x04;
+constexpr uint8_t kFlagHasWriter = 0x08;
+constexpr uint8_t kFlagFullCoverage = 0x10;
+constexpr uint8_t kFlagMultiWriter = 0x20;
+constexpr uint8_t kFlagSilentStore = 0x40;
+constexpr uint8_t kFlagHasRaw = 0x80;
+
+/** Encoded dynamic instruction stream. Immutable once sealed. */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(uint32_t entryPc)
+        : entryPc_(entryPc), prevNextPc(entryPc)
+    {}
+
+    /**
+     * Append one committed, oracle-annotated instruction. @p rawWord is
+     * the machine word fetched from @p dyn.pc before execution. Records
+     * must arrive in committed order (seq, store numbering contiguous).
+     */
+    void append(const DynInst &dyn, uint32_t rawWord);
+
+    /** Finish recording. @p reachedHalt: the program ran to its HALT. */
+    void
+    seal(bool reachedHalt)
+    {
+        halted_ = reachedHalt;
+        sealed = true;
+        bytes.shrink_to_fit();
+    }
+
+    uint32_t entryPc() const { return entryPc_; }
+    uint64_t count() const { return count_; }
+    bool halted() const { return halted_; }
+    size_t sizeBytes() const { return bytes.size(); }
+
+    const uint8_t *data() const { return bytes.data(); }
+
+  private:
+    std::vector<uint8_t> bytes;
+    uint32_t entryPc_;
+    uint64_t count_ = 0;
+    bool halted_ = false;
+    bool sealed = false;
+
+    // Encoder state (mirrored deterministically by the decoder).
+    uint32_t prevNextPc;        ///< expected pc of the next record
+    uint32_t prevEffAddr = 0;   ///< last memory op's effective address
+    uint64_t storeCount = 0;
+    std::unordered_map<uint32_t, uint32_t> rawAtPc;
+};
+
+} // namespace dmdp::trace
+
+#endif // DMDP_TRACE_TRACEBUFFER_H

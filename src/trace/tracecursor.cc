@@ -1,0 +1,103 @@
+#include "trace/tracecursor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "isa/encode.h"
+#include "trace/varint.h"
+
+namespace dmdp::trace {
+
+TraceCursor::TraceCursor(const TraceBuffer &buf)
+    : buf(buf), pos(buf.data()), prevNextPc(buf.entryPc())
+{}
+
+void
+TraceCursor::decodeNext()
+{
+    assert(decoded < buf.count());
+
+    DynInst &dyn = window.append();
+    uint8_t flags = *pos++;
+
+    dyn.seq = decoded;
+    dyn.pc = prevNextPc;
+    dyn.branchTaken = flags & kFlagTaken;
+    dyn.fullCoverage = flags & kFlagFullCoverage;
+    dyn.multiWriter = flags & kFlagMultiWriter;
+    dyn.silentStore = flags & kFlagSilentStore;
+
+    size_t slot = dyn.pc >> 2;
+    if (flags & kFlagHasRaw) {
+        uint32_t raw = static_cast<uint32_t>(getVarint(pos));
+        if (slot >= instAtPc.size()) {
+            instAtPc.resize(slot + 1);
+            rawAtPc.resize(slot + 1);
+        }
+        rawAtPc[slot] = raw;
+        instAtPc[slot] = decode(raw);
+    }
+    dyn.inst = instAtPc[slot];
+
+    dyn.nextPc = dyn.pc + 4;
+    if (flags & kFlagIrregularNext)
+        dyn.nextPc = static_cast<uint32_t>(
+            static_cast<int64_t>(dyn.pc) + 4 + unzigzag(getVarint(pos)));
+    if (flags & kFlagHasResult)
+        dyn.resultValue = static_cast<uint32_t>(getVarint(pos));
+
+    dyn.storesBefore = storeCount;
+    if (dyn.inst.isMem()) {
+        dyn.effAddr = static_cast<uint32_t>(
+            static_cast<int64_t>(prevEffAddr) + unzigzag(getVarint(pos)));
+        prevEffAddr = dyn.effAddr;
+    }
+    if (dyn.inst.isStore()) {
+        dyn.ssn = ++storeCount;
+        dyn.storeValue = static_cast<uint32_t>(getVarint(pos));
+    }
+    if (flags & kFlagHasWriter)
+        dyn.lastWriterSsn = dyn.storesBefore - getVarint(pos);
+
+    prevNextPc = dyn.nextPc;
+    ++decoded;
+}
+
+const DynInst &
+TraceCursor::at(uint64_t seq)
+{
+    if (seq < window.base())
+        throw std::runtime_error("oracle record already discarded");
+    while (window.frontier() <= seq) {
+        if (decoded == buf.count()) {
+            if (buf.halted())
+                throw std::runtime_error("oracle fetched past program end");
+            // The recording cap was too small for this config's
+            // fetch-ahead depth; fail hard rather than diverge.
+            throw std::runtime_error(
+                "trace exhausted before program end (record cap too small)");
+        }
+        decodeNext();
+    }
+    return window[seq];
+}
+
+void
+TraceCursor::rewindTo(uint64_t seq)
+{
+    if (seq < window.base())
+        throw std::runtime_error("rewind below retire point");
+    assert(seq <= cursor_);
+    cursor_ = seq;
+}
+
+void
+TraceCursor::retireUpTo(uint64_t seq)
+{
+    // Records at and above the cursor stay replayable regardless of the
+    // retire point (a fetched-ahead region a squash may rewind into).
+    window.retireTo(std::min(seq, cursor_));
+}
+
+} // namespace dmdp::trace

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Replay-side FetchStream over a sealed TraceBuffer. Decodes records
+ * lazily into the same peek/fetch/rewind/retire window contract the
+ * live OracleStream provides, so the pipeline cannot tell the two
+ * apart. The buffer is read-only; any number of cursors (one per sweep
+ * worker) may replay the same trace concurrently.
+ */
+
+#ifndef DMDP_TRACE_TRACECURSOR_H
+#define DMDP_TRACE_TRACECURSOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "func/fetchstream.h"
+#include "func/fetchwindow.h"
+#include "trace/tracebuffer.h"
+
+namespace dmdp::trace {
+
+/** Sequential decoder + replayable fetch window over one TraceBuffer. */
+class TraceCursor : public FetchStream
+{
+  public:
+    explicit TraceCursor(const TraceBuffer &buf);
+
+    bool
+    atEnd() override
+    {
+        if (cursor_ < window.frontier())
+            return false;
+        return decoded == buf.count() && buf.halted();
+    }
+
+    const DynInst &
+    peek() override
+    {
+        if (window.contains(cursor_))
+            return window[cursor_];
+        return at(cursor_);
+    }
+
+    DynInst
+    fetch() override
+    {
+        if (window.contains(cursor_))
+            return window[cursor_++];
+        const DynInst &dyn = at(cursor_);
+        ++cursor_;
+        return dyn;
+    }
+
+    void
+    advance() override
+    {
+        if (!window.contains(cursor_))
+            at(cursor_);    // decode (or fault) exactly like fetch()
+        ++cursor_;
+    }
+
+    void rewindTo(uint64_t seq) override;
+    void retireUpTo(uint64_t seq) override;
+
+    uint64_t cursor() const override { return cursor_; }
+
+  private:
+    /** Decode the next record into the window. */
+    void decodeNext();
+
+    /** Ensure the record at @p seq is in the window. */
+    const DynInst &at(uint64_t seq);
+
+    const TraceBuffer &buf;
+    const uint8_t *pos;         ///< next undecoded byte
+    uint64_t decoded = 0;       ///< #records decoded so far
+
+    // Fetch window: mirrors OracleStream's exactly. rewindTo only moves
+    // the cursor within the already-decoded window, so decoder state
+    // (below) advances strictly monotonically.
+    FetchWindow window;
+    uint64_t cursor_ = 0;
+
+    // Decoder state, mirroring the encoder's.
+    uint32_t prevNextPc;
+    uint32_t prevEffAddr = 0;
+    uint64_t storeCount = 0;
+
+    /** pc-indexed cache of decoded instructions (pc >> 2 slots). The
+     * encoder emits the raw word before a slot's first use, so reads
+     * always hit an initialized slot. */
+    std::vector<Inst> instAtPc;
+    std::vector<uint32_t> rawAtPc;
+};
+
+} // namespace dmdp::trace
+
+#endif // DMDP_TRACE_TRACECURSOR_H

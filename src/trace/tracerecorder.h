@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Records a workload's committed instruction stream into a TraceBuffer
+ * by running the functional emulator once with the same dependence
+ * annotator the live oracle uses. The resulting records are
+ * bit-identical to what OracleStream would hand the pipeline.
+ */
+
+#ifndef DMDP_TRACE_TRACERECORDER_H
+#define DMDP_TRACE_TRACERECORDER_H
+
+#include <cstdint>
+#include <utility>
+
+#include "func/emulator.h"
+#include "func/writertable.h"
+#include "isa/program.h"
+#include "trace/tracebuffer.h"
+
+namespace dmdp::trace {
+
+/** One-shot capture of a program's dynamic stream. */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(const Program &prog)
+        : emu(prog), buf(prog.entry)
+    {}
+
+    /**
+     * Record until the program halts or @p maxRecords instructions are
+     * captured, then seal the buffer. The cap must exceed the deepest
+     * fetch-ahead point any replaying pipeline will reach (budget +
+     * ROB + decode queue); TraceCursor hard-faults on overrun rather
+     * than silently diverging.
+     */
+    const TraceBuffer &
+    record(uint64_t maxRecords)
+    {
+        while (!emu.halted() && buf.count() < maxRecords) {
+            // The raw word must be read before step() so self-modifying
+            // stores to this pc cannot be observed early.
+            uint32_t raw = emu.memory().read32(emu.pc());
+            DynInst dyn = emu.step();
+            dep.annotate(dyn);
+            buf.append(dyn, raw);
+        }
+        buf.seal(emu.halted());
+        return buf;
+    }
+
+    const TraceBuffer &buffer() const { return buf; }
+
+    /** Move the sealed buffer out (the recorder is spent afterwards). */
+    TraceBuffer takeBuffer() { return std::move(buf); }
+
+  private:
+    Emulator emu;
+    DepAnnotator dep;
+    TraceBuffer buf;
+};
+
+/** Convenience: record @p prog for up to @p maxRecords instructions. */
+inline TraceBuffer
+recordTrace(const Program &prog, uint64_t maxRecords)
+{
+    TraceRecorder rec(prog);
+    rec.record(maxRecords);
+    return rec.takeBuffer();
+}
+
+} // namespace dmdp::trace
+
+#endif // DMDP_TRACE_TRACERECORDER_H

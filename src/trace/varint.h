@@ -1,0 +1,57 @@
+/**
+ * @file
+ * LEB128 varint and zigzag helpers for the trace encoding. Small
+ * unsigned values (the common case: store distances, result values,
+ * address deltas after zigzag) take one byte.
+ */
+
+#ifndef DMDP_TRACE_VARINT_H
+#define DMDP_TRACE_VARINT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dmdp::trace {
+
+inline void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/** Decode at @p p, advancing it past the encoded value. */
+inline uint64_t
+getVarint(const uint8_t *&p)
+{
+    uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        uint8_t b = *p++;
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+    }
+}
+
+/** Map signed to unsigned so small magnitudes stay small. */
+inline uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+} // namespace dmdp::trace
+
+#endif // DMDP_TRACE_VARINT_H

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Trace front-end tests: the capture-once/replay-many subsystem must be
+ * invisible to the timing model. Covers the encoding round trip (every
+ * DynInst field class: branches, loads with writers, partial and
+ * multi-writer coverage, silent stores), the fetch-window contract
+ * including rewind-after-squash, the trace-exhaustion guard, and — the
+ * headline invariant — bit-identical SimStats between trace replay and
+ * live emulation across every machine model, plus SweepRunner reuse
+ * on/off equivalence.
+ */
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/results.h"
+#include "driver/sweep.h"
+#include "func/oracle.h"
+#include "isa/assembler.h"
+#include "isa/encode.h"
+#include "sim/simulator.h"
+#include "trace/tracecursor.h"
+#include "trace/tracerecorder.h"
+#include "workloads/spec_proxies.h"
+
+namespace dmdp {
+namespace {
+
+constexpr uint64_t kInsts = 10000;
+
+/** Fetch everything from both streams and require equal records. */
+void
+expectSameStream(FetchStream &live, FetchStream &replay,
+                 uint64_t retireLag = 64)
+{
+    uint64_t n = 0;
+    while (!live.atEnd()) {
+        ASSERT_FALSE(replay.atEnd()) << "replay ended early at seq " << n;
+        DynInst a = live.fetch();
+        DynInst b = replay.fetch();
+        ASSERT_EQ(a.seq, b.seq);
+        EXPECT_EQ(a.pc, b.pc) << "seq " << a.seq;
+        EXPECT_EQ(encode(a.inst), encode(b.inst)) << "seq " << a.seq;
+        EXPECT_EQ(a.resultValue, b.resultValue) << "seq " << a.seq;
+        EXPECT_EQ(a.effAddr, b.effAddr) << "seq " << a.seq;
+        EXPECT_EQ(a.storeValue, b.storeValue) << "seq " << a.seq;
+        EXPECT_EQ(a.branchTaken, b.branchTaken) << "seq " << a.seq;
+        EXPECT_EQ(a.nextPc, b.nextPc) << "seq " << a.seq;
+        EXPECT_EQ(a.ssn, b.ssn) << "seq " << a.seq;
+        EXPECT_EQ(a.storesBefore, b.storesBefore) << "seq " << a.seq;
+        EXPECT_EQ(a.lastWriterSsn, b.lastWriterSsn) << "seq " << a.seq;
+        EXPECT_EQ(a.fullCoverage, b.fullCoverage) << "seq " << a.seq;
+        EXPECT_EQ(a.multiWriter, b.multiWriter) << "seq " << a.seq;
+        EXPECT_EQ(a.silentStore, b.silentStore) << "seq " << a.seq;
+        if (n > retireLag) {
+            live.retireUpTo(n - retireLag);
+            replay.retireUpTo(n - retireLag);
+        }
+        ++n;
+    }
+    EXPECT_TRUE(replay.atEnd());
+}
+
+TEST(TraceRoundTrip, ProxyStreamsDecodeBitIdentical)
+{
+    // Proxies exercise every record class: taken/not-taken branches,
+    // calls (JAL result values), loads with/without writers, partial
+    // loads, silent stores, multi-writer splices.
+    for (const std::string proxy : {"perl", "gcc", "mcf", "lbm"}) {
+        SCOPED_TRACE(proxy);
+        Program prog = buildProxy(proxy, 5000);
+        trace::TraceRecorder rec(prog);
+        const trace::TraceBuffer &buf = rec.record(1u << 20);
+        EXPECT_TRUE(buf.halted());
+        EXPECT_GT(buf.count(), 5000u);
+
+        OracleStream live(prog);
+        trace::TraceCursor replay(buf);
+        expectSameStream(live, replay);
+    }
+}
+
+TEST(TraceRoundTrip, CompactEncoding)
+{
+    Program prog = buildProxy("perl", 20000);
+    trace::TraceRecorder rec(prog);
+    const trace::TraceBuffer &buf = rec.record(1u << 22);
+    // The whole point of the format: a few bytes per instruction, not
+    // sizeof(DynInst) (~80).
+    double bpr = double(buf.sizeBytes()) / double(buf.count());
+    EXPECT_LT(bpr, 8.0) << "bytes/record " << bpr;
+}
+
+TEST(TraceCursorContract, RewindAfterSquashReplaysSameRecords)
+{
+    Program prog = buildProxy("gcc", 2000);
+    trace::TraceRecorder rec(prog);
+    const trace::TraceBuffer &buf = rec.record(1u << 20);
+
+    trace::TraceCursor cur(buf);
+    std::vector<DynInst> first;
+    for (int i = 0; i < 500; ++i)
+        first.push_back(cur.fetch());
+
+    // Squash back to seq 100 and re-fetch: identical records.
+    cur.rewindTo(100);
+    EXPECT_EQ(cur.cursor(), 100u);
+    for (int i = 100; i < 500; ++i) {
+        DynInst again = cur.fetch();
+        EXPECT_EQ(again.seq, first[i].seq);
+        EXPECT_EQ(again.pc, first[i].pc);
+        EXPECT_EQ(again.resultValue, first[i].resultValue);
+        EXPECT_EQ(again.nextPc, first[i].nextPc);
+        EXPECT_EQ(again.lastWriterSsn, first[i].lastWriterSsn);
+    }
+
+    // Retire discards; rewinding below the retire point must throw the
+    // same error the live oracle throws.
+    cur.retireUpTo(400);
+    EXPECT_THROW(cur.rewindTo(300), std::runtime_error);
+}
+
+TEST(TraceCursorContract, PeekDoesNotAdvance)
+{
+    Program prog = buildProxy("mcf", 1000);
+    trace::TraceRecorder rec(prog);
+    trace::TraceCursor cur(rec.record(1u << 20));
+    DynInst p1 = cur.peek();
+    DynInst p2 = cur.peek();
+    EXPECT_EQ(p1.seq, p2.seq);
+    EXPECT_EQ(cur.cursor(), 0u);
+    DynInst f = cur.fetch();
+    EXPECT_EQ(f.seq, p1.seq);
+    EXPECT_EQ(cur.cursor(), 1u);
+}
+
+TEST(TraceCursorContract, ExhaustedCapThrowsDistinctError)
+{
+    Program prog = buildProxy("perl", 5000);
+    trace::TraceRecorder rec(prog);
+    const trace::TraceBuffer &buf = rec.record(100);    // deliberately short
+    ASSERT_FALSE(buf.halted());
+    ASSERT_EQ(buf.count(), 100u);
+
+    trace::TraceCursor cur(buf);
+    for (int i = 0; i < 100; ++i)
+        cur.fetch();
+    EXPECT_FALSE(cur.atEnd());    // not halted: the program goes on
+    try {
+        cur.fetch();
+        FAIL() << "expected trace-exhausted error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("trace exhausted"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceCursorContract, HaltedTraceEndsLikeLiveOracle)
+{
+    Program prog = assemble(R"(
+    li $1, 0x100000
+    li $2, 7
+    sw $2, 0($1)
+    lw $3, 0($1)
+    halt
+    )");
+    trace::TraceRecorder rec(prog);
+    const trace::TraceBuffer &buf = rec.record(1u << 10);
+    EXPECT_TRUE(buf.halted());
+    EXPECT_GE(buf.count(), 5u);
+
+    OracleStream live(prog);
+    trace::TraceCursor replay(buf);
+    expectSameStream(live, replay);
+    EXPECT_THROW(replay.fetch(), std::runtime_error);
+}
+
+/** Expect bit-exact equality over every emitted statistic. */
+void
+expectIdentical(const SimStats &a, const SimStats &b)
+{
+    auto fa = driver::statFields(a);
+    auto fb = driver::statFields(b);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (size_t i = 0; i < fa.size(); ++i) {
+        EXPECT_EQ(fa[i].second, fb[i].second)
+            << "statistic " << fa[i].first << " differs";
+    }
+}
+
+class TraceReplayEquiv : public ::testing::TestWithParam<LsuModel>
+{};
+
+TEST_P(TraceReplayEquiv, BitIdenticalStatsAcrossProxies)
+{
+    SimConfig cfg = SimConfig::forModel(GetParam());
+    for (const std::string proxy : {"perl", "mcf", "milc", "sphinx3"}) {
+        SCOPED_TRACE(proxy);
+        trace::TraceBuffer buf = recordProxyTrace(
+            proxy, kInsts, proxyRecordCap(kInsts, cfg.robSize));
+        SimStats live = simulateProxy(proxy, cfg, kInsts);
+        SimStats replay = replayProxy(proxy, cfg, kInsts, buf);
+        expectIdentical(live, replay);
+    }
+}
+
+TEST_P(TraceReplayEquiv, OneTraceServesManyConfigs)
+{
+    // The capture-once use case: one recording, several machine
+    // geometries replaying it — each identical to its own live run.
+    SimConfig base = SimConfig::forModel(GetParam());
+    trace::TraceBuffer buf =
+        recordProxyTrace("gcc", kInsts, proxyRecordCap(kInsts, 512));
+    for (uint32_t rob : {64u, 256u, 512u}) {
+        SCOPED_TRACE(rob);
+        SimConfig cfg = base;
+        cfg.robSize = rob;
+        expectIdentical(simulateProxy("gcc", cfg, kInsts),
+                        replayProxy("gcc", cfg, kInsts, buf));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, TraceReplayEquiv,
+    ::testing::Values(LsuModel::Baseline, LsuModel::NoSQ, LsuModel::DMDP,
+                      LsuModel::Perfect),
+    [](const ::testing::TestParamInfo<LsuModel> &info) {
+        return std::string(lsuModelName(info.param));
+    });
+
+TEST(SweepTraceReuse, FullSweepBitIdenticalToLive)
+{
+    // The sweep-level invariant behind BENCH_pr3: recording each
+    // workload once and sharing it across the model cross product
+    // changes no statistic anywhere.
+    auto jobs = driver::crossProduct(
+        {LsuModel::Baseline, LsuModel::NoSQ, LsuModel::DMDP,
+         LsuModel::Perfect},
+        {"perl", "gcc", "lbm"}, 5000);
+
+    driver::SweepRunner reuse(2);
+    driver::SweepRunner fresh(2);
+    reuse.setTraceReuse(true);
+    fresh.setTraceReuse(false);
+    auto a = reuse.run(jobs);
+    auto b = fresh.run(jobs);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].job.id);
+        ASSERT_TRUE(a[i].ok) << a[i].error;
+        ASSERT_TRUE(b[i].ok) << b[i].error;
+        expectIdentical(a[i].stats, b[i].stats);
+        EXPECT_EQ(a[i].configDigest, b[i].configDigest);
+    }
+}
+
+} // namespace
+} // namespace dmdp

@@ -24,6 +24,9 @@
  *     --legacy-sched  polled issue-queue scan (timing-identical)
  *     --no-idle-skip  step every cycle even when provably idle
  *     --sweep         run models x proxies on the thread pool (DMDP_JOBS)
+ *     --no-trace-reuse  re-emulate every sweep job instead of recording
+ *                     each workload once and replaying the trace
+ *                     (stat-identical; also: DMDP_NO_TRACE_REUSE)
  *     --models LIST   comma-separated models for --sweep    (default all)
  *     --proxies LIST  comma-separated proxies for --sweep   (default all)
  *     --json FILE     write run results as JSON ("-" for stdout)
@@ -64,7 +67,8 @@ usage(const char *argv0)
                  "          [--prf N] [--rmo] [--tage] [--balanced]\n"
                  "          [--no-silent-aware] [--inval-rate R]\n"
                  "          [--legacy-sched] [--no-idle-skip]\n"
-                 "          [--sweep] [--models LIST] [--proxies LIST]\n"
+                 "          [--sweep] [--no-trace-reuse]\n"
+                 "          [--models LIST] [--proxies LIST]\n"
                  "          [--json FILE] [--csv FILE] [--list]\n",
                  argv0);
     std::exit(2);
@@ -158,7 +162,7 @@ emit(const std::string &path, const std::string &text)
 int
 runSweep(const std::vector<std::string> &modelNames,
          const std::vector<std::string> &proxyNames, uint64_t insts,
-         uint64_t warmup, const Overrides &overrides,
+         uint64_t warmup, const Overrides &overrides, bool traceReuse,
          const std::string &jsonPath, const std::string &csvPath)
 {
     std::vector<LsuModel> models;
@@ -172,8 +176,12 @@ runSweep(const std::vector<std::string> &modelNames,
         });
 
     driver::SweepRunner runner;
-    std::fprintf(stderr, "sweep: %zu jobs on %u threads (DMDP_JOBS)\n",
-                 jobs.size(), runner.threadCount());
+    if (!traceReuse)
+        runner.setTraceReuse(false);
+    std::fprintf(stderr,
+                 "sweep: %zu jobs on %u threads (DMDP_JOBS)%s\n",
+                 jobs.size(), runner.threadCount(),
+                 runner.traceReuse() ? ", trace reuse" : "");
     auto results = runner.run(
         jobs, [](const driver::JobResult &r, size_t done, size_t total) {
             std::fprintf(stderr, "  [%zu/%zu] %s ipc=%.3f (%.2fs)%s%s\n",
@@ -221,6 +229,7 @@ main(int argc, char **argv)
     std::string models_list;
     std::string proxies_list;
     bool sweep = false;
+    bool traceReuse = true;
     uint64_t insts = 200000;
     uint64_t warmup = 0;
     Overrides overrides;
@@ -254,6 +263,7 @@ main(int argc, char **argv)
         else if (arg == "--legacy-sched") overrides.legacySched = true;
         else if (arg == "--no-idle-skip") overrides.noIdleSkip = true;
         else if (arg == "--sweep") sweep = true;
+        else if (arg == "--no-trace-reuse") traceReuse = false;
         else if (arg == "--models") models_list = next();
         else if (arg == "--proxies") proxies_list = next();
         else if (arg == "--json") json_path = next();
@@ -286,7 +296,7 @@ main(int argc, char **argv)
             proxies = splitList(proxies_list);
         }
         return runSweep(models, proxies, insts, warmup, overrides,
-                        json_path, csv_path);
+                        traceReuse, json_path, csv_path);
     }
 
     // Single run: start from the model's paper defaults, then apply the
