@@ -109,6 +109,30 @@ class StatGroup
             throw std::logic_error("duplicate average stat: " + name);
     }
 
+    // Lookups of unregistered names throw with the offending name in
+    // the message: a typo'd stat name should fail loudly at the lookup
+    // site, not read as a silent zero somewhere downstream.
+
+    /** Registered scalar by name; throws std::out_of_range if absent. */
+    const Scalar &
+    scalar(const std::string &name) const
+    {
+        auto it = scalars.find(name);
+        if (it == scalars.end())
+            throw std::out_of_range("unregistered scalar stat: " + name);
+        return *it->second;
+    }
+
+    /** Registered average by name; throws std::out_of_range if absent. */
+    const Average &
+    average(const std::string &name) const
+    {
+        auto it = averages.find(name);
+        if (it == averages.end())
+            throw std::out_of_range("unregistered average stat: " + name);
+        return *it->second;
+    }
+
     /** Render "name = value" lines, sorted by name. */
     std::string dump() const;
 

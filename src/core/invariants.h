@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Always-on (Debug) pipeline invariant checking.
+ *
+ * The timing model's correctness argument rests on a handful of
+ * structural properties that no single unit test pins down: the ROB is
+ * an age-ordered FIFO, physical-register reference counts conserve
+ * (nothing leaks, nothing frees early), stores retire and commit in
+ * strictly increasing SSN order, the store buffer drains completely,
+ * and predication micro-ops never execute before their operands are
+ * architecturally determined. The fuzzer (src/fuzz/) relies on these
+ * checks to convert "subtly wrong timing state" into a loud failure at
+ * the first cycle it becomes visible instead of a downstream stat diff.
+ *
+ * Checks are compiled out entirely under NDEBUG (Release /
+ * RelWithDebInfo), so the hot path pays nothing; Debug builds run every
+ * check during the ordinary test suite. Violations throw
+ * InvariantViolation (not assert) so the checker itself is testable and
+ * the fuzzer can report the message as a verdict.
+ *
+ * The invariant list and the pipeline property each check encodes are
+ * documented in docs/ARCHITECTURE.md section 8.
+ */
+
+#ifndef DMDP_CORE_INVARIANTS_H
+#define DMDP_CORE_INVARIANTS_H
+
+#include <stdexcept>
+#include <string>
+
+#ifndef NDEBUG
+#define DMDP_INVARIANTS 1
+#else
+#define DMDP_INVARIANTS 0
+#endif
+
+namespace dmdp {
+
+/** Thrown when a Debug-build pipeline invariant check fails. */
+class InvariantViolation : public std::logic_error
+{
+  public:
+    explicit InvariantViolation(const std::string &message)
+        : std::logic_error(message)
+    {}
+};
+
+[[noreturn]] inline void
+invariantViolation(const char *condition, const std::string &detail)
+{
+    std::string message = "pipeline invariant violated: ";
+    message += condition;
+    if (!detail.empty()) {
+        message += " [";
+        message += detail;
+        message += "]";
+    }
+    throw InvariantViolation(message);
+}
+
+} // namespace dmdp
+
+/**
+ * Check @p cond in Debug builds; @p detail is a std::string expression
+ * evaluated only on failure. Compiles to nothing under NDEBUG.
+ */
+#if DMDP_INVARIANTS
+#define DMDP_INVARIANT(cond, detail)                                   \
+    do {                                                               \
+        if (!(cond))                                                   \
+            ::dmdp::invariantViolation(#cond, detail);                 \
+    } while (0)
+#else
+#define DMDP_INVARIANT(cond, detail) ((void)0)
+#endif
+
+#endif // DMDP_CORE_INVARIANTS_H

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "common/bitutil.h"
 #include "pred/svw.h"
@@ -117,6 +118,9 @@ Pipeline::run()
         if (now - lastProgressCycle > 500000)
             throw std::runtime_error(deadlockReport("pipeline deadlock"));
     }
+#if DMDP_INVARIANTS
+    checkInvariants();
+#endif
     profile_.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
@@ -228,7 +232,69 @@ Pipeline::doCycle()
     timedStage(profiling_, t[SimProfile::Fetch], [&] { stageFetch(); });
     if (cfg.idleSkip && !cfg.legacyScheduler)
         maybeSkipIdle();
+#if DMDP_INVARIANTS
+    // Periodic full-state scan; the O(1) event-site checks run every
+    // cycle regardless. Power-of-two stride so skipped cycle ranges
+    // (idle skip) do not change which cycles get scanned.
+    if ((now & 0xffu) == 0)
+        checkInvariants();
+#endif
 }
+
+#if DMDP_INVARIANTS
+void
+Pipeline::checkInvariants() const
+{
+    // ROB is an age-ordered FIFO over a nondecreasing fetch sequence,
+    // and its instruction-count mirror (robInsts) matches the resident
+    // instEnd micro-ops — retire-width accounting depends on it.
+    uint64_t prev_age = 0;
+    uint64_t prev_seq = 0;
+    bool first = true;
+    uint32_t inst_ends = 0;
+    uint32_t in_iq = 0;
+    for (const Uop &u : rob) {
+        if (!first) {
+            DMDP_INVARIANT(u.age > prev_age,
+                           "ROB age order broken at seq " +
+                               std::to_string(u.seq));
+            DMDP_INVARIANT(u.seq >= prev_seq,
+                           "ROB fetch-sequence order broken at seq " +
+                               std::to_string(u.seq));
+        }
+        first = false;
+        prev_age = u.age;
+        prev_seq = u.seq;
+        if (u.instEnd)
+            ++inst_ends;
+        bool delayed_load = u.kind == UopKind::Load &&
+                            u.cls == LoadClass::Delayed;
+        if (u.dispatched && !u.issued && !delayed_load)
+            ++in_iq;
+        // Predication: a CMOV's completion requires the CMP to have
+        // resolved the predicate first (operand-readiness property;
+        // also enforced at the event site in completeUop).
+        if (u.kind == UopKind::CmovTrue || u.kind == UopKind::CmovFalse) {
+            DMDP_INVARIANT(!u.completed || u.predicateKnown,
+                           "CMOV completed with unresolved predicate "
+                           "at seq " + std::to_string(u.seq));
+        }
+    }
+    DMDP_INVARIANT(inst_ends == robInsts,
+                   "ROB instruction count " + std::to_string(robInsts) +
+                       " != resident instEnd uops " +
+                       std::to_string(inst_ends));
+    DMDP_INVARIANT(in_iq == iqOccupancy(),
+                   "IQ occupancy " + std::to_string(iqOccupancy()) +
+                       " != dispatched-unissued uops " +
+                       std::to_string(in_iq));
+    // SSN monotonicity across structures: commit never passes retire.
+    DMDP_INVARIANT(sb.ssnCommit() <= ssnRetire,
+                   "SSN_commit " + std::to_string(sb.ssnCommit()) +
+                       " ahead of SSN_retire " + std::to_string(ssnRetire));
+    rf.checkInvariants();
+}
+#endif
 
 // ---------------------------------------------------------------- fetch
 
@@ -683,6 +749,13 @@ Pipeline::tryIssue(Uop *u)
         }
     }
 
+    // Every gate passed: the uop issues this cycle with both register
+    // operands architecturally available (CMP/CMOV operand readiness;
+    // baseline stores defer the data read to commit by contract).
+    DMDP_INVARIANT(rf.ready(u->src1, now) &&
+                       (baseline_store || rf.ready(u->src2, now)),
+                   "uop issued with an unready source at seq " +
+                       std::to_string(u->seq));
     u->issued = true;
     u->completeCycle = now + latency;
     execList.push_back(u);
@@ -928,14 +1001,19 @@ Pipeline::completeUop(Uop *u)
 
       case UopKind::CmovTrue:
         ++stats.predicationOps;
-        assert(u->predicateKnown);
+        DMDP_INVARIANT(u->predicateKnown,
+                       "CMOV(taken) executed before its CMP resolved "
+                       "the predicate at seq " + std::to_string(u->seq));
         if (u->predicateValue)
             completeDest(u->dst, u->completeCycle);
         break;
 
       case UopKind::CmovFalse:
         ++stats.predicationOps;
-        assert(u->predicateKnown);
+        DMDP_INVARIANT(u->predicateKnown,
+                       "CMOV(fall-through) executed before its CMP "
+                       "resolved the predicate at seq " +
+                           std::to_string(u->seq));
         if (!u->predicateValue)
             completeDest(u->dst, u->completeCycle);
         break;
@@ -1133,6 +1211,12 @@ Pipeline::retireStore(Uop *u)
         ++stats.ssbfWrites;
     }
 
+    // SSN monotonicity at retire: stores leave the ROB in program
+    // order, so store sequence numbers retire as a gapless sequence.
+    DMDP_INVARIANT(u->dyn.ssn == ssnRetire + 1,
+                   "stores must retire in SSN order: ssn " +
+                       std::to_string(u->dyn.ssn) + " after SSN_retire " +
+                       std::to_string(ssnRetire));
     sb.push(entry);
     ssnRetire = u->dyn.ssn;
 
@@ -1178,6 +1262,8 @@ Pipeline::accountRetire(Uop *u)
 
     if (u->instEnd) {
         ++stats.instsRetired;
+        if (onRetire)
+            onRetire(*u);
         uint64_t ready = u->dst >= 0 ? rf.readyCycle(u->dst)
                                      : u->completeCycle;
         double exec_time = ready > u->renameCycle

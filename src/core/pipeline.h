@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -24,6 +25,7 @@
 #include "common/config.h"
 #include "common/rng.h"
 #include "core/crack.h"
+#include "core/invariants.h"
 #include "core/lsq.h"
 #include "core/regfile.h"
 #include "core/simprofile.h"
@@ -82,6 +84,16 @@ class Pipeline
 
     /** Drain the store buffer to quiescence (test helper). */
     void drainStoreBuffer();
+
+    /**
+     * Retired-instruction observer: invoked once per architectural
+     * instruction, in retirement order, with the instruction's final
+     * micro-op (whose dyn record carries pc, seq, result value, and
+     * memory effects). The differential fuzzer uses this to compare
+     * the pipeline's committed stream against the functional oracle;
+     * timing-invisible.
+     */
+    std::function<void(const Uop &)> onRetire;
 
     /**
      * Simulation-speed profile of the run: wall time, cycles/sec,
@@ -158,6 +170,16 @@ class Pipeline
 
     /** Shared diagnostics for deadlock and drain-guard failures. */
     std::string deadlockReport(const std::string &context) const;
+
+#if DMDP_INVARIANTS
+    /**
+     * Debug-build full-state structural scan (ROB ordering, IQ
+     * occupancy conservation, SSN ordering, register-file reference
+     * counts); run periodically from doCycle() and at end of run().
+     * See docs/ARCHITECTURE.md §8 for the invariant list.
+     */
+    void checkInvariants() const;
+#endif
 
     // ---- Retire helpers. ----
     bool retireHead();

@@ -26,9 +26,11 @@
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "core/invariants.h"
 #include "isa/inst.h"
 
 namespace dmdp {
@@ -170,6 +172,49 @@ class RegFile
     uint32_t producers(int preg) const { return regs[preg].producers; }
     uint32_t consumers(int preg) const { return regs[preg].consumers; }
     uint64_t allocations() const { return allocations_.value(); }
+
+#if DMDP_INVARIANTS
+    /**
+     * Debug-build conservation check (see docs/ARCHITECTURE.md §8):
+     * a register is on the free list iff both reference counters are
+     * zero; nothing free is mapped by either RAT or holds waiters; no
+     * unreferenced register stays allocated (a leak). Throws
+     * InvariantViolation on the first violation found.
+     */
+    void
+    checkInvariants() const
+    {
+        size_t freeRegs = 0;
+        for (size_t p = 0; p < regs.size(); ++p) {
+            const PhysReg &reg = regs[p];
+            if (reg.free) {
+                ++freeRegs;
+                DMDP_INVARIANT(reg.producers == 0 && reg.consumers == 0,
+                               "preg " + std::to_string(p) +
+                                   " freed with live references");
+                DMDP_INVARIANT(reg.waiters.empty(),
+                               "preg " + std::to_string(p) +
+                                   " freed with waiting uops");
+            } else {
+                DMDP_INVARIANT(reg.producers > 0 || reg.consumers > 0,
+                               "preg " + std::to_string(p) +
+                                   " leaked: unreferenced but not free");
+            }
+        }
+        DMDP_INVARIANT(freeRegs == freeList.size(),
+                       "free-list size " + std::to_string(freeList.size()) +
+                           " != free register count " +
+                           std::to_string(freeRegs));
+        for (unsigned l = 1; l < kNumLogicalRegs; ++l) {
+            DMDP_INVARIANT(rat[l] < 0 || !regs[rat[l]].free,
+                           "RAT maps $" + std::to_string(l) +
+                               " to a free register");
+            DMDP_INVARIANT(retireRat[l] < 0 || !regs[retireRat[l]].free,
+                           "retire RAT maps $" + std::to_string(l) +
+                               " to a free register");
+        }
+    }
+#endif
 
     static constexpr uint64_t kNever = ~0ull;
 

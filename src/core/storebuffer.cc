@@ -1,8 +1,10 @@
 #include "core/storebuffer.h"
 
 #include <cassert>
+#include <string>
 
 #include "core/crack.h"
+#include "core/invariants.h"
 
 namespace dmdp {
 
@@ -19,6 +21,16 @@ void
 StoreBuffer::push(const SbEntry &entry)
 {
     assert(!full());
+    // SSN monotonicity: stores enter strictly younger than everything
+    // resident and strictly younger than everything already committed.
+    DMDP_INVARIANT(entry.ssn > ssnCommit_,
+                   "store ssn " + std::to_string(entry.ssn) +
+                       " pushed at or below SSN_commit " +
+                       std::to_string(ssnCommit_));
+    DMDP_INVARIANT(entries.empty() || entry.ssn > entries.back().ssn,
+                   "store-buffer SSN order broken: " +
+                       std::to_string(entry.ssn) + " pushed after " +
+                       std::to_string(entries.back().ssn));
     entries.push_back(entry);
 }
 
@@ -98,6 +110,10 @@ StoreBuffer::tick(uint64_t now)
 
     // Dequeue the done prefix; SSN_commit trails the oldest resident.
     while (!entries.empty() && entries.front().done) {
+        DMDP_INVARIANT(entries.front().ssn > ssnCommit_,
+                       "SSN_commit would move backwards: " +
+                           std::to_string(entries.front().ssn) +
+                           " after " + std::to_string(ssnCommit_));
         ssnCommit_ = entries.front().ssn;
         if (onCommit)
             onCommit(entries.front());
@@ -105,6 +121,21 @@ StoreBuffer::tick(uint64_t now)
     }
 
     startCommit(now);
+
+#if DMDP_INVARIANTS
+    // Drain completeness: the in-flight count matches the resident
+    // started-but-incomplete writes, so an empty buffer means every
+    // accepted store reached the committed image (nothing is dropped
+    // or double-counted on the way out).
+    uint32_t pending = 0;
+    for (const auto &entry : entries)
+        if (entry.started && !entry.done)
+            ++pending;
+    DMDP_INVARIANT(pending == inFlight,
+                   "in-flight count " + std::to_string(inFlight) +
+                       " != pending cache writes " +
+                       std::to_string(pending));
+#endif
 }
 
 bool

@@ -32,6 +32,9 @@ class FetchWindow
                   "slots are recycled by assignment");
 
   public:
+    /** Covers a 512-entry ROB plus the decode queue without growing. */
+    static constexpr size_t kInitialCapacity = 1024;
+
     FetchWindow() : slots_(kInitialCapacity) {}
 
     uint64_t base() const { return base_; }
@@ -76,9 +79,6 @@ class FetchWindow
     }
 
   private:
-    /** Covers a 512-entry ROB plus the decode queue without growing. */
-    static constexpr size_t kInitialCapacity = 1024;
-
     void
     grow()
     {

@@ -1,5 +1,6 @@
 #include "func/memimg.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dmdp {
@@ -123,6 +124,43 @@ MemImg::read(uint32_t addr, unsigned size) const
       case 4: return read32(addr);
       default: assert(false); return 0;
     }
+}
+
+std::vector<uint32_t>
+MemImg::mappedPageBases() const
+{
+    std::vector<uint32_t> bases;
+    bases.reserve(pages.size());
+    for (const auto &[idx, page] : pages)
+        bases.push_back(idx * kPageBytes);
+    std::sort(bases.begin(), bases.end());
+    return bases;
+}
+
+std::optional<uint32_t>
+MemImg::firstDifference(const MemImg &other) const
+{
+    // Walk the union of mapped pages in address order; a page missing
+    // on either side compares as all zeroes.
+    std::vector<uint32_t> bases = mappedPageBases();
+    std::vector<uint32_t> other_bases = other.mappedPageBases();
+    std::vector<uint32_t> all;
+    all.reserve(bases.size() + other_bases.size());
+    std::set_union(bases.begin(), bases.end(), other_bases.begin(),
+                   other_bases.end(), std::back_inserter(all));
+    for (uint32_t base : all) {
+        const Page *a = findPage(base);
+        const Page *b = other.findPage(base);
+        if (a && b && *a == *b)
+            continue;
+        for (uint32_t off = 0; off < kPageBytes; ++off) {
+            uint8_t av = a ? (*a)[off] : 0;
+            uint8_t bv = b ? (*b)[off] : 0;
+            if (av != bv)
+                return base + off;
+        }
+    }
+    return std::nullopt;
 }
 
 void

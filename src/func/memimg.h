@@ -10,7 +10,9 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/program.h"
 
@@ -61,6 +63,19 @@ class MemImg
 
     /** Number of mapped pages (for tests). */
     size_t mappedPages() const { return pages.size(); }
+
+    /** Base addresses of all mapped pages, ascending. */
+    std::vector<uint32_t> mappedPageBases() const;
+
+    /**
+     * Lowest byte address where this image and @p other disagree, or
+     * nullopt if they are semantically identical. Unmapped bytes
+     * compare as zero, so images that differ only in which all-zero
+     * pages they map are equal. Used by the differential fuzzer to
+     * compare committed timing-model memory against the architectural
+     * oracle.
+     */
+    std::optional<uint32_t> firstDifference(const MemImg &other) const;
 
   private:
     using Page = std::array<uint8_t, kPageBytes>;

@@ -1,0 +1,350 @@
+#include "fuzz/diffcheck.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/config.h"
+#include "core/pipeline.h"
+#include "driver/results.h"
+#include "func/emulator.h"
+#include "func/writertable.h"
+#include "isa/assembler.h"
+#include "trace/tracecursor.h"
+#include "trace/tracerecorder.h"
+
+namespace dmdp::fuzz {
+
+namespace {
+
+std::string
+hex(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
+}
+
+/** Compare two oracle-annotated dynamic instruction records. */
+bool
+dynEqual(const DynInst &a, const DynInst &b)
+{
+    return a.seq == b.seq && a.pc == b.pc && a.inst.op == b.inst.op &&
+           a.inst.rs == b.inst.rs && a.inst.rt == b.inst.rt &&
+           a.inst.rd == b.inst.rd && a.inst.imm == b.inst.imm &&
+           a.resultValue == b.resultValue && a.effAddr == b.effAddr &&
+           a.storeValue == b.storeValue &&
+           a.branchTaken == b.branchTaken && a.nextPc == b.nextPc &&
+           a.ssn == b.ssn && a.storesBefore == b.storesBefore &&
+           a.lastWriterSsn == b.lastWriterSsn &&
+           a.fullCoverage == b.fullCoverage &&
+           a.multiWriter == b.multiWriter &&
+           a.silentStore == b.silentStore;
+}
+
+std::string
+describeDyn(const DynInst &d)
+{
+    return "seq=" + std::to_string(d.seq) + " pc=" + hex(d.pc) +
+           " result=" + hex(d.resultValue) + " effAddr=" + hex(d.effAddr) +
+           " storeValue=" + hex(d.storeValue) +
+           " ssn=" + std::to_string(d.ssn) +
+           " lastWriter=" + std::to_string(d.lastWriterSsn);
+}
+
+/** Initial architectural register file (mirrors the emulator's). */
+std::array<uint32_t, kNumArchRegs>
+initialRegs()
+{
+    std::array<uint32_t, kNumArchRegs> regs{};
+    regs[29] = 0x7fff0000u;
+    return regs;
+}
+
+struct EngineRun
+{
+    std::string name;       ///< "model/engine" label
+    bool failed = false;
+    FailKind kind = FailKind::None;
+    std::string detail;
+    std::vector<std::pair<std::string, double>> stats;
+};
+
+/** Run one pipeline configuration and perform the per-run checks. */
+EngineRun
+runEngine(const std::string &label, const SimConfig &cfg,
+          const Program &prog, FetchStream *external,
+          const std::vector<DynInst> &ref, const Emulator &refEmu)
+{
+    EngineRun run;
+    run.name = label;
+
+    auto fail = [&](FailKind kind, std::string detail) {
+        run.failed = true;
+        run.kind = kind;
+        run.detail = std::move(detail);
+    };
+
+    try {
+        Pipeline pipe = external ? Pipeline(cfg, prog, *external)
+                                 : Pipeline(cfg, prog);
+
+        // Retired-stream check, incremental: record only the first
+        // divergence and let the run finish (the record content cannot
+        // influence timing, so finishing is safe and keeps the stats
+        // comparable).
+        uint64_t idx = 0;
+        pipe.onRetire = [&](const Uop &u) {
+            if (idx >= ref.size()) {
+                if (!run.failed)
+                    fail(FailKind::Stream,
+                         "retired past the reference stream: " +
+                             describeDyn(u.dyn));
+                ++idx;
+                return;
+            }
+            if (!run.failed && !dynEqual(u.dyn, ref[idx])) {
+                fail(FailKind::Stream,
+                     "retired record " + std::to_string(idx) +
+                         " diverged: pipeline {" + describeDyn(u.dyn) +
+                         "} vs reference {" + describeDyn(ref[idx]) + "}");
+            }
+            ++idx;
+        };
+
+        SimStats stats = pipe.run();
+        if (run.failed)
+            return run;
+
+        if (idx != ref.size()) {
+            fail(FailKind::Stream,
+                 "retired " + std::to_string(idx) + " instructions, "
+                 "reference committed " + std::to_string(ref.size()));
+            return run;
+        }
+
+        // Final register file: reconstruct the architectural state the
+        // retired stream defines and compare against the emulator's.
+        auto regs = initialRegs();
+        for (const DynInst &d : ref) {
+            int dest = d.inst.destReg();
+            if (dest > 0 && dest < static_cast<int>(kNumArchRegs))
+                regs[dest] = d.resultValue;
+        }
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            if (regs[r] != refEmu.reg(r)) {
+                fail(FailKind::Registers,
+                     "final $" + std::to_string(r) + " = " + hex(regs[r]) +
+                         ", reference " + hex(refEmu.reg(r)));
+                return run;
+            }
+        }
+
+        // Final memory image, after every accepted store has reached
+        // the committed image.
+        pipe.drainStoreBuffer();
+        auto diff = pipe.committedMemory().firstDifference(refEmu.memory());
+        if (diff) {
+            fail(FailKind::Memory,
+                 "committed memory diverges at " + hex(*diff) +
+                     ": pipeline word " +
+                     hex(pipe.committedMemory().read32(*diff & ~3u)) +
+                     ", reference " +
+                     hex(refEmu.memory().read32(*diff & ~3u)));
+            return run;
+        }
+
+        run.stats = driver::statFields(stats);
+    } catch (const std::exception &e) {
+        fail(FailKind::EngineException, e.what());
+    }
+    return run;
+}
+
+} // namespace
+
+const char *
+failKindName(FailKind kind)
+{
+    switch (kind) {
+      case FailKind::None: return "none";
+      case FailKind::ReferenceNoHalt: return "reference-no-halt";
+      case FailKind::ReferenceFault: return "reference-fault";
+      case FailKind::Stream: return "stream-mismatch";
+      case FailKind::Registers: return "register-mismatch";
+      case FailKind::Memory: return "memory-mismatch";
+      case FailKind::Stats: return "stats-mismatch";
+      case FailKind::EngineException: return "engine-exception";
+    }
+    return "unknown";
+}
+
+std::string
+DiffResult::describe() const
+{
+    if (ok)
+        return "ok (" + std::to_string(refInsts) + " insts)";
+    std::string s = failKindName(kind);
+    if (!engine.empty())
+        s += " [" + engine + "]";
+    if (!detail.empty())
+        s += ": " + detail;
+    return s;
+}
+
+DiffResult
+diffCheck(const Program &prog, const DiffOptions &opt)
+{
+    DiffResult result;
+
+    // Architectural reference: one emulator pass, annotated with the
+    // same dependence information the live oracle attaches, so every
+    // record field (including SSNs and writer annotations a trace
+    // decoder could corrupt) is comparable.
+    std::vector<DynInst> ref;
+    Emulator emu(prog);
+    DepAnnotator dep;
+    try {
+        while (!emu.halted() && ref.size() < opt.maxSteps) {
+            DynInst dyn = emu.step();
+            dep.annotate(dyn);
+            ref.push_back(dyn);
+        }
+    } catch (const std::exception &e) {
+        result.ok = false;
+        result.kind = FailKind::ReferenceFault;
+        result.detail = e.what();
+        return result;
+    }
+    if (!emu.halted()) {
+        result.ok = false;
+        result.kind = FailKind::ReferenceNoHalt;
+        result.detail = "no HALT within " + std::to_string(opt.maxSteps) +
+                        " instructions";
+        return result;
+    }
+    result.refInsts = ref.size();
+
+    static const LsuModel kModels[] = {LsuModel::Baseline, LsuModel::NoSQ,
+                                       LsuModel::DMDP, LsuModel::Perfect};
+
+    // One trace serves every replay run; the cap covers the deepest
+    // fetch-ahead any config reaches past the final HALT.
+    SimConfig probe = SimConfig::forModel(LsuModel::DMDP);
+    trace::TraceBuffer trace =
+        trace::recordTrace(prog, ref.size() + probe.robSize + 2048);
+
+    for (LsuModel model : kModels) {
+        SimConfig cfg = SimConfig::forModel(model);
+        std::string prefix = lsuModelName(model);
+
+        SimConfig legacy = cfg;
+        legacy.legacyScheduler = true;
+
+        trace::TraceCursor cursor(trace);
+
+        EngineRun runs[3] = {
+            runEngine(prefix + "/live", cfg, prog, nullptr, ref, emu),
+            runEngine(prefix + "/replay", cfg, prog, &cursor, ref, emu),
+            runEngine(prefix + "/legacy", legacy, prog, nullptr, ref, emu),
+        };
+
+        for (const EngineRun &run : runs) {
+            if (run.failed) {
+                result.ok = false;
+                result.kind = run.kind;
+                result.engine = run.name;
+                result.detail = run.detail;
+                return result;
+            }
+        }
+
+        if (!opt.checkStats)
+            continue;
+
+        // Cross-engine SimStats identity within the model: engines may
+        // only change simulation speed, never simulated behavior.
+        for (int e = 1; e < 3; ++e) {
+            const auto &a = runs[0].stats;
+            const auto &b = runs[e].stats;
+            for (size_t f = 0; f < a.size() && f < b.size(); ++f) {
+                if (a[f].second != b[f].second) {
+                    result.ok = false;
+                    result.kind = FailKind::Stats;
+                    result.engine = runs[e].name;
+                    result.detail = a[f].first + ": " + runs[0].name +
+                                    "=" + std::to_string(a[f].second) +
+                                    " vs " + runs[e].name + "=" +
+                                    std::to_string(b[f].second);
+                    return result;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+DiffResult
+diffCheckSource(const std::string &source, const DiffOptions &opt)
+{
+    Program prog;
+    try {
+        prog = assemble(source);
+    } catch (const std::exception &e) {
+        DiffResult result;
+        result.ok = false;
+        result.kind = FailKind::ReferenceFault;
+        result.detail = std::string("assembly failed: ") + e.what();
+        return result;
+    }
+    return diffCheck(prog, opt);
+}
+
+std::string
+finalStateSnapshot(const Program &prog, uint64_t maxSteps)
+{
+    Emulator emu(prog);
+    uint64_t steps = 0;
+    while (!emu.halted() && steps < maxSteps) {
+        emu.step();
+        ++steps;
+    }
+    if (!emu.halted())
+        throw std::runtime_error("snapshot: program did not halt within " +
+                                 std::to_string(maxSteps) +
+                                 " instructions");
+
+    std::string out = "insts " + std::to_string(emu.instCount()) + "\n";
+
+    auto init = initialRegs();
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        if (emu.reg(r) != init[r])
+            out += "reg $" + std::to_string(r) + " " + hex(emu.reg(r)) +
+                   "\n";
+    }
+
+    // Memory delta vs the freshly loaded image, word by word over the
+    // union of mapped pages (sorted, so the text is deterministic).
+    MemImg initial;
+    initial.load(prog);
+    std::vector<uint32_t> bases = emu.memory().mappedPageBases();
+    for (uint32_t base : initial.mappedPageBases()) {
+        if (std::find(bases.begin(), bases.end(), base) == bases.end())
+            bases.push_back(base);
+    }
+    std::sort(bases.begin(), bases.end());
+    for (uint32_t base : bases) {
+        for (uint32_t off = 0; off < MemImg::kPageBytes; off += 4) {
+            uint32_t now_v = emu.memory().read32(base + off);
+            uint32_t then_v = initial.read32(base + off);
+            if (now_v != then_v)
+                out += "mem " + hex(base + off) + " " + hex(now_v) + "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace dmdp::fuzz

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Differential oracle for the fuzzer: runs one program through the
+ * functional emulator (the architectural reference) and through the
+ * full timing pipeline under every LSU model × simulation engine
+ * combination, and checks that all of them agree.
+ *
+ * Contract (see docs/ARCHITECTURE.md §8): for each of the 4 LSU models
+ * (Baseline, NoSQ, DMDP, Perfect) × 3 engines (live oracle with the
+ * event scheduler, trace replay, legacy polled scheduler), the
+ * pipeline must
+ *   1. retire exactly the reference dynamic instruction stream, in
+ *      order (seq, pc, result value, effective address, store value);
+ *   2. leave the architectural register file equal to the emulator's;
+ *   3. after draining the store buffer, leave committed memory equal
+ *      to the emulator's memory image;
+ * and the 3 engines of each model must produce bit-identical SimStats
+ * (engines change simulation speed, never simulated behavior).
+ */
+
+#ifndef DMDP_FUZZ_DIFFCHECK_H
+#define DMDP_FUZZ_DIFFCHECK_H
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.h"
+
+namespace dmdp::fuzz {
+
+/** What went wrong first (one per diffCheck run). */
+enum class FailKind
+{
+    None,           ///< all configurations agree
+    ReferenceNoHalt,///< emulator hit the step cap — invalid program
+    ReferenceFault, ///< emulator threw (bad instruction, misalignment)
+    Stream,         ///< retired stream diverged from the reference
+    Registers,      ///< final register file mismatch
+    Memory,         ///< final committed memory mismatch
+    Stats,          ///< engines of one model disagree on SimStats
+    EngineException,///< a pipeline threw (deadlock, invariant, trace)
+};
+
+const char *failKindName(FailKind kind);
+
+struct DiffOptions
+{
+    uint64_t maxSteps = 1u << 20;   ///< reference emulator step cap
+    bool checkStats = true;         ///< cross-engine SimStats identity
+};
+
+struct DiffResult
+{
+    bool ok = true;
+    FailKind kind = FailKind::None;
+    std::string engine;     ///< e.g. "dmdp/replay" — first failing run
+    std::string detail;     ///< human-readable first divergence
+    uint64_t refInsts = 0;  ///< reference dynamic instruction count
+
+    std::string describe() const;
+};
+
+/** Cross-check @p prog across all models × engines. */
+DiffResult diffCheck(const Program &prog, const DiffOptions &opt = {});
+
+/** Assemble @p source first; assembly errors report ReferenceFault. */
+DiffResult diffCheckSource(const std::string &source,
+                           const DiffOptions &opt = {});
+
+/**
+ * Architectural final-state snapshot of @p prog (emulator only):
+ * instruction count, non-zero final registers, and memory words that
+ * differ from the initial image. The corpus tests compare this text
+ * against checked-in .expect files. Throws if the program does not
+ * halt within @p maxSteps.
+ */
+std::string finalStateSnapshot(const Program &prog,
+                               uint64_t maxSteps = 1u << 20);
+
+} // namespace dmdp::fuzz
+
+#endif // DMDP_FUZZ_DIFFCHECK_H

@@ -1,0 +1,137 @@
+#include "fuzz/minimize.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dmdp::fuzz {
+
+namespace {
+
+std::vector<std::string>
+splitLines(const std::string &source)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : source) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const std::string &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+isInstLine(const std::string &line)
+{
+    // Strip any trailing comment, then any leading "label:" tokens; a
+    // line is an instruction iff a non-directive mnemonic remains.
+    // Labeled directives ("data: .word 1") are data, not instructions,
+    // so they are neither counted nor offered for deletion.
+    size_t end = line.find_first_of("#;");
+    std::string body = line.substr(0, end);
+    size_t i = body.find_first_not_of(" \t");
+    while (i != std::string::npos) {
+        size_t stop = body.find_first_of(" \t", i);
+        std::string token = body.substr(i, stop == std::string::npos
+                                               ? std::string::npos
+                                               : stop - i);
+        if (token.back() != ':')
+            return token[0] != '.';
+        i = body.find_first_not_of(" \t", stop);
+    }
+    return false;
+}
+
+} // namespace
+
+uint32_t
+countInstLines(const std::string &source)
+{
+    uint32_t count = 0;
+    for (const std::string &line : splitLines(source))
+        if (isInstLine(line))
+            ++count;
+    return count;
+}
+
+MinimizeResult
+minimize(const std::string &source, const DiffOptions &opt,
+         uint32_t maxAttempts)
+{
+    DiffResult original = diffCheckSource(source, opt);
+    if (original.ok)
+        throw std::invalid_argument(
+            "minimize: program passes diffCheck, nothing to shrink");
+
+    MinimizeResult result;
+    result.kind = original.kind;
+
+    std::vector<std::string> lines = splitLines(source);
+    uint32_t attempts = 0;
+
+    // Interesting = still the same failure kind. Candidates that fail
+    // to assemble (a deleted label is still referenced) or stop
+    // failing are simply rejected.
+    auto interesting = [&](const std::vector<std::string> &cand) {
+        ++attempts;
+        DiffResult r = diffCheckSource(joinLines(cand), opt);
+        return !r.ok && r.kind == original.kind;
+    };
+
+    // ddmin-style passes: try deleting chunks of decreasing size until
+    // a full single-line pass removes nothing (a local minimum).
+    size_t chunk = lines.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (attempts < maxAttempts) {
+        bool removedAny = false;
+        for (size_t start = 0;
+             start < lines.size() && attempts < maxAttempts;) {
+            size_t len = std::min(chunk, lines.size() - start);
+            std::vector<std::string> cand;
+            cand.reserve(lines.size() - len);
+            cand.insert(cand.end(), lines.begin(),
+                        lines.begin() + static_cast<long>(start));
+            cand.insert(cand.end(),
+                        lines.begin() + static_cast<long>(start + len),
+                        lines.end());
+            if (!cand.empty() && interesting(cand)) {
+                lines = std::move(cand);
+                removedAny = true;
+                // Keep start in place: the next chunk slid into it.
+            } else {
+                start += len;
+            }
+        }
+        if (chunk == 1) {
+            if (!removedAny)
+                break;      // fixpoint at single-line granularity
+        } else {
+            chunk = (chunk + 1) / 2;
+        }
+    }
+
+    result.source = joinLines(lines);
+    result.instLines = countInstLines(result.source);
+    result.attempts = attempts;
+    return result;
+}
+
+} // namespace dmdp::fuzz

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Greedy test-case minimizer: shrinks a failing program's assembly
+ * source to a (locally) minimal repro by deleting line chunks, ddmin
+ * style. A candidate is "interesting" iff it still assembles and
+ * diffCheck fails with the same FailKind as the original — keying on
+ * the kind keeps the minimizer from drifting onto an unrelated
+ * failure while it deletes context.
+ */
+
+#ifndef DMDP_FUZZ_MINIMIZE_H
+#define DMDP_FUZZ_MINIMIZE_H
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/diffcheck.h"
+
+namespace dmdp::fuzz {
+
+struct MinimizeResult
+{
+    std::string source;     ///< minimized assembly source
+    FailKind kind = FailKind::None;     ///< the preserved failure kind
+    uint32_t instLines = 0; ///< instruction lines left (labels and
+                            ///< directives excluded)
+    uint32_t attempts = 0;  ///< candidate diffCheck runs spent
+};
+
+/**
+ * Minimize @p source, whose diffCheck must currently fail (otherwise
+ * throws std::invalid_argument). @p maxAttempts bounds the number of
+ * candidate evaluations (each is a full diffCheck).
+ */
+MinimizeResult minimize(const std::string &source,
+                        const DiffOptions &opt = {},
+                        uint32_t maxAttempts = 2000);
+
+/** Count instruction lines (non-blank, non-comment, non-label/directive). */
+uint32_t countInstLines(const std::string &source);
+
+} // namespace dmdp::fuzz
+
+#endif // DMDP_FUZZ_MINIMIZE_H

@@ -1,0 +1,361 @@
+#include "fuzz/proggen.h"
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dmdp::fuzz {
+
+namespace {
+
+/** Data region base: far above the default code origin (0x1000). */
+constexpr uint32_t kDataBase = 0x40000;
+
+class ProgGen
+{
+  public:
+    ProgGen(uint64_t seed, const GenOptions &options)
+        : rng(seed ^ 0x9e3779b97f4a7c15ull), opt(options), seed_(seed)
+    {
+        if (opt.dataWords < 16)
+            opt.dataWords = 16;
+    }
+
+    std::string generate();
+
+  private:
+    // ---- Emission helpers ----
+    void emit(const std::string &s) { lines.push_back("    " + s); }
+    void emitLabel(const std::string &l) { lines.push_back(l + ":"); }
+
+    std::string
+    newLabel()
+    {
+        return "L" + std::to_string(labelCount++);
+    }
+
+    std::string
+    scratch()
+    {
+        static const char *kScratch[] = {
+            "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+            "$t8", "$t9", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+        };
+        return kScratch[rng.below(16)];
+    }
+
+    /**
+     * Render byte offset @p off into the data region as an operand,
+     * sometimes through the second base register ($s1 = $s0 + half) so
+     * the same word is reached via different-looking addressing.
+     */
+    std::string
+    addrOperand(uint32_t off)
+    {
+        uint32_t half = (opt.dataWords / 2) * 4;
+        if (rng.chance(0.4)) {
+            return std::to_string(static_cast<int>(off) -
+                                  static_cast<int>(half)) +
+                   "($s1)";
+        }
+        return std::to_string(off) + "($s0)";
+    }
+
+    /** Aligned random offset in the data region for an access of @p size. */
+    uint32_t
+    randomOff(unsigned size)
+    {
+        uint32_t word = rng.below(opt.dataWords);
+        uint32_t sub = 0;
+        if (size == 1)
+            sub = rng.below(4);
+        else if (size == 2)
+            sub = 2 * rng.below(2);
+        return word * 4 + sub;
+    }
+
+    // ---- Statement generators ----
+    void genAlu();
+    void genStore();
+    void genLoad();
+    void genSilentStore();
+    void genIndexed();
+    void genHammock();
+    void genLoop();
+
+    /** One simple (non-control) statement; returns #insts emitted. */
+    uint32_t genSimple(bool in_loop);
+
+    struct RecentStore
+    {
+        uint32_t off;       ///< byte offset into the data region
+        unsigned size;
+    };
+
+    Rng rng;
+    GenOptions opt;
+    uint64_t seed_;
+    std::vector<std::string> lines;
+    int labelCount = 0;
+    std::deque<RecentStore> recent;     ///< most recent at the back
+    bool s2AdvancedInLoop = false;
+};
+
+void
+ProgGen::genAlu()
+{
+    std::string d = scratch(), a = scratch(), b = scratch();
+    switch (rng.below(4)) {
+      case 0: {
+        static const char *kR3[] = {"add", "sub", "and", "or",
+                                    "xor",  "slt", "sltu", "mul"};
+        emit(std::string(kR3[rng.below(8)]) + " " + d + ", " + a + ", " + b);
+        break;
+      }
+      case 1: {
+        int imm = static_cast<int>(rng.below(512)) - 256;
+        const char *op = rng.chance(0.5) ? "addi" : "slti";
+        emit(std::string(op) + " " + d + ", " + a + ", " +
+             std::to_string(imm));
+        break;
+      }
+      case 2: {
+        static const char *kI2[] = {"andi", "ori", "xori"};
+        emit(std::string(kI2[rng.below(3)]) + " " + d + ", " + a + ", " +
+             std::to_string(rng.below(256)));
+        break;
+      }
+      default: {
+        static const char *kSh[] = {"sll", "srl", "sra"};
+        emit(std::string(kSh[rng.below(3)]) + " " + d + ", " + a + ", " +
+             std::to_string(rng.below(32)));
+        break;
+      }
+    }
+}
+
+void
+ProgGen::genStore()
+{
+    unsigned size = rng.chance(0.6) ? 4 : (rng.chance(0.5) ? 2 : 1);
+    uint32_t off = randomOff(size);
+    const char *op = size == 4 ? "sw" : size == 2 ? "sh" : "sb";
+    emit(std::string(op) + " " + scratch() + ", " + addrOperand(off));
+    recent.push_back({off, size});
+    if (recent.size() > 12)
+        recent.pop_front();
+}
+
+void
+ProgGen::genLoad()
+{
+    uint32_t off;
+    unsigned size;
+    bool sign = rng.chance(0.5);
+
+    if (!recent.empty() && rng.chance(0.6)) {
+        // Alias a recent store: geometric bias toward short store→load
+        // distances, where forwarding/cloaking actually engages.
+        size_t back = 0;
+        while (back + 1 < recent.size() && rng.chance(0.5))
+            ++back;
+        RecentStore rs = recent[recent.size() - 1 - back];
+        if (rng.chance(0.7)) {
+            // Same footprint: the clean forwarding case.
+            off = rs.off;
+            size = rs.size;
+        } else if (rs.size == 4) {
+            // Narrow load under a word store: partial-word extraction.
+            size = rng.chance(0.5) ? 2 : 1;
+            off = (rs.off & ~3u) + (size == 2 ? 2 * rng.below(2)
+                                              : rng.below(4));
+        } else {
+            // Word load over a narrow store: partial coverage /
+            // multi-writer reads.
+            size = 4;
+            off = rs.off & ~3u;
+        }
+    } else {
+        size = rng.chance(0.6) ? 4 : (rng.chance(0.5) ? 2 : 1);
+        off = randomOff(size);
+    }
+
+    const char *op = size == 4 ? "lw"
+                   : size == 2 ? (sign ? "lh" : "lhu")
+                               : (sign ? "lb" : "lbu");
+    emit(std::string(op) + " " + scratch() + ", " + addrOperand(off));
+}
+
+void
+ProgGen::genSilentStore()
+{
+    // Read a word and write the same value straight back: an
+    // architecturally invisible store the T-SSBF policies treat
+    // specially (silent-store-aware predictor updates).
+    uint32_t off = 4 * rng.below(opt.dataWords);
+    std::string r = scratch();
+    emit("lw " + r + ", " + addrOperand(off));
+    emit("sw " + r + ", " + addrOperand(off));
+    recent.push_back({off, 4});
+    if (recent.size() > 12)
+        recent.pop_front();
+}
+
+void
+ProgGen::genIndexed()
+{
+    // Computed-address word access through $s2. Occasionally re-point
+    // $s2 into the lower half of the region so in-loop advances
+    // (genLoop caps them at one per iteration, trip <= 6) stay inside
+    // the data region.
+    if (rng.chance(0.3)) {
+        uint32_t off = 4 * rng.below(opt.dataWords / 2);
+        emit("addi $s2, $s0, " + std::to_string(off));
+        return;
+    }
+    if (rng.chance(0.5))
+        emit("lw " + scratch() + ", 0($s2)");
+    else
+        emit("sw " + scratch() + ", 0($s2)");
+}
+
+uint32_t
+ProgGen::genSimple(bool in_loop)
+{
+    size_t before = lines.size();
+    double r = rng.next() * 0x1p-64;
+    if (r < 0.34) {
+        genAlu();
+    } else if (r < 0.58) {
+        genStore();
+    } else if (r < 0.84) {
+        genLoad();
+    } else if (r < 0.90) {
+        genSilentStore();
+    } else if (in_loop && !s2AdvancedInLoop && r < 0.94) {
+        // Loop-carried address: the same static access walks the
+        // region, so its store→load distance varies per iteration.
+        emit("addi $s2, $s2, 4");
+        s2AdvancedInLoop = true;
+    } else {
+        genIndexed();
+    }
+    return static_cast<uint32_t>(lines.size() - before);
+}
+
+void
+ProgGen::genHammock()
+{
+    // Forward hammock (occasionally a diamond) around memory ops: the
+    // guarded stores collide with later loads only on some paths, the
+    // "occasionally colliding dependence" the predictors must absorb.
+    std::string takenTarget = newLabel();
+    std::string cond;
+    switch (rng.below(3)) {
+      case 0:
+        cond = std::string(rng.chance(0.5) ? "beq" : "bne") + " " +
+               scratch() + ", " + scratch();
+        break;
+      case 1: {
+        static const char *kZ[] = {"bltz", "bgez", "blez", "bgtz"};
+        cond = std::string(kZ[rng.below(4)]) + " " + scratch();
+        break;
+      }
+      default:
+        cond = std::string(rng.chance(0.5) ? "beq" : "bne") + " " +
+               scratch() + ", $0";
+        break;
+    }
+    emit(cond + ", " + takenTarget);
+
+    uint32_t body = 1 + rng.below(3);
+    for (uint32_t i = 0; i < body; ++i)
+        genSimple(false);
+
+    if (rng.chance(0.3)) {
+        std::string joinLabel = newLabel();
+        emit("j " + joinLabel);
+        emitLabel(takenTarget);
+        uint32_t elseBody = 1 + rng.below(2);
+        for (uint32_t i = 0; i < elseBody; ++i)
+            genSimple(false);
+        emitLabel(joinLabel);
+    } else {
+        emitLabel(takenTarget);
+    }
+}
+
+void
+ProgGen::genLoop()
+{
+    uint32_t trip = 2 + rng.below(5);
+    std::string top = newLabel();
+    emit("li $s7, " + std::to_string(trip));
+    emitLabel(top);
+    s2AdvancedInLoop = false;
+    uint32_t body = 3 + rng.below(4);
+    for (uint32_t i = 0; i < body; ++i)
+        genSimple(true);
+    emit("addi $s7, $s7, -1");
+    emit("bgtz $s7, " + top);
+}
+
+std::string
+ProgGen::generate()
+{
+    lines.push_back("# dmdp-fuzz generated program (seed=" +
+                    std::to_string(seed_) + ")");
+    emitLabel("main");
+    emit("li $s0, " + std::to_string(kDataBase));
+    emit("li $s1, " + std::to_string(kDataBase +
+                                     (opt.dataWords / 2) * 4));
+    emit("addi $s2, $s0, " +
+         std::to_string(4 * rng.below(opt.dataWords / 2)));
+    for (int i = 0; i < 6; ++i)
+        emit("li " + scratch() + ", " + std::to_string(rng.next() &
+                                                       0xffffffffu));
+
+    uint32_t emitted = 0;
+    while (emitted < opt.bodyInsts) {
+        double r = rng.next() * 0x1p-64;
+        size_t before = lines.size();
+        if (r < 0.08) {
+            genHammock();
+        } else if (r < 0.12 && opt.bodyInsts - emitted >= 10) {
+            genLoop();
+        } else {
+            genSimple(false);
+        }
+        emitted += static_cast<uint32_t>(lines.size() - before);
+    }
+    emit("halt");
+
+    lines.push_back("");
+    lines.push_back("    .org " + std::to_string(kDataBase));
+    for (uint32_t w = 0; w < opt.dataWords; w += 4) {
+        std::string directive = "    .word";
+        for (uint32_t i = w; i < w + 4 && i < opt.dataWords; ++i) {
+            directive += (i == w ? " " : ", ") +
+                         std::to_string(rng.next() & 0xffffffffu);
+        }
+        lines.push_back(directive);
+    }
+
+    std::string out;
+    for (const std::string &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+generateProgram(uint64_t seed, const GenOptions &opt)
+{
+    return ProgGen(seed, opt).generate();
+}
+
+} // namespace dmdp::fuzz

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Seeded random program generator for the differential fuzzer.
+ *
+ * Emits assembly source for valid, halting ISA programs biased toward
+ * the patterns the paper's mechanisms exist to handle (and that the
+ * timing model is therefore most likely to get wrong): store→load
+ * aliasing at controlled dynamic distances, dependences that only
+ * sometimes collide (branch-skipped stores, loop-carried distances),
+ * silent stores, partial-word overlaps (byte/halfword stores under
+ * word loads and vice versa), and tight branch hammocks around memory
+ * operations.
+ *
+ * Guarantees, by construction:
+ *  - deterministic: the same (seed, options) always yields the same
+ *    source text — the whole fuzzing pipeline keys on this;
+ *  - halting: backward branches only ever decrement a dedicated loop
+ *    counter with a bounded trip count, everything else branches
+ *    forward, and the body ends in HALT;
+ *  - aligned: every access is naturally aligned (the emulator faults
+ *    on misalignment, which would mask interesting divergence);
+ *  - in-bounds: all data accesses land inside a private data region
+ *    well away from the code.
+ */
+
+#ifndef DMDP_FUZZ_PROGGEN_H
+#define DMDP_FUZZ_PROGGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace dmdp::fuzz {
+
+/** Generation knobs; the defaults suit smoke-sized fuzzing. */
+struct GenOptions
+{
+    uint32_t bodyInsts = 48;    ///< approximate body size (instructions)
+    uint32_t dataWords = 24;    ///< words in the data region (>= 16)
+};
+
+/** Generate one program's assembly source from @p seed. */
+std::string generateProgram(uint64_t seed, const GenOptions &opt = {});
+
+} // namespace dmdp::fuzz
+
+#endif // DMDP_FUZZ_PROGGEN_H

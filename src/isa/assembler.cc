@@ -185,6 +185,13 @@ struct Assembler
     }
 
     void
+    defineLabel(const std::string &name, uint32_t pc, int line)
+    {
+        if (!labels.emplace(name, pc).second)
+            throw AsmError(line, "duplicate label: " + name);
+    }
+
+    void
     layout()
     {
         uint32_t pc = 0x1000;
@@ -192,7 +199,7 @@ struct Assembler
             if (st.mnemonic == ".org") {
                 pc = static_cast<uint32_t>(parseNumber(op(st, 0), st.line));
                 if (label)
-                    labels[*label] = pc;
+                    defineLabel(*label, pc, st.line);
                 continue;
             }
             if (st.mnemonic == ".align") {
@@ -200,7 +207,7 @@ struct Assembler
                 pc = (pc + align - 1) & ~(align - 1);
             }
             if (label)
-                labels[*label] = pc;
+                defineLabel(*label, pc, st.line);
             if (st.mnemonic.empty() || st.mnemonic == ".align")
                 continue;
             if (st.mnemonic == ".entry") {
@@ -252,14 +259,30 @@ struct Assembler
         return inst;
     }
 
+    /** Check that @p v fits the 16-bit field for @p what; returns it. */
+    int64_t
+    checkImm(int64_t v, bool is_signed, const char *what, int line) const
+    {
+        int64_t lo = is_signed ? -32768 : 0;
+        int64_t hi = is_signed ? 32767 : 65535;
+        if (v < lo || v > hi) {
+            throw AsmError(line, std::string(what) + " out of range: " +
+                std::to_string(v) + " (expected " + std::to_string(lo) +
+                ".." + std::to_string(hi) + ")");
+        }
+        return v;
+    }
+
     Inst
-    i3(Op opc, const Statement &st) const
+    i3(Op opc, const Statement &st, bool signed_imm) const
     {
         Inst inst;
         inst.op = opc;
         inst.rt = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
         inst.rs = static_cast<uint8_t>(parseReg(op(st, 1), st.line));
-        inst.imm = static_cast<int32_t>(value(op(st, 2), st.line));
+        inst.imm = static_cast<int32_t>(
+            checkImm(value(op(st, 2), st.line), signed_imm, "immediate",
+                     st.line));
         return inst;
     }
 
@@ -270,7 +293,12 @@ struct Assembler
         inst.op = opc;
         inst.rd = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
         inst.rs = static_cast<uint8_t>(parseReg(op(st, 1), st.line));
-        inst.imm = static_cast<int32_t>(parseNumber(op(st, 2), st.line));
+        int64_t shamt = parseNumber(op(st, 2), st.line);
+        if (shamt < 0 || shamt > 31) {
+            throw AsmError(st.line, "shift amount out of range: " +
+                std::to_string(shamt) + " (expected 0..31)");
+        }
+        inst.imm = static_cast<int32_t>(shamt);
         return inst;
     }
 
@@ -283,7 +311,9 @@ struct Assembler
         std::string offset, reg;
         splitMemOperand(op(st, 1), offset, reg, st.line);
         inst.rs = static_cast<uint8_t>(parseReg(reg, st.line));
-        inst.imm = static_cast<int32_t>(value(offset, st.line));
+        inst.imm = static_cast<int32_t>(
+            checkImm(value(offset, st.line), true, "memory offset",
+                     st.line));
         return inst;
     }
 
@@ -343,16 +373,18 @@ struct Assembler
             else if (m == "sll") inst = shift(Op::SLL, st);
             else if (m == "srl") inst = shift(Op::SRL, st);
             else if (m == "sra") inst = shift(Op::SRA, st);
-            else if (m == "addi" || m == "addiu") inst = i3(Op::ADDI, st);
-            else if (m == "slti") inst = i3(Op::SLTI, st);
-            else if (m == "sltiu") inst = i3(Op::SLTIU, st);
-            else if (m == "andi") inst = i3(Op::ANDI, st);
-            else if (m == "ori") inst = i3(Op::ORI, st);
-            else if (m == "xori") inst = i3(Op::XORI, st);
+            else if (m == "addi" || m == "addiu") inst = i3(Op::ADDI, st, true);
+            else if (m == "slti") inst = i3(Op::SLTI, st, true);
+            else if (m == "sltiu") inst = i3(Op::SLTIU, st, true);
+            else if (m == "andi") inst = i3(Op::ANDI, st, false);
+            else if (m == "ori") inst = i3(Op::ORI, st, false);
+            else if (m == "xori") inst = i3(Op::XORI, st, false);
             else if (m == "lui") {
                 inst.op = Op::LUI;
                 inst.rt = static_cast<uint8_t>(parseReg(op(st, 0), st.line));
-                inst.imm = static_cast<int32_t>(value(op(st, 1), st.line)) & 0xffff;
+                inst.imm = static_cast<int32_t>(
+                    checkImm(value(op(st, 1), st.line), false, "immediate",
+                             st.line));
             }
             else if (m == "lb") inst = mem(Op::LB, st);
             else if (m == "lh") inst = mem(Op::LH, st);

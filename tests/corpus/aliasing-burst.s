@@ -1,0 +1,27 @@
+# Store->load aliasing at controlled distances: same-address bursts
+# that stress forwarding (Baseline), cloaking (NoSQ/DMDP) and SVW
+# retire-time verification. This is the fuzzer's most common minimized
+# failure shape (sw followed by dependent lw of the same word), run in
+# a loop so the window sees it at several store-set training states.
+main:
+    li $s0, 0x40000
+    li $s7, 6
+top:
+    sw $s7, 0($s0)
+    lw $t0, 0($s0)
+    lw $t1, 0($s0)
+    add $t2, $t0, $t1
+    sw $t2, 4($s0)
+    lw $t3, 4($s0)
+    sw $t3, 8($s0)
+    addi $t4, $t3, 3
+    lw $t5, 8($s0)
+    add $v0, $v0, $t5
+    addi $s7, $s7, -1
+    bgtz $s7, top
+    sw $v0, 12($s0)
+    halt
+
+    .org 0x40000
+    .word 0, 0, 0, 0
+    .word 0, 0, 0, 0

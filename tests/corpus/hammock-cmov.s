@@ -1,0 +1,23 @@
+# Branch hammock around memory ops: an alternating store/load diamond
+# keyed on the loop counter's parity. Exercises branch prediction
+# around aliasing memory ops and the CMP/CMOV predication path DMDP
+# converts short hammocks into.
+main:
+    li $s0, 0x40000
+    li $s7, 8
+top:
+    andi $t0, $s7, 1
+    beq $t0, $zero, even
+    sw $s7, 0($s0)      # odd trips store the counter
+    j join
+even:
+    lw $t1, 0($s0)      # even trips read the previous odd store
+    add $v0, $v0, $t1
+join:
+    addi $s7, $s7, -1
+    bgtz $s7, top
+    sw $v0, 4($s0)
+    halt
+
+    .org 0x40000
+    .word 0, 0

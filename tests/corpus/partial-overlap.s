@@ -1,0 +1,24 @@
+# Partial-overlap stress: narrow loads under a word store, then word
+# loads spliced from multiple narrow writers. Exercises the cloaking
+# full-coverage/multi-writer classification and the baseline store
+# buffer's partial-forward stall path.
+main:
+    li $s0, 0x40000
+    li $t0, 0x11223344
+    sw $t0, 0($s0)
+    lbu $t1, 1($s0)     # 0x33: narrow read under the word store
+    lhu $t2, 2($s0)     # 0x1122
+    li $t3, 0xaa
+    sb $t3, 0($s0)
+    lw $t4, 0($s0)      # 0x112233aa: word over byte+word writers
+    li $t5, 0xbeef
+    sh $t5, 2($s0)
+    lw $t6, 0($s0)      # 0xbeef33aa: three writers spliced
+    add $v0, $t1, $t2
+    add $v0, $v0, $t4
+    add $v0, $v0, $t6
+    sw $v0, 4($s0)
+    halt
+
+    .org 0x40000
+    .word 0, 0

@@ -1,0 +1,26 @@
+# Silent-store stress: stores that rewrite the value already in
+# memory, straight-line and in a loop. Exercises the T-SSBF insertion
+# filter (silent stores must not poison load verification) and the
+# store buffer's coalescing path.
+main:
+    li $s0, 0x40000
+    li $t0, 7
+    sw $t0, 0($s0)
+    lw $t1, 0($s0)
+    sw $t1, 0($s0)      # silent: same word, same value
+    lw $t2, 0($s0)
+    sw $t2, 4($s0)
+    lw $t3, 4($s0)
+    sw $t3, 4($s0)      # silent
+    li $s7, 4
+loop:
+    lw $t4, 0($s0)
+    sw $t4, 0($s0)      # silent store inside a loop
+    addi $s7, $s7, -1
+    bgtz $s7, loop
+    add $v0, $t2, $t3
+    sw $v0, 8($s0)
+    halt
+
+    .org 0x40000
+    .word 0, 0, 0, 0

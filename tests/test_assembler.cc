@@ -191,5 +191,92 @@ TEST(Assembler, ErrorOnMissingOperand)
     EXPECT_THROW(assemble("add $1, $2\n"), AsmError);
 }
 
+/** Assemble @p source, expecting an AsmError whose message contains
+ * @p needle; returns the full diagnostic for extra checks. */
+std::string
+expectAsmError(const std::string &source, const std::string &needle)
+{
+    try {
+        assemble(source);
+        ADD_FAILURE() << "expected AsmError for:\n" << source;
+    } catch (const AsmError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find(needle), std::string::npos)
+            << "diagnostic '" << what << "' lacks '" << needle << "'";
+        return what;
+    }
+    return {};
+}
+
+TEST(Assembler, ErrorOnDuplicateLabel)
+{
+    std::string what = expectAsmError(
+        "top: nop\nnop\ntop: halt\n", "duplicate label: top");
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+
+    // Also detected when the second definition labels a .org.
+    expectAsmError(
+        "data: halt\n.org 0x8000\ndata: .word 1\n",
+        "duplicate label: data");
+}
+
+TEST(Assembler, ErrorOnSignedImmediateOutOfRange)
+{
+    expectAsmError("addi $1, $2, 32768\n", "immediate out of range");
+    expectAsmError("addi $1, $2, -32769\n", "immediate out of range");
+    std::string what = expectAsmError("slti $1, $2, 70000\n",
+                                      "immediate out of range");
+    // The diagnostic names the offending value and the legal range.
+    EXPECT_NE(what.find("70000"), std::string::npos) << what;
+    EXPECT_NE(what.find("-32768..32767"), std::string::npos) << what;
+
+    // Boundary values still assemble.
+    EXPECT_NO_THROW(assemble("addi $1, $2, 32767\nhalt\n"));
+    EXPECT_NO_THROW(assemble("addi $1, $2, -32768\nhalt\n"));
+}
+
+TEST(Assembler, ErrorOnLogicalImmediateOutOfRange)
+{
+    // andi/ori/xori immediates are zero-extended: 0..65535 only.
+    expectAsmError("andi $1, $2, -1\n", "immediate out of range");
+    expectAsmError("ori $1, $2, 65536\n", "immediate out of range");
+    std::string what = expectAsmError("xori $1, $2, 0x10000\n",
+                                      "immediate out of range");
+    EXPECT_NE(what.find("0..65535"), std::string::npos) << what;
+    EXPECT_NO_THROW(assemble("ori $1, $2, 65535\nhalt\n"));
+}
+
+TEST(Assembler, ErrorOnLuiImmediateOutOfRange)
+{
+    expectAsmError("lui $1, 0x12345\n", "immediate out of range");
+    EXPECT_NO_THROW(assemble("lui $1, 0xffff\nhalt\n"));
+}
+
+TEST(Assembler, ErrorOnShiftAmountOutOfRange)
+{
+    expectAsmError("sll $1, $2, 32\n", "shift amount out of range");
+    std::string what = expectAsmError("srl $1, $2, -1\n",
+                                      "shift amount out of range");
+    EXPECT_NE(what.find("0..31"), std::string::npos) << what;
+    EXPECT_NO_THROW(assemble("sra $1, $2, 31\nhalt\n"));
+}
+
+TEST(Assembler, ErrorOnMemoryOffsetOutOfRange)
+{
+    expectAsmError("lw $1, 32768($2)\n", "memory offset out of range");
+    expectAsmError("sw $1, -32769($2)\n", "memory offset out of range");
+    EXPECT_NO_THROW(assemble("lw $1, -32768($2)\nhalt\n"));
+}
+
+TEST(Assembler, ErrorOnMalformedOperands)
+{
+    expectAsmError("lw $1, 4[$2]\n", "bad memory operand");
+    expectAsmError("lw $1, )4($2\n", "bad memory operand");
+    expectAsmError("addi $1, $2, $3\n", "undefined symbol");
+    expectAsmError("add $1, 5, $2\n", "expected register");
+    expectAsmError(".space $t0\n", "expected number");
+    expectAsmError(": nop\n", "empty label");
+}
+
 } // namespace
 } // namespace dmdp

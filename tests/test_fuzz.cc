@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the differential fuzzing subsystem: generator determinism
+ * and well-formedness, the diffCheck oracle verdicts (clean programs,
+ * non-halting programs, assembly faults), the greedy minimizer, and —
+ * in Debug builds — that the pipeline invariant machinery actually
+ * fires on a violated precondition.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/invariants.h"
+#include "core/storebuffer.h"
+#include "fuzz/diffcheck.h"
+#include "fuzz/minimize.h"
+#include "fuzz/proggen.h"
+#include "isa/assembler.h"
+
+namespace dmdp {
+namespace {
+
+TEST(ProgGen, DeterministicPerSeed)
+{
+    fuzz::GenOptions opt;
+    EXPECT_EQ(fuzz::generateProgram(42, opt), fuzz::generateProgram(42, opt));
+    EXPECT_NE(fuzz::generateProgram(42, opt), fuzz::generateProgram(43, opt));
+}
+
+TEST(ProgGen, GeneratedProgramsAssembleAndHalt)
+{
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        SCOPED_TRACE(seed);
+        Program prog;
+        ASSERT_NO_THROW(prog = assemble(fuzz::generateProgram(seed)))
+            << fuzz::generateProgram(seed);
+        // finalStateSnapshot throws on no-halt and on emulator faults
+        // (misalignment, bad opcodes): none may escape the generator.
+        std::string snap;
+        ASSERT_NO_THROW(snap = fuzz::finalStateSnapshot(prog, 1u << 20));
+        EXPECT_NE(snap.find("insts "), std::string::npos);
+    }
+}
+
+TEST(ProgGen, BodySizeScalesOutput)
+{
+    fuzz::GenOptions small;
+    small.bodyInsts = 8;
+    fuzz::GenOptions big;
+    big.bodyInsts = 200;
+    EXPECT_GT(fuzz::countInstLines(fuzz::generateProgram(7, big)),
+              fuzz::countInstLines(fuzz::generateProgram(7, small)));
+}
+
+TEST(DiffCheck, CleanProgramsPassAcrossAllModelsAndEngines)
+{
+    fuzz::GenOptions gen;
+    gen.bodyInsts = 32;
+    for (uint64_t seed = 100; seed < 110; ++seed) {
+        SCOPED_TRACE(seed);
+        fuzz::DiffResult r =
+            fuzz::diffCheckSource(fuzz::generateProgram(seed, gen));
+        EXPECT_TRUE(r.ok) << r.describe();
+        EXPECT_EQ(r.kind, fuzz::FailKind::None);
+        EXPECT_GT(r.refInsts, 0u);
+    }
+}
+
+TEST(DiffCheck, NonHaltingProgramReportsReferenceNoHalt)
+{
+    fuzz::DiffOptions opt;
+    opt.maxSteps = 1000;
+    fuzz::DiffResult r = fuzz::diffCheckSource("top: j top\n", opt);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.kind, fuzz::FailKind::ReferenceNoHalt);
+}
+
+TEST(DiffCheck, AssemblyErrorReportsReferenceFault)
+{
+    fuzz::DiffResult r = fuzz::diffCheckSource("bogus $1, $2\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.kind, fuzz::FailKind::ReferenceFault);
+    EXPECT_NE(r.detail.find("assembly failed"), std::string::npos)
+        << r.detail;
+}
+
+TEST(DiffCheck, EmulatorFaultReportsReferenceFault)
+{
+    // Misaligned word load: the reference emulator throws.
+    fuzz::DiffResult r = fuzz::diffCheckSource(
+        "li $1, 0x40001\nlw $2, 0($1)\nhalt\n");
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.kind, fuzz::FailKind::ReferenceFault);
+}
+
+TEST(FinalStateSnapshot, ListsRegistersAndMemoryDeltas)
+{
+    Program prog = assemble(R"(
+    li $t0, 0x40000
+    li $t1, 0x1234
+    sw $t1, 8($t0)
+    halt
+    .org 0x40000
+    .word 0, 0, 0, 0
+)");
+    std::string snap = fuzz::finalStateSnapshot(prog);
+    EXPECT_NE(snap.find("insts "), std::string::npos);
+    EXPECT_NE(snap.find("reg $8 0x00040000"), std::string::npos) << snap;
+    EXPECT_NE(snap.find("reg $9 0x00001234"), std::string::npos) << snap;
+    EXPECT_NE(snap.find("mem 0x00040008 0x00001234"), std::string::npos)
+        << snap;
+    // Unmodified words do not appear.
+    EXPECT_EQ(snap.find("mem 0x00040004"), std::string::npos) << snap;
+}
+
+TEST(FinalStateSnapshot, ThrowsOnNonHaltingProgram)
+{
+    Program prog = assemble("top: j top\n");
+    EXPECT_THROW(fuzz::finalStateSnapshot(prog, 100), std::runtime_error);
+}
+
+TEST(Minimizer, CountInstLinesSkipsLabelsDirectivesComments)
+{
+    std::string src =
+        "# comment\n"
+        "main:\n"
+        "    li $t0, 5\n"        // li is one source line
+        "    .org 0x40000\n"
+        "data: .word 1, 2\n"     // directive with label: not an inst
+        "    halt\n";
+    EXPECT_EQ(fuzz::countInstLines(src), 2u);
+}
+
+TEST(Minimizer, ShrinksNonHaltingRepro)
+{
+    // Padding around an infinite loop: everything but the loop (and
+    // whatever padding is irrelevant to the verdict) must go.
+    std::string src;
+    for (int i = 0; i < 24; ++i)
+        src += "addi $t" + std::to_string(i % 8) + ", $zero, " +
+               std::to_string(i) + "\n";
+    src += "top: j top\n";
+    src += "halt\n";
+
+    fuzz::DiffOptions opt;
+    opt.maxSteps = 2000;
+    fuzz::MinimizeResult min = fuzz::minimize(src, opt);
+    EXPECT_EQ(min.kind, fuzz::FailKind::ReferenceNoHalt);
+    EXPECT_LE(min.instLines, 2u) << min.source;
+    // The minimized repro still fails the same way.
+    fuzz::DiffResult r = fuzz::diffCheckSource(min.source, opt);
+    EXPECT_EQ(r.kind, fuzz::FailKind::ReferenceNoHalt);
+}
+
+TEST(Minimizer, RejectsPassingInput)
+{
+    EXPECT_THROW(fuzz::minimize("halt\n"), std::invalid_argument);
+}
+
+#if DMDP_INVARIANTS
+
+TEST(Invariants, OutOfOrderStorePushFires)
+{
+    SimConfig cfg;
+    MemImg committed;
+    Hierarchy mem(cfg);
+    RegFile rf(cfg.numPhysRegs);
+    StoreBuffer sb(cfg, mem, committed, rf);
+
+    SbEntry a;
+    a.ssn = 2;
+    a.addr = 0x1000;
+    a.size = 4;
+    sb.push(a);
+
+    SbEntry stale;
+    stale.ssn = 1;      // younger push with an older SSN
+    stale.addr = 0x2000;
+    stale.size = 4;
+    try {
+        sb.push(stale);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation &e) {
+        EXPECT_NE(std::string(e.what()).find("pipeline invariant"),
+                  std::string::npos) << e.what();
+    }
+}
+
+TEST(Invariants, ViolationIsALogicError)
+{
+    // Catch sites that filter on std::logic_error must see violations.
+    try {
+        invariantViolation("x > y", "detail text");
+    } catch (const std::logic_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("x > y"), std::string::npos) << what;
+        EXPECT_NE(what.find("detail text"), std::string::npos) << what;
+    }
+}
+
+#endif // DMDP_INVARIANTS
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regression corpus for the differential fuzzer: checked-in stress
+ * programs (hand-seeded and promoted minimized repros) under
+ * tests/corpus/. Each program must (1) pass the full diffCheck oracle
+ * across all LSU models x engines and (2) reproduce its checked-in
+ * .expect architectural final-state snapshot exactly, so a behavior
+ * change in emulator or pipeline shows up as a readable text diff.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/diffcheck.h"
+#include "isa/assembler.h"
+
+#ifndef DMDP_CORPUS_DIR
+#error "DMDP_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace dmdp {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class FuzzCorpus : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::string stem() const
+    {
+        return std::string(DMDP_CORPUS_DIR) + "/" + GetParam();
+    }
+};
+
+TEST_P(FuzzCorpus, PassesDifferentialOracle)
+{
+    fuzz::DiffResult r = fuzz::diffCheckSource(readFile(stem() + ".s"));
+    EXPECT_TRUE(r.ok) << r.describe();
+    EXPECT_GT(r.refInsts, 0u);
+}
+
+TEST_P(FuzzCorpus, FinalStateMatchesExpectSnapshot)
+{
+    Program prog = assemble(readFile(stem() + ".s"));
+    EXPECT_EQ(fuzz::finalStateSnapshot(prog), readFile(stem() + ".expect"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, FuzzCorpus,
+    ::testing::Values("aliasing-burst", "partial-overlap", "silent-store",
+                      "hammock-cmov"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Boundary tests for the two power-of-2 rings the front end and ROB are
+ * built on: FetchWindow occupancy at 1, exactly kInitialCapacity and
+ * kInitialCapacity+1 (the grow path), TraceCursor::rewindTo across a
+ * wrapped window, and UopRing's full/empty head aliasing (head_ ==
+ * tail slot in both states; only count_ disambiguates).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/uopring.h"
+#include "func/fetchwindow.h"
+#include "isa/assembler.h"
+#include "trace/tracecursor.h"
+#include "trace/tracerecorder.h"
+
+namespace dmdp {
+namespace {
+
+/** Append @p n marker records (resultValue = seq) at the frontier. */
+void
+appendMarkers(FetchWindow &w, uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i) {
+        uint64_t seq = w.frontier();
+        DynInst &slot = w.append();
+        slot.seq = seq;
+        slot.resultValue = static_cast<uint32_t>(seq);
+    }
+}
+
+TEST(FetchWindow, SingleRecord)
+{
+    FetchWindow w;
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.base(), 0u);
+    EXPECT_EQ(w.frontier(), 0u);
+    EXPECT_FALSE(w.contains(0));
+
+    appendMarkers(w, 1);
+    EXPECT_FALSE(w.empty());
+    EXPECT_TRUE(w.contains(0));
+    EXPECT_FALSE(w.contains(1));
+    EXPECT_EQ(w[0].resultValue, 0u);
+
+    w.retireTo(1);
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.base(), 1u);
+    EXPECT_FALSE(w.contains(0));
+}
+
+TEST(FetchWindow, ExactlyInitialCapacityDoesNotLoseRecords)
+{
+    FetchWindow w;
+    appendMarkers(w, FetchWindow::kInitialCapacity);
+    EXPECT_EQ(w.frontier(), FetchWindow::kInitialCapacity);
+    for (uint64_t seq = 0; seq < FetchWindow::kInitialCapacity; ++seq) {
+        ASSERT_TRUE(w.contains(seq)) << "seq " << seq;
+        ASSERT_EQ(w[seq].resultValue, seq) << "seq " << seq;
+    }
+}
+
+TEST(FetchWindow, CapacityPlusOneGrowsAndPreservesContents)
+{
+    FetchWindow w;
+    appendMarkers(w, FetchWindow::kInitialCapacity + 1);
+    EXPECT_EQ(w.frontier(), FetchWindow::kInitialCapacity + 1);
+    for (uint64_t seq = 0; seq <= FetchWindow::kInitialCapacity; ++seq)
+        ASSERT_EQ(w[seq].resultValue, seq) << "seq " << seq;
+}
+
+TEST(FetchWindow, GrowWhileWrappedRelinearizes)
+{
+    // Retire first so head_ sits mid-ring, then overfill: grow() must
+    // copy the wrapped live range in order.
+    FetchWindow w;
+    appendMarkers(w, 700);
+    w.retireTo(600);
+    appendMarkers(w, FetchWindow::kInitialCapacity - 100 + 1);  // force grow
+    EXPECT_EQ(w.base(), 600u);
+    for (uint64_t seq = w.base(); seq < w.frontier(); ++seq)
+        ASSERT_EQ(w[seq].resultValue, seq) << "seq " << seq;
+}
+
+TEST(FetchWindow, WrapAroundManyTimes)
+{
+    // Sliding occupancy of 64 across 10x capacity: head_ wraps the ring
+    // repeatedly and every lookup must keep hitting its own record.
+    FetchWindow w;
+    constexpr uint64_t kLag = 64;
+    for (uint64_t i = 0; i < 10 * FetchWindow::kInitialCapacity; ++i) {
+        appendMarkers(w, 1);
+        if (i >= kLag)
+            w.retireTo(i - kLag);
+        ASSERT_EQ(w[i].resultValue, i) << "seq " << i;
+    }
+    EXPECT_EQ(w.frontier() - w.base(), kLag + 1);
+}
+
+TEST(FetchWindow, RetireToClampsAndIgnoresBackwardMoves)
+{
+    FetchWindow w;
+    appendMarkers(w, 10);
+    w.retireTo(4);
+    EXPECT_EQ(w.base(), 4u);
+    w.retireTo(2);              // backwards: no-op
+    EXPECT_EQ(w.base(), 4u);
+    w.retireTo(100);            // past the frontier: clamps
+    EXPECT_EQ(w.base(), 10u);
+    EXPECT_TRUE(w.empty());
+}
+
+/** A counted loop long enough to exceed the fetch window capacity. */
+trace::TraceBuffer
+loopTrace(uint64_t iterations)
+{
+    Program prog = assemble(
+        "li $1, " + std::to_string(iterations) + "\n"
+        "top: addi $1, $1, -1\n"
+        "bgtz $1, top\n"
+        "halt\n");
+    trace::TraceRecorder rec(prog);
+    trace::TraceBuffer buf = rec.record(1u << 20);
+    EXPECT_TRUE(buf.halted());
+    return buf;
+}
+
+/** Fetch @p hold records without retiring, rewind to 0, refetch, and
+ * require identical records both times. */
+void
+expectRewindRoundTrip(uint64_t hold)
+{
+    trace::TraceBuffer buf = loopTrace(hold + 16);
+    ASSERT_GE(buf.count(), hold);
+
+    trace::TraceCursor cur(buf);
+    std::vector<DynInst> first;
+    for (uint64_t i = 0; i < hold; ++i)
+        first.push_back(cur.fetch());
+
+    cur.rewindTo(0);
+    EXPECT_EQ(cur.cursor(), 0u);
+    for (uint64_t i = 0; i < hold; ++i) {
+        DynInst again = cur.fetch();
+        ASSERT_EQ(again.seq, first[i].seq);
+        ASSERT_EQ(again.pc, first[i].pc) << "seq " << i;
+        ASSERT_EQ(again.resultValue, first[i].resultValue) << "seq " << i;
+        ASSERT_EQ(again.nextPc, first[i].nextPc) << "seq " << i;
+    }
+}
+
+TEST(TraceCursorWindow, RewindWithOneHeldRecord)
+{
+    expectRewindRoundTrip(1);
+}
+
+TEST(TraceCursorWindow, RewindWithExactlyWindowCapacityHeld)
+{
+    expectRewindRoundTrip(FetchWindow::kInitialCapacity);
+}
+
+TEST(TraceCursorWindow, RewindWithCapacityPlusOneHeldGrowsWindow)
+{
+    expectRewindRoundTrip(FetchWindow::kInitialCapacity + 1);
+}
+
+TEST(TraceCursorWindow, RewindAfterWindowWrapsReplaysSameRecords)
+{
+    // Slide a retiring cursor far enough that the window's ring indices
+    // wrap several times, then rewind mid-flight at each wrap region.
+    constexpr uint64_t kLag = 32;
+    const uint64_t total = 3 * FetchWindow::kInitialCapacity;
+    trace::TraceBuffer buf = loopTrace(total);
+    ASSERT_GE(buf.count(), total);
+
+    trace::TraceCursor cur(buf);
+    std::vector<DynInst> seen;
+    for (uint64_t i = 0; i < total; ++i) {
+        seen.push_back(cur.fetch());
+        if (i >= kLag)
+            cur.retireUpTo(i - kLag);
+        // Near each capacity multiple, squash back by the full lag and
+        // replay: records must be bit-identical to the first pass.
+        if (i > kLag && (i % FetchWindow::kInitialCapacity) == 7) {
+            cur.rewindTo(i - kLag);
+            for (uint64_t j = i - kLag; j <= i; ++j) {
+                DynInst again = cur.fetch();
+                ASSERT_EQ(again.seq, seen[j].seq);
+                ASSERT_EQ(again.pc, seen[j].pc) << "seq " << j;
+                ASSERT_EQ(again.resultValue, seen[j].resultValue)
+                    << "seq " << j;
+            }
+        }
+    }
+}
+
+TEST(UopRing, FullAndEmptyShareHeadIndexButDisambiguate)
+{
+    // With head_ == tail slot in both states, count_ is the only
+    // discriminator: verify both extremes report correctly.
+    UopRing<int> ring(4);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+
+    for (int i = 0; i < 4; ++i)
+        ring.emplace_back() = i + 1;
+    EXPECT_FALSE(ring.empty());
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.front(), 1);
+    EXPECT_EQ(ring.back(), 4);
+
+    for (int i = 0; i < 4; ++i)
+        ring.pop_front();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(UopRing, RefillAfterWrapKeepsFifoOrder)
+{
+    UopRing<int> ring(4);
+    // Advance head_ to mid-ring, then run several full/empty cycles.
+    ring.emplace_back() = 0;
+    ring.emplace_back() = 0;
+    ring.pop_front();
+    ring.pop_front();
+
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        for (int i = 0; i < 4; ++i)
+            ring.emplace_back() = 10 * cycle + i;
+        int expect = 10 * cycle;
+        for (int v : ring)
+            EXPECT_EQ(v, expect++);
+        for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(ring.front(), 10 * cycle + i);
+            ring.pop_front();
+        }
+        EXPECT_TRUE(ring.empty());
+    }
+}
+
+TEST(UopRing, CapacityRoundsUpToPowerOfTwo)
+{
+    // A requested capacity of 3 yields a 4-slot ring: the 4th
+    // emplace_back is legal and addresses stay stable.
+    UopRing<int> ring(3);
+    int *first = &ring.emplace_back();
+    *first = 7;
+    ring.emplace_back() = 8;
+    ring.emplace_back() = 9;
+    ring.emplace_back() = 10;
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(*first, 7);
+    EXPECT_EQ(ring.front(), 7);
+    EXPECT_EQ(ring.back(), 10);
+}
+
+TEST(UopRing, ClearResetsToEmpty)
+{
+    UopRing<int> ring(8);
+    for (int i = 0; i < 5; ++i)
+        ring.emplace_back() = i;
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    ring.emplace_back() = 42;
+    EXPECT_EQ(ring.front(), 42);
+    EXPECT_EQ(ring.size(), 1u);
+}
+
+} // namespace
+} // namespace dmdp

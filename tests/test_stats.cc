@@ -107,6 +107,24 @@ TEST(Histogram, PercentileEmptyHistogramIsZero)
     EXPECT_EQ(h.percentile(0.5), 0u);
 }
 
+TEST(Histogram, PercentileSingleOccupiedBucketAtEveryFraction)
+{
+    // With every sample in one bucket, every percentile is that bucket.
+    Histogram h(10, 8);
+    for (int i = 0; i < 5; ++i)
+        h.sample(42);   // bucket 4 (width 10) -> representative value 40
+    uint64_t p0 = h.percentile(0.0);
+    for (double f : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0})
+        EXPECT_EQ(h.percentile(f), p0) << "fraction " << f;
+}
+
+TEST(Histogram, PercentileEmptyIsZeroForAllFractions)
+{
+    Histogram h(4, 32);
+    for (double f : {0.0, 0.5, 1.0})
+        EXPECT_EQ(h.percentile(f), 0u) << "fraction " << f;
+}
+
 TEST(StatGroup, DumpContainsRegisteredStats)
 {
     StatGroup group;
@@ -135,6 +153,47 @@ TEST(StatGroup, DuplicateRegistrationThrows)
     // A scalar and an average may share a name: separate namespaces.
     Average avg_c;
     group.regAverage("sim.cycles", &avg_c);
+}
+
+TEST(StatGroup, LookupReturnsRegisteredStat)
+{
+    StatGroup group;
+    Scalar cycles;
+    cycles += 11;
+    Average lat;
+    lat.sample(2.0);
+    group.regScalar("sim.cycles", &cycles);
+    group.regAverage("sim.loadLatency", &lat);
+
+    EXPECT_EQ(group.scalar("sim.cycles").value(), 11u);
+    EXPECT_DOUBLE_EQ(group.average("sim.loadLatency").mean(), 2.0);
+}
+
+TEST(StatGroup, LookupOfUnregisteredNameThrowsWithName)
+{
+    StatGroup group;
+    Scalar cycles;
+    group.regScalar("sim.cycles", &cycles);
+
+    try {
+        group.scalar("sim.cylces");     // deliberate typo
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("sim.cylces"),
+                  std::string::npos) << e.what();
+    }
+
+    try {
+        group.average("lsq.occupancy");
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("lsq.occupancy"),
+                  std::string::npos) << e.what();
+    }
+
+    // Registration namespaces are separate: a name registered as a
+    // scalar is still unregistered as an average.
+    EXPECT_THROW(group.average("sim.cycles"), std::out_of_range);
 }
 
 } // namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Differential fuzzing driver. Generates seeded random programs
+ * (src/fuzz/proggen), cross-checks each one against the architectural
+ * oracle under all LSU models × simulation engines (src/fuzz/diffcheck),
+ * and optionally minimizes failures into .s repro files suitable for
+ * promotion into tests/corpus/.
+ *
+ * Determinism contract: the same --seed/--count/--body always fuzzes
+ * the same programs and prints the same verdict lines; the wall-clock
+ * budget (--budget) only ever truncates the run.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "driver/results.h"
+#include "fuzz/diffcheck.h"
+#include "fuzz/minimize.h"
+#include "fuzz/proggen.h"
+#include "isa/assembler.h"
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "dmdp-fuzz: differential fuzzer (oracle vs pipeline, all models"
+        " x engines)\n"
+        "usage: dmdp-fuzz [options]\n"
+        "  --seed N        base seed; program i uses seed N+i"
+        " (default 1)\n"
+        "  --count N       number of programs to fuzz (default 200)\n"
+        "  --budget SEC    wall-clock budget; stops early once exceeded\n"
+        "  --body N        body instructions per program (default 48)\n"
+        "  --max-steps N   reference emulator instruction cap\n"
+        "  --minimize      shrink each failure and write repro files\n"
+        "  --out DIR       repro output directory (default fuzz-out)\n"
+        "  --dump N        print the program for seed N and exit\n"
+        "  --check FILE    diff-check one assembly file and exit\n"
+        "  --snapshot FILE print FILE's final-state snapshot and exit\n";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dmdp;
+
+    uint64_t seed = 1;
+    uint64_t count = 200;
+    double budgetSec = 0.0;
+    fuzz::GenOptions gen;
+    fuzz::DiffOptions diff;
+    bool doMinimize = false;
+    std::string outDir = "fuzz-out";
+    std::string checkFile;
+    std::string snapshotFile;
+    bool dump = false;
+    uint64_t dumpSeed = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            seed = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--count") {
+            count = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--budget") {
+            budgetSec = std::strtod(value().c_str(), nullptr);
+        } else if (arg == "--body") {
+            gen.bodyInsts =
+                static_cast<uint32_t>(std::strtoul(value().c_str(),
+                                                   nullptr, 0));
+        } else if (arg == "--max-steps") {
+            diff.maxSteps = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--minimize") {
+            doMinimize = true;
+        } else if (arg == "--out") {
+            outDir = value();
+        } else if (arg == "--dump") {
+            dump = true;
+            dumpSeed = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--check") {
+            checkFile = value();
+        } else if (arg == "--snapshot") {
+            snapshotFile = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        if (dump) {
+            std::cout << fuzz::generateProgram(dumpSeed, gen);
+            return 0;
+        }
+        if (!checkFile.empty()) {
+            fuzz::DiffResult r =
+                fuzz::diffCheckSource(readFile(checkFile), diff);
+            std::cout << checkFile << ": " << r.describe() << "\n";
+            return r.ok ? 0 : 1;
+        }
+        if (!snapshotFile.empty()) {
+            Program prog = assemble(readFile(snapshotFile));
+            std::cout << fuzz::finalStateSnapshot(prog, diff.maxSteps);
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    uint64_t ran = 0;
+    uint64_t failures = 0;
+    bool budgetHit = false;
+
+    for (uint64_t i = 0; i < count; ++i) {
+        if (budgetSec > 0.0) {
+            double elapsed = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0).count();
+            if (elapsed > budgetSec) {
+                budgetHit = true;
+                break;
+            }
+        }
+
+        uint64_t subSeed = seed + i;
+        std::string source = fuzz::generateProgram(subSeed, gen);
+        fuzz::DiffResult r = fuzz::diffCheckSource(source, diff);
+        ++ran;
+        if (r.ok)
+            continue;
+
+        ++failures;
+        std::cout << "FAIL seed=" << subSeed << ": " << r.describe()
+                  << "\n";
+
+        std::filesystem::create_directories(outDir);
+        std::string stem = outDir + "/repro-" + std::to_string(subSeed);
+        std::string repro = source;
+        uint32_t instLines = fuzz::countInstLines(source);
+
+        if (doMinimize) {
+            try {
+                fuzz::MinimizeResult min = fuzz::minimize(source, diff);
+                repro = min.source;
+                instLines = min.instLines;
+                std::cout << "  minimized to " << min.instLines
+                          << " instruction lines in " << min.attempts
+                          << " attempts\n";
+            } catch (const std::exception &e) {
+                std::cout << "  minimization failed: " << e.what()
+                          << "\n";
+            }
+        }
+
+        std::string header =
+            "# dmdp-fuzz repro (seed=" + std::to_string(subSeed) +
+            ", kind=" + fuzz::failKindName(r.kind) +
+            (r.engine.empty() ? "" : ", engine=" + r.engine) + ")\n" +
+            "# " + std::to_string(instLines) + " instruction lines\n" +
+            "# detail: " + r.detail + "\n";
+        driver::writeTextFile(stem + ".s", header + repro);
+        std::cout << "  wrote " << stem << ".s\n";
+
+        // The architectural snapshot stays meaningful whenever the
+        // reference side executed cleanly (i.e. the pipeline, not the
+        // oracle, is the diverging party).
+        if (r.kind != fuzz::FailKind::ReferenceFault &&
+            r.kind != fuzz::FailKind::ReferenceNoHalt) {
+            try {
+                driver::writeTextFile(
+                    stem + ".expect",
+                    fuzz::finalStateSnapshot(assemble(repro),
+                                             diff.maxSteps));
+            } catch (const std::exception &e) {
+                std::cout << "  snapshot failed: " << e.what() << "\n";
+            }
+        }
+    }
+
+    std::cout << "fuzz: " << ran << " programs, " << failures
+              << " failures (base seed " << seed << ")";
+    if (budgetHit)
+        std::cout << " [budget expired after " << ran << "/" << count
+                  << "]";
+    std::cout << "\n";
+    return failures ? 1 : 0;
+}
