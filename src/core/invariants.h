@@ -7,10 +7,13 @@
  * an age-ordered FIFO, physical-register reference counts conserve
  * (nothing leaks, nothing frees early), stores retire and commit in
  * strictly increasing SSN order, the store buffer drains completely,
- * and predication micro-ops never execute before their operands are
- * architecturally determined. The fuzzer (src/fuzz/) relies on these
- * checks to convert "subtly wrong timing state" into a loud failure at
- * the first cycle it becomes visible instead of a downstream stat diff.
+ * predication micro-ops never execute before their operands are
+ * architecturally determined, and recovery accounting closes — a load
+ * that re-executed has a matching SVW/T-SSBF detection and a load
+ * without one never re-executed. The fuzzer (src/fuzz/) and the
+ * fault-injection campaign (src/inject/) rely on these checks to
+ * convert "subtly wrong timing state" into a loud failure at the
+ * first cycle it becomes visible instead of a downstream stat diff.
  *
  * Checks are compiled out entirely under NDEBUG (Release /
  * RelWithDebInfo), so the hot path pays nothing; Debug builds run every

@@ -99,6 +99,33 @@ LoadStoreQueue::loadExecuted(uint64_t seq, uint32_t addr, uint8_t size,
     load->addr = addr;
     load->size = size;
     load->sourceSsn = source_ssn;
+
+    // Mirror of storeExecuted's scan, for the issue-to-complete window:
+    // an older store whose address resolved while this load was in
+    // flight saw executed == false and skipped it, so the load must
+    // check the SQ itself once its value materializes.
+    if (load->violated)
+        return;
+    for (const auto &store : stores) {
+        if (store.seq < seq && store.addrKnown &&
+            overlaps(store.addr, store.size, addr, size) &&
+            store.ssn > source_ssn) {
+            load->violated = true;
+            load->violatingStorePc = store.pc;
+            return;
+        }
+    }
+}
+
+void
+LoadStoreQueue::markViolated(uint64_t seq, uint32_t store_pc)
+{
+    LqEntry *load = findLoad(seq);
+    assert(load);
+    if (!load->violated) {
+        load->violated = true;
+        load->violatingStorePc = store_pc;
+    }
 }
 
 LqEntry *

@@ -85,9 +85,18 @@ class LoadStoreQueue
     SqSearchResult loadSearch(uint64_t seq, uint32_t addr, uint8_t size,
                               const Inst &load_inst) const;
 
-    /** Record a load's execution for later violation checks. */
+    /**
+     * Record a load's execution for later violation checks, and flag
+     * the load itself if an older colliding store resolved its address
+     * while the load was in flight (storeExecuted's scan only sees
+     * loads that have already executed).
+     */
     void loadExecuted(uint64_t seq, uint32_t addr, uint8_t size,
                       uint64_t source_ssn);
+
+    /** Flag a load whose delivered bytes are known stale (SB partial
+     * overlap discovered at completion): retire will squash it. */
+    void markViolated(uint64_t seq, uint32_t store_pc);
 
     LqEntry *findLoad(uint64_t seq);
     SqEntry *findStore(uint64_t seq);

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/bitutil.h"
+#include "inject/faultport.h"
 #include "pred/svw.h"
 
 namespace dmdp {
@@ -117,6 +118,13 @@ Pipeline::run()
         doCycle();
         if (now - lastProgressCycle > 500000)
             throw std::runtime_error(deadlockReport("pipeline deadlock"));
+        if (cancelToken &&
+            cancelToken->load(std::memory_order_relaxed)) {
+            throw SimCancelled("simulation cancelled at cycle " +
+                               std::to_string(now) + " (" +
+                               std::to_string(stats.instsRetired) +
+                               " insts retired)");
+        }
     }
 #if DMDP_INVARIANTS
     checkInvariants();
@@ -923,10 +931,35 @@ Pipeline::completeLoad(Uop *u)
 {
     if (cfg.model == LsuModel::Baseline) {
         uint64_t source_ssn;
+        bool stale_partial = false;
+        uint32_t stale_pc = 0;
         if (u->blSource == Uop::BlSource::Cache) {
-            u->obtainedValue = readExtended(committedMem, u->dyn.effAddr,
-                                            u->dyn.inst);
-            source_ssn = sb.ssnCommit();
+            // The cache/SB search at issue time found no collider, but
+            // an older store may have retired into the store buffer
+            // while the load was in flight; the cache image alone would
+            // silently miss it. Re-search at the cycle the value
+            // actually materializes.
+            auto fb = sb.findForward(
+                u->dyn.effAddr,
+                static_cast<uint8_t>(u->dyn.inst.memSize()), u->dyn.inst);
+            ++stats.sbSearches;
+            if (fb.kind == StoreBuffer::ForwardResult::Kind::Forward) {
+                u->obtainedValue = fb.value;
+                source_ssn = fb.ssn;
+            } else {
+                u->obtainedValue = readExtended(committedMem,
+                                                u->dyn.effAddr,
+                                                u->dyn.inst);
+                source_ssn = sb.ssnCommit();
+                if (fb.kind ==
+                    StoreBuffer::ForwardResult::Kind::Partial) {
+                    // Un-forwardable overlap: the bytes just read are
+                    // stale. Flag the load; retire squashes and the
+                    // re-execution sees the drained store.
+                    stale_partial = true;
+                    stale_pc = fb.pc;
+                }
+            }
         } else {
             u->obtainedValue = u->blFwdValue;
             source_ssn = u->blFwdSsn;
@@ -934,6 +967,8 @@ Pipeline::completeLoad(Uop *u)
         lsq.loadExecuted(u->seq, u->dyn.effAddr,
                          static_cast<uint8_t>(u->dyn.inst.memSize()),
                          source_ssn);
+        if (stale_partial)
+            lsq.markViolated(u->seq, stale_pc);
     } else if (u->cls == LoadClass::Bypass) {
         // Partial-word bypass: shift/mask of the store's register.
         uint32_t value = 0;
@@ -945,6 +980,7 @@ Pipeline::completeLoad(Uop *u)
         }
     } else {
         u->ssnNvul = sb.ssnCommit();
+        DMDP_FAULT_HOOK(svwNvul, u->ssnNvul);
         u->obtainedValue = readExtended(committedMem, u->dyn.effAddr,
                                         u->dyn.inst);
     }
@@ -984,6 +1020,7 @@ Pipeline::completeUop(Uop *u)
         u->predicateValue =
             wordAddr(u->dyn.effAddr) == wordAddr(u->fwdAddr) &&
             babCovers(u->fwdBab, load_bab);
+        DMDP_FAULT_HOOK(cmovPredicate, u->predicateValue);
         u->predicateKnown = true;
         // Copy the predicate into the group: the CMP may retire and
         // leave the ROB before the CMOVs execute, so they must not
@@ -1150,6 +1187,7 @@ Pipeline::verifyLoad(Uop *u)
             return true;
         }
         ++stats.reexecs;
+        u->reexecFired = true;
         u->reexecState = Uop::ReexecState::WaitDrain;
     }
 
@@ -1194,6 +1232,7 @@ Pipeline::retireStore(Uop *u)
     SbEntry entry;
     entry.ssn = u->dyn.ssn;
     entry.seq = u->seq;
+    entry.pc = u->pc;
     entry.addr = u->dyn.effAddr;
     entry.size = static_cast<uint8_t>(u->dyn.inst.memSize());
     entry.value = u->dyn.storeValue;
@@ -1258,6 +1297,44 @@ Pipeline::accountRetire(Uop *u)
         }
         if (cfg.model == LsuModel::Baseline)
             lsq.removeLoad(u->seq);
+
+#if DMDP_INVARIANTS
+        // Recovery accounting closes: a load marked re-executed has a
+        // matching SVW/T-SSBF detection from the colliding facts it
+        // stored at verification, and a load without one never
+        // re-executed. Guards against the recovery machinery firing
+        // spuriously or silently not at all.
+        if ((cfg.model == LsuModel::NoSQ || cfg.model == LsuModel::DMDP) &&
+            u->verifyEvaluated) {
+            uint8_t load_bab = byteAccessBits(u->dyn.effAddr,
+                                              u->dyn.inst.memSize());
+            bool fwd = u->cls == LoadClass::Bypass ||
+                       (u->cls == LoadClass::Predicated &&
+                        u->predicateValue);
+            bool need = fwd
+                ? svwForwardedLoadNeedsReexec(u->collidingSsn,
+                                              u->predictedSsn) ||
+                  (u->collidingMatched &&
+                   !babCovers(u->collidingBab, load_bab))
+                : svwCacheLoadNeedsReexec(u->collidingSsn, u->ssnNvul);
+            DMDP_INVARIANT(
+                u->reexecFired == need,
+                "re-execution accounting diverges from the SVW/T-SSBF "
+                "detection at seq " + std::to_string(u->seq) +
+                    ": reexecFired=" + std::to_string(u->reexecFired) +
+                    " need=" + std::to_string(need) + " collidingSsn=" +
+                    std::to_string(u->collidingSsn) + " predictedSsn=" +
+                    std::to_string(u->predictedSsn) + " ssnNvul=" +
+                    std::to_string(u->ssnNvul));
+        }
+#endif
+
+        if (onLoadRetire) {
+            bool fwd = u->cls == LoadClass::Bypass ||
+                       (u->cls == LoadClass::Predicated &&
+                        u->predicateValue);
+            onLoadRetire(*u, fwd ? forwardedValue(u) : u->obtainedValue);
+        }
     }
 
     if (u->instEnd) {

@@ -14,10 +14,12 @@
 #ifndef DMDP_CORE_PIPELINE_H
 #define DMDP_CORE_PIPELINE_H
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -44,6 +46,17 @@
 #include "pred/storeset.h"
 
 namespace dmdp {
+
+/**
+ * Thrown from Pipeline::run() when a cooperative cancellation token
+ * fires (watchdog-reaped sweep job). Distinct from std::runtime_error
+ * deadlock/drain failures so callers can tell "killed" from "broken".
+ */
+class SimCancelled : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** The timing core. One instance simulates one program on one config. */
 class Pipeline
@@ -94,6 +107,24 @@ class Pipeline
      * timing-invisible.
      */
     std::function<void(const Uop &)> onRetire;
+
+    /**
+     * Retiring-load observer: invoked once per retiring load micro-op
+     * with the value its consumers actually received (forwarded value
+     * for a cloaked load or a taken predication arm, cache value
+     * otherwise). The fault-injection campaign compares this against
+     * the oracle truth in the uop's dyn record to detect silent
+     * value corruption that end-state checks cannot see (the dyn
+     * records themselves are oracle truth). Timing-invisible.
+     */
+    std::function<void(const Uop &, uint32_t delivered)> onLoadRetire;
+
+    /**
+     * Cooperative cancellation: when set, run() polls the token once
+     * per simulated cycle and throws SimCancelled when it becomes
+     * true. The token must outlive the run.
+     */
+    const std::atomic<bool> *cancelToken = nullptr;
 
     /**
      * Simulation-speed profile of the run: wall time, cycles/sec,

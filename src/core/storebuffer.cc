@@ -5,6 +5,7 @@
 
 #include "core/crack.h"
 #include "core/invariants.h"
+#include "inject/faultport.h"
 
 namespace dmdp {
 
@@ -192,7 +193,18 @@ StoreBuffer::findForward(uint32_t addr, uint8_t size,
             result.kind = ForwardResult::Kind::Partial;
             result.ssn = it->ssn;
         }
-        return result;
+        result.pc = it->pc;
+        break;
+    }
+    // Injection may only demote Forward to Partial (a timing fault: the
+    // load retries once the store drains); the delivered value is never
+    // perturbed here, so any corruption must survive verification to
+    // matter.
+    if (result.kind == ForwardResult::Kind::Forward) {
+        int kind = 1;
+        DMDP_FAULT_HOOK(sbForward, kind);
+        if (kind == 2)
+            result.kind = ForwardResult::Kind::Partial;
     }
     return result;
 }

@@ -29,6 +29,7 @@ struct SbEntry
 {
     uint64_t ssn = 0;
     uint64_t seq = 0;
+    uint32_t pc = 0;
     uint32_t addr = 0;
     uint8_t size = 0;
     uint32_t value = 0;
@@ -75,6 +76,7 @@ class StoreBuffer
         Kind kind = Kind::NoMatch;
         uint64_t ssn = 0;
         uint32_t value = 0;
+        uint32_t pc = 0;    ///< the matching store's pc
     };
 
     /**

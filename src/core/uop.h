@@ -105,6 +105,7 @@ struct Uop
     ReexecState reexecState = ReexecState::None;
     uint64_t reexecDoneCycle = 0;
     bool verifyEvaluated = false;
+    bool reexecFired = false;       ///< SVW/T-SSBF demanded re-execution
     uint64_t collidingSsn = 0;      ///< T-SSBF answer at retire
     bool collidingMatched = false;
     uint8_t collidingBab = 0;

@@ -1,69 +1,75 @@
 #include "driver/results.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace dmdp::driver {
 
+// One authoritative counter list, expanded by both directions of the
+// name <-> field mapping (statFields and assignStatField).
+#define DMDP_STAT_FIELDS(X)                                              \
+    X(cycles)                                                            \
+    X(instsRetired)                                                      \
+    X(uopsRetired)                                                       \
+    X(loads)                                                             \
+    X(loadsDirect)                                                       \
+    X(loadsBypass)                                                       \
+    X(loadsDelayed)                                                      \
+    X(loadsPredicated)                                                   \
+    X(loadExecTimeSum)                                                   \
+    X(bypassExecTimeSum)                                                 \
+    X(delayedExecTimeSum)                                                \
+    X(lowConfExecTimeSum)                                                \
+    X(lowConfLoads)                                                      \
+    X(instExecTimeSum)                                                   \
+    X(instExecSamples)                                                   \
+    X(lcIndepStore)                                                      \
+    X(lcDiffStore)                                                       \
+    X(lcCorrect)                                                         \
+    X(reexecs)                                                           \
+    X(depMispredicts)                                                    \
+    X(reexecStallCycles)                                                 \
+    X(sbFullStallCycles)                                                 \
+    X(squashes)                                                          \
+    X(squashedUops)                                                      \
+    X(branches)                                                          \
+    X(branchMispredicts)                                                 \
+    X(fetchedInsts)                                                      \
+    X(renamedUops)                                                       \
+    X(iqWrites)                                                          \
+    X(iqIssues)                                                          \
+    X(rfReads)                                                           \
+    X(rfWrites)                                                          \
+    X(aluOps)                                                            \
+    X(predicationOps)                                                    \
+    X(storesCommitted)                                                   \
+    X(sqSearches)                                                        \
+    X(sbSearches)                                                        \
+    X(sdpLookups)                                                        \
+    X(sdpUpdates)                                                        \
+    X(ssbfReads)                                                         \
+    X(ssbfWrites)                                                        \
+    X(storeSetLookups)                                                   \
+    X(l1iAccesses)                                                       \
+    X(l1iMisses)                                                         \
+    X(l1dAccesses)                                                       \
+    X(l1dMisses)                                                         \
+    X(l2Accesses)                                                        \
+    X(l2Misses)                                                          \
+    X(dramAccesses)                                                      \
+    X(tlbMisses)                                                         \
+    X(remoteInvalidations)
+
 std::vector<std::pair<std::string, double>>
 statFields(const SimStats &s)
 {
     std::vector<std::pair<std::string, double>> f;
     auto add = [&](const char *name, double v) { f.emplace_back(name, v); };
-#define DMDP_STAT(field) add(#field, static_cast<double>(s.field))
-    DMDP_STAT(cycles);
-    DMDP_STAT(instsRetired);
-    DMDP_STAT(uopsRetired);
-    DMDP_STAT(loads);
-    DMDP_STAT(loadsDirect);
-    DMDP_STAT(loadsBypass);
-    DMDP_STAT(loadsDelayed);
-    DMDP_STAT(loadsPredicated);
-    DMDP_STAT(loadExecTimeSum);
-    DMDP_STAT(bypassExecTimeSum);
-    DMDP_STAT(delayedExecTimeSum);
-    DMDP_STAT(lowConfExecTimeSum);
-    DMDP_STAT(lowConfLoads);
-    DMDP_STAT(instExecTimeSum);
-    DMDP_STAT(instExecSamples);
-    DMDP_STAT(lcIndepStore);
-    DMDP_STAT(lcDiffStore);
-    DMDP_STAT(lcCorrect);
-    DMDP_STAT(reexecs);
-    DMDP_STAT(depMispredicts);
-    DMDP_STAT(reexecStallCycles);
-    DMDP_STAT(sbFullStallCycles);
-    DMDP_STAT(squashes);
-    DMDP_STAT(squashedUops);
-    DMDP_STAT(branches);
-    DMDP_STAT(branchMispredicts);
-    DMDP_STAT(fetchedInsts);
-    DMDP_STAT(renamedUops);
-    DMDP_STAT(iqWrites);
-    DMDP_STAT(iqIssues);
-    DMDP_STAT(rfReads);
-    DMDP_STAT(rfWrites);
-    DMDP_STAT(aluOps);
-    DMDP_STAT(predicationOps);
-    DMDP_STAT(storesCommitted);
-    DMDP_STAT(sqSearches);
-    DMDP_STAT(sbSearches);
-    DMDP_STAT(sdpLookups);
-    DMDP_STAT(sdpUpdates);
-    DMDP_STAT(ssbfReads);
-    DMDP_STAT(ssbfWrites);
-    DMDP_STAT(storeSetLookups);
-    DMDP_STAT(l1iAccesses);
-    DMDP_STAT(l1iMisses);
-    DMDP_STAT(l1dAccesses);
-    DMDP_STAT(l1dMisses);
-    DMDP_STAT(l2Accesses);
-    DMDP_STAT(l2Misses);
-    DMDP_STAT(dramAccesses);
-    DMDP_STAT(tlbMisses);
-    DMDP_STAT(remoteInvalidations);
+#define DMDP_STAT(field) add(#field, static_cast<double>(s.field));
+    DMDP_STAT_FIELDS(DMDP_STAT)
 #undef DMDP_STAT
     // Derived paper metrics, for consumers that should not have to
     // re-implement the formulas.
@@ -73,6 +79,19 @@ statFields(const SimStats &s)
     add("avgLoadExecTime", s.avgLoadExecTime());
     add("avgLowConfExecTime", s.avgLowConfExecTime());
     return f;
+}
+
+bool
+assignStatField(SimStats &s, const std::string &name, double value)
+{
+#define DMDP_STAT(field)                                                 \
+    if (name == #field) {                                                \
+        s.field = static_cast<decltype(s.field)>(value);                 \
+        return true;                                                     \
+    }
+    DMDP_STAT_FIELDS(DMDP_STAT)
+#undef DMDP_STAT
+    return false;
 }
 
 Json
@@ -95,6 +114,8 @@ resultToJson(const JobResult &r)
     // gate and BENCH_*.json files track.
     j.set("sim_cycles_per_sec", r.profile.cyclesPerSec());
     j.set("ok", r.ok);
+    j.set("attempts", Json(static_cast<double>(r.attempts)));
+    j.set("timed_out", r.timedOut);
     if (!r.ok)
         j.set("error", r.error);
     if (r.profile.enabled) {
@@ -117,12 +138,50 @@ resultToJson(const JobResult &r)
     return j;
 }
 
+bool
+resultFromJson(const Json &j, JobResult &out)
+{
+    if (!j.has("id") || !j.has("stats") || !j.has("ok"))
+        return false;
+    out.job.id = j.at("id").asString();
+    if (j.has("proxy"))
+        out.job.proxy = j.at("proxy").asString();
+    if (j.has("isInteger"))
+        out.job.isInteger = j.at("isInteger").asBool();
+    if (j.has("insts"))
+        out.job.insts = static_cast<uint64_t>(j.at("insts").asNumber());
+    if (j.has("configDigest"))
+        out.configDigest = std::strtoull(
+            j.at("configDigest").asString().c_str(), nullptr, 16);
+    if (j.has("wallSeconds"))
+        out.wallSeconds = j.at("wallSeconds").asNumber();
+    out.ok = j.at("ok").asBool();
+    if (j.has("attempts"))
+        out.attempts =
+            static_cast<uint32_t>(j.at("attempts").asNumber());
+    if (j.has("timed_out"))
+        out.timedOut = j.at("timed_out").asBool();
+    if (j.has("error"))
+        out.error = j.at("error").asString();
+    const Json &stats = j.at("stats");
+    for (const auto &[name, value] : stats.items())
+        assignStatField(out.stats, name, value.asNumber());
+    return true;
+}
+
 Json
 resultsToJson(const std::vector<JobResult> &results)
 {
     Json doc = Json::object();
     doc.set("schema", "dmdp-sweep-v1");
     doc.set("jobs", Json(static_cast<double>(results.size())));
+    size_t failed = 0, timed_out = 0;
+    for (const auto &r : results) {
+        failed += !r.ok;
+        timed_out += r.timedOut;
+    }
+    doc.set("failed", Json(static_cast<double>(failed)));
+    doc.set("timed_out", Json(static_cast<double>(timed_out)));
     Json arr = Json::array();
     for (const auto &r : results)
         arr.push(resultToJson(r));
@@ -130,12 +189,48 @@ resultsToJson(const std::vector<JobResult> &results)
     return doc;
 }
 
+Json
+reportToJson(const SweepReport &report)
+{
+    Json doc = resultsToJson(report.results);
+    doc.set("resumed", Json(static_cast<double>(report.resumed)));
+    doc.set("trace_fallbacks",
+            Json(static_cast<double>(report.traceFallbacks)));
+    if (!report.warnings.empty()) {
+        Json warns = Json::array();
+        for (const std::string &w : report.warnings)
+            warns.push(Json(w));
+        doc.set("warnings", std::move(warns));
+    }
+    return doc;
+}
+
+namespace {
+
+/** RFC-4180 quoting for fields that may carry commas or quotes. */
+std::string
+csvQuote(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
 std::string
 resultsToCsv(const std::vector<JobResult> &results)
 {
     std::ostringstream os;
     os << "id,proxy,model,isInteger,insts,configDigest,wallSeconds,"
-          "sim_cycles_per_sec";
+          "sim_cycles_per_sec,ok,attempts,timed_out,error";
     // Column set comes from the field list so the header never drifts
     // from the rows.
     SimStats empty;
@@ -152,7 +247,9 @@ resultsToCsv(const std::vector<JobResult> &results)
            << lsuModelName(r.job.cfg.model) << ','
            << (r.job.isInteger ? 1 : 0) << ',' << r.job.insts << ','
            << digest << ',' << r.wallSeconds << ','
-           << r.profile.cyclesPerSec();
+           << r.profile.cyclesPerSec() << ',' << (r.ok ? 1 : 0) << ','
+           << r.attempts << ',' << (r.timedOut ? 1 : 0) << ','
+           << csvQuote(r.error);
         for (const auto &[name, value] : statFields(r.stats)) {
             (void)name;
             char buf[32];

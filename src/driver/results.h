@@ -28,14 +28,39 @@ namespace dmdp::driver {
 std::vector<std::pair<std::string, double>>
 statFields(const SimStats &stats);
 
+/**
+ * Set one SimStats counter by its statFields() name. Returns false for
+ * unknown names (including the derived metrics, which are recomputed,
+ * not stored). The inverse of statFields(); the sweep journal uses it
+ * to restore results on --resume.
+ */
+bool assignStatField(SimStats &stats, const std::string &name,
+                     double value);
+
 /** One result as a JSON object (stats nested under "stats"). */
 Json resultToJson(const JobResult &result);
 
 /**
+ * Rebuild a JobResult from resultToJson() output (a journal line).
+ * Restores id/proxy/insts/digest, the ok/error/attempts/timed_out
+ * metadata, wall time, and every SimStats counter; the profile and the
+ * full SimConfig are not representable in the document and stay
+ * default. Returns false if required fields are missing.
+ */
+bool resultFromJson(const Json &j, JobResult &out);
+
+/**
  * A whole sweep as a JSON document:
- * {"schema": "dmdp-sweep-v1", "jobs": N, "results": [...]}.
+ * {"schema": "dmdp-sweep-v1", "jobs": N, "failed": N, "timed_out": N,
+ *  "results": [...]}.
  */
 Json resultsToJson(const std::vector<JobResult> &results);
+
+/**
+ * resultsToJson() plus the sweep-level resilience metadata: resumed
+ * job count, trace-capture fallbacks, and any degradation warnings.
+ */
+Json reportToJson(const SweepReport &report);
 
 /** A whole sweep as CSV with a header row (columns match statFields). */
 std::string resultsToCsv(const std::vector<JobResult> &results);

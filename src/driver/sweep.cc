@@ -3,13 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "core/pipeline.h"
+#include "driver/results.h"
 #include "sim/simulator.h"
 #include "trace/tracerecorder.h"
 #include "workloads/spec_proxies.h"
@@ -120,6 +125,7 @@ struct TraceSlot
     std::shared_ptr<const Program> prog;
     std::shared_ptr<const trace::TraceBuffer> trace;
     bool failed = false;    ///< recording threw: fall back to live
+    std::string error;      ///< why (surfaced once as a sweep warning)
 };
 
 std::string
@@ -128,16 +134,184 @@ workloadKey(const SweepJob &job)
     return job.proxy + '\0' + std::to_string(job.insts);
 }
 
+/**
+ * The watchdog's view of the attempts in flight: each worker registers
+ * its stack-owned cancellation token plus a deadline for the duration
+ * of one simulation attempt. The watchdog thread scans every ~20 ms
+ * and trips the token of any attempt past its deadline; the pipeline
+ * polls the token each simulated cycle and throws SimCancelled, so a
+ * hung or oversized job is reaped without touching its siblings.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(double timeout_sec)
+        : timeout_(std::chrono::duration_cast<
+                   std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(timeout_sec)))
+    {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~Watchdog()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    /** RAII registration of one attempt's cancellation token. */
+    class Scope
+    {
+      public:
+        Scope(Watchdog *dog, std::atomic<bool> *cancel) : dog_(dog)
+        {
+            if (dog_)
+                id_ = dog_->add(cancel);
+        }
+        ~Scope()
+        {
+            if (dog_)
+                dog_->remove(id_);
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Watchdog *dog_;
+        uint64_t id_ = 0;
+    };
+
+  private:
+    struct Entry
+    {
+        std::atomic<bool> *cancel;
+        std::chrono::steady_clock::time_point deadline;
+    };
+
+    uint64_t
+    add(std::atomic<bool> *cancel)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        uint64_t id = nextId_++;
+        active_[id] = {cancel, std::chrono::steady_clock::now() + timeout_};
+        return id;
+    }
+
+    void
+    remove(uint64_t id)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        active_.erase(id);
+    }
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        while (!stop_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(20));
+            auto now = std::chrono::steady_clock::now();
+            for (auto &[id, entry] : active_) {
+                if (now >= entry.deadline)
+                    entry.cancel->store(true, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    std::chrono::steady_clock::duration timeout_;
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::unordered_map<uint64_t, Entry> active_;
+    uint64_t nextId_ = 0;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+/** Journal key: a result is reusable only for the exact same run. */
+std::string
+resumeKey(const std::string &id, uint64_t digest, uint64_t insts)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "|%016llx|%llu",
+                  static_cast<unsigned long long>(digest),
+                  static_cast<unsigned long long>(insts));
+    return id + buf;
+}
+
+/**
+ * Load the ok entries of a JSONL journal. A missing file is an empty
+ * journal (the first run of a kill/resume loop). Unparseable lines
+ * (e.g. the torn final line of a killed sweep) are skipped; later
+ * entries for the same key win.
+ */
+std::unordered_map<std::string, JobResult>
+loadJournal(const std::string &path)
+{
+    std::unordered_map<std::string, JobResult> entries;
+    std::ifstream in(path);
+    if (!in)
+        return entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        JobResult r;
+        try {
+            if (!resultFromJson(Json::parse(line), r))
+                continue;
+        } catch (const JsonError &) {
+            continue;   // torn write: the job simply re-runs
+        }
+        if (!r.ok)
+            continue;
+        entries[resumeKey(r.job.id, r.configDigest, r.job.insts)] =
+            std::move(r);
+    }
+    return entries;
+}
+
 } // namespace
 
 std::vector<JobResult>
 SweepRunner::run(const std::vector<SweepJob> &jobs,
                  const Progress &progress) const
 {
-    std::vector<JobResult> results(jobs.size());
+    return runReport(jobs, SweepOptions{}, progress).results;
+}
+
+SweepReport
+SweepRunner::runReport(const std::vector<SweepJob> &jobs,
+                       const SweepOptions &opt,
+                       const Progress &progress) const
+{
+    SweepReport report;
+    report.results.resize(jobs.size());
+    std::vector<JobResult> &results = report.results;
     std::atomic<size_t> nextJob{0};
     std::atomic<size_t> nDone{0};
+    std::atomic<uint64_t> traceFallbacks{0};
     std::mutex progressMutex;
+
+    std::unordered_map<std::string, JobResult> resumable;
+    if (!opt.resumePath.empty())
+        resumable = loadJournal(opt.resumePath);
+
+    std::unique_ptr<Watchdog> watchdog;
+    if (opt.jobTimeoutSec > 0)
+        watchdog = std::make_unique<Watchdog>(opt.jobTimeoutSec);
+
+    std::mutex journalMutex;
+    std::ofstream journal;
+    if (!opt.journalPath.empty()) {
+        journal.open(opt.journalPath, std::ios::app);
+        if (!journal)
+            throw std::runtime_error("cannot open journal: " +
+                                     opt.journalPath);
+    }
 
     // One slot per workload shared by >1 jobs. Single-use workloads run
     // live: recording is the same emulation work plus encoding, so a
@@ -180,6 +354,26 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
             r.job.cfg.maxInsts = jobs[i].insts;
             r.configDigest = configDigest(r.job.cfg);
 
+            // Already in the resume journal: restore instead of re-run.
+            if (!resumable.empty()) {
+                auto it = resumable.find(resumeKey(
+                    r.job.id, r.configDigest, r.job.insts));
+                if (it != resumable.end()) {
+                    const JobResult &saved = it->second;
+                    r.stats = saved.stats;
+                    r.wallSeconds = saved.wallSeconds;
+                    r.ok = true;
+                    r.attempts = saved.attempts;
+                    r.resumed = true;
+                    size_t done = nDone.fetch_add(1) + 1;
+                    if (progress) {
+                        std::lock_guard<std::mutex> lock(progressMutex);
+                        progress(r, done, jobs.size());
+                    }
+                    continue;
+                }
+            }
+
             TraceSlot *slot = nullptr;
             if (!slots.empty()) {
                 auto it = slots.find(workloadKey(jobs[i]));
@@ -201,29 +395,73 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
                         slot->trace =
                             std::make_shared<const trace::TraceBuffer>(
                                 rec.takeBuffer());
+                    } catch (const std::exception &e) {
+                        slot->failed = true;
+                        slot->error = e.what();
                     } catch (...) {
                         slot->failed = true;
+                        slot->error = "unknown exception";
                     }
                 }
                 pg = slot->prog;
                 tr = slot->trace;
+                if (slot->failed)
+                    traceFallbacks.fetch_add(1);
             }
-            try {
-                // r.job.cfg.maxInsts was pinned above, so the shared-
-                // program path runs exactly what simulateProxy would.
-                r.stats = tr ? Simulator::replay(r.job.cfg, *pg, *tr,
-                                                 &r.profile)
-                             : simulateProxy(jobs[i].proxy, jobs[i].cfg,
-                                             jobs[i].insts, &r.profile);
-                r.ok = true;
-            } catch (const std::exception &e) {
-                r.error = e.what();
-            } catch (...) {
-                r.error = "unknown exception";
+
+            for (uint32_t attempt = 1;; ++attempt) {
+                r.attempts = attempt;
+                r.profile = SimProfile{};
+                std::atomic<bool> cancel{false};
+                try {
+                    if (beforeAttempt_)
+                        beforeAttempt_(jobs[i], attempt);
+                    Watchdog::Scope scope(watchdog.get(), &cancel);
+                    // r.job.cfg.maxInsts was pinned above, so the
+                    // shared-program path runs exactly what
+                    // simulateProxy would.
+                    r.stats = tr ? Simulator::replay(r.job.cfg, *pg, *tr,
+                                                     &r.profile, &cancel)
+                                 : simulateProxy(jobs[i].proxy,
+                                                 jobs[i].cfg,
+                                                 jobs[i].insts,
+                                                 &r.profile, &cancel);
+                    r.ok = true;
+                    r.error.clear();
+                    break;
+                } catch (const SimCancelled &e) {
+                    // Deterministic over-budget run: retrying would
+                    // time out identically, so report and move on.
+                    r.ok = false;
+                    r.timedOut = true;
+                    r.error = std::string("timed out after ") +
+                              std::to_string(opt.jobTimeoutSec) +
+                              "s: " + e.what();
+                    break;
+                } catch (const std::exception &e) {
+                    r.ok = false;
+                    r.error = e.what();
+                } catch (...) {
+                    r.ok = false;
+                    r.error = "unknown exception";
+                }
+                if (attempt > opt.retries)
+                    break;
+                // Brief linear backoff: retries target transient host
+                // trouble, not simulation bugs.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10 * attempt));
             }
             r.wallSeconds = std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
+
+            if (journal.is_open()) {
+                std::string line = resultToJson(r).dump() + "\n";
+                std::lock_guard<std::mutex> lock(journalMutex);
+                journal << line << std::flush;
+            }
+
             size_t done = nDone.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progressMutex);
@@ -245,7 +483,21 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
         for (auto &t : pool)
             t.join();
     }
-    return results;
+
+    report.traceFallbacks = traceFallbacks.load();
+    for (const JobResult &r : results) {
+        report.failed += !r.ok;
+        report.timedOut += r.timedOut;
+        report.resumed += r.resumed;
+    }
+    for (const auto &[key, slot] : slots) {
+        (void)key;
+        if (slot->failed)
+            report.warnings.push_back(
+                "trace capture failed (jobs fell back to live "
+                "emulation): " + slot->error);
+    }
+    return report;
 }
 
 std::vector<SweepJob>

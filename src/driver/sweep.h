@@ -43,6 +43,63 @@ struct JobResult
     uint64_t configDigest = 0;  ///< digest of job.cfg (see configDigest())
     bool ok = false;            ///< false if the job threw
     std::string error;          ///< exception message when !ok
+    uint32_t attempts = 1;      ///< simulation attempts (retries + 1)
+    bool timedOut = false;      ///< reaped by the watchdog (never retried)
+    bool resumed = false;       ///< restored from a journal, not re-run
+};
+
+/** Resilience knobs for one sweep (all off by default). */
+struct SweepOptions
+{
+    /**
+     * Per-job wall-clock budget in seconds; 0 disables the watchdog.
+     * An over-budget job's pipeline is cancelled cooperatively (see
+     * Pipeline::cancelToken), reported with timedOut set, and never
+     * retried — a deterministic simulation that timed out once would
+     * time out again.
+     */
+    double jobTimeoutSec = 0;
+
+    /**
+     * Extra attempts after a thrown (non-timeout) failure. Simulations
+     * are deterministic, so retries exist for transient host trouble
+     * (OOM kills, filesystem hiccups on workload build) — a retried
+     * success is bit-identical to a first-attempt success.
+     */
+    uint32_t retries = 0;
+
+    /**
+     * When non-empty, append each finished job to this JSONL journal
+     * (one resultToJson document per line, flushed per job) so an
+     * interrupted sweep can be resumed.
+     */
+    std::string journalPath;
+
+    /**
+     * When non-empty, read this journal first and skip every job whose
+     * (id, configDigest, insts) matches an ok entry, restoring its
+     * recorded result bit-for-bit (the profile is not restored — it
+     * describes host speed, not simulated behavior). A missing file is
+     * an empty journal, so a kill/resume loop needs no first-run
+     * special case. Truncated final lines (a killed sweep mid-write)
+     * are ignored. Only newly executed jobs are appended to
+     * journalPath.
+     */
+    std::string resumePath;
+};
+
+/** A sweep's results plus execution metadata. */
+struct SweepReport
+{
+    std::vector<JobResult> results;
+    uint64_t traceFallbacks = 0;    ///< jobs that re-emulated live after
+                                    ///< a shared-trace capture failure
+    size_t failed = 0;              ///< jobs !ok after all attempts
+    size_t timedOut = 0;            ///< subset of failed: watchdog kills
+    size_t resumed = 0;             ///< jobs restored from the journal
+    std::vector<std::string> warnings;  ///< one line per degraded path
+
+    bool ok() const { return failed == 0; }
 };
 
 /**
@@ -94,15 +151,39 @@ class SweepRunner
     bool traceReuse() const { return traceReuse_; }
 
     /**
+     * Test hook, called at the start of every simulation attempt
+     * (before any pipeline work) with the job and the 1-based attempt
+     * number. A throwing hook makes that attempt fail exactly like a
+     * thrown simulation; the failure-path tests use it to script
+     * failures deterministically. Not called for resumed jobs.
+     */
+    using BeforeAttempt =
+        std::function<void(const SweepJob &, uint32_t attempt)>;
+    void setBeforeAttempt(BeforeAttempt hook)
+    {
+        beforeAttempt_ = std::move(hook);
+    }
+
+    /**
      * Run every job and return results in the same order. The progress
      * callback (optional) is serialized under a mutex.
      */
     std::vector<JobResult> run(const std::vector<SweepJob> &jobs,
                                const Progress &progress = {}) const;
 
+    /**
+     * Resilient variant of run(): watchdog timeouts, bounded retries,
+     * and journal/resume per @p opt. run() is runReport() with default
+     * options, keeping only the results.
+     */
+    SweepReport runReport(const std::vector<SweepJob> &jobs,
+                          const SweepOptions &opt,
+                          const Progress &progress = {}) const;
+
   private:
     unsigned threads_;
     bool traceReuse_;
+    BeforeAttempt beforeAttempt_;
 };
 
 /**

@@ -76,11 +76,59 @@ struct EngineRun
 /** Run one pipeline configuration and perform the per-run checks. */
 EngineRun
 runEngine(const std::string &label, const SimConfig &cfg,
-          const Program &prog, FetchStream *external,
-          const std::vector<DynInst> &ref, const Emulator &refEmu)
+          const Program &prog, FetchStream *external, const Reference &ref)
 {
+    RunCheck check = verifyRun(cfg, prog, external, ref);
     EngineRun run;
     run.name = label;
+    run.failed = check.failed;
+    run.kind = check.kind;
+    run.detail = std::move(check.detail);
+    run.stats = std::move(check.stats);
+    return run;
+}
+
+} // namespace
+
+DiffResult
+buildReference(const Program &prog, uint64_t maxSteps, Reference &out,
+               bool require_halt)
+{
+    DiffResult result;
+    out.stream.clear();
+    out.emu = std::make_shared<Emulator>(prog);
+    DepAnnotator dep;
+    try {
+        while (!out.emu->halted() && out.stream.size() < maxSteps) {
+            DynInst dyn = out.emu->step();
+            dep.annotate(dyn);
+            out.stream.push_back(dyn);
+        }
+    } catch (const std::exception &e) {
+        result.ok = false;
+        result.kind = FailKind::ReferenceFault;
+        result.detail = e.what();
+        return result;
+    }
+    if (require_halt && !out.emu->halted()) {
+        result.ok = false;
+        result.kind = FailKind::ReferenceNoHalt;
+        result.detail = "no HALT within " + std::to_string(maxSteps) +
+                        " instructions";
+        return result;
+    }
+    result.refInsts = out.stream.size();
+    return result;
+}
+
+RunCheck
+verifyRun(const SimConfig &cfg, const Program &prog, FetchStream *external,
+          const Reference &ref,
+          const std::function<void(const Uop &, uint32_t)> &on_load_retire)
+{
+    RunCheck run;
+    const std::vector<DynInst> &stream = ref.stream;
+    const Emulator &refEmu = *ref.emu;
 
     auto fail = [&](FailKind kind, std::string detail) {
         run.failed = true;
@@ -98,7 +146,7 @@ runEngine(const std::string &label, const SimConfig &cfg,
         // comparable).
         uint64_t idx = 0;
         pipe.onRetire = [&](const Uop &u) {
-            if (idx >= ref.size()) {
+            if (idx >= stream.size()) {
                 if (!run.failed)
                     fail(FailKind::Stream,
                          "retired past the reference stream: " +
@@ -106,30 +154,32 @@ runEngine(const std::string &label, const SimConfig &cfg,
                 ++idx;
                 return;
             }
-            if (!run.failed && !dynEqual(u.dyn, ref[idx])) {
+            if (!run.failed && !dynEqual(u.dyn, stream[idx])) {
                 fail(FailKind::Stream,
                      "retired record " + std::to_string(idx) +
                          " diverged: pipeline {" + describeDyn(u.dyn) +
-                         "} vs reference {" + describeDyn(ref[idx]) + "}");
+                         "} vs reference {" + describeDyn(stream[idx]) +
+                         "}");
             }
             ++idx;
         };
+        pipe.onLoadRetire = on_load_retire;
 
         SimStats stats = pipe.run();
         if (run.failed)
             return run;
 
-        if (idx != ref.size()) {
+        if (idx != stream.size()) {
             fail(FailKind::Stream,
                  "retired " + std::to_string(idx) + " instructions, "
-                 "reference committed " + std::to_string(ref.size()));
+                 "reference committed " + std::to_string(stream.size()));
             return run;
         }
 
         // Final register file: reconstruct the architectural state the
         // retired stream defines and compare against the emulator's.
         auto regs = initialRegs();
-        for (const DynInst &d : ref) {
+        for (const DynInst &d : stream) {
             int dest = d.inst.destReg();
             if (dest > 0 && dest < static_cast<int>(kNumArchRegs))
                 regs[dest] = d.resultValue;
@@ -157,14 +207,13 @@ runEngine(const std::string &label, const SimConfig &cfg,
             return run;
         }
 
+        run.raw = stats;
         run.stats = driver::statFields(stats);
     } catch (const std::exception &e) {
         fail(FailKind::EngineException, e.what());
     }
     return run;
 }
-
-} // namespace
 
 const char *
 failKindName(FailKind kind)
@@ -198,35 +247,14 @@ DiffResult::describe() const
 DiffResult
 diffCheck(const Program &prog, const DiffOptions &opt)
 {
-    DiffResult result;
-
     // Architectural reference: one emulator pass, annotated with the
     // same dependence information the live oracle attaches, so every
     // record field (including SSNs and writer annotations a trace
     // decoder could corrupt) is comparable.
-    std::vector<DynInst> ref;
-    Emulator emu(prog);
-    DepAnnotator dep;
-    try {
-        while (!emu.halted() && ref.size() < opt.maxSteps) {
-            DynInst dyn = emu.step();
-            dep.annotate(dyn);
-            ref.push_back(dyn);
-        }
-    } catch (const std::exception &e) {
-        result.ok = false;
-        result.kind = FailKind::ReferenceFault;
-        result.detail = e.what();
+    Reference ref;
+    DiffResult result = buildReference(prog, opt.maxSteps, ref);
+    if (!result.ok)
         return result;
-    }
-    if (!emu.halted()) {
-        result.ok = false;
-        result.kind = FailKind::ReferenceNoHalt;
-        result.detail = "no HALT within " + std::to_string(opt.maxSteps) +
-                        " instructions";
-        return result;
-    }
-    result.refInsts = ref.size();
 
     static const LsuModel kModels[] = {LsuModel::Baseline, LsuModel::NoSQ,
                                        LsuModel::DMDP, LsuModel::Perfect};
@@ -235,7 +263,7 @@ diffCheck(const Program &prog, const DiffOptions &opt)
     // fetch-ahead any config reaches past the final HALT.
     SimConfig probe = SimConfig::forModel(LsuModel::DMDP);
     trace::TraceBuffer trace =
-        trace::recordTrace(prog, ref.size() + probe.robSize + 2048);
+        trace::recordTrace(prog, ref.stream.size() + probe.robSize + 2048);
 
     for (LsuModel model : kModels) {
         SimConfig cfg = SimConfig::forModel(model);
@@ -247,9 +275,9 @@ diffCheck(const Program &prog, const DiffOptions &opt)
         trace::TraceCursor cursor(trace);
 
         EngineRun runs[3] = {
-            runEngine(prefix + "/live", cfg, prog, nullptr, ref, emu),
-            runEngine(prefix + "/replay", cfg, prog, &cursor, ref, emu),
-            runEngine(prefix + "/legacy", legacy, prog, nullptr, ref, emu),
+            runEngine(prefix + "/live", cfg, prog, nullptr, ref),
+            runEngine(prefix + "/replay", cfg, prog, &cursor, ref),
+            runEngine(prefix + "/legacy", legacy, prog, nullptr, ref),
         };
 
         for (const EngineRun &run : runs) {

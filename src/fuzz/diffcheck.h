@@ -22,9 +22,21 @@
 #define DMDP_FUZZ_DIFFCHECK_H
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/config.h"
+#include "core/simstats.h"
+#include "func/emulator.h"
 #include "isa/program.h"
+
+namespace dmdp {
+class FetchStream;
+struct Uop;
+} // namespace dmdp
 
 namespace dmdp::fuzz {
 
@@ -62,6 +74,54 @@ struct DiffResult
 
 /** Cross-check @p prog across all models × engines. */
 DiffResult diffCheck(const Program &prog, const DiffOptions &opt = {});
+
+/**
+ * Architectural reference for one program: the dependence-annotated
+ * dynamic stream plus the halted emulator (final registers + memory).
+ * Build once, verify any number of pipeline runs against it.
+ */
+struct Reference
+{
+    std::vector<DynInst> stream;
+    std::shared_ptr<Emulator> emu;
+};
+
+/**
+ * Run @p prog through the emulator with dependence annotation. On
+ * failure the returned result carries ReferenceFault/ReferenceNoHalt
+ * and @p out is unusable.
+ *
+ * With @p require_halt false, a program still running after
+ * @p maxSteps yields a valid *prefix* reference: exactly maxSteps
+ * records, with the emulator's state at that point. Verify such a
+ * reference against a pipeline capped at cfg.maxInsts == maxSteps
+ * (retire order is program order, so the prefix states coincide).
+ */
+DiffResult buildReference(const Program &prog, uint64_t maxSteps,
+                          Reference &out, bool require_halt = true);
+
+/** Outcome of checking one pipeline run against a Reference. */
+struct RunCheck
+{
+    bool failed = false;
+    FailKind kind = FailKind::None;
+    std::string detail;
+    SimStats raw;       ///< the run's statistics (valid when !failed)
+    std::vector<std::pair<std::string, double>> stats;  ///< statFields
+};
+
+/**
+ * Simulate @p prog under @p cfg (replaying @p external when non-null)
+ * and verify the retired stream, final registers, and drained committed
+ * memory against @p ref. @p on_load_retire, when set, is forwarded to
+ * Pipeline::onLoadRetire — the fault-injection campaign uses it to
+ * watch the value each retiring load actually delivered.
+ */
+RunCheck
+verifyRun(const SimConfig &cfg, const Program &prog, FetchStream *external,
+          const Reference &ref,
+          const std::function<void(const Uop &, uint32_t)> &on_load_retire =
+              nullptr);
 
 /** Assemble @p source first; assembly errors report ReferenceFault. */
 DiffResult diffCheckSource(const std::string &source,

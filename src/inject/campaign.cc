@@ -1,0 +1,309 @@
+#include "inject/campaign.h"
+
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/uop.h"
+#include "fuzz/diffcheck.h"
+#include "fuzz/proggen.h"
+#include "isa/assembler.h"
+#include "workloads/spec_proxies.h"
+
+namespace dmdp::inject {
+
+namespace {
+
+/** Per-load delivered-value picture of one run: seq -> (got, truth)
+ * for every retiring load whose delivered value differed from oracle
+ * truth. Clean runs are nonempty only for the Perfect model (which has
+ * no verification stage), so comparison is differential. */
+using MismatchMap = std::map<uint64_t, std::pair<uint32_t, uint32_t>>;
+
+std::string
+hex(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
+}
+
+struct PairBaseline
+{
+    fuzz::RunCheck clean;
+    MismatchMap cleanMismatches;
+    Injector probe;     ///< per-site invocation counts of the clean run
+    std::vector<FaultSite> eligible;
+};
+
+/** All fault sites exercised at least once by the clean run. */
+std::vector<FaultSite>
+eligibleSites(const Injector &probe)
+{
+    std::vector<FaultSite> sites;
+    for (int s = 0; s < kNumFaultSites; ++s) {
+        if (probe.count(static_cast<FaultSite>(s)) > 0)
+            sites.push_back(static_cast<FaultSite>(s));
+    }
+    return sites;
+}
+
+/** One verified run with @p port armed; fills @p mismatches. */
+fuzz::RunCheck
+armedRun(const SimConfig &cfg, const Workload &w, const fuzz::Reference &ref,
+         FaultPort &port, MismatchMap &mismatches)
+{
+    FaultPort::ArmScope arm(port);
+    return fuzz::verifyRun(
+        cfg, w.prog, nullptr, ref,
+        [&](const Uop &u, uint32_t delivered) {
+            if (delivered != u.dyn.resultValue)
+                mismatches[u.dyn.seq] = {delivered, u.dyn.resultValue};
+        });
+}
+
+Outcome
+classify(const Injector &inj, const fuzz::RunCheck &check,
+         const MismatchMap &mismatches, const PairBaseline &base,
+         std::string &detail)
+{
+    if (inj.fired() == 0) {
+        // The pre-fault prefix is bit-identical to the clean run, so a
+        // chosen trigger below the clean count must always be reached.
+        detail = "trigger never reached (determinism bug?)";
+        return Outcome::NotTriggered;
+    }
+    if (check.failed) {
+        detail = std::string(fuzz::failKindName(check.kind)) + ": " +
+                 check.detail;
+        return check.kind == fuzz::FailKind::EngineException
+                   ? Outcome::DetectedFatal
+                   : Outcome::SilentDivergence;
+    }
+    if (mismatches != base.cleanMismatches) {
+        for (const auto &[seq, got] : mismatches) {
+            auto it = base.cleanMismatches.find(seq);
+            if (it == base.cleanMismatches.end() || it->second != got) {
+                detail = "load seq " + std::to_string(seq) +
+                         " delivered " + hex(got.first) + ", truth " +
+                         hex(got.second);
+                break;
+            }
+        }
+        if (detail.empty())
+            detail = "delivered-value mismatch set shrank vs clean run";
+        return Outcome::SilentDivergence;
+    }
+    if (check.raw.reexecs > base.clean.raw.reexecs ||
+        check.raw.depMispredicts > base.clean.raw.depMispredicts) {
+        return Outcome::Recovered;
+    }
+    return Outcome::Masked;
+}
+
+} // namespace
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::NotTriggered: return "not-triggered";
+      case Outcome::Masked: return "masked";
+      case Outcome::Recovered: return "recovered";
+      case Outcome::DetectedFatal: return "detected-fatal";
+      case Outcome::SilentDivergence: return "silent-divergence";
+    }
+    return "unknown";
+}
+
+std::vector<Workload>
+generatedWorkloads(uint64_t seed, uint32_t count)
+{
+    std::vector<Workload> out;
+    out.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        Workload w;
+        w.name = "gen:" + std::to_string(seed + i);
+        w.prog = assemble(fuzz::generateProgram(seed + i));
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+std::vector<Workload>
+proxyWorkloads(const std::vector<std::string> &names, uint64_t insts)
+{
+    std::vector<Workload> out;
+    out.reserve(names.size());
+    for (const std::string &name : names) {
+        Workload w;
+        w.name = name;
+        w.prog = buildProxy(name, insts);
+        w.maxInsts = insts;
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+CampaignSummary
+runCampaign(const std::vector<Workload> &workloads,
+            const CampaignOptions &opt,
+            const std::function<void(const std::string &)> &progress)
+{
+    CampaignSummary summary;
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const Workload &w = workloads[wi];
+
+        // The reference emulation is fault-free by construction (the
+        // injector only hooks microarchitectural state).
+        fuzz::Reference ref;
+        uint64_t cap = w.maxInsts ? w.maxInsts : (1u << 20);
+        fuzz::DiffResult built =
+            fuzz::buildReference(w.prog, cap, ref, w.maxInsts == 0);
+        if (!built.ok) {
+            throw std::runtime_error("campaign workload " + w.name +
+                                     ": " + built.describe());
+        }
+
+        for (size_t mi = 0; mi < opt.models.size(); ++mi) {
+            LsuModel model = opt.models[mi];
+            SimConfig cfg = SimConfig::forModel(model);
+            if (w.maxInsts)
+                cfg.maxInsts = w.maxInsts;
+
+            // Clean run: oracle-checked baseline + site census.
+            PairBaseline base;
+            base.clean =
+                armedRun(cfg, w, ref, base.probe, base.cleanMismatches);
+            if (base.clean.failed) {
+                throw std::runtime_error(
+                    "clean run failed for " + w.name + "/" +
+                    lsuModelName(model) + ": " +
+                    fuzz::failKindName(base.clean.kind) + ": " +
+                    base.clean.detail);
+            }
+            base.eligible = eligibleSites(base.probe);
+
+            uint64_t recovered = 0;
+            for (uint32_t f = 0; f < opt.faultsPerPair; ++f) {
+                FaultRecord rec;
+                rec.workload = w.name;
+                rec.model = lsuModelName(model);
+
+                if (base.eligible.empty()) {
+                    // No speculation state to corrupt on this pair
+                    // (e.g. a workload with no loads): record the
+                    // planned fault as not-triggered-by-construction.
+                    rec.outcome = Outcome::Masked;
+                    rec.detail = "no eligible fault sites";
+                    summary.records.push_back(std::move(rec));
+                    ++summary.byOutcome[static_cast<int>(Outcome::Masked)];
+                    ++summary.total;
+                    continue;
+                }
+
+                // Draw the fault deterministically from the campaign
+                // seed and the (workload, model, fault) coordinates.
+                Rng rng(opt.seed * 0x9e3779b97f4a7c15ull +
+                        wi * 1000003ull + mi * 10007ull + f + 1);
+                FaultSite site = base.eligible[rng.below(
+                    base.eligible.size())];
+                rec.spec.site = site;
+                rec.spec.trigger = rng.below(base.probe.count(site));
+                rec.spec.burst = 1 + static_cast<uint32_t>(rng.below(4));
+                rec.spec.payload = rng.next();
+
+                Injector inj(rec.spec);
+                MismatchMap mismatches;
+                fuzz::RunCheck check =
+                    armedRun(cfg, w, ref, inj, mismatches);
+
+                rec.outcome = classify(inj, check, mismatches, base,
+                                       rec.detail);
+                if (rec.outcome == Outcome::Recovered)
+                    ++recovered;
+                ++summary.byOutcome[static_cast<int>(rec.outcome)];
+                ++summary.total;
+                summary.records.push_back(std::move(rec));
+            }
+
+            if (progress) {
+                progress(w.name + "/" + lsuModelName(model) + ": " +
+                         std::to_string(opt.faultsPerPair) + " faults, " +
+                         std::to_string(recovered) + " recovered");
+            }
+        }
+    }
+    return summary;
+}
+
+driver::Json
+CampaignSummary::toJson() const
+{
+    using driver::Json;
+
+    Json histogram = Json::object();
+    for (int o = 0; o < kNumOutcomes; ++o)
+        histogram.set(outcomeName(static_cast<Outcome>(o)), byOutcome[o]);
+
+    // Per-site × outcome histogram, from the records.
+    uint64_t bySite[kNumFaultSites][kNumOutcomes] = {};
+    for (const FaultRecord &rec : records) {
+        if (rec.detail == "no eligible fault sites")
+            continue;
+        bySite[static_cast<int>(rec.spec.site)]
+              [static_cast<int>(rec.outcome)]++;
+    }
+    Json sites = Json::object();
+    for (int s = 0; s < kNumFaultSites; ++s) {
+        Json row = Json::object();
+        uint64_t any = 0;
+        for (int o = 0; o < kNumOutcomes; ++o) {
+            row.set(outcomeName(static_cast<Outcome>(o)), bySite[s][o]);
+            any += bySite[s][o];
+        }
+        if (any)
+            sites.set(faultSiteName(static_cast<FaultSite>(s)),
+                      std::move(row));
+    }
+
+    Json runs = Json::array();
+    for (const FaultRecord &rec : records) {
+        Json r = Json::object();
+        r.set("workload", rec.workload);
+        r.set("model", rec.model);
+        r.set("site", faultSiteName(rec.spec.site));
+        r.set("trigger", rec.spec.trigger);
+        r.set("burst", static_cast<uint64_t>(rec.spec.burst));
+        r.set("payload", std::to_string(rec.spec.payload));
+        r.set("outcome", outcomeName(rec.outcome));
+        if (!rec.detail.empty())
+            r.set("detail", rec.detail);
+        runs.push(std::move(r));
+    }
+
+    Json root = Json::object();
+    root.set("schema", "dmdp-inject-v1");
+    root.set("faults", total);
+    root.set("ok", ok());
+    root.set("histogram", std::move(histogram));
+    root.set("bySite", std::move(sites));
+    root.set("runs", std::move(runs));
+    return root;
+}
+
+std::string
+CampaignSummary::describe() const
+{
+    std::string s = std::to_string(total) + " faults:";
+    for (int o = 0; o < kNumOutcomes; ++o) {
+        s += " " + std::string(outcomeName(static_cast<Outcome>(o))) +
+             "=" + std::to_string(byOutcome[o]);
+    }
+    s += ok() ? " [OK]" : " [FAIL]";
+    return s;
+}
+
+} // namespace dmdp::inject

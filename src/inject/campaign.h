@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fault-injection campaigns: the executable form of the DMDP safety
+ * argument.
+ *
+ * A campaign takes a set of workloads, runs each one clean under each
+ * LSU model to count the eligible fault sites and capture a baseline,
+ * then replays it N times with one seeded fault armed per run and
+ * classifies every outcome:
+ *
+ *  - not-triggered: the trigger point was never reached (the pre-fault
+ *    prefix of a run is bit-identical to the clean run, so this class
+ *    must stay empty — anything here is a determinism bug);
+ *  - masked: the perturbation was absorbed with no recovery activity
+ *    (e.g. a corrupted hint still produced a safe classification, or
+ *    the fault only cost cycles);
+ *  - recovered: verification detected the damage — re-executions or
+ *    dependence-exception squashes above the clean baseline — and the
+ *    run still produced the correct architectural result;
+ *  - detected-fatal: the run died on an exception (deadlock guard,
+ *    invariant violation). Loud, but a robustness bug worth fixing;
+ *  - silent-divergence: the run completed with a wrong retired stream,
+ *    wrong final registers/memory, or a load that delivered a value
+ *    differing from oracle truth without correction. This is the class
+ *    the safety argument says is impossible; one occurrence fails the
+ *    campaign.
+ *
+ * Correctness is judged with the differential-fuzzing oracle
+ * (fuzz::verifyRun) plus a per-load delivered-value watch through
+ * Pipeline::onLoadRetire, compared *differentially* against the clean
+ * run — the Perfect model legitimately delivers stale values for some
+ * uncovered loads (it has no verification stage), so only faults that
+ * change the delivered-value picture count as divergence.
+ */
+
+#ifndef DMDP_INJECT_CAMPAIGN_H
+#define DMDP_INJECT_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "driver/json.h"
+#include "inject/injector.h"
+#include "isa/program.h"
+
+namespace dmdp::inject {
+
+/** Outcome classes, in increasing order of severity. */
+enum class Outcome : uint8_t
+{
+    NotTriggered,
+    Masked,
+    Recovered,
+    DetectedFatal,
+    SilentDivergence,
+};
+
+constexpr int kNumOutcomes = 5;
+
+const char *outcomeName(Outcome outcome);
+
+/** One program to inject faults into. */
+struct Workload
+{
+    std::string name;   ///< e.g. "gen:7" or "perl"
+    Program prog;
+    /** 0 = run to HALT; else cap the run (proxy workloads). */
+    uint64_t maxInsts = 0;
+};
+
+/** Generated stress workloads: fuzz::generateProgram(seed..seed+n-1). */
+std::vector<Workload> generatedWorkloads(uint64_t seed, uint32_t count);
+
+/** Proxy workloads by name, each capped at @p insts instructions. */
+std::vector<Workload> proxyWorkloads(const std::vector<std::string> &names,
+                                     uint64_t insts);
+
+struct CampaignOptions
+{
+    uint64_t seed = 1;
+    /** Faults injected per (workload, model) pair. */
+    uint32_t faultsPerPair = 25;
+    std::vector<LsuModel> models = {LsuModel::Baseline, LsuModel::NoSQ,
+                                    LsuModel::DMDP, LsuModel::Perfect};
+};
+
+/** One injected fault and its classification. */
+struct FaultRecord
+{
+    std::string workload;
+    std::string model;
+    FaultSpec spec;
+    Outcome outcome = Outcome::NotTriggered;
+    std::string detail;     ///< populated for fatal / silent outcomes
+};
+
+struct CampaignSummary
+{
+    uint64_t total = 0;
+    uint64_t byOutcome[kNumOutcomes] = {};
+    std::vector<FaultRecord> records;
+
+    uint64_t silent() const
+    {
+        return byOutcome[static_cast<int>(Outcome::SilentDivergence)];
+    }
+    uint64_t fatal() const
+    {
+        return byOutcome[static_cast<int>(Outcome::DetectedFatal)];
+    }
+
+    /** The safety claim held: nothing silent, nothing fatal. */
+    bool ok() const { return silent() == 0 && fatal() == 0; }
+
+    /** Machine-readable report ("dmdp-inject-v1"). */
+    driver::Json toJson() const;
+
+    std::string describe() const;
+};
+
+/**
+ * Run the campaign. @p progress, when set, receives one line per
+ * (workload, model) pair. Throws std::runtime_error if a *clean* run
+ * fails its oracle check (the campaign's precondition is a green
+ * tier-1 state).
+ */
+CampaignSummary
+runCampaign(const std::vector<Workload> &workloads,
+            const CampaignOptions &opt,
+            const std::function<void(const std::string &)> &progress =
+                nullptr);
+
+} // namespace dmdp::inject
+
+#endif // DMDP_INJECT_CAMPAIGN_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fault-injection hook points for the speculation machinery.
+ *
+ * DMDP's safety argument (DESIGN.md, PAPER.md §3.3/§4) is that the
+ * dependence *predictors* are untrusted hints: no matter how wrong
+ * they are, retire-time verification through the SVW filter and the
+ * T-SSBF converts every mispredication into a re-execution or a full
+ * squash — never into silent architectural corruption. The injection
+ * campaign (src/inject/campaign.h) makes that claim executable by
+ * perturbing speculation state mid-run and classifying the outcome.
+ *
+ * This header defines the *port* the perturbations flow through. Each
+ * hook site in src/pred and src/core is one guarded call on the
+ * thread-local armed port:
+ *
+ *     DMDP_FAULT_HOOK(sdpPrediction, pred.dependent, pred.distance,
+ *                     pred.confident);
+ *
+ * When no campaign is armed (every production run, every sweep job)
+ * the hook is a thread-local load plus one predictable branch — the
+ * micro_speed --check gate against BENCH_pr3.json holds with the hooks
+ * compiled in. The port is thread-local so an armed campaign on one
+ * thread never perturbs sweep jobs running on its siblings.
+ *
+ * The interface deliberately passes bare scalars, not predictor types:
+ * src/pred and src/core stay free of any dependency on the injection
+ * subsystem beyond this header, and the fault *model* (which
+ * perturbations are drawn, and why each stays inside the envelope the
+ * safety argument covers) lives entirely in src/inject/injector.cc.
+ * See docs/ARCHITECTURE.md §10 for the fault-model table.
+ */
+
+#ifndef DMDP_INJECT_FAULTPORT_H
+#define DMDP_INJECT_FAULTPORT_H
+
+#include <cstdint>
+
+namespace dmdp::inject {
+
+/** Hook sites, one per perturbable piece of speculation state. */
+enum class FaultSite : uint8_t
+{
+    SdpPrediction,  ///< SDP/TAGE answer: dependent / distance / confidence
+    StoreSetLoad,   ///< store-set LFST tag a renaming load must wait for
+    SsbfLookup,     ///< T-SSBF answer at load verification
+    SsbfInsert,     ///< SSN recorded with a retiring store in the T-SSBF
+    SvwNvul,        ///< load's SSN_nvul sampled at cache read (SVW index)
+    SbForward,      ///< store-buffer forwarding search outcome (baseline)
+    CmovPredicate,  ///< CMP outcome steering the predication CMOVs
+};
+
+constexpr int kNumFaultSites = 7;
+
+const char *faultSiteName(FaultSite site);
+
+/**
+ * Abstract perturbation port. Default implementations are no-ops so an
+ * implementation (the campaign injector, or a counting probe) only
+ * overrides the sites it cares about. Every method receives mutable
+ * references to the exact state the site is about to act on.
+ */
+class FaultPort
+{
+  public:
+    virtual ~FaultPort() = default;
+
+    virtual void sdpPrediction(bool &dependent, uint32_t &distance,
+                               bool &confident)
+    {
+        (void)dependent; (void)distance; (void)confident;
+    }
+
+    /** @p tag is the LFST in-flight store tag (~0u = wait on nothing). */
+    virtual void storeSetLoad(uint32_t &tag) { (void)tag; }
+
+    virtual void ssbfLookup(uint64_t &ssn, bool &matched,
+                            uint8_t &store_bab)
+    {
+        (void)ssn; (void)matched; (void)store_bab;
+    }
+
+    virtual void ssbfInsert(uint64_t &ssn) { (void)ssn; }
+
+    virtual void svwNvul(uint64_t &ssn_nvul) { (void)ssn_nvul; }
+
+    /** @p kind: 0 = NoMatch, 1 = Forward, 2 = Partial (retry). */
+    virtual void sbForward(int &kind) { (void)kind; }
+
+    virtual void cmovPredicate(bool &predicate) { (void)predicate; }
+
+    // ---- Arming (thread-local; RAII via ArmScope). ----
+
+    static FaultPort *armed() { return tlArmed; }
+
+    /** Arms @p port on this thread for the lifetime of the scope. */
+    class ArmScope
+    {
+      public:
+        explicit ArmScope(FaultPort &port) : prev_(tlArmed)
+        {
+            tlArmed = &port;
+        }
+        ~ArmScope() { tlArmed = prev_; }
+        ArmScope(const ArmScope &) = delete;
+        ArmScope &operator=(const ArmScope &) = delete;
+
+      private:
+        FaultPort *prev_;
+    };
+
+  private:
+    inline static thread_local FaultPort *tlArmed = nullptr;
+};
+
+inline const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::SdpPrediction: return "sdp-prediction";
+      case FaultSite::StoreSetLoad: return "storeset-load-tag";
+      case FaultSite::SsbfLookup: return "ssbf-lookup";
+      case FaultSite::SsbfInsert: return "ssbf-insert";
+      case FaultSite::SvwNvul: return "svw-nvul";
+      case FaultSite::SbForward: return "sb-forward";
+      case FaultSite::CmovPredicate: return "cmov-predicate";
+    }
+    return "unknown";
+}
+
+} // namespace dmdp::inject
+
+/**
+ * One guarded hook call: free (a thread-local load and a predictable
+ * branch) when no campaign is armed on this thread.
+ */
+#define DMDP_FAULT_HOOK(method, ...)                                    \
+    do {                                                                \
+        if (::dmdp::inject::FaultPort *fp__ =                           \
+                ::dmdp::inject::FaultPort::armed())                     \
+            fp__->method(__VA_ARGS__);                                  \
+    } while (0)
+
+#endif // DMDP_INJECT_FAULTPORT_H

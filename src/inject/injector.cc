@@ -1,0 +1,150 @@
+#include "inject/injector.h"
+
+#include "pred/storeset.h"
+
+namespace dmdp::inject {
+
+std::string
+FaultSpec::describe() const
+{
+    return std::string(faultSiteName(site)) + "@" +
+           std::to_string(trigger) + "x" + std::to_string(burst) +
+           " payload=" + std::to_string(payload);
+}
+
+bool
+Injector::fire(FaultSite site)
+{
+    uint64_t idx = counts_[static_cast<size_t>(site)]++;
+    if (!faulting_ || site != spec_.site)
+        return false;
+    return idx >= spec_.trigger && idx < spec_.trigger + spec_.burst;
+}
+
+Rng
+Injector::fireRng() const
+{
+    // Mix in the per-burst fire ordinal so a burst does not repeat the
+    // identical perturbation; fired_ has not been incremented yet here.
+    return Rng((spec_.payload ^ 0xa02bdbf7bb3c0a7ull) + fired_ * 0x9e3779b9ull);
+}
+
+void
+Injector::sdpPrediction(bool &dependent, uint32_t &distance, bool &confident)
+{
+    if (!fire(FaultSite::SdpPrediction))
+        return;
+    // Predictions are untrusted hints: corrupt them arbitrarily. The
+    // pipeline's classification clamps any distance into a live
+    // schedule (classifyLoad treats out-of-range distances as
+    // independent and never waits on a committed store).
+    Rng rng = fireRng();
+    switch (rng.below(4)) {
+      case 0:
+        dependent = !dependent;
+        break;
+      case 1:
+        distance ^= 1u << rng.below(6);     // 6-bit hardware field
+        dependent = true;
+        break;
+      case 2:
+        confident = !confident;
+        dependent = true;
+        break;
+      default:
+        dependent = !dependent;
+        distance = static_cast<uint32_t>(rng.below(64));
+        confident = rng.below(2) != 0;
+        break;
+    }
+    ++fired_;
+}
+
+void
+Injector::storeSetLoad(uint32_t &tag)
+{
+    if (!fire(FaultSite::StoreSetLoad))
+        return;
+    // Drop or misdirect the store-set wait. A fabricated tag that names
+    // no in-flight store simply waits on nothing, so both directions
+    // are liveness-safe; correctness falls to the LSQ's violation
+    // detection, which is the point.
+    Rng rng = fireRng();
+    if (tag == StoreSet::kInvalid || rng.below(2) == 0)
+        tag = StoreSet::kInvalid;
+    else
+        tag ^= static_cast<uint32_t>(1 + rng.below(7));
+    ++fired_;
+}
+
+void
+Injector::ssbfLookup(uint64_t &ssn, bool &matched, uint8_t &store_bab)
+{
+    if (!fire(FaultSite::SsbfLookup))
+        return;
+    // Conservative direction only: push the colliding SSN far above any
+    // real store sequence number (real SSNs stay far below 2^32). A
+    // cache-read load then always re-executes (ssn > SSN_nvul) and a
+    // forwarded load always re-executes (ssn != predicted SSN) — the
+    // fault can trigger spurious recovery, never suppress a detection.
+    Rng rng = fireRng();
+    ssn += (1ull << 32) + rng.below(1u << 16);
+    if (rng.below(2) == 0) {
+        matched = true;
+        store_bab = 0xF;
+    }
+    ++fired_;
+}
+
+void
+Injector::ssbfInsert(uint64_t &ssn)
+{
+    if (!fire(FaultSite::SsbfInsert))
+        return;
+    // Same conservative direction as lookup faults, persisted in the
+    // filter entry: every load matching this entry sees an impossibly
+    // young collider and re-executes.
+    Rng rng = fireRng();
+    ssn += (1ull << 32) + rng.below(1u << 16);
+    ++fired_;
+}
+
+void
+Injector::svwNvul(uint64_t &ssn_nvul)
+{
+    if (!fire(FaultSite::SvwNvul))
+        return;
+    // Conservative direction only: shrinking SSN_nvul widens the load's
+    // vulnerability window (need = colliding > nvul), forcing spurious
+    // re-execution; growing it could hide a genuine collision.
+    Rng rng = fireRng();
+    uint64_t delta = 1 + rng.below(1u << 12);
+    ssn_nvul = delta >= ssn_nvul ? 0 : ssn_nvul - delta;
+    ++fired_;
+}
+
+void
+Injector::sbForward(int &kind)
+{
+    if (!fire(FaultSite::SbForward))
+        return;
+    kind = 2;   // Forward -> Partial: the load retries after the drain
+    ++fired_;
+}
+
+void
+Injector::cmovPredicate(bool &predicate)
+{
+    if (!fire(FaultSite::CmovPredicate))
+        return;
+    // Force the fall-through (cache) arm only. That direction is always
+    // recoverable: the colliding store is younger than the load's
+    // cache-read SSN_nvul, so verification re-executes it. Forcing the
+    // taken arm onto mismatched addresses would break the premise the
+    // SVW filter's soundness rests on (forwarding implies an address
+    // match) — see docs/ARCHITECTURE.md §10.
+    predicate = false;
+    ++fired_;
+}
+
+} // namespace dmdp::inject

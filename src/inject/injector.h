@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The deterministic fault injector: a FaultPort implementation that
+ * perturbs exactly one seeded, counted trigger point per run.
+ *
+ * Two modes:
+ *  - counting probe (default-constructed): counts how many times each
+ *    hook site fires during a clean run, without perturbing anything.
+ *    The campaign uses the counts to draw valid trigger indices.
+ *  - fault mode (constructed from a FaultSpec): fires on the
+ *    spec.trigger-th invocation of spec.site (0-based) and the
+ *    burst-1 invocations after it, applying a perturbation derived
+ *    deterministically from spec.payload.
+ *
+ * Every perturbation stays inside the envelope the DMDP safety
+ * argument covers (docs/ARCHITECTURE.md §10): predictor hints are
+ * corrupted arbitrarily (they are untrusted by design), while checker
+ * structures are corrupted only in their conservative direction —
+ * T-SSBF SSNs move up, SVW indices move down, store-buffer forwards
+ * demote to retry, the predication predicate forces the fall-through
+ * arm. The same seed + spec always produces the same perturbations.
+ */
+
+#ifndef DMDP_INJECT_INJECTOR_H
+#define DMDP_INJECT_INJECTOR_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "inject/faultport.h"
+
+namespace dmdp::inject {
+
+/** One fault to inject: where, when, and how. */
+struct FaultSpec
+{
+    FaultSite site = FaultSite::SdpPrediction;
+    uint64_t trigger = 0;   ///< fire on this invocation of the site
+    uint32_t burst = 1;     ///< consecutive invocations to perturb
+    uint64_t payload = 0;   ///< seeds the perturbation choice
+
+    std::string describe() const;
+};
+
+/** The injector. Arm with FaultPort::ArmScope around one run. */
+class Injector : public FaultPort
+{
+  public:
+    /** Counting probe: record per-site invocation counts only. */
+    Injector() = default;
+
+    /** Fault mode: perturb per @p spec. */
+    explicit Injector(const FaultSpec &spec) : spec_(spec), faulting_(true)
+    {}
+
+    void sdpPrediction(bool &dependent, uint32_t &distance,
+                       bool &confident) override;
+    void storeSetLoad(uint32_t &tag) override;
+    void ssbfLookup(uint64_t &ssn, bool &matched,
+                    uint8_t &store_bab) override;
+    void ssbfInsert(uint64_t &ssn) override;
+    void svwNvul(uint64_t &ssn_nvul) override;
+    void sbForward(int &kind) override;
+    void cmovPredicate(bool &predicate) override;
+
+    /** Hook invocations observed, by site (both modes). */
+    uint64_t count(FaultSite site) const
+    {
+        return counts_[static_cast<size_t>(site)];
+    }
+
+    /**
+     * Perturbations applied (trigger reached). An application may be
+     * an identity — e.g. forcing an already-false predicate — which
+     * the campaign classifies as masked.
+     */
+    uint64_t fired() const { return fired_; }
+
+  private:
+    /** Count the invocation; true when this one must be perturbed. */
+    bool fire(FaultSite site);
+
+    /** Fresh per-fire RNG: same spec -> same perturbation sequence. */
+    Rng fireRng() const;
+
+    std::array<uint64_t, kNumFaultSites> counts_{};
+    FaultSpec spec_;
+    bool faulting_ = false;
+    uint64_t fired_ = 0;
+};
+
+} // namespace dmdp::inject
+
+#endif // DMDP_INJECT_INJECTOR_H

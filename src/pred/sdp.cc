@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.h"
+#include "inject/faultport.h"
 
 namespace dmdp {
 
@@ -81,14 +82,13 @@ Sdp::predict(uint32_t pc, uint32_t history)
         pred.distance = entry->distance;
         pred.confident = entry->conf.confident(cfg.confidenceThreshold);
         pred.pathSensitive = true;
-        return pred;
-    }
-    if (Entry *entry = insens.find(insensIndex(pc), pc)) {
+    } else if (Entry *entry = insens.find(insensIndex(pc), pc)) {
         pred.dependent = true;
         pred.distance = entry->distance;
         pred.confident = entry->conf.confident(cfg.confidenceThreshold);
-        return pred;
     }
+    DMDP_FAULT_HOOK(sdpPrediction, pred.dependent, pred.distance,
+                    pred.confident);
     return pred;
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.h"
+#include "inject/faultport.h"
 
 namespace dmdp {
 
@@ -73,8 +74,11 @@ SdpTage::predict(uint32_t pc, uint32_t history)
         pred.distance = entry->distance;
         pred.confident = entry->conf.confident(cfg.confidenceThreshold);
         pred.pathSensitive = true;
+        DMDP_FAULT_HOOK(sdpPrediction, pred.dependent, pred.distance,
+                        pred.confident);
         return pred;
     }
+    // The base predictor's own hook fires on the fallback path.
     return base.predict(pc, history);
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/bitutil.h"
+#include "inject/faultport.h"
 
 namespace dmdp {
 
@@ -34,6 +35,7 @@ void
 Ssbf::storeRetire(uint32_t word_addr, uint8_t bab, uint64_t ssn)
 {
     ++writes_;
+    DMDP_FAULT_HOOK(ssbfInsert, ssn);
     uint32_t set = setOf(word_addr);
     Entry &slot = entries[static_cast<size_t>(set) * ways + fifoHead[set]];
     slot.valid = true;
@@ -70,6 +72,8 @@ Ssbf::loadLookup(uint32_t word_addr, uint8_t bab) const
     }
     if (!result.matched)
         result.ssn = any_valid ? min_ssn : 0;
+    DMDP_FAULT_HOOK(ssbfLookup, result.ssn, result.matched,
+                    result.storeBab);
     return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bitutil.h"
+#include "inject/faultport.h"
 
 namespace dmdp {
 
@@ -29,9 +30,9 @@ uint32_t
 StoreSet::loadRename(uint32_t pc)
 {
     uint32_t ssid = ssit[ssitIndex(pc)];
-    if (ssid == kInvalid)
-        return kInvalid;
-    return lfst[ssid % lfstSize];
+    uint32_t tag = (ssid == kInvalid) ? kInvalid : lfst[ssid % lfstSize];
+    DMDP_FAULT_HOOK(storeSetLoad, tag);
+    return tag;
 }
 
 void

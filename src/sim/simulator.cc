@@ -12,9 +12,10 @@ namespace dmdp {
 
 SimStats
 Simulator::run(const SimConfig &cfg, const Program &prog,
-               SimProfile *profile)
+               SimProfile *profile, const std::atomic<bool> *cancel)
 {
     Pipeline pipeline(cfg, prog);
+    pipeline.cancelToken = cancel;
     SimStats stats = pipeline.run();
     if (profile)
         *profile = pipeline.profile();
@@ -23,10 +24,12 @@ Simulator::run(const SimConfig &cfg, const Program &prog,
 
 SimStats
 Simulator::replay(const SimConfig &cfg, const Program &prog,
-                  const trace::TraceBuffer &trace, SimProfile *profile)
+                  const trace::TraceBuffer &trace, SimProfile *profile,
+                  const std::atomic<bool> *cancel)
 {
     trace::TraceCursor cursor(trace);
     Pipeline pipeline(cfg, prog, cursor);
+    pipeline.cancelToken = cancel;
     SimStats stats = pipeline.run();
     if (profile)
         *profile = pipeline.profile();
@@ -41,11 +44,11 @@ Simulator::runAsm(const SimConfig &cfg, const std::string &source)
 
 SimStats
 simulateProxy(const std::string &name, SimConfig cfg, uint64_t insts,
-              SimProfile *profile)
+              SimProfile *profile, const std::atomic<bool> *cancel)
 {
     Program prog = buildProxy(name, insts);
     cfg.maxInsts = insts;
-    return Simulator::run(cfg, prog, profile);
+    return Simulator::run(cfg, prog, profile, cancel);
 }
 
 trace::TraceBuffer
@@ -59,11 +62,12 @@ recordProxyTrace(const std::string &name, uint64_t insts,
 
 SimStats
 replayProxy(const std::string &name, SimConfig cfg, uint64_t insts,
-            const trace::TraceBuffer &trace, SimProfile *profile)
+            const trace::TraceBuffer &trace, SimProfile *profile,
+            const std::atomic<bool> *cancel)
 {
     Program prog = buildProxy(name, insts);
     cfg.maxInsts = insts;
-    return Simulator::replay(cfg, prog, trace, profile);
+    return Simulator::replay(cfg, prog, trace, profile, cancel);
 }
 
 uint64_t

@@ -7,6 +7,7 @@
 #ifndef DMDP_SIM_SIMULATOR_H
 #define DMDP_SIM_SIMULATOR_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -27,9 +28,13 @@ class Simulator
      * @param profile  optional out-param receiving the simulation-speed
      *                 profile (wall time, skipped cycles; per-stage
      *                 breakdown when DMDP_PROFILE is set).
+     * @param cancel   optional cooperative cancellation token, polled
+     *                 once per simulated cycle; when it becomes true
+     *                 the run throws SimCancelled (see core/pipeline.h).
      */
     static SimStats run(const SimConfig &cfg, const Program &prog,
-                        SimProfile *profile = nullptr);
+                        SimProfile *profile = nullptr,
+                        const std::atomic<bool> *cancel = nullptr);
 
     /**
      * Simulate @p prog under @p cfg replaying a pre-recorded dynamic
@@ -41,7 +46,8 @@ class Simulator
      */
     static SimStats replay(const SimConfig &cfg, const Program &prog,
                            const trace::TraceBuffer &trace,
-                           SimProfile *profile = nullptr);
+                           SimProfile *profile = nullptr,
+                           const std::atomic<bool> *cancel = nullptr);
 
     /**
      * Assemble @p source and simulate it; convenience for examples and
@@ -55,7 +61,8 @@ class Simulator
  * instructions (see src/workloads/spec_proxies.h).
  */
 SimStats simulateProxy(const std::string &name, SimConfig cfg,
-                       uint64_t insts, SimProfile *profile = nullptr);
+                       uint64_t insts, SimProfile *profile = nullptr,
+                       const std::atomic<bool> *cancel = nullptr);
 
 /**
  * Record a proxy benchmark's dynamic stream once for replay under any
@@ -72,7 +79,8 @@ trace::TraceBuffer recordProxyTrace(const std::string &name, uint64_t insts,
  */
 SimStats replayProxy(const std::string &name, SimConfig cfg, uint64_t insts,
                      const trace::TraceBuffer &trace,
-                     SimProfile *profile = nullptr);
+                     SimProfile *profile = nullptr,
+                     const std::atomic<bool> *cancel = nullptr);
 
 /**
  * A safe record cap for replaying @p insts under configs whose largest

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -188,6 +191,247 @@ TEST(SweepDriver, DefaultJobCountIsPositive)
     EXPECT_GE(driver::defaultJobCount(), 1u);
     EXPECT_GE(SweepRunner(0).threadCount(), 1u);
     EXPECT_EQ(SweepRunner(7).threadCount(), 7u);
+}
+
+// --------------------------------------------------------- resilience
+
+std::string
+tempPath(const std::string &name)
+{
+    std::string p = testing::TempDir() + name;
+    std::remove(p.c_str());
+    return p;
+}
+
+TEST(SweepResilience, ThrowingJobFailsWithoutHurtingSiblings)
+{
+    auto jobs = driver::crossProduct({LsuModel::DMDP},
+                                     {"perl", "gcc", "mcf"}, 5000);
+    SweepRunner runner(2);
+    runner.setBeforeAttempt([](const SweepJob &job, uint32_t) {
+        if (job.proxy == "gcc")
+            throw std::runtime_error("scripted failure");
+    });
+    auto report = runner.runReport(jobs, driver::SweepOptions{});
+
+    ASSERT_EQ(report.results.size(), 3u);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(report.timedOut, 0u);
+    for (const auto &r : report.results) {
+        if (r.job.proxy == "gcc") {
+            EXPECT_FALSE(r.ok);
+            EXPECT_EQ(r.error, "scripted failure");
+            EXPECT_EQ(r.attempts, 1u);
+        } else {
+            EXPECT_TRUE(r.ok) << r.error;
+        }
+    }
+}
+
+TEST(SweepResilience, RetriesAreBoundedAndCounted)
+{
+    auto jobs =
+        driver::crossProduct({LsuModel::DMDP}, {"perl"}, 5000);
+    SweepRunner runner(1);
+    std::atomic<uint32_t> calls{0};
+    runner.setBeforeAttempt([&](const SweepJob &, uint32_t) {
+        calls.fetch_add(1);
+        throw std::runtime_error("always fails");
+    });
+    driver::SweepOptions opt;
+    opt.retries = 2;
+    auto report = runner.runReport(jobs, opt);
+
+    EXPECT_EQ(calls.load(), 3u);    // first attempt + 2 retries
+    EXPECT_FALSE(report.results[0].ok);
+    EXPECT_EQ(report.results[0].attempts, 3u);
+    EXPECT_FALSE(report.results[0].timedOut);
+}
+
+TEST(SweepResilience, RetriedSuccessIsBitIdenticalToCleanRun)
+{
+    auto jobs =
+        driver::crossProduct({LsuModel::DMDP}, {"perl"}, 20000);
+    auto clean = SweepRunner(1).run(jobs);
+    ASSERT_TRUE(clean[0].ok);
+
+    SweepRunner runner(1);
+    runner.setBeforeAttempt([](const SweepJob &, uint32_t attempt) {
+        if (attempt == 1)
+            throw std::runtime_error("transient");
+    });
+    driver::SweepOptions opt;
+    opt.retries = 1;
+    auto report = runner.runReport(jobs, opt);
+
+    ASSERT_TRUE(report.results[0].ok) << report.results[0].error;
+    EXPECT_EQ(report.results[0].attempts, 2u);
+    EXPECT_TRUE(report.ok());
+    auto a = driver::statFields(clean[0].stats);
+    auto b = driver::statFields(report.results[0].stats);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t f = 0; f < a.size(); ++f)
+        EXPECT_EQ(a[f].second, b[f].second)
+            << "stat " << a[f].first
+            << " differs between clean and retried runs";
+}
+
+TEST(SweepResilience, WatchdogReapsHungJobWithoutHurtingSiblings)
+{
+    // One job whose budget cannot complete inside the timeout, one
+    // small sibling that must be untouched by the reaping.
+    auto jobs = driver::crossProduct({LsuModel::DMDP},
+                                     {"perl", "gcc"}, 5000);
+    jobs[0].insts = 2000000000ull;   // hours of simulation
+    jobs[0].id = "dmdp/perl/huge";
+
+    SweepRunner runner(2);
+    driver::SweepOptions opt;
+    opt.jobTimeoutSec = 0.2;
+    opt.retries = 3;    // must NOT apply to timeouts
+    auto report = runner.runReport(jobs, opt);
+
+    EXPECT_FALSE(report.results[0].ok);
+    EXPECT_TRUE(report.results[0].timedOut);
+    EXPECT_EQ(report.results[0].attempts, 1u)
+        << "a deterministic timeout must not be retried";
+    EXPECT_NE(report.results[0].error.find("timed out"),
+              std::string::npos);
+    EXPECT_TRUE(report.results[1].ok) << report.results[1].error;
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(report.timedOut, 1u);
+}
+
+TEST(SweepResilience, JournalLineRoundTripsThroughResultFromJson)
+{
+    auto jobs =
+        driver::crossProduct({LsuModel::NoSQ}, {"bzip2"}, 10000);
+    auto results = SweepRunner(1).run(jobs);
+    ASSERT_TRUE(results[0].ok);
+
+    Json line = driver::resultToJson(results[0]);
+    JobResult back;
+    ASSERT_TRUE(driver::resultFromJson(Json::parse(line.dump()), back));
+    EXPECT_EQ(back.job.id, results[0].job.id);
+    EXPECT_EQ(back.job.proxy, results[0].job.proxy);
+    EXPECT_EQ(back.job.insts, results[0].job.insts);
+    EXPECT_EQ(back.configDigest, results[0].configDigest);
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.attempts, results[0].attempts);
+    auto a = driver::statFields(results[0].stats);
+    auto b = driver::statFields(back.stats);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t f = 0; f < a.size(); ++f)
+        EXPECT_EQ(a[f].second, b[f].second)
+            << "stat " << a[f].first << " lost in the journal";
+}
+
+TEST(SweepResilience, ResumeEqualsUninterruptedSweep)
+{
+    auto jobs = driver::crossProduct({LsuModel::DMDP, LsuModel::NoSQ},
+                                     {"perl", "mcf"}, 10000);
+    auto clean = SweepRunner(2).run(jobs);
+
+    // "Interrupted" sweep: only the first two jobs reached the journal.
+    std::string journal = tempPath("dmdp_resume_test.jsonl");
+    {
+        std::vector<SweepJob> firstHalf{jobs[0], jobs[1]};
+        driver::SweepOptions opt;
+        opt.journalPath = journal;
+        auto partial = SweepRunner(2).runReport(firstHalf, opt);
+        ASSERT_TRUE(partial.ok());
+    }
+
+    // Resume the full sweep: journaled jobs must restore without
+    // re-simulation, the rest must run and be appended.
+    SweepRunner runner(2);
+    std::atomic<uint32_t> simulated{0};
+    runner.setBeforeAttempt(
+        [&](const SweepJob &, uint32_t) { simulated.fetch_add(1); });
+    driver::SweepOptions opt;
+    opt.journalPath = journal;
+    opt.resumePath = journal;
+    auto report = runner.runReport(jobs, opt);
+
+    EXPECT_EQ(simulated.load(), jobs.size() - 2);
+    EXPECT_EQ(report.resumed, 2u);
+    ASSERT_TRUE(report.ok());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(report.results[i].resumed, i < 2);
+        auto a = driver::statFields(clean[i].stats);
+        auto b = driver::statFields(report.results[i].stats);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t f = 0; f < a.size(); ++f)
+            EXPECT_EQ(a[f].second, b[f].second)
+                << jobs[i].id << " stat " << a[f].first
+                << " differs between resumed and uninterrupted sweeps";
+    }
+
+    // A second resume finds everything journaled: zero simulation.
+    simulated.store(0);
+    auto again = runner.runReport(jobs, opt);
+    EXPECT_EQ(simulated.load(), 0u);
+    EXPECT_EQ(again.resumed, jobs.size());
+    std::remove(journal.c_str());
+}
+
+TEST(SweepResilience, ResumeIgnoresTornJournalLines)
+{
+    auto jobs =
+        driver::crossProduct({LsuModel::DMDP}, {"perl"}, 5000);
+    std::string journal = tempPath("dmdp_torn_test.jsonl");
+    {
+        driver::SweepOptions opt;
+        opt.journalPath = journal;
+        ASSERT_TRUE(SweepRunner(1).runReport(jobs, opt).ok());
+    }
+    // A killed sweep can leave a torn final line: truncate mid-write.
+    {
+        std::ifstream in(journal);
+        std::string line;
+        std::getline(in, line);
+        in.close();
+        std::ofstream out(journal, std::ios::app);
+        out << line.substr(0, line.size() / 2);
+    }
+    driver::SweepOptions opt;
+    opt.resumePath = journal;
+    std::atomic<uint32_t> simulated{0};
+    SweepRunner runner(1);
+    runner.setBeforeAttempt(
+        [&](const SweepJob &, uint32_t) { simulated.fetch_add(1); });
+    auto report = runner.runReport(jobs, opt);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.resumed, 1u);      // intact line still resumes
+    EXPECT_EQ(simulated.load(), 0u);
+    std::remove(journal.c_str());
+}
+
+TEST(SweepResilience, ResumeRejectsChangedConfigOrBudget)
+{
+    auto jobs =
+        driver::crossProduct({LsuModel::DMDP}, {"perl"}, 5000);
+    std::string journal = tempPath("dmdp_stale_test.jsonl");
+    {
+        driver::SweepOptions opt;
+        opt.journalPath = journal;
+        ASSERT_TRUE(SweepRunner(1).runReport(jobs, opt).ok());
+    }
+    // Same id, different machine: the digest must invalidate the entry.
+    auto changed = jobs;
+    changed[0].cfg.storeBufferSize *= 2;
+    driver::SweepOptions opt;
+    opt.resumePath = journal;
+    std::atomic<uint32_t> simulated{0};
+    SweepRunner runner(1);
+    runner.setBeforeAttempt(
+        [&](const SweepJob &, uint32_t) { simulated.fetch_add(1); });
+    auto report = runner.runReport(changed, opt);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.resumed, 0u);
+    EXPECT_EQ(simulated.load(), 1u);
+    std::remove(journal.c_str());
 }
 
 } // namespace

@@ -1,0 +1,156 @@
+/** @file Unit tests for the fault-injection subsystem. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/config.h"
+#include "fuzz/proggen.h"
+#include "inject/campaign.h"
+#include "inject/injector.h"
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+
+namespace dmdp {
+namespace {
+
+using inject::CampaignOptions;
+using inject::FaultPort;
+using inject::FaultSite;
+using inject::FaultSpec;
+using inject::Injector;
+using inject::Outcome;
+
+TEST(FaultPort, SiteAndOutcomeNamesAreDistinct)
+{
+    std::set<std::string> sites;
+    for (int s = 0; s < inject::kNumFaultSites; ++s)
+        sites.insert(faultSiteName(static_cast<FaultSite>(s)));
+    EXPECT_EQ(sites.size(), static_cast<size_t>(inject::kNumFaultSites));
+
+    std::set<std::string> outcomes;
+    for (int o = 0; o < inject::kNumOutcomes; ++o)
+        outcomes.insert(outcomeName(static_cast<Outcome>(o)));
+    EXPECT_EQ(outcomes.size(),
+              static_cast<size_t>(inject::kNumOutcomes));
+}
+
+TEST(FaultPort, NothingArmedByDefault)
+{
+    EXPECT_EQ(FaultPort::armed(), nullptr);
+    {
+        Injector probe;
+        FaultPort::ArmScope scope(probe);
+        EXPECT_EQ(FaultPort::armed(), &probe);
+    }
+    EXPECT_EQ(FaultPort::armed(), nullptr);
+}
+
+TEST(FaultSpec, DescribeNamesSiteTriggerAndBurst)
+{
+    FaultSpec spec;
+    spec.site = FaultSite::SsbfLookup;
+    spec.trigger = 42;
+    spec.burst = 3;
+    std::string d = spec.describe();
+    EXPECT_NE(d.find("ssbf-lookup"), std::string::npos);
+    EXPECT_NE(d.find("42"), std::string::npos);
+}
+
+TEST(Injector, CountingProbeIsDeterministicAndObservesSites)
+{
+    Program prog = assemble(fuzz::generateProgram(11));
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+
+    uint64_t counts[2][inject::kNumFaultSites];
+    for (int run = 0; run < 2; ++run) {
+        Injector probe;
+        FaultPort::ArmScope scope(probe);
+        Simulator::run(cfg, prog);
+        for (int s = 0; s < inject::kNumFaultSites; ++s)
+            counts[run][s] =
+                probe.count(static_cast<FaultSite>(s));
+        EXPECT_EQ(probe.fired(), 0u)
+            << "a counting probe must never perturb";
+    }
+    uint64_t total = 0;
+    for (int s = 0; s < inject::kNumFaultSites; ++s) {
+        EXPECT_EQ(counts[0][s], counts[1][s])
+            << faultSiteName(static_cast<FaultSite>(s))
+            << " count differs between identical runs";
+        total += counts[0][s];
+    }
+    EXPECT_GT(total, 0u) << "no hook site fired on a DMDP run";
+}
+
+TEST(Injector, FiresExactlyBurstTimesFromTrigger)
+{
+    Program prog = assemble(fuzz::generateProgram(11));
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+
+    Injector probe;
+    {
+        FaultPort::ArmScope scope(probe);
+        Simulator::run(cfg, prog);
+    }
+    ASSERT_GT(probe.count(FaultSite::SdpPrediction), 4u);
+
+    FaultSpec spec;
+    spec.site = FaultSite::SdpPrediction;
+    spec.trigger = 2;
+    spec.burst = 3;
+    spec.payload = 99;
+    Injector inj(spec);
+    {
+        FaultPort::ArmScope scope(inj);
+        Simulator::run(cfg, prog);
+    }
+    EXPECT_EQ(inj.fired(), 3u);
+}
+
+TEST(Campaign, SmallGeneratedCampaignHoldsTheSafetyClaim)
+{
+    auto workloads = inject::generatedWorkloads(21, 2);
+    CampaignOptions opt;
+    opt.seed = 21;
+    opt.faultsPerPair = 4;
+    opt.models = {LsuModel::Baseline, LsuModel::DMDP};
+    auto summary = inject::runCampaign(workloads, opt);
+
+    EXPECT_EQ(summary.total,
+              workloads.size() * opt.models.size() * opt.faultsPerPair);
+    EXPECT_TRUE(summary.ok()) << summary.describe();
+    EXPECT_EQ(summary.byOutcome[static_cast<int>(Outcome::NotTriggered)],
+              0u)
+        << "trigger indices are drawn from observed counts, so every "
+           "fault must reach its trigger";
+
+    auto j = summary.toJson();
+    EXPECT_EQ(j.at("schema").asString(), "dmdp-inject-v1");
+    EXPECT_EQ(static_cast<uint64_t>(j.at("faults").asNumber()),
+              summary.total);
+    EXPECT_TRUE(j.at("ok").asBool());
+}
+
+TEST(Campaign, SameSeedReproducesEveryRecord)
+{
+    auto workloads = inject::generatedWorkloads(5, 1);
+    CampaignOptions opt;
+    opt.seed = 5;
+    opt.faultsPerPair = 5;
+    opt.models = {LsuModel::DMDP};
+    auto a = inject::runCampaign(workloads, opt);
+    auto b = inject::runCampaign(workloads, opt);
+
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].spec.describe(),
+                  b.records[i].spec.describe());
+        EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+    }
+    EXPECT_EQ(a.describe(), b.describe());
+}
+
+} // namespace
+} // namespace dmdp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Fault-injection campaign driver. Injects seeded, deterministic
+ * single faults into microarchitectural speculation state (predictor
+ * tables, T-SSBF entries, SVW indices, store-buffer forwarding, CMOV
+ * predicates) mid-run and classifies each outcome against the
+ * architectural oracle (src/inject/campaign.h for the taxonomy).
+ *
+ * Exit status: 0 when the safety claim held (no silent divergence, no
+ * fatal), 1 when it did not, 2 on usage/setup errors. The same
+ * --seed/--faults/workload selection always injects the same faults
+ * and prints the same verdict.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/results.h"
+#include "inject/campaign.h"
+#include "workloads/spec_proxies.h"
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "dmdp-inject: fault-injection campaigns for the DMDP safety"
+        " argument\n"
+        "usage: dmdp-inject [options]\n"
+        "  --seed N        campaign seed (default 1)\n"
+        "  --faults N      faults per (workload, model) pair"
+        " (default 25)\n"
+        "  --models LIST   comma list of baseline,nosq,dmdp,perfect\n"
+        "                  (default all)\n"
+        "  --gen N         use N generated stress programs as workloads\n"
+        "                  (default 3; seeds seed..seed+N-1)\n"
+        "  --proxies LIST  comma list of proxy workload names, or 'all'\n"
+        "  --insts N       instruction cap per proxy run"
+        " (default 20000)\n"
+        "  --json FILE     write the dmdp-inject-v1 report to FILE\n"
+        "  --quiet         suppress per-pair progress lines\n";
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dmdp;
+
+    inject::CampaignOptions opt;
+    uint32_t genCount = 3;
+    bool genSet = false;
+    std::vector<std::string> proxies;
+    uint64_t proxyInsts = 20000;
+    std::string jsonPath;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            opt.seed = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--faults") {
+            opt.faultsPerPair =
+                static_cast<uint32_t>(std::strtoul(value().c_str(),
+                                                   nullptr, 0));
+        } else if (arg == "--models") {
+            opt.models.clear();
+            for (const std::string &name : splitCommas(value())) {
+                if (name == "baseline") {
+                    opt.models.push_back(LsuModel::Baseline);
+                } else if (name == "nosq") {
+                    opt.models.push_back(LsuModel::NoSQ);
+                } else if (name == "dmdp") {
+                    opt.models.push_back(LsuModel::DMDP);
+                } else if (name == "perfect") {
+                    opt.models.push_back(LsuModel::Perfect);
+                } else {
+                    std::cerr << "unknown model " << name << "\n";
+                    return 2;
+                }
+            }
+        } else if (arg == "--gen") {
+            genCount = static_cast<uint32_t>(std::strtoul(value().c_str(),
+                                                          nullptr, 0));
+            genSet = true;
+        } else if (arg == "--proxies") {
+            std::string list = value();
+            if (list == "all") {
+                for (const dmdp::ProxySpec &spec : dmdp::specProxies())
+                    proxies.push_back(spec.name);
+            } else {
+                proxies = splitCommas(list);
+            }
+        } else if (arg == "--insts") {
+            proxyInsts = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--json") {
+            jsonPath = value();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage();
+            return 2;
+        }
+    }
+
+    if (opt.models.empty()) {
+        std::cerr << "no models selected\n";
+        return 2;
+    }
+    // A proxy-only invocation shouldn't drag the default generated set
+    // along, but --gen 0 --proxies '' means no workloads at all.
+    if (!proxies.empty() && !genSet)
+        genCount = 0;
+
+    try {
+        std::vector<inject::Workload> workloads =
+            inject::generatedWorkloads(opt.seed, genCount);
+        for (inject::Workload &w :
+             inject::proxyWorkloads(proxies, proxyInsts))
+            workloads.push_back(std::move(w));
+        if (workloads.empty()) {
+            std::cerr << "no workloads selected\n";
+            return 2;
+        }
+
+        inject::CampaignSummary summary = inject::runCampaign(
+            workloads, opt,
+            quiet ? std::function<void(const std::string &)>()
+                  : [](const std::string &line) {
+                        std::cout << "  " << line << "\n";
+                    });
+
+        if (!jsonPath.empty())
+            driver::writeTextFile(jsonPath, summary.toJson().dump(2) + "\n");
+
+        // Any silent or fatal outcome is a finding; print its record so
+        // the failure is actionable straight from CI logs.
+        for (const inject::FaultRecord &rec : summary.records) {
+            if (rec.outcome != inject::Outcome::SilentDivergence &&
+                rec.outcome != inject::Outcome::DetectedFatal &&
+                rec.outcome != inject::Outcome::NotTriggered)
+                continue;
+            std::cout << inject::outcomeName(rec.outcome) << " "
+                      << rec.workload << "/" << rec.model << " "
+                      << rec.spec.describe() << ": " << rec.detail
+                      << "\n";
+        }
+
+        std::cout << "inject: " << summary.describe() << " (seed "
+                  << opt.seed << ")\n";
+        return summary.ok() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+}

@@ -29,9 +29,21 @@
  *                     (stat-identical; also: DMDP_NO_TRACE_REUSE)
  *     --models LIST   comma-separated models for --sweep    (default all)
  *     --proxies LIST  comma-separated proxies for --sweep   (default all)
+ *     --job-timeout S reap any sweep job past S seconds of wall clock
+ *                     (reported as timed_out; never retried)
+ *     --retries N     re-attempt a thrown (non-timeout) sweep job up to
+ *                     N extra times; retried success is bit-identical
+ *     --journal FILE  append each finished sweep job to FILE as JSONL
+ *     --resume FILE   skip sweep jobs already ok in FILE (and keep
+ *                     journaling new ones there unless --journal names
+ *                     a different file)
  *     --json FILE     write run results as JSON ("-" for stdout)
  *     --csv FILE      write run results as CSV  ("-" for stdout)
  *     --list          list the proxy benchmarks and exit
+ *
+ * dmdp-sim exits nonzero if any sweep job fails, and the JSON/CSV
+ * documents carry per-job ok/error/attempts/timed_out plus top-level
+ * failure counts, so scripted sweeps cannot silently lose jobs.
  *
  * Structure flags (--sb, --rob, ...) are overrides applied on top of
  * the selected model's paper defaults, in any argument order.
@@ -69,6 +81,8 @@ usage(const char *argv0)
                  "          [--legacy-sched] [--no-idle-skip]\n"
                  "          [--sweep] [--no-trace-reuse]\n"
                  "          [--models LIST] [--proxies LIST]\n"
+                 "          [--job-timeout SEC] [--retries N]\n"
+                 "          [--journal FILE] [--resume FILE]\n"
                  "          [--json FILE] [--csv FILE] [--list]\n",
                  argv0);
     std::exit(2);
@@ -163,6 +177,7 @@ int
 runSweep(const std::vector<std::string> &modelNames,
          const std::vector<std::string> &proxyNames, uint64_t insts,
          uint64_t warmup, const Overrides &overrides, bool traceReuse,
+         const driver::SweepOptions &sweepOpt,
          const std::string &jsonPath, const std::string &csvPath)
 {
     std::vector<LsuModel> models;
@@ -182,21 +197,21 @@ runSweep(const std::vector<std::string> &modelNames,
                  "sweep: %zu jobs on %u threads (DMDP_JOBS)%s\n",
                  jobs.size(), runner.threadCount(),
                  runner.traceReuse() ? ", trace reuse" : "");
-    auto results = runner.run(
-        jobs, [](const driver::JobResult &r, size_t done, size_t total) {
-            std::fprintf(stderr, "  [%zu/%zu] %s ipc=%.3f (%.2fs)%s%s\n",
+    auto report = runner.runReport(
+        jobs, sweepOpt,
+        [](const driver::JobResult &r, size_t done, size_t total) {
+            std::fprintf(stderr, "  [%zu/%zu] %s ipc=%.3f (%.2fs)%s%s%s\n",
                          done, total, r.job.id.c_str(), r.stats.ipc(),
-                         r.wallSeconds, r.ok ? "" : " FAILED: ",
+                         r.wallSeconds, r.resumed ? " (resumed)" : "",
+                         r.ok ? "" : " FAILED: ",
                          r.ok ? "" : r.error.c_str());
         });
+    const auto &results = report.results;
 
-    bool failed = false;
     Table table({"job", "IPC", "MPKI", "stalls/1k", "squashes", "wall(s)"});
     for (const auto &r : results) {
-        if (!r.ok) {
-            failed = true;
+        if (!r.ok)
             continue;
-        }
         table.addRow({r.job.id, Table::num(r.stats.ipc()),
                       Table::num(r.stats.mpki(), 2),
                       Table::num(r.stats.stallPerKilo(), 1),
@@ -205,15 +220,26 @@ runSweep(const std::vector<std::string> &modelNames,
     }
     // Keep stdout clean for the machine-readable document when one is
     // routed there ("--json -" / "--csv -").
-    FILE *report =
+    FILE *out =
         (jsonPath == "-" || csvPath == "-") ? stderr : stdout;
-    std::fprintf(report, "%s", table.render().c_str());
+    std::fprintf(out, "%s", table.render().c_str());
+
+    for (const auto &w : report.warnings)
+        std::fprintf(stderr, "warning: %s\n", w.c_str());
+    if (report.resumed)
+        std::fprintf(stderr, "sweep: %zu of %zu jobs resumed from %s\n",
+                     report.resumed, results.size(),
+                     sweepOpt.resumePath.c_str());
+    if (!report.ok())
+        std::fprintf(stderr,
+                     "sweep: %zu of %zu jobs FAILED (%zu timed out)\n",
+                     report.failed, results.size(), report.timedOut);
 
     if (!jsonPath.empty())
-        emit(jsonPath, driver::resultsToJson(results).dump(2) + "\n");
+        emit(jsonPath, driver::reportToJson(report).dump(2) + "\n");
     if (!csvPath.empty())
         emit(csvPath, driver::resultsToCsv(results));
-    return failed ? 1 : 0;
+    return report.ok() ? 0 : 1;
 }
 
 } // namespace
@@ -233,6 +259,7 @@ main(int argc, char **argv)
     uint64_t insts = 200000;
     uint64_t warmup = 0;
     Overrides overrides;
+    driver::SweepOptions sweepOpt;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -266,6 +293,12 @@ main(int argc, char **argv)
         else if (arg == "--no-trace-reuse") traceReuse = false;
         else if (arg == "--models") models_list = next();
         else if (arg == "--proxies") proxies_list = next();
+        else if (arg == "--job-timeout")
+            sweepOpt.jobTimeoutSec = std::strtod(next(), nullptr);
+        else if (arg == "--retries") sweepOpt.retries =
+            static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+        else if (arg == "--journal") sweepOpt.journalPath = next();
+        else if (arg == "--resume") sweepOpt.resumePath = next();
         else if (arg == "--json") json_path = next();
         else if (arg == "--csv") csv_path = next();
         else if (arg == "--list") {
@@ -295,8 +328,12 @@ main(int argc, char **argv)
         } else {
             proxies = splitList(proxies_list);
         }
+        // --resume without --journal keeps journaling to the same file
+        // so repeated kill/resume cycles make monotone progress.
+        if (!sweepOpt.resumePath.empty() && sweepOpt.journalPath.empty())
+            sweepOpt.journalPath = sweepOpt.resumePath;
         return runSweep(models, proxies, insts, warmup, overrides,
-                        traceReuse, json_path, csv_path);
+                        traceReuse, sweepOpt, json_path, csv_path);
     }
 
     // Single run: start from the model's paper defaults, then apply the
