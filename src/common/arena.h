@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Per-job bump arena for pipeline-lifetime allocations.
+ *
+ * A sweep worker runs thousands of jobs, and every job allocates (and
+ * frees) the same large flat buffers: the ROB's hot/cold micro-op
+ * arrays, the decode queue, the store buffer ring. Under high
+ * DMDP_JOBS all workers hit the global allocator for those buffers at
+ * the same time — and since the sealed traces and programs they read
+ * are shared and read-only, the allocator is the last shared mutable
+ * resource on the sweep hot path. The arena removes it: each worker
+ * thread owns a private chunk list that is carved by bump allocation
+ * while a job runs and recycled wholesale (offset reset, memory
+ * retained) between jobs. No locks, no per-buffer free, no cross-
+ * thread traffic.
+ *
+ * Usage contract:
+ *  - JobArena::Scope pins the calling thread's arena for one job; it
+ *    resets the bump offsets on entry, so nothing allocated from the
+ *    arena may outlive the scope that was active when it was carved.
+ *  - arenaAllocate() falls back to the heap when no scope is active
+ *    (tests, tools, single simulations construct pipelines without an
+ *    arena and see plain new/delete behavior).
+ *  - Only trivially destructible payloads belong here: release is a
+ *    no-op for arena-carved blocks.
+ */
+
+#ifndef DMDP_COMMON_ARENA_H
+#define DMDP_COMMON_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace dmdp {
+
+/** Thread-local bump allocator, pinned per sweep job. */
+class JobArena
+{
+  public:
+    /** Cache-line alignment for every carved block. */
+    static constexpr std::size_t kAlign = 64;
+
+    /** First chunk size; later chunks double (min fit guaranteed). */
+    static constexpr std::size_t kChunkBytes = std::size_t(1) << 20;
+
+    /**
+     * Bump-allocate @p bytes from the calling thread's pinned arena.
+     * Returns nullptr when no arena scope is active — the caller falls
+     * back to the heap and remembers which release path to use.
+     */
+    static void *
+    allocate(std::size_t bytes)
+    {
+        JobArena *a = current();
+        return a ? a->carve(bytes) : nullptr;
+    }
+
+    /** True while a Scope is active on this thread. */
+    static bool active() { return current() != nullptr; }
+
+    /**
+     * RAII pin of the thread's arena for the duration of one job.
+     * Entry resets the bump offsets (recycling the previous job's
+     * memory); exit unpins. Scopes do not nest.
+     */
+    class Scope
+    {
+      public:
+        Scope()
+        {
+            prev_ = current();
+            if (!prev_) {
+                threadArena().reset();
+                current() = &threadArena();
+            }
+        }
+
+        ~Scope()
+        {
+            if (!prev_)
+                current() = nullptr;
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        JobArena *prev_;
+    };
+
+    /** Bytes currently carved (introspection / tests). */
+    std::size_t
+    used() const
+    {
+        std::size_t n = 0;
+        for (const Chunk &c : chunks_)
+            n += c.used;
+        return n;
+    }
+
+    /** The calling thread's arena (exists even when unpinned). */
+    static JobArena &threadArena()
+    {
+        static thread_local JobArena arena;
+        return arena;
+    }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> mem;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    static JobArena *&current()
+    {
+        static thread_local JobArena *cur = nullptr;
+        return cur;
+    }
+
+    void
+    reset()
+    {
+        for (Chunk &c : chunks_)
+            c.used = 0;
+        cursor_ = 0;
+    }
+
+    void *
+    carve(std::size_t bytes)
+    {
+        bytes = (bytes + kAlign - 1) & ~(kAlign - 1);
+        while (cursor_ < chunks_.size()) {
+            Chunk &c = chunks_[cursor_];
+            if (c.used + bytes <= c.size) {
+                void *p = c.mem.get() + c.used;
+                c.used += bytes;
+                return p;
+            }
+            ++cursor_;
+        }
+        std::size_t want = chunks_.empty() ? kChunkBytes
+                                           : chunks_.back().size * 2;
+        if (want < bytes)
+            want = bytes;
+        Chunk c;
+        // Over-allocate by kAlign so the base can be aligned up.
+        c.mem = std::make_unique<std::byte[]>(want + kAlign);
+        c.size = want;
+        auto base = reinterpret_cast<std::uintptr_t>(c.mem.get());
+        c.used = (kAlign - base % kAlign) % kAlign;
+        c.size += c.used;   // usable window shifted by the alignment fix
+        void *p = c.mem.get() + c.used;
+        c.used += bytes;
+        chunks_.push_back(std::move(c));
+        cursor_ = chunks_.size() - 1;
+        return p;
+    }
+
+    std::vector<Chunk> chunks_;
+    std::size_t cursor_ = 0;    ///< first chunk with free space
+};
+
+/**
+ * One flat allocation that remembers whether it came from the arena.
+ * Helper for the ring containers: arena-carved blocks are released by
+ * doing nothing (the Scope recycles them); heap blocks are deleted.
+ */
+struct ArenaBlock
+{
+    void *ptr = nullptr;
+    bool fromArena = false;
+
+    static ArenaBlock
+    allocate(std::size_t bytes)
+    {
+        ArenaBlock b;
+        b.ptr = JobArena::allocate(bytes);
+        b.fromArena = b.ptr != nullptr;
+        if (!b.ptr)
+            b.ptr = ::operator new(bytes, std::align_val_t(JobArena::kAlign));
+        return b;
+    }
+
+    void
+    release()
+    {
+        if (ptr && !fromArena)
+            ::operator delete(ptr, std::align_val_t(JobArena::kAlign));
+        ptr = nullptr;
+    }
+};
+
+} // namespace dmdp
+
+#endif // DMDP_COMMON_ARENA_H

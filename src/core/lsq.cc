@@ -37,7 +37,7 @@ LoadStoreQueue::addLoad(uint64_t seq, uint32_t pc)
     loads.push_back(entry);
 }
 
-std::vector<LqEntry *>
+const std::vector<LqEntry *> &
 LoadStoreQueue::storeExecuted(uint64_t seq, uint32_t addr, uint8_t size,
                               uint32_t value)
 {
@@ -48,7 +48,8 @@ LoadStoreQueue::storeExecuted(uint64_t seq, uint32_t addr, uint8_t size,
     store->size = size;
     store->value = value;
 
-    std::vector<LqEntry *> violations;
+    std::vector<LqEntry *> &violations = violationScratch;
+    violations.clear();
     for (auto &load : loads) {
         if (load.seq > seq && load.executed && !load.violated &&
             overlaps(addr, size, load.addr, load.size) &&

@@ -73,10 +73,14 @@ class LoadStoreQueue
     /**
      * A store's address became known (AGU executed). Returns the LQ
      * entries of younger loads that already executed with data older
-     * than this store — memory-ordering violations.
+     * than this store — memory-ordering violations. The returned
+     * reference aliases an internal scratch vector that the next
+     * storeExecuted call overwrites (it sits on the per-cycle path for
+     * every baseline store, so it must not allocate per call).
      */
-    std::vector<LqEntry *> storeExecuted(uint64_t seq, uint32_t addr,
-                                         uint8_t size, uint32_t value);
+    const std::vector<LqEntry *> &storeExecuted(uint64_t seq, uint32_t addr,
+                                                uint8_t size,
+                                                uint32_t value);
 
     /**
      * A load is executing: search older stores for the youngest
@@ -114,6 +118,7 @@ class LoadStoreQueue
   private:
     std::deque<SqEntry> stores;
     std::deque<LqEntry> loads;
+    std::vector<LqEntry *> violationScratch;    ///< storeExecuted result
 };
 
 } // namespace dmdp

@@ -151,11 +151,12 @@ Pipeline::deadlockReport(const std::string &context) const
        << " freeRegs=" << rf.freeCount()
        << " decodeQ=" << decodeQueue.size();
     if (!rob.empty()) {
-        const Uop &head = rob.front();
+        const UopHot &head = rob.frontHot();
+        const UopCold &headc = rob.frontCold();
         os << " | head: kind=" << static_cast<int>(head.kind)
            << " cls=" << loadClassName(head.cls)
            << " seq=" << head.seq
-           << " pc=" << std::hex << head.pc << std::dec
+           << " pc=" << std::hex << headc.pc << std::dec
            << " completed=" << head.completed
            << " issued=" << head.issued
            << " dispatched=" << head.dispatched
@@ -165,11 +166,10 @@ Pipeline::deadlockReport(const std::string &context) const
            << " r2=" << rf.ready(head.src2, now)
            << " predSsn=" << head.predictedSsn
            << " ssnCommit=" << sb.ssnCommit()
-           << " reexec=" << static_cast<int>(head.reexecState);
-        size_t i = 0;
-        for (const Uop &x : rob) {
-            if (++i > 8) break;
-            os << "\n  rob[" << i-1 << "] kind="
+           << " reexec=" << static_cast<int>(headc.reexecState);
+        for (size_t i = 0; i < rob.size() && i < 8; ++i) {
+            const UopHot &x = rob.hot(rob.refAt(i));
+            os << "\n  rob[" << i << "] kind="
                << static_cast<int>(x.kind)
                << " seq=" << x.seq
                << " disp=" << x.dispatched
@@ -180,15 +180,16 @@ Pipeline::deadlockReport(const std::string &context) const
                << " dst=" << x.dst;
         }
         os << "\n  iq:";
-        i = 0;
+        size_t i = 0;
         // In event mode the register-ready subset is the interesting
         // part of the issue queue (the rest sleeps on waiter lists).
-        for (const Uop *x : cfg.legacyScheduler ? iq : readyQ) {
+        for (UopRef xr : cfg.legacyScheduler ? iq : readyQ) {
             if (++i > 8) break;
-            os << " [k=" << static_cast<int>(x->kind)
-               << " seq=" << x->seq
-               << " s1=" << x->src1 << "/" << rf.ready(x->src1, now)
-               << " s2=" << x->src2 << "/" << rf.ready(x->src2, now)
+            const UopHot &x = rob.hot(xr);
+            os << " [k=" << static_cast<int>(x.kind)
+               << " seq=" << x.seq
+               << " s1=" << x.src1 << "/" << rf.ready(x.src1, now)
+               << " s2=" << x.src2 << "/" << rf.ready(x.src2, now)
                << "]";
         }
     }
@@ -255,13 +256,16 @@ Pipeline::checkInvariants() const
 {
     // ROB is an age-ordered FIFO over a nondecreasing fetch sequence,
     // and its instruction-count mirror (robInsts) matches the resident
-    // instEnd micro-ops — retire-width accounting depends on it.
+    // instEnd micro-ops — retire-width accounting depends on it. The
+    // scan reads hot records only (§11: no cold access outside the
+    // rename/execute/retire boundaries, even in checking code).
     uint64_t prev_age = 0;
     uint64_t prev_seq = 0;
     bool first = true;
     uint32_t inst_ends = 0;
     uint32_t in_iq = 0;
-    for (const Uop &u : rob) {
+    for (size_t i = 0; i < rob.size(); ++i) {
+        const UopHot &u = rob.hot(rob.refAt(i));
         if (!first) {
             DMDP_INVARIANT(u.age > prev_age,
                            "ROB age order broken at seq " +
@@ -506,29 +510,30 @@ Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
     if (iqOccupancy() + iq_need > cfg.iqSize)
         return false;
 
-    Uop *group_load = nullptr;
-    Uop *group_cmp = nullptr;
-    Uop *first_cmov = nullptr;
+    UopRef group_load = kNullUop;
+    UopRef group_cmp = kNullUop;
+    UopRef first_cmov = kNullUop;
 
     for (const auto &cu : cracked) {
-        rob.emplace_back();
-        Uop &u = rob.back();
+        UopRef r = rob.emplace_back();
+        UopHot &u = rob.hot(r);
+        UopCold &c = rob.cold(r);
         u.seq = dyn.seq;
-        u.pc = dyn.pc;
+        c.pc = dyn.pc;
         u.kind = cu.kind;
-        u.dyn = dyn;
-        u.renameCycle = now;
+        c.dyn = dyn;
+        c.renameCycle = now;
         u.instEnd = cu.instEnd;
         u.cls = cls;
-        u.sdpHistory = history;
-        u.predictedDependent = plan.predictedDependent;
-        u.predictionConfident = plan.confident;
+        c.sdpHistory = history;
+        c.predictedDependent = plan.predictedDependent;
+        c.predictionConfident = plan.confident;
         u.predictedSsn = plan.predictedSsn;
         if (plan.hasFwd) {
-            u.fwdAddr = plan.fwd.addr;
-            u.fwdSize = plan.fwd.size;
-            u.fwdBab = plan.fwd.bab;
-            u.fwdValue = plan.fwd.value;
+            c.fwdAddr = plan.fwd.addr;
+            c.fwdSize = plan.fwd.size;
+            c.fwdBab = plan.fwd.bab;
+            c.fwdValue = plan.fwd.value;
         }
 
         u.src1 = resolveSource(cu.lsrc1, plan);
@@ -537,11 +542,11 @@ Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
         rf.addConsumer(u.src2);
 
         if (cu.ldst > 0) {
-            u.logicalDst = cu.ldst;
-            u.prevDst = rf.map(static_cast<unsigned>(cu.ldst));
+            c.logicalDst = cu.ldst;
+            c.prevDst = rf.map(static_cast<unsigned>(cu.ldst));
             if (cu.sharedDst) {
                 int shared = (u.kind == UopKind::CmovFalse)
-                    ? first_cmov->dst
+                    ? rob.hot(first_cmov).dst
                     : plan.fwd.dataPreg;
                 rf.redefineShared(static_cast<unsigned>(cu.ldst), shared);
                 u.dst = shared;
@@ -554,25 +559,25 @@ Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
 
         switch (u.kind) {
           case UopKind::Load:
-            group_load = &u;
+            group_load = r;
             if (cfg.model == LsuModel::Baseline) {
-                lsq.addLoad(u.seq, u.pc);
-                uint32_t tag = storeSet.loadRename(u.pc);
-                u.waitStoreTag = tag == StoreSet::kInvalid ? ~0ull
+                lsq.addLoad(u.seq, c.pc);
+                uint32_t tag = storeSet.loadRename(c.pc);
+                c.waitStoreTag = tag == StoreSet::kInvalid ? ~0ull
                                                            : uint64_t(tag);
                 ++stats.storeSetLookups;
             } else if (cls == LoadClass::Bypass &&
                        dyn.inst.memSize() == 4) {
                 // Pure rename: the value is the store's register.
                 u.completed = true;
-                u.obtainedValue = plan.fwd.value;
+                c.obtainedValue = plan.fwd.value;
             }
             break;
           case UopKind::Store:
             if (cfg.model == LsuModel::Baseline) {
-                u.storeSetId = storeSet.storeRename(
-                    u.pc, static_cast<uint32_t>(u.seq));
-                lsq.addStore(u.seq, dyn.ssn, u.pc, u.src2);
+                c.storeSetId = storeSet.storeRename(
+                    c.pc, static_cast<uint32_t>(u.seq));
+                lsq.addStore(u.seq, dyn.ssn, c.pc, u.src2);
                 ++stats.storeSetLookups;
             } else {
                 SrbEntry entry;
@@ -586,25 +591,25 @@ Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
                 entry.bab = byteAccessBits(dyn.effAddr,
                                            dyn.inst.memSize());
                 entry.value = dyn.storeValue;
-                entry.pc = u.pc;
+                entry.pc = c.pc;
                 srb.insert(entry);
                 u.completed = true;     // executes at commit
             }
             break;
           case UopKind::Cmp:
-            group_cmp = &u;
-            u.loadUop = group_load;
+            group_cmp = r;
+            c.loadUop = group_load;
             break;
           case UopKind::CmovTrue:
-            first_cmov = &u;
-            u.cmpUop = group_cmp;
-            u.loadUop = group_load;
-            group_cmp->cmovTrueUop = &u;
+            first_cmov = r;
+            c.cmpUop = group_cmp;
+            c.loadUop = group_load;
+            rob.cold(group_cmp).cmovTrueUop = r;
             break;
           case UopKind::CmovFalse:
-            u.cmpUop = group_cmp;
-            u.loadUop = group_load;
-            group_cmp->cmovFalseUop = &u;
+            c.cmpUop = group_cmp;
+            c.loadUop = group_load;
+            rob.cold(group_cmp).cmovFalseUop = r;
             break;
           case UopKind::Halt:
             u.completed = true;
@@ -619,23 +624,23 @@ Pipeline::renameInst(const DynInst &dyn, uint32_t history, uint32_t &budget)
         if (delayed_load) {
             u.dispatched = true;
             if (cfg.legacyScheduler)
-                delayedLoads.push_back(&u);
+                delayedLoads.push_back(r);
             else
-                dispatchDelayed(&u);
+                dispatchDelayed(r);
         } else if (cu.dispatch && !u.completed) {
             u.dispatched = true;
             ++stats.iqWrites;
             if (cfg.legacyScheduler)
-                iq.push_back(&u);
+                iq.push_back(r);
             else
-                dispatchToIq(&u);
+                dispatchToIq(r);
         }
     }
 
     ++robInsts;
 
-    if (group_load && group_cmp)
-        group_load->cmpUop = group_cmp;
+    if (group_load != kNullUop && group_cmp != kNullUop)
+        rob.cold(group_load).cmpUop = group_cmp;
 
     // Fig. 5 accounting: oracle outcome of low-confidence predictions.
     if (dyn.isLoad() && plan.predictedDependent && !plan.confident &&
@@ -676,38 +681,44 @@ Pipeline::stageRename()
 // ---------------------------------------------------------------- issue
 
 bool
-Pipeline::tryIssue(Uop *u)
+Pipeline::tryIssue(UopRef r)
 {
+    UopHot &u = rob.hot(r);
+
     // Baseline stores need only their base register to compute the
     // address; the data is captured later.
     bool baseline_store = cfg.model == LsuModel::Baseline &&
-                          u->kind == UopKind::Store;
-    if (!rf.ready(u->src1, now))
+                          u.kind == UopKind::Store;
+    if (!rf.ready(u.src1, now))
         return false;
-    if (!baseline_store && !rf.ready(u->src2, now))
+    if (!baseline_store && !rf.ready(u.src2, now))
         return false;
 
-    uint32_t latency = u->fixedLatency();
+    // Registers are ready, so the uop usually issues from here on; the
+    // cold record is touched only past the early-outs above, keeping
+    // the legacy scan's (overwhelmingly failing) probes on the hot line.
+    UopCold &c = rob.cold(r);
+    uint32_t latency = u.fixedLatency(c.dyn.inst.op);
 
     // The AGI translates (section IV-A): a D-TLB miss stalls it. The
     // baseline pays the same translation inside its fused AGU cycle.
-    if (u->kind == UopKind::Agi ||
+    if (u.kind == UopKind::Agi ||
         (cfg.model == LsuModel::Baseline &&
-         (u->kind == UopKind::Load || u->kind == UopKind::Store))) {
-        latency += tlb.access(u->dyn.effAddr);
+         (u.kind == UopKind::Load || u.kind == UopKind::Store))) {
+        latency += tlb.access(c.dyn.effAddr);
     }
 
-    if (u->kind == UopKind::Load) {
+    if (u.kind == UopKind::Load) {
         if (cfg.model == LsuModel::Baseline) {
             // Store-set gate: wait for the flagged store's address.
-            if (u->waitStoreTag != ~0ull) {
-                SqEntry *gate = lsq.findStore(u->waitStoreTag);
+            if (c.waitStoreTag != ~0ull) {
+                SqEntry *gate = lsq.findStore(c.waitStoreTag);
                 if (gate && !gate->addrKnown)
                     return false;
             }
             SqSearchResult sq = lsq.loadSearch(
-                u->seq, u->dyn.effAddr,
-                static_cast<uint8_t>(u->dyn.inst.memSize()), u->dyn.inst);
+                u.seq, c.dyn.effAddr,
+                static_cast<uint8_t>(c.dyn.inst.memSize()), c.dyn.inst);
             ++stats.sqSearches;
             if (sq.kind == SqSearchResult::Kind::Partial)
                 return false;
@@ -717,61 +728,61 @@ Pipeline::tryIssue(Uop *u)
             if (sq.kind == SqSearchResult::Kind::Forward) {
                 if (!rf.ready(sq.dataPreg, now))
                     return false;
-                u->blSource = Uop::BlSource::SqForward;
-                u->blFwdValue = sq.value;
-                u->blFwdSsn = sq.ssn;
+                c.blSource = BlSource::SqForward;
+                c.blFwdValue = sq.value;
+                c.blFwdSsn = sq.ssn;
                 latency = 1 + cfg.sqSearchLatency;
             } else {
                 auto fb = sb.findForward(
-                    u->dyn.effAddr,
-                    static_cast<uint8_t>(u->dyn.inst.memSize()),
-                    u->dyn.inst);
+                    c.dyn.effAddr,
+                    static_cast<uint8_t>(c.dyn.inst.memSize()),
+                    c.dyn.inst);
                 ++stats.sbSearches;
                 if (fb.kind == StoreBuffer::ForwardResult::Kind::Partial)
                     return false;
                 if (fb.kind == StoreBuffer::ForwardResult::Kind::Forward) {
-                    u->blSource = Uop::BlSource::SbForward;
-                    u->blFwdValue = fb.value;
-                    u->blFwdSsn = fb.ssn;
+                    c.blSource = BlSource::SbForward;
+                    c.blFwdValue = fb.value;
+                    c.blFwdSsn = fb.ssn;
                     latency = 1 + cfg.sqSearchLatency;
                 } else {
                     if (dcachePortsUsedThisCycle >= kDcachePorts)
                         return false;
                     ++dcachePortsUsedThisCycle;
-                    u->blSource = Uop::BlSource::Cache;
-                    latency = 1 + mem.loadLatency(u->dyn.effAddr, now);
+                    c.blSource = BlSource::Cache;
+                    latency = 1 + mem.loadLatency(c.dyn.effAddr, now);
                 }
             }
-        } else if (u->cls == LoadClass::Bypass) {
+        } else if (u.cls == LoadClass::Bypass) {
             // Partial-word bypass shift/mask op: one cycle, no cache.
             latency = 1;
         } else {
-            if (u->cls == LoadClass::Delayed &&
-                sb.ssnCommit() < u->predictedSsn) {
+            if (u.cls == LoadClass::Delayed &&
+                sb.ssnCommit() < u.predictedSsn) {
                 return false;
             }
             if (dcachePortsUsedThisCycle >= kDcachePorts)
                 return false;
             ++dcachePortsUsedThisCycle;
-            latency = mem.loadLatency(u->dyn.effAddr, now);
+            latency = mem.loadLatency(c.dyn.effAddr, now);
         }
     }
 
     // Every gate passed: the uop issues this cycle with both register
     // operands architecturally available (CMP/CMOV operand readiness;
     // baseline stores defer the data read to commit by contract).
-    DMDP_INVARIANT(rf.ready(u->src1, now) &&
-                       (baseline_store || rf.ready(u->src2, now)),
+    DMDP_INVARIANT(rf.ready(u.src1, now) &&
+                       (baseline_store || rf.ready(u.src2, now)),
                    "uop issued with an unready source at seq " +
-                       std::to_string(u->seq));
-    u->issued = true;
-    u->completeCycle = now + latency;
-    execList.push_back(u);
+                       std::to_string(u.seq));
+    u.issued = true;
+    u.completeCycle = now + latency;
+    execList.push_back(r);
     ++stats.iqIssues;
-    stats.rfReads += (u->src1 >= 0 ? 1 : 0) + (u->src2 >= 0 ? 1 : 0);
-    rf.consumerDone(u->src1);
+    stats.rfReads += (u.src1 >= 0 ? 1 : 0) + (u.src2 >= 0 ? 1 : 0);
+    rf.consumerDone(u.src1);
     if (!baseline_store)
-        rf.consumerDone(u->src2);
+        rf.consumerDone(u.src2);
     return true;
 }
 
@@ -796,8 +807,8 @@ Pipeline::stageIssue()
         // the predicted store commits.
         for (auto it = delayedLoads.begin();
              it != delayedLoads.end() && budget > 0;) {
-            Uop *u = *it;
-            if (sb.ssnCommit() >= u->predictedSsn && tryIssue(u)) {
+            UopRef r = *it;
+            if (sb.ssnCommit() >= rob.hot(r).predictedSsn && tryIssue(r)) {
                 --budget;
                 it = delayedLoads.erase(it);
             } else {
@@ -816,7 +827,7 @@ Pipeline::stageIssue()
 }
 
 void
-Pipeline::issueFromQueue(std::vector<Uop *> &q, uint32_t &budget,
+Pipeline::issueFromQueue(std::vector<UopRef> &q, uint32_t &budget,
                          bool from_iq)
 {
     // Stable two-pointer compaction: failed candidates keep their age
@@ -825,64 +836,84 @@ Pipeline::issueFromQueue(std::vector<Uop *> &q, uint32_t &budget,
     // the polled scan stops calling tryIssue too.
     size_t out = 0;
     for (size_t i = 0; i < q.size(); ++i) {
-        Uop *u = q[i];
-        if (budget > 0 && tryIssue(u)) {
+        UopRef r = q[i];
+        if (budget > 0 && tryIssue(r)) {
             --budget;
             if (from_iq)
                 --iqCount;
         } else {
-            q[out++] = u;
+            q[out++] = r;
         }
     }
     q.resize(out);
 }
 
 void
-Pipeline::enqueueReady(std::vector<Uop *> &q, Uop *u)
+Pipeline::enqueueReady(std::vector<UopRef> &q, UopRef u)
 {
     // Keep age order: wakeups arrive in completion order, but the
     // legacy scan attempts ready uops oldest-first.
     auto it = std::lower_bound(q.begin(), q.end(), u,
-                               [](const Uop *a, const Uop *b) {
-                                   return a->age < b->age;
+                               [this](UopRef a, UopRef b) {
+                                   return rob.hot(a).age < rob.hot(b).age;
                                });
     q.insert(it, u);
 }
 
 void
-Pipeline::dispatchToIq(Uop *u)
+Pipeline::mergeReady(std::vector<UopRef> &q, const UopRef *batch, size_t n)
 {
-    ++iqCount;
-    u->waitCount = 0;
-    // Baseline stores issue on the address register alone; tryIssue
-    // skips the data-register check the same way.
-    bool baseline_store = cfg.model == LsuModel::Baseline &&
-                          u->kind == UopKind::Store;
-    // Ready cycles are never in the future (producers set them at
-    // writeback, to a cycle <= now), so a source that is pending here
-    // stays pending until its producer's wakeup fires.
-    if (u->src1 >= 0 && !rf.ready(u->src1, now)) {
-        rf.addWaiter(u->src1, u);
-        ++u->waitCount;
+    // Backward in-place merge of an age-sorted batch into the age-
+    // sorted queue. Ages are unique, so this lands every element on
+    // exactly the slot a per-element lower_bound insertion would.
+    size_t i = q.size();
+    q.resize(q.size() + n);
+    size_t out = q.size();
+    size_t j = n;
+    while (j > 0) {
+        if (i > 0 && rob.hot(q[i - 1]).age > rob.hot(batch[j - 1]).age)
+            q[--out] = q[--i];
+        else
+            q[--out] = batch[--j];
     }
-    if (!baseline_store && u->src2 >= 0 && !rf.ready(u->src2, now)) {
-        rf.addWaiter(u->src2, u);
-        ++u->waitCount;
-    }
-    if (u->waitCount == 0)
-        enqueueReady(readyQ, u);
 }
 
 void
-Pipeline::dispatchDelayed(Uop *u)
+Pipeline::dispatchToIq(UopRef r)
 {
+    UopHot &u = rob.hot(r);
+    ++iqCount;
+    u.waitCount = 0;
+    // Baseline stores issue on the address register alone; tryIssue
+    // skips the data-register check the same way.
+    bool baseline_store = cfg.model == LsuModel::Baseline &&
+                          u.kind == UopKind::Store;
+    // Ready cycles are never in the future (producers set them at
+    // writeback, to a cycle <= now), so a source that is pending here
+    // stays pending until its producer's wakeup fires.
+    if (u.src1 >= 0 && !rf.ready(u.src1, now)) {
+        rf.addWaiter(u.src1, r);
+        ++u.waitCount;
+    }
+    if (!baseline_store && u.src2 >= 0 && !rf.ready(u.src2, now)) {
+        rf.addWaiter(u.src2, r);
+        ++u.waitCount;
+    }
+    if (u.waitCount == 0)
+        enqueueReady(readyQ, r);
+}
+
+void
+Pipeline::dispatchDelayed(UopRef r)
+{
+    UopHot &u = rob.hot(r);
     // classifyLoad only picks Delayed for stores that have not
     // committed yet; the guard is defensive.
-    if (u->predictedSsn <= sb.ssnCommit()) {
-        enqueueReady(delayedReady, u);
+    if (u.predictedSsn <= sb.ssnCommit()) {
+        enqueueReady(delayedReady, r);
         return;
     }
-    DelayedWaiter w{u->predictedSsn, u};
+    DelayedWaiter w{u.predictedSsn, r};
     delayedBySsn.insert(
         std::upper_bound(delayedBySsn.begin(), delayedBySsn.end(), w,
                          [](const DelayedWaiter &a, const DelayedWaiter &b) {
@@ -908,11 +939,21 @@ Pipeline::wakeWaiters(int preg)
         return;
     wakeScratch.clear();
     rf.takeWaiters(preg, wakeScratch);
-    for (Uop *u : wakeScratch) {
-        assert(u->waitCount > 0);
-        if (--u->waitCount == 0)
-            enqueueReady(readyQ, u);
+    // Branchless decrement + compaction: each waiter's countdown drops
+    // by one and the newly ready subset is compacted in place without
+    // a per-element branch. Waiter lists are appended in dispatch (=
+    // age) order, so the compacted batch is already age-sorted and one
+    // merge reproduces the per-element sorted insertion exactly.
+    size_t n = 0;
+    for (size_t i = 0; i < wakeScratch.size(); ++i) {
+        UopRef r = wakeScratch[i];
+        UopHot &u = rob.hot(r);
+        assert(u.waitCount > 0);
+        wakeScratch[n] = r;
+        n += --u.waitCount == 0;
     }
+    if (n > 0)
+        mergeReady(readyQ, wakeScratch.data(), n);
 }
 
 void
@@ -927,29 +968,31 @@ Pipeline::completeDest(int preg, uint64_t cycle)
 // ------------------------------------------------------------ writeback
 
 void
-Pipeline::completeLoad(Uop *u)
+Pipeline::completeLoad(UopRef r)
 {
+    UopHot &u = rob.hot(r);
+    UopCold &c = rob.cold(r);
     if (cfg.model == LsuModel::Baseline) {
         uint64_t source_ssn;
         bool stale_partial = false;
         uint32_t stale_pc = 0;
-        if (u->blSource == Uop::BlSource::Cache) {
+        if (c.blSource == BlSource::Cache) {
             // The cache/SB search at issue time found no collider, but
             // an older store may have retired into the store buffer
             // while the load was in flight; the cache image alone would
             // silently miss it. Re-search at the cycle the value
             // actually materializes.
             auto fb = sb.findForward(
-                u->dyn.effAddr,
-                static_cast<uint8_t>(u->dyn.inst.memSize()), u->dyn.inst);
+                c.dyn.effAddr,
+                static_cast<uint8_t>(c.dyn.inst.memSize()), c.dyn.inst);
             ++stats.sbSearches;
             if (fb.kind == StoreBuffer::ForwardResult::Kind::Forward) {
-                u->obtainedValue = fb.value;
+                c.obtainedValue = fb.value;
                 source_ssn = fb.ssn;
             } else {
-                u->obtainedValue = readExtended(committedMem,
-                                                u->dyn.effAddr,
-                                                u->dyn.inst);
+                c.obtainedValue = readExtended(committedMem,
+                                               c.dyn.effAddr,
+                                               c.dyn.inst);
                 source_ssn = sb.ssnCommit();
                 if (fb.kind ==
                     StoreBuffer::ForwardResult::Kind::Partial) {
@@ -961,112 +1004,118 @@ Pipeline::completeLoad(Uop *u)
                 }
             }
         } else {
-            u->obtainedValue = u->blFwdValue;
-            source_ssn = u->blFwdSsn;
+            c.obtainedValue = c.blFwdValue;
+            source_ssn = c.blFwdSsn;
         }
-        lsq.loadExecuted(u->seq, u->dyn.effAddr,
-                         static_cast<uint8_t>(u->dyn.inst.memSize()),
+        lsq.loadExecuted(u.seq, c.dyn.effAddr,
+                         static_cast<uint8_t>(c.dyn.inst.memSize()),
                          source_ssn);
         if (stale_partial)
-            lsq.markViolated(u->seq, stale_pc);
-    } else if (u->cls == LoadClass::Bypass) {
+            lsq.markViolated(u.seq, stale_pc);
+    } else if (u.cls == LoadClass::Bypass) {
         // Partial-word bypass: shift/mask of the store's register.
         uint32_t value = 0;
-        if (extractForwarded(u->fwdAddr, u->fwdSize, u->fwdValue,
-                             u->dyn.effAddr, u->dyn.inst, value)) {
-            u->obtainedValue = value;
+        if (extractForwarded(c.fwdAddr, c.fwdSize, c.fwdValue,
+                             c.dyn.effAddr, c.dyn.inst, value)) {
+            c.obtainedValue = value;
         } else {
-            u->obtainedValue = u->fwdValue;
+            c.obtainedValue = c.fwdValue;
         }
     } else {
-        u->ssnNvul = sb.ssnCommit();
-        DMDP_FAULT_HOOK(svwNvul, u->ssnNvul);
-        u->obtainedValue = readExtended(committedMem, u->dyn.effAddr,
-                                        u->dyn.inst);
+        c.ssnNvul = sb.ssnCommit();
+        DMDP_FAULT_HOOK(svwNvul, c.ssnNvul);
+        c.obtainedValue = readExtended(committedMem, c.dyn.effAddr,
+                                       c.dyn.inst);
     }
 
-    if (u->dst >= 0)
-        completeDest(u->dst, u->completeCycle);
+    if (u.dst >= 0)
+        completeDest(u.dst, u.completeCycle);
 }
 
 void
-Pipeline::completeUop(Uop *u)
+Pipeline::completeUop(UopRef r)
 {
-    u->completed = true;
-    switch (u->kind) {
+    UopHot &u = rob.hot(r);
+    u.completed = true;
+    switch (u.kind) {
       case UopKind::Alu:
       case UopKind::Agi:
-        if (u->dst >= 0)
-            completeDest(u->dst, u->completeCycle);
+        if (u.dst >= 0)
+            completeDest(u.dst, u.completeCycle);
         ++stats.aluOps;
         break;
 
       case UopKind::Branch:
-        if (u->dst >= 0)
-            completeDest(u->dst, u->completeCycle);
+        if (u.dst >= 0)
+            completeDest(u.dst, u.completeCycle);
         ++stats.aluOps;
-        if (fetchBlockedOnSeq == u->seq) {
+        if (fetchBlockedOnSeq == u.seq) {
             fetchBlockedOnSeq = kNoSeq;
             fetchAvailableCycle = std::max(fetchAvailableCycle,
-                                           u->completeCycle +
+                                           u.completeCycle +
                                            cfg.branchPenalty);
             currentFetchLine = ~0u;
         }
         break;
 
       case UopKind::Cmp: {
-        uint8_t load_bab = byteAccessBits(u->dyn.effAddr,
-                                          u->dyn.inst.memSize());
-        u->predicateValue =
-            wordAddr(u->dyn.effAddr) == wordAddr(u->fwdAddr) &&
-            babCovers(u->fwdBab, load_bab);
-        DMDP_FAULT_HOOK(cmovPredicate, u->predicateValue);
-        u->predicateKnown = true;
+        UopCold &c = rob.cold(r);
+        uint8_t load_bab = byteAccessBits(c.dyn.effAddr,
+                                          c.dyn.inst.memSize());
+        u.predicateValue =
+            wordAddr(c.dyn.effAddr) == wordAddr(c.fwdAddr) &&
+            babCovers(c.fwdBab, load_bab);
+        DMDP_FAULT_HOOK(cmovPredicate, u.predicateValue);
+        u.predicateKnown = true;
         // Copy the predicate into the group: the CMP may retire and
         // leave the ROB before the CMOVs execute, so they must not
-        // chase the pointer later.
-        for (Uop *peer : {u->cmovTrueUop, u->cmovFalseUop, u->loadUop}) {
-            if (peer) {
-                peer->predicateValue = u->predicateValue;
-                peer->predicateKnown = true;
+        // chase the handle later. (The peers themselves are still
+        // resident here: a predicated load cannot retire before its
+        // CMP resolves, and the CMOVs follow the CMP in the ROB.)
+        for (UopRef peer : {c.cmovTrueUop, c.cmovFalseUop, c.loadUop}) {
+            if (peer != kNullUop) {
+                UopHot &p = rob.hot(peer);
+                p.predicateValue = u.predicateValue;
+                p.predicateKnown = true;
             }
         }
-        completeDest(u->dst, u->completeCycle);
+        completeDest(u.dst, u.completeCycle);
         ++stats.predicationOps;
         break;
       }
 
       case UopKind::CmovTrue:
         ++stats.predicationOps;
-        DMDP_INVARIANT(u->predicateKnown,
+        DMDP_INVARIANT(u.predicateKnown,
                        "CMOV(taken) executed before its CMP resolved "
-                       "the predicate at seq " + std::to_string(u->seq));
-        if (u->predicateValue)
-            completeDest(u->dst, u->completeCycle);
+                       "the predicate at seq " + std::to_string(u.seq));
+        if (u.predicateValue)
+            completeDest(u.dst, u.completeCycle);
         break;
 
       case UopKind::CmovFalse:
         ++stats.predicationOps;
-        DMDP_INVARIANT(u->predicateKnown,
+        DMDP_INVARIANT(u.predicateKnown,
                        "CMOV(fall-through) executed before its CMP "
                        "resolved the predicate at seq " +
-                           std::to_string(u->seq));
-        if (!u->predicateValue)
-            completeDest(u->dst, u->completeCycle);
+                           std::to_string(u.seq));
+        if (!u.predicateValue)
+            completeDest(u.dst, u.completeCycle);
         break;
 
       case UopKind::Load:
-        completeLoad(u);
+        completeLoad(r);
         break;
 
       case UopKind::Store:
         // Baseline AGU execution: the address becomes known.
         if (cfg.model == LsuModel::Baseline) {
-            lsq.storeExecuted(u->seq, u->dyn.effAddr,
-                              static_cast<uint8_t>(u->dyn.inst.memSize()),
-                              u->dyn.storeValue);
-            storeSet.storeIssued(u->storeSetId,
-                                 static_cast<uint32_t>(u->seq));
+            UopCold &c = rob.cold(r);
+            lsq.storeExecuted(u.seq, c.dyn.effAddr,
+                              static_cast<uint8_t>(c.dyn.inst.memSize()),
+                              c.dyn.storeValue);
+            storeSet.storeIssued(c.storeSetId,
+                                 static_cast<uint32_t>(u.seq));
             ++stats.aluOps;
         }
         break;
@@ -1084,11 +1133,11 @@ Pipeline::stageWriteback()
     // shuffling.
     size_t out = 0;
     for (size_t i = 0; i < execList.size(); ++i) {
-        Uop *u = execList[i];
-        if (u->completeCycle <= now)
-            completeUop(u);
+        UopRef r = execList[i];
+        if (rob.hot(r).completeCycle <= now)
+            completeUop(r);
         else
-            execList[out++] = u;
+            execList[out++] = r;
     }
     execList.resize(out);
 }
@@ -1097,17 +1146,17 @@ Pipeline::stageWriteback()
 
 /** Value the load's consumers received through the forwarding path. */
 static uint32_t
-forwardedValue(const Uop *u)
+forwardedValue(const UopHot &u, const UopCold &c)
 {
-    if (u->cls == LoadClass::Bypass)
-        return u->obtainedValue;
+    if (u.cls == LoadClass::Bypass)
+        return c.obtainedValue;
     // Predicated, taken arm: shift/mask of the store data (CMOV).
     uint32_t value = 0;
-    if (extractForwarded(u->fwdAddr, u->fwdSize, u->fwdValue,
-                         u->dyn.effAddr, u->dyn.inst, value)) {
+    if (extractForwarded(c.fwdAddr, c.fwdSize, c.fwdValue,
+                         c.dyn.effAddr, c.dyn.inst, value)) {
         return value;
     }
-    return u->fwdValue;
+    return c.fwdValue;
 }
 
 SdpPrediction
@@ -1129,166 +1178,174 @@ Pipeline::trainDistance(uint32_t pc, uint32_t history, bool dependent,
 }
 
 void
-Pipeline::updatePredictorsAtRetire(Uop *u, bool actually_dependent,
+Pipeline::updatePredictorsAtRetire(UopRef r, bool actually_dependent,
                                    uint64_t colliding_ssn)
 {
+    const UopCold &c = rob.cold(r);
     ++stats.sdpUpdates;
     uint64_t distance = 0;
     bool dependent = actually_dependent &&
-                     colliding_ssn <= u->dyn.storesBefore &&
+                     colliding_ssn <= c.dyn.storesBefore &&
                      colliding_ssn > 0;
     if (dependent)
-        distance = u->dyn.storesBefore - colliding_ssn;
-    trainDistance(u->pc, u->sdpHistory, dependent,
+        distance = c.dyn.storesBefore - colliding_ssn;
+    trainDistance(c.pc, c.sdpHistory, dependent,
                   static_cast<uint32_t>(distance));
 }
 
 bool
-Pipeline::verifyLoad(Uop *u)
+Pipeline::verifyLoad(UopRef r)
 {
-    if (u->reexecState == Uop::ReexecState::Done)
+    UopHot &u = rob.hot(r);
+    UopCold &c = rob.cold(r);
+    if (c.reexecState == ReexecState::Done)
         return true;
 
-    uint8_t load_bab = byteAccessBits(u->dyn.effAddr,
-                                      u->dyn.inst.memSize());
+    uint8_t load_bab = byteAccessBits(c.dyn.effAddr,
+                                      c.dyn.inst.memSize());
     bool forwarded =
-        u->cls == LoadClass::Bypass ||
-        (u->cls == LoadClass::Predicated && u->predicateValue);
+        u.cls == LoadClass::Bypass ||
+        (u.cls == LoadClass::Predicated && u.predicateValue);
 
-    if (!u->verifyEvaluated) {
-        u->verifyEvaluated = true;
-        SsbfResult res = ssbf.loadLookup(wordAddr(u->dyn.effAddr),
+    if (!c.verifyEvaluated) {
+        c.verifyEvaluated = true;
+        SsbfResult res = ssbf.loadLookup(wordAddr(c.dyn.effAddr),
                                          load_bab);
         ++stats.ssbfReads;
-        u->collidingSsn = res.ssn;
-        u->collidingMatched = res.matched;
-        u->collidingBab = res.storeBab;
+        c.collidingSsn = res.ssn;
+        c.collidingMatched = res.matched;
+        c.collidingBab = res.storeBab;
 
         bool need;
         if (forwarded) {
-            need = svwForwardedLoadNeedsReexec(res.ssn, u->predictedSsn) ||
+            need = svwForwardedLoadNeedsReexec(res.ssn, u.predictedSsn) ||
                    (res.matched && !babCovers(res.storeBab, load_bab));
         } else {
-            need = svwCacheLoadNeedsReexec(res.ssn, u->ssnNvul);
+            need = svwCacheLoadNeedsReexec(res.ssn, c.ssnNvul);
         }
 
         // Predictor training (sections IV-A-d, IV-C, IV-E). The
         // silent-store-aware policy trains on every re-execution; the
         // original policy only trains when an exception is raised.
-        if (u->predictedDependent ||
+        if (c.predictedDependent ||
             (need && cfg.silentStoreAwareUpdate)) {
-            updatePredictorsAtRetire(u, res.matched, res.ssn);
+            updatePredictorsAtRetire(r, res.matched, res.ssn);
         } else if (need) {
-            u->deferredUpdate = true;
+            c.deferredUpdate = true;
         }
 
         if (!need) {
-            u->reexecState = Uop::ReexecState::Done;
+            c.reexecState = ReexecState::Done;
             return true;
         }
         ++stats.reexecs;
-        u->reexecFired = true;
-        u->reexecState = Uop::ReexecState::WaitDrain;
+        c.reexecFired = true;
+        c.reexecState = ReexecState::WaitDrain;
     }
 
-    if (u->reexecState == Uop::ReexecState::WaitDrain) {
+    if (c.reexecState == ReexecState::WaitDrain) {
         ++stats.reexecStallCycles;
         if (!sb.empty())
             return false;
         // Store buffer drained: schedule the verification cache access.
-        u->reexecDoneCycle = now + mem.loadLatency(u->dyn.effAddr, now);
-        u->reexecState = Uop::ReexecState::Access;
+        c.reexecDoneCycle = now + mem.loadLatency(c.dyn.effAddr, now);
+        c.reexecState = ReexecState::Access;
         return false;
     }
 
     // ReexecState::Access
-    if (now < u->reexecDoneCycle) {
+    if (now < c.reexecDoneCycle) {
         ++stats.reexecStallCycles;
         return false;
     }
-    u->reexecState = Uop::ReexecState::Done;
+    c.reexecState = ReexecState::Done;
 
-    uint32_t obtained = forwarded ? forwardedValue(u) : u->obtainedValue;
-    uint32_t true_value = u->dyn.resultValue;
+    uint32_t obtained = forwarded ? forwardedValue(u, c) : c.obtainedValue;
+    uint32_t true_value = c.dyn.resultValue;
     if (obtained != true_value) {
         // Exception: the consumers saw a wrong value. Full recovery.
         ++stats.depMispredicts;
-        if (u->deferredUpdate)
-            updatePredictorsAtRetire(u, u->collidingMatched,
-                                     u->collidingSsn);
-        exceptionSeqs.insert(u->seq);
-        squashAndRefetch(u->seq);
+        if (c.deferredUpdate)
+            updatePredictorsAtRetire(r, c.collidingMatched,
+                                     c.collidingSsn);
+        exceptionSeqs.insert(u.seq);
+        squashAndRefetch(u.seq);
         return false;
     }
     return true;
 }
 
 bool
-Pipeline::retireStore(Uop *u)
+Pipeline::retireStore(UopRef r)
 {
     if (sb.full())
         return false;
 
+    UopHot &u = rob.hot(r);
+    UopCold &c = rob.cold(r);
+
     SbEntry entry;
-    entry.ssn = u->dyn.ssn;
-    entry.seq = u->seq;
-    entry.pc = u->pc;
-    entry.addr = u->dyn.effAddr;
-    entry.size = static_cast<uint8_t>(u->dyn.inst.memSize());
-    entry.value = u->dyn.storeValue;
+    entry.ssn = c.dyn.ssn;
+    entry.seq = u.seq;
+    entry.pc = c.pc;
+    entry.addr = c.dyn.effAddr;
+    entry.size = static_cast<uint8_t>(c.dyn.inst.memSize());
+    entry.value = c.dyn.storeValue;
 
     if (cfg.model == LsuModel::Baseline) {
-        lsq.removeStore(u->seq);
-        rf.consumerDone(u->src2);   // data captured into the buffer
+        lsq.removeStore(u.seq);
+        rf.consumerDone(u.src2);   // data captured into the buffer
     } else {
-        entry.dataPreg = u->src2;
-        entry.addrPreg = u->src1;
-        ssbf.storeRetire(wordAddr(u->dyn.effAddr),
-                         byteAccessBits(u->dyn.effAddr,
-                                        u->dyn.inst.memSize()),
-                         u->dyn.ssn);
+        entry.dataPreg = u.src2;
+        entry.addrPreg = u.src1;
+        ssbf.storeRetire(wordAddr(c.dyn.effAddr),
+                         byteAccessBits(c.dyn.effAddr,
+                                        c.dyn.inst.memSize()),
+                         c.dyn.ssn);
         ++stats.ssbfWrites;
     }
 
     // SSN monotonicity at retire: stores leave the ROB in program
     // order, so store sequence numbers retire as a gapless sequence.
-    DMDP_INVARIANT(u->dyn.ssn == ssnRetire + 1,
+    DMDP_INVARIANT(c.dyn.ssn == ssnRetire + 1,
                    "stores must retire in SSN order: ssn " +
-                       std::to_string(u->dyn.ssn) + " after SSN_retire " +
+                       std::to_string(c.dyn.ssn) + " after SSN_retire " +
                        std::to_string(ssnRetire));
     sb.push(entry);
-    ssnRetire = u->dyn.ssn;
+    ssnRetire = c.dyn.ssn;
 
-    recentStoreLines.push_back(u->dyn.effAddr & ~(cfg.l1d.lineBytes - 1));
+    recentStoreLines.push_back(c.dyn.effAddr & ~(cfg.l1d.lineBytes - 1));
     if (recentStoreLines.size() > 64)
         recentStoreLines.pop_front();
     return true;
 }
 
 void
-Pipeline::accountRetire(Uop *u)
+Pipeline::accountRetire(UopRef r)
 {
+    UopHot &u = rob.hot(r);
+    UopCold &c = rob.cold(r);
     ++stats.uopsRetired;
     lastProgressCycle = now;
 
-    if (u->logicalDst > 0) {
-        rf.virtualRelease(u->prevDst);
-        rf.retireMapping(static_cast<unsigned>(u->logicalDst), u->dst);
+    if (c.logicalDst > 0) {
+        rf.virtualRelease(c.prevDst);
+        rf.retireMapping(static_cast<unsigned>(c.logicalDst), u.dst);
     }
 
     // Operand reads that never happened in the execution engine happen
     // at retire (e.g. a cloaked load's address read for the T-SSBF).
     // Store-queue-free stores instead read at commit, from the buffer.
-    bool store_reads_at_commit = u->kind == UopKind::Store &&
+    bool store_reads_at_commit = u.kind == UopKind::Store &&
                                  cfg.model != LsuModel::Baseline;
-    if (!u->issued && !store_reads_at_commit) {
-        rf.consumerDone(u->src1);
-        rf.consumerDone(u->src2);
+    if (!u.issued && !store_reads_at_commit) {
+        rf.consumerDone(u.src1);
+        rf.consumerDone(u.src2);
     }
 
-    if (u->kind == UopKind::Load) {
+    if (u.kind == UopKind::Load) {
         ++stats.loads;
-        switch (u->cls) {
+        switch (u.cls) {
           case LoadClass::Direct: ++stats.loadsDirect; break;
           case LoadClass::Bypass: ++stats.loadsBypass; break;
           case LoadClass::Delayed: ++stats.loadsDelayed; break;
@@ -1296,7 +1353,7 @@ Pipeline::accountRetire(Uop *u)
           default: break;
         }
         if (cfg.model == LsuModel::Baseline)
-            lsq.removeLoad(u->seq);
+            lsq.removeLoad(u.seq);
 
 #if DMDP_INVARIANTS
         // Recovery accounting closes: a load marked re-executed has a
@@ -1305,57 +1362,58 @@ Pipeline::accountRetire(Uop *u)
         // re-executed. Guards against the recovery machinery firing
         // spuriously or silently not at all.
         if ((cfg.model == LsuModel::NoSQ || cfg.model == LsuModel::DMDP) &&
-            u->verifyEvaluated) {
-            uint8_t load_bab = byteAccessBits(u->dyn.effAddr,
-                                              u->dyn.inst.memSize());
-            bool fwd = u->cls == LoadClass::Bypass ||
-                       (u->cls == LoadClass::Predicated &&
-                        u->predicateValue);
+            c.verifyEvaluated) {
+            uint8_t load_bab = byteAccessBits(c.dyn.effAddr,
+                                              c.dyn.inst.memSize());
+            bool fwd = u.cls == LoadClass::Bypass ||
+                       (u.cls == LoadClass::Predicated &&
+                        u.predicateValue);
             bool need = fwd
-                ? svwForwardedLoadNeedsReexec(u->collidingSsn,
-                                              u->predictedSsn) ||
-                  (u->collidingMatched &&
-                   !babCovers(u->collidingBab, load_bab))
-                : svwCacheLoadNeedsReexec(u->collidingSsn, u->ssnNvul);
+                ? svwForwardedLoadNeedsReexec(c.collidingSsn,
+                                              u.predictedSsn) ||
+                  (c.collidingMatched &&
+                   !babCovers(c.collidingBab, load_bab))
+                : svwCacheLoadNeedsReexec(c.collidingSsn, c.ssnNvul);
             DMDP_INVARIANT(
-                u->reexecFired == need,
+                c.reexecFired == need,
                 "re-execution accounting diverges from the SVW/T-SSBF "
-                "detection at seq " + std::to_string(u->seq) +
-                    ": reexecFired=" + std::to_string(u->reexecFired) +
+                "detection at seq " + std::to_string(u.seq) +
+                    ": reexecFired=" + std::to_string(c.reexecFired) +
                     " need=" + std::to_string(need) + " collidingSsn=" +
-                    std::to_string(u->collidingSsn) + " predictedSsn=" +
-                    std::to_string(u->predictedSsn) + " ssnNvul=" +
-                    std::to_string(u->ssnNvul));
+                    std::to_string(c.collidingSsn) + " predictedSsn=" +
+                    std::to_string(u.predictedSsn) + " ssnNvul=" +
+                    std::to_string(c.ssnNvul));
         }
 #endif
 
         if (onLoadRetire) {
-            bool fwd = u->cls == LoadClass::Bypass ||
-                       (u->cls == LoadClass::Predicated &&
-                        u->predicateValue);
-            onLoadRetire(*u, fwd ? forwardedValue(u) : u->obtainedValue);
+            bool fwd = u.cls == LoadClass::Bypass ||
+                       (u.cls == LoadClass::Predicated &&
+                        u.predicateValue);
+            onLoadRetire(c.dyn,
+                         fwd ? forwardedValue(u, c) : c.obtainedValue);
         }
     }
 
-    if (u->instEnd) {
+    if (u.instEnd) {
         ++stats.instsRetired;
         if (onRetire)
-            onRetire(*u);
-        uint64_t ready = u->dst >= 0 ? rf.readyCycle(u->dst)
-                                     : u->completeCycle;
-        double exec_time = ready > u->renameCycle
-            ? static_cast<double>(ready - u->renameCycle) : 0.0;
+            onRetire(c.dyn);
+        uint64_t ready = u.dst >= 0 ? rf.readyCycle(u.dst)
+                                    : u.completeCycle;
+        double exec_time = ready > c.renameCycle
+            ? static_cast<double>(ready - c.renameCycle) : 0.0;
         stats.instExecTimeSum += exec_time;
         ++stats.instExecSamples;
 
-        if (u->dyn.isLoad()) {
+        if (c.dyn.isLoad()) {
             stats.loadExecTimeSum += exec_time;
-            if (u->cls == LoadClass::Bypass)
+            if (u.cls == LoadClass::Bypass)
                 stats.bypassExecTimeSum += exec_time;
-            else if (u->cls == LoadClass::Delayed)
+            else if (u.cls == LoadClass::Delayed)
                 stats.delayedExecTimeSum += exec_time;
-            if (u->cls == LoadClass::Delayed ||
-                u->cls == LoadClass::Predicated) {
+            if (u.cls == LoadClass::Delayed ||
+                u.cls == LoadClass::Predicated) {
                 ++stats.lowConfLoads;
                 stats.lowConfExecTimeSum += exec_time;
             }
@@ -1374,63 +1432,93 @@ Pipeline::accountRetire(Uop *u)
             done = true;
     }
 
-    if (u->kind == UopKind::Halt)
+    if (u.kind == UopKind::Halt)
         done = true;
 }
 
 bool
 Pipeline::retireHead()
 {
-    Uop *u = &rob.front();
+    UopRef r = rob.frontRef();
+    const UopHot &u = rob.hot(r);
 
-    switch (u->kind) {
+    switch (u.kind) {
       case UopKind::Store:
         if (cfg.model == LsuModel::Baseline) {
-            if (!u->completed)
+            if (!u.completed)
                 return false;
-        } else if (!rf.ready(u->src1, now)) {
+        } else if (!rf.ready(u.src1, now)) {
             return false;   // address generation not complete yet
         }
         break;
       case UopKind::Load:
-        if (!u->completed)
+        if (!u.completed)
             return false;
         // A predicated load's verification needs the predicate.
-        if (u->cls == LoadClass::Predicated && !u->predicateKnown)
+        if (u.cls == LoadClass::Predicated && !u.predicateKnown)
             return false;
         break;
       default:
-        if (!u->completed)
+        if (!u.completed)
             return false;
         break;
     }
 
     // Baseline: memory-ordering violation detected by a store's AGU.
-    if (cfg.model == LsuModel::Baseline && u->kind == UopKind::Load) {
-        LqEntry *lq = lsq.findLoad(u->seq);
+    if (cfg.model == LsuModel::Baseline && u.kind == UopKind::Load) {
+        LqEntry *lq = lsq.findLoad(u.seq);
         if (lq && lq->violated) {
             ++stats.depMispredicts;
-            storeSet.violation(u->pc, lq->violatingStorePc);
-            squashAndRefetch(u->seq);
+            storeSet.violation(rob.cold(r).pc, lq->violatingStorePc);
+            squashAndRefetch(u.seq);
             return false;
         }
     }
 
     // Store-queue-free: SVW/T-SSBF verification.
     if ((cfg.model == LsuModel::NoSQ || cfg.model == LsuModel::DMDP) &&
-        u->kind == UopKind::Load) {
-        if (!verifyLoad(u))
+        u.kind == UopKind::Load) {
+        if (!verifyLoad(r))
             return false;   // blocked or squashed
     }
 
-    if (u->kind == UopKind::Store && !retireStore(u)) {
+    if (u.kind == UopKind::Store && !retireStore(r)) {
         ++stats.sbFullStallCycles;
         return false;
     }
 
-    accountRetire(u);
+    accountRetire(r);
     rob.pop_front();
     return true;
+}
+
+size_t
+Pipeline::batchRetirePlain(uint32_t &budget)
+{
+    // Batch-retire fast path: a run of completed non-memory micro-ops
+    // at the head commits in one hot-array walk. These are exactly the
+    // heads retireHead()'s default case accepts unconditionally —
+    // loads and stores keep the full per-kind gate logic. The done
+    // flag is rechecked per retire (Halt and maxInsts set it inside
+    // accountRetire).
+    size_t n = 0;
+    while (budget > 0 && !rob.empty() && !done) {
+        UopRef r = rob.frontRef();
+        const UopHot &u = rob.hot(r);
+        if (u.kind == UopKind::Load || u.kind == UopKind::Store ||
+            !u.completed) {
+            break;
+        }
+        bool inst_end = u.instEnd;
+        accountRetire(r);
+        rob.pop_front();
+        ++n;
+        if (inst_end) {
+            --budget;
+            --robInsts;
+        }
+    }
+    return n;
 }
 
 void
@@ -1442,7 +1530,9 @@ Pipeline::stageRetire()
     retireBlocked = false;
     uint32_t budget = cfg.retireWidth;
     while (budget > 0 && !rob.empty() && !done) {
-        bool inst_end = rob.front().instEnd;
+        if (batchRetirePlain(budget) > 0)
+            continue;
+        bool inst_end = rob.frontHot().instEnd;
         if (!retireHead()) {
             // Head blocked (or squashed), as opposed to retire
             // bandwidth running out — idle-skip tells these apart.
@@ -1455,7 +1545,7 @@ Pipeline::stageRetire()
         }
     }
     if (!rob.empty())
-        stream.retireUpTo(rob.front().seq);
+        stream.retireUpTo(rob.frontHot().seq);
 }
 
 // ----------------------------------------------------- idle-cycle skip
@@ -1467,28 +1557,28 @@ Pipeline::classifyRetireBlock() const
         return RetireBlock::Idle;
     if (!retireBlocked)
         return RetireBlock::Act;    // bandwidth-limited: retires resume
-    const Uop *u = &rob.front();
+    const UopHot &u = rob.frontHot();
 
     // Mirror retireHead()'s readiness gates: a head that fails one of
     // these blocks without touching any statistic, and the inputs
     // (completion flags, register readiness) only change at events.
-    switch (u->kind) {
+    switch (u.kind) {
       case UopKind::Store:
         if (cfg.model == LsuModel::Baseline) {
-            if (!u->completed)
+            if (!u.completed)
                 return RetireBlock::Idle;
-        } else if (!rf.ready(u->src1, now)) {
+        } else if (!rf.ready(u.src1, now)) {
             return RetireBlock::Idle;
         }
         break;
       case UopKind::Load:
-        if (!u->completed)
+        if (!u.completed)
             return RetireBlock::Idle;
-        if (u->cls == LoadClass::Predicated && !u->predicateKnown)
+        if (u.cls == LoadClass::Predicated && !u.predicateKnown)
             return RetireBlock::Idle;
         break;
       default:
-        if (!u->completed)
+        if (!u.completed)
             return RetireBlock::Idle;
         break;
     }
@@ -1496,16 +1586,17 @@ Pipeline::classifyRetireBlock() const
     // The head passed its readiness gates, so each further cycle either
     // performs work (retire, verify, squash — cannot skip) or bumps a
     // per-cycle stall counter that a skip must compensate.
-    if (u->kind == UopKind::Load &&
+    if (u.kind == UopKind::Load &&
         (cfg.model == LsuModel::NoSQ || cfg.model == LsuModel::DMDP)) {
-        if (u->reexecState == Uop::ReexecState::WaitDrain)
+        ReexecState rs = rob.frontCold().reexecState;
+        if (rs == ReexecState::WaitDrain)
             return sb.empty() ? RetireBlock::Act
                               : RetireBlock::ReexecStall;
-        if (u->reexecState == Uop::ReexecState::Access)
+        if (rs == ReexecState::Access)
             return RetireBlock::ReexecStall;    // capped by reexecDoneCycle
         return RetireBlock::Act;    // unevaluated or Done: conservative
     }
-    if (u->kind == UopKind::Store)
+    if (u.kind == UopKind::Store)
         return sb.full() ? RetireBlock::SbFullStall : RetireBlock::Act;
     return RetireBlock::Act;
 }
@@ -1561,16 +1652,16 @@ Pipeline::maybeSkipIdle()
     // horizon is an event so a wedged pipeline still throws at the
     // exact cycle the stepped loop would.
     uint64_t next = lastProgressCycle + 500001;
-    for (const Uop *u : execList)
-        next = std::min(next, u->completeCycle);
+    for (UopRef r : execList)
+        next = std::min(next, rob.hot(r).completeCycle);
     next = std::min(next, sb.nextCompletionCycle());
     if (!decodeQueue.empty() && decodeQueue.front().readyCycle > now)
         next = std::min(next, decodeQueue.front().readyCycle);
     if (fetch_capable)
         next = std::min(next, fetchAvailableCycle);
     if (!rob.empty() &&
-        rob.front().reexecState == Uop::ReexecState::Access)
-        next = std::min(next, rob.front().reexecDoneCycle);
+        rob.frontCold().reexecState == ReexecState::Access)
+        next = std::min(next, rob.frontCold().reexecDoneCycle);
 
     if (next <= now + 1)
         return;

@@ -100,24 +100,24 @@ class Pipeline
 
     /**
      * Retired-instruction observer: invoked once per architectural
-     * instruction, in retirement order, with the instruction's final
-     * micro-op (whose dyn record carries pc, seq, result value, and
-     * memory effects). The differential fuzzer uses this to compare
-     * the pipeline's committed stream against the functional oracle;
-     * timing-invisible.
+     * instruction, in retirement order, with the instruction's dyn
+     * record (pc, seq, result value, memory effects). The differential
+     * fuzzer uses this to compare the pipeline's committed stream
+     * against the functional oracle; timing-invisible.
      */
-    std::function<void(const Uop &)> onRetire;
+    std::function<void(const DynInst &)> onRetire;
 
     /**
      * Retiring-load observer: invoked once per retiring load micro-op
-     * with the value its consumers actually received (forwarded value
-     * for a cloaked load or a taken predication arm, cache value
-     * otherwise). The fault-injection campaign compares this against
-     * the oracle truth in the uop's dyn record to detect silent
-     * value corruption that end-state checks cannot see (the dyn
-     * records themselves are oracle truth). Timing-invisible.
+     * with the load's dyn record and the value its consumers actually
+     * received (forwarded value for a cloaked load or a taken
+     * predication arm, cache value otherwise). The fault-injection
+     * campaign compares this against the oracle truth in the dyn
+     * record to detect silent value corruption that end-state checks
+     * cannot see (the dyn records themselves are oracle truth).
+     * Timing-invisible.
      */
-    std::function<void(const Uop &, uint32_t delivered)> onLoadRetire;
+    std::function<void(const DynInst &, uint32_t delivered)> onLoadRetire;
 
     /**
      * Cooperative cancellation: when set, run() polls the token once
@@ -168,19 +168,21 @@ class Pipeline
     int resolveSource(int lsrc, const LoadPlan &plan) const;
 
     // ---- Issue/execute helpers. ----
-    bool tryIssue(Uop *uop);
-    void completeUop(Uop *uop);
-    void completeLoad(Uop *uop);
+    bool tryIssue(UopRef uop);
+    void completeUop(UopRef uop);
+    void completeLoad(UopRef uop);
 
     // ---- Event-driven scheduler (default; cfg.legacyScheduler selects
     //      the original polled scan for differential testing). ----
-    void dispatchToIq(Uop *uop);
-    void dispatchDelayed(Uop *uop);
-    void enqueueReady(std::vector<Uop *> &q, Uop *uop);
+    void dispatchToIq(UopRef uop);
+    void dispatchDelayed(UopRef uop);
+    void enqueueReady(std::vector<UopRef> &q, UopRef uop);
+    void mergeReady(std::vector<UopRef> &q, const UopRef *batch,
+                    size_t n);
     void wakeWaiters(int preg);
     void completeDest(int preg, uint64_t cycle);
     void releaseDelayedUpTo(uint64_t ssn);
-    void issueFromQueue(std::vector<Uop *> &q, uint32_t &budget,
+    void issueFromQueue(std::vector<UopRef> &q, uint32_t &budget,
                         bool from_iq);
     size_t
     iqOccupancy() const
@@ -214,11 +216,12 @@ class Pipeline
 
     // ---- Retire helpers. ----
     bool retireHead();
-    bool verifyLoad(Uop *uop);      ///< false = retire blocked this cycle
-    void updatePredictorsAtRetire(Uop *uop, bool actually_dependent,
+    size_t batchRetirePlain(uint32_t &budget);  ///< hot-only fast path
+    bool verifyLoad(UopRef uop);    ///< false = retire blocked this cycle
+    void updatePredictorsAtRetire(UopRef uop, bool actually_dependent,
                                   uint64_t colliding_ssn);
-    bool retireStore(Uop *uop);     ///< false = store buffer full
-    void accountRetire(Uop *uop);
+    bool retireStore(UopRef uop);   ///< false = store buffer full
+    void accountRetire(UopRef uop);
     void squashAndRefetch(uint64_t restart_seq);
 
     // ---- Configuration and substrate. ----
@@ -252,11 +255,11 @@ class Pipeline
 
     uint64_t now = 0;
     UopRing<FetchedInst> decodeQueue;   ///< sized kDecodeQueueCap
-    UopRing<Uop> rob;           ///< sized robSize x kMaxUops in the ctor
+    UopRob rob;                 ///< sized robSize x kMaxUops in the ctor
     uint32_t robInsts = 0;      ///< ROB occupancy in instructions
-    std::vector<Uop *> iq;              ///< legacy polled issue queue
-    std::vector<Uop *> delayedLoads;    ///< legacy NoSQ low-conf loads
-    std::vector<Uop *> execList;
+    std::vector<UopRef> iq;             ///< legacy polled issue queue
+    std::vector<UopRef> delayedLoads;   ///< legacy NoSQ low-conf loads
+    std::vector<UopRef> execList;
 
     // Event-driven scheduler state. The issue queue splits into the
     // per-register waiter lists (held by the RegFile) and an age-ordered
@@ -268,13 +271,13 @@ class Pipeline
     struct DelayedWaiter
     {
         uint64_t ssn;
-        Uop *u;
+        UopRef u;
     };
 
-    std::vector<Uop *> readyQ;          ///< register-ready, age order
-    std::vector<Uop *> delayedReady;    ///< released delayed loads
+    std::vector<UopRef> readyQ;         ///< register-ready, age order
+    std::vector<UopRef> delayedReady;   ///< released delayed loads
     std::vector<DelayedWaiter> delayedBySsn;    ///< sorted desc by ssn
-    std::vector<Uop *> wakeScratch;     ///< reused wake buffer
+    std::vector<UopRef> wakeScratch;    ///< reused wake buffer
     uint32_t iqCount = 0;               ///< event-mode IQ occupancy
     uint64_t nextUopAge = 0;
     bool retireBlocked = false;     ///< stageRetire hit a blocked head

@@ -31,11 +31,10 @@
 
 #include "common/stats.h"
 #include "core/invariants.h"
+#include "core/uop.h"
 #include "isa/inst.h"
 
 namespace dmdp {
-
-struct Uop;
 
 /** Renamer + physical register file + reference counters. */
 class RegFile
@@ -152,14 +151,14 @@ class RegFile
 
     /** Register @p u as waiting for @p preg to become ready. */
     void
-    addWaiter(int preg, Uop *u)
+    addWaiter(int preg, UopRef u)
     {
         regs[preg].waiters.push_back(u);
     }
 
     /** Append @p preg's waiters to @p out and clear the list. */
     void
-    takeWaiters(int preg, std::vector<Uop *> &out)
+    takeWaiters(int preg, std::vector<UopRef> &out)
     {
         auto &w = regs[preg].waiters;
         out.insert(out.end(), w.begin(), w.end());
@@ -225,7 +224,7 @@ class RegFile
         uint32_t consumers = 0;
         uint64_t readyCycle = 0;
         bool free = true;
-        std::vector<Uop *> waiters;
+        std::vector<UopRef> waiters;
     };
 
     void

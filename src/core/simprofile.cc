@@ -32,7 +32,8 @@ SimProfile::report() const
 {
     std::ostringstream os;
     os << "sim profile: " << cycles << " cycles in " << wallSeconds
-       << "s (" << cyclesPerSec() << " cycles/s), skipped "
+       << "s (" << steppedCyclesPerSec() << " stepped cycles/s, "
+       << cyclesPerSec() << " raw cycles/s), skipped "
        << skippedCycles << " cycles in " << skipEvents << " events\n";
     if (enabled) {
         for (int s = 0; s < kNumStages; ++s)

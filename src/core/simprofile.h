@@ -44,11 +44,39 @@ struct SimProfile
     /** True if DMDP_PROFILE is set (and not "0"). */
     static bool envEnabled();
 
+    /**
+     * Cycles the scheduler actually stepped. `cycles` counts every
+     * simulated cycle including the ones the idle-skip scheduler
+     * fast-forwarded over, so a rate built on it credits the simulator
+     * for work it never did — an idle-heavy workload can look faster
+     * than a busy one on the same host.
+     */
+    uint64_t
+    steppedCycles() const
+    {
+        return cycles >= skippedCycles ? cycles - skippedCycles : 0;
+    }
+
+    /**
+     * Raw rate: simulated cycles (skipped included) per wall second.
+     * Useful as "simulated time per wall time", but dishonest as a
+     * measure of simulator speed; gate performance checks on
+     * steppedCyclesPerSec() instead.
+     */
     double
     cyclesPerSec() const
     {
         return wallSeconds > 0
             ? static_cast<double>(cycles) / wallSeconds
+            : 0.0;
+    }
+
+    /** Honest rate: cycles actually stepped per wall second. */
+    double
+    steppedCyclesPerSec() const
+    {
+        return wallSeconds > 0
+            ? static_cast<double>(steppedCycles()) / wallSeconds
             : 0.0;
     }
 

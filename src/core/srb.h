@@ -5,13 +5,20 @@
  * register identities of its data and address, plus the oracle-provided
  * architectural facts the timing model needs to evaluate forwarding
  * correctness. Indexed by store sequence number.
+ *
+ * Storage is a growable power-of-two ring rather than a std::deque:
+ * entries enter at rename and leave at commit, so the steady-state
+ * population is bounded by the in-flight stores (ROB + store buffer)
+ * and the ring stops allocating once it has grown to cover that —
+ * the deque's chunk churn sat directly on the rename hot path.
  */
 
 #ifndef DMDP_CORE_SRB_H
 #define DMDP_CORE_SRB_H
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 namespace dmdp {
 
@@ -38,20 +45,21 @@ class StoreRegisterBuffer
     void
     insert(const SrbEntry &entry)
     {
-        if (entries.empty())
+        if (count_ == 0)
             baseSsn = entry.ssn;
-        entries.push_back(entry);
+        if (count_ > mask_)
+            grow();
+        at(count_) = entry;
+        ++count_;
     }
 
     /** Look up an in-flight store by SSN (nullptr if absent/invalid). */
     const SrbEntry *
     find(uint64_t ssn) const
     {
-        if (entries.empty() || ssn < baseSsn ||
-            ssn >= baseSsn + entries.size()) {
+        if (count_ == 0 || ssn < baseSsn || ssn >= baseSsn + count_)
             return nullptr;
-        }
-        const SrbEntry &entry = entries[ssn - baseSsn];
+        const SrbEntry &entry = at(ssn - baseSsn);
         return entry.valid ? &entry : nullptr;
     }
 
@@ -62,11 +70,12 @@ class StoreRegisterBuffer
     void
     invalidate(uint64_t ssn)
     {
-        if (ssn < baseSsn || ssn >= baseSsn + entries.size())
+        if (ssn < baseSsn || ssn >= baseSsn + count_)
             return;
-        entries[ssn - baseSsn].valid = false;
-        while (!entries.empty() && !entries.front().valid) {
-            entries.pop_front();
+        at(ssn - baseSsn).valid = false;
+        while (count_ > 0 && !at(0).valid) {
+            head_ = (head_ + 1) & mask_;
+            --count_;
             ++baseSsn;
         }
     }
@@ -75,14 +84,32 @@ class StoreRegisterBuffer
     void
     truncateAfter(uint64_t last_retired_ssn)
     {
-        while (!entries.empty() && entries.back().ssn > last_retired_ssn)
-            entries.pop_back();
+        while (count_ > 0 && at(count_ - 1).ssn > last_retired_ssn)
+            --count_;
     }
 
-    size_t size() const { return entries.size(); }
+    size_t size() const { return count_; }
 
   private:
-    std::deque<SrbEntry> entries;
+    SrbEntry &at(size_t i) { return buf_[(head_ + i) & mask_]; }
+    const SrbEntry &at(size_t i) const { return buf_[(head_ + i) & mask_]; }
+
+    /** Double the ring, re-laying the live window out from slot 0. */
+    void
+    grow()
+    {
+        std::vector<SrbEntry> bigger((mask_ + 1) * 2);
+        for (size_t i = 0; i < count_; ++i)
+            bigger[i] = at(i);
+        buf_.swap(bigger);
+        mask_ = buf_.size() - 1;
+        head_ = 0;
+    }
+
+    std::vector<SrbEntry> buf_ = std::vector<SrbEntry>(64);
+    size_t mask_ = 63;
+    size_t head_ = 0;
+    size_t count_ = 0;
     uint64_t baseSsn = 0;
 };
 

@@ -15,7 +15,8 @@ StoreBuffer::StoreBuffer(const SimConfig &config, Hierarchy &hierarchy,
       mem(hierarchy),
       committedMem(committed),
       rf(regfile),
-      capacity(config.storeBufferSize)
+      capacity(config.storeBufferSize),
+      entries(config.storeBufferSize)
 {}
 
 void
@@ -32,7 +33,7 @@ StoreBuffer::push(const SbEntry &entry)
                    "store-buffer SSN order broken: " +
                        std::to_string(entry.ssn) + " pushed after " +
                        std::to_string(entries.back().ssn));
-    entries.push_back(entry);
+    entries.emplace_back() = entry;
 }
 
 bool
@@ -99,7 +100,8 @@ StoreBuffer::tick(uint64_t now)
     // at completion: the Store Register Buffer entry stays valid (and
     // predication may still capture these registers) until the write
     // is visible, so the consumer counts must protect them that long.
-    for (auto &entry : entries) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+        SbEntry &entry = entries[i];
         if (entry.started && !entry.done && entry.doneCycle <= now) {
             entry.done = true;
             --inFlight;
@@ -175,25 +177,27 @@ StoreBuffer::findForward(uint32_t addr, uint8_t size,
                          const Inst &load_inst) const
 {
     ForwardResult result;
-    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    for (size_t i = entries.size(); i-- > 0;) {
+        const SbEntry &entry = entries[i];    // youngest first
         // Entries whose cache write already completed are visible
         // through the cache itself.
-        if (it->done)
+        if (entry.done)
             continue;
-        bool overlap = it->addr < addr + size && addr < it->addr + it->size;
+        bool overlap = entry.addr < addr + size &&
+                       addr < entry.addr + entry.size;
         if (!overlap)
             continue;
         uint32_t value = 0;
-        if (extractForwarded(it->addr, it->size, it->value, addr,
+        if (extractForwarded(entry.addr, entry.size, entry.value, addr,
                              load_inst, value)) {
             result.kind = ForwardResult::Kind::Forward;
-            result.ssn = it->ssn;
+            result.ssn = entry.ssn;
             result.value = value;
         } else {
             result.kind = ForwardResult::Kind::Partial;
-            result.ssn = it->ssn;
+            result.ssn = entry.ssn;
         }
-        result.pc = it->pc;
+        result.pc = entry.pc;
         break;
     }
     // Injection may only demote Forward to Partial (a timing fault: the

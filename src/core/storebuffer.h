@@ -12,13 +12,13 @@
 #define DMDP_CORE_STOREBUFFER_H
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "common/config.h"
 #include "common/stats.h"
 #include "core/regfile.h"
+#include "core/uopring.h"
 #include "func/memimg.h"
 #include "mem/hierarchy.h"
 
@@ -119,7 +119,7 @@ class StoreBuffer
     RegFile &rf;
 
     uint32_t capacity;
-    std::deque<SbEntry> entries;
+    UopRing<SbEntry> entries;   ///< bounded by capacity; no per-push heap
     uint64_t ssnCommit_ = 0;
     uint32_t inFlight = 0;      ///< commits issued but not completed
     uint64_t lastOrderedDone = 0;   ///< TSO in-order completion fence

@@ -4,6 +4,22 @@
  * decode/rename into micro-ops (section IV-A): memory instructions gain
  * an address-generation micro-op (AGI), and low-confidence loads in
  * DMDP additionally gain a CMP and two CMOVs (section IV-B).
+ *
+ * The in-flight record is split structure-of-arrays style (see
+ * docs/ARCHITECTURE.md §11):
+ *
+ *  - UopHot (≤64 bytes, one cache line) carries everything the
+ *    scheduler and the retire gates touch every cycle: identity,
+ *    renamed operands, readiness bits, age ordering, and the few
+ *    memory facts the issue gates need. ROB walks, wakeup, select and
+ *    the retire-head polls read only this array.
+ *  - UopCold carries the architectural record (DynInst copy), the
+ *    predication group links, forwarding facts, and the retire-time
+ *    verification state machine. It is touched only at the rename,
+ *    execute and retire boundaries — never inside a per-cycle walk.
+ *
+ * Both records live in parallel rings (UopRob, core/uopring.h) and are
+ * addressed by a stable UopRef slot handle instead of a raw pointer.
  */
 
 #ifndef DMDP_CORE_UOP_H
@@ -41,57 +57,112 @@ enum class LoadClass : uint8_t
 
 const char *loadClassName(LoadClass cls);
 
-/** One in-flight micro-op. */
-struct Uop
+/**
+ * Stable handle to an in-flight micro-op: the slot index of its
+ * hot/cold records in the UopRob rings. Slots are never moved while a
+ * micro-op is live, so a handle stays valid from rename to retire (and
+ * across ring wrap); it must not be dereferenced after the micro-op
+ * retires or is squashed, exactly like the Uop* it replaces.
+ */
+using UopRef = uint32_t;
+
+/** Null handle (no micro-op). */
+constexpr UopRef kNullUop = ~0u;
+
+/** Retire-time verification state machine (NoSQ/DMDP loads). */
+enum class ReexecState : uint8_t { None, WaitDrain, Access, Done };
+
+/** Where a baseline load's value came from. */
+enum class BlSource : uint8_t { Cache, SqForward, SbForward };
+
+/**
+ * Hot per-micro-op state: the fields every ROB walk, wakeup, select
+ * and retire-head poll reads. One cache line; the static_assert below
+ * is the layout budget the scheduler's cache behavior depends on.
+ */
+struct alignas(64) UopHot
 {
-    // Identity.
-    uint64_t seq = 0;       ///< owning dynamic instruction
-    uint32_t pc = 0;
-    UopKind kind = UopKind::Alu;
-    DynInst dyn;            ///< architectural record (copied; small)
+    uint64_t seq = 0;           ///< owning dynamic instruction
+    uint64_t age = 0;           ///< global dispatch order (ready queues)
+    uint64_t completeCycle = 0;
+    uint64_t predictedSsn = 0;  ///< delayed-load issue gate
 
     // Renamed operands (physical register indices, -1 = none/always
     // ready).
-    int src1 = -1;
-    int src2 = -1;
-    int dst = -1;
-    int prevDst = -1;       ///< previous mapping of the dest logical reg
-    int logicalDst = -1;
+    int32_t src1 = -1;
+    int32_t src2 = -1;
+    int32_t dst = -1;
 
-    // Pipeline state.
+    UopKind kind = UopKind::Alu;
+    LoadClass cls = LoadClass::None;
+
+    /** Pending source registers (waiter-list wakeup countdown). */
+    uint8_t waitCount = 0;
+
+    // Pipeline readiness bits.
     bool dispatched = false;    ///< entered the issue queue
     bool issued = false;
     bool completed = false;
-    uint64_t renameCycle = 0;
-    uint64_t completeCycle = 0;
+    bool instEnd = false;       ///< last micro-op of its instruction
 
-    // Event-driven scheduler state (see pipeline.cc). `age` is the
-    // global dispatch order, used to keep the ready queue in the same
-    // age order the legacy polled scan observes; `waitCount` counts
-    // source registers that are still pending (the uop sits on their
-    // RegFile waiter lists until it drops to zero).
-    uint64_t age = 0;
-    uint8_t waitCount = 0;
+    // Predication outcome, mirrored from the group CMP when it
+    // executes: the retire gate for a predicated load polls these.
+    bool predicateValue = false;    ///< CMP outcome (addresses match)
+    bool predicateKnown = false;    ///< CMP has executed
+
+    bool isLoadUop() const { return kind == UopKind::Load; }
+    bool isStoreUop() const { return kind == UopKind::Store; }
+
+    /** Execution latency once issued (cache ops ask the hierarchy). */
+    uint32_t
+    fixedLatency(Op op) const
+    {
+        switch (kind) {
+          case UopKind::Alu:
+            return op == Op::MUL ? 3 : 1;
+          default:
+            return 1;
+        }
+    }
+};
+
+static_assert(sizeof(UopHot) <= 64,
+              "UopHot must fit one cache line; move new fields to "
+              "UopCold unless a per-cycle walk reads them");
+static_assert(alignof(UopHot) == 64,
+              "UopHot is padded to exactly one line so hot(r) is a "
+              "shift, not a multiply, on the polled-issue fast path");
+
+/**
+ * Cold per-micro-op state: the architectural record plus everything
+ * read only at the rename, execute and retire boundaries.
+ */
+struct UopCold
+{
+    DynInst dyn;                ///< architectural record (copied; small)
+    uint32_t pc = 0;
+
+    int32_t prevDst = -1;       ///< previous mapping of the dest logical reg
+    int32_t logicalDst = -1;
+    uint64_t renameCycle = 0;
 
     // Memory state.
     uint64_t ssnNvul = 0;       ///< SSN_commit sampled at cache read
     uint32_t obtainedValue = 0; ///< value the load actually got
 
     // Dependence prediction state (loads).
-    LoadClass cls = LoadClass::None;
     bool predictedDependent = false;
     bool predictionConfident = false;
-    uint64_t predictedSsn = 0;
     uint32_t sdpHistory = 0;    ///< branch history at prediction time
 
-    // Predication state.
-    bool predicateValue = false;    ///< CMP outcome (addresses match)
-    bool predicateKnown = false;    ///< CMP has executed
-    Uop *cmpUop = nullptr;          ///< group CMP (on Load and CMOVs)
-    Uop *loadUop = nullptr;         ///< group Load (on CMP and CMOVs)
-    Uop *cmovTrueUop = nullptr;     ///< group CMOVs (on the CMP)
-    Uop *cmovFalseUop = nullptr;
-    bool instEnd = false;           ///< last micro-op of its instruction
+    // Predication group links (handles into the same UopRob). A link
+    // may dangle once its target retires — the predicate is copied
+    // into the group when the CMP executes, precisely so nobody needs
+    // to chase these afterwards.
+    UopRef cmpUop = kNullUop;       ///< group CMP (on Load and CMOVs)
+    UopRef loadUop = kNullUop;      ///< group Load (on CMP and CMOVs)
+    UopRef cmovTrueUop = kNullUop;  ///< group CMOVs (on the CMP)
+    UopRef cmovFalseUop = kNullUop;
 
     // Copy of the predicted store's facts, taken from the SRB at rename
     // (the SRB entry may be invalidated before this uop executes).
@@ -101,7 +172,6 @@ struct Uop
     uint32_t fwdValue = 0;
 
     // Retire-time verification state machine.
-    enum class ReexecState : uint8_t { None, WaitDrain, Access, Done };
     ReexecState reexecState = ReexecState::None;
     uint64_t reexecDoneCycle = 0;
     bool verifyEvaluated = false;
@@ -112,33 +182,11 @@ struct Uop
     bool deferredUpdate = false;    ///< SDP update pending on exception
 
     // Baseline LSQ state.
-    enum class BlSource : uint8_t { Cache, SqForward, SbForward };
     BlSource blSource = BlSource::Cache;
     uint32_t blFwdValue = 0;
     uint64_t blFwdSsn = 0;
     uint32_t storeSetId = ~0u;
     uint64_t waitStoreTag = ~0ull;  ///< LFST tag the load must wait for
-
-    bool isLoadUop() const { return kind == UopKind::Load; }
-    bool isStoreUop() const { return kind == UopKind::Store; }
-
-    /** Execution latency once issued (cache ops ask the hierarchy). */
-    uint32_t
-    fixedLatency() const
-    {
-        switch (kind) {
-          case UopKind::Alu:
-            return dyn.inst.op == Op::MUL ? 3 : 1;
-          case UopKind::Agi:
-          case UopKind::Branch:
-          case UopKind::Cmp:
-          case UopKind::CmovTrue:
-          case UopKind::CmovFalse:
-            return 1;
-          default:
-            return 1;
-        }
-    }
 };
 
 } // namespace dmdp

@@ -1,16 +1,27 @@
 /**
  * @file
- * Fixed-capacity FIFO ring of in-flight micro-ops (the ROB storage).
+ * Fixed-capacity FIFO rings for in-flight pipeline state.
+ *
+ * UopRing<T> is the generic single-array ring (decode queue, store
+ * buffer). UopRob is the ROB's structure-of-arrays variant: two
+ * parallel rings of UopHot / UopCold records sharing one head/count,
+ * addressed by stable UopRef slot handles (docs/ARCHITECTURE.md §11).
  *
  * The reorder buffer admits at most robSize *instructions*, each
  * cracked into at most CrackedSeq::kMaxUops micro-ops, so its uop
- * population is bounded at configuration time. A std::deque<Uop> pays a
- * heap allocation every push once sizeof(Uop) exceeds the deque chunk
- * size (one node per element at 288 bytes) — measurably the hottest
- * allocation site in the whole simulator. This ring allocates once and
- * never moves an element, which also preserves the pointer stability
- * the scheduler relies on: the issue queue, ready queues, wakeup lists
- * and store register buffer all hold Uop* into this storage.
+ * population is bounded at configuration time. A std::deque paid a
+ * heap allocation every push once the element outgrew the deque chunk
+ * size — measurably the hottest allocation site in the whole
+ * simulator. These rings allocate once (from the per-job arena when a
+ * sweep worker has one pinned, see common/arena.h) and never move an
+ * element, which also preserves the slot stability the scheduler
+ * relies on: the issue queue, ready queues, wakeup lists and exec list
+ * all hold UopRef handles into the UopRob storage.
+ *
+ * Overflow is a hard error in every build type: a full ring that
+ * silently wrapped would recycle slots the scheduler still holds
+ * handles into — state corruption, not a recoverable condition. The
+ * check is one compare on an already-loaded field.
  *
  * Requires a trivially copyable element type (enforced below): slots
  * are recycled by assignment, not destruction.
@@ -22,9 +33,54 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <type_traits>
 
+#include "common/arena.h"
+#include "core/uop.h"
+
 namespace dmdp {
+
+namespace detail {
+
+/** Round up to a power of two (minimum 1). */
+inline std::size_t
+ringCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        throw std::invalid_argument("ring capacity must be positive");
+    std::size_t cap = 1;
+    while (cap < capacity)
+        cap <<= 1;
+    return cap;
+}
+
+/**
+ * Allocate and value-initialize @p n elements of trivially-copyable
+ * @p T from the job arena (heap fallback). Paired with ringRelease.
+ */
+template <typename T>
+inline std::pair<T *, ArenaBlock>
+ringAllocate(std::size_t n)
+{
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ring elements are recycled by assignment");
+    ArenaBlock block = ArenaBlock::allocate(n * sizeof(T));
+    T *elems = static_cast<T *>(block.ptr);
+    for (std::size_t i = 0; i < n; ++i)
+        new (elems + i) T();
+    return {elems, block};
+}
+
+[[noreturn]] inline void
+ringOverflow()
+{
+    // Hard error in all build types: wrapping would corrupt live slots.
+    throw std::length_error("UopRing capacity exceeded");
+}
+
+} // namespace detail
 
 template <typename T>
 class UopRing
@@ -33,24 +89,38 @@ class UopRing
                   "slots are recycled by assignment");
 
   public:
-    /** @param capacity max live elements; rounded up to a power of 2. */
+    /**
+     * @param capacity max live elements; rounded up to a power of 2.
+     * Zero is rejected (std::invalid_argument): a capacity-0 ring has
+     * no valid slot, and the legacy round-up silently produced a
+     * 1-slot ring instead of surfacing the configuration bug.
+     */
     explicit UopRing(std::size_t capacity)
     {
-        std::size_t cap = 1;
-        while (cap < capacity)
-            cap <<= 1;
+        std::size_t cap = detail::ringCapacity(capacity);
         mask_ = cap - 1;
-        buf_ = std::make_unique<T[]>(cap);
+        auto [elems, block] = detail::ringAllocate<T>(cap);
+        buf_ = elems;
+        block_ = block;
     }
+
+    ~UopRing() { block_.release(); }
+
+    UopRing(const UopRing &) = delete;
+    UopRing &operator=(const UopRing &) = delete;
 
     bool empty() const { return count_ == 0; }
     std::size_t size() const { return count_; }
+    std::size_t capacity() const { return mask_ + 1; }
+    bool full() const { return count_ > mask_; }
 
-    /** Append a fresh default-initialized element; address is stable. */
+    /** Append a fresh default-initialized element; address is stable.
+     * Throws std::length_error when full — in every build type. */
     T &
     emplace_back()
     {
-        assert(count_ <= mask_ && "UopRing capacity exceeded");
+        if (count_ > mask_)
+            detail::ringOverflow();
         T &slot = buf_[(head_ + count_) & mask_];
         slot = T{};
         ++count_;
@@ -61,11 +131,33 @@ class UopRing
     const T &front() const { assert(count_); return buf_[head_]; }
     T &back() { assert(count_); return buf_[(head_ + count_ - 1) & mask_]; }
 
+    /** The @p i-th oldest occupied slot. */
+    T &
+    operator[](std::size_t i)
+    {
+        assert(i < count_);
+        return buf_[(head_ + i) & mask_];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        assert(i < count_);
+        return buf_[(head_ + i) & mask_];
+    }
+
     void
     pop_front()
     {
         assert(count_);
         head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    pop_back()
+    {
+        assert(count_);
         --count_;
     }
 
@@ -97,10 +189,115 @@ class UopRing
     const_iterator end() const { return const_iterator(this, count_); }
 
   private:
-    std::unique_ptr<T[]> buf_;
+    T *buf_ = nullptr;
+    ArenaBlock block_;
     std::size_t mask_ = 0;
     std::size_t head_ = 0;
     std::size_t count_ = 0;
+};
+
+/**
+ * The ROB's structure-of-arrays storage: parallel UopHot / UopCold
+ * rings sharing one head/count, addressed by UopRef slot handles. A
+ * handle is the physical slot index, so it is stable for the life of
+ * the micro-op (slots never move; the ring only advances head/count),
+ * including across wrap. hot() is the only accessor per-cycle walks
+ * may use; cold() is reserved for the rename/execute/retire
+ * boundaries (§11 invariant, enforced by review, not types).
+ */
+class UopRob
+{
+  public:
+    /** @param capacity max live micro-ops; rounded up to a power of 2.
+     * Zero is rejected (std::invalid_argument). */
+    explicit UopRob(std::size_t capacity)
+    {
+        std::size_t cap = detail::ringCapacity(capacity);
+        mask_ = static_cast<UopRef>(cap - 1);
+        auto [h, hb] = detail::ringAllocate<UopHot>(cap);
+        hot_ = h;
+        hotBlock_ = hb;
+        auto [c, cb] = detail::ringAllocate<UopCold>(cap);
+        cold_ = c;
+        coldBlock_ = cb;
+    }
+
+    ~UopRob()
+    {
+        hotBlock_.release();
+        coldBlock_.release();
+    }
+
+    UopRob(const UopRob &) = delete;
+    UopRob &operator=(const UopRob &) = delete;
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return std::size_t(mask_) + 1; }
+
+    /** Allocate the next slot (both records value-initialized) and
+     * return its handle. Throws std::length_error when full. */
+    UopRef
+    emplace_back()
+    {
+        if (count_ > mask_)
+            detail::ringOverflow();
+        UopRef r = (head_ + count_) & mask_;
+        hot_[r] = UopHot{};
+        cold_[r] = UopCold{};
+        ++count_;
+        return r;
+    }
+
+    UopHot &hot(UopRef r) { return hot_[r]; }
+    const UopHot &hot(UopRef r) const { return hot_[r]; }
+    UopCold &cold(UopRef r) { return cold_[r]; }
+    const UopCold &cold(UopRef r) const { return cold_[r]; }
+
+    /** Handle of the oldest live micro-op. */
+    UopRef
+    frontRef() const
+    {
+        assert(count_);
+        return head_;
+    }
+
+    /** Handle of the @p i-th oldest live micro-op. */
+    UopRef
+    refAt(std::size_t i) const
+    {
+        assert(i < count_);
+        return (head_ + static_cast<UopRef>(i)) & mask_;
+    }
+
+    UopHot &frontHot() { assert(count_); return hot_[head_]; }
+    const UopHot &frontHot() const { assert(count_); return hot_[head_]; }
+    UopCold &frontCold() { assert(count_); return cold_[head_]; }
+    const UopCold &frontCold() const { assert(count_); return cold_[head_]; }
+
+    void
+    pop_front()
+    {
+        assert(count_);
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    UopHot *hot_ = nullptr;
+    UopCold *cold_ = nullptr;
+    ArenaBlock hotBlock_;
+    ArenaBlock coldBlock_;
+    UopRef mask_ = 0;
+    UopRef head_ = 0;
+    UopRef count_ = 0;
 };
 
 } // namespace dmdp

@@ -111,8 +111,12 @@ resultToJson(const JobResult &r)
     j.set("wallSeconds", r.wallSeconds);
     // Simulator speed, from the pipeline-only wall clock (excludes
     // workload construction): the headline number the speed-smoke CI
-    // gate and BENCH_*.json files track.
-    j.set("sim_cycles_per_sec", r.profile.cyclesPerSec());
+    // gate and BENCH_*.json files track. The headline rate counts only
+    // cycles the scheduler actually stepped; the raw rate includes
+    // idle-skipped cycles (simulated time per wall time) and is not
+    // comparable across configs with different skip behavior.
+    j.set("sim_cycles_per_sec", r.profile.steppedCyclesPerSec());
+    j.set("sim_cycles_per_sec_raw", r.profile.cyclesPerSec());
     j.set("ok", r.ok);
     j.set("attempts", Json(static_cast<double>(r.attempts)));
     j.set("timed_out", r.timedOut);
@@ -207,11 +211,17 @@ reportToJson(const SweepReport &report)
 
 namespace {
 
-/** RFC-4180 quoting for fields that may carry commas or quotes. */
+/**
+ * RFC-4180 quoting for fields that may carry delimiters. The trigger
+ * set must include '\r': exception messages can embed bare carriage
+ * returns (e.g. strerror text on some platforms), and an unquoted CR
+ * splits the record for any reader that treats CR or CRLF as a row
+ * terminator.
+ */
 std::string
 csvQuote(const std::string &s)
 {
-    if (s.find_first_of(",\"\n") == std::string::npos)
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
         return s;
     std::string out = "\"";
     for (char c : s) {
@@ -225,12 +235,71 @@ csvQuote(const std::string &s)
 
 } // namespace
 
+std::vector<std::vector<std::string>>
+csvParse(const std::string &text)
+{
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> row;
+    std::string field;
+    bool inQuotes = false;
+    bool fieldStarted = false;  ///< row has at least one field
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (inQuotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;    // escaped quote
+                } else {
+                    inQuotes = false;
+                }
+            } else {
+                field += c; // delimiters are literal inside quotes
+            }
+            continue;
+        }
+        switch (c) {
+          case '"':
+            inQuotes = true;
+            fieldStarted = true;
+            break;
+          case ',':
+            row.push_back(std::move(field));
+            field.clear();
+            fieldStarted = true;
+            break;
+          case '\r':
+            if (i + 1 < text.size() && text[i + 1] == '\n')
+                ++i;    // CRLF row terminator
+            [[fallthrough]];
+          case '\n':
+            row.push_back(std::move(field));
+            field.clear();
+            rows.push_back(std::move(row));
+            row.clear();
+            fieldStarted = false;
+            break;
+          default:
+            field += c;
+            fieldStarted = true;
+            break;
+        }
+    }
+    // Final row without a trailing newline.
+    if (fieldStarted || !field.empty() || !row.empty()) {
+        row.push_back(std::move(field));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
 std::string
 resultsToCsv(const std::vector<JobResult> &results)
 {
     std::ostringstream os;
     os << "id,proxy,model,isInteger,insts,configDigest,wallSeconds,"
-          "sim_cycles_per_sec,ok,attempts,timed_out,error";
+          "sim_cycles_per_sec,sim_cycles_per_sec_raw,ok,attempts,"
+          "timed_out,error";
     // Column set comes from the field list so the header never drifts
     // from the rows.
     SimStats empty;
@@ -243,10 +312,13 @@ resultsToCsv(const std::vector<JobResult> &results)
         char digest[32];
         std::snprintf(digest, sizeof(digest), "%016llx",
                       static_cast<unsigned long long>(r.configDigest));
-        os << r.job.id << ',' << r.job.proxy << ','
+        // id and proxy are caller-supplied strings (sweep files, CLI
+        // flags), so they get the same quoting as error messages.
+        os << csvQuote(r.job.id) << ',' << csvQuote(r.job.proxy) << ','
            << lsuModelName(r.job.cfg.model) << ','
            << (r.job.isInteger ? 1 : 0) << ',' << r.job.insts << ','
            << digest << ',' << r.wallSeconds << ','
+           << r.profile.steppedCyclesPerSec() << ','
            << r.profile.cyclesPerSec() << ',' << (r.ok ? 1 : 0) << ','
            << r.attempts << ',' << (r.timedOut ? 1 : 0) << ','
            << csvQuote(r.error);

@@ -65,6 +65,15 @@ Json reportToJson(const SweepReport &report);
 /** A whole sweep as CSV with a header row (columns match statFields). */
 std::string resultsToCsv(const std::vector<JobResult> &results);
 
+/**
+ * RFC-4180 parser: rows of fields, the exact inverse of the quoting in
+ * resultsToCsv(). Handles quoted fields containing commas, doubled
+ * quotes, CR, LF and CRLF; accepts LF, CRLF or CR row terminators and
+ * a missing final newline. The round-trip tests drive the emitter's
+ * adversarial strings through this.
+ */
+std::vector<std::vector<std::string>> csvParse(const std::string &text);
+
 /** Write @p text to @p path (throws std::runtime_error on failure). */
 void writeTextFile(const std::string &path, const std::string &text);
 

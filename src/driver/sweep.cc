@@ -13,6 +13,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/arena.h"
 #include "core/pipeline.h"
 #include "driver/results.h"
 #include "sim/simulator.h"
@@ -417,6 +418,13 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                     if (beforeAttempt_)
                         beforeAttempt_(jobs[i], attempt);
                     Watchdog::Scope scope(watchdog.get(), &cancel);
+                    // Pin this worker's bump arena for the attempt: the
+                    // pipeline's rings (ROB hot/cold, decode queue,
+                    // store buffer) are carved from it and recycled
+                    // wholesale on the next attempt. Everything that
+                    // outlives the attempt (stats, profile, errors) is
+                    // copied out as plain values before the scope ends.
+                    JobArena::Scope arena;
                     // r.job.cfg.maxInsts was pinned above, so the
                     // shared-program path runs exactly what
                     // simulateProxy would.

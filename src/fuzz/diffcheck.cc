@@ -124,7 +124,8 @@ buildReference(const Program &prog, uint64_t maxSteps, Reference &out,
 RunCheck
 verifyRun(const SimConfig &cfg, const Program &prog, FetchStream *external,
           const Reference &ref,
-          const std::function<void(const Uop &, uint32_t)> &on_load_retire)
+          const std::function<void(const DynInst &, uint32_t)>
+              &on_load_retire)
 {
     RunCheck run;
     const std::vector<DynInst> &stream = ref.stream;
@@ -145,19 +146,19 @@ verifyRun(const SimConfig &cfg, const Program &prog, FetchStream *external,
         // influence timing, so finishing is safe and keeps the stats
         // comparable).
         uint64_t idx = 0;
-        pipe.onRetire = [&](const Uop &u) {
+        pipe.onRetire = [&](const DynInst &dyn) {
             if (idx >= stream.size()) {
                 if (!run.failed)
                     fail(FailKind::Stream,
                          "retired past the reference stream: " +
-                             describeDyn(u.dyn));
+                             describeDyn(dyn));
                 ++idx;
                 return;
             }
-            if (!run.failed && !dynEqual(u.dyn, stream[idx])) {
+            if (!run.failed && !dynEqual(dyn, stream[idx])) {
                 fail(FailKind::Stream,
                      "retired record " + std::to_string(idx) +
-                         " diverged: pipeline {" + describeDyn(u.dyn) +
+                         " diverged: pipeline {" + describeDyn(dyn) +
                          "} vs reference {" + describeDyn(stream[idx]) +
                          "}");
             }

@@ -35,7 +35,6 @@
 
 namespace dmdp {
 class FetchStream;
-struct Uop;
 } // namespace dmdp
 
 namespace dmdp::fuzz {
@@ -120,8 +119,8 @@ struct RunCheck
 RunCheck
 verifyRun(const SimConfig &cfg, const Program &prog, FetchStream *external,
           const Reference &ref,
-          const std::function<void(const Uop &, uint32_t)> &on_load_retire =
-              nullptr);
+          const std::function<void(const DynInst &, uint32_t)>
+              &on_load_retire = nullptr);
 
 /** Assemble @p source first; assembly errors report ReferenceFault. */
 DiffResult diffCheckSource(const std::string &source,

@@ -57,9 +57,9 @@ armedRun(const SimConfig &cfg, const Workload &w, const fuzz::Reference &ref,
     FaultPort::ArmScope arm(port);
     return fuzz::verifyRun(
         cfg, w.prog, nullptr, ref,
-        [&](const Uop &u, uint32_t delivered) {
-            if (delivered != u.dyn.resultValue)
-                mismatches[u.dyn.seq] = {delivered, u.dyn.resultValue};
+        [&](const DynInst &dyn, uint32_t delivered) {
+            if (delivered != dyn.resultValue)
+                mismatches[dyn.seq] = {delivered, dyn.resultValue};
         });
 }
 

@@ -126,6 +126,11 @@ TEST(SweepResults, JsonRoundTripsKeyMetrics)
         EXPECT_EQ(r.at("id").asString(), results[i].job.id);
         EXPECT_EQ(r.at("proxy").asString(), results[i].job.proxy);
         EXPECT_TRUE(r.at("ok").asBool());
+        // The headline rate excludes idle-skipped cycles; the raw rate
+        // rides alongside. Skipping only ever removes cycles, so the
+        // honest number can never exceed the raw one.
+        EXPECT_LE(r.at("sim_cycles_per_sec").asNumber(),
+                  r.at("sim_cycles_per_sec_raw").asNumber());
         const Json &stats = r.at("stats");
         EXPECT_DOUBLE_EQ(stats.at("ipc").asNumber(),
                          results[i].stats.ipc());
@@ -151,6 +156,56 @@ TEST(SweepResults, CsvHasHeaderAndOneLinePerResult)
     EXPECT_EQ(lines, results.size() + 1);
     EXPECT_EQ(csv.rfind("id,proxy,model,", 0), 0u);
     EXPECT_NE(csv.find(",ipc"), std::string::npos);
+    // Both speed rates (honest stepped + raw) have their own columns.
+    EXPECT_NE(csv.find(",sim_cycles_per_sec,sim_cycles_per_sec_raw,"),
+              std::string::npos);
+}
+
+TEST(SweepResults, CsvRoundTripsAdversarialStrings)
+{
+    // Every delimiter a field can smuggle in: commas, quotes, LF, CRLF
+    // and a bare CR. The emitter's quoting and csvParse must be exact
+    // inverses or a failed job's error message shears the table.
+    std::vector<JobResult> results(2);
+    results[0].job.id = "weird \"model\", name/with,commas";
+    results[0].job.proxy = "proxy\r\nwith,\"delims\"";
+    results[0].job.cfg = SimConfig::forModel(LsuModel::DMDP);
+    results[0].ok = false;
+    results[0].error = "line1\nline2, \"quoted\" and\rbare-cr";
+    results[1].job.id = "plain/id";
+    results[1].job.proxy = "perl";
+    results[1].job.cfg = SimConfig::forModel(LsuModel::Baseline);
+    results[1].ok = true;
+
+    std::string csv = driver::resultsToCsv(results);
+    auto rows = driver::csvParse(csv);
+    ASSERT_EQ(rows.size(), 3u);
+    ASSERT_EQ(rows[1].size(), rows[0].size());
+    ASSERT_EQ(rows[2].size(), rows[0].size());
+
+    size_t errCol = 0;
+    for (size_t i = 0; i < rows[0].size(); ++i)
+        if (rows[0][i] == "error")
+            errCol = i;
+    ASSERT_NE(errCol, 0u);
+
+    EXPECT_EQ(rows[1][0], results[0].job.id);
+    EXPECT_EQ(rows[1][1], results[0].job.proxy);
+    EXPECT_EQ(rows[1][errCol], results[0].error);
+    EXPECT_EQ(rows[2][0], "plain/id");
+    EXPECT_EQ(rows[2][errCol], "");
+}
+
+TEST(SweepResults, CsvParseHandlesTerminatorVariants)
+{
+    // LF, CRLF and CR row terminators; missing final newline; escaped
+    // quotes; empty fields.
+    auto rows = driver::csvParse("a,b\r\nc,\"d\"\"e\"\rf,\ng,h");
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d\"e"}));
+    EXPECT_EQ(rows[2], (std::vector<std::string>{"f", ""}));
+    EXPECT_EQ(rows[3], (std::vector<std::string>{"g", "h"}));
 }
 
 TEST(Json, ParsesScalarsArraysObjects)

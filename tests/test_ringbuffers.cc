@@ -4,14 +4,18 @@
  * built on: FetchWindow occupancy at 1, exactly kInitialCapacity and
  * kInitialCapacity+1 (the grow path), TraceCursor::rewindTo across a
  * wrapped window, and UopRing's full/empty head aliasing (head_ ==
- * tail slot in both states; only count_ disambiguates).
+ * tail slot in both states; only count_ disambiguates). Also pins the
+ * hard overflow/zero-capacity guards, the UopRob parallel hot/cold
+ * rings, and the one-cache-line bound on UopHot.
  */
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/uop.h"
 #include "core/uopring.h"
 #include "func/fetchwindow.h"
 #include "isa/assembler.h"
@@ -268,6 +272,88 @@ TEST(UopRing, ClearResetsToEmpty)
     ring.emplace_back() = 42;
     EXPECT_EQ(ring.front(), 42);
     EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(UopRing, OverflowThrowsInAllBuildTypes)
+{
+    // The capacity guard is a hard error, not an assert: a Release
+    // build overflowing the ring must not silently overwrite the
+    // oldest in-flight element.
+    UopRing<int> ring(4);
+    for (int i = 0; i < 4; ++i)
+        ring.emplace_back() = i;
+    EXPECT_TRUE(ring.full());
+    EXPECT_THROW(ring.emplace_back(), std::length_error);
+    // The failed push left the ring intact.
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.front(), 0);
+    EXPECT_EQ(ring.back(), 3);
+    ring.pop_front();
+    ring.emplace_back() = 4;
+    EXPECT_EQ(ring.back(), 4);
+}
+
+TEST(UopRing, ZeroCapacityIsRejected)
+{
+    EXPECT_THROW(UopRing<int>(0), std::invalid_argument);
+}
+
+TEST(UopHot, FitsInOneCacheLine)
+{
+    // The whole point of the hot/cold split: the scheduler-scanned
+    // record must stay within a single 64-byte line.
+    static_assert(sizeof(UopHot) <= 64, "hot record exceeds a cache line");
+    EXPECT_LE(sizeof(UopHot), 64u);
+}
+
+TEST(UopRob, ParallelRingsShareIndexing)
+{
+    UopRob rob(4);
+    EXPECT_TRUE(rob.empty());
+    UopRef a = rob.emplace_back();
+    UopRef b = rob.emplace_back();
+    EXPECT_NE(a, b);
+    rob.hot(a).seq = 100;
+    rob.cold(a).pc = 0x40;
+    rob.hot(b).seq = 101;
+    rob.cold(b).pc = 0x44;
+
+    EXPECT_EQ(rob.size(), 2u);
+    EXPECT_EQ(rob.frontRef(), a);
+    EXPECT_EQ(rob.refAt(1), b);
+    EXPECT_EQ(rob.frontHot().seq, 100u);
+    EXPECT_EQ(rob.frontCold().pc, 0x40u);
+
+    rob.pop_front();
+    EXPECT_EQ(rob.frontRef(), b);
+    EXPECT_EQ(rob.frontHot().seq, 101u);
+    EXPECT_EQ(rob.frontCold().pc, 0x44u);
+}
+
+TEST(UopRob, SlotsAreValueInitializedOnReuse)
+{
+    UopRob rob(2);
+    UopRef a = rob.emplace_back();
+    rob.hot(a).completed = true;
+    rob.cold(a).reexecState = ReexecState::Done;
+    rob.pop_front();
+
+    // The recycled slot must come back as a fresh uop, not carry the
+    // previous occupant's completion or re-execution state.
+    UopRef b = rob.emplace_back();
+    EXPECT_FALSE(rob.hot(b).completed);
+    EXPECT_EQ(rob.cold(b).reexecState, ReexecState::None);
+    EXPECT_EQ(rob.cold(b).cmpUop, kNullUop);
+}
+
+TEST(UopRob, OverflowAndZeroCapacityAreHardErrors)
+{
+    EXPECT_THROW(UopRob(0), std::invalid_argument);
+    UopRob rob(2);
+    rob.emplace_back();
+    rob.emplace_back();
+    EXPECT_THROW(rob.emplace_back(), std::length_error);
+    EXPECT_EQ(rob.size(), 2u);
 }
 
 } // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SimProfile rate arithmetic. The raw rate divides total simulated
+ * cycles (idle-skipped included) by wall time; the honest rate only
+ * counts cycles the scheduler actually stepped. The speed-smoke gate
+ * and BENCH_*.json headline numbers are built on the honest rate, so
+ * its arithmetic (and the zero-wall / skip-dominated edge cases) get
+ * pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simprofile.h"
+
+namespace dmdp {
+namespace {
+
+TEST(SimProfile, RawRateIncludesSkippedCycles)
+{
+    SimProfile p;
+    p.cycles = 1000;
+    p.skippedCycles = 400;
+    p.wallSeconds = 2.0;
+    EXPECT_DOUBLE_EQ(p.cyclesPerSec(), 500.0);
+}
+
+TEST(SimProfile, SteppedRateExcludesSkippedCycles)
+{
+    SimProfile p;
+    p.cycles = 1000;
+    p.skippedCycles = 400;
+    p.wallSeconds = 2.0;
+    EXPECT_EQ(p.steppedCycles(), 600u);
+    EXPECT_DOUBLE_EQ(p.steppedCyclesPerSec(), 300.0);
+}
+
+TEST(SimProfile, NoSkippingMakesRatesAgree)
+{
+    SimProfile p;
+    p.cycles = 123456;
+    p.skippedCycles = 0;
+    p.wallSeconds = 0.5;
+    EXPECT_DOUBLE_EQ(p.cyclesPerSec(), p.steppedCyclesPerSec());
+    EXPECT_EQ(p.steppedCycles(), p.cycles);
+}
+
+TEST(SimProfile, ZeroWallTimeYieldsZeroRates)
+{
+    SimProfile p;
+    p.cycles = 1000;
+    p.skippedCycles = 100;
+    p.wallSeconds = 0.0;
+    EXPECT_DOUBLE_EQ(p.cyclesPerSec(), 0.0);
+    EXPECT_DOUBLE_EQ(p.steppedCyclesPerSec(), 0.0);
+}
+
+TEST(SimProfile, SkippedAboveTotalClampsToZeroStepped)
+{
+    // Defensive: a miscounting scheduler must not produce a huge
+    // unsigned wraparound rate.
+    SimProfile p;
+    p.cycles = 10;
+    p.skippedCycles = 20;
+    p.wallSeconds = 1.0;
+    EXPECT_EQ(p.steppedCycles(), 0u);
+    EXPECT_DOUBLE_EQ(p.steppedCyclesPerSec(), 0.0);
+}
+
+TEST(SimProfile, ReportCarriesBothRates)
+{
+    SimProfile p;
+    p.cycles = 1000;
+    p.skippedCycles = 400;
+    p.wallSeconds = 2.0;
+    std::string r = p.report();
+    EXPECT_NE(r.find("300"), std::string::npos);    // stepped rate
+    EXPECT_NE(r.find("500"), std::string::npos);    // raw rate
+    EXPECT_NE(r.find("skipped 400"), std::string::npos);
+}
+
+} // namespace
+} // namespace dmdp
