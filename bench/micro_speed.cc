@@ -2,28 +2,35 @@
  * @file
  * Simulator-speed benchmark: how fast does the simulator itself run?
  *
- * Runs the Figure-12 suite (4 models x 21 proxies) three times:
+ * Runs the Figure-12 suite (4 models x 21 proxies) five times:
  *
- *  1. trace  — the default engine: each workload's dynamic stream is
- *     recorded once and replayed by all four models (capture-once /
+ *  1. trace      — the default engine: each workload's dynamic stream
+ *     is recorded once and replayed by all four models (capture-once /
  *     replay-many front end);
- *  2. live   — same engine with trace reuse disabled: every job runs
- *     the functional emulator itself;
- *  3. legacy — live front end on the legacy polled scheduler.
+ *  2. live       — same engine with trace reuse disabled: every job
+ *     runs the functional emulator itself;
+ *  3. legacy     — live front end on the legacy polled scheduler;
+ *  4. cache-cold — trace engine writing a fresh result cache (the
+ *     cache's store overhead is this pass's delta vs pass 1);
+ *  5. cache-warm — same sweep again on the now-populated cache: every
+ *     job must hit, so this measures pure cache restoration speed.
  *
- * All three passes must produce bit-identical SimStats — the trace
- * front end and both schedulers are timing-equivalent by construction —
- * and this harness re-checks that on every run, which is the identity
- * gate the CI speed-smoke job relies on.
+ * All five passes must produce bit-identical SimStats — the trace
+ * front end, both schedulers, and cache restoration are equivalent by
+ * construction — and this harness re-checks that on every run, which
+ * is the identity gate the CI speed-smoke job relies on. The warm pass
+ * must also be 100% cache hits.
  *
  * The speedup ratios, not the absolute cycles/sec, are the portable
- * numbers: they divide out the host machine. BENCH_pr6.json records one
- * reference measurement; `--check FILE` fails (exit 1) when the current
- * trace-vs-live ratio (or, for a v1 reference like BENCH_pr2.json, the
- * event-vs-legacy ratio) regresses more than 30% against it. Reported
- * rates come in two flavors (schema dmdp-microspeed-v3): the honest
- * stepped rate excludes idle-skipped cycles, the raw rate includes
- * them; the gate ratios are wall-clock based and unaffected.
+ * numbers: they divide out the host machine. BENCH_pr7.json records one
+ * reference measurement; `--check FILE` fails (exit 1) only on the
+ * host-independent ratio: when the current trace-vs-live ratio (or,
+ * for a v1 reference like BENCH_pr2.json, the event-vs-legacy ratio)
+ * regresses more than 30% against it. Absolute wall-clock drift
+ * against the reference is host-dependent and only warns, never fails.
+ * Reported rates come in two flavors (schema dmdp-microspeed-v4): the
+ * honest stepped rate excludes idle-skipped cycles, the raw rate
+ * includes them; the gate ratios are wall-clock based and unaffected.
  *
  * `--baseline FILE` additionally compares this run's trace pass against
  * an earlier recording of the same suite on the same host (e.g.
@@ -39,13 +46,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "driver/results.h"
 #include "driver/sweep.h"
+#include "farm/cache.h"
 #include "sim/simulator.h"
 #include "workloads/spec_proxies.h"
 
@@ -62,10 +73,13 @@ struct PassResult
     double pipeSeconds = 0;     ///< pipeline-only wall time, summed
     double cyclesPerSec = 0;    ///< cycles / sweepSeconds (raw)
     double steppedCyclesPerSec = 0; ///< steppedCycles / sweepSeconds
+    uint64_t cacheHits = 0;     ///< jobs restored from the result cache
+    uint64_t cacheMisses = 0;   ///< cache probes that simulated
 };
 
 PassResult
-runPass(bool traceReuse, bool legacy, uint64_t insts)
+runPass(bool traceReuse, bool legacy, uint64_t insts,
+        driver::JobCache *cache = nullptr)
 {
     auto jobs = driver::crossProduct(
         {LsuModel::Baseline, LsuModel::NoSQ, LsuModel::DMDP,
@@ -82,11 +96,16 @@ runPass(bool traceReuse, bool legacy, uint64_t insts)
     runner.setTraceReuse(traceReuse);
 
     PassResult pass;
+    driver::SweepOptions opt;
+    opt.cache = cache;
     auto t0 = std::chrono::steady_clock::now();
-    pass.results = runner.run(jobs);
+    driver::SweepReport report = runner.runReport(jobs, opt);
     pass.sweepSeconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
+    pass.results = std::move(report.results);
+    pass.cacheHits = report.cacheHits;
+    pass.cacheMisses = report.cacheMisses;
     for (const auto &r : pass.results) {
         if (!r.ok) {
             std::fprintf(stderr, "job %s failed: %s\n", r.job.id.c_str(),
@@ -141,6 +160,12 @@ passJson(const PassResult &pass)
     // the raw rate (idle-skipped cycles included) alongside it.
     obj.set("sim_cycles_per_sec", pass.steppedCyclesPerSec);
     obj.set("sim_cycles_per_sec_raw", pass.cyclesPerSec);
+    if (pass.cacheHits + pass.cacheMisses) {
+        obj.set("cache_hits",
+                driver::Json(static_cast<double>(pass.cacheHits)));
+        obj.set("cache_misses",
+                driver::Json(static_cast<double>(pass.cacheMisses)));
+    }
     return obj;
 }
 
@@ -199,19 +224,50 @@ main(int argc, char **argv)
     runPass(/*traceReuse=*/true, /*legacy=*/false,
             std::max<uint64_t>(insts / 10, 1000));
 
-    std::fprintf(stderr, "pass 1/3: trace replay (capture-once front end)\n");
+    std::fprintf(stderr, "pass 1/5: trace replay (capture-once front end)\n");
     PassResult trace = runPass(/*traceReuse=*/true, /*legacy=*/false, insts);
-    std::fprintf(stderr, "pass 2/3: live emulation front end\n");
+    std::fprintf(stderr, "pass 2/5: live emulation front end\n");
     PassResult live = runPass(/*traceReuse=*/false, /*legacy=*/false, insts);
-    std::fprintf(stderr, "pass 3/3: live front end, legacy scheduler\n");
+    std::fprintf(stderr, "pass 3/5: live front end, legacy scheduler\n");
     PassResult legacy = runPass(/*traceReuse=*/false, /*legacy=*/true, insts);
+
+    // Cold/warm result-cache passes in a throwaway directory: the warm
+    // pass must be pure restoration — 100% hits, zero simulation.
+    namespace fs = std::filesystem;
+    std::string cacheDir =
+        (fs::temp_directory_path() /
+         ("dmdp-microspeed-cache-" +
+          std::to_string(static_cast<long>(::getpid()))))
+            .string();
+    PassResult cacheCold, cacheWarm;
+    {
+        farm::ResultCache cache(cacheDir);
+        std::fprintf(stderr, "pass 4/5: trace replay, cold result cache\n");
+        cacheCold =
+            runPass(/*traceReuse=*/true, /*legacy=*/false, insts, &cache);
+        std::fprintf(stderr, "pass 5/5: warm result cache\n");
+        cacheWarm =
+            runPass(/*traceReuse=*/true, /*legacy=*/false, insts, &cache);
+    }
+    std::error_code ec;
+    fs::remove_all(cacheDir, ec);
 
     bool identical =
         statsIdentical(trace, live, "trace", "live") &&
-        statsIdentical(live, legacy, "live", "legacy");
+        statsIdentical(live, legacy, "live", "legacy") &&
+        statsIdentical(trace, cacheCold, "trace", "cache-cold") &&
+        statsIdentical(trace, cacheWarm, "trace", "cache-warm");
     if (!identical) {
         std::fprintf(stderr,
                      "FAIL: front ends disagree on simulated statistics\n");
+        return 1;
+    }
+    if (cacheWarm.cacheHits != cacheWarm.results.size()) {
+        std::fprintf(stderr,
+                     "FAIL: warm cache pass hit %llu of %zu jobs "
+                     "(expected all)\n",
+                     static_cast<unsigned long long>(cacheWarm.cacheHits),
+                     cacheWarm.results.size());
         return 1;
     }
 
@@ -239,8 +295,19 @@ main(int argc, char **argv)
                 "(%.3g raw)\n",
                 legacy.sweepSeconds, legacy.steppedCyclesPerSec,
                 legacy.cyclesPerSec);
+    double warmCacheSpeedup =
+        cacheWarm.sweepSeconds > 0 && cacheCold.sweepSeconds > 0
+            ? cacheCold.sweepSeconds / cacheWarm.sweepSeconds
+            : 0.0;
+    std::printf("cache:  cold %.3fs, warm %.3fs sweep wall "
+                "(%llu/%zu warm hits)\n",
+                cacheCold.sweepSeconds, cacheWarm.sweepSeconds,
+                static_cast<unsigned long long>(cacheWarm.cacheHits),
+                cacheWarm.results.size());
     std::printf("speedup (trace/live front end):  %.2fx\n", traceVsLive);
     std::printf("speedup (event/legacy scheduler): %.2fx\n", eventVsLegacy);
+    std::printf("speedup (warm/cold result cache): %.2fx\n",
+                warmCacheSpeedup);
 
     // Same-host, same-suite comparison against an earlier recording:
     // identical simulated cycles, so pipeline seconds compare directly.
@@ -265,10 +332,9 @@ main(int argc, char **argv)
 
     if (!json_path.empty()) {
         driver::Json doc = driver::Json::object();
-        // v3: per-pass objects gain sim_cycles_per_sec_raw and the
-        // headline sim_cycles_per_sec excludes idle-skipped cycles.
-        // The pass layout and speedup keys are unchanged from v2.
-        doc.set("schema", "dmdp-microspeed-v3");
+        // v4: adds the cache_cold/cache_warm passes and
+        // speedup_warm_cache. The v3 keys are unchanged.
+        doc.set("schema", "dmdp-microspeed-v4");
         doc.set("suite", "fig12");
         doc.set("insts", driver::Json(static_cast<double>(insts)));
         doc.set("jobs",
@@ -278,9 +344,12 @@ main(int argc, char **argv)
         doc.set("trace", passJson(trace));
         doc.set("live", passJson(live));
         doc.set("legacy", passJson(legacy));
+        doc.set("cache_cold", passJson(cacheCold));
+        doc.set("cache_warm", passJson(cacheWarm));
         doc.set("stats_identical", driver::Json(true));
         doc.set("speedup_trace_vs_live", traceVsLive);
         doc.set("speedup_event_vs_legacy", eventVsLegacy);
+        doc.set("speedup_warm_cache", warmCacheSpeedup);
         // Headline portable ratio, kept under the v1 key so tooling
         // that reads "speedup" keeps working.
         doc.set("speedup", traceVsLive);
@@ -296,11 +365,12 @@ main(int argc, char **argv)
 
     if (!check_path.empty()) {
         driver::Json ref = loadJson(check_path);
-        // v2/v3 references record the trace/live ratio under "speedup";
+        // v2+ references record the trace/live ratio under "speedup";
         // a v1 reference (BENCH_pr2.json) recorded event/legacy.
         std::string schema = ref.at("schema").asString();
         bool traceRatio = schema == "dmdp-microspeed-v2" ||
-                          schema == "dmdp-microspeed-v3";
+                          schema == "dmdp-microspeed-v3" ||
+                          schema == "dmdp-microspeed-v4";
         double ref_speedup = ref.at("speedup").asNumber();
         double current = traceRatio ? traceVsLive : eventVsLegacy;
         // The ratio divides out the host machine; 30% is the CI
@@ -315,6 +385,22 @@ main(int argc, char **argv)
                          "(>30%% regression vs %s)\n",
                          current, floor, check_path.c_str());
             return 1;
+        }
+        // Absolute wall clock is a property of the host running the
+        // check, not of the code: drift only warns, never gates.
+        if (ref.has("trace") &&
+            ref.at("trace").has("pipeline_seconds")) {
+            double refSeconds =
+                ref.at("trace").at("pipeline_seconds").asNumber();
+            if (refSeconds > 0 && trace.pipeSeconds > 0) {
+                double drift = trace.pipeSeconds / refSeconds;
+                if (drift > 2.0 || drift < 0.5)
+                    std::fprintf(stderr,
+                                 "warning: absolute pipeline wall time "
+                                 "%.2fx the reference's (%.3fs vs %.3fs) "
+                                 "— host-dependent, not gated\n",
+                                 drift, trace.pipeSeconds, refSeconds);
+            }
         }
         std::printf("check: OK\n");
     }

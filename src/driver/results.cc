@@ -94,6 +94,133 @@ assignStatField(SimStats &s, const std::string &name, double value)
     return false;
 }
 
+uint64_t
+statsSchemaDigest()
+{
+    // FNV-1a over every statFields() name (counters and derived alike),
+    // separator-terminated so renames can't collide with concatenation.
+    uint64_t h = 0xcbf29ce484222325ull;
+    SimStats empty;
+    for (const auto &[name, value] : statFields(empty)) {
+        (void)value;
+        for (char c : name) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ull;
+        }
+        h ^= 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+// Every SimConfig field, partitioned by JSON representation. The lists
+// must stay in sync with configDigest() in sweep.cc: anything hashed
+// there must round-trip here, or a farm worker would simulate a
+// different machine than the coordinator digested.
+#define DMDP_CONFIG_NUM_FIELDS(X)                                        \
+    X(fetchWidth) X(issueWidth) X(retireWidth) X(robSize) X(iqSize)      \
+    X(numPhysRegs) X(frontEndDepth) X(branchPenalty) X(dramLatency)      \
+    X(dramBanks) X(rowBufferHitLatency) X(storeBufferSize)               \
+    X(sqSearchLatency) X(storeSetSsitSize) X(storeSetLfstSize)           \
+    X(ssbfSets) X(ssbfWays) X(sdpEntries) X(sdpWays) X(sdpHistoryBits)   \
+    X(confidenceMax) X(confidenceInit) X(confidenceThreshold)            \
+    X(gshareBits) X(btbEntries) X(tlbEntries) X(tlbMissLatency)          \
+    X(remoteInvalPerKiloCycle) X(squashPenalty) X(maxInsts)              \
+    X(warmupInsts)
+
+#define DMDP_CONFIG_BOOL_FIELDS(X)                                       \
+    X(storeCoalescing) X(biasedConfidence) X(silentStoreAwareUpdate)     \
+    X(legacyScheduler) X(idleSkip)
+
+#define DMDP_CONFIG_CACHE_FIELDS(X) X(l1i) X(l1d) X(l2)
+
+namespace {
+
+Json
+cacheConfigToJson(const CacheConfig &c)
+{
+    Json j = Json::object();
+    j.set("sizeBytes", Json(static_cast<double>(c.sizeBytes)));
+    j.set("assoc", Json(static_cast<double>(c.assoc)));
+    j.set("lineBytes", Json(static_cast<double>(c.lineBytes)));
+    j.set("hitLatency", Json(static_cast<double>(c.hitLatency)));
+    return j;
+}
+
+void
+cacheConfigFromJson(const Json &j, CacheConfig &c)
+{
+    if (j.has("sizeBytes"))
+        c.sizeBytes = static_cast<uint32_t>(j.at("sizeBytes").asNumber());
+    if (j.has("assoc"))
+        c.assoc = static_cast<uint32_t>(j.at("assoc").asNumber());
+    if (j.has("lineBytes"))
+        c.lineBytes = static_cast<uint32_t>(j.at("lineBytes").asNumber());
+    if (j.has("hitLatency"))
+        c.hitLatency = static_cast<uint32_t>(j.at("hitLatency").asNumber());
+}
+
+} // namespace
+
+Json
+configToJson(const SimConfig &cfg)
+{
+    Json j = Json::object();
+    j.set("model", Json(static_cast<double>(static_cast<int>(cfg.model))));
+    j.set("consistency",
+          Json(static_cast<double>(static_cast<int>(cfg.consistency))));
+    j.set("sdpKind",
+          Json(static_cast<double>(static_cast<int>(cfg.sdpKind))));
+#define DMDP_CFG(field)                                                  \
+    j.set(#field, Json(static_cast<double>(cfg.field)));
+    DMDP_CONFIG_NUM_FIELDS(DMDP_CFG)
+#undef DMDP_CFG
+#define DMDP_CFG(field) j.set(#field, Json(cfg.field));
+    DMDP_CONFIG_BOOL_FIELDS(DMDP_CFG)
+#undef DMDP_CFG
+#define DMDP_CFG(field) j.set(#field, cacheConfigToJson(cfg.field));
+    DMDP_CONFIG_CACHE_FIELDS(DMDP_CFG)
+#undef DMDP_CFG
+    return j;
+}
+
+bool
+configFromJson(const Json &j, SimConfig &cfg)
+{
+    if (j.kind() != Json::Kind::Object)
+        return false;
+    try {
+        if (j.has("model"))
+            cfg.model =
+                static_cast<LsuModel>(static_cast<int>(j.at("model").asNumber()));
+        if (j.has("consistency"))
+            cfg.consistency = static_cast<Consistency>(
+                static_cast<int>(j.at("consistency").asNumber()));
+        if (j.has("sdpKind"))
+            cfg.sdpKind = static_cast<SdpKind>(
+                static_cast<int>(j.at("sdpKind").asNumber()));
+#define DMDP_CFG(field)                                                  \
+        if (j.has(#field))                                               \
+            cfg.field = static_cast<decltype(cfg.field)>(                \
+                j.at(#field).asNumber());
+        DMDP_CONFIG_NUM_FIELDS(DMDP_CFG)
+#undef DMDP_CFG
+#define DMDP_CFG(field)                                                  \
+        if (j.has(#field))                                               \
+            cfg.field = j.at(#field).asBool();
+        DMDP_CONFIG_BOOL_FIELDS(DMDP_CFG)
+#undef DMDP_CFG
+#define DMDP_CFG(field)                                                  \
+        if (j.has(#field))                                               \
+            cacheConfigFromJson(j.at(#field), cfg.field);
+        DMDP_CONFIG_CACHE_FIELDS(DMDP_CFG)
+#undef DMDP_CFG
+    } catch (const JsonError &) {
+        return false;
+    }
+    return true;
+}
+
 Json
 resultToJson(const JobResult &r)
 {
@@ -108,6 +235,13 @@ resultToJson(const JobResult &r)
     std::snprintf(digest, sizeof(digest), "%016llx",
                   static_cast<unsigned long long>(r.configDigest));
     j.set("configDigest", digest);
+    // Workload content digest: sealed-trace bytes for replayed jobs,
+    // program image for live runs. Any archived result is attributable
+    // to its exact workload bytes through this.
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(r.traceDigest));
+    j.set("trace_digest", digest);
+    j.set("cached", r.cached);
     j.set("wallSeconds", r.wallSeconds);
     // Simulator speed, from the pipeline-only wall clock (excludes
     // workload construction): the headline number the speed-smoke CI
@@ -157,6 +291,11 @@ resultFromJson(const Json &j, JobResult &out)
     if (j.has("configDigest"))
         out.configDigest = std::strtoull(
             j.at("configDigest").asString().c_str(), nullptr, 16);
+    if (j.has("trace_digest"))
+        out.traceDigest = std::strtoull(
+            j.at("trace_digest").asString().c_str(), nullptr, 16);
+    if (j.has("cached"))
+        out.cached = j.at("cached").asBool();
     if (j.has("wallSeconds"))
         out.wallSeconds = j.at("wallSeconds").asNumber();
     out.ok = j.at("ok").asBool();
@@ -200,6 +339,16 @@ reportToJson(const SweepReport &report)
     doc.set("resumed", Json(static_cast<double>(report.resumed)));
     doc.set("trace_fallbacks",
             Json(static_cast<double>(report.traceFallbacks)));
+    doc.set("cache_hits", Json(static_cast<double>(report.cacheHits)));
+    doc.set("cache_misses",
+            Json(static_cast<double>(report.cacheMisses)));
+    doc.set("cache_hit_rate", report.cacheHitRate());
+    if (!report.workerJobs.empty()) {
+        Json workers = Json::object();
+        for (const auto &[name, count] : report.workerJobs)
+            workers.set(name, Json(static_cast<double>(count)));
+        doc.set("workers", std::move(workers));
+    }
     if (!report.warnings.empty()) {
         Json warns = Json::array();
         for (const std::string &w : report.warnings)
@@ -297,9 +446,9 @@ std::string
 resultsToCsv(const std::vector<JobResult> &results)
 {
     std::ostringstream os;
-    os << "id,proxy,model,isInteger,insts,configDigest,wallSeconds,"
-          "sim_cycles_per_sec,sim_cycles_per_sec_raw,ok,attempts,"
-          "timed_out,error";
+    os << "id,proxy,model,isInteger,insts,configDigest,trace_digest,"
+          "cached,wallSeconds,sim_cycles_per_sec,sim_cycles_per_sec_raw,"
+          "ok,attempts,timed_out,error";
     // Column set comes from the field list so the header never drifts
     // from the rows.
     SimStats empty;
@@ -310,14 +459,18 @@ resultsToCsv(const std::vector<JobResult> &results)
     os << '\n';
     for (const auto &r : results) {
         char digest[32];
+        char wdigest[32];
         std::snprintf(digest, sizeof(digest), "%016llx",
                       static_cast<unsigned long long>(r.configDigest));
+        std::snprintf(wdigest, sizeof(wdigest), "%016llx",
+                      static_cast<unsigned long long>(r.traceDigest));
         // id and proxy are caller-supplied strings (sweep files, CLI
         // flags), so they get the same quoting as error messages.
         os << csvQuote(r.job.id) << ',' << csvQuote(r.job.proxy) << ','
            << lsuModelName(r.job.cfg.model) << ','
            << (r.job.isInteger ? 1 : 0) << ',' << r.job.insts << ','
-           << digest << ',' << r.wallSeconds << ','
+           << digest << ',' << wdigest << ',' << (r.cached ? 1 : 0)
+           << ',' << r.wallSeconds << ','
            << r.profile.steppedCyclesPerSec() << ','
            << r.profile.cyclesPerSec() << ',' << (r.ok ? 1 : 0) << ','
            << r.attempts << ',' << (r.timedOut ? 1 : 0) << ','

@@ -37,6 +37,30 @@ statFields(const SimStats &stats);
 bool assignStatField(SimStats &stats, const std::string &name,
                      double value);
 
+/**
+ * Stable 64-bit digest of the statFields() name list. Changes whenever
+ * a counter is added, removed or renamed — the stats-schema component
+ * of the result-cache key, so stale cache entries recorded by an older
+ * binary can never be restored into a mismatched SimStats.
+ */
+uint64_t statsSchemaDigest();
+
+/**
+ * Full SimConfig as a JSON object, bit-exact through configFromJson:
+ * the round trip preserves configDigest(). The farm protocol ships job
+ * configurations this way; configDigest alone names a config but cannot
+ * reconstruct it.
+ */
+Json configToJson(const SimConfig &cfg);
+
+/**
+ * Inverse of configToJson. Missing keys keep their default values (so
+ * documents from older binaries still parse); returns false only on a
+ * structurally wrong document. Callers that need bit-exactness compare
+ * configDigest() afterwards.
+ */
+bool configFromJson(const Json &j, SimConfig &cfg);
+
 /** One result as a JSON object (stats nested under "stats"). */
 Json resultToJson(const JobResult &result);
 

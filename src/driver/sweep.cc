@@ -48,6 +48,31 @@ hashCache(uint64_t &h, const CacheConfig &c)
 } // namespace
 
 uint64_t
+programDigest(const Program &prog)
+{
+    // FNV-1a over the entry point and every chunk in address order
+    // (std::map iteration is ordered, so the digest is deterministic).
+    // Symbols are metadata — they never reach execution — and stay out.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mixBytes = [&h](uint64_t v, int nbytes) {
+        for (int i = 0; i < nbytes; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mixBytes(prog.entry, 4);
+    for (const auto &[addr, bytes] : prog.chunks) {
+        mixBytes(addr, 4);
+        mixBytes(bytes.size(), 8);
+        for (uint8_t b : bytes) {
+            h ^= b;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+uint64_t
 configDigest(const SimConfig &cfg)
 {
     uint64_t h = 0xcbf29ce484222325ull;
@@ -125,6 +150,9 @@ struct TraceSlot
     uint64_t recordCap = 0;
     std::shared_ptr<const Program> prog;
     std::shared_ptr<const trace::TraceBuffer> trace;
+    uint64_t progDigest = 0;    ///< programDigest(*prog), once built
+    uint64_t traceDigest = 0;   ///< digest of the (possibly unrecorded)
+    bool digestKnown = false;   ///< ... trace; maybe from the cache memo
     bool failed = false;    ///< recording threw: fall back to live
     std::string error;      ///< why (surfaced once as a sweep warning)
 };
@@ -133,6 +161,51 @@ std::string
 workloadKey(const SweepJob &job)
 {
     return job.proxy + '\0' + std::to_string(job.insts);
+}
+
+/** Build the slot's shared program (once). False if that ever failed. */
+bool
+ensureSlotProgram(TraceSlot &slot, const SweepJob &job)
+{
+    if (slot.failed)
+        return false;
+    if (slot.prog)
+        return true;
+    try {
+        slot.prog = std::make_shared<const Program>(
+            buildProxy(job.proxy, job.insts));
+        slot.progDigest = programDigest(*slot.prog);
+    } catch (const std::exception &e) {
+        slot.failed = true;
+        slot.error = e.what();
+    } catch (...) {
+        slot.failed = true;
+        slot.error = "unknown exception";
+    }
+    return !slot.failed;
+}
+
+/** Record the slot's shared trace (once). False if that ever failed. */
+bool
+ensureSlotTrace(TraceSlot &slot, const SweepJob &job)
+{
+    if (!ensureSlotProgram(slot, job))
+        return false;
+    if (slot.trace)
+        return true;
+    try {
+        trace::TraceRecorder rec(*slot.prog);
+        rec.record(slot.recordCap);
+        slot.trace = std::make_shared<const trace::TraceBuffer>(
+            rec.takeBuffer());
+    } catch (const std::exception &e) {
+        slot.failed = true;
+        slot.error = e.what();
+    } catch (...) {
+        slot.failed = true;
+        slot.error = "unknown exception";
+    }
+    return !slot.failed;
 }
 
 /**
@@ -295,7 +368,12 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
     std::atomic<size_t> nextJob{0};
     std::atomic<size_t> nDone{0};
     std::atomic<uint64_t> traceFallbacks{0};
+    std::atomic<uint64_t> cacheHits{0};
+    std::atomic<uint64_t> cacheMisses{0};
     std::mutex progressMutex;
+
+    JobCache *cache = opt.cache;
+    const uint64_t schemaDigest = statsSchemaDigest();
 
     std::unordered_map<std::string, JobResult> resumable;
     if (!opt.resumePath.empty())
@@ -366,6 +444,7 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                     r.ok = true;
                     r.attempts = saved.attempts;
                     r.resumed = true;
+                    r.traceDigest = saved.traceDigest;
                     size_t done = nDone.fetch_add(1) + 1;
                     if (progress) {
                         std::lock_guard<std::mutex> lock(progressMutex);
@@ -385,31 +464,110 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
             auto t0 = std::chrono::steady_clock::now();
             std::shared_ptr<const Program> pg;
             std::shared_ptr<const trace::TraceBuffer> tr;
+            bool liveFallback = false;  ///< slot capture failed: run live
             if (slot) {
+                // Workload digest first, trace second: a cache-memoized
+                // digest lets a fully warm workload skip recording (the
+                // emulation cost) entirely, not just replaying.
                 std::lock_guard<std::mutex> lock(slot->m);
-                if (!slot->trace && !slot->failed) {
-                    try {
-                        slot->prog = std::make_shared<const Program>(
-                            buildProxy(jobs[i].proxy, jobs[i].insts));
-                        trace::TraceRecorder rec(*slot->prog);
-                        rec.record(slot->recordCap);
-                        slot->trace =
-                            std::make_shared<const trace::TraceBuffer>(
-                                rec.takeBuffer());
-                    } catch (const std::exception &e) {
-                        slot->failed = true;
-                        slot->error = e.what();
-                    } catch (...) {
-                        slot->failed = true;
-                        slot->error = "unknown exception";
+                if (ensureSlotProgram(*slot, jobs[i])) {
+                    if (!slot->digestKnown && cache &&
+                        cache->lookupTraceDigest(slot->progDigest,
+                                                 jobs[i].insts,
+                                                 slot->recordCap,
+                                                 slot->traceDigest))
+                        slot->digestKnown = true;
+                    if (!slot->digestKnown &&
+                        ensureSlotTrace(*slot, jobs[i])) {
+                        slot->traceDigest = slot->trace->digest();
+                        slot->digestKnown = true;
+                        if (cache)
+                            cache->storeTraceDigest(
+                                slot->progDigest, jobs[i].insts,
+                                slot->recordCap, slot->traceDigest);
                     }
                 }
                 pg = slot->prog;
                 tr = slot->trace;
-                if (slot->failed)
+                if (slot->failed) {
                     traceFallbacks.fetch_add(1);
+                    liveFallback = true;
+                    // Live fallback executes the program image, so the
+                    // workload digest is the program digest (0 when even
+                    // the program build failed).
+                    r.traceDigest = slot->progDigest;
+                } else if (slot->digestKnown) {
+                    r.traceDigest = slot->traceDigest;
+                }
+            } else {
+                // Single-use workload: build the program here — exactly
+                // what simulateProxy would build — so it can be digested
+                // and the cache consulted before any simulation work.
+                try {
+                    pg = std::make_shared<const Program>(
+                        buildProxy(jobs[i].proxy, jobs[i].insts));
+                    r.traceDigest = programDigest(*pg);
+                } catch (...) {
+                    // The attempt loop rebuilds via simulateProxy and
+                    // reports the build error with retry semantics.
+                    pg = nullptr;
+                }
             }
 
+            // Content-addressed cache probe: a stored result with this
+            // exact (config, workload, budget, schema) key is
+            // bit-identical to recomputation by the determinism and
+            // replay-equivalence guarantees.
+            JobCache::Key key{r.configDigest, r.traceDigest,
+                              jobs[i].insts, schemaDigest};
+            auto probe = [&]() -> bool {
+                SimStats cachedStats;
+                if (!cache->lookup(key, cachedStats))
+                    return false;
+                r.stats = cachedStats;
+                r.ok = true;
+                r.cached = true;
+                r.error.clear();
+                return true;
+            };
+            bool hit = false;
+            if (cache && r.traceDigest != 0) {
+                hit = probe();
+                if (!hit && slot && !tr && !liveFallback) {
+                    // Memo-known digest but a cache miss for this job:
+                    // the trace is needed after all. If the recording
+                    // disagrees with the memo (stale memo), correct it
+                    // and re-probe under the true key.
+                    std::lock_guard<std::mutex> lock(slot->m);
+                    if (ensureSlotTrace(*slot, jobs[i]) &&
+                        slot->trace->digest() != slot->traceDigest) {
+                        slot->traceDigest = slot->trace->digest();
+                        cache->storeTraceDigest(
+                            slot->progDigest, jobs[i].insts,
+                            slot->recordCap, slot->traceDigest);
+                    }
+                    pg = slot->prog;
+                    tr = slot->trace;
+                    if (slot->failed) {
+                        traceFallbacks.fetch_add(1);
+                        liveFallback = true;
+                        r.traceDigest = slot->progDigest;
+                    } else {
+                        r.traceDigest = slot->traceDigest;
+                    }
+                    if (key.workloadDigest != r.traceDigest) {
+                        key.workloadDigest = r.traceDigest;
+                        if (r.traceDigest != 0)
+                            hit = probe();
+                    }
+                }
+                (hit ? cacheHits : cacheMisses).fetch_add(1);
+            }
+            // Without a cache the first slot pass always recorded the
+            // trace (the memo is the only way to skip it), so tr is
+            // already materialized on every non-fallback slot path here.
+
+            if (!hit)
             for (uint32_t attempt = 1;; ++attempt) {
                 r.attempts = attempt;
                 r.profile = SimProfile{};
@@ -426,14 +584,19 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                     // copied out as plain values before the scope ends.
                     JobArena::Scope arena;
                     // r.job.cfg.maxInsts was pinned above, so the
-                    // shared-program path runs exactly what
-                    // simulateProxy would.
+                    // shared-program paths run exactly what
+                    // simulateProxy would. pg is null only when the
+                    // pre-digest program build threw; simulateProxy
+                    // then rebuilds so the error carries retry
+                    // semantics and a real message.
                     r.stats = tr ? Simulator::replay(r.job.cfg, *pg, *tr,
                                                      &r.profile, &cancel)
-                                 : simulateProxy(jobs[i].proxy,
-                                                 jobs[i].cfg,
-                                                 jobs[i].insts,
-                                                 &r.profile, &cancel);
+                             : pg ? Simulator::run(r.job.cfg, *pg,
+                                                   &r.profile, &cancel)
+                                  : simulateProxy(jobs[i].proxy,
+                                                  jobs[i].cfg,
+                                                  jobs[i].insts,
+                                                  &r.profile, &cancel);
                     r.ok = true;
                     r.error.clear();
                     break;
@@ -464,6 +627,11 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                                 std::chrono::steady_clock::now() - t0)
                                 .count();
 
+            // Feed the cache with every newly computed ok result.
+            // Timeouts and failures carry no stat vector worth reusing.
+            if (cache && !hit && r.ok && r.traceDigest != 0)
+                cache->store(key, r);
+
             if (journal.is_open()) {
                 std::string line = resultToJson(r).dump() + "\n";
                 std::lock_guard<std::mutex> lock(journalMutex);
@@ -493,6 +661,8 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
     }
 
     report.traceFallbacks = traceFallbacks.load();
+    report.cacheHits = cacheHits.load();
+    report.cacheMisses = cacheMisses.load();
     for (const JobResult &r : results) {
         report.failed += !r.ok;
         report.timedOut += r.timedOut;

@@ -20,6 +20,7 @@
 #include "common/config.h"
 #include "core/simprofile.h"
 #include "core/simstats.h"
+#include "isa/program.h"
 
 namespace dmdp::driver {
 
@@ -46,6 +47,61 @@ struct JobResult
     uint32_t attempts = 1;      ///< simulation attempts (retries + 1)
     bool timedOut = false;      ///< reaped by the watchdog (never retried)
     bool resumed = false;       ///< restored from a journal, not re-run
+    /**
+     * Content digest of the exact workload bytes this result came from:
+     * the sealed TraceBuffer digest for trace-replayed jobs, the
+     * program-image digest for live runs (see TraceBuffer::digest and
+     * programDigest). Emitted as trace_digest; half of the result-cache
+     * key. Zero when the workload could not be digested.
+     */
+    uint64_t traceDigest = 0;
+    bool cached = false;        ///< restored from the result cache
+};
+
+/**
+ * Abstract content-addressed result cache consulted by runReport()
+ * before simulating and fed after. Implemented by farm::ResultCache
+ * (sharded files under a cache directory); the driver only sees this
+ * interface so it never depends on the farm subsystem. Implementations
+ * must be safe to call from multiple sweep workers concurrently.
+ */
+class JobCache
+{
+  public:
+    virtual ~JobCache() = default;
+
+    /**
+     * The full cache key: every input that determines the stat vector.
+     * Two runs with equal keys are bit-identical by the determinism and
+     * replay-equivalence guarantees, so a cached stat vector can be
+     * spliced in anywhere.
+     */
+    struct Key
+    {
+        uint64_t configDigest = 0;    ///< configDigest() of the run cfg
+        uint64_t workloadDigest = 0;  ///< JobResult::traceDigest
+        uint64_t insts = 0;           ///< dynamic instruction budget
+        uint64_t schemaDigest = 0;    ///< statsSchemaDigest()
+    };
+
+    /** Probe; on hit fill @p stats (every counter) and return true. */
+    virtual bool lookup(const Key &key, SimStats &stats) = 0;
+
+    /** Record a completed ok result under @p key. */
+    virtual void store(const Key &key, const JobResult &result) = 0;
+
+    /**
+     * Workload-digest memo: the trace digest for (program, insts,
+     * recordCap) is a deterministic function of its inputs, so a warm
+     * sweep can learn the digest of a workload's trace without paying
+     * for re-recording it. Returns false when unknown.
+     */
+    virtual bool lookupTraceDigest(uint64_t programDigest, uint64_t insts,
+                                   uint64_t recordCap,
+                                   uint64_t &traceDigest) = 0;
+    virtual void storeTraceDigest(uint64_t programDigest, uint64_t insts,
+                                  uint64_t recordCap,
+                                  uint64_t traceDigest) = 0;
 };
 
 /** Resilience knobs for one sweep (all off by default). */
@@ -86,6 +142,15 @@ struct SweepOptions
      * journalPath.
      */
     std::string resumePath;
+
+    /**
+     * Optional content-addressed result cache (non-owning; must outlive
+     * the sweep). Probed per job after the resume journal; a hit
+     * restores the stat vector bit-for-bit and skips simulation
+     * entirely. Every newly computed ok result is stored back. See
+     * farm::ResultCache for the on-disk implementation.
+     */
+    JobCache *cache = nullptr;
 };
 
 /** A sweep's results plus execution metadata. */
@@ -97,9 +162,21 @@ struct SweepReport
     size_t failed = 0;              ///< jobs !ok after all attempts
     size_t timedOut = 0;            ///< subset of failed: watchdog kills
     size_t resumed = 0;             ///< jobs restored from the journal
+    uint64_t cacheHits = 0;         ///< jobs restored from the cache
+    uint64_t cacheMisses = 0;       ///< cache probes that simulated
+    /** Farm mode: jobs completed per worker, coordinator-assigned. */
+    std::vector<std::pair<std::string, size_t>> workerJobs;
     std::vector<std::string> warnings;  ///< one line per degraded path
 
     bool ok() const { return failed == 0; }
+
+    /** Hit fraction over all cache probes (0 when none were made). */
+    double
+    cacheHitRate() const
+    {
+        uint64_t probes = cacheHits + cacheMisses;
+        return probes ? static_cast<double>(cacheHits) / probes : 0.0;
+    }
 };
 
 /**
@@ -108,6 +185,13 @@ struct SweepReport
  * archived JSON/CSV results remain attributable.
  */
 uint64_t configDigest(const SimConfig &cfg);
+
+/**
+ * Stable 64-bit digest of a program image: entry point plus every
+ * (address, bytes) chunk in address order. The workload digest for
+ * live-mode jobs, where no sealed trace exists to digest.
+ */
+uint64_t programDigest(const Program &prog);
 
 /**
  * Worker count for sweeps: the DMDP_JOBS environment variable if set

@@ -1,0 +1,239 @@
+#include "farm/cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "driver/results.h"
+
+namespace dmdp::farm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void
+mix64(uint64_t &h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+uint64_t
+parseHex(const driver::Json &j, const char *key)
+{
+    return std::strtoull(j.at(key).asString().c_str(), nullptr, 16);
+}
+
+/** Read a whole file; empty optional-style "" + false on any failure. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!in && !in.eof())
+        return false;
+    out = text.str();
+    return true;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(dir_) / "tmp", ec);
+    if (ec)
+        throw std::runtime_error("cannot create cache directory " + dir_ +
+                                 ": " + ec.message());
+}
+
+std::string
+ResultCache::envDir()
+{
+    const char *env = std::getenv("DMDP_CACHE_DIR");
+    return env ? env : "";
+}
+
+uint64_t
+ResultCache::resultKeyHash(const Key &key) const
+{
+    uint64_t h = kFnvBasis;
+    mix64(h, key.configDigest);
+    mix64(h, key.workloadDigest);
+    mix64(h, key.insts);
+    mix64(h, key.schemaDigest);
+    return h;
+}
+
+uint64_t
+ResultCache::workloadKeyHash(uint64_t programDigest, uint64_t insts,
+                             uint64_t recordCap) const
+{
+    uint64_t h = kFnvBasis;
+    mix64(h, 0x776b6c64);   // "wkld": keep the two keyspaces disjoint
+    mix64(h, programDigest);
+    mix64(h, insts);
+    mix64(h, recordCap);
+    return h;
+}
+
+std::string
+ResultCache::shardPath(const char *kind, uint64_t hash) const
+{
+    std::string name = hex16(hash);
+    return dir_ + "/" + kind + "/" + name.substr(0, 2) + "/" + name +
+           ".json";
+}
+
+void
+ResultCache::atomicWrite(const std::string &path, const std::string &text)
+{
+    // Stage in tmp/ (same filesystem as the final location), then
+    // rename into place: readers never observe a partial document. Best
+    // effort — a full disk or yanked directory degrades the cache, not
+    // the sweep.
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec)
+        return;
+    std::string tmp = dir_ + "/tmp/" +
+                      std::to_string(static_cast<long>(::getpid())) + "." +
+                      std::to_string(tmpCounter_.fetch_add(1)) + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            return;
+        out << text;
+        if (!out) {
+            out.close();
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+bool
+ResultCache::lookup(const Key &key, SimStats &stats)
+{
+    std::string text;
+    if (!readFile(shardPath("results", resultKeyHash(key)), text))
+        return false;
+    try {
+        driver::Json j = driver::Json::parse(text);
+        // Verify every key component: a shard-hash collision or a stale
+        // schema must read as a miss, never as a wrong restoration.
+        if (j.at("schema").asString() != "dmdp-cache-v1" ||
+            parseHex(j, "config_digest") != key.configDigest ||
+            parseHex(j, "workload_digest") != key.workloadDigest ||
+            static_cast<uint64_t>(j.at("insts").asNumber()) != key.insts ||
+            parseHex(j, "stats_schema") != key.schemaDigest)
+            return false;
+        SimStats restored;
+        for (const auto &[name, value] : j.at("stats").items())
+            driver::assignStatField(restored, name, value.asNumber());
+        stats = restored;
+        return true;
+    } catch (const driver::JsonError &) {
+        return false;   // corrupt or truncated entry: a miss, not an error
+    }
+}
+
+void
+ResultCache::store(const Key &key, const driver::JobResult &result)
+{
+    driver::Json j = driver::Json::object();
+    j.set("schema", "dmdp-cache-v1");
+    j.set("config_digest", hex16(key.configDigest));
+    j.set("workload_digest", hex16(key.workloadDigest));
+    j.set("insts", driver::Json(static_cast<double>(key.insts)));
+    j.set("stats_schema", hex16(key.schemaDigest));
+    // Provenance, for debugging a cache dir by hand; never part of the
+    // lookup contract.
+    j.set("id", result.job.id);
+    j.set("proxy", result.job.proxy);
+    j.set("wallSeconds", result.wallSeconds);
+    driver::Json stats = driver::Json::object();
+    for (const auto &[name, value] : driver::statFields(result.stats))
+        stats.set(name, value);
+    j.set("stats", std::move(stats));
+    atomicWrite(shardPath("results", resultKeyHash(key)), j.dump() + "\n");
+}
+
+bool
+ResultCache::lookupTraceDigest(uint64_t programDigest, uint64_t insts,
+                               uint64_t recordCap, uint64_t &traceDigest)
+{
+    uint64_t hash = workloadKeyHash(programDigest, insts, recordCap);
+    {
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        auto it = memo_.find(hash);
+        if (it != memo_.end()) {
+            traceDigest = it->second;
+            return true;
+        }
+    }
+    std::string text;
+    if (!readFile(shardPath("workloads", hash), text))
+        return false;
+    try {
+        driver::Json j = driver::Json::parse(text);
+        if (j.at("schema").asString() != "dmdp-workload-v1" ||
+            parseHex(j, "program_digest") != programDigest ||
+            static_cast<uint64_t>(j.at("insts").asNumber()) != insts ||
+            static_cast<uint64_t>(j.at("record_cap").asNumber()) !=
+                recordCap)
+            return false;
+        traceDigest = parseHex(j, "trace_digest");
+    } catch (const driver::JsonError &) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    memo_[hash] = traceDigest;
+    return true;
+}
+
+void
+ResultCache::storeTraceDigest(uint64_t programDigest, uint64_t insts,
+                              uint64_t recordCap, uint64_t traceDigest)
+{
+    uint64_t hash = workloadKeyHash(programDigest, insts, recordCap);
+    {
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        memo_[hash] = traceDigest;
+    }
+    driver::Json j = driver::Json::object();
+    j.set("schema", "dmdp-workload-v1");
+    j.set("program_digest", hex16(programDigest));
+    j.set("insts", driver::Json(static_cast<double>(insts)));
+    j.set("record_cap", driver::Json(static_cast<double>(recordCap)));
+    j.set("trace_digest", hex16(traceDigest));
+    atomicWrite(shardPath("workloads", hash), j.dump() + "\n");
+}
+
+} // namespace dmdp::farm

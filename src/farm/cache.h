@@ -1,0 +1,86 @@
+/**
+ * @file
+ * On-disk content-addressed result cache: the farm's memory. Every
+ * completed job is stored under its full cache key — (configDigest,
+ * workload digest, insts, stats-schema digest) — so any job ever
+ * computed by any process on any host sharing the cache directory is
+ * never computed again. Entries restore through the same
+ * assignStatField path the sweep journal uses, making a cached result
+ * bit-for-bit identical to recomputation.
+ *
+ * Layout (under the cache directory):
+ *
+ *   results/<hh>/<16-hex-key>.json    one entry per key, sharded by the
+ *                                     first key byte (256 shards)
+ *   workloads/<hh>/<16-hex-key>.json  workload-digest memo: (program
+ *                                     digest, insts, recordCap) ->
+ *                                     sealed-trace digest
+ *   tmp/                              staging for atomic writes
+ *
+ * Atomicity: entries are written to tmp/ and renamed into place —
+ * rename(2) is atomic on a POSIX filesystem, so readers only ever see
+ * complete documents; two writers racing the same key both write valid
+ * identical content and either rename wins. A corrupt or truncated
+ * entry (torn external copy, disk trouble) is treated as a miss, never
+ * an error, and is repaired by the next store.
+ */
+
+#ifndef DMDP_FARM_CACHE_H
+#define DMDP_FARM_CACHE_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "driver/sweep.h"
+
+namespace dmdp::farm {
+
+/** File-backed implementation of the driver's JobCache interface. */
+class ResultCache : public driver::JobCache
+{
+  public:
+    /**
+     * Open (creating as needed) the cache rooted at @p dir. Throws
+     * std::runtime_error when the directory cannot be created.
+     */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    bool lookup(const Key &key, SimStats &stats) override;
+    void store(const Key &key, const driver::JobResult &result) override;
+
+    bool lookupTraceDigest(uint64_t programDigest, uint64_t insts,
+                           uint64_t recordCap,
+                           uint64_t &traceDigest) override;
+    void storeTraceDigest(uint64_t programDigest, uint64_t insts,
+                          uint64_t recordCap,
+                          uint64_t traceDigest) override;
+
+    /**
+     * The DMDP_CACHE_DIR environment variable, or "" when unset — the
+     * default cache location when --cache is not passed explicitly.
+     */
+    static std::string envDir();
+
+  private:
+    uint64_t resultKeyHash(const Key &key) const;
+    uint64_t workloadKeyHash(uint64_t programDigest, uint64_t insts,
+                             uint64_t recordCap) const;
+    std::string shardPath(const char *kind, uint64_t hash) const;
+    void atomicWrite(const std::string &path, const std::string &text);
+
+    std::string dir_;
+    std::atomic<uint64_t> tmpCounter_{0};
+
+    // In-memory mirror of the workload memo: the same (proxy, insts)
+    // group is digested once per sweep, but farm workers probe per job.
+    std::mutex memoMutex_;
+    std::unordered_map<uint64_t, uint64_t> memo_;
+};
+
+} // namespace dmdp::farm
+
+#endif // DMDP_FARM_CACHE_H

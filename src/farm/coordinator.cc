@@ -1,0 +1,356 @@
+#include "farm/coordinator.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <list>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "driver/results.h"
+#include "farm/protocol.h"
+
+namespace dmdp::farm {
+
+using driver::JobResult;
+using driver::Json;
+using driver::SweepJob;
+using driver::SweepReport;
+
+namespace {
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * Bit-identity check for duplicate results: same outcome and, for ok
+ * results, every stat counter exactly equal. Wall time and attempt
+ * counts are host noise and excluded — two bit-identical simulations
+ * legitimately take different wall time.
+ */
+bool
+sameOutcome(const JobResult &a, const JobResult &b)
+{
+    if (a.ok != b.ok)
+        return false;
+    if (!a.ok)
+        return true;    // both failed: error text may differ by host
+    auto fa = driver::statFields(a.stats);
+    auto fb = driver::statFields(b.stats);
+    if (fa.size() != fb.size())
+        return false;
+    for (size_t i = 0; i < fa.size(); ++i)
+        if (fa[i].first != fb[i].first || fa[i].second != fb[i].second)
+            return false;
+    return true;
+}
+
+/** Everything the connection handlers share, guarded by mutex. */
+struct FarmState
+{
+    const std::vector<SweepJob> *jobs = nullptr;
+    std::vector<uint64_t> digests;  ///< configDigest per job, pinned
+
+    std::mutex mutex;
+    std::condition_variable doneCv;
+
+    std::deque<size_t> pending;         ///< not yet dispatched anywhere
+    std::map<size_t, int> outstanding;  ///< idx -> live dispatch count
+    std::vector<JobResult> results;
+    std::vector<char> haveResult;
+    size_t completed = 0;
+    bool allDone = false;
+
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    std::map<std::string, size_t> workerJobs;
+    std::vector<std::string> warnings;
+
+    std::ofstream journal;
+
+    const driver::SweepRunner::Progress *progress = nullptr;
+
+    size_t total() const { return jobs->size(); }
+};
+
+/**
+ * Pick the next job for an idle connection. Returns false when the
+ * sweep needs nothing more from this worker (time to say Bye). Called
+ * with the state lock held.
+ */
+bool
+pickJob(FarmState &st, size_t &idx)
+{
+    if (!st.pending.empty()) {
+        idx = st.pending.front();
+        st.pending.pop_front();
+        ++st.outstanding[idx];
+        return true;
+    }
+    // Work stealing: nothing pending, so duplicate the outstanding job
+    // with the fewest live dispatches onto this idle worker. First
+    // bit-identical result wins; a straggling or dead original stops
+    // mattering.
+    if (!st.outstanding.empty()) {
+        auto best = st.outstanding.begin();
+        for (auto it = std::next(best); it != st.outstanding.end(); ++it)
+            if (it->second < best->second)
+                best = it;
+        idx = best->first;
+        ++best->second;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * The connection handler died (or the peer sent garbage) while a
+ * dispatch was in flight: drop the dispatch, and re-queue the job at
+ * the front if no other worker still holds a copy. Called with the
+ * state lock held.
+ */
+void
+dropDispatch(FarmState &st, size_t idx)
+{
+    auto it = st.outstanding.find(idx);
+    if (it == st.outstanding.end())
+        return;     // job already completed elsewhere
+    if (--it->second <= 0) {
+        st.outstanding.erase(it);
+        if (!st.haveResult[idx])
+            st.pending.push_front(idx);
+    }
+}
+
+/**
+ * Record one incoming result. The first result for a job is canonical;
+ * duplicates (from straggler re-dispatch) are checked for bit-identity
+ * and discarded. Called with the state lock held.
+ */
+void
+recordResult(FarmState &st, size_t idx, const std::string &worker,
+             bool cacheProbed, JobResult &&incoming)
+{
+    if (st.haveResult[idx]) {
+        // The canonical result erased the outstanding entry wholesale,
+        // so there is no dispatch bookkeeping left to unwind here.
+        if (!sameOutcome(st.results[idx], incoming))
+            st.warnings.push_back(
+                "farm: divergent duplicate result for job '" +
+                (*st.jobs)[idx].id + "' from worker '" + worker +
+                "' (determinism violation; kept the first result)");
+        return;
+    }
+
+    // First result for this job: canonical. Erase the outstanding entry
+    // wholesale — straggler duplicates still running elsewhere no longer
+    // matter (their eventual results dedup against haveResult, their
+    // deaths must not re-queue a finished job), and pickJob() must never
+    // steal a completed job.
+    st.outstanding.erase(idx);
+
+    // The job and its full config come from the coordinator's own list
+    // — authoritative by construction; the wire carries only outcome.
+    JobResult r = std::move(incoming);
+    r.job = (*st.jobs)[idx];
+    r.configDigest = st.digests[idx];
+    st.results[idx] = std::move(r);
+    st.haveResult[idx] = 1;
+    ++st.completed;
+    ++st.workerJobs[worker];
+    if (cacheProbed) {
+        if (st.results[idx].cached)
+            ++st.cacheHits;
+        else
+            ++st.cacheMisses;
+    }
+    if (st.journal.is_open())
+        st.journal << driver::resultToJson(st.results[idx]).dump() << "\n"
+                   << std::flush;
+    if (st.progress && *st.progress)
+        (*st.progress)(st.results[idx], st.completed, st.total());
+    if (st.completed == st.total()) {
+        st.allDone = true;
+        st.doneCv.notify_all();
+    }
+}
+
+/**
+ * One worker connection, driven synchronously until Bye or EOF. The
+ * socket stays owned by the connection list so serveFarm() can
+ * shutdown(2) it from outside to unblock a parked recv at sweep end.
+ */
+void
+serveConnection(FarmState &st, Socket &sock)
+{
+    std::string worker = "unknown";
+    // in-flight dispatch on this connection, or SIZE_MAX when idle
+    size_t inFlight = SIZE_MAX;
+
+    for (;;) {
+        MsgType type;
+        Json payload;
+        if (!recvFrame(sock.fd(), type, payload))
+            break;      // EOF / killed worker / protocol garbage
+
+        if (type == MsgType::Hello) {
+            try {
+                worker = payload.at("worker").asString();
+            } catch (const driver::JsonError &) {
+            }
+            continue;
+        }
+
+        if (type == MsgType::JobRequest) {
+            size_t idx;
+            Json msg = Json::object();
+            {
+                std::lock_guard<std::mutex> lock(st.mutex);
+                if (st.allDone || !pickJob(st, idx)) {
+                    sendFrame(sock.fd(), MsgType::Bye, Json::object());
+                    return;
+                }
+                inFlight = idx;
+                msg.set("idx", Json(static_cast<double>(idx)));
+                msg.set("configDigest", hex16(st.digests[idx]));
+                msg.set("job", jobToJson((*st.jobs)[idx]));
+            }
+            if (!sendFrame(sock.fd(), MsgType::Job, msg))
+                break;
+            continue;
+        }
+
+        if (type == MsgType::Result) {
+            size_t idx;
+            bool cacheProbed = false;
+            JobResult incoming;
+            try {
+                idx = static_cast<size_t>(payload.at("idx").asNumber());
+                if (payload.has("cache_probed"))
+                    cacheProbed = payload.at("cache_probed").asBool();
+                if (idx >= st.total() ||
+                    !driver::resultFromJson(payload.at("result"), incoming))
+                    break;  // protocol violation: drop the connection
+            } catch (const driver::JsonError &) {
+                break;
+            }
+            std::lock_guard<std::mutex> lock(st.mutex);
+            if (idx == inFlight)
+                inFlight = SIZE_MAX;
+            recordResult(st, idx, worker, cacheProbed,
+                         std::move(incoming));
+            continue;
+        }
+
+        break;  // unexpected frame type: drop the connection
+    }
+
+    // Connection gone — a crashed/SIGKILLed worker mid-job most
+    // importantly. Put its in-flight job back unless someone else still
+    // holds it or already finished it.
+    if (inFlight != SIZE_MAX) {
+        std::lock_guard<std::mutex> lock(st.mutex);
+        dropDispatch(st, inFlight);
+        if (!st.haveResult[inFlight])
+            st.warnings.push_back("farm: worker '" + worker +
+                                  "' disconnected mid-job; re-queued '" +
+                                  (*st.jobs)[inFlight].id + "'");
+    }
+}
+
+} // namespace
+
+SweepReport
+serveFarm(const std::vector<SweepJob> &jobs, const CoordinatorOptions &opt,
+          const driver::SweepRunner::Progress &progress)
+{
+    SweepReport report;
+    if (jobs.empty())
+        return report;
+
+    FarmState st;
+    st.jobs = &jobs;
+    st.digests.reserve(jobs.size());
+    for (const auto &job : jobs)
+        st.digests.push_back(driver::configDigest(job.cfg));
+    st.results.resize(jobs.size());
+    st.haveResult.assign(jobs.size(), 0);
+    for (size_t i = 0; i < jobs.size(); ++i)
+        st.pending.push_back(i);
+    st.progress = &progress;
+    if (!opt.journalPath.empty()) {
+        st.journal.open(opt.journalPath, std::ios::app);
+        if (!st.journal)
+            throw std::runtime_error("cannot open journal: " +
+                                     opt.journalPath);
+    }
+
+    uint16_t port = 0;
+    Socket listener = listenOn(opt.addr, &port);
+    if (opt.onListening)
+        opt.onListening(port);
+    // Single stderr line with the actual port: how scripts (and the CI
+    // smoke test) discover a port-0 coordinator.
+    std::fprintf(stderr, "farm: listening on %s (port %u), %zu jobs\n",
+                 opt.addr.c_str(), static_cast<unsigned>(port),
+                 jobs.size());
+
+    std::list<std::pair<Socket, std::thread>> conns;
+    std::mutex connsMutex;
+
+    std::thread acceptor([&] {
+        for (;;) {
+            Socket sock = acceptOn(listener);
+            if (!sock.valid())
+                return;     // listener closed: sweep complete
+            std::lock_guard<std::mutex> lock(connsMutex);
+            conns.emplace_back(std::move(sock), std::thread());
+            auto it = std::prev(conns.end());
+            it->second =
+                std::thread([&st, it] { serveConnection(st, it->first); });
+        }
+    });
+
+    {
+        std::unique_lock<std::mutex> lock(st.mutex);
+        st.doneCv.wait(lock, [&] { return st.allDone; });
+    }
+
+    // Unblock the acceptor, then every connection handler still parked
+    // in recv (idle workers waiting out their Bye, straggler dups).
+    listener.shutdown();
+    listener.close();
+    acceptor.join();
+    {
+        std::lock_guard<std::mutex> lock(connsMutex);
+        for (auto &[sock, th] : conns)
+            sock.shutdown();
+    }
+    for (auto &[sock, th] : conns)
+        th.join();
+
+    report.results = std::move(st.results);
+    for (const auto &r : report.results) {
+        report.failed += !r.ok;
+        report.timedOut += r.timedOut;
+    }
+    report.cacheHits = st.cacheHits;
+    report.cacheMisses = st.cacheMisses;
+    for (auto &[name, count] : st.workerJobs)
+        report.workerJobs.emplace_back(name, count);
+    report.warnings = std::move(st.warnings);
+    return report;
+}
+
+} // namespace dmdp::farm

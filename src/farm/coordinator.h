@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The farm coordinator: owns a sweep's job list and hands jobs out to
+ * remote workers over the protocol in farm/protocol.h, assembling a
+ * SweepReport bit-identical to a local SweepRunner run.
+ *
+ * Dispatch policy (work-stealing style):
+ *  - jobs are handed out FIFO while the pending queue is non-empty;
+ *  - an idle worker with nothing pending is handed a duplicate of the
+ *    outstanding job with the fewest dispatches — straggler
+ *    re-dispatch, naturally throttled because only idle workers steal;
+ *  - the first result to arrive for a job is canonical; duplicates are
+ *    checked for bit-identity (a divergence is a determinism bug and
+ *    is surfaced as a warning) and discarded;
+ *  - a dead worker (connection EOF — including SIGKILL mid-job) has
+ *    its in-flight jobs re-queued at the front, unless another worker
+ *    still holds a duplicate.
+ *
+ * The coordinator trusts workers to run the *exact* job it sent: each
+ * Job frame carries the coordinator's configDigest, the worker
+ * recomputes the digest from the deserialized config and refuses on
+ * mismatch (version-skewed binaries fail loudly, not silently).
+ */
+
+#ifndef DMDP_FARM_COORDINATOR_H
+#define DMDP_FARM_COORDINATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/sweep.h"
+
+namespace dmdp::farm {
+
+struct CoordinatorOptions
+{
+    /** host:port to listen on; port 0 picks a free port. */
+    std::string addr;
+
+    /**
+     * Called once with the actually bound port after listen succeeds
+     * and before any job is served (useful with port 0, and the safe
+     * way for a test to learn the port from the serving thread).
+     */
+    std::function<void(uint16_t)> onListening;
+
+    /**
+     * When non-empty, append each completed job to this JSONL journal
+     * exactly like SweepOptions::journalPath does for local sweeps.
+     */
+    std::string journalPath;
+};
+
+/**
+ * Serve @p jobs to connecting workers until every job has a result;
+ * blocks. Results come back in job order. Throws std::runtime_error
+ * when the listen socket cannot be created.
+ */
+driver::SweepReport
+serveFarm(const std::vector<driver::SweepJob> &jobs,
+          const CoordinatorOptions &opt,
+          const driver::SweepRunner::Progress &progress = {});
+
+} // namespace dmdp::farm
+
+#endif // DMDP_FARM_COORDINATOR_H

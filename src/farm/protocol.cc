@@ -1,0 +1,233 @@
+#include "farm/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "driver/results.h"
+
+namespace dmdp::farm {
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdown()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::pair<std::string, uint16_t>
+splitAddr(const std::string &addr)
+{
+    size_t colon = addr.rfind(':');
+    if (colon == std::string::npos)
+        throw std::runtime_error("farm address must be host:port, got '" +
+                                 addr + "'");
+    std::string host = addr.substr(0, colon);
+    std::string portStr = addr.substr(colon + 1);
+    char *end = nullptr;
+    unsigned long port = std::strtoul(portStr.c_str(), &end, 10);
+    if (portStr.empty() || *end != '\0' || port > 65535)
+        throw std::runtime_error("bad farm port in '" + addr + "'");
+    return {host, static_cast<uint16_t>(port)};
+}
+
+namespace {
+
+sockaddr_in
+makeSockaddr(const std::string &host, uint16_t port, bool forListen)
+{
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    if (host.empty()) {
+        sa.sin_addr.s_addr = htonl(forListen ? INADDR_ANY : INADDR_LOOPBACK);
+    } else if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+        throw std::runtime_error("bad farm host '" + host +
+                                 "' (numeric IPv4 only)");
+    }
+    return sa;
+}
+
+[[noreturn]] void
+sysFail(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+bool
+writeAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, void *data, size_t len)
+{
+    char *p = static_cast<char *>(data);
+    while (len > 0) {
+        ssize_t n = ::recv(fd, p, len, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;   // EOF mid-frame or between frames
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Socket
+listenOn(const std::string &addr, uint16_t *boundPort)
+{
+    auto [host, port] = splitAddr(addr);
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid())
+        sysFail("socket");
+    int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa = makeSockaddr(host, port, /*forListen=*/true);
+    if (::bind(s.fd(), reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) != 0)
+        sysFail("bind " + addr);
+    if (::listen(s.fd(), 64) != 0)
+        sysFail("listen " + addr);
+    if (boundPort) {
+        sockaddr_in actual{};
+        socklen_t len = sizeof(actual);
+        if (::getsockname(s.fd(), reinterpret_cast<sockaddr *>(&actual),
+                          &len) != 0)
+            sysFail("getsockname");
+        *boundPort = ntohs(actual.sin_port);
+    }
+    return s;
+}
+
+Socket
+acceptOn(const Socket &listener)
+{
+    for (;;) {
+        int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0)
+            return Socket(fd);
+        if (errno == EINTR)
+            continue;
+        return Socket();    // listener closed or fatal: caller stops
+    }
+}
+
+Socket
+connectTo(const std::string &addr)
+{
+    auto [host, port] = splitAddr(addr);
+    Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!s.valid())
+        sysFail("socket");
+    sockaddr_in sa = makeSockaddr(host, port, /*forListen=*/false);
+    if (::connect(s.fd(), reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) !=
+        0)
+        sysFail("connect " + addr);
+    int one = 1;
+    ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return s;
+}
+
+bool
+sendFrame(int fd, MsgType type, const driver::Json &payload)
+{
+    std::string body = payload.dump();
+    if (body.size() > kMaxFrameBytes)
+        return false;
+    uint32_t len = static_cast<uint32_t>(body.size());
+    uint8_t header[5] = {
+        static_cast<uint8_t>(len),
+        static_cast<uint8_t>(len >> 8),
+        static_cast<uint8_t>(len >> 16),
+        static_cast<uint8_t>(len >> 24),
+        static_cast<uint8_t>(type),
+    };
+    return writeAll(fd, header, sizeof(header)) &&
+           writeAll(fd, body.data(), body.size());
+}
+
+bool
+recvFrame(int fd, MsgType &type, driver::Json &payload)
+{
+    uint8_t header[5];
+    if (!readAll(fd, header, sizeof(header)))
+        return false;
+    uint32_t len = static_cast<uint32_t>(header[0]) |
+                   (static_cast<uint32_t>(header[1]) << 8) |
+                   (static_cast<uint32_t>(header[2]) << 16) |
+                   (static_cast<uint32_t>(header[3]) << 24);
+    if (len > kMaxFrameBytes)
+        return false;   // desynchronized peer
+    std::string body(len, '\0');
+    if (len > 0 && !readAll(fd, body.data(), len))
+        return false;
+    type = static_cast<MsgType>(header[4]);
+    try {
+        payload = driver::Json::parse(body);
+    } catch (const driver::JsonError &) {
+        return false;
+    }
+    return true;
+}
+
+driver::Json
+jobToJson(const driver::SweepJob &job)
+{
+    driver::Json j = driver::Json::object();
+    j.set("id", job.id);
+    j.set("proxy", job.proxy);
+    j.set("isInteger", job.isInteger);
+    j.set("insts", driver::Json(static_cast<double>(job.insts)));
+    j.set("cfg", driver::configToJson(job.cfg));
+    return j;
+}
+
+bool
+jobFromJson(const driver::Json &j, driver::SweepJob &job)
+{
+    try {
+        job.id = j.at("id").asString();
+        job.proxy = j.at("proxy").asString();
+        job.isInteger = j.at("isInteger").asBool();
+        job.insts = static_cast<uint64_t>(j.at("insts").asNumber());
+        return driver::configFromJson(j.at("cfg"), job.cfg);
+    } catch (const driver::JsonError &) {
+        return false;
+    }
+}
+
+} // namespace dmdp::farm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The farm's wire protocol: length-prefixed JSON frames over TCP.
+ *
+ * Frame layout (little-endian):
+ *
+ *   u32  payloadLength        (bounded by kMaxFrameBytes)
+ *   u8   type                 (MsgType)
+ *   u8[] payload              JSON document, UTF-8
+ *
+ * Conversation, one per worker thread (each opens its own connection):
+ *
+ *   worker -> Hello      {"worker": name, "cache": bool}
+ *   worker -> JobRequest  {}
+ *   coord  -> Job        {"idx": N, "configDigest": hex, "job": {...}}
+ *            or Bye      {}                    (sweep complete: exit)
+ *   worker -> Result     {"idx": N, "cache_probed": bool,
+ *                         "result": resultToJson(...)}
+ *   ... JobRequest/Job/Result repeats until Bye or EOF.
+ *
+ * The protocol is deliberately synchronous per connection: a
+ * JobRequest means this connection is idle, which is exactly the
+ * signal the coordinator's work-stealing straggler policy needs.
+ */
+
+#ifndef DMDP_FARM_PROTOCOL_H
+#define DMDP_FARM_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "driver/json.h"
+#include "driver/sweep.h"
+
+namespace dmdp::farm {
+
+enum class MsgType : uint8_t
+{
+    Hello = 1,
+    JobRequest = 2,
+    Job = 3,
+    Result = 4,
+    Bye = 5,
+};
+
+/** Upper bound on one frame's payload; larger frames are a protocol
+ *  error (a desynchronized or hostile peer, not a big result). */
+constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/** Thin RAII wrapper for a socket file descriptor. Move-only. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    int fd() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    void close();
+    /** shutdown(2) both directions; unblocks a peer thread's recv. */
+    void shutdown();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Split "host:port" (host may be empty: all interfaces for listeners,
+ * loopback for connects). Throws std::runtime_error on a malformed
+ * address.
+ */
+std::pair<std::string, uint16_t> splitAddr(const std::string &addr);
+
+/**
+ * Bind + listen on @p addr ("host:port"; port 0 picks a free port).
+ * The actually bound port is written to @p boundPort when non-null.
+ * Throws std::runtime_error on failure.
+ */
+Socket listenOn(const std::string &addr, uint16_t *boundPort = nullptr);
+
+/** Accept one connection; invalid Socket when the listener was closed. */
+Socket acceptOn(const Socket &listener);
+
+/** Connect to @p addr ("host:port"). Throws on failure. */
+Socket connectTo(const std::string &addr);
+
+/**
+ * Send one frame. False on any socket error (peer gone). Safe against
+ * SIGPIPE (uses MSG_NOSIGNAL); handles partial writes.
+ */
+bool sendFrame(int fd, MsgType type, const driver::Json &payload);
+
+/**
+ * Receive one frame. False on EOF, socket error, an oversized length
+ * prefix, or an unparseable payload — all of which the callers treat
+ * as "this peer is gone".
+ */
+bool recvFrame(int fd, MsgType &type, driver::Json &payload);
+
+/** One sweep job as a protocol payload (id, proxy, flags, full config). */
+driver::Json jobToJson(const driver::SweepJob &job);
+
+/** Inverse of jobToJson. False on a structurally wrong document. */
+bool jobFromJson(const driver::Json &j, driver::SweepJob &job);
+
+} // namespace dmdp::farm
+
+#endif // DMDP_FARM_PROTOCOL_H

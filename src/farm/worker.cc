@@ -1,0 +1,167 @@
+#include "farm/worker.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "driver/results.h"
+#include "farm/protocol.h"
+
+namespace dmdp::farm {
+
+using driver::JobResult;
+using driver::Json;
+using driver::SweepJob;
+
+namespace {
+
+std::string
+defaultWorkerName()
+{
+    char host[256] = "worker";
+    ::gethostname(host, sizeof(host) - 1);
+    host[sizeof(host) - 1] = '\0';
+    return std::string(host) + ":" +
+           std::to_string(static_cast<long>(::getpid()));
+}
+
+/** Connect, retrying while the coordinator may still be binding. */
+Socket
+connectWithRetry(const std::string &addr, double timeoutSec)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(timeoutSec);
+    for (;;) {
+        try {
+            return connectTo(addr);
+        } catch (const std::runtime_error &) {
+            if (std::chrono::steady_clock::now() >= deadline)
+                throw;
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+    }
+}
+
+/**
+ * Run one received job through the regular sweep machinery. Exactly one
+ * job per runReport call: the watchdog, retry, and cache behavior is
+ * identical to a local sweep's, and single-job sweeps run their
+ * workload live (no shared trace to capture), so the cache keys are
+ * program-digest based.
+ */
+JobResult
+runOneJob(const SweepJob &job, const WorkerOptions &opt)
+{
+    driver::SweepRunner runner(1);
+    driver::SweepOptions sweepOpt;
+    sweepOpt.jobTimeoutSec = opt.jobTimeoutSec;
+    sweepOpt.retries = opt.retries;
+    sweepOpt.cache = opt.cache;
+    driver::SweepReport report = runner.runReport({job}, sweepOpt);
+    return std::move(report.results.at(0));
+}
+
+/** One connection's pull loop; returns jobs completed on it. */
+size_t
+workerLoop(const WorkerOptions &opt, const std::string &name)
+{
+    Socket sock = connectWithRetry(opt.addr, opt.connectTimeoutSec);
+
+    Json hello = Json::object();
+    hello.set("worker", name);
+    hello.set("cache", opt.cache != nullptr);
+    if (!sendFrame(sock.fd(), MsgType::Hello, hello))
+        return 0;
+
+    size_t completed = 0;
+    for (;;) {
+        if (!sendFrame(sock.fd(), MsgType::JobRequest, Json::object()))
+            return completed;
+        MsgType type;
+        Json payload;
+        if (!recvFrame(sock.fd(), type, payload))
+            return completed;   // coordinator gone
+        if (type != MsgType::Job)
+            return completed;   // Bye (or protocol skew): done
+
+        size_t idx;
+        uint64_t wantDigest;
+        SweepJob job;
+        JobResult result;
+        try {
+            idx = static_cast<size_t>(payload.at("idx").asNumber());
+            wantDigest = std::strtoull(
+                payload.at("configDigest").asString().c_str(), nullptr,
+                16);
+            if (!jobFromJson(payload.at("job"), job))
+                return completed;
+        } catch (const driver::JsonError &) {
+            return completed;
+        }
+
+        uint64_t gotDigest = driver::configDigest(job.cfg);
+        if (gotDigest != wantDigest) {
+            // Version skew between coordinator and worker binaries: the
+            // config did not survive the round trip bit-exactly. Refuse
+            // the job loudly rather than compute numbers for a machine
+            // the coordinator did not ask for.
+            result.job = job;
+            result.configDigest = gotDigest;
+            result.ok = false;
+            result.error = "farm worker config digest mismatch "
+                           "(coordinator/worker version skew?)";
+        } else {
+            result = runOneJob(job, opt);
+        }
+
+        Json msg = Json::object();
+        msg.set("idx", Json(static_cast<double>(idx)));
+        msg.set("cache_probed", opt.cache != nullptr);
+        msg.set("result", driver::resultToJson(result));
+        if (!sendFrame(sock.fd(), MsgType::Result, msg))
+            return completed;
+        ++completed;
+    }
+}
+
+} // namespace
+
+size_t
+runWorker(const WorkerOptions &opt)
+{
+    unsigned threads = opt.threads ? opt.threads : driver::defaultJobCount();
+    std::string name = opt.name.empty() ? defaultWorkerName() : opt.name;
+
+    // Connection failures are surfaced only when no thread got any work
+    // at all — an unreachable coordinator throws, but a coordinator that
+    // finished (and closed) while some threads were still connecting is
+    // a normal end of sweep.
+    std::atomic<size_t> total{0};
+    std::vector<std::thread> pool;
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+    for (unsigned i = 0; i < threads; ++i)
+        pool.emplace_back([&, i] {
+            try {
+                total.fetch_add(workerLoop(opt, name));
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        });
+    for (auto &th : pool)
+        th.join();
+    if (total.load() == 0 && firstError)
+        std::rethrow_exception(firstError);
+    return total.load();
+}
+
+} // namespace dmdp::farm

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The farm worker: connects to a coordinator, pulls jobs, runs each one
+ * through the ordinary SweepRunner machinery (watchdog, retries, result
+ * cache) and streams the results back. A worker is deliberately thin —
+ * all simulation semantics live in the driver, so a job run by a farm
+ * worker is bit-identical to the same job run by a local sweep.
+ *
+ * Each worker thread opens its own connection and runs one job at a
+ * time; process-level parallelism is just N threads = N connections.
+ */
+
+#ifndef DMDP_FARM_WORKER_H
+#define DMDP_FARM_WORKER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "driver/sweep.h"
+
+namespace dmdp::farm {
+
+struct WorkerOptions
+{
+    /** Coordinator host:port. */
+    std::string addr;
+
+    /** Concurrent jobs (connections); 0 means defaultJobCount(). */
+    unsigned threads = 0;
+
+    /** Optional result cache, probed/fed per job. Non-owning. */
+    driver::JobCache *cache = nullptr;
+
+    /** Per-job watchdog budget, as SweepOptions::jobTimeoutSec. */
+    double jobTimeoutSec = 0;
+
+    /** Per-job retry budget, as SweepOptions::retries. */
+    uint32_t retries = 0;
+
+    /**
+     * Worker name reported to the coordinator (per-worker job counts in
+     * the sweep report key off it). Empty means "host:pid".
+     */
+    std::string name;
+
+    /**
+     * Seconds to keep retrying the initial connect — workers are
+     * typically launched alongside the coordinator and may beat it to
+     * the port.
+     */
+    double connectTimeoutSec = 10;
+};
+
+/**
+ * Pull and run jobs until the coordinator says Bye (or disappears).
+ * Returns the number of jobs this worker completed. Throws
+ * std::runtime_error when the coordinator cannot be reached at all.
+ */
+size_t runWorker(const WorkerOptions &opt);
+
+} // namespace dmdp::farm
+
+#endif // DMDP_FARM_WORKER_H

@@ -64,4 +64,29 @@ TraceBuffer::append(const DynInst &dyn, uint32_t rawWord)
     ++count_;
 }
 
+uint64_t
+TraceBuffer::digest() const
+{
+    assert(sealed);
+    // FNV-1a over a fixed-width header (entry pc, record count, halt
+    // flag) followed by the encoded stream. The header fields are fed
+    // little-endian byte by byte so the digest is independent of host
+    // endianness and struct layout.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v, int nbytes) {
+        for (int i = 0; i < nbytes; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(entryPc_, 4);
+    mix(count_, 8);
+    mix(halted_ ? 1 : 0, 1);
+    for (uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 } // namespace dmdp::trace

@@ -79,6 +79,16 @@ class TraceBuffer
 
     const uint8_t *data() const { return bytes.data(); }
 
+    /**
+     * Stable 64-bit digest of the sealed stream: the encoded bytes plus
+     * the header facts a replay needs (entry pc, record count, halt
+     * flag). Two buffers with equal digests replay identically, so the
+     * digest names a workload content-addressably — it keys the result
+     * cache and is emitted with every sweep result as trace_digest.
+     * Must only be called on a sealed buffer.
+     */
+    uint64_t digest() const;
+
   private:
     std::vector<uint8_t> bytes;
     uint32_t entryPc_;

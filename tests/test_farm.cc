@@ -1,0 +1,605 @@
+/**
+ * @file
+ * Tests for the sweep farm: the content-addressed result cache, the
+ * wire protocol, and the coordinator/worker loop — including the
+ * failure modes the farm exists to absorb (corrupt cache entries, a
+ * worker killed mid-job, duplicate results from straggler stealing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "driver/results.h"
+#include "driver/sweep.h"
+#include "farm/cache.h"
+#include "farm/coordinator.h"
+#include "farm/protocol.h"
+#include "farm/worker.h"
+#include "trace/tracerecorder.h"
+#include "workloads/spec_proxies.h"
+
+namespace dmdp {
+namespace {
+
+namespace fs = std::filesystem;
+
+using driver::JobCache;
+using driver::JobResult;
+using driver::Json;
+using driver::SweepJob;
+using driver::SweepRunner;
+using farm::MsgType;
+using farm::ResultCache;
+
+/** Fresh throwaway directory, removed on scope exit. */
+struct TempDir
+{
+    std::string path;
+    explicit TempDir(const std::string &tag)
+    {
+        path = testing::TempDir() + "dmdp_farm_" + tag + "_" +
+               std::to_string(static_cast<long>(::getpid()));
+        fs::remove_all(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+std::vector<SweepJob>
+smallJobSet(size_t nProxies = 2)
+{
+    std::vector<std::string> proxies = {"perl", "gcc", "bzip2"};
+    proxies.resize(nProxies);
+    return driver::crossProduct({LsuModel::NoSQ, LsuModel::DMDP}, proxies,
+                                20000);
+}
+
+void
+expectStatsIdentical(const JobResult &a, const JobResult &b)
+{
+    auto fa = driver::statFields(a.stats);
+    auto fb = driver::statFields(b.stats);
+    ASSERT_EQ(fa.size(), fb.size());
+    for (size_t f = 0; f < fa.size(); ++f) {
+        EXPECT_EQ(fa[f].first, fb[f].first);
+        EXPECT_EQ(fa[f].second, fb[f].second)
+            << a.job.id << " stat " << fa[f].first;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Digests
+// ---------------------------------------------------------------------
+
+TEST(FarmDigests, TraceDigestIsStableAndContentSensitive)
+{
+    Program prog = buildProxy("perl", 20000);
+    trace::TraceBuffer a = trace::recordTrace(prog, 30000);
+    trace::TraceBuffer b = trace::recordTrace(prog, 30000);
+    EXPECT_NE(a.digest(), 0u);
+    EXPECT_EQ(a.digest(), b.digest())
+        << "same program, same cap must digest identically";
+
+    // A different record cap changes the recorded byte stream.
+    trace::TraceBuffer shorter = trace::recordTrace(prog, 15000);
+    EXPECT_NE(a.digest(), shorter.digest());
+
+    Program other = buildProxy("gcc", 20000);
+    trace::TraceBuffer c = trace::recordTrace(other, 30000);
+    EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(FarmDigests, ProgramDigestIsStableAndContentSensitive)
+{
+    uint64_t a = driver::programDigest(buildProxy("perl", 20000));
+    uint64_t b = driver::programDigest(buildProxy("perl", 20000));
+    EXPECT_NE(a, 0u);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, driver::programDigest(buildProxy("gcc", 20000)));
+}
+
+TEST(FarmDigests, StatsSchemaDigestMatchesFieldList)
+{
+    // The digest is a pure function of the statFields name list: two
+    // calls agree, and it is nonzero (the basis alone would mean the
+    // field list was empty).
+    EXPECT_NE(driver::statsSchemaDigest(), 0u);
+    EXPECT_EQ(driver::statsSchemaDigest(), driver::statsSchemaDigest());
+}
+
+// ---------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------
+
+/** A real simulated result to round-trip (covers every live counter). */
+JobResult
+oneRealResult()
+{
+    auto jobs = driver::crossProduct({LsuModel::DMDP}, {"perl"}, 20000);
+    auto results = SweepRunner(1).run(jobs);
+    EXPECT_TRUE(results.at(0).ok) << results.at(0).error;
+    JobResult r = results.at(0);
+    r.traceDigest = 0x1234567890abcdefull;
+    return r;
+}
+
+JobCache::Key
+keyFor(const JobResult &r)
+{
+    JobCache::Key key;
+    key.configDigest = driver::configDigest(r.job.cfg);
+    key.workloadDigest = r.traceDigest;
+    key.insts = r.job.insts;
+    key.schemaDigest = driver::statsSchemaDigest();
+    return key;
+}
+
+TEST(ResultCacheTest, RoundTripIsBitIdenticalOnEveryCounter)
+{
+    TempDir dir("roundtrip");
+    ResultCache cache(dir.path);
+    JobResult r = oneRealResult();
+    JobCache::Key key = keyFor(r);
+
+    SimStats restored;
+    EXPECT_FALSE(cache.lookup(key, restored)) << "cold cache must miss";
+    cache.store(key, r);
+    ASSERT_TRUE(cache.lookup(key, restored));
+
+    JobResult back = r;
+    back.stats = restored;
+    expectStatsIdentical(r, back);
+}
+
+TEST(ResultCacheTest, EveryKeyComponentInvalidates)
+{
+    TempDir dir("keys");
+    ResultCache cache(dir.path);
+    JobResult r = oneRealResult();
+    JobCache::Key key = keyFor(r);
+    cache.store(key, r);
+
+    SimStats s;
+    ASSERT_TRUE(cache.lookup(key, s));
+    JobCache::Key k1 = key, k2 = key, k3 = key, k4 = key;
+    k1.configDigest ^= 1;
+    k2.workloadDigest ^= 1;
+    k3.insts += 1;
+    k4.schemaDigest ^= 1;
+    EXPECT_FALSE(cache.lookup(k1, s));
+    EXPECT_FALSE(cache.lookup(k2, s));
+    EXPECT_FALSE(cache.lookup(k3, s));
+    EXPECT_FALSE(cache.lookup(k4, s));
+}
+
+TEST(ResultCacheTest, CorruptOrTruncatedEntryIsAMissNotAnError)
+{
+    TempDir dir("corrupt");
+    ResultCache cache(dir.path);
+    JobResult r = oneRealResult();
+    JobCache::Key key = keyFor(r);
+    cache.store(key, r);
+
+    // Find the single entry file under results/ and mangle it.
+    std::string entry;
+    for (const auto &de :
+         fs::recursive_directory_iterator(dir.path + "/results"))
+        if (de.is_regular_file())
+            entry = de.path().string();
+    ASSERT_FALSE(entry.empty());
+
+    SimStats s;
+    {
+        std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+        out << "{\"schema\": \"dmdp-cache-v1\", \"config_";   // truncated
+    }
+    EXPECT_FALSE(cache.lookup(key, s));
+    {
+        std::ofstream out(entry, std::ios::binary | std::ios::trunc);
+        out << "not json at all\n";
+    }
+    EXPECT_FALSE(cache.lookup(key, s));
+
+    // The next store repairs the entry.
+    cache.store(key, r);
+    EXPECT_TRUE(cache.lookup(key, s));
+}
+
+TEST(ResultCacheTest, WorkloadMemoPersistsAcrossInstances)
+{
+    TempDir dir("memo");
+    uint64_t digest = 0;
+    {
+        ResultCache cache(dir.path);
+        EXPECT_FALSE(cache.lookupTraceDigest(0xaaa, 1000, 2000, digest));
+        cache.storeTraceDigest(0xaaa, 1000, 2000, 0xfeedface);
+    }
+    // A fresh instance has no in-memory memo: this exercises the
+    // on-disk path.
+    ResultCache cache2(dir.path);
+    ASSERT_TRUE(cache2.lookupTraceDigest(0xaaa, 1000, 2000, digest));
+    EXPECT_EQ(digest, 0xfeedfaceull);
+    EXPECT_FALSE(cache2.lookupTraceDigest(0xaaa, 1000, 2001, digest))
+        << "record cap is part of the memo key";
+    EXPECT_FALSE(cache2.lookupTraceDigest(0xaab, 1000, 2000, digest));
+}
+
+TEST(ResultCacheTest, SweepWithCacheIsBitIdenticalColdAndWarm)
+{
+    TempDir dir("sweep");
+    ResultCache cache(dir.path);
+    auto jobs = smallJobSet();
+
+    driver::SweepOptions opt;
+    opt.cache = &cache;
+    SweepRunner runner(2);
+    auto plain = runner.runReport(jobs, {});
+    auto cold = runner.runReport(jobs, opt);
+    auto warm = runner.runReport(jobs, opt);
+
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.cacheMisses, jobs.size());
+    EXPECT_EQ(warm.cacheHits, jobs.size()) << "warm run must be all hits";
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_DOUBLE_EQ(warm.cacheHitRate(), 1.0);
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(plain.results[i].ok);
+        ASSERT_TRUE(warm.results[i].ok);
+        EXPECT_FALSE(cold.results[i].cached);
+        EXPECT_TRUE(warm.results[i].cached);
+        EXPECT_EQ(cold.results[i].traceDigest, warm.results[i].traceDigest);
+        EXPECT_NE(warm.results[i].traceDigest, 0u);
+        expectStatsIdentical(plain.results[i], cold.results[i]);
+        expectStatsIdentical(plain.results[i], warm.results[i]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------
+
+TEST(FarmProtocol, ConfigJsonRoundTripPreservesDigest)
+{
+    for (LsuModel model : {LsuModel::Baseline, LsuModel::NoSQ,
+                           LsuModel::DMDP, LsuModel::Perfect}) {
+        SimConfig cfg = SimConfig::forModel(model);
+        cfg.storeBufferSize = 48;
+        cfg.consistency = Consistency::RMO;
+        cfg.sdpKind = SdpKind::Tage;
+        cfg.biasedConfidence = false;
+        cfg.remoteInvalPerKiloCycle = 2.5;
+        cfg.maxInsts = 123456;
+        cfg.warmupInsts = 777;
+
+        SimConfig back;
+        ASSERT_TRUE(driver::configFromJson(driver::configToJson(cfg), back));
+        EXPECT_EQ(driver::configDigest(cfg), driver::configDigest(back))
+            << "model " << lsuModelName(model);
+    }
+}
+
+TEST(FarmProtocol, JobJsonRoundTrip)
+{
+    SweepJob job;
+    job.id = "dmdp/perl/sb=32";
+    job.proxy = "perl";
+    job.isInteger = true;
+    job.insts = 54321;
+    job.cfg = SimConfig::forModel(LsuModel::DMDP);
+    job.cfg.storeBufferSize = 32;
+
+    SweepJob back;
+    ASSERT_TRUE(farm::jobFromJson(farm::jobToJson(job), back));
+    EXPECT_EQ(back.id, job.id);
+    EXPECT_EQ(back.proxy, job.proxy);
+    EXPECT_EQ(back.isInteger, job.isInteger);
+    EXPECT_EQ(back.insts, job.insts);
+    EXPECT_EQ(driver::configDigest(back.cfg), driver::configDigest(job.cfg));
+}
+
+TEST(FarmProtocol, FrameRoundTripOverSocketpair)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    farm::Socket a(fds[0]), b(fds[1]);
+
+    Json payload = Json::object();
+    payload.set("idx", Json(42.0));
+    payload.set("nested", farm::jobToJson(smallJobSet()[0]));
+    ASSERT_TRUE(farm::sendFrame(a.fd(), MsgType::Result, payload));
+
+    MsgType type;
+    Json got;
+    ASSERT_TRUE(farm::recvFrame(b.fd(), type, got));
+    EXPECT_EQ(type, MsgType::Result);
+    EXPECT_EQ(got.dump(), payload.dump());
+
+    // Closing one end makes the other's recv report "peer gone".
+    a.close();
+    EXPECT_FALSE(farm::recvFrame(b.fd(), type, got));
+}
+
+TEST(FarmProtocol, OversizedFrameIsRejectedNotTrusted)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    farm::Socket a(fds[0]), b(fds[1]);
+
+    // A length prefix past kMaxFrameBytes must be refused outright — a
+    // desynchronized peer, not a 4 GB allocation.
+    uint8_t header[5] = {0xff, 0xff, 0xff, 0xff,
+                         static_cast<uint8_t>(MsgType::Result)};
+    ASSERT_EQ(::send(a.fd(), header, sizeof(header), 0),
+              static_cast<ssize_t>(sizeof(header)));
+    MsgType type;
+    Json got;
+    EXPECT_FALSE(farm::recvFrame(b.fd(), type, got));
+}
+
+// ---------------------------------------------------------------------
+// Coordinator / worker
+// ---------------------------------------------------------------------
+
+/** Launch serveFarm on a free loopback port; returns the port. */
+struct FarmFixture
+{
+    std::thread server;
+    std::future<driver::SweepReport> report;
+    uint16_t port = 0;
+
+    explicit FarmFixture(const std::vector<SweepJob> &jobs)
+    {
+        auto portPromise = std::make_shared<std::promise<uint16_t>>();
+        auto portFuture = portPromise->get_future();
+        std::promise<driver::SweepReport> reportPromise;
+        report = reportPromise.get_future();
+        farm::CoordinatorOptions opt;
+        opt.addr = "127.0.0.1:0";
+        opt.onListening = [portPromise](uint16_t p) {
+            portPromise->set_value(p);
+        };
+        server = std::thread(
+            [jobs, opt, rp = std::move(reportPromise)]() mutable {
+                rp.set_value(farm::serveFarm(jobs, opt));
+            });
+        port = portFuture.get();
+    }
+
+    std::string addr() const { return "127.0.0.1:" + std::to_string(port); }
+
+    driver::SweepReport
+    finish()
+    {
+        auto r = report.get();
+        server.join();
+        return r;
+    }
+};
+
+TEST(FarmEndToEnd, TwoWorkersBitIdenticalToLocalSweep)
+{
+    auto jobs = smallJobSet(3);
+    auto local = SweepRunner(2).run(jobs);
+
+    FarmFixture fx(jobs);
+    auto runNamedWorker = [&](const std::string &name) {
+        farm::WorkerOptions wopt;
+        wopt.addr = fx.addr();
+        wopt.threads = 2;
+        wopt.name = name;
+        farm::runWorker(wopt);
+    };
+    std::thread w1(runNamedWorker, "w1");
+    std::thread w2(runNamedWorker, "w2");
+    auto report = fx.finish();
+    w1.join();
+    w2.join();
+
+    ASSERT_EQ(report.results.size(), jobs.size());
+    EXPECT_TRUE(report.ok());
+    size_t credited = 0;
+    for (const auto &[name, count] : report.workerJobs) {
+        EXPECT_TRUE(name == "w1" || name == "w2") << name;
+        credited += count;
+    }
+    EXPECT_EQ(credited, jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(report.results[i].ok) << report.results[i].error;
+        EXPECT_EQ(report.results[i].job.id, jobs[i].id);
+        EXPECT_EQ(report.results[i].configDigest,
+                  driver::configDigest(jobs[i].cfg));
+        expectStatsIdentical(local[i], report.results[i]);
+    }
+}
+
+/** Minimal raw protocol client for scripting coordinator conversations. */
+struct RawWorker
+{
+    farm::Socket sock;
+    explicit RawWorker(const std::string &addr, const std::string &name)
+        : sock(farm::connectTo(addr))
+    {
+        Json hello = Json::object();
+        hello.set("worker", name);
+        hello.set("cache", false);
+        EXPECT_TRUE(farm::sendFrame(sock.fd(), MsgType::Hello, hello));
+    }
+
+    /** JobRequest; returns the reply type, and the job idx via out. */
+    MsgType
+    request(size_t &idx)
+    {
+        EXPECT_TRUE(
+            farm::sendFrame(sock.fd(), MsgType::JobRequest, Json::object()));
+        MsgType type = MsgType::Bye;
+        Json payload;
+        if (!farm::recvFrame(sock.fd(), type, payload))
+            return MsgType::Bye;    // coordinator shut us down
+        if (type == MsgType::Job)
+            idx = static_cast<size_t>(payload.at("idx").asNumber());
+        return type;
+    }
+
+    void
+    sendResult(size_t idx, const JobResult &r)
+    {
+        EXPECT_TRUE(trySendResult(idx, r));
+    }
+
+    /** Like sendResult, but tolerates the coordinator already being in
+     *  shutdown (used for frames racing the end of the sweep). */
+    bool
+    trySendResult(size_t idx, const JobResult &r)
+    {
+        Json msg = Json::object();
+        msg.set("idx", Json(static_cast<double>(idx)));
+        msg.set("cache_probed", false);
+        msg.set("result", driver::resultToJson(r));
+        return farm::sendFrame(sock.fd(), MsgType::Result, msg);
+    }
+};
+
+TEST(FarmEndToEnd, KilledWorkerJobIsRequeuedAndFinished)
+{
+    auto jobs = smallJobSet(1);    // 2 jobs
+    FarmFixture fx(jobs);
+
+    // A worker takes the first job and dies without answering — the
+    // close() is what a SIGKILL looks like from the coordinator's side.
+    {
+        RawWorker evil(fx.addr(), "evil");
+        size_t idx = SIZE_MAX;
+        ASSERT_EQ(evil.request(idx), MsgType::Job);
+        EXPECT_EQ(idx, 0u);
+    }   // socket closed with the job in flight
+
+    // A healthy worker must still complete the whole sweep, including
+    // the re-queued job 0.
+    farm::WorkerOptions wopt;
+    wopt.addr = fx.addr();
+    wopt.threads = 1;
+    wopt.name = "healthy";
+    size_t ran = farm::runWorker(wopt);
+    auto report = fx.finish();
+
+    EXPECT_EQ(ran, jobs.size());
+    ASSERT_EQ(report.results.size(), jobs.size());
+    EXPECT_TRUE(report.ok());
+    for (const auto &r : report.results)
+        EXPECT_TRUE(r.ok) << r.error;
+    bool requeueWarning = false;
+    for (const auto &w : report.warnings)
+        requeueWarning |= w.find("re-queued") != std::string::npos;
+    EXPECT_TRUE(requeueWarning)
+        << "coordinator should surface the dead worker";
+}
+
+TEST(FarmEndToEnd, DuplicateResultsDedupToFirstAndFlagDivergence)
+{
+    auto jobs = smallJobSet(1);
+    jobs.push_back(jobs.back());
+    jobs.back().id += "#2";         // 3 jobs: 0, 1, 2
+    auto local = SweepRunner(1).run(jobs);
+    for (const auto &r : local)
+        ASSERT_TRUE(r.ok) << r.error;
+
+    FarmFixture fx(jobs);
+    RawWorker a(fx.addr(), "a");
+    RawWorker b(fx.addr(), "b");
+
+    size_t idx = SIZE_MAX;
+    ASSERT_EQ(a.request(idx), MsgType::Job);
+    ASSERT_EQ(idx, 0u);
+    ASSERT_EQ(b.request(idx), MsgType::Job);
+    ASSERT_EQ(idx, 1u);
+
+    a.sendResult(0, local[0]);
+    ASSERT_EQ(a.request(idx), MsgType::Job);    // proves result 0 landed
+    ASSERT_EQ(idx, 2u);
+
+    b.sendResult(1, local[1]);
+    ASSERT_EQ(b.request(idx), MsgType::Job);    // pending empty: a dup
+    ASSERT_EQ(idx, 2u) << "only job 2 is still outstanding to steal";
+
+    // A divergent duplicate for the already-completed job 0: must be
+    // discarded (first result stays canonical) and flagged.
+    JobResult divergent = local[0];
+    divergent.stats.cycles += 1;
+    b.sendResult(0, divergent);
+    ASSERT_EQ(b.request(idx), MsgType::Job);    // proves the dup landed
+    ASSERT_EQ(idx, 2u);
+
+    // An identical duplicate for job 2 after the canonical one must be
+    // silent. The canonical result completes the sweep, so the
+    // duplicate may race coordinator shutdown — best-effort send.
+    a.sendResult(2, local[2]);
+    b.trySendResult(2, local[2]);
+
+    auto report = fx.finish();
+    ASSERT_EQ(report.results.size(), jobs.size());
+    EXPECT_TRUE(report.ok());
+    for (size_t i = 0; i < jobs.size(); ++i)
+        expectStatsIdentical(local[i], report.results[i]);
+
+    size_t divergenceWarnings = 0;
+    for (const auto &w : report.warnings)
+        divergenceWarnings += w.find("divergent duplicate") !=
+                              std::string::npos;
+    EXPECT_EQ(divergenceWarnings, 1u)
+        << "exactly the cycles+1 duplicate should be flagged";
+
+    size_t credited = 0;
+    for (const auto &[name, count] : report.workerJobs)
+        credited += count;
+    EXPECT_EQ(credited, jobs.size())
+        << "duplicates must not inflate per-worker credit";
+}
+
+TEST(FarmEndToEnd, SecondFarmRunOverSameCacheIsAllHits)
+{
+    TempDir dir("farmcache");
+    auto jobs = smallJobSet();
+
+    auto runFarmWithCache = [&]() {
+        ResultCache cache(dir.path);    // fresh instance: no memory memo
+        FarmFixture fx(jobs);
+        farm::WorkerOptions wopt;
+        wopt.addr = fx.addr();
+        wopt.threads = 2;
+        wopt.cache = &cache;
+        wopt.name = "cw";
+        farm::runWorker(wopt);
+        return fx.finish();
+    };
+
+    auto first = runFarmWithCache();
+    EXPECT_TRUE(first.ok());
+    EXPECT_EQ(first.cacheHits, 0u);
+    EXPECT_EQ(first.cacheMisses, jobs.size());
+
+    auto second = runFarmWithCache();
+    EXPECT_TRUE(second.ok());
+    EXPECT_EQ(second.cacheHits, jobs.size())
+        << "re-run over the shared cache dir must be pure restoration";
+    EXPECT_EQ(second.cacheMisses, 0u);
+    ASSERT_EQ(second.results.size(), first.results.size());
+    for (size_t i = 0; i < first.results.size(); ++i)
+        expectStatsIdentical(first.results[i], second.results[i]);
+}
+
+} // namespace
+} // namespace dmdp

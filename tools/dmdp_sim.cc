@@ -37,6 +37,19 @@
  *     --resume FILE   skip sweep jobs already ok in FILE (and keep
  *                     journaling new ones there unless --journal names
  *                     a different file)
+ *     --cache DIR     content-addressed result cache: sweep jobs whose
+ *                     (config, workload, insts, stats schema) key is
+ *                     already cached restore bit-for-bit instead of
+ *                     simulating; new results are stored back. Defaults
+ *                     to $DMDP_CACHE_DIR when set.
+ *     --farm-serve ADDR   coordinator mode: serve this sweep's jobs to
+ *                     farm workers at host:port (port 0 picks one; the
+ *                     bound port is printed to stderr). Output is
+ *                     identical to a local --sweep.
+ *     --farm-worker ADDR  worker mode: pull jobs from the coordinator
+ *                     at host:port and run them until told to stop.
+ *                     Honors --cache, --job-timeout, --retries, and
+ *                     DMDP_JOBS for the number of concurrent jobs.
  *     --json FILE     write run results as JSON ("-" for stdout)
  *     --csv FILE      write run results as CSV  ("-" for stdout)
  *     --list          list the proxy benchmarks and exit
@@ -61,6 +74,9 @@
 #include "common/table.h"
 #include "driver/results.h"
 #include "driver/sweep.h"
+#include "farm/cache.h"
+#include "farm/coordinator.h"
+#include "farm/worker.h"
 #include "isa/assembler.h"
 #include "sim/simulator.h"
 #include "workloads/spec_proxies.h"
@@ -83,6 +99,8 @@ usage(const char *argv0)
                  "          [--models LIST] [--proxies LIST]\n"
                  "          [--job-timeout SEC] [--retries N]\n"
                  "          [--journal FILE] [--resume FILE]\n"
+                 "          [--cache DIR] [--farm-serve HOST:PORT]\n"
+                 "          [--farm-worker HOST:PORT]\n"
                  "          [--json FILE] [--csv FILE] [--list]\n",
                  argv0);
     std::exit(2);
@@ -178,7 +196,8 @@ runSweep(const std::vector<std::string> &modelNames,
          const std::vector<std::string> &proxyNames, uint64_t insts,
          uint64_t warmup, const Overrides &overrides, bool traceReuse,
          const driver::SweepOptions &sweepOpt,
-         const std::string &jsonPath, const std::string &csvPath)
+         const std::string &farmServe, const std::string &jsonPath,
+         const std::string &csvPath)
 {
     std::vector<LsuModel> models;
     for (const auto &name : modelNames)
@@ -190,22 +209,33 @@ runSweep(const std::vector<std::string> &modelNames,
             cfg.warmupInsts = warmup;
         });
 
-    driver::SweepRunner runner;
-    if (!traceReuse)
-        runner.setTraceReuse(false);
-    std::fprintf(stderr,
-                 "sweep: %zu jobs on %u threads (DMDP_JOBS)%s\n",
-                 jobs.size(), runner.threadCount(),
-                 runner.traceReuse() ? ", trace reuse" : "");
-    auto report = runner.runReport(
-        jobs, sweepOpt,
-        [](const driver::JobResult &r, size_t done, size_t total) {
-            std::fprintf(stderr, "  [%zu/%zu] %s ipc=%.3f (%.2fs)%s%s%s\n",
-                         done, total, r.job.id.c_str(), r.stats.ipc(),
-                         r.wallSeconds, r.resumed ? " (resumed)" : "",
-                         r.ok ? "" : " FAILED: ",
-                         r.ok ? "" : r.error.c_str());
-        });
+    auto progress = [](const driver::JobResult &r, size_t done,
+                       size_t total) {
+        std::fprintf(stderr, "  [%zu/%zu] %s ipc=%.3f (%.2fs)%s%s%s%s\n",
+                     done, total, r.job.id.c_str(), r.stats.ipc(),
+                     r.wallSeconds, r.resumed ? " (resumed)" : "",
+                     r.cached ? " (cached)" : "",
+                     r.ok ? "" : " FAILED: ",
+                     r.ok ? "" : r.error.c_str());
+    };
+
+    driver::SweepReport report;
+    if (!farmServe.empty()) {
+        farm::CoordinatorOptions farmOpt;
+        farmOpt.addr = farmServe;
+        farmOpt.journalPath = sweepOpt.journalPath;
+        report = farm::serveFarm(jobs, farmOpt, progress);
+    } else {
+        driver::SweepRunner runner;
+        if (!traceReuse)
+            runner.setTraceReuse(false);
+        std::fprintf(stderr,
+                     "sweep: %zu jobs on %u threads (DMDP_JOBS)%s%s\n",
+                     jobs.size(), runner.threadCount(),
+                     runner.traceReuse() ? ", trace reuse" : "",
+                     sweepOpt.cache ? ", cached" : "");
+        report = runner.runReport(jobs, sweepOpt, progress);
+    }
     const auto &results = report.results;
 
     Table table({"job", "IPC", "MPKI", "stalls/1k", "squashes", "wall(s)"});
@@ -230,6 +260,16 @@ runSweep(const std::vector<std::string> &modelNames,
         std::fprintf(stderr, "sweep: %zu of %zu jobs resumed from %s\n",
                      report.resumed, results.size(),
                      sweepOpt.resumePath.c_str());
+    if (report.cacheHits + report.cacheMisses)
+        std::fprintf(stderr,
+                     "sweep: cache %llu hits / %llu misses "
+                     "(%.1f%% hit rate)\n",
+                     static_cast<unsigned long long>(report.cacheHits),
+                     static_cast<unsigned long long>(report.cacheMisses),
+                     100.0 * report.cacheHitRate());
+    for (const auto &[worker, count] : report.workerJobs)
+        std::fprintf(stderr, "farm: worker %s ran %zu jobs\n",
+                     worker.c_str(), count);
     if (!report.ok())
         std::fprintf(stderr,
                      "sweep: %zu of %zu jobs FAILED (%zu timed out)\n",
@@ -254,6 +294,9 @@ main(int argc, char **argv)
     std::string csv_path;
     std::string models_list;
     std::string proxies_list;
+    std::string cache_dir = farm::ResultCache::envDir();
+    std::string farm_serve;
+    std::string farm_worker;
     bool sweep = false;
     bool traceReuse = true;
     uint64_t insts = 200000;
@@ -299,6 +342,9 @@ main(int argc, char **argv)
             static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
         else if (arg == "--journal") sweepOpt.journalPath = next();
         else if (arg == "--resume") sweepOpt.resumePath = next();
+        else if (arg == "--cache") cache_dir = next();
+        else if (arg == "--farm-serve") farm_serve = next();
+        else if (arg == "--farm-worker") farm_worker = next();
         else if (arg == "--json") json_path = next();
         else if (arg == "--csv") csv_path = next();
         else if (arg == "--list") {
@@ -311,9 +357,34 @@ main(int argc, char **argv)
     }
 
     try {
-    if (sweep) {
+    // The cache outlives the sweep/worker that uses it (non-owning
+    // pointer in SweepOptions/WorkerOptions).
+    std::optional<farm::ResultCache> cache;
+    if (!cache_dir.empty()) {
+        cache.emplace(cache_dir);
+        sweepOpt.cache = &*cache;
+    }
+
+    if (!farm_worker.empty()) {
+        farm::WorkerOptions workerOpt;
+        workerOpt.addr = farm_worker;
+        workerOpt.cache = sweepOpt.cache;
+        workerOpt.jobTimeoutSec = sweepOpt.jobTimeoutSec;
+        workerOpt.retries = sweepOpt.retries;
+        size_t ran = farm::runWorker(workerOpt);
+        std::fprintf(stderr, "farm: worker done, ran %zu jobs\n", ran);
+        return 0;
+    }
+
+    if (sweep || !farm_serve.empty()) {
         if (!asm_file.empty()) {
             std::fprintf(stderr, "--sweep cannot run --asm files\n");
+            return 2;
+        }
+        if (!farm_serve.empty() && !sweepOpt.resumePath.empty()) {
+            std::fprintf(stderr,
+                         "--farm-serve does not support --resume; use "
+                         "--cache for re-runs\n");
             return 2;
         }
         std::vector<std::string> models =
@@ -333,7 +404,8 @@ main(int argc, char **argv)
         if (!sweepOpt.resumePath.empty() && sweepOpt.journalPath.empty())
             sweepOpt.journalPath = sweepOpt.resumePath;
         return runSweep(models, proxies, insts, warmup, overrides,
-                        traceReuse, sweepOpt, json_path, csv_path);
+                        traceReuse, sweepOpt, farm_serve, json_path,
+                        csv_path);
     }
 
     // Single run: start from the model's paper defaults, then apply the
