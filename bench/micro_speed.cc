@@ -2,7 +2,7 @@
  * @file
  * Simulator-speed benchmark: how fast does the simulator itself run?
  *
- * Runs the Figure-12 suite (4 models x 21 proxies) five times:
+ * Runs the Figure-12 suite (4 models x 21 proxies) six times:
  *
  *  1. trace      — the default engine: each workload's dynamic stream
  *     is recorded once and replayed by all four models (capture-once /
@@ -13,22 +13,33 @@
  *  4. cache-cold — trace engine writing a fresh result cache (the
  *     cache's store overhead is this pass's delta vs pass 1);
  *  5. cache-warm — same sweep again on the now-populated cache: every
- *     job must hit, so this measures pure cache restoration speed.
+ *     job must hit, so this measures pure cache restoration speed;
+ *  6. profiled   — pass 1 again under DMDP_PROFILE=1: per-stage wall
+ *     timers on, yielding the stage breakdown and the memory-path
+ *     share (lsq_search + sb_forward + sb_complete over the top-level
+ *     stage total). Timer overhead makes its wall clock incomparable,
+ *     so only its breakdown is reported, never its rates.
  *
- * All five passes must produce bit-identical SimStats — the trace
- * front end, both schedulers, and cache restoration are equivalent by
- * construction — and this harness re-checks that on every run, which
- * is the identity gate the CI speed-smoke job relies on. The warm pass
- * must also be 100% cache hits.
+ * All six passes must produce bit-identical SimStats — the trace
+ * front end, both schedulers, cache restoration, and the stage timers
+ * are equivalent by construction — and this harness re-checks that on
+ * every run, which is the identity gate the CI speed-smoke job relies
+ * on. The warm pass must also be 100% cache hits. DMDP_PROFILE is
+ * cleared on entry so the measured passes are deterministic no matter
+ * how the harness was invoked.
  *
  * The speedup ratios, not the absolute cycles/sec, are the portable
- * numbers: they divide out the host machine. BENCH_pr7.json records one
- * reference measurement; `--check FILE` fails (exit 1) only on the
- * host-independent ratio: when the current trace-vs-live ratio (or,
+ * numbers: they divide out the host machine. BENCH_pr8.json records one
+ * reference measurement; `--check FILE` fails (exit 1) only on
+ * host-independent ratios: when the current trace-vs-live ratio (or,
  * for a v1 reference like BENCH_pr2.json, the event-vs-legacy ratio)
- * regresses more than 30% against it. Absolute wall-clock drift
+ * regresses more than 30% against it, or — against a v5+ reference —
+ * when the memory-path stage share exceeds the reference's by more
+ * than 50% relative (the address-indexed path growing back toward the
+ * O(n) scans it replaced). `--check` also prints the per-stage share
+ * deltas against the reference breakdown. Absolute wall-clock drift
  * against the reference is host-dependent and only warns, never fails.
- * Reported rates come in two flavors (schema dmdp-microspeed-v4): the
+ * Reported rates come in two flavors (schema dmdp-microspeed-v5): the
  * honest stepped rate excludes idle-skipped cycles, the raw rate
  * includes them; the gate ratios are wall-clock based and unaffected.
  *
@@ -45,6 +56,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -54,6 +66,7 @@
 
 #include <unistd.h>
 
+#include "core/simprofile.h"
 #include "driver/results.h"
 #include "driver/sweep.h"
 #include "farm/cache.h"
@@ -169,6 +182,78 @@ passJson(const PassResult &pass)
     return obj;
 }
 
+/** Suite-wide aggregation of the profiled pass's stage breakdown. */
+struct ProfileSummary
+{
+    double stageSeconds[SimProfile::kNumStages] = {};
+    double topLevelSeconds = 0; ///< sum of the partitioning stages
+    double memoryPathSeconds = 0; ///< lsq_search + sb_forward + sb_complete
+    double memoryPathShare = 0;   ///< memoryPathSeconds / topLevelSeconds
+    uint64_t lsqSearchProbes = 0;
+    uint64_t lsqSearchFiltered = 0;
+    uint64_t lsqSearchHits = 0;
+    uint64_t lsqViolProbes = 0;
+    uint64_t lsqViolFiltered = 0;
+    uint64_t lsqViolHits = 0;
+    uint64_t sbForwardProbes = 0;
+    uint64_t sbForwardFiltered = 0;
+    uint64_t sbForwardHits = 0;
+};
+
+ProfileSummary
+summarizeProfile(const PassResult &pass)
+{
+    ProfileSummary s;
+    for (const auto &r : pass.results) {
+        for (int i = 0; i < SimProfile::kNumStages; ++i)
+            s.stageSeconds[i] += r.profile.stageSeconds[i];
+        s.lsqSearchProbes += r.profile.lsqSearchProbes;
+        s.lsqSearchFiltered += r.profile.lsqSearchFiltered;
+        s.lsqSearchHits += r.profile.lsqSearchHits;
+        s.lsqViolProbes += r.profile.lsqViolProbes;
+        s.lsqViolFiltered += r.profile.lsqViolFiltered;
+        s.lsqViolHits += r.profile.lsqViolHits;
+        s.sbForwardProbes += r.profile.sbForwardProbes;
+        s.sbForwardFiltered += r.profile.sbForwardFiltered;
+        s.sbForwardHits += r.profile.sbForwardHits;
+    }
+    for (int i = 0; i < SimProfile::kNumTopLevelStages; ++i)
+        s.topLevelSeconds += s.stageSeconds[i];
+    // The memory-path sub-stages are also counted inside their parent
+    // stages, so the share divides by the top-level total only.
+    s.memoryPathSeconds = s.stageSeconds[SimProfile::LsqSearch] +
+                          s.stageSeconds[SimProfile::SbForward] +
+                          s.stageSeconds[SimProfile::SbComplete];
+    if (s.topLevelSeconds > 0)
+        s.memoryPathShare = s.memoryPathSeconds / s.topLevelSeconds;
+    return s;
+}
+
+driver::Json
+profileJson(const ProfileSummary &s)
+{
+    auto u64 = [](uint64_t v) {
+        return driver::Json(static_cast<double>(v));
+    };
+    driver::Json stages = driver::Json::object();
+    for (int i = 0; i < SimProfile::kNumStages; ++i)
+        stages.set(SimProfile::stageName(i), s.stageSeconds[i]);
+    driver::Json obj = driver::Json::object();
+    obj.set("stage_seconds", stages);
+    obj.set("memory_path_seconds", s.memoryPathSeconds);
+    obj.set("memory_path_share", s.memoryPathShare);
+    obj.set("lsq_search_probes", u64(s.lsqSearchProbes));
+    obj.set("lsq_search_filtered", u64(s.lsqSearchFiltered));
+    obj.set("lsq_search_hits", u64(s.lsqSearchHits));
+    obj.set("lsq_viol_probes", u64(s.lsqViolProbes));
+    obj.set("lsq_viol_filtered", u64(s.lsqViolFiltered));
+    obj.set("lsq_viol_hits", u64(s.lsqViolHits));
+    obj.set("sb_forward_probes", u64(s.sbForwardProbes));
+    obj.set("sb_forward_filtered", u64(s.sbForwardFiltered));
+    obj.set("sb_forward_hits", u64(s.sbForwardHits));
+    return obj;
+}
+
 driver::Json
 loadJson(const std::string &path)
 {
@@ -213,6 +298,10 @@ main(int argc, char **argv)
         }
     }
 
+    // The stage timers would skew passes 1-5 and make the measured
+    // rates depend on the caller's environment; only pass 6 profiles.
+    ::unsetenv("DMDP_PROFILE");
+
     uint64_t insts = benchScale();
     std::fprintf(stderr, "micro_speed: fig12 suite, %llu insts/job\n",
                  static_cast<unsigned long long>(insts));
@@ -224,11 +313,11 @@ main(int argc, char **argv)
     runPass(/*traceReuse=*/true, /*legacy=*/false,
             std::max<uint64_t>(insts / 10, 1000));
 
-    std::fprintf(stderr, "pass 1/5: trace replay (capture-once front end)\n");
+    std::fprintf(stderr, "pass 1/6: trace replay (capture-once front end)\n");
     PassResult trace = runPass(/*traceReuse=*/true, /*legacy=*/false, insts);
-    std::fprintf(stderr, "pass 2/5: live emulation front end\n");
+    std::fprintf(stderr, "pass 2/6: live emulation front end\n");
     PassResult live = runPass(/*traceReuse=*/false, /*legacy=*/false, insts);
-    std::fprintf(stderr, "pass 3/5: live front end, legacy scheduler\n");
+    std::fprintf(stderr, "pass 3/6: live front end, legacy scheduler\n");
     PassResult legacy = runPass(/*traceReuse=*/false, /*legacy=*/true, insts);
 
     // Cold/warm result-cache passes in a throwaway directory: the warm
@@ -242,21 +331,29 @@ main(int argc, char **argv)
     PassResult cacheCold, cacheWarm;
     {
         farm::ResultCache cache(cacheDir);
-        std::fprintf(stderr, "pass 4/5: trace replay, cold result cache\n");
+        std::fprintf(stderr, "pass 4/6: trace replay, cold result cache\n");
         cacheCold =
             runPass(/*traceReuse=*/true, /*legacy=*/false, insts, &cache);
-        std::fprintf(stderr, "pass 5/5: warm result cache\n");
+        std::fprintf(stderr, "pass 5/6: warm result cache\n");
         cacheWarm =
             runPass(/*traceReuse=*/true, /*legacy=*/false, insts, &cache);
     }
     std::error_code ec;
     fs::remove_all(cacheDir, ec);
 
+    std::fprintf(stderr, "pass 6/6: trace replay, stage profile\n");
+    ::setenv("DMDP_PROFILE", "1", 1);
+    PassResult profiled =
+        runPass(/*traceReuse=*/true, /*legacy=*/false, insts);
+    ::unsetenv("DMDP_PROFILE");
+    ProfileSummary prof = summarizeProfile(profiled);
+
     bool identical =
         statsIdentical(trace, live, "trace", "live") &&
         statsIdentical(live, legacy, "live", "legacy") &&
         statsIdentical(trace, cacheCold, "trace", "cache-cold") &&
-        statsIdentical(trace, cacheWarm, "trace", "cache-warm");
+        statsIdentical(trace, cacheWarm, "trace", "cache-warm") &&
+        statsIdentical(trace, profiled, "trace", "profiled");
     if (!identical) {
         std::fprintf(stderr,
                      "FAIL: front ends disagree on simulated statistics\n");
@@ -308,6 +405,22 @@ main(int argc, char **argv)
     std::printf("speedup (event/legacy scheduler): %.2fx\n", eventVsLegacy);
     std::printf("speedup (warm/cold result cache): %.2fx\n",
                 warmCacheSpeedup);
+    std::printf("profile: memory path %.1f%% of stage time "
+                "(lsq_search %.3fs, sb_forward %.3fs, sb_complete %.3fs "
+                "of %.3fs)\n",
+                100.0 * prof.memoryPathShare,
+                prof.stageSeconds[SimProfile::LsqSearch],
+                prof.stageSeconds[SimProfile::SbForward],
+                prof.stageSeconds[SimProfile::SbComplete],
+                prof.topLevelSeconds);
+    std::printf("profile: pre-filter answered %llu/%llu lsq searches, "
+                "%llu/%llu violation scans, %llu/%llu sb forwards\n",
+                static_cast<unsigned long long>(prof.lsqSearchFiltered),
+                static_cast<unsigned long long>(prof.lsqSearchProbes),
+                static_cast<unsigned long long>(prof.lsqViolFiltered),
+                static_cast<unsigned long long>(prof.lsqViolProbes),
+                static_cast<unsigned long long>(prof.sbForwardFiltered),
+                static_cast<unsigned long long>(prof.sbForwardProbes));
 
     // Same-host, same-suite comparison against an earlier recording:
     // identical simulated cycles, so pipeline seconds compare directly.
@@ -332,9 +445,9 @@ main(int argc, char **argv)
 
     if (!json_path.empty()) {
         driver::Json doc = driver::Json::object();
-        // v4: adds the cache_cold/cache_warm passes and
-        // speedup_warm_cache. The v3 keys are unchanged.
-        doc.set("schema", "dmdp-microspeed-v4");
+        // v5: adds the profiled pass's aggregated stage breakdown and
+        // memindex counters under "profile". The v4 keys are unchanged.
+        doc.set("schema", "dmdp-microspeed-v5");
         doc.set("suite", "fig12");
         doc.set("insts", driver::Json(static_cast<double>(insts)));
         doc.set("jobs",
@@ -346,6 +459,7 @@ main(int argc, char **argv)
         doc.set("legacy", passJson(legacy));
         doc.set("cache_cold", passJson(cacheCold));
         doc.set("cache_warm", passJson(cacheWarm));
+        doc.set("profile", profileJson(prof));
         doc.set("stats_identical", driver::Json(true));
         doc.set("speedup_trace_vs_live", traceVsLive);
         doc.set("speedup_event_vs_legacy", eventVsLegacy);
@@ -368,9 +482,7 @@ main(int argc, char **argv)
         // v2+ references record the trace/live ratio under "speedup";
         // a v1 reference (BENCH_pr2.json) recorded event/legacy.
         std::string schema = ref.at("schema").asString();
-        bool traceRatio = schema == "dmdp-microspeed-v2" ||
-                          schema == "dmdp-microspeed-v3" ||
-                          schema == "dmdp-microspeed-v4";
+        bool traceRatio = schema != "dmdp-microspeed-v1";
         double ref_speedup = ref.at("speedup").asNumber();
         double current = traceRatio ? traceVsLive : eventVsLegacy;
         // The ratio divides out the host machine; 30% is the CI
@@ -400,6 +512,52 @@ main(int argc, char **argv)
                                  "%.2fx the reference's (%.3fs vs %.3fs) "
                                  "— host-dependent, not gated\n",
                                  drift, trace.pipeSeconds, refSeconds);
+            }
+        }
+        // v5+ references carry the profiled pass's stage breakdown:
+        // print per-stage share deltas, and gate the memory-path share
+        // (a relative gate, so the host divides out of both sides).
+        if (ref.has("profile")) {
+            const driver::Json &rp = ref.at("profile");
+            if (rp.has("stage_seconds")) {
+                const driver::Json &rs = rp.at("stage_seconds");
+                double refTop = 0;
+                for (int s = 0; s < SimProfile::kNumTopLevelStages; ++s)
+                    if (rs.has(SimProfile::stageName(s)))
+                        refTop += rs.at(SimProfile::stageName(s)).asNumber();
+                for (int s = 0; s < SimProfile::kNumStages; ++s) {
+                    const char *name = SimProfile::stageName(s);
+                    if (!rs.has(name) || refTop <= 0 ||
+                        prof.topLevelSeconds <= 0)
+                        continue;
+                    double refShare = rs.at(name).asNumber() / refTop;
+                    double curShare =
+                        prof.stageSeconds[s] / prof.topLevelSeconds;
+                    std::printf("check: stage %-12s share %5.1f%% "
+                                "(ref %5.1f%%, %+5.1f pt)\n",
+                                name, 100.0 * curShare, 100.0 * refShare,
+                                100.0 * (curShare - refShare));
+                }
+            }
+            if (rp.has("memory_path_share")) {
+                double refShare = rp.at("memory_path_share").asNumber();
+                if (refShare > 0) {
+                    double ceiling = 1.5 * refShare;
+                    std::printf("check: memory-path share %.1f%% "
+                                "(ref %.1f%%, ceiling %.1f%%)\n",
+                                100.0 * prof.memoryPathShare,
+                                100.0 * refShare, 100.0 * ceiling);
+                    if (prof.memoryPathShare > ceiling) {
+                        std::fprintf(
+                            stderr,
+                            "FAIL: memory-path stage share %.1f%% "
+                            "exceeds %.1f%% (>50%% relative growth vs "
+                            "%s)\n",
+                            100.0 * prof.memoryPathShare, 100.0 * ceiling,
+                            check_path.c_str());
+                        return 1;
+                    }
+                }
             }
         }
         std::printf("check: OK\n");

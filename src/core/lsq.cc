@@ -1,5 +1,6 @@
 #include "core/lsq.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "core/crack.h"
@@ -14,7 +15,23 @@ overlaps(uint32_t a_addr, unsigned a_size, uint32_t b_addr, unsigned b_size)
     return a_addr < b_addr + b_size && b_addr < a_addr + a_size;
 }
 
+template <typename Deque>
+auto
+findBySeq(Deque &entries, uint64_t seq) -> decltype(&entries.front())
+{
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), seq,
+        [](const auto &entry, uint64_t s) { return entry.seq < s; });
+    if (it != entries.end() && it->seq == seq)
+        return &*it;
+    return nullptr;
+}
+
 } // namespace
+
+LoadStoreQueue::LoadStoreQueue(uint32_t line_bytes)
+    : storeIndex(line_bytes), loadIndex(line_bytes)
+{}
 
 void
 LoadStoreQueue::addStore(uint64_t seq, uint64_t ssn, uint32_t pc,
@@ -47,18 +64,36 @@ LoadStoreQueue::storeExecuted(uint64_t seq, uint32_t addr, uint8_t size,
     store->addr = addr;
     store->size = size;
     store->value = value;
+    storeIndex.insert(addr, size, seq);
 
     std::vector<LqEntry *> &violations = violationScratch;
     violations.clear();
-    for (auto &load : loads) {
-        if (load.seq > seq && load.executed && !load.violated &&
-            overlaps(addr, size, load.addr, load.size) &&
-            load.sourceSsn < store->ssn) {
-            load.violated = true;
-            load.violatingStorePc = store->pc;
-            violations.push_back(&load);
+
+    // Younger executed loads that consumed data older than this store
+    // are ordering violations. Only executed loads are indexed; the
+    // collected keys come back seq-ascending, matching the LQ order the
+    // full scan produced.
+    ++violCtr_.probes;
+    if (!loadIndex.mayContain(addr, size)) {
+        ++violCtr_.filtered;
+        return violations;
+    }
+    loadIndex.collect(addr, size, keyScratch);
+    for (uint64_t load_seq : keyScratch) {
+        if (load_seq <= seq)
+            continue;
+        LqEntry *load = findLoad(load_seq);
+        assert(load && load->executed);
+        if (!load->violated &&
+            overlaps(addr, size, load->addr, load->size) &&
+            load->sourceSsn < store->ssn) {
+            load->violated = true;
+            load->violatingStorePc = store->pc;
+            violations.push_back(load);
         }
     }
+    if (!violations.empty())
+        ++violCtr_.hits;
     return violations;
 }
 
@@ -67,26 +102,43 @@ LoadStoreQueue::loadSearch(uint64_t seq, uint32_t addr, uint8_t size,
                            const Inst &load_inst) const
 {
     SqSearchResult result;
-    // Youngest older colliding store with a known address wins.
-    for (auto it = stores.rbegin(); it != stores.rend(); ++it) {
-        const SqEntry &store = *it;
-        if (store.seq >= seq || !store.addrKnown)
-            continue;
-        if (!overlaps(store.addr, store.size, addr, size))
-            continue;
-        uint32_t value = 0;
-        if (!extractForwarded(store.addr, store.size, store.value, addr,
-                              load_inst, value)) {
-            result.kind = SqSearchResult::Kind::Partial;
-            result.ssn = store.ssn;
-            return result;
-        }
-        result.kind = SqSearchResult::Kind::Forward;
-        result.ssn = store.ssn;
-        result.value = value;
-        result.dataPreg = store.dataPreg;
+    ++searchCtr_.probes;
+    if (!storeIndex.mayContain(addr, size)) {
+        ++searchCtr_.filtered;
         return result;
     }
+
+    // Youngest older colliding store with a known address wins. Each
+    // covered bucket is chained age-ascending, so the first older
+    // collider of a backward walk is that bucket's youngest; take the
+    // max across the (at most two) buckets.
+    const SqEntry *best = nullptr;
+    storeIndex.visitNewestFirst(addr, size, [&](uint64_t key) {
+        if (key >= seq)
+            return true;    // younger than the load; keep walking
+        const SqEntry *store = findBySeq(stores, key);
+        assert(store && store->addrKnown);
+        if (!overlaps(store->addr, store->size, addr, size))
+            return true;
+        if (!best || store->seq > best->seq)
+            best = store;
+        return false;       // youngest collider in this bucket found
+    });
+    if (!best)
+        return result;
+
+    ++searchCtr_.hits;
+    uint32_t value = 0;
+    if (!extractForwarded(best->addr, best->size, best->value, addr,
+                          load_inst, value)) {
+        result.kind = SqSearchResult::Kind::Partial;
+        result.ssn = best->ssn;
+        return result;
+    }
+    result.kind = SqSearchResult::Kind::Forward;
+    result.ssn = best->ssn;
+    result.value = value;
+    result.dataPreg = best->dataPreg;
     return result;
 }
 
@@ -100,19 +152,32 @@ LoadStoreQueue::loadExecuted(uint64_t seq, uint32_t addr, uint8_t size,
     load->addr = addr;
     load->size = size;
     load->sourceSsn = source_ssn;
+    loadIndex.insert(addr, size, seq);
 
     // Mirror of storeExecuted's scan, for the issue-to-complete window:
     // an older store whose address resolved while this load was in
     // flight saw executed == false and skipped it, so the load must
-    // check the SQ itself once its value materializes.
+    // check the SQ itself once its value materializes. The oldest
+    // colliding store wins (keys come back ascending), matching the
+    // forward scan this replaced.
     if (load->violated)
         return;
-    for (const auto &store : stores) {
-        if (store.seq < seq && store.addrKnown &&
-            overlaps(store.addr, store.size, addr, size) &&
-            store.ssn > source_ssn) {
+    ++violCtr_.probes;
+    if (!storeIndex.mayContain(addr, size)) {
+        ++violCtr_.filtered;
+        return;
+    }
+    storeIndex.collect(addr, size, keyScratch);
+    for (uint64_t store_seq : keyScratch) {
+        if (store_seq >= seq)
+            break;      // ascending: no older stores remain
+        const SqEntry *store = findBySeq(stores, store_seq);
+        assert(store && store->addrKnown);
+        if (overlaps(store->addr, store->size, addr, size) &&
+            store->ssn > source_ssn) {
             load->violated = true;
-            load->violatingStorePc = store.pc;
+            load->violatingStorePc = store->pc;
+            ++violCtr_.hits;
             return;
         }
     }
@@ -132,40 +197,38 @@ LoadStoreQueue::markViolated(uint64_t seq, uint32_t store_pc)
 LqEntry *
 LoadStoreQueue::findLoad(uint64_t seq)
 {
-    for (auto &load : loads)
-        if (load.seq == seq)
-            return &load;
-    return nullptr;
+    return findBySeq(loads, seq);
 }
 
 SqEntry *
 LoadStoreQueue::findStore(uint64_t seq)
 {
-    for (auto &store : stores)
-        if (store.seq == seq)
-            return &store;
-    return nullptr;
+    return findBySeq(stores, seq);
 }
 
 void
 LoadStoreQueue::removeStore(uint64_t seq)
 {
-    for (auto it = stores.begin(); it != stores.end(); ++it) {
-        if (it->seq == seq) {
-            stores.erase(it);
-            return;
-        }
+    auto it = std::lower_bound(
+        stores.begin(), stores.end(), seq,
+        [](const SqEntry &entry, uint64_t s) { return entry.seq < s; });
+    if (it != stores.end() && it->seq == seq) {
+        if (it->addrKnown)
+            storeIndex.erase(it->addr, it->size, it->seq);
+        stores.erase(it);
     }
 }
 
 void
 LoadStoreQueue::removeLoad(uint64_t seq)
 {
-    for (auto it = loads.begin(); it != loads.end(); ++it) {
-        if (it->seq == seq) {
-            loads.erase(it);
-            return;
-        }
+    auto it = std::lower_bound(
+        loads.begin(), loads.end(), seq,
+        [](const LqEntry &entry, uint64_t s) { return entry.seq < s; });
+    if (it != loads.end() && it->seq == seq) {
+        if (it->executed)
+            loadIndex.erase(it->addr, it->size, it->seq);
+        loads.erase(it);
     }
 }
 
@@ -174,6 +237,8 @@ LoadStoreQueue::clear()
 {
     stores.clear();
     loads.clear();
+    storeIndex.clear();
+    loadIndex.clear();
 }
 
 } // namespace dmdp

@@ -4,6 +4,12 @@
  * Store-Set dependence prediction). Loads search the SQ and the store
  * buffer associatively when they execute; stores search the LQ for
  * premature younger loads (memory-ordering violation detection).
+ *
+ * The searches are served by cache-line-hashed LineIndex banks over the
+ * executed (address-known) entries, fronted by a counting pre-filter so
+ * the common no-alias case never walks a chain; results are identical
+ * to the full scans they replaced (ARCHITECTURE.md §13). Both queues
+ * stay seq-sorted deques, so point lookups are binary searches.
  */
 
 #ifndef DMDP_CORE_LSQ_H
@@ -13,6 +19,7 @@
 #include <deque>
 #include <vector>
 
+#include "core/memindex.h"
 #include "isa/inst.h"
 
 namespace dmdp {
@@ -64,6 +71,9 @@ struct SqSearchResult
 class LoadStoreQueue
 {
   public:
+    /** @p line_bytes keys the search indexes (the modeled L1D line). */
+    explicit LoadStoreQueue(uint32_t line_bytes = 64);
+
     /** A store renamed: allocate its SQ entry (age ordered). */
     void addStore(uint64_t seq, uint64_t ssn, uint32_t pc, int data_preg);
 
@@ -115,10 +125,25 @@ class LoadStoreQueue
     size_t storeCount() const { return stores.size(); }
     size_t loadCount() const { return loads.size(); }
 
+    /** loadSearch probe accounting (SimProfile side-channel). */
+    const MemIndexCounters &searchCounters() const { return searchCtr_; }
+    /** Violation-scan probe accounting (storeExecuted + loadExecuted). */
+    const MemIndexCounters &violationCounters() const { return violCtr_; }
+
   private:
+    // Both deques are seq-sorted (entries are allocated at rename in
+    // program order and removed at retire), so point lookups binary
+    // search.
     std::deque<SqEntry> stores;
     std::deque<LqEntry> loads;
     std::vector<LqEntry *> violationScratch;    ///< storeExecuted result
+
+    LineIndex storeIndex;   ///< executed (addrKnown) stores, key = seq
+    LineIndex loadIndex;    ///< executed loads, key = seq
+    std::vector<uint64_t> keyScratch;   ///< collect() reuse
+
+    mutable MemIndexCounters searchCtr_;
+    mutable MemIndexCounters violCtr_;
 };
 
 } // namespace dmdp

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Cache-line-hashed membership index for the simulator's own memory
+ * structures (LSQ search, store-buffer forwarding) — the paper's
+ * filtered-lookup insight (T-SSBF/SVW, sections IV-C/IV-D) applied to
+ * the simulator data structures instead of the modeled hardware.
+ *
+ * Layout: accesses are bucketed by cache line; each bucket chains the
+ * resident keys (caller-chosen monotone ages: seq for the LSQ, absolute
+ * push position for the store buffer) in ascending age order, so a
+ * backward walk visits youngest-first. A counting pre-filter indexed by
+ * a second, independent hash of the line answers the common no-alias
+ * case without touching a bucket at all. An access of up to 4 bytes may
+ * straddle a line boundary, so insert/erase/probe cover at most two
+ * lines.
+ *
+ * The filter counts and bucket chains are validated by a generation tag
+ * so clear() is O(1): bumping the epoch invalidates every slot lazily.
+ * When the 16-bit epoch wraps, everything is hard-reset once so a slot
+ * written 65536 generations ago can never read as live.
+ *
+ * Purely a search accelerator: callers re-check the candidate entries'
+ * own address/size/age fields, so results are exactly those of the
+ * linear scans this replaces (see ARCHITECTURE.md §13).
+ */
+
+#ifndef DMDP_CORE_MEMINDEX_H
+#define DMDP_CORE_MEMINDEX_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.h"
+
+namespace dmdp {
+
+/** Probe/hit/filtered accounting for one index consumer. */
+struct MemIndexCounters
+{
+    uint64_t probes = 0;    ///< searches issued
+    uint64_t filtered = 0;  ///< answered NoMatch by the pre-filter alone
+    uint64_t hits = 0;      ///< searches that found a colliding entry
+};
+
+/** Banked, line-hashed key index with a counting pre-filter. */
+class LineIndex
+{
+  public:
+    explicit LineIndex(uint32_t line_bytes = 64, uint32_t buckets = 64,
+                       uint32_t filter_slots = 256)
+        : lineShift_(floorLog2(line_bytes)),
+          bucketMask_(buckets - 1),
+          filterMask_(filter_slots - 1),
+          buckets_(buckets),
+          bucketEpoch_(buckets, 0),
+          filter_(filter_slots)
+    {
+        assert(isPow2(line_bytes) && isPow2(buckets) &&
+               isPow2(filter_slots));
+    }
+
+    /** Index a resident entry under every line its bytes touch. */
+    void
+    insert(uint32_t addr, uint8_t size, uint64_t key)
+    {
+        uint32_t first = addr >> lineShift_;
+        uint32_t last = lastLine(addr, size);
+        for (uint32_t line = first;; ++line) {
+            filterAdd(line);
+            bucketInsert(line, key);
+            if (line == last)
+                break;
+        }
+    }
+
+    /** Remove an entry previously inserted with the same (addr, size). */
+    void
+    erase(uint32_t addr, uint8_t size, uint64_t key)
+    {
+        uint32_t first = addr >> lineShift_;
+        uint32_t last = lastLine(addr, size);
+        for (uint32_t line = first;; ++line) {
+            filterRemove(line);
+            bucketErase(line, key);
+            if (line == last)
+                break;
+        }
+    }
+
+    /**
+     * Pre-filter probe: false guarantees no indexed entry touches any
+     * line covered by [addr, addr+size). True may be a false positive
+     * (a different line sharing a filter slot) — the caller falls back
+     * to the bucket walk, which then finds nothing.
+     */
+    bool
+    mayContain(uint32_t addr, uint8_t size) const
+    {
+        uint32_t first = addr >> lineShift_;
+        uint32_t last = lastLine(addr, size);
+        for (uint32_t line = first;; ++line) {
+            const FilterSlot &slot = filter_[filterHash(line)];
+            if (slot.epoch == epoch_ && slot.count != 0)
+                return true;
+            if (line == last)
+                break;
+        }
+        return false;
+    }
+
+    /**
+     * Visit the keys chained under each line covered by the access,
+     * youngest (largest key) first within each bucket. @p fn returns
+     * false to stop walking the current bucket. When the two covered
+     * lines share a bucket, the bucket is walked once. Keys of entries
+     * that straddle a line boundary appear under both lines — callers
+     * must tolerate revisits (the age checks they apply make the second
+     * visit a no-op).
+     */
+    template <typename Fn>
+    void
+    visitNewestFirst(uint32_t addr, uint8_t size, Fn &&fn) const
+    {
+        uint32_t first = addr >> lineShift_;
+        uint32_t last = lastLine(addr, size);
+        uint32_t b0 = bucketHash(first);
+        walkBucket(b0, fn);
+        if (last != first) {
+            uint32_t b1 = bucketHash(last);
+            if (b1 != b0)
+                walkBucket(b1, fn);
+        }
+    }
+
+    /**
+     * Collect every key chained under the covered lines into @p out,
+     * sorted ascending and deduplicated (straddling entries are indexed
+     * twice). @p out is a caller-owned scratch vector; it is cleared
+     * here so steady state allocates nothing.
+     */
+    void
+    collect(uint32_t addr, uint8_t size, std::vector<uint64_t> &out) const
+    {
+        out.clear();
+        uint32_t first = addr >> lineShift_;
+        uint32_t last = lastLine(addr, size);
+        uint32_t b0 = bucketHash(first);
+        appendBucket(b0, out);
+        if (last != first) {
+            uint32_t b1 = bucketHash(last);
+            if (b1 != b0)
+                appendBucket(b1, out);
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+
+    /** Drop every entry in O(1) by invalidating the current epoch. */
+    void
+    clear()
+    {
+        if (++epoch_ == 0) {
+            // 16-bit epoch wrapped: slots stamped with the reborn value
+            // a full generation cycle ago would read as live again, so
+            // pay for one eager reset.
+            for (auto &bucket : buckets_)
+                bucket.clear();
+            std::fill(bucketEpoch_.begin(), bucketEpoch_.end(),
+                      uint16_t{0});
+            std::fill(filter_.begin(), filter_.end(), FilterSlot{});
+            epoch_ = 1;
+        }
+    }
+
+    uint32_t lineBytes() const { return 1u << lineShift_; }
+
+  private:
+    struct FilterSlot
+    {
+        uint16_t count = 0;
+        uint16_t epoch = 0;
+    };
+
+    uint32_t
+    lastLine(uint32_t addr, uint8_t size) const
+    {
+        return (addr + (size ? size - 1 : 0)) >> lineShift_;
+    }
+
+    /** Fibonacci-multiplicative bucket hash (common/bitutil.h idiom). */
+    uint32_t
+    bucketHash(uint32_t line) const
+    {
+        return (line * 2654435761u >> 16) & bucketMask_;
+    }
+
+    /**
+     * Filter hash kept independent of (and simpler than) the bucket
+     * hash: lines congruent mod the slot count collide here while
+     * usually landing in distinct buckets, which is exactly the false
+     * positive -> empty bucket walk path the tests exercise.
+     */
+    uint32_t
+    filterHash(uint32_t line) const
+    {
+        return line & filterMask_;
+    }
+
+    void
+    filterAdd(uint32_t line)
+    {
+        FilterSlot &slot = filter_[filterHash(line)];
+        if (slot.epoch != epoch_) {
+            slot.epoch = epoch_;
+            slot.count = 0;
+        }
+        ++slot.count;
+    }
+
+    void
+    filterRemove(uint32_t line)
+    {
+        FilterSlot &slot = filter_[filterHash(line)];
+        if (slot.epoch != epoch_)
+            return;     // inserted before a clear(); nothing live
+        assert(slot.count > 0);
+        --slot.count;
+    }
+
+    std::vector<uint64_t> &
+    liveBucket(uint32_t b)
+    {
+        if (bucketEpoch_[b] != epoch_) {
+            bucketEpoch_[b] = epoch_;
+            buckets_[b].clear();
+        }
+        return buckets_[b];
+    }
+
+    void
+    bucketInsert(uint32_t line, uint64_t key)
+    {
+        std::vector<uint64_t> &chain = liveBucket(bucketHash(line));
+        // Ages are usually appended in order; out-of-order execution
+        // occasionally inserts mid-chain, so keep it sorted by key.
+        chain.push_back(key);
+        size_t i = chain.size() - 1;
+        while (i > 0 && chain[i - 1] > chain[i]) {
+            std::swap(chain[i - 1], chain[i]);
+            --i;
+        }
+    }
+
+    void
+    bucketErase(uint32_t line, uint64_t key)
+    {
+        uint32_t b = bucketHash(line);
+        if (bucketEpoch_[b] != epoch_)
+            return;
+        std::vector<uint64_t> &chain = buckets_[b];
+        auto it = std::lower_bound(chain.begin(), chain.end(), key);
+        if (it != chain.end() && *it == key)
+            chain.erase(it);
+    }
+
+    template <typename Fn>
+    void
+    walkBucket(uint32_t b, Fn &fn) const
+    {
+        if (bucketEpoch_[b] != epoch_)
+            return;
+        const std::vector<uint64_t> &chain = buckets_[b];
+        for (size_t i = chain.size(); i-- > 0;)
+            if (!fn(chain[i]))
+                return;
+    }
+
+    void
+    appendBucket(uint32_t b, std::vector<uint64_t> &out) const
+    {
+        if (bucketEpoch_[b] != epoch_)
+            return;
+        out.insert(out.end(), buckets_[b].begin(), buckets_[b].end());
+    }
+
+    uint32_t lineShift_;
+    uint32_t bucketMask_;
+    uint32_t filterMask_;
+    std::vector<std::vector<uint64_t>> buckets_;
+    std::vector<uint16_t> bucketEpoch_;
+    std::vector<FilterSlot> filter_;
+    uint16_t epoch_ = 1;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_CORE_MEMINDEX_H

@@ -68,6 +68,7 @@ Pipeline::Pipeline(const SimConfig &config, const Program &prog,
       sdpTage(config),
       ssbf(config),
       tlb(config),
+      lsq(config.l1d.lineBytes),
       storeSet(config.storeSetSsitSize, config.storeSetLfstSize),
       decodeQueue(kDecodeQueueCap),
       rob(static_cast<size_t>(config.robSize) * CrackedSeq::kMaxUops +
@@ -80,8 +81,12 @@ Pipeline::Pipeline(const SimConfig &config, const Program &prog,
         if (!cfg.legacyScheduler)
             releaseDelayedUpTo(entry.ssn);
     };
+    sb.setForwardIndexing(cfg.model == LsuModel::Baseline);
     profiling_ = SimProfile::envEnabled();
     profile_.enabled = profiling_;
+    if (profiling_)
+        sb.setCompleteTimer(
+            &profile_.stageSeconds[SimProfile::SbComplete]);
 }
 
 Pipeline::~Pipeline() = default;
@@ -134,6 +139,15 @@ Pipeline::run()
                                       t0)
             .count();
     profile_.cycles = now;
+    profile_.lsqSearchProbes = lsq.searchCounters().probes;
+    profile_.lsqSearchFiltered = lsq.searchCounters().filtered;
+    profile_.lsqSearchHits = lsq.searchCounters().hits;
+    profile_.lsqViolProbes = lsq.violationCounters().probes;
+    profile_.lsqViolFiltered = lsq.violationCounters().filtered;
+    profile_.lsqViolHits = lsq.violationCounters().hits;
+    profile_.sbForwardProbes = sb.forwardCounters().probes;
+    profile_.sbForwardFiltered = sb.forwardCounters().filtered;
+    profile_.sbForwardHits = sb.forwardCounters().hits;
 
     collectMemStats(stats);
     if (warmupTaken)
@@ -716,9 +730,14 @@ Pipeline::tryIssue(UopRef r)
                 if (gate && !gate->addrKnown)
                     return false;
             }
-            SqSearchResult sq = lsq.loadSearch(
-                u.seq, c.dyn.effAddr,
-                static_cast<uint8_t>(c.dyn.inst.memSize()), c.dyn.inst);
+            SqSearchResult sq;
+            timedStage(profiling_,
+                       profile_.stageSeconds[SimProfile::LsqSearch], [&] {
+                           sq = lsq.loadSearch(
+                               u.seq, c.dyn.effAddr,
+                               static_cast<uint8_t>(c.dyn.inst.memSize()),
+                               c.dyn.inst);
+                       });
             ++stats.sqSearches;
             if (sq.kind == SqSearchResult::Kind::Partial)
                 return false;
@@ -733,10 +752,16 @@ Pipeline::tryIssue(UopRef r)
                 c.blFwdSsn = sq.ssn;
                 latency = 1 + cfg.sqSearchLatency;
             } else {
-                auto fb = sb.findForward(
-                    c.dyn.effAddr,
-                    static_cast<uint8_t>(c.dyn.inst.memSize()),
-                    c.dyn.inst);
+                StoreBuffer::ForwardResult fb;
+                timedStage(profiling_,
+                           profile_.stageSeconds[SimProfile::SbForward],
+                           [&] {
+                               fb = sb.findForward(
+                                   c.dyn.effAddr,
+                                   static_cast<uint8_t>(
+                                       c.dyn.inst.memSize()),
+                                   c.dyn.inst);
+                           });
                 ++stats.sbSearches;
                 if (fb.kind == StoreBuffer::ForwardResult::Kind::Partial)
                     return false;
@@ -982,9 +1007,14 @@ Pipeline::completeLoad(UopRef r)
             // while the load was in flight; the cache image alone would
             // silently miss it. Re-search at the cycle the value
             // actually materializes.
-            auto fb = sb.findForward(
-                c.dyn.effAddr,
-                static_cast<uint8_t>(c.dyn.inst.memSize()), c.dyn.inst);
+            StoreBuffer::ForwardResult fb;
+            timedStage(profiling_,
+                       profile_.stageSeconds[SimProfile::SbForward], [&] {
+                           fb = sb.findForward(
+                               c.dyn.effAddr,
+                               static_cast<uint8_t>(c.dyn.inst.memSize()),
+                               c.dyn.inst);
+                       });
             ++stats.sbSearches;
             if (fb.kind == StoreBuffer::ForwardResult::Kind::Forward) {
                 c.obtainedValue = fb.value;
@@ -1007,9 +1037,13 @@ Pipeline::completeLoad(UopRef r)
             c.obtainedValue = c.blFwdValue;
             source_ssn = c.blFwdSsn;
         }
-        lsq.loadExecuted(u.seq, c.dyn.effAddr,
-                         static_cast<uint8_t>(c.dyn.inst.memSize()),
-                         source_ssn);
+        timedStage(profiling_,
+                   profile_.stageSeconds[SimProfile::LsqSearch], [&] {
+                       lsq.loadExecuted(
+                           u.seq, c.dyn.effAddr,
+                           static_cast<uint8_t>(c.dyn.inst.memSize()),
+                           source_ssn);
+                   });
         if (stale_partial)
             lsq.markViolated(u.seq, stale_pc);
     } else if (u.cls == LoadClass::Bypass) {
@@ -1111,9 +1145,13 @@ Pipeline::completeUop(UopRef r)
         // Baseline AGU execution: the address becomes known.
         if (cfg.model == LsuModel::Baseline) {
             UopCold &c = rob.cold(r);
-            lsq.storeExecuted(u.seq, c.dyn.effAddr,
-                              static_cast<uint8_t>(c.dyn.inst.memSize()),
-                              c.dyn.storeValue);
+            timedStage(profiling_,
+                       profile_.stageSeconds[SimProfile::LsqSearch], [&] {
+                           lsq.storeExecuted(
+                               u.seq, c.dyn.effAddr,
+                               static_cast<uint8_t>(c.dyn.inst.memSize()),
+                               c.dyn.storeValue);
+                       });
             storeSet.storeIssued(c.storeSetId,
                                  static_cast<uint32_t>(u.seq));
             ++stats.aluOps;

@@ -16,6 +16,9 @@ SimProfile::stageName(int stage)
       case Issue: return "issue";
       case Rename: return "rename";
       case Fetch: return "fetch";
+      case LsqSearch: return "lsq_search";
+      case SbForward: return "sb_forward";
+      case SbComplete: return "sb_complete";
       default: return "?";
     }
 }
@@ -37,9 +40,17 @@ SimProfile::report() const
        << skippedCycles << " cycles in " << skipEvents << " events\n";
     if (enabled) {
         for (int s = 0; s < kNumStages; ++s)
-            os << "  stage " << stageName(s) << ": " << stageSeconds[s]
-               << "s\n";
+            os << "  stage " << stageName(s)
+               << (s >= kNumTopLevelStages ? " (sub)" : "") << ": "
+               << stageSeconds[s] << "s\n";
     }
+    os << "  memindex lsq_search: " << lsqSearchProbes << " probes, "
+       << lsqSearchFiltered << " filtered, " << lsqSearchHits << " hits\n"
+       << "  memindex lsq_violation: " << lsqViolProbes << " probes, "
+       << lsqViolFiltered << " filtered, " << lsqViolHits << " hits\n"
+       << "  memindex sb_forward: " << sbForwardProbes << " probes, "
+       << sbForwardFiltered << " filtered, " << sbForwardHits
+       << " hits\n";
     return os.str();
 }
 

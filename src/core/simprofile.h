@@ -29,8 +29,18 @@ struct SimProfile
         Issue,
         Rename,
         Fetch,
+        // Memory-path sub-stages (ARCHITECTURE.md §13). Their time is
+        // *also* inside a parent stage above: LsqSearch inside Issue/
+        // Writeback, SbForward inside Issue/Writeback, SbComplete
+        // inside StoreBuffer. Summing all stages double-counts them.
+        LsqSearch,
+        SbForward,
+        SbComplete,
         kNumStages,
     };
+
+    /** Stages whose seconds partition the cycle loop (no sub-stages). */
+    static constexpr int kNumTopLevelStages = LsqSearch;
 
     bool enabled = false;       ///< stage timers were active
     double wallSeconds = 0;     ///< wall time inside Pipeline::run()
@@ -38,6 +48,21 @@ struct SimProfile
     uint64_t skippedCycles = 0; ///< cycles fast-forwarded as idle
     uint64_t skipEvents = 0;    ///< fast-forward occurrences
     double stageSeconds[kNumStages] = {};   ///< only when enabled
+
+    // Address-indexed memory path effectiveness (core/memindex.h).
+    // Always collected (plain increments on the search paths); kept out
+    // of SimStats so the stats schema digest — and with it result-cache
+    // keys and sweep journals — is unchanged, and because they describe
+    // the simulator implementation, not the modeled machine.
+    uint64_t lsqSearchProbes = 0;   ///< loadSearch calls
+    uint64_t lsqSearchFiltered = 0; ///< answered by the pre-filter
+    uint64_t lsqSearchHits = 0;     ///< found a colliding store
+    uint64_t lsqViolProbes = 0;     ///< violation scans (store + load side)
+    uint64_t lsqViolFiltered = 0;
+    uint64_t lsqViolHits = 0;
+    uint64_t sbForwardProbes = 0;   ///< store-buffer forwarding searches
+    uint64_t sbForwardFiltered = 0;
+    uint64_t sbForwardHits = 0;
 
     static const char *stageName(int stage);
 

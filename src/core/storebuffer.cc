@@ -1,6 +1,8 @@
 #include "core/storebuffer.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <string>
 
 #include "core/crack.h"
@@ -9,6 +11,18 @@
 
 namespace dmdp {
 
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 StoreBuffer::StoreBuffer(const SimConfig &config, Hierarchy &hierarchy,
                          MemImg &committed, RegFile &regfile)
     : cfg(config),
@@ -16,8 +30,11 @@ StoreBuffer::StoreBuffer(const SimConfig &config, Hierarchy &hierarchy,
       committedMem(committed),
       rf(regfile),
       capacity(config.storeBufferSize),
-      entries(config.storeBufferSize)
-{}
+      entries(config.storeBufferSize),
+      fwdIndex_(config.l1d.lineBytes)
+{
+    pending_.reserve(kMaxInFlight);
+}
 
 void
 StoreBuffer::push(const SbEntry &entry)
@@ -33,7 +50,10 @@ StoreBuffer::push(const SbEntry &entry)
                    "store-buffer SSN order broken: " +
                        std::to_string(entry.ssn) + " pushed after " +
                        std::to_string(entries.back().ssn));
+    uint64_t abs_pos = basePos_ + entries.size();
     entries.emplace_back() = entry;
+    if (indexForwards_)
+        fwdIndex_.insert(entry.addr, entry.size, abs_pos);
 }
 
 bool
@@ -43,13 +63,41 @@ StoreBuffer::regsReady(const SbEntry &entry, uint64_t now) const
 }
 
 void
+StoreBuffer::startWrite(SbEntry &entry, uint64_t abs_pos,
+                        uint64_t done_cycle)
+{
+    entry.started = true;
+    entry.doneCycle = done_cycle;
+    ++inFlight;
+    pending_.push_back(PendingWrite{done_cycle, abs_pos});
+    size_t k = pending_.size() - 1;
+    while (k > 0 && (pending_[k - 1].doneCycle > pending_[k].doneCycle ||
+                     (pending_[k - 1].doneCycle == pending_[k].doneCycle &&
+                      pending_[k - 1].absPos > pending_[k].absPos))) {
+        std::swap(pending_[k - 1], pending_[k]);
+        --k;
+    }
+}
+
+void
 StoreBuffer::startCommit(uint64_t now)
 {
     // Cache writes are pipelined up to kMaxInFlight deep. Under TSO,
     // commits start strictly in buffer order and *complete* in order
     // (each write becomes visible no earlier than its predecessor);
     // under RMO any ready entry may start and completes independently.
-    for (size_t i = 0; i < entries.size(); ++i) {
+    //
+    // Entries older than firstUnstartedAbs_ are all started (started is
+    // never un-set and entries leave from the front only), so the scan
+    // resumes there instead of re-walking the started prefix.
+    size_t i = firstUnstartedAbs_ > basePos_
+                   ? static_cast<size_t>(firstUnstartedAbs_ - basePos_)
+                   : 0;
+    while (i < entries.size() && entries[i].started)
+        ++i;
+    firstUnstartedAbs_ = basePos_ + i;
+
+    for (; i < entries.size(); ++i) {
         if (inFlight >= kMaxInFlight)
             return;
         SbEntry &head = entries[i];
@@ -62,18 +110,19 @@ StoreBuffer::startCommit(uint64_t now)
         }
 
         uint32_t latency = mem.storeLatency(head.addr, now);
-        head.started = true;
-        head.doneCycle = now + latency;
+        uint64_t done_cycle = now + latency;
         if (cfg.consistency == Consistency::TSO) {
             // In-order visibility: never complete before an older store.
-            head.doneCycle = std::max(head.doneCycle, lastOrderedDone);
-            lastOrderedDone = head.doneCycle;
+            done_cycle = std::max(done_cycle, lastOrderedDone);
+            lastOrderedDone = done_cycle;
         }
-        ++inFlight;
+        startWrite(head, basePos_ + i, done_cycle);
         ++commits_;
 
         // Store coalescing (section V): consecutive stores to the same
-        // cache line share one cache access.
+        // cache line share one cache access. The walk stays local to
+        // the head's line by construction (it stops at the first entry
+        // on a different line).
         uint32_t line = head.addr / cfg.l1d.lineBytes;
         size_t j = i + 1;
         while (cfg.storeCoalescing && j < entries.size()) {
@@ -82,9 +131,7 @@ StoreBuffer::startCommit(uint64_t now)
                 !regsReady(next, now)) {
                 break;
             }
-            next.started = true;
-            next.doneCycle = head.doneCycle;
-            ++inFlight;
+            startWrite(next, basePos_ + j, done_cycle);
             ++coalesced_;
             i = j;
             ++j;
@@ -93,22 +140,56 @@ StoreBuffer::startCommit(uint64_t now)
 }
 
 void
-StoreBuffer::tick(uint64_t now)
+StoreBuffer::completeWrites(uint64_t now)
 {
     // Complete finished cache writes (possibly out of order under RMO).
     // The commit-time register read (section IV-B-a) is released here,
     // at completion: the Store Register Buffer entry stays valid (and
     // predication may still capture these registers) until the write
     // is visible, so the consumer counts must protect them that long.
-    for (size_t i = 0; i < entries.size(); ++i) {
-        SbEntry &entry = entries[i];
-        if (entry.started && !entry.done && entry.doneCycle <= now) {
-            entry.done = true;
-            --inFlight;
-            committedMem.write(entry.addr, entry.size, entry.value);
-            rf.consumerDone(entry.dataPreg);
-            rf.consumerDone(entry.addrPreg);
-        }
+    size_t ndue = 0;
+    while (ndue < pending_.size() && pending_[ndue].doneCycle <= now)
+        ++ndue;
+    if (ndue == 0)
+        return;
+
+    // The scan this replaces completed due writes in buffer (age)
+    // order; the heap orders by doneCycle, so re-sort the due prefix
+    // by position before applying. It is usually tiny but can exceed
+    // kMaxInFlight: coalesced stores share one cache access and do not
+    // count against the pipelining depth.
+    std::sort(pending_.begin(),
+              pending_.begin() + static_cast<ptrdiff_t>(ndue),
+              [](const PendingWrite &a, const PendingWrite &b) {
+                  return a.absPos < b.absPos;
+              });
+    for (size_t k = 0; k < ndue; ++k) {
+        uint64_t abs_pos = pending_[k].absPos;
+        SbEntry &entry = entryAt(abs_pos);
+        assert(entry.started && !entry.done);
+        entry.done = true;
+        --inFlight;
+        committedMem.write(entry.addr, entry.size, entry.value);
+        rf.consumerDone(entry.dataPreg);
+        rf.consumerDone(entry.addrPreg);
+        // Completed writes are visible through the cache itself, so
+        // they leave the forwarding index immediately.
+        if (indexForwards_)
+            fwdIndex_.erase(entry.addr, entry.size, abs_pos);
+    }
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<ptrdiff_t>(ndue));
+}
+
+void
+StoreBuffer::tick(uint64_t now)
+{
+    if (completeSeconds_) {
+        double t0 = nowSeconds();
+        completeWrites(now);
+        *completeSeconds_ += nowSeconds() - t0;
+    } else {
+        completeWrites(now);
     }
 
     // Dequeue the done prefix; SSN_commit trails the oldest resident.
@@ -121,23 +202,33 @@ StoreBuffer::tick(uint64_t now)
         if (onCommit)
             onCommit(entries.front());
         entries.pop_front();
+        ++basePos_;
     }
 
     startCommit(now);
 
 #if DMDP_INVARIANTS
-    // Drain completeness: the in-flight count matches the resident
-    // started-but-incomplete writes, so an empty buffer means every
-    // accepted store reached the committed image (nothing is dropped
-    // or double-counted on the way out).
-    uint32_t pending = 0;
-    for (const auto &entry : entries)
-        if (entry.started && !entry.done)
-            ++pending;
-    DMDP_INVARIANT(pending == inFlight,
+    // Event-site check, O(1) every tick: the pending heap and the
+    // incrementally maintained in-flight count agree.
+    DMDP_INVARIANT(pending_.size() == inFlight,
                    "in-flight count " + std::to_string(inFlight) +
-                       " != pending cache writes " +
-                       std::to_string(pending));
+                       " != pending heap size " +
+                       std::to_string(pending_.size()));
+    // Drain completeness, throttled to the pipeline's periodic-scan
+    // cadence: the in-flight count matches the resident started-but-
+    // incomplete writes, so an empty buffer means every accepted store
+    // reached the committed image (nothing is dropped or double-counted
+    // on the way out).
+    if ((now & 0xffu) == 0) {
+        uint32_t resident_pending = 0;
+        for (const auto &entry : entries)
+            if (entry.started && !entry.done)
+                ++resident_pending;
+        DMDP_INVARIANT(resident_pending == inFlight,
+                       "in-flight count " + std::to_string(inFlight) +
+                           " != pending cache writes " +
+                           std::to_string(resident_pending));
+    }
 #endif
 }
 
@@ -146,10 +237,13 @@ StoreBuffer::wouldStart(uint64_t now) const
 {
     // Mirrors the scan in startCommit() up to the first entry that
     // would start (coalescing only ever follows a first start).
-    uint32_t in_flight = inFlight;
-    for (const auto &entry : entries) {
-        if (in_flight >= kMaxInFlight)
-            return false;
+    if (entries.empty() || inFlight >= kMaxInFlight)
+        return false;
+    size_t i = firstUnstartedAbs_ > basePos_
+                   ? static_cast<size_t>(firstUnstartedAbs_ - basePos_)
+                   : 0;
+    for (; i < entries.size(); ++i) {
+        const SbEntry &entry = entries[i];
         if (entry.started)
             continue;
         if (!regsReady(entry, now)) {
@@ -165,11 +259,7 @@ StoreBuffer::wouldStart(uint64_t now) const
 uint64_t
 StoreBuffer::nextCompletionCycle() const
 {
-    uint64_t next = kNoEvent;
-    for (const auto &entry : entries)
-        if (entry.started && !entry.done && entry.doneCycle < next)
-            next = entry.doneCycle;
-    return next;
+    return pending_.empty() ? kNoEvent : pending_.front().doneCycle;
 }
 
 StoreBuffer::ForwardResult
@@ -177,28 +267,42 @@ StoreBuffer::findForward(uint32_t addr, uint8_t size,
                          const Inst &load_inst) const
 {
     ForwardResult result;
-    for (size_t i = entries.size(); i-- > 0;) {
-        const SbEntry &entry = entries[i];    // youngest first
-        // Entries whose cache write already completed are visible
-        // through the cache itself.
-        if (entry.done)
-            continue;
+    assert(indexForwards_);
+    ++fwdCtr_.probes;
+    // Only not-yet-completed entries are indexed (completed writes are
+    // visible through the cache itself), so a filter miss is a
+    // definitive NoMatch.
+    if (!fwdIndex_.mayContain(addr, size)) {
+        ++fwdCtr_.filtered;
+        return result;
+    }
+    const SbEntry *best = nullptr;
+    uint64_t best_pos = 0;
+    fwdIndex_.visitNewestFirst(addr, size, [&](uint64_t key) {
+        const SbEntry &entry = entryAt(key);
         bool overlap = entry.addr < addr + size &&
                        addr < entry.addr + entry.size;
         if (!overlap)
-            continue;
+            return true;
+        if (!best || key > best_pos) {
+            best = &entry;
+            best_pos = key;
+        }
+        return false;   // youngest collider in this bucket found
+    });
+    if (best) {
+        ++fwdCtr_.hits;
         uint32_t value = 0;
-        if (extractForwarded(entry.addr, entry.size, entry.value, addr,
+        if (extractForwarded(best->addr, best->size, best->value, addr,
                              load_inst, value)) {
             result.kind = ForwardResult::Kind::Forward;
-            result.ssn = entry.ssn;
+            result.ssn = best->ssn;
             result.value = value;
         } else {
             result.kind = ForwardResult::Kind::Partial;
-            result.ssn = entry.ssn;
+            result.ssn = best->ssn;
         }
-        result.pc = entry.pc;
-        break;
+        result.pc = best->pc;
     }
     // Injection may only demote Forward to Partial (a timing fault: the
     // load retries once the store drains); the delivered value is never

@@ -6,6 +6,14 @@
  * stores); under RMO cache writes may complete out of order, but
  * entries still leave the buffer in order so that SSN_commit remains
  * "the store preceding the oldest store in the buffer".
+ *
+ * tick() is address-indexed rather than scan-based (ARCHITECTURE.md
+ * §13): completions pop off a doneCycle-ordered pending heap (bounded
+ * by kMaxInFlight), the commit scan resumes at the first unstarted
+ * entry, and findForward() goes through a line-hashed LineIndex with a
+ * membership pre-filter instead of walking every resident entry.
+ * Entries only ever leave via pop_front, so a monotonically increasing
+ * absolute position (push count) is a stable key for both structures.
  */
 
 #ifndef DMDP_CORE_STOREBUFFER_H
@@ -17,6 +25,7 @@
 
 #include "common/config.h"
 #include "common/stats.h"
+#include "core/memindex.h"
 #include "core/regfile.h"
 #include "core/uopring.h"
 #include "func/memimg.h"
@@ -89,6 +98,28 @@ class StoreBuffer
     uint64_t commits() const { return commits_.value(); }
     uint64_t coalescedCommits() const { return coalesced_.value(); }
 
+    /** findForward probe accounting (SimProfile side-channel). */
+    const MemIndexCounters &forwardCounters() const { return fwdCtr_; }
+
+    /**
+     * Only the Baseline LSU ever searches the buffer (NoSQ/DMDP loads
+     * get their dependences predicted instead), so the pipeline turns
+     * the forwarding index off for the other models and push/complete
+     * skip its maintenance. Must not change while entries are resident.
+     */
+    void
+    setForwardIndexing(bool on)
+    {
+        assert(entries.empty());
+        indexForwards_ = on;
+    }
+
+    /**
+     * Point the completion phase's wall timer at a stage accumulator
+     * (SimProfile::SbComplete). Null (the default) disables timing.
+     */
+    void setCompleteTimer(double *acc) { completeSeconds_ = acc; }
+
     // ---- Idle-skip support (event-driven scheduler) ----
 
     /** Cache writes are pipelined up to this many deep. */
@@ -110,8 +141,26 @@ class StoreBuffer
     uint64_t nextCompletionCycle() const;
 
   private:
+    /** An issued cache write awaiting completion. */
+    struct PendingWrite
+    {
+        uint64_t doneCycle = 0;
+        uint64_t absPos = 0;    ///< stable entry key (see entryAt)
+    };
+
+    void completeWrites(uint64_t now);
     void startCommit(uint64_t now);
+    void startWrite(SbEntry &entry, uint64_t abs_pos, uint64_t done_cycle);
     bool regsReady(const SbEntry &entry, uint64_t now) const;
+
+    SbEntry &entryAt(uint64_t abs_pos)
+    {
+        return entries[static_cast<size_t>(abs_pos - basePos_)];
+    }
+    const SbEntry &entryAt(uint64_t abs_pos) const
+    {
+        return entries[static_cast<size_t>(abs_pos - basePos_)];
+    }
 
     SimConfig cfg;
     Hierarchy &mem;
@@ -123,6 +172,23 @@ class StoreBuffer
     uint64_t ssnCommit_ = 0;
     uint32_t inFlight = 0;      ///< commits issued but not completed
     uint64_t lastOrderedDone = 0;   ///< TSO in-order completion fence
+
+    uint64_t basePos_ = 0;      ///< absolute position of entries.front()
+    uint64_t firstUnstartedAbs_ = 0;    ///< all older entries started
+
+    /**
+     * In-flight writes ordered by (doneCycle, absPos). Usually at most
+     * kMaxInFlight deep (coalesced stores share one access and can
+     * push past that, bounded by capacity), so a small sorted vector
+     * beats a real heap. Always pending.size() == inFlight
+     * (Debug-checked every tick).
+     */
+    std::vector<PendingWrite> pending_;
+
+    LineIndex fwdIndex_;    ///< resident not-done entries, key = absPos
+    bool indexForwards_ = true; ///< maintain fwdIndex_ (Baseline only)
+    mutable MemIndexCounters fwdCtr_;
+    double *completeSeconds_ = nullptr; ///< SbComplete stage accumulator
 
     Scalar commits_;
     Scalar coalesced_;

@@ -269,6 +269,27 @@ resultToJson(const JobResult &r)
         prof.set("stageSeconds", std::move(stages));
         j.set("profile", std::move(prof));
     }
+    // Address-indexed memory path effectiveness (ARCHITECTURE.md §13).
+    // Always emitted (the counters are collected on every run); like
+    // the profile object these describe the simulator, not the modeled
+    // machine, so they live outside the stats object and the schema
+    // digest. Cache hits and journal restores report zeros.
+    {
+        Json mi = Json::object();
+        auto u64 = [](uint64_t v) {
+            return Json(static_cast<double>(v));
+        };
+        mi.set("lsq_search_probes", u64(r.profile.lsqSearchProbes));
+        mi.set("lsq_search_filtered", u64(r.profile.lsqSearchFiltered));
+        mi.set("lsq_search_hits", u64(r.profile.lsqSearchHits));
+        mi.set("lsq_viol_probes", u64(r.profile.lsqViolProbes));
+        mi.set("lsq_viol_filtered", u64(r.profile.lsqViolFiltered));
+        mi.set("lsq_viol_hits", u64(r.profile.lsqViolHits));
+        mi.set("sb_forward_probes", u64(r.profile.sbForwardProbes));
+        mi.set("sb_forward_filtered", u64(r.profile.sbForwardFiltered));
+        mi.set("sb_forward_hits", u64(r.profile.sbForwardHits));
+        j.set("memindex", std::move(mi));
+    }
     Json stats = Json::object();
     for (const auto &[name, value] : statFields(r.stats))
         stats.set(name, value);
@@ -448,6 +469,9 @@ resultsToCsv(const std::vector<JobResult> &results)
     std::ostringstream os;
     os << "id,proxy,model,isInteger,insts,configDigest,trace_digest,"
           "cached,wallSeconds,sim_cycles_per_sec,sim_cycles_per_sec_raw,"
+          "lsq_search_probes,lsq_search_filtered,lsq_search_hits,"
+          "lsq_viol_probes,lsq_viol_filtered,lsq_viol_hits,"
+          "sb_forward_probes,sb_forward_filtered,sb_forward_hits,"
           "ok,attempts,timed_out,error";
     // Column set comes from the field list so the header never drifts
     // from the rows.
@@ -472,7 +496,17 @@ resultsToCsv(const std::vector<JobResult> &results)
            << digest << ',' << wdigest << ',' << (r.cached ? 1 : 0)
            << ',' << r.wallSeconds << ','
            << r.profile.steppedCyclesPerSec() << ','
-           << r.profile.cyclesPerSec() << ',' << (r.ok ? 1 : 0) << ','
+           << r.profile.cyclesPerSec() << ','
+           << r.profile.lsqSearchProbes << ','
+           << r.profile.lsqSearchFiltered << ','
+           << r.profile.lsqSearchHits << ','
+           << r.profile.lsqViolProbes << ','
+           << r.profile.lsqViolFiltered << ','
+           << r.profile.lsqViolHits << ','
+           << r.profile.sbForwardProbes << ','
+           << r.profile.sbForwardFiltered << ','
+           << r.profile.sbForwardHits << ','
+           << (r.ok ? 1 : 0) << ','
            << r.attempts << ',' << (r.timedOut ? 1 : 0) << ','
            << csvQuote(r.error);
         for (const auto &[name, value] : statFields(r.stats)) {

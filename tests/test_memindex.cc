@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the cache-line-hashed LineIndex (core/memindex.h) and its
+ * LSQ integration: aliasing within vs. across lines, accesses that
+ * straddle a line boundary, the pre-filter's false-positive fallback,
+ * age ordering inside a chained bucket, and generation-tag wraparound.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/lsq.h"
+#include "core/memindex.h"
+
+namespace dmdp {
+namespace {
+
+// Defaults: 64-byte lines, 64 buckets, 256 filter slots. Two addresses
+// whose lines are congruent mod 256 share a filter slot while hashing
+// to different buckets (Fibonacci bucket hash vs. modulo filter hash),
+// which is the constructible false-positive case below.
+constexpr uint32_t kSlotAliasStride = 256 * 64;
+
+Inst
+wordLoad()
+{
+    Inst inst;
+    inst.op = Op::LW;
+    return inst;
+}
+
+TEST(LineIndex, SameLineAliasesAdjacentLineDoesNot)
+{
+    LineIndex idx;
+    idx.insert(0x100, 4, 7);
+
+    // Same cache line, disjoint bytes: the line-granular index reports
+    // it (callers re-check byte overlap).
+    EXPECT_TRUE(idx.mayContain(0x108, 4));
+    std::vector<uint64_t> keys;
+    idx.collect(0x108, 4, keys);
+    EXPECT_EQ(keys, (std::vector<uint64_t>{7}));
+
+    // Neighboring lines: distinct filter slots, nothing indexed.
+    EXPECT_FALSE(idx.mayContain(0x140, 4));
+    EXPECT_FALSE(idx.mayContain(0x0c0, 4));
+
+    idx.erase(0x100, 4, 7);
+    EXPECT_FALSE(idx.mayContain(0x108, 4));
+    idx.collect(0x108, 4, keys);
+    EXPECT_TRUE(keys.empty());
+}
+
+TEST(LineIndex, StraddlingEntryIndexedUnderBothLines)
+{
+    LineIndex idx;
+    // Bytes 0x13e..0x141 cross the 0x140 line boundary.
+    idx.insert(0x13e, 4, 9);
+
+    EXPECT_TRUE(idx.mayContain(0x100, 4));  // first line only
+    EXPECT_TRUE(idx.mayContain(0x140, 4));  // second line only
+
+    std::vector<uint64_t> keys;
+    idx.collect(0x100, 4, keys);
+    EXPECT_EQ(keys, (std::vector<uint64_t>{9}));
+    idx.collect(0x140, 4, keys);
+    EXPECT_EQ(keys, (std::vector<uint64_t>{9}));
+
+    // A probe covering both lines sees the doubly indexed key once.
+    idx.collect(0x13e, 4, keys);
+    EXPECT_EQ(keys, (std::vector<uint64_t>{9}));
+
+    // Erase with the same (addr, size) unindexes both lines.
+    idx.erase(0x13e, 4, 9);
+    EXPECT_FALSE(idx.mayContain(0x100, 4));
+    EXPECT_FALSE(idx.mayContain(0x140, 4));
+    idx.collect(0x13e, 4, keys);
+    EXPECT_TRUE(keys.empty());
+}
+
+TEST(LineIndex, FilterFalsePositiveFallsBackToEmptyWalk)
+{
+    LineIndex idx;
+    idx.insert(0x0, 4, 1);
+
+    // Line 256 shares filter slot 0 with line 0 but hashes to a
+    // different bucket: the filter says "maybe", the walk finds
+    // nothing — exactly the fallback path, never a wrong answer.
+    EXPECT_TRUE(idx.mayContain(kSlotAliasStride, 4));
+    std::vector<uint64_t> keys;
+    idx.collect(kSlotAliasStride, 4, keys);
+    EXPECT_TRUE(keys.empty());
+    size_t visited = 0;
+    idx.visitNewestFirst(kSlotAliasStride, 4, [&](uint64_t) {
+        ++visited;
+        return true;
+    });
+    EXPECT_EQ(visited, 0u);
+}
+
+TEST(LineIndex, BucketWalkIsYoungestFirst)
+{
+    LineIndex idx;
+    // Out-of-order ages into one line's chain (out-of-order execution
+    // resolves addresses out of program order).
+    idx.insert(0x100, 4, 10);
+    idx.insert(0x104, 4, 30);
+    idx.insert(0x108, 4, 20);
+
+    std::vector<uint64_t> order;
+    idx.visitNewestFirst(0x100, 4, [&](uint64_t key) {
+        order.push_back(key);
+        return true;
+    });
+    EXPECT_EQ(order, (std::vector<uint64_t>{30, 20, 10}));
+
+    // Erasing mid-chain preserves the ordering of the rest.
+    idx.erase(0x104, 4, 30);
+    order.clear();
+    idx.visitNewestFirst(0x100, 4, [&](uint64_t key) {
+        order.push_back(key);
+        return true;
+    });
+    EXPECT_EQ(order, (std::vector<uint64_t>{20, 10}));
+}
+
+TEST(LineIndex, GenerationTagSurvivesWraparound)
+{
+    LineIndex idx;
+    idx.insert(0x100, 4, 5);    // stamped with the initial generation
+    idx.clear();
+    EXPECT_FALSE(idx.mayContain(0x100, 4));
+
+    // Drive the 16-bit generation all the way around so it lands on
+    // the stamp's value again. Without the hard reset on wrap, the
+    // stale filter slot and bucket chain would read as live.
+    for (int i = 0; i < 65535; ++i)
+        idx.clear();
+    EXPECT_FALSE(idx.mayContain(0x100, 4));
+    std::vector<uint64_t> keys;
+    idx.collect(0x100, 4, keys);
+    EXPECT_TRUE(keys.empty());
+
+    // The index is fully usable after the wrap.
+    idx.insert(0x100, 4, 6);
+    EXPECT_TRUE(idx.mayContain(0x100, 4));
+    idx.collect(0x100, 4, keys);
+    EXPECT_EQ(keys, (std::vector<uint64_t>{6}));
+}
+
+TEST(LsqIndex, SameLineNonOverlappingStoreDoesNotForward)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x40, 5);
+    lsq.addLoad(3, 0x44);
+    lsq.storeExecuted(1, 0x100, 4, 0xaa);
+
+    // Same line passes the pre-filter; the byte re-check rejects it.
+    SqSearchResult res = lsq.loadSearch(3, 0x108, 4, wordLoad());
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::NoMatch);
+    EXPECT_EQ(lsq.searchCounters().probes, 1u);
+    EXPECT_EQ(lsq.searchCounters().filtered, 0u);
+    EXPECT_EQ(lsq.searchCounters().hits, 0u);
+
+    // A different line is answered by the filter alone.
+    res = lsq.loadSearch(3, 0x140, 4, wordLoad());
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::NoMatch);
+    EXPECT_EQ(lsq.searchCounters().probes, 2u);
+    EXPECT_EQ(lsq.searchCounters().filtered, 1u);
+
+    // A filter-slot alias falls through to an empty bucket walk.
+    res = lsq.loadSearch(3, 0x100 + kSlotAliasStride, 4, wordLoad());
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::NoMatch);
+    EXPECT_EQ(lsq.searchCounters().probes, 3u);
+    EXPECT_EQ(lsq.searchCounters().filtered, 1u);
+    EXPECT_EQ(lsq.searchCounters().hits, 0u);
+}
+
+TEST(LsqIndex, StraddlingStoreFoundFromEitherLine)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(1, 1, 0x40, 5);
+    lsq.addLoad(3, 0x44);
+    // The store's bytes 0x13e..0x141 straddle the line boundary.
+    lsq.storeExecuted(1, 0x13e, 4, 0xaabbccdd);
+
+    // A load entirely in the second line overlaps two of its bytes:
+    // the search must find it through the second line's bucket, and
+    // partial coverage cannot forward.
+    SqSearchResult res = lsq.loadSearch(3, 0x140, 4, wordLoad());
+    EXPECT_EQ(res.kind, SqSearchResult::Kind::Partial);
+    EXPECT_EQ(res.ssn, 1u);
+    EXPECT_EQ(lsq.searchCounters().hits, 1u);
+}
+
+TEST(LsqIndex, ViolationScanCrossesTheLineBoundary)
+{
+    LoadStoreQueue lsq;
+    lsq.addStore(2, 1, 0x40, 5);
+    lsq.addLoad(5, 0x44);
+    // The load executed from memory (ssn 0) entirely inside the second
+    // line; the older store then resolves straddling into that line.
+    lsq.loadExecuted(5, 0x140, 4, 0);
+    const auto &violations = lsq.storeExecuted(2, 0x13e, 4, 0x12345678);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0]->seq, 5u);
+    EXPECT_TRUE(violations[0]->violated);
+    EXPECT_EQ(lsq.violationCounters().hits, 1u);
+}
+
+} // namespace
+} // namespace dmdp
