@@ -1,0 +1,133 @@
+#include "coh/directory.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+#include "common/bitutil.h"
+#include "inject/faultport.h"
+
+namespace dmdp::coh {
+
+Directory::Directory(const CohParams &params, const SimConfig &dramCfg,
+                     uint32_t numCores)
+    : params_(params),
+      numCores_(numCores),
+      llc_(params.llc, "llc"),
+      dram_(dramCfg),
+      sinks_(numCores, nullptr)
+{
+    if (numCores == 0 || numCores > 32)
+        throw std::invalid_argument("Directory: core count " +
+                                    std::to_string(numCores) +
+                                    " out of range [1, 32]");
+}
+
+void
+Directory::attachCore(uint32_t core, CoreSink *sink)
+{
+    assert(core < numCores_);
+    sinks_[core] = sink;
+}
+
+uint32_t
+Directory::sharedMiss(uint32_t core, uint32_t addr, bool is_write,
+                      bool is_fetch, uint64_t now)
+{
+    uint64_t tagged = taggedAddr(core, addr);
+    uint32_t lat = params_.llc.hitLatency;
+    bool hit = llc_.access(tagged, is_write);
+    if (hit) {
+        ++stats_.llcHits;
+    } else {
+        ++stats_.llcMisses;
+        ++stats_.dramAccesses;
+        lat += dram_.access(tagged, now + lat);
+    }
+
+    // Instruction fetches never participate in the data-line protocol
+    // (the proxies do not store to code); no sharer tracking.
+    if (is_fetch)
+        return lat;
+
+    DirEntry &entry = dir_[keyOf(core, addr)];
+    uint32_t self = 1u << core;
+    if (entry.state == LineState::Modified &&
+        (entry.sharers & self) == 0) {
+        // Remote owner must write back and downgrade before this core
+        // can read the line.
+        ++stats_.downgrades;
+        lat += params_.downgradeLatency;
+        entry.state = LineState::Shared;
+    }
+    if (entry.state == LineState::Invalid)
+        entry.state = LineState::Shared;
+    entry.sharers |= self;
+    (void)is_write;     // ownership transfers at storeVisible()
+    return lat;
+}
+
+uint32_t
+Directory::storeVisible(uint32_t core, uint32_t addr, uint64_t now)
+{
+    DirEntry &entry = dir_[keyOf(core, addr)];
+    uint32_t self = 1u << core;
+    if (entry.state == LineState::Modified && entry.sharers == self)
+        return 0;   // already the exclusive owner: silent upgrade
+
+    uint32_t remote = entry.sharers & ~self;
+    // Injection envelope: bits may only be *cleared* (suppressing an
+    // invalidation — the stale-copy hazard); the injector never sets
+    // bits, so mask with the true sharer vector after the hook.
+    uint32_t perturbed = remote;
+    DMDP_FAULT_HOOK(dirSharers, perturbed);
+    perturbed &= remote;
+
+    for (uint32_t target = 0; target < numCores_; ++target) {
+        if ((perturbed >> target) & 1u) {
+            pending_.push_back(
+                PendingInval{now + params_.invalLatency, target, addr});
+            ++stats_.invalidationsSent;
+        }
+    }
+
+    uint32_t lat = 0;
+    if (entry.state == LineState::Modified) {
+        // Another core owns it: intervention before the upgrade.
+        ++stats_.downgrades;
+        lat += params_.downgradeLatency;
+    }
+    entry.state = LineState::Modified;
+    entry.sharers = self;
+    ++stats_.upgrades;
+    return lat;
+}
+
+void
+Directory::tick(uint64_t now)
+{
+    while (!pending_.empty() && pending_.front().deliverAt <= now) {
+        PendingInval msg = pending_.front();
+        pending_.pop_front();
+        bool deliver = true;
+        DMDP_FAULT_HOOK(dirInvalDrop, deliver);
+        if (!deliver) {
+            ++stats_.invalidationsDropped;
+            continue;
+        }
+        ++stats_.invalidationsDelivered;
+        assert(sinks_[msg.core] != nullptr);
+        sinks_[msg.core]->deliverInvalidation(msg.addr);
+    }
+}
+
+Directory::Probe
+Directory::probeLine(uint32_t core, uint32_t addr) const
+{
+    auto it = dir_.find(keyOf(core, addr));
+    if (it == dir_.end())
+        return Probe{};
+    return Probe{it->second.state, it->second.sharers};
+}
+
+} // namespace dmdp::coh

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Shared last-level cache with a MESI-style directory (multi-core mode,
+ * docs/ARCHITECTURE.md §14). The private hierarchies (L1+L2 per core)
+ * terminate here instead of in per-core DRAM: every private-L2 miss
+ * becomes a sharedMiss() on the directory, and every committing store
+ * announces itself through storeVisible(), which is the single place
+ * invalidations are generated.
+ *
+ * The protocol is deliberately simplified to what the DMDP retire-time
+ * check can observe:
+ *
+ *  - Lines are Invalid, Shared (any number of reader cores), or
+ *    Modified (one owner). Reads of a remotely Modified line pay a
+ *    downgrade latency (owner writes back, line becomes Shared).
+ *  - A store upgrade queues one invalidation message per remote sharer;
+ *    each is delivered invalLatency cycles later by tick(), clearing
+ *    the target's private caches and inserting the line into its
+ *    T-SSBF (Pipeline::coherenceInvalidate) so any in-flight load of
+ *    that line re-executes at retire.
+ *  - The directory is not inclusive and does not recall lines on LLC
+ *    eviction; a silent private eviction leaves a stale sharer bit,
+ *    which at worst sends a harmless invalidation later (conservative,
+ *    never unsafe).
+ *
+ * Address spaces: in shared-memory mode every core uses the same 32-bit
+ * space (tag 0). In mix mode (independent programs behind one LLC) each
+ * core's space is tagged with its core id above bit 32, so distinct
+ * cores never alias and the directory provably never generates
+ * cross-core traffic — the negative tests assert exactly this.
+ *
+ * Fault-injection sites (src/inject): dirSharers may *clear* sharer
+ * bits before invalidations are queued; dirInvalDrop may suppress a
+ * delivery. Both model lost-message hazards the retire check must
+ * absorb.
+ */
+
+#ifndef DMDP_COH_DIRECTORY_H
+#define DMDP_COH_DIRECTORY_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "mem/cache.h"
+#include "mem/cohport.h"
+#include "mem/dram.h"
+
+namespace dmdp::coh {
+
+/** Coherence fabric parameters. Kept outside SimConfig so the
+ *  per-core configDigest (and with it every cached single-core sweep
+ *  result) is untouched; multi-core cache keys append these
+ *  separately (driver::sweep). */
+struct CohParams
+{
+    uint32_t invalLatency = 20;     ///< store upgrade -> remote delivery
+    uint32_t downgradeLatency = 24; ///< remote Modified owner writeback
+    CacheConfig llc{8 * 1024 * 1024, 16, 64, 24};
+    /** Mix mode: tag each core's address space with its id (bit 32+)
+     *  so independent programs never alias in the LLC or directory. */
+    bool privateMix = false;
+};
+
+/** Directory + LLC counters (reported per multi-core run). */
+struct CohStats
+{
+    uint64_t llcHits = 0;
+    uint64_t llcMisses = 0;
+    uint64_t dramAccesses = 0;
+    uint64_t invalidationsSent = 0;
+    uint64_t invalidationsDelivered = 0;
+    uint64_t invalidationsDropped = 0;  ///< injection only; else 0
+    uint64_t downgrades = 0;            ///< remote-M read interventions
+    uint64_t upgrades = 0;              ///< stores that gained ownership
+};
+
+/** Per-line directory state. */
+enum class LineState : uint8_t { Invalid, Shared, Modified };
+
+/** Where a core's invalidations are delivered (the core's pipeline). */
+class CoreSink
+{
+  public:
+    virtual ~CoreSink() = default;
+    virtual void deliverInvalidation(uint32_t addr) = 0;
+};
+
+/** The shared LLC + directory. One instance per multi-core run. */
+class Directory : public CoherencePort
+{
+  public:
+    Directory(const CohParams &params, const SimConfig &dramCfg,
+              uint32_t numCores);
+
+    /** Register @p core's delivery sink; must precede any traffic. */
+    void attachCore(uint32_t core, CoreSink *sink);
+
+    // ---- CoherencePort (called from each core's Hierarchy). ----
+    uint32_t sharedMiss(uint32_t core, uint32_t addr, bool is_write,
+                        bool is_fetch, uint64_t now) override;
+    uint32_t storeVisible(uint32_t core, uint32_t addr,
+                          uint64_t now) override;
+
+    /**
+     * Deliver every queued invalidation due at or before @p now, in
+     * queue order. The lockstep driver calls this once per global
+     * cycle, after stepping every core.
+     */
+    void tick(uint64_t now);
+
+    bool pendingInvalidations() const { return !pending_.empty(); }
+
+    const CohStats &stats() const { return stats_; }
+
+    /** Test hook: directory state of the line containing @p addr as
+     *  seen from @p core's address space. */
+    struct Probe
+    {
+        LineState state = LineState::Invalid;
+        uint32_t sharers = 0;   ///< bit i = core i holds the line
+    };
+    Probe probeLine(uint32_t core, uint32_t addr) const;
+
+  private:
+    struct DirEntry
+    {
+        LineState state = LineState::Invalid;
+        uint32_t sharers = 0;
+    };
+
+    struct PendingInval
+    {
+        uint64_t deliverAt = 0;
+        uint32_t core = 0;      ///< target
+        uint32_t addr = 0;      ///< 32-bit line address in its space
+    };
+
+    /** Tagged byte address for the LLC/DRAM timing models. */
+    uint64_t
+    taggedAddr(uint32_t core, uint32_t addr) const
+    {
+        uint64_t a = addr;
+        if (params_.privateMix)
+            a |= static_cast<uint64_t>(core + 1) << 32;
+        return a;
+    }
+
+    /** Directory map key: line address, core-tagged in mix mode. */
+    uint64_t
+    keyOf(uint32_t core, uint32_t addr) const
+    {
+        return taggedAddr(core, addr) / params_.llc.lineBytes;
+    }
+
+    CohParams params_;
+    uint32_t numCores_;
+    Cache llc_;
+    Dram dram_;
+    std::vector<CoreSink *> sinks_;
+    std::unordered_map<uint64_t, DirEntry> dir_;
+    std::deque<PendingInval> pending_;  ///< FIFO per deliverAt order
+    CohStats stats_;
+};
+
+} // namespace dmdp::coh
+
+#endif // DMDP_COH_DIRECTORY_H

@@ -1,0 +1,189 @@
+#include "coh/multicore.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace dmdp::coh {
+
+namespace {
+
+/** Routes a core's delivered invalidations into its pipeline. */
+class PipelineSink : public CoreSink
+{
+  public:
+    explicit PipelineSink(Pipeline &pipe) : pipe_(pipe) {}
+
+    void
+    deliverInvalidation(uint32_t addr) override
+    {
+        pipe_.coherenceInvalidate(addr);
+    }
+
+  private:
+    Pipeline &pipe_;
+};
+
+} // namespace
+
+uint64_t
+MultiCoreResult::cohInvalsReceived() const
+{
+    uint64_t n = 0;
+    for (const SimProfile &p : profiles)
+        n += p.cohInvalsReceived;
+    return n;
+}
+
+uint64_t
+MultiCoreResult::cohReexecs() const
+{
+    uint64_t n = 0;
+    for (const SimProfile &p : profiles)
+        n += p.cohReexecs;
+    return n;
+}
+
+MultiCoreResult
+runMultiCore(const std::vector<CoreSpec> &cores,
+             const MultiCoreOptions &options)
+{
+    const uint32_t n = static_cast<uint32_t>(cores.size());
+    if (n == 0 || n > 8)
+        throw std::invalid_argument("runMultiCore: core count " +
+                                    std::to_string(cores.size()) +
+                                    " out of range [1, 8]");
+
+    auto t0 = std::chrono::steady_clock::now();
+    MultiCoreResult result;
+
+    // Shared functional substrate. Both images hold the union of every
+    // thread's program sections (threads place code/data disjointly;
+    // see workloads/shared_kernels and fuzz/proggen).
+    MemImg progMem;
+    MemImg commitMem;
+    if (options.sharedMemory) {
+        for (const CoreSpec &c : cores) {
+            progMem.load(c.prog);
+            commitMem.load(c.prog);
+        }
+    }
+    MtMemory mtCommit(commitMem);
+    MtContext ctx;
+
+    CohParams coh = options.coh;
+    coh.privateMix = !options.sharedMemory;
+    Directory dir(coh, cores[0].cfg, n);
+
+    std::vector<std::unique_ptr<Pipeline>> pipes;
+    std::vector<std::unique_ptr<PipelineSink>> sinks;
+    pipes.reserve(n);
+    sinks.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        SimConfig cfg = cores[i].cfg;
+        // Lockstep requirements (both are digest-excluded engine
+        // knobs, so forcing them keeps cache keys comparable): every
+        // core's local cycle counter must equal the global round, and
+        // the only invalidations must be the directory's real ones.
+        cfg.idleSkip = false;
+        cfg.remoteInvalPerKiloCycle = 0.0;
+
+        CoreWiring w;
+        w.coreId = i;
+        w.coh = &dir;
+        if (options.sharedMemory) {
+            w.sharedProgMem = &progMem;
+            w.sharedCommitMem = &commitMem;
+            w.mtCommit = &mtCommit;
+            w.mt = &ctx;
+        }
+        pipes.push_back(
+            std::make_unique<Pipeline>(cfg, cores[i].prog, w));
+        Pipeline &pipe = *pipes.back();
+        pipe.cancelToken = options.cancelToken;
+        sinks.push_back(std::make_unique<PipelineSink>(pipe));
+        dir.attachCore(i, sinks.back().get());
+        if (options.onRetire)
+            pipe.onRetire = [i, &options](const DynInst &dyn) {
+                options.onRetire(i, dyn);
+            };
+        if (options.onLoadRetire)
+            pipe.onLoadRetire = [i, &options](const DynInst &dyn,
+                                              uint32_t delivered,
+                                              bool localFwd) {
+                options.onLoadRetire(i, dyn, delivered, localFwd);
+            };
+    }
+
+    // Lockstep rounds: step every unfinished core once (core-id
+    // order), keep finished cores' store buffers draining, then
+    // deliver due invalidations. The recorded per-round oracle step
+    // deltas are the run's SC schedule.
+    std::vector<uint64_t> lastSteps(n, 0);
+    uint64_t round = 0;
+    uint64_t allFinishedRound = 0;
+    while (true) {
+        ++round;
+        bool anyWork = false;
+        bool allFinished = true;
+        for (uint32_t i = 0; i < n; ++i) {
+            Pipeline &pipe = *pipes[i];
+            if (!pipe.finished()) {
+                pipe.stepCycle();
+                anyWork = true;
+                if (options.sharedMemory) {
+                    uint64_t steps = pipe.liveEmulator()->instCount();
+                    uint64_t delta = steps - lastSteps[i];
+                    if (delta > 0) {
+                        lastSteps[i] = steps;
+                        if (!result.schedule.empty() &&
+                            result.schedule.back().thread == i) {
+                            result.schedule.back().steps +=
+                                static_cast<uint32_t>(delta);
+                        } else {
+                            result.schedule.push_back(MtSlice{
+                                i, static_cast<uint32_t>(delta)});
+                        }
+                    }
+                }
+            } else if (pipe.drainTick()) {
+                anyWork = true;
+            }
+            if (!pipe.finished())
+                allFinished = false;
+        }
+        dir.tick(round);
+        if (dir.pendingInvalidations())
+            anyWork = true;
+        if (!anyWork)
+            break;
+        if (allFinished) {
+            if (allFinishedRound == 0)
+                allFinishedRound = round;
+            else if (round - allFinishedRound > options.drainGuardCycles)
+                throw std::runtime_error(
+                    "runMultiCore: drain tail exceeded " +
+                    std::to_string(options.drainGuardCycles) +
+                    " cycles (store buffer or directory stuck)");
+        } else {
+            allFinishedRound = 0;
+        }
+    }
+
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    result.stats.reserve(n);
+    result.profiles.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        pipes[i]->recordWallSeconds(wall);
+        result.stats.push_back(pipes[i]->finishRun());
+        result.profiles.push_back(pipes[i]->profile());
+    }
+    result.coh = dir.stats();
+    result.cycles = round;
+    if (options.sharedMemory)
+        result.finalMem = commitMem;
+    return result;
+}
+
+} // namespace dmdp::coh

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lockstep N-core simulation over the shared LLC + directory
+ * (docs/ARCHITECTURE.md §14). One Pipeline per core; every global
+ * cycle steps each core exactly once in core-id order, then delivers
+ * due invalidations. Per-core idle-skipping and synthetic invalidation
+ * traffic are forced off (both are digest-excluded engine knobs) so a
+ * core's local cycle counter always equals the global round index —
+ * which makes directory message timestamps and per-core `now` directly
+ * comparable, and makes the whole run a deterministic function of
+ * (configs, programs, core order).
+ *
+ * Two modes:
+ *  - Shared-memory (options.sharedMemory): all cores execute over one
+ *    functional image and one committed image. The order the per-core
+ *    oracle emulators interleave IS the run's SC schedule; it is
+ *    recorded as MtSlices so func/mtshared.h can replay a full
+ *    reference for the differential checkers.
+ *  - Mix (independent programs): private memory per core, shared LLC
+ *    with core-tagged addresses. No line is ever shared, so the
+ *    directory must generate zero invalidations (asserted by tests).
+ */
+
+#ifndef DMDP_COH_MULTICORE_H
+#define DMDP_COH_MULTICORE_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coh/directory.h"
+#include "common/config.h"
+#include "core/pipeline.h"
+#include "core/simprofile.h"
+#include "core/simstats.h"
+#include "func/mtshared.h"
+#include "isa/program.h"
+
+namespace dmdp::coh {
+
+/** One core of a multi-core run. */
+struct CoreSpec
+{
+    std::string name;   ///< workload label (reports, cache keys)
+    Program prog;
+    SimConfig cfg;
+};
+
+struct MultiCoreOptions
+{
+    CohParams coh;
+    /** One shared 32-bit address space (threads of one program set)
+     *  vs. independent per-core programs behind a shared LLC. */
+    bool sharedMemory = true;
+    /** Global-cycle ceiling after every core finished, for the
+     *  drain/delivery tail; exceeding it is a wiring bug. */
+    uint64_t drainGuardCycles = 1u << 20;
+    /** Cooperative cancellation (polled by every core every cycle). */
+    const std::atomic<bool> *cancelToken = nullptr;
+    /** Per-core retire observers (timing-invisible); see Pipeline. */
+    std::function<void(uint32_t core, const DynInst &)> onRetire;
+    std::function<void(uint32_t core, const DynInst &, uint32_t delivered,
+                       bool localForward)>
+        onLoadRetire;
+};
+
+/** Everything a multi-core run produces. */
+struct MultiCoreResult
+{
+    std::vector<SimStats> stats;        ///< per core
+    std::vector<SimProfile> profiles;   ///< per core (incl. coh_* counters)
+    CohStats coh;                       ///< directory/LLC totals
+    uint64_t cycles = 0;                ///< global rounds to full drain
+    /** Shared-memory mode: the SC schedule the oracles executed. */
+    std::vector<MtSlice> schedule;
+    /** Shared-memory mode: the drained committed image. */
+    MemImg finalMem;
+
+    /** Cross-core sums of the per-core coherence profile counters. */
+    uint64_t cohInvalsReceived() const;
+    uint64_t cohReexecs() const;
+};
+
+/**
+ * Run @p cores to completion (every core halted, every store buffer
+ * drained, no invalidation in flight) and collect the results.
+ * Throws std::invalid_argument for 0 or more than 8 cores.
+ */
+MultiCoreResult runMultiCore(const std::vector<CoreSpec> &cores,
+                             const MultiCoreOptions &options = {});
+
+} // namespace dmdp::coh
+
+#endif // DMDP_COH_MULTICORE_H

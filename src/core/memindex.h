@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/bitutil.h"
+#include "core/invariants.h"
 
 namespace dmdp {
 
@@ -156,6 +157,27 @@ class LineIndex
         std::sort(out.begin(), out.end());
         out.erase(std::unique(out.begin(), out.end()), out.end());
     }
+
+#if DMDP_INVARIANTS
+    /**
+     * Single-writer audit (multi-core safety): the generation-tag
+     * reset in clear() and the filter counters assume exactly one
+     * owning structure ever mutates this index — a second writer could
+     * bump the epoch under the first one's feet and resurrect stale
+     * slots. The owning structure binds itself once; a rebind to a
+     * different owner is the sharing bug this guards against and
+     * throws in Debug builds. Compiled out under NDEBUG.
+     */
+    void
+    bindOwner(const void *owner)
+    {
+        DMDP_INVARIANT(owner_ == nullptr || owner_ == owner,
+                       "LineIndex shared between two owners");
+        owner_ = owner;
+    }
+
+    const void *owner() const { return owner_; }
+#endif
 
     /** Drop every entry in O(1) by invalidating the current epoch. */
     void
@@ -292,6 +314,9 @@ class LineIndex
     std::vector<uint16_t> bucketEpoch_;
     std::vector<FilterSlot> filter_;
     uint16_t epoch_ = 1;
+#if DMDP_INVARIANTS
+    const void *owner_ = nullptr;   ///< single-writer audit token
+#endif
 };
 
 } // namespace dmdp

@@ -46,20 +46,33 @@ timedStage(bool profiling, double &acc, F &&f)
 } // namespace
 
 Pipeline::Pipeline(const SimConfig &config, const Program &prog)
-    : Pipeline(config, prog, nullptr)
+    : Pipeline(config, prog, nullptr, nullptr)
 {}
 
 Pipeline::Pipeline(const SimConfig &config, const Program &prog,
                    FetchStream &externalStream)
-    : Pipeline(config, prog, &externalStream)
+    : Pipeline(config, prog, &externalStream, nullptr)
 {}
 
 Pipeline::Pipeline(const SimConfig &config, const Program &prog,
-                   FetchStream *externalStream)
+                   const CoreWiring &wiring)
+    : Pipeline(config, prog, nullptr, &wiring)
+{}
+
+Pipeline::Pipeline(const SimConfig &config, const Program &prog,
+                   FetchStream *externalStream, const CoreWiring *wiring)
     : cfg(config),
-      ownedStream(externalStream ? nullptr
-                                 : std::make_unique<OracleStream>(prog)),
+      ownedStream(externalStream
+                      ? nullptr
+                      : (wiring && wiring->sharedProgMem
+                             ? std::make_unique<OracleStream>(
+                                   prog, *wiring->sharedProgMem,
+                                   wiring->coreId, wiring->mt)
+                             : std::make_unique<OracleStream>(prog))),
       stream(externalStream ? *externalStream : *ownedStream),
+      committedMem(wiring && wiring->sharedCommitMem
+                       ? *wiring->sharedCommitMem
+                       : committedMemOwned_),
       mem(config),
       rf(config.numPhysRegs),
       bp(config),
@@ -74,7 +87,21 @@ Pipeline::Pipeline(const SimConfig &config, const Program &prog,
       rob(static_cast<size_t>(config.robSize) * CrackedSeq::kMaxUops +
           CrackedSeq::kMaxUops)
 {
-    committedMem.load(prog);
+    // A shared committed image is pre-loaded (with every core's
+    // program) by the multi-core driver; loading again here would
+    // stomp other cores' already-committed stores on a late-built core.
+    if (!(wiring && wiring->sharedCommitMem))
+        committedMem.load(prog);
+    if (wiring) {
+        if (wiring->coh)
+            mem.attachCoherence(wiring->coh, wiring->coreId);
+        if (wiring->mtCommit)
+            sb.setMtCommit(wiring->mtCommit);
+        mtOracle_ = wiring->sharedProgMem != nullptr;
+    }
+#if DMDP_INVARIANTS
+    sb.bindOwner(this);
+#endif
     sb.onCommit = [this](const SbEntry &entry) {
         ++stats.storesCommitted;
         srb.invalidate(entry.ssn);
@@ -115,29 +142,64 @@ Pipeline::injectRemoteInvalidation(uint32_t addr)
     mem.l2().invalidate(addr);
 }
 
+void
+Pipeline::coherenceInvalidate(uint32_t addr)
+{
+    injectRemoteInvalidation(addr);
+    // Attribution: any in-flight load of this line that is forced to
+    // re-execute by the T-SSBF entry just inserted was renamed before
+    // this cycle; verifyLoad compares rename cycles against this stamp.
+    remoteInvalCycle_[addr / cfg.l1d.lineBytes] = now;
+    ++profile_.cohInvalsReceived;
+    ++stats.remoteInvalidations;
+}
+
+bool
+Pipeline::stepCycle()
+{
+    if (done)
+        return false;
+    doCycle();
+    if (now - lastProgressCycle > 500000)
+        throw std::runtime_error(deadlockReport("pipeline deadlock"));
+    if (cancelToken && cancelToken->load(std::memory_order_relaxed)) {
+        throw SimCancelled("simulation cancelled at cycle " +
+                           std::to_string(now) + " (" +
+                           std::to_string(stats.instsRetired) +
+                           " insts retired)");
+    }
+    return !done;
+}
+
+bool
+Pipeline::drainTick()
+{
+    if (sb.empty())
+        return false;
+    ++now;
+    sb.tick(now);
+    return !sb.empty();
+}
+
 SimStats
 Pipeline::run()
 {
     auto t0 = std::chrono::steady_clock::now();
-    while (!done) {
-        doCycle();
-        if (now - lastProgressCycle > 500000)
-            throw std::runtime_error(deadlockReport("pipeline deadlock"));
-        if (cancelToken &&
-            cancelToken->load(std::memory_order_relaxed)) {
-            throw SimCancelled("simulation cancelled at cycle " +
-                               std::to_string(now) + " (" +
-                               std::to_string(stats.instsRetired) +
-                               " insts retired)");
-        }
+    while (stepCycle()) {
     }
-#if DMDP_INVARIANTS
-    checkInvariants();
-#endif
     profile_.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+    return finishRun();
+}
+
+SimStats
+Pipeline::finishRun()
+{
+#if DMDP_INVARIANTS
+    checkInvariants();
+#endif
     profile_.cycles = now;
     profile_.lsqSearchProbes = lsq.searchCounters().probes;
     profile_.lsqSearchFiltered = lsq.searchCounters().filtered;
@@ -1019,10 +1081,21 @@ Pipeline::completeLoad(UopRef r)
             if (fb.kind == StoreBuffer::ForwardResult::Kind::Forward) {
                 c.obtainedValue = fb.value;
                 source_ssn = fb.ssn;
+                // Record that the value came from an own-core store
+                // (nothing reads blSource after this point except the
+                // retire watch's local-forward flag).
+                c.blSource = BlSource::SbForward;
             } else {
-                c.obtainedValue = readExtended(committedMem,
-                                               c.dyn.effAddr,
-                                               c.dyn.inst);
+                // Multi-core shared mode pins cache-path deliveries to
+                // the oracle binding: the shared committed image may
+                // already hold a *younger* remote store, and verifyLoad
+                // compares against the original obtained value with no
+                // re-read, so reading a permanently-newer image would
+                // squash this load forever. See mtOracle_ in pipeline.h.
+                c.obtainedValue =
+                    mtOracle_ ? c.dyn.resultValue
+                              : readExtended(committedMem, c.dyn.effAddr,
+                                             c.dyn.inst);
                 source_ssn = sb.ssnCommit();
                 if (fb.kind ==
                     StoreBuffer::ForwardResult::Kind::Partial) {
@@ -1058,8 +1131,10 @@ Pipeline::completeLoad(UopRef r)
     } else {
         c.ssnNvul = sb.ssnCommit();
         DMDP_FAULT_HOOK(svwNvul, c.ssnNvul);
-        c.obtainedValue = readExtended(committedMem, c.dyn.effAddr,
-                                       c.dyn.inst);
+        c.obtainedValue =
+            mtOracle_ ? c.dyn.resultValue
+                      : readExtended(committedMem, c.dyn.effAddr,
+                                     c.dyn.inst);
     }
 
     if (u.dst >= 0)
@@ -1277,6 +1352,16 @@ Pipeline::verifyLoad(UopRef r)
             return true;
         }
         ++stats.reexecs;
+        if (!remoteInvalCycle_.empty()) {
+            // Cross-core attribution: a re-execution forced by an
+            // invalidation that landed on this load's line while it was
+            // in flight (renamed before the invalidation arrived).
+            auto it = remoteInvalCycle_.find(c.dyn.effAddr /
+                                             cfg.l1d.lineBytes);
+            if (it != remoteInvalCycle_.end() &&
+                it->second >= c.renameCycle)
+                ++profile_.cohReexecs;
+        }
         c.reexecFired = true;
         c.reexecState = ReexecState::WaitDrain;
     }
@@ -1329,6 +1414,7 @@ Pipeline::retireStore(UopRef r)
     entry.addr = c.dyn.effAddr;
     entry.size = static_cast<uint8_t>(c.dyn.inst.memSize());
     entry.value = c.dyn.storeValue;
+    entry.epoch = c.dyn.globalEpoch;
 
     if (cfg.model == LsuModel::Baseline) {
         lsq.removeStore(u.seq);
@@ -1428,8 +1514,17 @@ Pipeline::accountRetire(UopRef r)
             bool fwd = u.cls == LoadClass::Bypass ||
                        (u.cls == LoadClass::Predicated &&
                         u.predicateValue);
+            // Local forward: the delivered bytes came from an own-core
+            // store (SRB bypass/predication, or a Baseline LSQ/SB
+            // forward). Under TSO a core may read its own store before
+            // it is globally visible, so the MT checker relaxes the
+            // delivered-value comparison for exactly these loads.
+            bool local_fwd = fwd ||
+                             c.blSource == BlSource::SqForward ||
+                             c.blSource == BlSource::SbForward;
             onLoadRetire(c.dyn,
-                         fwd ? forwardedValue(u, c) : c.obtainedValue);
+                         fwd ? forwardedValue(u, c) : c.obtainedValue,
+                         local_fwd);
         }
     }
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -58,6 +59,31 @@ class SimCancelled : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * Multi-core wiring for one core's pipeline (all optional; the
+ * default-constructed wiring is exactly the single-core machine).
+ * Everything referenced must outlive the pipeline. See coh::MultiCoreSim
+ * for the owner that builds these.
+ */
+struct CoreWiring
+{
+    uint32_t coreId = 0;
+    /** Shared LLC + directory; attached to this core's Hierarchy. */
+    CoherencePort *coh = nullptr;
+    /**
+     * Shared-memory mode: the functional image every thread's oracle
+     * emulator executes over (pre-loaded with all programs). Null for
+     * private (mix-mode) memory.
+     */
+    MemImg *sharedProgMem = nullptr;
+    /** Shared-memory mode: the shared committed (cache-visible) image. */
+    MemImg *sharedCommitMem = nullptr;
+    /** Shared-memory mode: epoch-gated commit over sharedCommitMem. */
+    MtMemory *mtCommit = nullptr;
+    /** Shared-memory mode: global store-epoch source. */
+    MtContext *mt = nullptr;
+};
+
 /** The timing core. One instance simulates one program on one config. */
 class Pipeline
 {
@@ -73,10 +99,68 @@ class Pipeline
     Pipeline(const SimConfig &cfg, const Program &prog,
              FetchStream &externalStream);
 
+    /**
+     * One core of an N-core simulation (coh::MultiCoreSim). The wiring
+     * attaches the shared coherence fabric and, in shared-memory mode,
+     * binds the oracle emulator and the committed image to the shared
+     * images instead of private copies.
+     */
+    Pipeline(const SimConfig &cfg, const Program &prog,
+             const CoreWiring &wiring);
+
     ~Pipeline();
 
     /** Run to completion (HALT retired or maxInsts) and return stats. */
     SimStats run();
+
+    // ---- Lockstep multi-core stepping (coh::MultiCoreSim). ----
+    // run() is exactly: while (stepCycle()) {}; finishRun(). The
+    // lockstep driver interleaves stepCycle() across cores one global
+    // cycle at a time instead; cfg.idleSkip must be off so every core's
+    // local cycle counter equals the global round index.
+
+    /**
+     * Simulate one cycle (including the per-cycle deadlock watchdog
+     * and cancellation poll). Returns true while more cycles are
+     * needed, false once done (HALT retired or maxInsts).
+     */
+    bool stepCycle();
+
+    /**
+     * After this core is done but its store buffer still holds
+     * entries: advance one drain cycle. Returns true while entries
+     * remain. Lets the lockstep driver keep draining finished cores
+     * (and delivering invalidations from them) while others run.
+     */
+    bool drainTick();
+
+    /**
+     * Finalize and return the run's statistics (invariant scan, memory
+     * counters, warm-up subtraction). Call exactly once, after
+     * stepCycle() returned false.
+     */
+    SimStats finishRun();
+
+    /** Host wall time attribution for profile(); set by the driver. */
+    void recordWallSeconds(double s) { profile_.wallSeconds = s; }
+
+    bool finished() const { return done; }
+
+    /**
+     * A real remote invalidation from the coherence fabric (delivered
+     * by the directory, latency-delayed): the T-SSBF/private-cache
+     * effects of injectRemoteInvalidation plus attribution state so a
+     * re-execution forced by this invalidation is counted as a
+     * cross-core re-execution (SimProfile::cohReexecs).
+     */
+    void coherenceInvalidate(uint32_t addr);
+
+    /** The live oracle emulator, or null in trace-replay mode. */
+    const Emulator *
+    liveEmulator() const
+    {
+        return ownedStream ? &ownedStream->emulator() : nullptr;
+    }
 
     /**
      * Multi-core consistency hook (section IV-F): pretend another core
@@ -109,15 +193,21 @@ class Pipeline
 
     /**
      * Retiring-load observer: invoked once per retiring load micro-op
-     * with the load's dyn record and the value its consumers actually
+     * with the load's dyn record, the value its consumers actually
      * received (forwarded value for a cloaked load or a taken
-     * predication arm, cache value otherwise). The fault-injection
-     * campaign compares this against the oracle truth in the dyn
+     * predication arm, cache value otherwise), and whether that value
+     * came from a local store-forwarding path. The fault-injection
+     * campaign compares delivered against the oracle truth in the dyn
      * record to detect silent value corruption that end-state checks
-     * cannot see (the dyn records themselves are oracle truth).
-     * Timing-invisible.
+     * cannot see (the dyn records themselves are oracle truth). The
+     * multi-core checker additionally uses @p localForward to admit
+     * the one legal SC divergence: a load forwarded from its own
+     * core's uncommitted store (TSO store-buffer relaxation, the SB
+     * litmus shape). Timing-invisible.
      */
-    std::function<void(const DynInst &, uint32_t delivered)> onLoadRetire;
+    std::function<void(const DynInst &, uint32_t delivered,
+                       bool localForward)>
+        onLoadRetire;
 
     /**
      * Cooperative cancellation: when set, run() polls the token once
@@ -136,7 +226,7 @@ class Pipeline
   private:
     /** Common ctor: null @p externalStream means own a live oracle. */
     Pipeline(const SimConfig &cfg, const Program &prog,
-             FetchStream *externalStream);
+             FetchStream *externalStream, const CoreWiring *wiring);
 
     // ---- Per-stage logic. ----
     void doCycle();
@@ -228,7 +318,8 @@ class Pipeline
     SimConfig cfg;
     std::unique_ptr<OracleStream> ownedStream;  ///< null in replay mode
     FetchStream &stream;
-    MemImg committedMem;
+    MemImg committedMemOwned_;  ///< storage unless wired to a shared image
+    MemImg &committedMem;       ///< owned or shared committed image
     Hierarchy mem;
     RegFile rf;
     BranchPredictor bp;
@@ -298,6 +389,24 @@ class Pipeline
     // Multi-core invalidation traffic (section IV-F).
     Rng trafficRng{0xd31};
     std::deque<uint32_t> recentStoreLines;
+
+    // Real coherence fabric state (only populated when wired into a
+    // MultiCoreSim; empty in single-core runs, so the extra branch in
+    // verifyLoad never fires there).
+    /**
+     * Shared-memory mode: cache-path loads deliver the oracle binding
+     * value instead of reading the shared committed image. The shared
+     * image can permanently hold a *newer* value than this load's SC
+     * binding (another core already overwrote it), and the retire-time
+     * verification compares the originally obtained value with no
+     * re-read — delivering the newer value would squash forever.
+     * Timing (latencies, cache state) is unaffected; delivered-value
+     * correctness is still checked against the binding by the MT
+     * fuzzer's retire watch.
+     */
+    bool mtOracle_ = false;
+    /** line number -> cycle of the last remote invalidation hitting it. */
+    std::unordered_map<uint32_t, uint64_t> remoteInvalCycle_;
 
     // Warm-up sampling (SimPoint-style cold-start compensation).
     bool warmupTaken = false;

@@ -51,6 +51,10 @@ SimProfile::report() const
        << "  memindex sb_forward: " << sbForwardProbes << " probes, "
        << sbForwardFiltered << " filtered, " << sbForwardHits
        << " hits\n";
+    if (cohInvalsReceived || cohReexecs)
+        os << "  coherence: " << cohInvalsReceived
+           << " invalidations received, " << cohReexecs
+           << " invalidation-attributed re-executions\n";
     return os.str();
 }
 

@@ -64,6 +64,17 @@ struct SimProfile
     uint64_t sbForwardFiltered = 0;
     uint64_t sbForwardHits = 0;
 
+    // Coherent multi-core side-channel (src/coh/), per core. Kept out
+    // of SimStats for the same schema-digest reason as the counters
+    // above: single-core result-cache keys and sweep journals must not
+    // change, and a core's coherence interactions describe the fabric
+    // around it, not the modeled core alone. Aggregated into CohStats
+    // by MultiCoreSim.
+    uint64_t cohInvalsReceived = 0; ///< remote invalidations delivered
+    uint64_t cohReexecs = 0;        ///< re-executions attributable to a
+                                    ///< remote invalidation of a line
+                                    ///< read by an in-flight load
+
     static const char *stageName(int stage);
 
     /** True if DMDP_PROFILE is set (and not "0"). */

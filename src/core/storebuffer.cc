@@ -169,7 +169,11 @@ StoreBuffer::completeWrites(uint64_t now)
         assert(entry.started && !entry.done);
         entry.done = true;
         --inFlight;
-        committedMem.write(entry.addr, entry.size, entry.value);
+        if (mtCommit_)
+            mtCommit_->commit(entry.addr, entry.size, entry.value,
+                              entry.epoch);
+        else
+            committedMem.write(entry.addr, entry.size, entry.value);
         rf.consumerDone(entry.dataPreg);
         rf.consumerDone(entry.addrPreg);
         // Completed writes are visible through the cache itself, so

@@ -29,6 +29,7 @@
 #include "core/regfile.h"
 #include "core/uopring.h"
 #include "func/memimg.h"
+#include "func/mtshared.h"
 #include "mem/hierarchy.h"
 
 namespace dmdp {
@@ -42,6 +43,7 @@ struct SbEntry
     uint32_t addr = 0;
     uint8_t size = 0;
     uint32_t value = 0;
+    uint64_t epoch = 0; ///< global SC store epoch (multi-core; else 0)
     int dataPreg = -1;
     int addrPreg = -1;
     bool started = false;   ///< register read + cache access issued
@@ -120,6 +122,33 @@ class StoreBuffer
      */
     void setCompleteTimer(double *acc) { completeSeconds_ = acc; }
 
+    /**
+     * Multi-core shared-memory mode: route completed cache writes
+     * through the epoch-gated shared commit (func/mtshared.h) instead
+     * of writing the (per-core view of the) committed image directly.
+     * The referenced MtMemory wraps the same image as @p committed and
+     * must outlive the buffer. Null (the default) keeps the private
+     * single-core write path.
+     */
+    void setMtCommit(MtMemory *mt) { mtCommit_ = mt; }
+
+#if DMDP_INVARIANTS
+    /**
+     * Single-writer audit: the completion path (pending_ heap,
+     * inFlight count, SSN_commit) and the forwarding index assume one
+     * owning pipeline. The pipeline binds itself at construction;
+     * binding a second owner throws. See LineIndex::bindOwner.
+     */
+    void
+    bindOwner(const void *owner)
+    {
+        DMDP_INVARIANT(owner_ == nullptr || owner_ == owner,
+                       "StoreBuffer shared between two pipelines");
+        owner_ = owner;
+        fwdIndex_.bindOwner(owner);
+    }
+#endif
+
     // ---- Idle-skip support (event-driven scheduler) ----
 
     /** Cache writes are pipelined up to this many deep. */
@@ -189,6 +218,10 @@ class StoreBuffer
     bool indexForwards_ = true; ///< maintain fwdIndex_ (Baseline only)
     mutable MemIndexCounters fwdCtr_;
     double *completeSeconds_ = nullptr; ///< SbComplete stage accumulator
+    MtMemory *mtCommit_ = nullptr;  ///< epoch-gated shared commit (MT)
+#if DMDP_INVARIANTS
+    const void *owner_ = nullptr;   ///< single-writer audit token
+#endif
 
     Scalar commits_;
     Scalar coalesced_;

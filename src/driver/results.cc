@@ -230,6 +230,40 @@ resultToJson(const JobResult &r)
     j.set("model", lsuModelName(r.job.cfg.model));
     j.set("isInteger", r.job.isInteger);
     j.set("insts", Json(static_cast<double>(r.job.insts)));
+    j.set("cores", Json(static_cast<double>(r.job.cores)));
+    if (r.job.cores > 1) {
+        if (!r.job.mix.empty()) {
+            Json mix = Json::array();
+            for (const std::string &name : r.job.mix)
+                mix.push(Json(name));
+            j.set("mix", std::move(mix));
+        }
+        if (!r.job.sharedKernel.empty()) {
+            j.set("kernel", r.job.sharedKernel);
+            j.set("kernel_iters",
+                  Json(static_cast<double>(r.job.kernelIters)));
+        }
+        // Directory/LLC totals plus the cross-core sums of the per-core
+        // coherence side-channel. Like the profile object these stay
+        // outside "stats" (and the schema digest): they describe the
+        // fabric around the cores, and single-core documents must not
+        // change shape. Restored on journal resume; zero on cache hits.
+        Json coh = Json::object();
+        auto u64 = [](uint64_t v) {
+            return Json(static_cast<double>(v));
+        };
+        coh.set("llc_hits", u64(r.coh.llcHits));
+        coh.set("llc_misses", u64(r.coh.llcMisses));
+        coh.set("dram_accesses", u64(r.coh.dramAccesses));
+        coh.set("invals_sent", u64(r.coh.invalidationsSent));
+        coh.set("invals_delivered", u64(r.coh.invalidationsDelivered));
+        coh.set("invals_dropped", u64(r.coh.invalidationsDropped));
+        coh.set("downgrades", u64(r.coh.downgrades));
+        coh.set("upgrades", u64(r.coh.upgrades));
+        coh.set("invals_received", u64(r.profile.cohInvalsReceived));
+        coh.set("reexecs", u64(r.profile.cohReexecs));
+        j.set("coh", std::move(coh));
+    }
     j.set("config", r.job.cfg.describe());
     char digest[32];
     std::snprintf(digest, sizeof(digest), "%016llx",
@@ -309,6 +343,35 @@ resultFromJson(const Json &j, JobResult &out)
         out.job.isInteger = j.at("isInteger").asBool();
     if (j.has("insts"))
         out.job.insts = static_cast<uint64_t>(j.at("insts").asNumber());
+    if (j.has("cores"))
+        out.job.cores = static_cast<uint32_t>(j.at("cores").asNumber());
+    if (j.has("mix")) {
+        const Json &mix = j.at("mix");
+        for (size_t i = 0; i < mix.size(); ++i)
+            out.job.mix.push_back(mix.at(i).asString());
+    }
+    if (j.has("kernel"))
+        out.job.sharedKernel = j.at("kernel").asString();
+    if (j.has("kernel_iters"))
+        out.job.kernelIters =
+            static_cast<uint32_t>(j.at("kernel_iters").asNumber());
+    if (j.has("coh")) {
+        const Json &coh = j.at("coh");
+        auto u64 = [&coh](const char *key, uint64_t &field) {
+            if (coh.has(key))
+                field = static_cast<uint64_t>(coh.at(key).asNumber());
+        };
+        u64("llc_hits", out.coh.llcHits);
+        u64("llc_misses", out.coh.llcMisses);
+        u64("dram_accesses", out.coh.dramAccesses);
+        u64("invals_sent", out.coh.invalidationsSent);
+        u64("invals_delivered", out.coh.invalidationsDelivered);
+        u64("invals_dropped", out.coh.invalidationsDropped);
+        u64("downgrades", out.coh.downgrades);
+        u64("upgrades", out.coh.upgrades);
+        u64("invals_received", out.profile.cohInvalsReceived);
+        u64("reexecs", out.profile.cohReexecs);
+    }
     if (j.has("configDigest"))
         out.configDigest = std::strtoull(
             j.at("configDigest").asString().c_str(), nullptr, 16);
@@ -467,7 +530,11 @@ std::string
 resultsToCsv(const std::vector<JobResult> &results)
 {
     std::ostringstream os;
-    os << "id,proxy,model,isInteger,insts,configDigest,trace_digest,"
+    os << "id,proxy,model,isInteger,insts,cores,mix,kernel,"
+          "coh_invals_sent,coh_invals_delivered,coh_invals_dropped,"
+          "coh_downgrades,coh_upgrades,coh_llc_hits,coh_llc_misses,"
+          "coh_dram_accesses,coh_invals_received,coh_reexecs,"
+          "configDigest,trace_digest,"
           "cached,wallSeconds,sim_cycles_per_sec,sim_cycles_per_sec_raw,"
           "lsq_search_probes,lsq_search_filtered,lsq_search_hits,"
           "lsq_viol_probes,lsq_viol_filtered,lsq_viol_hits,"
@@ -490,9 +557,25 @@ resultsToCsv(const std::vector<JobResult> &results)
                       static_cast<unsigned long long>(r.traceDigest));
         // id and proxy are caller-supplied strings (sweep files, CLI
         // flags), so they get the same quoting as error messages.
+        std::string mixJoined;
+        for (const std::string &name : r.job.mix) {
+            if (!mixJoined.empty())
+                mixJoined += '+';
+            mixJoined += name;
+        }
         os << csvQuote(r.job.id) << ',' << csvQuote(r.job.proxy) << ','
            << lsuModelName(r.job.cfg.model) << ','
            << (r.job.isInteger ? 1 : 0) << ',' << r.job.insts << ','
+           << r.job.cores << ',' << csvQuote(mixJoined) << ','
+           << csvQuote(r.job.sharedKernel) << ','
+           << r.coh.invalidationsSent << ','
+           << r.coh.invalidationsDelivered << ','
+           << r.coh.invalidationsDropped << ','
+           << r.coh.downgrades << ',' << r.coh.upgrades << ','
+           << r.coh.llcHits << ',' << r.coh.llcMisses << ','
+           << r.coh.dramAccesses << ','
+           << r.profile.cohInvalsReceived << ','
+           << r.profile.cohReexecs << ','
            << digest << ',' << wdigest << ',' << (r.cached ? 1 : 0)
            << ',' << r.wallSeconds << ','
            << r.profile.steppedCyclesPerSec() << ','

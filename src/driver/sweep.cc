@@ -18,6 +18,7 @@
 #include "driver/results.h"
 #include "sim/simulator.h"
 #include "trace/tracerecorder.h"
+#include "workloads/shared_kernels.h"
 #include "workloads/spec_proxies.h"
 
 namespace dmdp::driver {
@@ -116,6 +117,33 @@ configDigest(const SimConfig &cfg)
     hashField(h, cfg.squashPenalty);
     hashField(h, cfg.maxInsts);
     hashField(h, cfg.warmupInsts);
+    return h;
+}
+
+uint64_t
+multiCoreConfigDigest(const SweepJob &job)
+{
+    // Start from the per-core machine digest and fold in everything a
+    // multi-core run adds on top: fabric geometry/latency, core count
+    // and workload composition. A single-core job never calls this.
+    uint64_t h = configDigest(job.cfg);
+    hashField(h, job.cores);
+    hashField(h, job.coh.invalLatency);
+    hashField(h, job.coh.downgradeLatency);
+    hashCache(h, job.coh.llc);
+    hashField(h, job.coh.privateMix);
+    auto mixString = [&h](const std::string &s) {
+        for (char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001b3ull;
+        }
+        h ^= 0xff;  // separator: {"a","bc"} != {"ab","c"}
+        h *= 0x100000001b3ull;
+    };
+    for (const std::string &name : job.mix)
+        mixString(name);
+    mixString(job.sharedKernel);
+    hashField(h, job.kernelIters);
     return h;
 }
 
@@ -305,6 +333,70 @@ class Watchdog
     std::thread thread_;
 };
 
+/**
+ * Sum the per-core counters of a multi-core run into one SimStats;
+ * cycles becomes the global lockstep round count (per-core cycle
+ * counters all equal it anyway — idle-skip is forced off). Summing
+ * through the authoritative statFields() name list keeps this in
+ * lockstep with the schema; counters are exact in double far beyond
+ * any realistic budget (2^53).
+ */
+SimStats
+aggregateMultiCoreStats(const coh::MultiCoreResult &mc)
+{
+    SimStats sum;
+    if (mc.stats.empty())
+        return sum;
+    auto fields = statFields(mc.stats[0]);
+    for (size_t c = 1; c < mc.stats.size(); ++c) {
+        auto more = statFields(mc.stats[c]);
+        for (size_t k = 0; k < fields.size(); ++k)
+            fields[k].second += more[k].second;
+    }
+    for (const auto &[name, value] : fields)
+        assignStatField(sum, name, value);  // derived metrics skipped
+    sum.cycles = mc.cycles;
+    return sum;
+}
+
+/**
+ * Workload-content digest of a multi-core job: FNV over every per-core
+ * program digest, in core order. Throws when a program fails to build
+ * (the attempt loop rebuilds and reports with retry semantics).
+ */
+uint64_t
+multiCoreWorkloadDigest(const SweepJob &job)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    if (!job.sharedKernel.empty()) {
+        SharedKernelOptions opt;
+        opt.iters = job.kernelIters;
+        for (const Program &p :
+             buildSharedKernel(job.sharedKernel, job.cores, opt))
+            hashField(h, programDigest(p));
+    } else {
+        for (const std::string &name : job.mix)
+            hashField(h, programDigest(buildProxy(name, job.insts)));
+    }
+    return h;
+}
+
+/** Execute one multi-core job (mix or shared kernel). */
+coh::MultiCoreResult
+runMultiCoreJob(const SweepJob &job, const SimConfig &cfg,
+                const std::atomic<bool> *cancel)
+{
+    if (!job.sharedKernel.empty())
+        return simulateSharedKernel(job.sharedKernel, job.cores, cfg,
+                                    job.coh, job.kernelIters, cancel);
+    if (job.mix.size() != job.cores)
+        throw std::runtime_error(
+            "multi-core job " + job.id + ": mix names " +
+            std::to_string(job.mix.size()) + " proxies for " +
+            std::to_string(job.cores) + " cores");
+    return simulateMix(job.mix, cfg, job.insts, job.coh, cancel);
+}
+
 /** Journal key: a result is reusable only for the exact same run. */
 std::string
 resumeKey(const std::string &id, uint64_t digest, uint64_t insts)
@@ -428,10 +520,12 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                 return;
             JobResult &r = results[i];
             r.job = jobs[i];
+            const bool multi = jobs[i].cores > 1;
             // simulateProxy() pins maxInsts to the budget; mirror that
             // before digesting so the digest covers the run as executed.
             r.job.cfg.maxInsts = jobs[i].insts;
-            r.configDigest = configDigest(r.job.cfg);
+            r.configDigest = multi ? multiCoreConfigDigest(r.job)
+                                   : configDigest(r.job.cfg);
 
             // Already in the resume journal: restore instead of re-run.
             if (!resumable.empty()) {
@@ -445,6 +539,7 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                     r.attempts = saved.attempts;
                     r.resumed = true;
                     r.traceDigest = saved.traceDigest;
+                    r.coh = saved.coh;
                     size_t done = nDone.fetch_add(1) + 1;
                     if (progress) {
                         std::lock_guard<std::mutex> lock(progressMutex);
@@ -455,7 +550,7 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
             }
 
             TraceSlot *slot = nullptr;
-            if (!slots.empty()) {
+            if (!multi && !slots.empty()) {
                 auto it = slots.find(workloadKey(jobs[i]));
                 if (it != slots.end())
                     slot = it->second.get();
@@ -465,7 +560,17 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
             std::shared_ptr<const Program> pg;
             std::shared_ptr<const trace::TraceBuffer> tr;
             bool liveFallback = false;  ///< slot capture failed: run live
-            if (slot) {
+            if (multi) {
+                // Digest every per-core program so the cache key names
+                // the exact workload content; 0 (uncacheable) when a
+                // program fails to build — the attempt loop rebuilds
+                // and reports the error with retry semantics.
+                try {
+                    r.traceDigest = multiCoreWorkloadDigest(jobs[i]);
+                } catch (...) {
+                    r.traceDigest = 0;
+                }
+            } else if (slot) {
                 // Workload digest first, trace second: a cache-memoized
                 // digest lets a fully warm workload skip recording (the
                 // emulation cost) entirely, not just replaying.
@@ -589,6 +694,19 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                     // pre-digest program build threw; simulateProxy
                     // then rebuilds so the error carries retry
                     // semantics and a real message.
+                    if (multi) {
+                        coh::MultiCoreResult mc =
+                            runMultiCoreJob(jobs[i], r.job.cfg, &cancel);
+                        r.stats = aggregateMultiCoreStats(mc);
+                        r.coh = mc.coh;
+                        r.profile.cycles = mc.cycles;
+                        if (!mc.profiles.empty())
+                            r.profile.wallSeconds =
+                                mc.profiles[0].wallSeconds;
+                        r.profile.cohInvalsReceived =
+                            mc.cohInvalsReceived();
+                        r.profile.cohReexecs = mc.cohReexecs();
+                    } else {
                     r.stats = tr ? Simulator::replay(r.job.cfg, *pg, *tr,
                                                      &r.profile, &cancel)
                              : pg ? Simulator::run(r.job.cfg, *pg,
@@ -597,6 +715,7 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                                                   jobs[i].cfg,
                                                   jobs[i].insts,
                                                   &r.profile, &cancel);
+                    }
                     r.ok = true;
                     r.error.clear();
                     break;

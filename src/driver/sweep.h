@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "coh/directory.h"
 #include "common/config.h"
 #include "core/simprofile.h"
 #include "core/simstats.h"
@@ -24,14 +25,32 @@
 
 namespace dmdp::driver {
 
-/** One unit of work: simulate one proxy under one configuration. */
+/**
+ * One unit of work: simulate one proxy under one configuration, or —
+ * when cores > 1 — one multi-core job behind the shared LLC + directory
+ * (src/coh/). Multi-core jobs come in two flavors: a disjoint mix (one
+ * proxy per core, core-tagged address spaces, directory stays silent)
+ * or a shared-memory kernel (workloads/shared_kernels.h). Core count,
+ * mix composition and coherence parameters are first-class components
+ * of the result identity (see multiCoreConfigDigest), so cached
+ * single-core results stay valid and multi-core results can never be
+ * confused with them.
+ */
 struct SweepJob
 {
     std::string id;         ///< unique label, e.g. "dmdp/perl/sb=32"
     std::string proxy;      ///< proxy benchmark name (spec_proxies.h)
     bool isInteger = true;  ///< Int/FP suite membership (for geomeans)
-    SimConfig cfg;          ///< full machine configuration
-    uint64_t insts = 0;     ///< dynamic instruction budget
+    SimConfig cfg;          ///< full machine configuration (every core)
+    uint64_t insts = 0;     ///< dynamic instruction budget (per core)
+
+    // Multi-core jobs only (cores > 1). Exactly one of mix (with
+    // mix.size() == cores) or sharedKernel must be set.
+    uint32_t cores = 1;         ///< simulated cores; 1 = classic job
+    std::vector<std::string> mix;   ///< per-core proxy names (disjoint)
+    std::string sharedKernel;   ///< shared-memory kernel name
+    uint32_t kernelIters = 200; ///< shared-kernel iteration count
+    coh::CohParams coh;         ///< coherence fabric parameters
 };
 
 /** The outcome of one job: statistics plus run metadata. */
@@ -56,6 +75,16 @@ struct JobResult
      */
     uint64_t traceDigest = 0;
     bool cached = false;        ///< restored from the result cache
+    /**
+     * Directory/LLC statistics for multi-core jobs (all-zero for
+     * cores == 1). stats holds the per-core counters summed across
+     * cores with cycles set to the global lockstep round count; the
+     * per-core coherence side-channel sums land in profile
+     * (cohInvalsReceived / cohReexecs). Like the profile, coh is not
+     * part of the cached stat vector: result-cache hits restore stats
+     * only, while journal restores carry coh through the JSON document.
+     */
+    coh::CohStats coh;
 };
 
 /**
@@ -185,6 +214,17 @@ struct SweepReport
  * archived JSON/CSV results remain attributable.
  */
 uint64_t configDigest(const SimConfig &cfg);
+
+/**
+ * Result-identity digest of a multi-core job: configDigest(job.cfg)
+ * extended with the core count, the coherence fabric parameters
+ * (latencies, LLC geometry, private-mix tagging) and the workload
+ * composition (mix proxy names or shared-kernel name + iterations).
+ * Only used when job.cores > 1 — single-core jobs keep the plain
+ * configDigest, so every cached or journaled single-core result stays
+ * bit-for-bit valid.
+ */
+uint64_t multiCoreConfigDigest(const SweepJob &job);
 
 /**
  * Stable 64-bit digest of a program image: entry point plus every

@@ -8,11 +8,18 @@
 namespace dmdp {
 
 Emulator::Emulator(const Program &prog)
-    : pc_(prog.entry)
+    : mem_(&ownedMem_), pc_(prog.entry)
 {
-    mem.load(prog);
+    ownedMem_.load(prog);
     // Conventional initial stack, high in the address space.
-    regs[29] = 0x7fff0000u;
+    regs[29] = stackBase(0);
+}
+
+Emulator::Emulator(const Program &prog, MemImg &sharedMem,
+                   uint32_t threadId, MtContext *mt)
+    : mem_(&sharedMem), mt_(mt), pc_(prog.entry)
+{
+    regs[29] = stackBase(threadId);
 }
 
 uint32_t
@@ -53,7 +60,7 @@ Emulator::step()
     DynInst dyn;
     dyn.seq = count++;
     dyn.pc = pc_;
-    dyn.inst = decode(mem.read32(pc_));
+    dyn.inst = decode(mem_->read32(pc_));
     const Inst &inst = dyn.inst;
     uint32_t next = pc_ + 4;
 
@@ -71,7 +78,7 @@ Emulator::step()
         if (addr & (size - 1))
             throw std::runtime_error("misaligned load at pc " +
                                      std::to_string(pc_));
-        uint32_t raw = mem.read(addr, size);
+        uint32_t raw = mem_->read(addr, size);
         uint32_t value = raw;
         if (inst.op == Op::LB)
             value = static_cast<uint32_t>(sext(raw, 8));
@@ -92,10 +99,12 @@ Emulator::step()
         uint32_t value = regs[inst.rt];
         dyn.effAddr = addr;
         dyn.storeValue = value;
-        dyn.silentStore = (mem.read(addr, size) ==
+        dyn.silentStore = (mem_->read(addr, size) ==
                            (value & ((size == 4) ? ~0u
                                                  : ((1u << (size * 8)) - 1u))));
-        mem.write(addr, size, value);
+        if (mt_)
+            dyn.globalEpoch = ++mt_->storeEpoch;
+        mem_->write(addr, size, value);
         break;
       }
 

@@ -42,6 +42,18 @@ struct DynInst
     bool multiWriter = false;   ///< loads: read bytes from >1 stores
     bool silentStore = false;   ///< stores: wrote back the existing value
 
+    /**
+     * Multi-threaded execution only: global store ordinal across every
+     * thread sharing one memory image, stamped by the emulator at the
+     * instant the store architecturally executed. The defining
+     * sequentially-consistent binding of the run — the epoch-gated
+     * shared commit (func/mtshared.h) uses it so the timing cores'
+     * committed image converges to the SC memory state regardless of
+     * cross-core store-buffer drain order. Zero in single-threaded
+     * runs and for non-stores.
+     */
+    uint64_t globalEpoch = 0;
+
     bool isLoad() const { return inst.isLoad(); }
     bool isStore() const { return inst.isStore(); }
 
@@ -53,11 +65,34 @@ struct DynInst
     }
 };
 
+/**
+ * Shared cross-thread state for multi-threaded functional execution:
+ * one instance per shared-memory run, handed to every thread's
+ * emulator. The store epoch is the global ordinal of architectural
+ * stores across all threads — the interleaving the emulators actually
+ * executed in IS the run's sequentially-consistent schedule.
+ */
+struct MtContext
+{
+    uint64_t storeEpoch = 0;
+};
+
 /** Architectural state machine for the simulated ISA. */
 class Emulator
 {
   public:
     explicit Emulator(const Program &prog);
+
+    /**
+     * Multi-threaded variant: execute over an externally owned shared
+     * memory image (already loaded with every thread's program — this
+     * ctor loads nothing). @p threadId offsets the conventional stack
+     * so threads never collide there; @p mt (optional) stamps each
+     * store's DynInst::globalEpoch. @p sharedMem and @p mt must
+     * outlive the emulator.
+     */
+    Emulator(const Program &prog, MemImg &sharedMem, uint32_t threadId,
+             MtContext *mt = nullptr);
 
     /** Execute one instruction; undefined if halted(). */
     DynInst step();
@@ -69,13 +104,22 @@ class Emulator
     uint32_t reg(unsigned n) const { return regs[n]; }
     void setReg(unsigned n, uint32_t v) { if (n) regs[n] = v; }
 
-    MemImg &memory() { return mem; }
-    const MemImg &memory() const { return mem; }
+    MemImg &memory() { return *mem_; }
+    const MemImg &memory() const { return *mem_; }
+
+    /** Conventional initial stack pointer for @p threadId (0 = main). */
+    static uint32_t
+    stackBase(uint32_t threadId)
+    {
+        return 0x7fff0000u - threadId * 0x400000u;
+    }
 
   private:
     uint32_t aluResult(const Inst &inst) const;
 
-    MemImg mem;
+    MemImg ownedMem_;   ///< storage for the single-threaded case
+    MemImg *mem_;       ///< &ownedMem_, or the shared image
+    MtContext *mt_ = nullptr;
     std::array<uint32_t, kNumArchRegs> regs{};
     uint32_t pc_;
     bool halted_ = false;

@@ -1,0 +1,119 @@
+#include "func/mtshared.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "func/writertable.h"
+
+namespace dmdp {
+
+MtReference
+mtReplay(const std::vector<Program> &threads,
+         const std::vector<MtSlice> &schedule)
+{
+    size_t n = threads.size();
+    MtReference ref;
+    ref.streams.resize(n);
+    ref.finalRegs.resize(n);
+    ref.halted.assign(n, false);
+
+    for (const Program &prog : threads)
+        ref.mem.load(prog);
+
+    MtContext ctx;
+    std::vector<std::unique_ptr<Emulator>> emus;
+    std::vector<std::unique_ptr<DepAnnotator>> deps;
+    emus.reserve(n);
+    for (size_t t = 0; t < n; ++t) {
+        emus.push_back(std::make_unique<Emulator>(
+            threads[t], ref.mem, static_cast<uint32_t>(t), &ctx));
+        deps.push_back(std::make_unique<DepAnnotator>());
+    }
+
+    for (const MtSlice &slice : schedule) {
+        if (slice.thread >= n)
+            throw std::runtime_error("mtReplay: slice names thread " +
+                                     std::to_string(slice.thread) +
+                                     " of " + std::to_string(n));
+        Emulator &emu = *emus[slice.thread];
+        for (uint32_t i = 0; i < slice.steps; ++i) {
+            if (emu.halted())
+                throw std::runtime_error(
+                    "mtReplay: schedule steps halted thread " +
+                    std::to_string(slice.thread));
+            DynInst dyn = emu.step();
+            deps[slice.thread]->annotate(dyn);
+            ref.streams[slice.thread].push_back(dyn);
+        }
+    }
+
+    for (size_t t = 0; t < n; ++t) {
+        ref.halted[t] = emus[t]->halted();
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            ref.finalRegs[t][r] = emus[t]->reg(r);
+    }
+    return ref;
+}
+
+namespace {
+
+std::vector<MtSlice>
+toSlices(const std::vector<uint32_t> &choices)
+{
+    std::vector<MtSlice> slices;
+    for (uint32_t t : choices) {
+        if (!slices.empty() && slices.back().thread == t)
+            ++slices.back().steps;
+        else
+            slices.push_back(MtSlice{t, 1});
+    }
+    return slices;
+}
+
+} // namespace
+
+void
+forEachScInterleaving(const std::vector<Program> &threads,
+                      uint32_t maxStepsPerThread,
+                      uint64_t maxInterleavings,
+                      const std::function<void(const MtReference &)> &fn)
+{
+    size_t n = threads.size();
+    uint64_t leaves = 0;
+    std::vector<uint32_t> choices;
+    std::vector<uint32_t> steps(n, 0);
+
+    // Replay-from-scratch DFS: which threads are runnable at a node
+    // depends on execution (branches read shared memory), so the
+    // prefix is re-executed per node. Litmus-sized programs keep the
+    // total step count trivial.
+    std::function<void()> dfs = [&]() {
+        MtReference ref = mtReplay(threads, toSlices(choices));
+        if (ref.allHalted()) {
+            if (++leaves > maxInterleavings)
+                throw std::runtime_error(
+                    "forEachScInterleaving: more than " +
+                    std::to_string(maxInterleavings) + " interleavings");
+            fn(ref);
+            return;
+        }
+        for (uint32_t t = 0; t < n; ++t) {
+            if (ref.halted[t])
+                continue;
+            if (steps[t] >= maxStepsPerThread)
+                throw std::runtime_error(
+                    "forEachScInterleaving: thread " + std::to_string(t) +
+                    " exceeds " + std::to_string(maxStepsPerThread) +
+                    " steps without halting");
+            choices.push_back(t);
+            ++steps[t];
+            dfs();
+            --steps[t];
+            choices.pop_back();
+        }
+    };
+    dfs();
+}
+
+} // namespace dmdp

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Multi-threaded functional execution support: the epoch-gated shared
+ * committed image, the recorded-schedule sequentially-consistent
+ * reference replay, and exhaustive SC-interleaving enumeration for
+ * litmus outcome sets.
+ *
+ * The defining SC binding of a multi-core timing run is the order the
+ * per-core oracle emulators fetched in: they share one MemImg, and the
+ * lockstep MultiCoreSim records (core, step-count) slices as cores
+ * generate instructions. mtReplay() re-executes that exact schedule
+ * from scratch, which gives the fuzzer a full reference — per-thread
+ * retired streams, final registers, and final shared memory — for any
+ * interleaving the timing model produced.
+ *
+ * The epoch gate solves the commit-order problem: per-core store
+ * buffers drain independently, so the *timing* order in which store
+ * bytes reach the shared committed image is not the SC order.
+ * Each store carries its global epoch (DynInst::globalEpoch, stamped
+ * at architectural execution); MtMemory applies a byte only when its
+ * epoch is not older than the byte's last applied epoch, so the
+ * committed image converges to the SC memory state regardless of
+ * cross-core drain interleaving.
+ */
+
+#ifndef DMDP_FUNC_MTSHARED_H
+#define DMDP_FUNC_MTSHARED_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "func/emulator.h"
+#include "func/memimg.h"
+#include "isa/program.h"
+
+namespace dmdp {
+
+/**
+ * Epoch-gated view of a shared committed memory image. All writes from
+ * every core's store buffer funnel through one instance; bytes whose
+ * recorded epoch is younger than the incoming store's are left alone.
+ */
+class MtMemory
+{
+  public:
+    explicit MtMemory(MemImg &img) : img_(img) {}
+
+    /** Apply a committing store's bytes where @p epoch is newest. */
+    void
+    commit(uint32_t addr, unsigned size, uint32_t value, uint64_t epoch)
+    {
+        for (unsigned i = 0; i < size; ++i) {
+            uint64_t &last = byteEpoch_[addr + i];
+            if (epoch >= last) {
+                last = epoch;
+                img_.write8(addr + i,
+                            static_cast<uint8_t>(value >> (8 * i)));
+            }
+        }
+    }
+
+  private:
+    MemImg &img_;
+    std::unordered_map<uint32_t, uint64_t> byteEpoch_;
+};
+
+/** One schedule step: @p thread executes @p steps instructions. */
+struct MtSlice
+{
+    uint32_t thread = 0;
+    uint32_t steps = 0;
+};
+
+/** The SC reference for one multi-threaded schedule. */
+struct MtReference
+{
+    /** Per-thread committed streams, oracle-annotated per thread. */
+    std::vector<std::vector<DynInst>> streams;
+    /** Final shared memory after the whole schedule. */
+    MemImg mem;
+    /** Per-thread final architectural register files. */
+    std::vector<std::array<uint32_t, kNumArchRegs>> finalRegs;
+    /** Per-thread halted flags after the schedule. */
+    std::vector<bool> halted;
+
+    bool
+    allHalted() const
+    {
+        for (bool h : halted)
+            if (!h)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Execute @p threads over one shared memory image in exactly the order
+ * @p schedule names, with per-thread dependence annotation. Throws
+ * std::runtime_error if a slice steps a halted thread — a corrupt
+ * schedule, never a legal timing-model product.
+ */
+MtReference mtReplay(const std::vector<Program> &threads,
+                     const std::vector<MtSlice> &schedule);
+
+/**
+ * Enumerate every sequentially consistent interleaving of @p threads
+ * (each capped at @p maxStepsPerThread dynamic instructions — exceeding
+ * the cap throws, as does passing @p maxInterleavings leaves) and call
+ * @p fn with the completed reference for each. Intended for litmus
+ * shapes: a handful of instructions per thread, hundreds to a few
+ * hundred thousand interleavings. The allowed outcome set of a litmus
+ * test is the union of what @p fn observes.
+ */
+void forEachScInterleaving(
+    const std::vector<Program> &threads, uint32_t maxStepsPerThread,
+    uint64_t maxInterleavings,
+    const std::function<void(const MtReference &)> &fn);
+
+} // namespace dmdp
+
+#endif // DMDP_FUNC_MTSHARED_H

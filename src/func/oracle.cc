@@ -9,6 +9,11 @@ OracleStream::OracleStream(const Program &prog)
     : emu(prog)
 {}
 
+OracleStream::OracleStream(const Program &prog, MemImg &sharedMem,
+                           uint32_t threadId, MtContext *mt)
+    : emu(prog, sharedMem, threadId, mt)
+{}
+
 void
 OracleStream::generateNext()
 {

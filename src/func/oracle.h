@@ -28,6 +28,16 @@ class OracleStream : public FetchStream
   public:
     explicit OracleStream(const Program &prog);
 
+    /**
+     * Multi-threaded variant: this thread's emulator executes over the
+     * shared @p sharedMem image (pre-loaded by the caller with every
+     * thread's program) and stamps store epochs into @p mt. Dependence
+     * annotation stays per-thread: lastWriterSsn names same-thread
+     * writers only, exactly what the per-core predictors model.
+     */
+    OracleStream(const Program &prog, MemImg &sharedMem,
+                 uint32_t threadId, MtContext *mt);
+
     bool
     atEnd() override
     {

@@ -28,7 +28,8 @@ hex(uint32_t v)
     return buf;
 }
 
-/** Compare two oracle-annotated dynamic instruction records. */
+} // namespace
+
 bool
 dynEqual(const DynInst &a, const DynInst &b)
 {
@@ -54,6 +55,8 @@ describeDyn(const DynInst &d)
            " ssn=" + std::to_string(d.ssn) +
            " lastWriter=" + std::to_string(d.lastWriterSsn);
 }
+
+namespace {
 
 /** Initial architectural register file (mirrors the emulator's). */
 std::array<uint32_t, kNumArchRegs>
@@ -124,7 +127,7 @@ buildReference(const Program &prog, uint64_t maxSteps, Reference &out,
 RunCheck
 verifyRun(const SimConfig &cfg, const Program &prog, FetchStream *external,
           const Reference &ref,
-          const std::function<void(const DynInst &, uint32_t)>
+          const std::function<void(const DynInst &, uint32_t, bool)>
               &on_load_retire)
 {
     RunCheck run;
@@ -228,6 +231,7 @@ failKindName(FailKind kind)
       case FailKind::Memory: return "memory-mismatch";
       case FailKind::Stats: return "stats-mismatch";
       case FailKind::EngineException: return "engine-exception";
+      case FailKind::Delivered: return "delivered-value";
     }
     return "unknown";
 }

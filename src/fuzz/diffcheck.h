@@ -50,9 +50,18 @@ enum class FailKind
     Memory,         ///< final committed memory mismatch
     Stats,          ///< engines of one model disagree on SimStats
     EngineException,///< a pipeline threw (deadlock, invariant, trace)
+    Delivered,      ///< a retiring load delivered a non-architectural
+                    ///< value without a local forward to excuse it
+                    ///< (multi-core runs only — the cross-core check)
 };
 
 const char *failKindName(FailKind kind);
+
+/** Field-by-field equality of two oracle-annotated dynamic records. */
+bool dynEqual(const DynInst &a, const DynInst &b);
+
+/** One-line rendering of a dynamic record for divergence messages. */
+std::string describeDyn(const DynInst &d);
 
 struct DiffOptions
 {
@@ -114,12 +123,13 @@ struct RunCheck
  * and verify the retired stream, final registers, and drained committed
  * memory against @p ref. @p on_load_retire, when set, is forwarded to
  * Pipeline::onLoadRetire — the fault-injection campaign uses it to
- * watch the value each retiring load actually delivered.
+ * watch the value each retiring load actually delivered (the bool flags
+ * a local own-core forward; see Pipeline::onLoadRetire).
  */
 RunCheck
 verifyRun(const SimConfig &cfg, const Program &prog, FetchStream *external,
           const Reference &ref,
-          const std::function<void(const DynInst &, uint32_t)>
+          const std::function<void(const DynInst &, uint32_t, bool)>
               &on_load_retire = nullptr);
 
 /** Assemble @p source first; assembly errors report ReferenceFault. */

@@ -134,4 +134,78 @@ minimize(const std::string &source, const DiffOptions &opt,
     return result;
 }
 
+MtMinimizeResult
+minimizeMt(const std::vector<std::string> &sources, const MtDiffOptions &opt,
+           uint32_t maxAttempts)
+{
+    DiffResult original = mtDiffCheckSources(sources, opt);
+    if (original.ok)
+        throw std::invalid_argument(
+            "minimizeMt: program set passes mtDiffCheck, nothing to shrink");
+
+    MtMinimizeResult result;
+    result.kind = original.kind;
+
+    // Flatten to (thread, line) so one ddmin chunk can delete from
+    // several threads at once.
+    std::vector<std::pair<uint32_t, std::string>> flat;
+    for (uint32_t t = 0; t < sources.size(); ++t)
+        for (const std::string &line : splitLines(sources[t]))
+            flat.emplace_back(t, line);
+
+    auto unflatten = [&](const std::vector<std::pair<uint32_t, std::string>>
+                             &cand) {
+        std::vector<std::string> out(sources.size());
+        for (const auto &[t, line] : cand) {
+            out[t] += line;
+            out[t] += '\n';
+        }
+        return out;
+    };
+
+    uint32_t attempts = 0;
+    auto interesting =
+        [&](const std::vector<std::pair<uint32_t, std::string>> &cand) {
+            ++attempts;
+            DiffResult r = mtDiffCheckSources(unflatten(cand), opt);
+            return !r.ok && r.kind == original.kind;
+        };
+
+    size_t chunk = flat.size() / 2;
+    if (chunk == 0)
+        chunk = 1;
+    while (attempts < maxAttempts) {
+        bool removedAny = false;
+        for (size_t start = 0;
+             start < flat.size() && attempts < maxAttempts;) {
+            size_t len = std::min(chunk, flat.size() - start);
+            std::vector<std::pair<uint32_t, std::string>> cand;
+            cand.reserve(flat.size() - len);
+            cand.insert(cand.end(), flat.begin(),
+                        flat.begin() + static_cast<long>(start));
+            cand.insert(cand.end(),
+                        flat.begin() + static_cast<long>(start + len),
+                        flat.end());
+            if (!cand.empty() && interesting(cand)) {
+                flat = std::move(cand);
+                removedAny = true;
+            } else {
+                start += len;
+            }
+        }
+        if (chunk == 1) {
+            if (!removedAny)
+                break;
+        } else {
+            chunk = (chunk + 1) / 2;
+        }
+    }
+
+    result.sources = unflatten(flat);
+    for (const std::string &src : result.sources)
+        result.instLines += countInstLines(src);
+    result.attempts = attempts;
+    return result;
+}
+
 } // namespace dmdp::fuzz

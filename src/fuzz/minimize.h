@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "fuzz/diffcheck.h"
+#include "fuzz/mtdiff.h"
 
 namespace dmdp::fuzz {
 
@@ -38,6 +40,27 @@ MinimizeResult minimize(const std::string &source,
 
 /** Count instruction lines (non-blank, non-comment, non-label/directive). */
 uint32_t countInstLines(const std::string &source);
+
+struct MtMinimizeResult
+{
+    std::vector<std::string> sources;   ///< minimized per-thread sources
+    FailKind kind = FailKind::None;     ///< the preserved failure kind
+    uint32_t instLines = 0;             ///< instruction lines, all threads
+    uint32_t attempts = 0;              ///< candidate mtDiffCheck runs
+};
+
+/**
+ * Jointly minimize an interleaved repro: ddmin over the flattened
+ * (thread, line) space, so one deletion chunk can span thread
+ * boundaries and the shrink converges on the minimal cross-thread
+ * interaction rather than on each thread in isolation. The thread
+ * count never changes (a thread whose source stops assembling — or
+ * empties — is a rejected candidate). @p sources must currently fail
+ * mtDiffCheck, else throws std::invalid_argument.
+ */
+MtMinimizeResult minimizeMt(const std::vector<std::string> &sources,
+                            const MtDiffOptions &opt = {},
+                            uint32_t maxAttempts = 2000);
 
 } // namespace dmdp::fuzz
 

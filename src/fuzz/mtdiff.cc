@@ -1,0 +1,292 @@
+#include "fuzz/mtdiff.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "coh/multicore.h"
+#include "common/config.h"
+#include "driver/results.h"
+#include "func/emulator.h"
+#include "func/mtshared.h"
+#include "isa/assembler.h"
+
+namespace dmdp::fuzz {
+
+namespace {
+
+std::string
+hex(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
+}
+
+struct MtEngineRun
+{
+    std::string name;
+    bool failed = false;
+    FailKind kind = FailKind::None;
+    std::string detail;
+    uint64_t insts = 0;     ///< all-thread retired total
+    /** Per-core statFields (index = core). */
+    std::vector<std::vector<std::pair<std::string, double>>> stats;
+};
+
+} // namespace
+
+MtRunCheck
+mtVerifyRun(const SimConfig &cfg, const std::vector<Program> &threads,
+            const MtDiffOptions &opt,
+            const std::function<void(uint32_t, const DynInst &, uint32_t,
+                                     bool)> &on_load_retire)
+{
+    MtRunCheck run;
+    auto fail = [&](FailKind kind, std::string detail) {
+        run.failed = true;
+        run.kind = kind;
+        run.detail = std::move(detail);
+    };
+
+    std::vector<coh::CoreSpec> cores;
+    cores.reserve(threads.size());
+    for (size_t t = 0; t < threads.size(); ++t) {
+        coh::CoreSpec spec;
+        spec.name = "t" + std::to_string(t);
+        spec.prog = threads[t];
+        spec.cfg = cfg;
+        spec.cfg.maxInsts = opt.maxSteps;
+        cores.push_back(std::move(spec));
+    }
+
+    coh::MultiCoreOptions mo;
+    mo.coh = opt.coh;
+    mo.sharedMemory = true;
+
+    // The timing-run side of every check is gathered through the
+    // timing-invisible retire observers.
+    std::vector<std::vector<DynInst>> retired(threads.size());
+    mo.onRetire = [&](uint32_t core, const DynInst &dyn) {
+        retired[core].push_back(dyn);
+    };
+    mo.onLoadRetire = on_load_retire;
+
+    try {
+        run.mc = coh::runMultiCore(cores, mo);
+    } catch (const std::exception &e) {
+        fail(FailKind::EngineException, e.what());
+        return run;
+    }
+
+    // SC reference for the exact interleaving this run executed.
+    MtReference ref;
+    try {
+        ref = mtReplay(threads, run.mc.schedule);
+    } catch (const std::exception &e) {
+        fail(FailKind::ReferenceFault, e.what());
+        return run;
+    }
+    if (!ref.allHalted()) {
+        fail(FailKind::ReferenceNoHalt,
+             "a thread did not halt (per-core cap " +
+                 std::to_string(opt.maxSteps) + ")");
+        return run;
+    }
+
+    for (size_t t = 0; t < threads.size(); ++t) {
+        const auto &got = retired[t];
+        const auto &want = ref.streams[t];
+        size_t n = std::min(got.size(), want.size());
+        for (size_t i = 0; i < n; ++i) {
+            if (!dynEqual(got[i], want[i])) {
+                fail(FailKind::Stream,
+                     "thread " + std::to_string(t) + " record " +
+                         std::to_string(i) + " diverged: pipeline {" +
+                         describeDyn(got[i]) + "} vs reference {" +
+                         describeDyn(want[i]) + "}");
+                return run;
+            }
+        }
+        if (got.size() != want.size()) {
+            fail(FailKind::Stream,
+                 "thread " + std::to_string(t) + " retired " +
+                     std::to_string(got.size()) +
+                     " instructions, reference committed " +
+                     std::to_string(want.size()));
+            return run;
+        }
+
+        // Final per-thread register file, reconstructed from the
+        // stream against the replay emulator's.
+        std::array<uint32_t, kNumArchRegs> regs{};
+        regs[29] = Emulator::stackBase(static_cast<uint32_t>(t));
+        for (const DynInst &d : want) {
+            int dest = d.inst.destReg();
+            if (dest > 0 && dest < static_cast<int>(kNumArchRegs))
+                regs[dest] = d.resultValue;
+        }
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            if (regs[r] != ref.finalRegs[t][r]) {
+                fail(FailKind::Registers,
+                     "thread " + std::to_string(t) + " final $" +
+                         std::to_string(r) + " = " + hex(regs[r]) +
+                         ", reference " + hex(ref.finalRegs[t][r]));
+                return run;
+            }
+        }
+    }
+
+    // Drained shared committed image vs the SC memory state.
+    auto diff = run.mc.finalMem.firstDifference(ref.mem);
+    if (diff) {
+        fail(FailKind::Memory,
+             "shared committed memory diverges at " + hex(*diff) +
+                 ": pipeline word " +
+                 hex(run.mc.finalMem.read32(*diff & ~3u)) +
+                 ", reference " + hex(ref.mem.read32(*diff & ~3u)));
+        return run;
+    }
+
+    return run;
+}
+
+namespace {
+
+/**
+ * One model × engine run of the differential checker: a verified run
+ * with the strict delivered-value policy (any non-local-forward load
+ * that delivered a value different from its oracle record fails the
+ * run outright — the clean multi-core engine must never do that).
+ */
+MtEngineRun
+runMtEngine(const std::string &label, const SimConfig &cfg,
+            const std::vector<Program> &threads, const MtDiffOptions &opt)
+{
+    MtEngineRun run;
+    run.name = label;
+
+    bool deliveredFail = false;
+    std::string deliveredDetail;
+    MtRunCheck check = mtVerifyRun(
+        cfg, threads, opt,
+        [&](uint32_t core, const DynInst &dyn, uint32_t delivered,
+            bool localForward) {
+            if (!deliveredFail && !localForward &&
+                delivered != dyn.resultValue) {
+                deliveredFail = true;
+                deliveredDetail = "core " + std::to_string(core) +
+                                  " load {" + describeDyn(dyn) +
+                                  "} delivered " + hex(delivered);
+            }
+        });
+
+    if (deliveredFail) {
+        run.failed = true;
+        run.kind = FailKind::Delivered;
+        run.detail = std::move(deliveredDetail);
+        return run;
+    }
+    if (check.failed) {
+        run.failed = true;
+        run.kind = check.kind;
+        run.detail = std::move(check.detail);
+        return run;
+    }
+
+    for (const MtSlice &slice : check.mc.schedule)
+        run.insts += slice.steps;
+    for (const SimStats &s : check.mc.stats)
+        run.stats.push_back(driver::statFields(s));
+    return run;
+}
+
+} // namespace
+
+DiffResult
+mtDiffCheck(const std::vector<Program> &threads, const MtDiffOptions &opt)
+{
+    DiffResult result;
+    if (threads.size() < 2) {
+        result.ok = false;
+        result.kind = FailKind::ReferenceFault;
+        result.detail = "mtDiffCheck needs at least 2 threads";
+        return result;
+    }
+
+    static const LsuModel kModels[] = {LsuModel::Baseline, LsuModel::NoSQ,
+                                       LsuModel::DMDP, LsuModel::Perfect};
+    for (LsuModel model : kModels) {
+        SimConfig cfg = SimConfig::forModel(model);
+        std::string prefix = lsuModelName(model);
+        SimConfig legacy = cfg;
+        legacy.legacyScheduler = true;
+
+        MtEngineRun runs[2] = {
+            runMtEngine(prefix + "/mt-live", cfg, threads, opt),
+            runMtEngine(prefix + "/mt-legacy", legacy, threads, opt),
+        };
+        for (const MtEngineRun &run : runs) {
+            if (run.failed) {
+                result.ok = false;
+                result.kind = run.kind;
+                result.engine = run.name;
+                result.detail = run.detail;
+                return result;
+            }
+        }
+        if (result.refInsts == 0)
+            result.refInsts = runs[0].insts;
+
+        if (!opt.checkStats)
+            continue;
+
+        // Within a model the engines must agree per core, bit for bit,
+        // same as the single-threaded contract (engines change
+        // simulation speed, never simulated behavior — the lockstep
+        // round order makes this hold across the scheduler swap too).
+        for (size_t c = 0; c < runs[0].stats.size(); ++c) {
+            const auto &a = runs[0].stats[c];
+            const auto &b = runs[1].stats[c];
+            for (size_t f = 0; f < a.size() && f < b.size(); ++f) {
+                if (a[f].second != b[f].second) {
+                    result.ok = false;
+                    result.kind = FailKind::Stats;
+                    result.engine = runs[1].name;
+                    result.detail =
+                        "core " + std::to_string(c) + " " + a[f].first +
+                        ": " + runs[0].name + "=" +
+                        std::to_string(a[f].second) + " vs " +
+                        runs[1].name + "=" + std::to_string(b[f].second);
+                    return result;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+DiffResult
+mtDiffCheckSources(const std::vector<std::string> &sources,
+                   const MtDiffOptions &opt)
+{
+    std::vector<Program> threads;
+    threads.reserve(sources.size());
+    for (size_t t = 0; t < sources.size(); ++t) {
+        try {
+            threads.push_back(assemble(sources[t]));
+        } catch (const std::exception &e) {
+            DiffResult result;
+            result.ok = false;
+            result.kind = FailKind::ReferenceFault;
+            result.detail = "thread " + std::to_string(t) +
+                            " assembly failed: " + e.what();
+            return result;
+        }
+    }
+    return mtDiffCheck(threads, opt);
+}
+
+} // namespace dmdp::fuzz

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-threaded differential oracle: runs one interleaved program set
+ * through the lockstep multi-core engine (coh::runMultiCore) under
+ * every LSU model × engine combination and verifies each run against a
+ * sequentially-consistent reference replay of the schedule that run
+ * itself produced.
+ *
+ * The single-threaded checker (diffcheck.h) compares every engine to
+ * ONE reference, because a single-threaded program has one
+ * architectural execution. Interleaved programs do not: each timing
+ * configuration legitimately produces a different SC interleaving, so
+ * each run is checked against mtReplay() of its own recorded schedule
+ * — per-thread retired streams, per-thread final register files, the
+ * drained shared committed image — plus the cross-core delivered-value
+ * watch (a retiring load that delivered a value different from its
+ * oracle record without a local store-queue/store-buffer forward to
+ * excuse it: the only way coherence corruption can surface without
+ * architecturally diverging, and exactly what the T-SSBF cross-core
+ * re-execution check exists to prevent).
+ *
+ * Engines: live event scheduler and legacy polled scheduler. Trace
+ * replay is not supported multi-core (a trace fixes one interleaving;
+ * the lockstep engine must remain free to produce its own), so the MT
+ * matrix is 4 models × 2 engines. Within a model the two engines are
+ * required to produce bit-identical per-core SimStats, same as the
+ * single-threaded contract.
+ */
+
+#ifndef DMDP_FUZZ_MTDIFF_H
+#define DMDP_FUZZ_MTDIFF_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "coh/directory.h"
+#include "coh/multicore.h"
+#include "fuzz/diffcheck.h"
+#include "isa/program.h"
+
+namespace dmdp::fuzz {
+
+struct MtDiffOptions
+{
+    /** Per-core retired-instruction cap (0 = unbounded). Generated MT
+     *  programs halt by construction; the cap turns a generator bug
+     *  into ReferenceNoHalt instead of a hung fuzz process. */
+    uint64_t maxSteps = 1u << 18;
+    bool checkStats = true;     ///< cross-engine per-core stats identity
+    coh::CohParams coh;         ///< coherence fabric parameters
+};
+
+/** Outcome of one verified multi-core run (the MT verifyRun analog). */
+struct MtRunCheck
+{
+    bool failed = false;
+    FailKind kind = FailKind::None;
+    std::string detail;
+    /** The run's full result — per-core SimStats/SimProfile, directory
+     *  totals, cycles, schedule (valid when !failed). */
+    coh::MultiCoreResult mc;
+};
+
+/**
+ * Simulate @p threads on one core each under @p cfg and verify the run
+ * against mtReplay() of its own recorded schedule: per-thread retired
+ * streams, per-thread final register files, and the drained shared
+ * committed image. @p on_load_retire, when set, additionally observes
+ * every retiring load's delivered value (core, record, delivered,
+ * local-forward flag) — the differential checker and the injection
+ * campaign both build their delivered-value policies on top of it.
+ * Runs with an armed FaultPort are fine: the whole lockstep simulation
+ * executes on the calling thread.
+ */
+MtRunCheck
+mtVerifyRun(const SimConfig &cfg, const std::vector<Program> &threads,
+            const MtDiffOptions &opt,
+            const std::function<void(uint32_t, const DynInst &, uint32_t,
+                                     bool)> &on_load_retire = nullptr);
+
+/**
+ * Cross-check the interleaved program set @p threads (one Program per
+ * thread, all loading into one shared image) across all models ×
+ * engines. The returned DiffResult reuses the single-threaded type;
+ * `engine` labels look like "dmdp/mt-legacy" and `refInsts` is the
+ * all-thread dynamic instruction total of the first engine's run.
+ */
+DiffResult mtDiffCheck(const std::vector<Program> &threads,
+                       const MtDiffOptions &opt = {});
+
+/** Assemble per-thread sources first; errors report ReferenceFault. */
+DiffResult mtDiffCheckSources(const std::vector<std::string> &sources,
+                              const MtDiffOptions &opt = {});
+
+} // namespace dmdp::fuzz
+
+#endif // DMDP_FUZZ_MTDIFF_H

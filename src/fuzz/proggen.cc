@@ -350,12 +350,286 @@ ProgGen::generate()
     return out;
 }
 
+/** MT layout: per-thread code/private-data strides over one image. */
+constexpr uint32_t kMtCodeBase = 0x1000;
+constexpr uint32_t kMtCodeStride = 0x4000;
+constexpr uint32_t kMtSharedBase = 0x200000;
+constexpr uint32_t kMtPrivateStride = 0x1000;
+
+/**
+ * One thread of an interleaved program set. Structurally a slimmed
+ * ProgGen — same emission idiom, same halting/alignment discipline —
+ * with two address spaces ($s0 = shared line, $s1 = private region)
+ * and three cross-thread patterns: shared-line stores/loads (true
+ * sharing on the same word, false sharing on neighbors), bounded
+ * flag-spin handoffs, and shared accesses inside bounded loops.
+ * Spin budgets live in $s6, loop trips in $s7, so a spin generated
+ * inside a loop cannot corrupt the loop bound.
+ */
+class MtThreadGen
+{
+  public:
+    MtThreadGen(uint64_t seed, uint32_t thread, const MtGenOptions &opt)
+        : rng((seed + 0x42d8693b * (thread + 1)) ^ 0x9e3779b97f4a7c15ull),
+          opt_(opt), thread_(thread)
+    {}
+
+    std::string
+    generate()
+    {
+        emitLabel("main");
+        emit("li $s0, " + std::to_string(kMtSharedBase));
+        emit("li $s1, " + std::to_string(privateBase()));
+        for (int i = 0; i < 5; ++i) {
+            // Per-thread-flavored constants so every store value names
+            // its author when a divergence is inspected.
+            uint32_t v = static_cast<uint32_t>(rng.next()) ^
+                         (0x01010101u * (thread_ + 1));
+            emit("li " + scratch() + ", " + std::to_string(v));
+        }
+
+        uint32_t emitted = 0;
+        while (emitted < opt_.bodyInsts) {
+            double r = rng.next() * 0x1p-64;
+            size_t before = lines.size();
+            if (r < 0.08) {
+                genSpin();
+            } else if (r < 0.14 && opt_.bodyInsts - emitted >= 10) {
+                genLoop();
+            } else {
+                genSimple();
+            }
+            emitted += static_cast<uint32_t>(lines.size() - before);
+        }
+        emit("halt");
+
+        std::string out = "# dmdp-fuzz mt thread " +
+                          std::to_string(thread_) + "\n";
+        out += "    .org " +
+               std::to_string(kMtCodeBase + thread_ * kMtCodeStride) +
+               "\n";
+        for (const std::string &line : lines) {
+            out += line;
+            out += '\n';
+        }
+        // Thread 0 owns the shared region; every thread owns its
+        // private region. Footprints are disjoint by construction, so
+        // the sources load into one image without overlap.
+        if (thread_ == 0) {
+            out += "\n    .org " + std::to_string(kMtSharedBase) + "\n";
+            out += words(opt_.sharedWords);
+        }
+        out += "\n    .org " + std::to_string(privateBase()) + "\n";
+        out += words(opt_.dataWords);
+        return out;
+    }
+
+  private:
+    void emit(const std::string &s) { lines.push_back("    " + s); }
+    void emitLabel(const std::string &l) { lines.push_back(l + ":"); }
+
+    std::string
+    newLabel()
+    {
+        return "T" + std::to_string(thread_) + "L" +
+               std::to_string(labelCount++);
+    }
+
+    uint32_t
+    privateBase() const
+    {
+        return kDataBase + thread_ * kMtPrivateStride;
+    }
+
+    std::string
+    scratch()
+    {
+        static const char *kScratch[] = {
+            "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+            "$t8", "$t9", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+        };
+        return kScratch[rng.below(16)];
+    }
+
+    /** Aligned random offset for an access of @p size in a region of
+     *  @p extent words. */
+    uint32_t
+    offsetIn(uint32_t extent, unsigned size)
+    {
+        uint32_t word = rng.below(extent);
+        uint32_t sub = 0;
+        if (size == 1)
+            sub = rng.below(4);
+        else if (size == 2)
+            sub = 2 * rng.below(2);
+        return word * 4 + sub;
+    }
+
+    void
+    genShared(bool store)
+    {
+        unsigned size = rng.chance(0.7) ? 4 : (rng.chance(0.5) ? 2 : 1);
+        // Bias toward the low words: threads collide on the same word
+        // (true sharing) about as often as on neighbors in the same
+        // line (false sharing).
+        uint32_t extent =
+            rng.chance(0.5) ? 2 : opt_.sharedWords;
+        uint32_t off = offsetIn(extent, size);
+        std::string operand = std::to_string(off) + "($s0)";
+        if (store) {
+            const char *op = size == 4 ? "sw" : size == 2 ? "sh" : "sb";
+            emit(std::string(op) + " " + scratch() + ", " + operand);
+        } else {
+            const char *op = size == 4 ? "lw"
+                           : size == 2 ? (rng.chance(0.5) ? "lh" : "lhu")
+                                       : (rng.chance(0.5) ? "lb" : "lbu");
+            emit(std::string(op) + " " + scratch() + ", " + operand);
+        }
+    }
+
+    void
+    genPrivate(bool store)
+    {
+        unsigned size = rng.chance(0.6) ? 4 : (rng.chance(0.5) ? 2 : 1);
+        uint32_t off = offsetIn(opt_.dataWords, size);
+        std::string operand = std::to_string(off) + "($s1)";
+        if (store) {
+            const char *op = size == 4 ? "sw" : size == 2 ? "sh" : "sb";
+            emit(std::string(op) + " " + scratch() + ", " + operand);
+        } else {
+            const char *op = size == 4 ? "lw"
+                           : size == 2 ? (rng.chance(0.5) ? "lh" : "lhu")
+                                       : (rng.chance(0.5) ? "lb" : "lbu");
+            emit(std::string(op) + " " + scratch() + ", " + operand);
+        }
+    }
+
+    void
+    genAlu()
+    {
+        std::string d = scratch(), a = scratch(), b = scratch();
+        if (rng.chance(0.5)) {
+            static const char *kR3[] = {"add", "sub", "and", "or",
+                                        "xor", "slt"};
+            emit(std::string(kR3[rng.below(6)]) + " " + d + ", " + a +
+                 ", " + b);
+        } else {
+            int imm = static_cast<int>(rng.below(256)) - 128;
+            emit("addi " + d + ", " + a + ", " + std::to_string(imm));
+        }
+    }
+
+    uint32_t
+    genSimple()
+    {
+        size_t before = lines.size();
+        double r = rng.next() * 0x1p-64;
+        if (r < 0.25)
+            genAlu();
+        else if (r < 0.45)
+            genShared(true);
+        else if (r < 0.65)
+            genShared(false);
+        else if (r < 0.82)
+            genPrivate(true);
+        else
+            genPrivate(false);
+        return static_cast<uint32_t>(lines.size() - before);
+    }
+
+    /**
+     * Bounded flag handoff: spin on a shared word until it looks ready
+     * or the budget runs out, then (usually) write the flag back — the
+     * lock/flag shapes the retire-time cross-core check must get right.
+     */
+    void
+    genSpin()
+    {
+        uint32_t flagOff = 4 * rng.below(2);     // contended low words
+        std::string top = newLabel();
+        std::string done = newLabel();
+        emit("li $s6, " + std::to_string(1 + rng.below(opt_.spinBudget)));
+        emitLabel(top);
+        emit("lw " + scratch() + ", " + std::to_string(flagOff) +
+             "($s0)");
+        std::string seen = scratch();
+        emit("lw " + seen + ", " + std::to_string(flagOff) + "($s0)");
+        emit(std::string(rng.chance(0.5) ? "bne" : "beq") + " " + seen +
+             ", $0, " + done);
+        emit("addi $s6, $s6, -1");
+        emit("bgtz $s6, " + top);
+        emitLabel(done);
+        if (rng.chance(0.7))
+            emit("sw " + scratch() + ", " + std::to_string(flagOff) +
+                 "($s0)");
+    }
+
+    void
+    genLoop()
+    {
+        uint32_t trip = 2 + rng.below(4);
+        std::string top = newLabel();
+        emit("li $s7, " + std::to_string(trip));
+        emitLabel(top);
+        uint32_t body = 2 + rng.below(4);
+        for (uint32_t i = 0; i < body; ++i)
+            genSimple();
+        emit("addi $s7, $s7, -1");
+        emit("bgtz $s7, " + top);
+    }
+
+    std::string
+    words(uint32_t n)
+    {
+        std::string out;
+        for (uint32_t w = 0; w < n; w += 4) {
+            std::string directive = "    .word";
+            for (uint32_t i = w; i < w + 4 && i < n; ++i) {
+                directive += (i == w ? " " : ", ") +
+                             std::to_string(rng.next() & 0xffffffffu);
+            }
+            out += directive + "\n";
+        }
+        return out;
+    }
+
+    Rng rng;
+    MtGenOptions opt_;
+    uint32_t thread_;
+    std::vector<std::string> lines;
+    int labelCount = 0;
+};
+
 } // namespace
 
 std::string
 generateProgram(uint64_t seed, const GenOptions &opt)
 {
     return ProgGen(seed, opt).generate();
+}
+
+std::vector<std::string>
+generateMtProgram(uint64_t seed, const MtGenOptions &options)
+{
+    MtGenOptions opt = options;
+    if (opt.threads < 2)
+        opt.threads = 2;
+    if (opt.threads > 4)
+        opt.threads = 4;
+    if (opt.sharedWords < 4)
+        opt.sharedWords = 4;
+    if (opt.sharedWords > 16)
+        opt.sharedWords = 16;   // one LLC line: maximal false sharing
+    if (opt.dataWords < 8)
+        opt.dataWords = 8;
+    if (opt.spinBudget < 1)
+        opt.spinBudget = 1;
+
+    std::vector<std::string> sources;
+    sources.reserve(opt.threads);
+    for (uint32_t t = 0; t < opt.threads; ++t)
+        sources.push_back(MtThreadGen(seed, t, opt).generate());
+    return sources;
 }
 
 } // namespace dmdp::fuzz

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dmdp::fuzz {
 
@@ -40,6 +41,35 @@ struct GenOptions
 
 /** Generate one program's assembly source from @p seed. */
 std::string generateProgram(uint64_t seed, const GenOptions &opt = {});
+
+/**
+ * Multi-threaded generation knobs. The shared region is capped at 16
+ * words — one LLC line — so every cross-thread access pattern the
+ * directory distinguishes (same-word races, false sharing within the
+ * line) occurs constantly rather than by luck.
+ */
+struct MtGenOptions
+{
+    uint32_t threads = 2;       ///< thread count (clamped to [2, 4])
+    uint32_t bodyInsts = 32;    ///< approximate body size per thread
+    uint32_t sharedWords = 8;   ///< shared-region words (clamped [4, 16])
+    uint32_t dataWords = 16;    ///< per-thread private words (>= 8)
+    uint32_t spinBudget = 48;   ///< bound on every generated spin wait
+};
+
+/**
+ * Generate one interleaved program set from @p seed: one assembly
+ * source per thread, executing over one shared 32-bit address space
+ * (assemble each and hand the vector to coh::runMultiCore or
+ * mtReplay). Threads mix private traffic with shared-line stores and
+ * loads, false sharing inside one line, and bounded lock/flag
+ * handoffs. Same guarantees as generateProgram — deterministic in
+ * (seed, options), halting (every spin carries a budget counter),
+ * aligned, in-bounds — plus: thread 0 declares the shared region, all
+ * code/data footprints are disjoint across threads.
+ */
+std::vector<std::string> generateMtProgram(uint64_t seed,
+                                           const MtGenOptions &opt = {});
 
 } // namespace dmdp::fuzz
 

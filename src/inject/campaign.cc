@@ -6,9 +6,12 @@
 #include <utility>
 
 #include "core/uop.h"
+#include "driver/results.h"
 #include "fuzz/diffcheck.h"
+#include "fuzz/mtdiff.h"
 #include "fuzz/proggen.h"
 #include "isa/assembler.h"
+#include "workloads/shared_kernels.h"
 #include "workloads/spec_proxies.h"
 
 namespace dmdp::inject {
@@ -57,10 +60,110 @@ armedRun(const SimConfig &cfg, const Workload &w, const fuzz::Reference &ref,
     FaultPort::ArmScope arm(port);
     return fuzz::verifyRun(
         cfg, w.prog, nullptr, ref,
-        [&](const DynInst &dyn, uint32_t delivered) {
+        [&](const DynInst &dyn, uint32_t delivered, bool) {
             if (delivered != dyn.resultValue)
                 mismatches[dyn.seq] = {delivered, dyn.resultValue};
         });
+}
+
+// ---- Multi-core campaign plumbing ----------------------------------
+
+struct MtPairBaseline
+{
+    fuzz::MtRunCheck clean;
+    Injector probe;     ///< per-site invocation counts of the clean run
+    std::vector<FaultSite> eligible;
+    /** Per-core statFields of the clean run (TimingOnly detection). */
+    std::vector<std::vector<std::pair<std::string, double>>> cleanStats;
+};
+
+/**
+ * One verified multi-core run with @p port armed. Mismatch keys pack
+ * (core, seq) so per-core streams never collide.
+ *
+ * Unlike the single-core campaign, the delivered-value policy here is
+ * absolute, not differential: a fault legitimately changes the
+ * interleaving, so per-seq maps of two runs aren't comparable. Only
+ * loads with no local own-core forward are recorded — a local forward
+ * is the TSO allowance every run (clean or faulty) gets — and the set
+ * must simply be empty: a non-excused wrong value at retire is silent
+ * cross-core corruption regardless of what the clean run did.
+ */
+fuzz::MtRunCheck
+mtArmedRun(const SimConfig &cfg, const std::vector<Program> &threads,
+           const fuzz::MtDiffOptions &opt, FaultPort &port,
+           MismatchMap &mismatches)
+{
+    FaultPort::ArmScope arm(port);
+    return fuzz::mtVerifyRun(
+        cfg, threads, opt,
+        [&](uint32_t core, const DynInst &dyn, uint32_t delivered,
+            bool localForward) {
+            if (!localForward && delivered != dyn.resultValue)
+                mismatches[(static_cast<uint64_t>(core) << 48) |
+                           dyn.seq] = {delivered, dyn.resultValue};
+        });
+}
+
+/** Recovery work a multi-core run performed: per-core re-executions
+ * and dependence-exception squashes plus cross-core coherence
+ * re-executions. */
+uint64_t
+recoveryWork(const coh::MultiCoreResult &mc)
+{
+    uint64_t sum = mc.cohReexecs();
+    for (const SimStats &s : mc.stats)
+        sum += s.reexecs + s.depMispredicts;
+    return sum;
+}
+
+Outcome
+classifyMt(const Injector &inj, const fuzz::MtRunCheck &check,
+           const MismatchMap &mismatches, const MtPairBaseline &base,
+           std::string &detail)
+{
+    if (inj.fired() == 0) {
+        detail = "trigger never reached (determinism bug?)";
+        return Outcome::NotTriggered;
+    }
+    if (check.failed) {
+        detail = std::string(fuzz::failKindName(check.kind)) + ": " +
+                 check.detail;
+        return check.kind == fuzz::FailKind::EngineException
+                   ? Outcome::DetectedFatal
+                   : Outcome::SilentDivergence;
+    }
+    if (!mismatches.empty()) {
+        const auto &[key, got] = *mismatches.begin();
+        detail = "core " + std::to_string(key >> 48) + " load seq " +
+                 std::to_string(key & 0xffffffffffffull) +
+                 " delivered " + hex(got.first) + ", truth " +
+                 hex(got.second) + " (no local forward)";
+        return Outcome::SilentDivergence;
+    }
+    if (recoveryWork(check.mc) > recoveryWork(base.clean.mc))
+        return Outcome::Recovered;
+
+    // Architecturally clean, no recovery activity: did the fault
+    // change timing at all?
+    if (check.mc.cycles != base.clean.mc.cycles) {
+        detail = "cycles " + std::to_string(check.mc.cycles) +
+                 " vs clean " + std::to_string(base.clean.mc.cycles);
+        return Outcome::TimingOnly;
+    }
+    for (size_t c = 0; c < check.mc.stats.size(); ++c) {
+        auto fields = driver::statFields(check.mc.stats[c]);
+        const auto &cleanFields = base.cleanStats[c];
+        for (size_t f = 0; f < fields.size() && f < cleanFields.size();
+             ++f) {
+            if (fields[f].second != cleanFields[f].second) {
+                detail = "core " + std::to_string(c) + " " +
+                         fields[f].first + " perturbed";
+                return Outcome::TimingOnly;
+            }
+        }
+    }
+    return Outcome::Masked;
 }
 
 Outcome
@@ -110,6 +213,7 @@ outcomeName(Outcome outcome)
     switch (outcome) {
       case Outcome::NotTriggered: return "not-triggered";
       case Outcome::Masked: return "masked";
+      case Outcome::TimingOnly: return "timing-only";
       case Outcome::Recovered: return "recovered";
       case Outcome::DetectedFatal: return "detected-fatal";
       case Outcome::SilentDivergence: return "silent-divergence";
@@ -222,6 +326,121 @@ runCampaign(const std::vector<Workload> &workloads,
 
                 rec.outcome = classify(inj, check, mismatches, base,
                                        rec.detail);
+                if (rec.outcome == Outcome::Recovered)
+                    ++recovered;
+                ++summary.byOutcome[static_cast<int>(rec.outcome)];
+                ++summary.total;
+                summary.records.push_back(std::move(rec));
+            }
+
+            if (progress) {
+                progress(w.name + "/" + lsuModelName(model) + ": " +
+                         std::to_string(opt.faultsPerPair) + " faults, " +
+                         std::to_string(recovered) + " recovered");
+            }
+        }
+    }
+    return summary;
+}
+
+std::vector<MtWorkload>
+sharedKernelWorkloads(uint32_t threads, uint32_t iters)
+{
+    SharedKernelOptions o;
+    o.iters = iters;
+    std::vector<MtWorkload> out;
+    for (const std::string &name : sharedKernelNames()) {
+        MtWorkload w;
+        w.name = name + "/c" + std::to_string(threads);
+        w.threads = buildSharedKernel(name, threads, o);
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+std::vector<MtWorkload>
+generatedMtWorkloads(uint64_t seed, uint32_t count)
+{
+    std::vector<MtWorkload> out;
+    out.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        uint64_t s = seed + i;
+        fuzz::MtGenOptions gen;
+        gen.threads = 2 + static_cast<uint32_t>(s % 3);
+        MtWorkload w;
+        w.name = "mtgen:" + std::to_string(s);
+        for (const std::string &src : fuzz::generateMtProgram(s, gen))
+            w.threads.push_back(assemble(src));
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+CampaignSummary
+runMtCampaign(const std::vector<MtWorkload> &workloads,
+              const CampaignOptions &opt,
+              const std::function<void(const std::string &)> &progress)
+{
+    CampaignSummary summary;
+    fuzz::MtDiffOptions mtOpt;
+
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        const MtWorkload &w = workloads[wi];
+
+        for (size_t mi = 0; mi < opt.models.size(); ++mi) {
+            LsuModel model = opt.models[mi];
+            SimConfig cfg = SimConfig::forModel(model);
+
+            // Clean run: SC-replay-checked baseline + site census.
+            MtPairBaseline base;
+            MismatchMap cleanMismatches;
+            base.clean = mtArmedRun(cfg, w.threads, mtOpt, base.probe,
+                                    cleanMismatches);
+            if (base.clean.failed || !cleanMismatches.empty()) {
+                throw std::runtime_error(
+                    "clean multi-core run failed for " + w.name + "/" +
+                    lsuModelName(model) + ": " +
+                    (base.clean.failed
+                         ? std::string(fuzz::failKindName(
+                               base.clean.kind)) + ": " + base.clean.detail
+                         : "non-excused delivered-value mismatch"));
+            }
+            base.eligible = eligibleSites(base.probe);
+            for (const SimStats &s : base.clean.mc.stats)
+                base.cleanStats.push_back(driver::statFields(s));
+
+            uint64_t recovered = 0;
+            for (uint32_t f = 0; f < opt.faultsPerPair; ++f) {
+                FaultRecord rec;
+                rec.workload = w.name;
+                rec.model = lsuModelName(model);
+
+                if (base.eligible.empty()) {
+                    rec.outcome = Outcome::Masked;
+                    rec.detail = "no eligible fault sites";
+                    summary.records.push_back(std::move(rec));
+                    ++summary.byOutcome[static_cast<int>(Outcome::Masked)];
+                    ++summary.total;
+                    continue;
+                }
+
+                // Same deterministic draw as the single-core campaign.
+                Rng rng(opt.seed * 0x9e3779b97f4a7c15ull +
+                        wi * 1000003ull + mi * 10007ull + f + 1);
+                FaultSite site = base.eligible[rng.below(
+                    base.eligible.size())];
+                rec.spec.site = site;
+                rec.spec.trigger = rng.below(base.probe.count(site));
+                rec.spec.burst = 1 + static_cast<uint32_t>(rng.below(4));
+                rec.spec.payload = rng.next();
+
+                Injector inj(rec.spec);
+                MismatchMap mismatches;
+                fuzz::MtRunCheck check =
+                    mtArmedRun(cfg, w.threads, mtOpt, inj, mismatches);
+
+                rec.outcome = classifyMt(inj, check, mismatches, base,
+                                         rec.detail);
                 if (rec.outcome == Outcome::Recovered)
                     ++recovered;
                 ++summary.byOutcome[static_cast<int>(rec.outcome)];

@@ -53,12 +53,17 @@ enum class Outcome : uint8_t
 {
     NotTriggered,
     Masked,
+    /** The fault changed timing (cycles, schedule, stats) but no
+     *  recovery machinery fired and the architectural result is
+     *  correct — e.g. a dropped invalidation that only delayed a
+     *  coherence miss. Multi-core campaigns only. */
+    TimingOnly,
     Recovered,
     DetectedFatal,
     SilentDivergence,
 };
 
-constexpr int kNumOutcomes = 5;
+constexpr int kNumOutcomes = 6;
 
 const char *outcomeName(Outcome outcome);
 
@@ -132,6 +137,37 @@ runCampaign(const std::vector<Workload> &workloads,
             const CampaignOptions &opt,
             const std::function<void(const std::string &)> &progress =
                 nullptr);
+
+/** One interleaved program set for the multi-core campaign. */
+struct MtWorkload
+{
+    std::string name;   ///< e.g. "lock-handoff/c2" or "mtgen:7"
+    std::vector<Program> threads;
+};
+
+/** The two true shared-memory kernels at @p threads cores each. */
+std::vector<MtWorkload> sharedKernelWorkloads(uint32_t threads,
+                                              uint32_t iters);
+
+/** Generated interleaved stress sets: fuzz::generateMtProgram. */
+std::vector<MtWorkload> generatedMtWorkloads(uint64_t seed,
+                                             uint32_t count);
+
+/**
+ * The multi-core campaign: same structure as runCampaign, over the
+ * lockstep multi-core engine. Eligible sites now include the two
+ * directory hooks (sharer-vector corruption, dropped invalidations) —
+ * cross-core faults whose stale-copy hazard must be absorbed by the
+ * retire-time T-SSBF/SVW check — alongside every per-core speculation
+ * site. Each faulty run is verified against an SC replay of its own
+ * schedule (fuzz::mtVerifyRun); faults that alter timing without
+ * touching architectural results classify as TimingOnly.
+ */
+CampaignSummary
+runMtCampaign(const std::vector<MtWorkload> &workloads,
+              const CampaignOptions &opt,
+              const std::function<void(const std::string &)> &progress =
+                  nullptr);
 
 } // namespace dmdp::inject
 

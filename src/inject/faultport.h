@@ -48,9 +48,11 @@ enum class FaultSite : uint8_t
     SvwNvul,        ///< load's SSN_nvul sampled at cache read (SVW index)
     SbForward,      ///< store-buffer forwarding search outcome (baseline)
     CmovPredicate,  ///< CMP outcome steering the predication CMOVs
+    DirSharers,     ///< directory sharer vector sampled for invalidation
+    DirInvalDrop,   ///< whether a queued invalidation is delivered
 };
 
-constexpr int kNumFaultSites = 7;
+constexpr int kNumFaultSites = 9;
 
 const char *faultSiteName(FaultSite site);
 
@@ -89,6 +91,24 @@ class FaultPort
 
     virtual void cmovPredicate(bool &predicate) { (void)predicate; }
 
+    /**
+     * Directory sharer vector about to receive invalidations on a
+     * store's upgrade. The envelope is direction-constrained: an
+     * injector may only *clear* bits (suppress invalidations, the
+     * stale-copy hazard DMDP's retire check must absorb) — setting
+     * extra bits would merely send spurious invalidations, which is a
+     * timing perturbation the differential harness already covers.
+     */
+    virtual void dirSharers(uint32_t &sharers) { (void)sharers; }
+
+    /**
+     * A queued invalidation is about to be delivered to its target
+     * core. Direction-constrained: true -> false only (drop the
+     * message); a dropped invalidation leaves a stale line in the
+     * target's private hierarchy and T-SSBF.
+     */
+    virtual void dirInvalDrop(bool &deliver) { (void)deliver; }
+
     // ---- Arming (thread-local; RAII via ArmScope). ----
 
     static FaultPort *armed() { return tlArmed; }
@@ -124,6 +144,8 @@ faultSiteName(FaultSite site)
       case FaultSite::SvwNvul: return "svw-nvul";
       case FaultSite::SbForward: return "sb-forward";
       case FaultSite::CmovPredicate: return "cmov-predicate";
+      case FaultSite::DirSharers: return "dir-sharers";
+      case FaultSite::DirInvalDrop: return "dir-inval-drop";
     }
     return "unknown";
 }

@@ -147,4 +147,39 @@ Injector::cmovPredicate(bool &predicate)
     ++fired_;
 }
 
+void
+Injector::dirSharers(uint32_t &sharers)
+{
+    if (!fire(FaultSite::DirSharers))
+        return;
+    // Clear-only (see FaultPort::dirSharers): suppress invalidations to
+    // a random subset of the sharers the directory was about to notify,
+    // leaving stale copies in their private hierarchies — the exact
+    // hazard the cross-core retire check exists to absorb. Setting bits
+    // would only send spurious invalidations (a timing perturbation).
+    Rng rng = fireRng();
+    uint32_t mask = static_cast<uint32_t>(rng.next());
+    if ((sharers & mask) == sharers && sharers != 0) {
+        // The random mask spared every sharer: force-drop one, chosen
+        // uniformly among the set bits.
+        uint32_t keep = sharers;
+        for (uint64_t n = rng.below(__builtin_popcount(sharers)); n > 0;
+             --n)
+            keep &= keep - 1;       // strip low set bits up to the pick
+        mask &= ~(keep & -keep);
+    }
+    sharers &= mask;
+    ++fired_;
+}
+
+void
+Injector::dirInvalDrop(bool &deliver)
+{
+    if (!fire(FaultSite::DirInvalDrop))
+        return;
+    // true -> false only: drop the queued invalidation outright.
+    deliver = false;
+    ++fired_;
+}
+
 } // namespace dmdp::inject

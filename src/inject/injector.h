@@ -64,6 +64,8 @@ class Injector : public FaultPort
     void svwNvul(uint64_t &ssn_nvul) override;
     void sbForward(int &kind) override;
     void cmovPredicate(bool &predicate) override;
+    void dirSharers(uint32_t &sharers) override;
+    void dirInvalDrop(bool &deliver) override;
 
     /** Hook invocations observed, by site (both modes). */
     uint64_t count(FaultSite site) const

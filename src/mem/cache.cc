@@ -16,22 +16,22 @@ Cache::Cache(const CacheConfig &config, const char *name)
 }
 
 uint32_t
-Cache::setIndex(uint32_t addr) const
+Cache::setIndex(uint64_t addr) const
 {
-    return (addr / cfg.lineBytes) & (numSets - 1);
+    return static_cast<uint32_t>((addr / cfg.lineBytes) & (numSets - 1));
 }
 
-uint32_t
-Cache::tagOf(uint32_t addr) const
+uint64_t
+Cache::tagOf(uint64_t addr) const
 {
     return addr / cfg.lineBytes / numSets;
 }
 
 bool
-Cache::access(uint32_t addr, bool is_write)
+Cache::access(uint64_t addr, bool is_write)
 {
     uint32_t set = setIndex(addr);
-    uint32_t tag = tagOf(addr);
+    uint64_t tag = tagOf(addr);
     Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
     ++stamp;
 
@@ -68,10 +68,10 @@ Cache::access(uint32_t addr, bool is_write)
 }
 
 bool
-Cache::probe(uint32_t addr) const
+Cache::probe(uint64_t addr) const
 {
     uint32_t set = setIndex(addr);
-    uint32_t tag = tagOf(addr);
+    uint64_t tag = tagOf(addr);
     const Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
     for (uint32_t way = 0; way < cfg.assoc; ++way)
         if (base[way].valid && base[way].tag == tag)
@@ -80,10 +80,10 @@ Cache::probe(uint32_t addr) const
 }
 
 void
-Cache::invalidate(uint32_t addr)
+Cache::invalidate(uint64_t addr)
 {
     uint32_t set = setIndex(addr);
-    uint32_t tag = tagOf(addr);
+    uint64_t tag = tagOf(addr);
     Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
     for (uint32_t way = 0; way < cfg.assoc; ++way) {
         if (base[way].valid && base[way].tag == tag) {

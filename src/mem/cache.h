@@ -23,17 +23,24 @@ class Cache
 
     /**
      * Access the line containing @p addr.
+     *
+     * Addresses are 64-bit: the simulated ISA is 32-bit, but a shared
+     * LLC in mix mode keys lines by (core tag << 32) | addr so
+     * per-core private address spaces never alias (src/coh/).
+     * Existing 32-bit callers convert implicitly and behave exactly
+     * as before.
+     *
      * @param is_write marks the line dirty on hit/fill.
      * @return true on hit. On a miss the line is filled and the victim
      *         (if dirty) counts as a writeback.
      */
-    bool access(uint32_t addr, bool is_write);
+    bool access(uint64_t addr, bool is_write);
 
     /** Probe without fill or LRU update (used by tests/VIPT checks). */
-    bool probe(uint32_t addr) const;
+    bool probe(uint64_t addr) const;
 
     /** Invalidate the line containing @p addr if present. */
-    void invalidate(uint32_t addr);
+    void invalidate(uint64_t addr);
 
     uint32_t hitLatency() const { return cfg.hitLatency; }
     const char *name() const { return name_; }
@@ -48,12 +55,12 @@ class Cache
     {
         bool valid = false;
         bool dirty = false;
-        uint32_t tag = 0;
+        uint64_t tag = 0;
         uint64_t lruStamp = 0;
     };
 
-    uint32_t setIndex(uint32_t addr) const;
-    uint32_t tagOf(uint32_t addr) const;
+    uint32_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
 
     CacheConfig cfg;
     const char *name_;

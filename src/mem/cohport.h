@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The memory hierarchy's view of a shared coherent backend. In
+ * single-core mode the private hierarchy terminates in its own DRAM
+ * model; in multi-core mode each core's Hierarchy attaches one of
+ * these (implemented by coh::Directory) and routes its private-L2
+ * misses and committing stores through it instead. The interface is
+ * dependency-free so src/mem/ never links against src/coh/.
+ */
+
+#ifndef DMDP_MEM_COHPORT_H
+#define DMDP_MEM_COHPORT_H
+
+#include <cstdint>
+
+namespace dmdp {
+
+/** Shared-LLC + directory backend, one per multi-core simulation. */
+class CoherencePort
+{
+  public:
+    virtual ~CoherencePort() = default;
+
+    /**
+     * A private-L2 miss from @p core reached the shared level at cycle
+     * @p now. Returns the additional latency beyond the private
+     * hierarchy (LLC hit, or LLC miss + DRAM, plus any downgrade of a
+     * remote modified owner). Fetch misses (@p is_fetch) bypass the
+     * sharer directory — code lines are read-only by construction.
+     */
+    virtual uint32_t sharedMiss(uint32_t core, uint32_t addr,
+                                bool is_write, bool is_fetch,
+                                uint64_t now) = 0;
+
+    /**
+     * A store from @p core is committing to the cache at cycle @p now:
+     * the single invalidation site of the protocol. Upgrades the line
+     * to Modified, queues invalidations to every other sharer, and
+     * returns the extra latency the committing store pays for the
+     * upgrade round-trip (0 when no other core shares the line).
+     */
+    virtual uint32_t storeVisible(uint32_t core, uint32_t addr,
+                                  uint64_t now) = 0;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_MEM_COHPORT_H

@@ -17,12 +17,12 @@ Dram::Dram(const SimConfig &cfg)
 }
 
 uint32_t
-Dram::access(uint32_t addr, uint64_t now)
+Dram::access(uint64_t addr, uint64_t now)
 {
     ++accesses_;
     Bank &bank = banks[bankOf(addr)];
     uint64_t start = std::max(now, bank.nextFree);
-    uint32_t row = rowOf(addr);
+    uint64_t row = rowOf(addr);
     uint32_t service;
     if (bank.openRow == row) {
         ++rowHits_;

@@ -25,9 +25,11 @@ class Dram
 
     /**
      * Issue an access at @p now; returns the total latency until data
-     * is available (including any bank queueing delay).
+     * is available (including any bank queueing delay). Addresses are
+     * 64-bit for the same reason as Cache::access — the shared-LLC
+     * backend tags per-core address spaces above bit 32.
      */
-    uint32_t access(uint32_t addr, uint64_t now);
+    uint32_t access(uint64_t addr, uint64_t now);
 
     uint64_t accesses() const { return accesses_.value(); }
     uint64_t rowHits() const { return rowHits_.value(); }
@@ -36,13 +38,13 @@ class Dram
     struct Bank
     {
         uint64_t nextFree = 0;
-        uint32_t openRow = ~0u;
+        uint64_t openRow = ~0ull;
     };
 
-    uint32_t rowOf(uint32_t addr) const { return addr >> 12; }
-    uint32_t bankOf(uint32_t addr) const
+    uint64_t rowOf(uint64_t addr) const { return addr >> 12; }
+    uint32_t bankOf(uint64_t addr) const
     {
-        return (addr >> 6) & (numBanks - 1);
+        return static_cast<uint32_t>((addr >> 6) & (numBanks - 1));
     }
 
     uint32_t numBanks;

@@ -10,12 +10,18 @@ Hierarchy::Hierarchy(const SimConfig &cfg)
 {}
 
 uint32_t
-Hierarchy::missPath(uint32_t addr, bool is_write, uint64_t now)
+Hierarchy::missPath(uint32_t addr, bool is_write, bool is_fetch,
+                    uint64_t now)
 {
-    // L1 missed; try L2, then DRAM.
+    // L1 missed; try L2, then the backend: the shared LLC + directory
+    // when coherence is attached, the private DRAM model otherwise.
     if (l2_.access(addr, is_write))
         return l2_.hitLatency();
-    return l2_.hitLatency() + dram_.access(addr, now + l2_.hitLatency());
+    uint32_t lat = l2_.hitLatency();
+    if (coh_)
+        return lat + coh_->sharedMiss(coreId_, addr, is_write, is_fetch,
+                                      now + lat);
+    return lat + dram_.access(addr, now + lat);
 }
 
 uint32_t
@@ -23,7 +29,8 @@ Hierarchy::fetchLatency(uint32_t addr, uint64_t now)
 {
     if (l1i_.access(addr, false))
         return l1i_.hitLatency();
-    return l1i_.hitLatency() + missPath(addr, false, now + l1i_.hitLatency());
+    return l1i_.hitLatency() +
+           missPath(addr, false, true, now + l1i_.hitLatency());
 }
 
 uint32_t
@@ -31,7 +38,8 @@ Hierarchy::loadLatency(uint32_t addr, uint64_t now)
 {
     if (l1d_.access(addr, false))
         return l1d_.hitLatency();
-    return l1d_.hitLatency() + missPath(addr, false, now + l1d_.hitLatency());
+    return l1d_.hitLatency() +
+           missPath(addr, false, false, now + l1d_.hitLatency());
 }
 
 uint32_t
@@ -39,10 +47,19 @@ Hierarchy::storeLatency(uint32_t addr, uint64_t now)
 {
     // Committing stores write through a dedicated L1 write port; on a
     // hit the write retires in one cycle (the 4-cycle load latency is
-    // the read pipeline). Misses pay the full miss path.
+    // the read pipeline). Misses pay the full miss path. Under
+    // coherence every committing store additionally notifies the
+    // directory — the protocol's single invalidation site — and pays
+    // the upgrade round-trip when other cores share the line.
+    uint32_t lat;
     if (l1d_.access(addr, true))
-        return 1;
-    return l1d_.hitLatency() + missPath(addr, true, now + l1d_.hitLatency());
+        lat = 1;
+    else
+        lat = l1d_.hitLatency() +
+              missPath(addr, true, false, now + l1d_.hitLatency());
+    if (coh_)
+        lat += coh_->storeVisible(coreId_, addr, now + lat);
+    return lat;
 }
 
 } // namespace dmdp

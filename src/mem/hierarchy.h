@@ -16,6 +16,7 @@
 
 #include "common/config.h"
 #include "mem/cache.h"
+#include "mem/cohport.h"
 #include "mem/dram.h"
 
 namespace dmdp {
@@ -25,6 +26,23 @@ class Hierarchy
 {
   public:
     explicit Hierarchy(const SimConfig &cfg);
+
+    /**
+     * Multi-core mode: route private-L2 misses and committing stores
+     * through a shared coherent backend (LLC + directory) instead of
+     * the private DRAM model. @p port must outlive the hierarchy;
+     * @p coreId names this core in directory messages. Never called
+     * in single-core mode, where behavior is bit-identical to the
+     * pre-coherence hierarchy.
+     */
+    void
+    attachCoherence(CoherencePort *port, uint32_t coreId)
+    {
+        coh_ = port;
+        coreId_ = coreId;
+    }
+
+    bool coherent() const { return coh_ != nullptr; }
 
     /** Latency of an instruction fetch at cycle @p now. */
     uint32_t fetchLatency(uint32_t addr, uint64_t now);
@@ -48,12 +66,15 @@ class Hierarchy
     const Dram &dram() const { return dram_; }
 
   private:
-    uint32_t missPath(uint32_t addr, bool is_write, uint64_t now);
+    uint32_t missPath(uint32_t addr, bool is_write, bool is_fetch,
+                      uint64_t now);
 
     Cache l1i_;
     Cache l1d_;
     Cache l2_;
     Dram dram_;
+    CoherencePort *coh_ = nullptr;  ///< shared backend (multi-core only)
+    uint32_t coreId_ = 0;
 };
 
 } // namespace dmdp

@@ -6,6 +6,7 @@
 #include "isa/assembler.h"
 #include "trace/tracecursor.h"
 #include "trace/tracerecorder.h"
+#include "workloads/shared_kernels.h"
 #include "workloads/spec_proxies.h"
 
 namespace dmdp {
@@ -68,6 +69,45 @@ replayProxy(const std::string &name, SimConfig cfg, uint64_t insts,
     Program prog = buildProxy(name, insts);
     cfg.maxInsts = insts;
     return Simulator::replay(cfg, prog, trace, profile, cancel);
+}
+
+coh::MultiCoreResult
+simulateMix(const std::vector<std::string> &proxies, SimConfig cfg,
+            uint64_t insts, const coh::CohParams &params,
+            const std::atomic<bool> *cancel)
+{
+    cfg.maxInsts = insts;
+    std::vector<coh::CoreSpec> cores;
+    cores.reserve(proxies.size());
+    for (const std::string &name : proxies)
+        cores.push_back(
+            coh::CoreSpec{name, buildProxy(name, insts), cfg});
+    coh::MultiCoreOptions opt;
+    opt.coh = params;
+    opt.sharedMemory = false;
+    opt.cancelToken = cancel;
+    return coh::runMultiCore(cores, opt);
+}
+
+coh::MultiCoreResult
+simulateSharedKernel(const std::string &kernel, uint32_t cores,
+                     SimConfig cfg, const coh::CohParams &params,
+                     uint32_t iters, const std::atomic<bool> *cancel)
+{
+    SharedKernelOptions kopt;
+    kopt.iters = iters;
+    std::vector<Program> progs = buildSharedKernel(kernel, cores, kopt);
+    cfg.maxInsts = 0;   // shared kernels must run to their own halts
+    std::vector<coh::CoreSpec> specs;
+    specs.reserve(progs.size());
+    for (uint32_t t = 0; t < progs.size(); ++t)
+        specs.push_back(coh::CoreSpec{
+            kernel + "/t" + std::to_string(t), progs[t], cfg});
+    coh::MultiCoreOptions opt;
+    opt.coh = params;
+    opt.sharedMemory = true;
+    opt.cancelToken = cancel;
+    return coh::runMultiCore(specs, opt);
 }
 
 uint64_t

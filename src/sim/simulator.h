@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "coh/multicore.h"
 #include "common/config.h"
 #include "core/simprofile.h"
 #include "core/simstats.h"
@@ -93,6 +95,27 @@ proxyRecordCap(uint64_t insts, uint32_t maxRobSize)
 {
     return insts + maxRobSize + 1024;
 }
+
+/**
+ * Multi-core mix mode: simulate @p proxies (one proxy benchmark per
+ * core, each capped at @p insts dynamic instructions) behind the
+ * shared LLC + directory. Per-core address spaces are core-tagged, so
+ * no line is ever shared and the directory must stay silent
+ * (MultiCoreResult::coh.invalidationsSent == 0, asserted by tests).
+ */
+coh::MultiCoreResult simulateMix(const std::vector<std::string> &proxies,
+                                 SimConfig cfg, uint64_t insts,
+                                 const coh::CohParams &params = {},
+                                 const std::atomic<bool> *cancel = nullptr);
+
+/**
+ * Multi-core shared-memory mode: run the named shared kernel
+ * (workloads/shared_kernels.h) on @p cores cores under @p cfg.
+ */
+coh::MultiCoreResult simulateSharedKernel(
+    const std::string &kernel, uint32_t cores, SimConfig cfg,
+    const coh::CohParams &params = {}, uint32_t iters = 200,
+    const std::atomic<bool> *cancel = nullptr);
 
 /**
  * Dynamic instruction budget for the benchmark harnesses: the

@@ -1,0 +1,176 @@
+#include "workloads/shared_kernels.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/assembler.h"
+
+namespace dmdp {
+
+namespace {
+
+constexpr uint32_t kCodeBase = 0x1000;
+constexpr uint32_t kCodeStride = 0x4000;
+constexpr uint32_t kSharedBase = 0x200000;
+
+/** Common per-thread prologue: origin, entry label. */
+void
+prologue(std::ostringstream &os, uint32_t thread)
+{
+    os << "    .org " << (kCodeBase + thread * kCodeStride) << "\n";
+    os << "main:\n";
+}
+
+/**
+ * producer-consumer, pair p = threads (2p, 2p+1). Pair data block at
+ * kSharedBase + p*0x100: 16-word ring (one line), head word at +64,
+ * consumer checksum at +68.
+ */
+std::string
+producerSource(uint32_t thread, uint32_t pair,
+               const SharedKernelOptions &opt)
+{
+    uint32_t base = kSharedBase + pair * 0x100;
+    std::ostringstream os;
+    prologue(os, thread);
+    os << "    li $s0, " << base << "\n"
+       << "    li $s1, " << opt.iters << "\n"
+       << "    li $t0, 0\n"                  // i
+       << "loop:\n"
+       << "    addi $t0, $t0, 1\n"
+       << "    sll $t1, $t0, 4\n"            // value = (i << 4) + pair
+       << "    addi $t1, $t1, " << pair << "\n"
+       << "    andi $t2, $t0, 15\n"          // slot = (i & 15) * 4
+       << "    sll $t2, $t2, 2\n"
+       << "    add $t3, $s0, $t2\n"
+       << "    sw $t1, 0($t3)\n"             // ring[i & 15] = value
+       << "    sw $t0, 64($s0)\n"            // publish head = i
+       << "    bne $t0, $s1, loop\n"
+       << "    halt\n";
+    return os.str();
+}
+
+std::string
+consumerSource(uint32_t thread, uint32_t pair,
+               const SharedKernelOptions &opt)
+{
+    uint32_t base = kSharedBase + pair * 0x100;
+    std::ostringstream os;
+    prologue(os, thread);
+    os << "    li $s0, " << base << "\n"
+       << "    li $s1, " << opt.iters << "\n"
+       << "    li $s7, " << opt.spinBudget << "\n"
+       << "    li $t0, 0\n"                  // last head consumed
+       << "    li $s5, 0\n"                  // checksum
+       << "loop:\n"
+       << "    lw $t1, 64($s0)\n"            // head (spin line)
+       << "    bne $t1, $t0, fresh\n"
+       << "    addi $s7, $s7, -1\n"
+       << "    bgtz $s7, loop\n"
+       << "    j done\n"                     // budget exhausted
+       << "fresh:\n"
+       << "    andi $t2, $t1, 15\n"
+       << "    sll $t2, $t2, 2\n"
+       << "    add $t3, $s0, $t2\n"
+       << "    lw $t4, 0($t3)\n"             // ring[head & 15]
+       << "    add $s5, $s5, $t4\n"
+       << "    move $t0, $t1\n"
+       << "    bne $t0, $s1, loop\n"
+       << "done:\n"
+       << "    sw $s5, 68($s0)\n"            // publish checksum
+       << "    halt\n";
+    return os.str();
+}
+
+/**
+ * lock-handoff, pair p = threads (2p, 2p+1). All pairs pack into one
+ * line at kSharedBase: pair p's turn flag at +p*8, counter at +p*8+4
+ * (true sharing within the pair, false sharing across pairs).
+ */
+std::string
+handoffSource(uint32_t thread, uint32_t pair, bool first,
+              const SharedKernelOptions &opt)
+{
+    uint32_t turnAddr = kSharedBase + pair * 8;
+    std::ostringstream os;
+    prologue(os, thread);
+    os << "    li $s0, " << turnAddr << "\n"
+       << "    li $s1, " << opt.iters << "\n"
+       << "    li $s7, " << opt.spinBudget << "\n"
+       << "    li $t0, 0\n"                  // handoffs completed
+       << "loop:\n"
+       << "wait:\n"
+       << "    lw $t1, 0($s0)\n";            // turn flag (ping-pong line)
+    if (first)
+        os << "    beq $t1, $0, go\n";       // my turn: flag == 0
+    else
+        os << "    bne $t1, $0, go\n";       // my turn: flag == 1
+    os << "    addi $s7, $s7, -1\n"
+       << "    bgtz $s7, wait\n"
+       << "    j done\n"                     // budget exhausted
+       << "go:\n"
+       << "    lw $t2, 4($s0)\n"             // shared counter
+       << "    addi $t2, $t2, 1\n"
+       << "    sw $t2, 4($s0)\n"
+       << "    li $t3, " << (first ? 1 : 0) << "\n"
+       << "    sw $t3, 0($s0)\n"             // hand the turn over
+       << "    addi $t0, $t0, 1\n"
+       << "    bne $t0, $s1, loop\n"
+       << "done:\n"
+       << "    halt\n";
+    return os.str();
+}
+
+/** Shared data block, declared once by thread 0's program. */
+std::string
+sharedData(uint32_t pairs)
+{
+    std::ostringstream os;
+    os << "\n    .org " << kSharedBase << "\n";
+    // 0x100 bytes per pair covers both kernels' layouts.
+    os << "    .space " << (pairs * 0x100) << "\n";
+    return os.str();
+}
+
+} // namespace
+
+const std::vector<std::string> &
+sharedKernelNames()
+{
+    static const std::vector<std::string> names = {"producer-consumer",
+                                                   "lock-handoff"};
+    return names;
+}
+
+std::vector<Program>
+buildSharedKernel(const std::string &name, uint32_t threads,
+                  const SharedKernelOptions &opt)
+{
+    if (threads < 2 || threads > 8 || threads % 2 != 0)
+        throw std::invalid_argument(
+            "buildSharedKernel: thread count " + std::to_string(threads) +
+            " must be even and in [2, 8]");
+
+    bool producer_consumer = name == "producer-consumer";
+    if (!producer_consumer && name != "lock-handoff")
+        throw std::invalid_argument("unknown shared kernel: " + name);
+
+    std::vector<Program> progs;
+    progs.reserve(threads);
+    for (uint32_t t = 0; t < threads; ++t) {
+        uint32_t pair = t / 2;
+        bool first = (t % 2) == 0;
+        std::string src;
+        if (producer_consumer)
+            src = first ? producerSource(t, pair, opt)
+                        : consumerSource(t, pair, opt);
+        else
+            src = handoffSource(t, pair, first, opt);
+        if (t == 0)
+            src += sharedData(threads / 2);
+        progs.push_back(assemble(src));
+    }
+    return progs;
+}
+
+} // namespace dmdp

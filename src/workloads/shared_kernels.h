@@ -1,0 +1,57 @@
+/**
+ * @file
+ * True shared-memory multi-core kernels (docs/ARCHITECTURE.md §14).
+ * Unlike the proxy benchmarks (independent programs composable into
+ * mixes), these emit one program per thread over a single shared
+ * address space, exercising the cross-core paths the coherence fabric
+ * and the retire-time invalidation check exist for:
+ *
+ *  - producer-consumer: per-pair ring buffer plus a published head
+ *    counter. The consumer spins on the head line (read-shared), the
+ *    producer's publishes invalidate it every iteration — steady
+ *    one-way invalidation traffic and consumer-side re-executions.
+ *  - lock-handoff: per-pair flag/counter ping-pong, all pairs packed
+ *    into one cache line. Within a pair the line ping-pongs M↔S every
+ *    handoff (the SB litmus shape: store own flag, load partner's);
+ *    across pairs the packing is pure false sharing.
+ *
+ * Thread t's code lives at 0x1000 + t*0x4000 with entry label "main";
+ * shared data occupies 0x200000 (declared by thread 0's program, since
+ * all programs load into one image). Spins carry a generous budget so
+ * every program halts under any fair interleaving — required for the
+ * SC reference replay to terminate.
+ */
+
+#ifndef DMDP_WORKLOADS_SHARED_KERNELS_H
+#define DMDP_WORKLOADS_SHARED_KERNELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace dmdp {
+
+struct SharedKernelOptions
+{
+    uint32_t iters = 200;           ///< handoffs / items per pair
+    uint32_t spinBudget = 2000000;  ///< spin iterations before giving up
+};
+
+/** The available shared kernels: "producer-consumer", "lock-handoff". */
+const std::vector<std::string> &sharedKernelNames();
+
+/**
+ * Build one program per thread for @p name. @p threads must be even
+ * and in [2, 8] (threads pair up: even id produces/locks first, its
+ * odd successor consumes/responds). Throws std::invalid_argument for
+ * unknown names or bad thread counts.
+ */
+std::vector<Program> buildSharedKernel(const std::string &name,
+                                       uint32_t threads,
+                                       const SharedKernelOptions &opt = {});
+
+} // namespace dmdp
+
+#endif // DMDP_WORKLOADS_SHARED_KERNELS_H

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Coherence tests (docs/ARCHITECTURE.md §14): directory state-machine
+ * unit tests through the Probe hook, the mix-mode isolation negative
+ * (same numeric line from two cores must NOT alias), the shared-mode
+ * positive (same physical line MUST take the directory path), classic
+ * litmus shapes (MP, SB, LB, CoRR, CoWW) under every LSU model ×
+ * {2, 4} cores checked against exhaustively enumerated SC outcome
+ * sets, and the single-writer ownership invariant of the hashed line
+ * index the multi-core refactor depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coh/directory.h"
+#include "coh/multicore.h"
+#include "common/config.h"
+#include "core/invariants.h"
+#include "core/memindex.h"
+#include "func/mtshared.h"
+#include "fuzz/mtdiff.h"
+#include "isa/assembler.h"
+
+namespace dmdp {
+namespace {
+
+using coh::CohParams;
+using coh::Directory;
+using coh::LineState;
+
+constexpr uint32_t kCodeBase = 0x1000;
+constexpr uint32_t kCodeStride = 0x4000;
+constexpr uint32_t kSharedBase = 0x200000;
+constexpr uint32_t kPrivateBase = 0x40000;
+
+// ---------------------------------------------------------------------
+// Directory state machine, driven directly through the CoherencePort.
+// ---------------------------------------------------------------------
+
+struct RecordingSink : coh::CoreSink
+{
+    std::vector<uint32_t> delivered;
+    void deliverInvalidation(uint32_t addr) override
+    {
+        delivered.push_back(addr);
+    }
+};
+
+struct DirHarness
+{
+    CohParams params;
+    Directory dir;
+    RecordingSink sinks[4];
+
+    explicit DirHarness(bool private_mix = false, uint32_t cores = 4)
+        : params(makeParams(private_mix)),
+          dir(params, SimConfig::forModel(LsuModel::Baseline), cores)
+    {
+        for (uint32_t c = 0; c < cores; ++c)
+            dir.attachCore(c, &sinks[c]);
+    }
+
+    static CohParams
+    makeParams(bool private_mix)
+    {
+        CohParams p;
+        p.privateMix = private_mix;
+        return p;
+    }
+};
+
+TEST(Directory, ReadMissesShareThenStoreUpgradesAndInvalidates)
+{
+    DirHarness h;
+    const uint32_t addr = 0x1000;
+
+    h.dir.sharedMiss(0, addr, false, false, 0);
+    Directory::Probe p = h.dir.probeLine(0, addr);
+    EXPECT_EQ(p.state, LineState::Shared);
+    EXPECT_EQ(p.sharers, 1u);
+
+    h.dir.sharedMiss(1, addr + 8, false, false, 1);   // same line
+    p = h.dir.probeLine(0, addr);
+    EXPECT_EQ(p.state, LineState::Shared);
+    EXPECT_EQ(p.sharers, 3u);
+
+    // Core 0's store gains ownership and queues exactly one
+    // invalidation (for core 1), delivered invalLatency cycles later.
+    h.dir.storeVisible(0, addr, 10);
+    p = h.dir.probeLine(0, addr);
+    EXPECT_EQ(p.state, LineState::Modified);
+    EXPECT_EQ(p.sharers, 1u);
+    EXPECT_EQ(h.dir.stats().invalidationsSent, 1u);
+    EXPECT_EQ(h.dir.stats().upgrades, 1u);
+    EXPECT_TRUE(h.dir.pendingInvalidations());
+
+    h.dir.tick(10 + h.params.invalLatency - 1);
+    EXPECT_TRUE(h.sinks[1].delivered.empty());
+    EXPECT_EQ(h.dir.stats().invalidationsDelivered, 0u);
+
+    h.dir.tick(10 + h.params.invalLatency);
+    ASSERT_EQ(h.sinks[1].delivered.size(), 1u);
+    EXPECT_EQ(h.sinks[1].delivered[0] / 64, addr / 64);
+    EXPECT_TRUE(h.sinks[0].delivered.empty());
+    EXPECT_EQ(h.dir.stats().invalidationsDelivered, 1u);
+    EXPECT_EQ(h.dir.stats().invalidationsDropped, 0u);
+    EXPECT_FALSE(h.dir.pendingInvalidations());
+}
+
+TEST(Directory, ExclusiveOwnerUpgradesSilently)
+{
+    DirHarness h;
+    const uint32_t addr = 0x2000;
+
+    h.dir.storeVisible(0, addr, 0);
+    uint64_t sent = h.dir.stats().invalidationsSent;
+    uint64_t upgrades = h.dir.stats().upgrades;
+    EXPECT_EQ(sent, 0u);    // no other sharer existed
+
+    // Repeated stores by the owner are silent: no directory churn.
+    h.dir.storeVisible(0, addr, 1);
+    h.dir.storeVisible(0, addr + 4, 2);
+    EXPECT_EQ(h.dir.stats().invalidationsSent, sent);
+    EXPECT_EQ(h.dir.stats().upgrades, upgrades);
+    EXPECT_EQ(h.dir.probeLine(0, addr).state, LineState::Modified);
+    EXPECT_FALSE(h.dir.pendingInvalidations());
+}
+
+TEST(Directory, ReadOfRemoteModifiedPaysDowngrade)
+{
+    DirHarness h;
+    const uint32_t addr = 0x3000;
+
+    h.dir.storeVisible(0, addr, 0);
+    ASSERT_EQ(h.dir.probeLine(0, addr).state, LineState::Modified);
+
+    uint32_t lat = h.dir.sharedMiss(1, addr, false, false, 5);
+    EXPECT_GE(lat, h.params.downgradeLatency);
+    EXPECT_EQ(h.dir.stats().downgrades, 1u);
+    Directory::Probe p = h.dir.probeLine(1, addr);
+    EXPECT_EQ(p.state, LineState::Shared);
+    EXPECT_EQ(p.sharers, 3u);
+}
+
+/**
+ * Mix-mode negative (single-writer audit, part 3): two cores touching
+ * the SAME numeric line must resolve to distinct directory entries and
+ * never generate cross-core traffic — independent programs behind one
+ * LLC share nothing. A bug in the address tagging would surface here
+ * as a spurious invalidation.
+ */
+TEST(Directory, MixModeSameNumericLineNeverAliases)
+{
+    DirHarness h(/*private_mix=*/true);
+    const uint32_t addr = 0x4000;
+
+    h.dir.sharedMiss(0, addr, false, false, 0);
+    h.dir.storeVisible(1, addr, 1);
+    h.dir.storeVisible(0, addr, 2);
+
+    EXPECT_EQ(h.dir.stats().invalidationsSent, 0u);
+    EXPECT_FALSE(h.dir.pendingInvalidations());
+    // Each core sees only its own (tagged) entry.
+    EXPECT_EQ(h.dir.probeLine(0, addr).sharers, 1u);
+    EXPECT_EQ(h.dir.probeLine(1, addr).sharers, 2u);
+    EXPECT_EQ(h.dir.probeLine(0, addr).state, LineState::Modified);
+    EXPECT_EQ(h.dir.probeLine(1, addr).state, LineState::Modified);
+}
+
+// ---------------------------------------------------------------------
+// Litmus shapes through the full lockstep engine.
+// ---------------------------------------------------------------------
+
+/** Wrap a litmus thread body ($s0 preloaded with the shared base) in
+ *  the standard MT layout; thread 0 declares the shared block. */
+std::string
+litmusSource(uint32_t thread, const std::string &body)
+{
+    std::ostringstream os;
+    os << "    .org " << (kCodeBase + thread * kCodeStride) << "\n"
+       << "main:\n"
+       << "    li $s0, " << kSharedBase << "\n"
+       << body
+       << "    halt\n";
+    if (thread == 0)
+        os << "    .org " << kSharedBase << "\n"
+           << "    .space 128\n";
+    return os.str();
+}
+
+/** Private-traffic noise thread for the 4-core variants: touches only
+ *  its own region, so the 2-thread SC outcome set stays authoritative
+ *  (any SC execution of 4 threads projects onto an SC execution of the
+ *  2 litmus threads when the other 2 share nothing with them). */
+std::string
+noiseSource(uint32_t thread)
+{
+    uint32_t priv = kPrivateBase + thread * 0x1000;
+    std::ostringstream os;
+    os << "    .org " << (kCodeBase + thread * kCodeStride) << "\n"
+       << "main:\n"
+       << "    li $s1, " << priv << "\n"
+       << "    li $t0, 7\n"
+       << "    sw $t0, 0($s1)\n"
+       << "    lw $t1, 0($s1)\n"
+       << "    addi $t1, $t1, 3\n"
+       << "    sw $t1, 4($s1)\n"
+       << "    halt\n"
+       << "    .org " << priv << "\n"
+       << "    .space 32\n";
+    return os.str();
+}
+
+struct LitmusShape
+{
+    const char *name;
+    std::vector<std::string> bodies;    ///< per litmus thread
+    /** Offsets from kSharedBase whose final words form the outcome. */
+    std::vector<uint32_t> resultOffsets;
+    /** An outcome SC forbids, as a sanity check on the enumerator. */
+    std::vector<uint32_t> forbidden;
+};
+
+std::vector<LitmusShape>
+litmusShapes()
+{
+    // Shared layout: x at +0, y at +4; observation words at +64/+68
+    // (a different line than x/y, so publishing results does not
+    // perturb the shape's own coherence traffic pattern).
+    return {
+        {"MP",
+         {"    li $t0, 1\n"
+          "    sw $t0, 0($s0)\n"
+          "    sw $t0, 4($s0)\n",
+          "    lw $t1, 4($s0)\n"
+          "    lw $t2, 0($s0)\n"
+          "    sw $t1, 64($s0)\n"
+          "    sw $t2, 68($s0)\n"},
+         {64, 68},
+         {1, 0}},   // saw the flag but not the data
+        {"SB",
+         {"    li $t0, 1\n"
+          "    sw $t0, 0($s0)\n"
+          "    lw $t1, 4($s0)\n"
+          "    sw $t1, 64($s0)\n",
+          "    li $t0, 1\n"
+          "    sw $t0, 4($s0)\n"
+          "    lw $t1, 0($s0)\n"
+          "    sw $t1, 68($s0)\n"},
+         {64, 68},
+         {0, 0}},   // both loads before both stores
+        {"LB",
+         {"    lw $t1, 4($s0)\n"
+          "    li $t0, 1\n"
+          "    sw $t0, 0($s0)\n"
+          "    sw $t1, 64($s0)\n",
+          "    lw $t1, 0($s0)\n"
+          "    li $t0, 1\n"
+          "    sw $t0, 4($s0)\n"
+          "    sw $t1, 68($s0)\n"},
+         {64, 68},
+         {1, 1}},   // both loads see the future
+        {"CoRR",
+         {"    li $t0, 1\n"
+          "    sw $t0, 0($s0)\n",
+          "    lw $t1, 0($s0)\n"
+          "    lw $t2, 0($s0)\n"
+          "    sw $t1, 64($s0)\n"
+          "    sw $t2, 68($s0)\n"},
+         {64, 68},
+         {1, 0}},   // read order reverses the write
+        {"CoWW",
+         {"    li $t0, 1\n"
+          "    sw $t0, 0($s0)\n"
+          "    li $t0, 2\n"
+          "    sw $t0, 0($s0)\n",
+          "    lw $t1, 0($s0)\n"
+          "    lw $t2, 0($s0)\n"
+          "    sw $t1, 64($s0)\n"
+          "    sw $t2, 68($s0)\n"},
+         {64, 68, 0},
+         {2, 1, 2}},    // second write observed before the first
+    };
+}
+
+uint64_t
+encodeOutcome(const std::vector<uint32_t> &values)
+{
+    uint64_t key = 0;
+    for (size_t i = 0; i < values.size(); ++i)
+        key |= static_cast<uint64_t>(values[i] & 0xff) << (8 * i);
+    return key;
+}
+
+uint64_t
+outcomeOf(const MemImg &mem, const std::vector<uint32_t> &offsets)
+{
+    std::vector<uint32_t> values;
+    for (uint32_t off : offsets)
+        values.push_back(mem.read32(kSharedBase + off));
+    return encodeOutcome(values);
+}
+
+std::string
+describeOutcome(uint64_t key, size_t n)
+{
+    std::ostringstream os;
+    os << "(";
+    for (size_t i = 0; i < n; ++i)
+        os << (i ? "," : "") << ((key >> (8 * i)) & 0xff);
+    os << ")";
+    return os.str();
+}
+
+/** Exhaustive SC outcome set of the 2 litmus threads. */
+std::set<uint64_t>
+scOutcomes(const LitmusShape &shape)
+{
+    std::vector<Program> threads;
+    for (uint32_t t = 0; t < shape.bodies.size(); ++t)
+        threads.push_back(assemble(litmusSource(t, shape.bodies[t])));
+    std::set<uint64_t> outcomes;
+    forEachScInterleaving(threads, 16, 1u << 20,
+                          [&](const MtReference &ref) {
+                              outcomes.insert(
+                                  outcomeOf(ref.mem, shape.resultOffsets));
+                          });
+    return outcomes;
+}
+
+TEST(Litmus, OutcomesWithinScSetsUnderEveryModelAndCoreCount)
+{
+    const LsuModel models[] = {LsuModel::Baseline, LsuModel::NoSQ,
+                               LsuModel::DMDP, LsuModel::Perfect};
+    for (const LitmusShape &shape : litmusShapes()) {
+        std::set<uint64_t> allowed = scOutcomes(shape);
+        ASSERT_FALSE(allowed.empty()) << shape.name;
+        EXPECT_EQ(allowed.count(encodeOutcome(shape.forbidden)), 0u)
+            << shape.name << ": SC enumeration admitted the forbidden "
+            << "outcome "
+            << describeOutcome(encodeOutcome(shape.forbidden),
+                               shape.forbidden.size());
+
+        for (uint32_t cores : {2u, 4u}) {
+            std::vector<Program> threads;
+            for (uint32_t t = 0; t < 2; ++t)
+                threads.push_back(
+                    assemble(litmusSource(t, shape.bodies[t])));
+            for (uint32_t t = 2; t < cores; ++t)
+                threads.push_back(assemble(noiseSource(t)));
+
+            for (LsuModel model : models) {
+                SimConfig cfg = SimConfig::forModel(model);
+                fuzz::MtRunCheck run =
+                    fuzz::mtVerifyRun(cfg, threads, fuzz::MtDiffOptions{});
+                ASSERT_FALSE(run.failed)
+                    << shape.name << "/" << lsuModelName(model) << "/c"
+                    << cores << ": " << run.detail;
+                uint64_t outcome =
+                    outcomeOf(run.mc.finalMem, shape.resultOffsets);
+                EXPECT_EQ(allowed.count(outcome), 1u)
+                    << shape.name << "/" << lsuModelName(model) << "/c"
+                    << cores << ": observed "
+                    << describeOutcome(outcome,
+                                       shape.resultOffsets.size())
+                    << " outside the SC outcome set";
+            }
+        }
+    }
+}
+
+/**
+ * Positive counterpart of the mix-mode negative: in shared-memory mode
+ * two cores touching the same physical line must take the directory
+ * path — the store side sends an invalidation, the spinning reader
+ * receives it — not any per-core shortcut. The message-passing spin
+ * guarantees the reader holds the flag line Shared when the writer's
+ * store commits.
+ */
+TEST(Litmus, SharedLineTakesDirectoryPathNotThePrivateShortcut)
+{
+    std::vector<Program> threads;
+    {
+        // Writer: a delay loop, then data, then flag (same line,
+        // +0 / +4). The delay guarantees the reader's spin load pulls
+        // the line Shared into its private hierarchy long before the
+        // writer's stores commit — without it the oracle interleaving
+        // lets the writer publish first and the only directory traffic
+        // is a downgrade on the reader's late miss.
+        std::ostringstream w;
+        w << "    li $t5, 300\n"
+          << "delay:\n"
+          << "    addi $t5, $t5, -1\n"
+          << "    bgtz $t5, delay\n"
+          << "    li $t0, 41\n"
+          << "    sw $t0, 0($s0)\n"
+          << "    li $t0, 1\n"
+          << "    sw $t0, 4($s0)\n";
+        threads.push_back(assemble(litmusSource(0, w.str())));
+    }
+    {
+        // Reader: bounded spin on the flag, then read the data.
+        std::ostringstream r;
+        r << "    li $s7, 100000\n"
+          << "spin:\n"
+          << "    lw $t1, 4($s0)\n"
+          << "    bne $t1, $0, got\n"
+          << "    addi $s7, $s7, -1\n"
+          << "    bgtz $s7, spin\n"
+          << "got:\n"
+          << "    lw $t2, 0($s0)\n"
+          << "    sw $t2, 64($s0)\n";
+        threads.push_back(assemble(litmusSource(1, r.str())));
+    }
+
+    fuzz::MtRunCheck run = fuzz::mtVerifyRun(
+        SimConfig::forModel(LsuModel::DMDP), threads,
+        fuzz::MtDiffOptions{});
+    ASSERT_FALSE(run.failed) << run.detail;
+    EXPECT_GT(run.mc.coh.invalidationsSent, 0u);
+    EXPECT_GT(run.mc.coh.invalidationsDelivered, 0u);
+    EXPECT_GT(run.mc.cohInvalsReceived(), 0u);
+    EXPECT_EQ(run.mc.finalMem.read32(kSharedBase + 64), 41u);
+}
+
+// ---------------------------------------------------------------------
+// Single-writer ownership audit (Debug builds).
+// ---------------------------------------------------------------------
+
+#if DMDP_INVARIANTS
+/**
+ * The multi-core refactor's structural assumption: each LineIndex (and
+ * through it each StoreBuffer forwarding index — StoreBuffer::bindOwner
+ * delegates here) is mutated by exactly one pipeline. Binding a second
+ * owner is the cross-core state-sharing bug and must throw in Debug.
+ */
+TEST(LineIndex, SingleWriterBindRejectsSecondOwner)
+{
+    LineIndex idx;
+    int a = 0, b = 0;
+    EXPECT_EQ(idx.owner(), nullptr);
+    idx.bindOwner(&a);
+    idx.bindOwner(&a);      // idempotent for the same owner
+    EXPECT_EQ(idx.owner(), &a);
+    EXPECT_THROW(idx.bindOwner(&b), InvariantViolation);
+}
+#endif
+
+} // namespace
+} // namespace dmdp

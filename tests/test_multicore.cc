@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Lockstep multi-core engine tests (docs/ARCHITECTURE.md §14): run
+ * determinism, the shared kernels driving real coherence traffic and
+ * retire-time re-execution under the speculative LSU models, the
+ * disjoint-mix silence guarantee, core-count validation, and the
+ * multi-core result-identity digest (core count, mix composition,
+ * kernel choice and coherence parameters are all first-class).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "coh/multicore.h"
+#include "common/config.h"
+#include "driver/results.h"
+#include "driver/sweep.h"
+#include "isa/assembler.h"
+#include "sim/simulator.h"
+#include "workloads/shared_kernels.h"
+
+namespace dmdp {
+namespace {
+
+constexpr uint32_t kIters = 30;     // handoffs/items per kernel pair
+
+void
+expectSameRun(const coh::MultiCoreResult &a, const coh::MultiCoreResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    ASSERT_EQ(a.schedule.size(), b.schedule.size());
+    for (size_t i = 0; i < a.schedule.size(); ++i) {
+        EXPECT_EQ(a.schedule[i].thread, b.schedule[i].thread) << i;
+        EXPECT_EQ(a.schedule[i].steps, b.schedule[i].steps) << i;
+    }
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (size_t c = 0; c < a.stats.size(); ++c) {
+        auto fa = driver::statFields(a.stats[c]);
+        auto fb = driver::statFields(b.stats[c]);
+        ASSERT_EQ(fa.size(), fb.size());
+        for (size_t i = 0; i < fa.size(); ++i)
+            EXPECT_EQ(fa[i].second, fb[i].second)
+                << "core " << c << " " << fa[i].first;
+    }
+    EXPECT_EQ(a.coh.invalidationsSent, b.coh.invalidationsSent);
+    EXPECT_EQ(a.coh.invalidationsDelivered, b.coh.invalidationsDelivered);
+    EXPECT_EQ(a.coh.downgrades, b.coh.downgrades);
+    EXPECT_EQ(a.coh.upgrades, b.coh.upgrades);
+    EXPECT_EQ(a.coh.llcMisses, b.coh.llcMisses);
+    EXPECT_EQ(a.finalMem.firstDifference(b.finalMem), std::nullopt);
+}
+
+/** The whole run is a deterministic function of (configs, programs):
+ *  two identical invocations must agree on every observable — the SC
+ *  schedule, every per-core counter, the directory totals, the final
+ *  committed image. This is what makes MT fuzz repros and the sweep
+ *  result cache trustworthy. */
+TEST(MultiCore, LockstepRunsAreDeterministic)
+{
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+    coh::MultiCoreResult a =
+        simulateSharedKernel("lock-handoff", 2, cfg, {}, kIters);
+    coh::MultiCoreResult b =
+        simulateSharedKernel("lock-handoff", 2, cfg, {}, kIters);
+    expectSameRun(a, b);
+}
+
+/**
+ * The acceptance shape of the coherence tentpole: both true sharing
+ * kernels generate invalidation traffic under every LSU model, and the
+ * speculative models (NoSQ, DMDP) — whose in-flight loads can be hit
+ * by a cross-core invalidation — re-execute at retire (cohReexec > 0).
+ */
+TEST(MultiCore, SharingKernelsDriveInvalidationsAndReexecution)
+{
+    const LsuModel models[] = {LsuModel::Baseline, LsuModel::NoSQ,
+                               LsuModel::DMDP, LsuModel::Perfect};
+    for (const std::string &kernel : sharedKernelNames()) {
+        for (LsuModel model : models) {
+            SimConfig cfg = SimConfig::forModel(model);
+            // 200 iterations: producer-consumer only develops the
+            // producer/consumer overlap window (invalidations landing
+            // while the consumer's spin loads are in flight) on longer
+            // runs — at 30 iterations the producer finishes first and
+            // the consumer drains a quiescent ring.
+            coh::MultiCoreResult r =
+                simulateSharedKernel(kernel, 2, cfg, {}, 200);
+            EXPECT_GT(r.coh.invalidationsSent, 0u)
+                << kernel << "/" << lsuModelName(model);
+            EXPECT_GT(r.cohInvalsReceived(), 0u)
+                << kernel << "/" << lsuModelName(model);
+            EXPECT_EQ(r.coh.invalidationsDropped, 0u)
+                << kernel << "/" << lsuModelName(model);
+            for (size_t c = 0; c < r.stats.size(); ++c)
+                EXPECT_GT(r.stats[c].instsRetired, 0u)
+                    << kernel << "/" << lsuModelName(model) << " core "
+                    << c;
+            if (model == LsuModel::NoSQ || model == LsuModel::DMDP) {
+                EXPECT_GT(r.cohReexecs(), 0u)
+                    << kernel << "/" << lsuModelName(model);
+            }
+        }
+    }
+}
+
+/** Disjoint mixes share no line (core-tagged address spaces), so the
+ *  directory must stay silent and no load may ever be forced to
+ *  re-execute by a cross-core invalidation. */
+TEST(MultiCore, DisjointMixGeneratesNoCoherenceTraffic)
+{
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+    coh::MultiCoreResult r = simulateMix({"perl", "mcf"}, cfg, 5000);
+    EXPECT_EQ(r.coh.invalidationsSent, 0u);
+    EXPECT_EQ(r.coh.invalidationsDelivered, 0u);
+    EXPECT_EQ(r.cohInvalsReceived(), 0u);
+    EXPECT_EQ(r.cohReexecs(), 0u);
+    ASSERT_EQ(r.stats.size(), 2u);
+    EXPECT_GT(r.stats[0].instsRetired, 0u);
+    EXPECT_GT(r.stats[1].instsRetired, 0u);
+}
+
+TEST(MultiCore, FourCoreSharedKernelRuns)
+{
+    SimConfig cfg = SimConfig::forModel(LsuModel::DMDP);
+    coh::MultiCoreResult r =
+        simulateSharedKernel("producer-consumer", 4, cfg, {}, 20);
+    ASSERT_EQ(r.stats.size(), 4u);
+    EXPECT_GT(r.coh.invalidationsSent, 0u);
+    EXPECT_GT(r.cohReexecs(), 0u);
+    for (size_t c = 0; c < 4; ++c)
+        EXPECT_GT(r.stats[c].instsRetired, 0u) << "core " << c;
+}
+
+TEST(MultiCore, RejectsZeroAndOversizedCoreCounts)
+{
+    EXPECT_THROW(coh::runMultiCore({}), std::invalid_argument);
+
+    Program trivial = assemble("    .org 4096\nmain:\n    halt\n");
+    std::vector<coh::CoreSpec> nine;
+    for (int i = 0; i < 9; ++i)
+        nine.push_back({"t", trivial, SimConfig::forModel(LsuModel::DMDP)});
+    EXPECT_THROW(coh::runMultiCore(nine), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Multi-core result identity.
+// ---------------------------------------------------------------------
+
+driver::SweepJob
+mixJob()
+{
+    driver::SweepJob job;
+    job.id = "mix/2";
+    job.cfg = SimConfig::forModel(LsuModel::DMDP);
+    job.insts = 5000;
+    job.cores = 2;
+    job.mix = {"perl", "mcf"};
+    return job;
+}
+
+/** Core count, mix composition (including order), kernel selection and
+ *  every coherence fabric parameter must all perturb the multi-core
+ *  digest — a cached result for one shape must never satisfy another. */
+TEST(MultiCoreDigest, WorkloadShapeIsFirstClass)
+{
+    driver::SweepJob base = mixJob();
+    uint64_t d0 = driver::multiCoreConfigDigest(base);
+    EXPECT_EQ(driver::multiCoreConfigDigest(mixJob()), d0);
+
+    driver::SweepJob j = mixJob();
+    j.cores = 4;
+    j.mix = {"perl", "mcf", "perl", "mcf"};
+    EXPECT_NE(driver::multiCoreConfigDigest(j), d0);
+
+    j = mixJob();
+    j.mix = {"mcf", "perl"};    // same proxies, different placement
+    EXPECT_NE(driver::multiCoreConfigDigest(j), d0);
+
+    j = mixJob();
+    j.mix.clear();
+    j.sharedKernel = "lock-handoff";
+    uint64_t dk = driver::multiCoreConfigDigest(j);
+    EXPECT_NE(dk, d0);
+
+    j.kernelIters = 400;
+    EXPECT_NE(driver::multiCoreConfigDigest(j), dk);
+
+    j = mixJob();
+    j.coh.invalLatency += 4;
+    EXPECT_NE(driver::multiCoreConfigDigest(j), d0);
+
+    j = mixJob();
+    j.coh.privateMix = !j.coh.privateMix;
+    EXPECT_NE(driver::multiCoreConfigDigest(j), d0);
+
+    // The per-core machine configuration still participates.
+    j = mixJob();
+    j.cfg.model = LsuModel::NoSQ;
+    EXPECT_NE(driver::multiCoreConfigDigest(j), d0);
+}
+
+} // namespace
+} // namespace dmdp

@@ -22,9 +22,12 @@
 #include <sstream>
 #include <string>
 
+#include <vector>
+
 #include "driver/results.h"
 #include "fuzz/diffcheck.h"
 #include "fuzz/minimize.h"
+#include "fuzz/mtdiff.h"
 #include "fuzz/proggen.h"
 #include "isa/assembler.h"
 
@@ -47,7 +50,12 @@ usage()
         "  --out DIR       repro output directory (default fuzz-out)\n"
         "  --dump N        print the program for seed N and exit\n"
         "  --check FILE    diff-check one assembly file and exit\n"
-        "  --snapshot FILE print FILE's final-state snapshot and exit\n";
+        "                  (comma-separate per-thread files with --mt)\n"
+        "  --snapshot FILE print FILE's final-state snapshot and exit\n"
+        "  --mt            fuzz 2-4-thread interleaved programs through\n"
+        "                  the multi-core engine (4 models x 2 engines)\n"
+        "  --threads N     fix the thread count (default: vary 2-4 by\n"
+        "                  seed; only meaningful with --mt)\n";
 }
 
 std::string
@@ -59,6 +67,23 @@ readFile(const std::string &path)
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
 }
 
 } // namespace
@@ -73,6 +98,10 @@ main(int argc, char **argv)
     double budgetSec = 0.0;
     fuzz::GenOptions gen;
     fuzz::DiffOptions diff;
+    fuzz::MtDiffOptions mtDiff;
+    bool mt = false;
+    uint32_t mtThreads = 0;     // 0 = vary 2-4 by seed
+    bool bodySet = false;
     bool doMinimize = false;
     std::string outDir = "fuzz-out";
     std::string checkFile;
@@ -99,8 +128,16 @@ main(int argc, char **argv)
             gen.bodyInsts =
                 static_cast<uint32_t>(std::strtoul(value().c_str(),
                                                    nullptr, 0));
+            bodySet = true;
         } else if (arg == "--max-steps") {
             diff.maxSteps = std::strtoull(value().c_str(), nullptr, 0);
+            mtDiff.maxSteps = diff.maxSteps;
+        } else if (arg == "--mt") {
+            mt = true;
+        } else if (arg == "--threads") {
+            mtThreads =
+                static_cast<uint32_t>(std::strtoul(value().c_str(),
+                                                   nullptr, 0));
         } else if (arg == "--minimize") {
             doMinimize = true;
         } else if (arg == "--out") {
@@ -122,14 +159,41 @@ main(int argc, char **argv)
         }
     }
 
+    // MT generation options; thread count varies 2-4 with the seed
+    // unless pinned so one smoke run covers every directory fan-out.
+    fuzz::MtGenOptions mtGen;
+    if (bodySet)
+        mtGen.bodyInsts = gen.bodyInsts;
+    auto mtGenFor = [&](uint64_t s) {
+        fuzz::MtGenOptions g = mtGen;
+        g.threads = mtThreads ? mtThreads
+                              : 2 + static_cast<uint32_t>(s % 3);
+        return g;
+    };
+
     try {
         if (dump) {
-            std::cout << fuzz::generateProgram(dumpSeed, gen);
+            if (mt) {
+                std::vector<std::string> sources =
+                    fuzz::generateMtProgram(dumpSeed, mtGenFor(dumpSeed));
+                for (const std::string &src : sources)
+                    std::cout << src << "\n";
+            } else {
+                std::cout << fuzz::generateProgram(dumpSeed, gen);
+            }
             return 0;
         }
         if (!checkFile.empty()) {
-            fuzz::DiffResult r =
-                fuzz::diffCheckSource(readFile(checkFile), diff);
+            std::vector<std::string> files = splitCommas(checkFile);
+            fuzz::DiffResult r;
+            if (mt || files.size() > 1) {
+                std::vector<std::string> sources;
+                for (const std::string &f : files)
+                    sources.push_back(readFile(f));
+                r = fuzz::mtDiffCheckSources(sources, mtDiff);
+            } else {
+                r = fuzz::diffCheckSource(readFile(checkFile), diff);
+            }
             std::cout << checkFile << ": " << r.describe() << "\n";
             return r.ok ? 0 : 1;
         }
@@ -159,6 +223,60 @@ main(int argc, char **argv)
         }
 
         uint64_t subSeed = seed + i;
+
+        if (mt) {
+            std::vector<std::string> sources =
+                fuzz::generateMtProgram(subSeed, mtGenFor(subSeed));
+            fuzz::DiffResult r = fuzz::mtDiffCheckSources(sources, mtDiff);
+            ++ran;
+            if (r.ok)
+                continue;
+
+            ++failures;
+            std::cout << "FAIL seed=" << subSeed << " threads="
+                      << sources.size() << ": " << r.describe() << "\n";
+
+            std::filesystem::create_directories(outDir);
+            std::string stem =
+                outDir + "/repro-" + std::to_string(subSeed);
+            std::vector<std::string> repro = sources;
+            uint32_t instLines = 0;
+            for (const std::string &src : sources)
+                instLines += fuzz::countInstLines(src);
+
+            if (doMinimize) {
+                try {
+                    fuzz::MtMinimizeResult min =
+                        fuzz::minimizeMt(sources, mtDiff);
+                    repro = min.sources;
+                    instLines = min.instLines;
+                    std::cout << "  minimized to " << min.instLines
+                              << " instruction lines in " << min.attempts
+                              << " attempts\n";
+                } catch (const std::exception &e) {
+                    std::cout << "  minimization failed: " << e.what()
+                              << "\n";
+                }
+            }
+
+            for (size_t t = 0; t < repro.size(); ++t) {
+                std::string header =
+                    "# dmdp-fuzz mt repro thread " + std::to_string(t) +
+                    " (seed=" + std::to_string(subSeed) +
+                    ", kind=" + fuzz::failKindName(r.kind) +
+                    (r.engine.empty() ? "" : ", engine=" + r.engine) +
+                    ")\n# " + std::to_string(instLines) +
+                    " instruction lines total\n# detail: " + r.detail +
+                    "\n";
+                driver::writeTextFile(
+                    stem + ".t" + std::to_string(t) + ".s",
+                    header + repro[t]);
+            }
+            std::cout << "  wrote " << stem << ".t{0.."
+                      << repro.size() - 1 << "}.s\n";
+            continue;
+        }
+
         std::string source = fuzz::generateProgram(subSeed, gen);
         fuzz::DiffResult r = fuzz::diffCheckSource(source, diff);
         ++ran;

@@ -44,7 +44,14 @@ usage()
         "  --insts N       instruction cap per proxy run"
         " (default 20000)\n"
         "  --json FILE     write the dmdp-inject-v1 report to FILE\n"
-        "  --quiet         suppress per-pair progress lines\n";
+        "  --quiet         suppress per-pair progress lines\n"
+        "  --mt            multi-core campaign: shared kernels + N\n"
+        "                  generated interleaved sets (--gen) through\n"
+        "                  the lockstep engine; eligible sites include\n"
+        "                  the directory hooks (sharer corruption,\n"
+        "                  dropped invalidations)\n"
+        "  --cores N       kernel thread count for --mt (default 2)\n"
+        "  --iters N       kernel iterations for --mt (default 50)\n";
 }
 
 std::vector<std::string>
@@ -73,6 +80,9 @@ main(int argc, char **argv)
     uint64_t proxyInsts = 20000;
     std::string jsonPath;
     bool quiet = false;
+    bool mt = false;
+    uint32_t mtCores = 2;
+    uint32_t mtIters = 50;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -121,6 +131,14 @@ main(int argc, char **argv)
             proxyInsts = std::strtoull(value().c_str(), nullptr, 0);
         } else if (arg == "--json") {
             jsonPath = value();
+        } else if (arg == "--mt") {
+            mt = true;
+        } else if (arg == "--cores") {
+            mtCores = static_cast<uint32_t>(std::strtoul(value().c_str(),
+                                                         nullptr, 0));
+        } else if (arg == "--iters") {
+            mtIters = static_cast<uint32_t>(std::strtoul(value().c_str(),
+                                                         nullptr, 0));
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -143,22 +161,32 @@ main(int argc, char **argv)
         genCount = 0;
 
     try {
-        std::vector<inject::Workload> workloads =
-            inject::generatedWorkloads(opt.seed, genCount);
-        for (inject::Workload &w :
-             inject::proxyWorkloads(proxies, proxyInsts))
-            workloads.push_back(std::move(w));
-        if (workloads.empty()) {
-            std::cerr << "no workloads selected\n";
-            return 2;
-        }
+        std::function<void(const std::string &)> progress;
+        if (!quiet)
+            progress = [](const std::string &line) {
+                std::cout << "  " << line << "\n";
+            };
 
-        inject::CampaignSummary summary = inject::runCampaign(
-            workloads, opt,
-            quiet ? std::function<void(const std::string &)>()
-                  : [](const std::string &line) {
-                        std::cout << "  " << line << "\n";
-                    });
+        inject::CampaignSummary summary;
+        if (mt) {
+            std::vector<inject::MtWorkload> workloads =
+                inject::sharedKernelWorkloads(mtCores, mtIters);
+            for (inject::MtWorkload &w :
+                 inject::generatedMtWorkloads(opt.seed, genCount))
+                workloads.push_back(std::move(w));
+            summary = inject::runMtCampaign(workloads, opt, progress);
+        } else {
+            std::vector<inject::Workload> workloads =
+                inject::generatedWorkloads(opt.seed, genCount);
+            for (inject::Workload &w :
+                 inject::proxyWorkloads(proxies, proxyInsts))
+                workloads.push_back(std::move(w));
+            if (workloads.empty()) {
+                std::cerr << "no workloads selected\n";
+                return 2;
+            }
+            summary = inject::runCampaign(workloads, opt, progress);
+        }
 
         if (!jsonPath.empty())
             driver::writeTextFile(jsonPath, summary.toJson().dump(2) + "\n");

@@ -23,6 +23,15 @@
  *     --inval-rate R  injected remote invalidations per 1k cycles
  *     --legacy-sched  polled issue-queue scan (timing-identical)
  *     --no-idle-skip  step every cycle even when provably idle
+ *     --cores N       simulate N cores (2..8) behind the shared LLC +
+ *                     directory. Without --mix/--kernel each proxy runs
+ *                     as a homogeneous N-core mix (N copies, disjoint
+ *                     core-tagged address spaces)
+ *     --mix LIST      comma-separated proxies, one per core (disjoint
+ *                     mix; implies --cores = list length)
+ *     --kernel NAME   shared-memory kernel (producer-consumer |
+ *                     lock-handoff) on --cores cores (default 2)
+ *     --iters N       shared-kernel iteration count     (default 200)
  *     --sweep         run models x proxies on the thread pool (DMDP_JOBS)
  *     --no-trace-reuse  re-emulate every sweep job instead of recording
  *                     each workload once and replaying the trace
@@ -95,6 +104,8 @@ usage(const char *argv0)
                  "          [--prf N] [--rmo] [--tage] [--balanced]\n"
                  "          [--no-silent-aware] [--inval-rate R]\n"
                  "          [--legacy-sched] [--no-idle-skip]\n"
+                 "          [--cores N] [--mix LIST] [--kernel NAME]\n"
+                 "          [--iters N]\n"
                  "          [--sweep] [--no-trace-reuse]\n"
                  "          [--models LIST] [--proxies LIST]\n"
                  "          [--job-timeout SEC] [--retries N]\n"
@@ -191,10 +202,22 @@ emit(const std::string &path, const std::string &text)
         driver::writeTextFile(path, text);
 }
 
+/** Multi-core selection (--cores / --mix / --kernel / --iters). */
+struct MultiCore
+{
+    uint32_t cores = 1;
+    std::vector<std::string> mix;
+    std::string kernel;
+    uint32_t iters = 200;
+
+    bool active() const { return cores > 1; }
+};
+
 int
 runSweep(const std::vector<std::string> &modelNames,
          const std::vector<std::string> &proxyNames, uint64_t insts,
-         uint64_t warmup, const Overrides &overrides, bool traceReuse,
+         uint64_t warmup, const Overrides &overrides,
+         const MultiCore &mc, bool traceReuse,
          const driver::SweepOptions &sweepOpt,
          const std::string &farmServe, const std::string &jsonPath,
          const std::string &csvPath)
@@ -203,11 +226,60 @@ runSweep(const std::vector<std::string> &modelNames,
     for (const auto &name : modelNames)
         models.push_back(parseModel(name));
 
-    auto jobs = driver::crossProduct(
-        models, proxyNames, insts, [&](SimConfig &cfg) {
+    std::vector<driver::SweepJob> jobs;
+    if (mc.active()) {
+        // One job per (model, workload): a shared kernel, an explicit
+        // mix, or — the fig12-style table — every proxy replicated as a
+        // homogeneous N-core disjoint mix.
+        for (LsuModel model : models) {
+            SimConfig cfg = SimConfig::forModel(model);
             overrides.apply(cfg);
             cfg.warmupInsts = warmup;
-        });
+            std::string mname = lsuModelName(model);
+            std::string suffix = "/c" + std::to_string(mc.cores);
+            if (!mc.kernel.empty()) {
+                driver::SweepJob job;
+                job.id = mname + "/" + mc.kernel + suffix;
+                job.proxy = mc.kernel;
+                job.cfg = cfg;
+                job.insts = 0;  // kernels run to their own halts
+                job.cores = mc.cores;
+                job.sharedKernel = mc.kernel;
+                job.kernelIters = mc.iters;
+                jobs.push_back(std::move(job));
+            } else if (!mc.mix.empty()) {
+                driver::SweepJob job;
+                std::string joined;
+                for (const std::string &p : mc.mix)
+                    joined += (joined.empty() ? "" : "+") + p;
+                job.id = mname + "/" + joined + suffix;
+                job.proxy = mc.mix.front();
+                job.cfg = cfg;
+                job.insts = insts;
+                job.cores = mc.cores;
+                job.mix = mc.mix;
+                jobs.push_back(std::move(job));
+            } else {
+                for (const std::string &proxy : proxyNames) {
+                    driver::SweepJob job;
+                    job.id = mname + "/" + proxy + suffix;
+                    job.proxy = proxy;
+                    job.isInteger = findProxy(proxy).isInteger;
+                    job.cfg = cfg;
+                    job.insts = insts;
+                    job.cores = mc.cores;
+                    job.mix.assign(mc.cores, proxy);
+                    jobs.push_back(std::move(job));
+                }
+            }
+        }
+    } else {
+        jobs = driver::crossProduct(
+            models, proxyNames, insts, [&](SimConfig &cfg) {
+                overrides.apply(cfg);
+                cfg.warmupInsts = warmup;
+            });
+    }
 
     auto progress = [](const driver::JobResult &r, size_t done,
                        size_t total) {
@@ -253,6 +325,30 @@ runSweep(const std::vector<std::string> &modelNames,
     FILE *out =
         (jsonPath == "-" || csvPath == "-") ? stderr : stdout;
     std::fprintf(out, "%s", table.render().c_str());
+
+    // Coherence fabric summary per multi-core job (zeros on a disjoint
+    // mix are the expected — and tested — outcome).
+    for (const auto &r : results) {
+        if (!r.ok || r.job.cores <= 1)
+            continue;
+        std::fprintf(out,
+                     "coh %-24s invals %llu sent / %llu delivered / "
+                     "%llu dropped, downgrades %llu, upgrades %llu, "
+                     "llc %llu/%llu, coh-reexecs %llu\n",
+                     r.job.id.c_str(),
+                     static_cast<unsigned long long>(
+                         r.coh.invalidationsSent),
+                     static_cast<unsigned long long>(
+                         r.coh.invalidationsDelivered),
+                     static_cast<unsigned long long>(
+                         r.coh.invalidationsDropped),
+                     static_cast<unsigned long long>(r.coh.downgrades),
+                     static_cast<unsigned long long>(r.coh.upgrades),
+                     static_cast<unsigned long long>(r.coh.llcHits),
+                     static_cast<unsigned long long>(r.coh.llcMisses),
+                     static_cast<unsigned long long>(
+                         r.profile.cohReexecs));
+    }
 
     for (const auto &w : report.warnings)
         std::fprintf(stderr, "warning: %s\n", w.c_str());
@@ -302,6 +398,8 @@ main(int argc, char **argv)
     uint64_t insts = 200000;
     uint64_t warmup = 0;
     Overrides overrides;
+    MultiCore mc;
+    std::string mix_list;
     driver::SweepOptions sweepOpt;
 
     for (int i = 1; i < argc; ++i) {
@@ -332,6 +430,12 @@ main(int argc, char **argv)
             overrides.invalRate = std::strtod(next(), nullptr);
         else if (arg == "--legacy-sched") overrides.legacySched = true;
         else if (arg == "--no-idle-skip") overrides.noIdleSkip = true;
+        else if (arg == "--cores") mc.cores =
+            static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+        else if (arg == "--mix") mix_list = next();
+        else if (arg == "--kernel") mc.kernel = next();
+        else if (arg == "--iters") mc.iters =
+            static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
         else if (arg == "--sweep") sweep = true;
         else if (arg == "--no-trace-reuse") traceReuse = false;
         else if (arg == "--models") models_list = next();
@@ -354,6 +458,38 @@ main(int argc, char **argv)
             return 0;
         }
         else usage(argv[0]);
+    }
+
+    // Multi-core selection: --mix pins the core count to its length;
+    // --kernel without --cores means the smallest kernel (one pair).
+    // Any multi-core request routes through the sweep runner — even a
+    // single job — so caching, journaling, and the emitters behave
+    // identically for 1 job and 84.
+    if (!mix_list.empty()) {
+        mc.mix = splitList(mix_list);
+        mc.cores = static_cast<uint32_t>(mc.mix.size());
+    } else if (!mc.kernel.empty() && mc.cores < 2) {
+        mc.cores = 2;
+    }
+    if (mc.active()) {
+        if (!asm_file.empty()) {
+            std::fprintf(stderr, "--cores cannot run --asm files\n");
+            return 2;
+        }
+        if (!farm_serve.empty() || !farm_worker.empty()) {
+            std::fprintf(stderr,
+                         "multi-core jobs are local-only: the farm "
+                         "protocol does not ship mix/kernel jobs\n");
+            return 2;
+        }
+        // Without an explicit --sweep, honor the single-run selection
+        // (--model/--proxy) instead of fanning out over everything.
+        if (!sweep && models_list.empty())
+            models_list = model_name;
+        if (!sweep && proxies_list.empty() && mc.kernel.empty() &&
+            mc.mix.empty())
+            proxies_list = proxy;
+        sweep = true;
     }
 
     try {
@@ -403,7 +539,7 @@ main(int argc, char **argv)
         // so repeated kill/resume cycles make monotone progress.
         if (!sweepOpt.resumePath.empty() && sweepOpt.journalPath.empty())
             sweepOpt.journalPath = sweepOpt.resumePath;
-        return runSweep(models, proxies, insts, warmup, overrides,
+        return runSweep(models, proxies, insts, warmup, overrides, mc,
                         traceReuse, sweepOpt, farm_serve, json_path,
                         csv_path);
     }
