@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Thread-local live-progress channel: the pipeline publishes retired
+ * instruction counts into an atomic owned by whoever armed the port on
+ * this thread (the farm worker's heartbeat loop, most importantly),
+ * without threading a parameter through every simulator signature.
+ *
+ * Same shape as the fault-injection port (inject/faultport.h): when
+ * disarmed — every run except a farm job with heartbeats — the hook is
+ * one thread-local load and a predictable branch.
+ */
+
+#ifndef DMDP_COMMON_PROGRESS_H
+#define DMDP_COMMON_PROGRESS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace dmdp {
+
+class ProgressPort
+{
+  public:
+    /**
+     * RAII arming for the current thread. A null counter leaves the
+     * port disarmed; nesting restores the previous counter on exit, so
+     * arming composes with re-entrant simulation (retries, replays).
+     */
+    class Scope
+    {
+      public:
+        explicit Scope(std::atomic<uint64_t> *counter) : prev_(tlCounter)
+        {
+            tlCounter = counter;
+        }
+        ~Scope() { tlCounter = prev_; }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        std::atomic<uint64_t> *prev_;
+    };
+
+    /** Hot-path hook: publish @p n more retired instructions. */
+    static void
+    bump(uint64_t n = 1)
+    {
+        if (tlCounter)
+            tlCounter->fetch_add(n, std::memory_order_relaxed);
+    }
+
+  private:
+    static inline thread_local std::atomic<uint64_t> *tlCounter = nullptr;
+};
+
+} // namespace dmdp
+
+#endif // DMDP_COMMON_PROGRESS_H

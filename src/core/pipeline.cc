@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/bitutil.h"
+#include "common/progress.h"
 #include "inject/faultport.h"
 #include "pred/svw.h"
 
@@ -1530,6 +1531,7 @@ Pipeline::accountRetire(UopRef r)
 
     if (u.instEnd) {
         ++stats.instsRetired;
+        ProgressPort::bump();
         if (onRetire)
             onRetire(c.dyn);
         uint64_t ready = u.dst >= 0 ? rf.readyCycle(u.dst)

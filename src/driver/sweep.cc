@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "common/arena.h"
+#include "common/progress.h"
 #include "core/pipeline.h"
 #include "driver/results.h"
 #include "sim/simulator.h"
@@ -681,6 +682,10 @@ SweepRunner::runReport(const std::vector<SweepJob> &jobs,
                     if (beforeAttempt_)
                         beforeAttempt_(jobs[i], attempt);
                     Watchdog::Scope scope(watchdog.get(), &cancel);
+                    // Publish retire progress to whoever is sampling
+                    // (the farm worker's heartbeat thread): armed on
+                    // the executing thread, where the pipeline runs.
+                    ProgressPort::Scope pscope(opt.liveProgress);
                     // Pin this worker's bump arena for the attempt: the
                     // pipeline's rings (ROB hot/cold, decode queue,
                     // store buffer) are carved from it and recycled

@@ -12,6 +12,7 @@
 #ifndef DMDP_DRIVER_SWEEP_H
 #define DMDP_DRIVER_SWEEP_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -180,6 +181,15 @@ struct SweepOptions
      * farm::ResultCache for the on-disk implementation.
      */
     JobCache *cache = nullptr;
+
+    /**
+     * Optional live-progress counter (non-owning): while a job's
+     * attempt runs, the pipeline adds every retired instruction here
+     * via ProgressPort, so another thread (a farm worker's heartbeat
+     * loop) can observe forward progress mid-job. Shared across jobs
+     * of the sweep; callers sampling it see a monotone total.
+     */
+    std::atomic<uint64_t> *liveProgress = nullptr;
 };
 
 /** A sweep's results plus execution metadata. */
@@ -195,6 +205,14 @@ struct SweepReport
     uint64_t cacheMisses = 0;       ///< cache probes that simulated
     /** Farm mode: jobs completed per worker, coordinator-assigned. */
     std::vector<std::pair<std::string, size_t>> workerJobs;
+    /** Farm mode: in-flight dispatches reaped past the liveness
+     *  deadline (silent-stall workers cut loose). */
+    uint64_t reapedDispatches = 0;
+    /** Farm mode: requeue events after a reap or worker death. */
+    uint64_t redispatchedJobs = 0;
+    /** Farm mode: connections refused at handshake (bad auth token,
+     *  protocol/build/schema skew). */
+    uint64_t rejectedPeers = 0;
     std::vector<std::string> warnings;  ///< one line per degraded path
 
     bool ok() const { return failed == 0; }

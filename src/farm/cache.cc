@@ -134,6 +134,28 @@ ResultCache::atomicWrite(const std::string &path, const std::string &text)
         }
     }
     fs::rename(tmp, path, ec);
+    if (ec == std::errc::cross_device_link) {
+        // tmp/ and the destination sit on different filesystems (a
+        // results/ shard symlinked or bind-mounted elsewhere):
+        // rename(2) fails with EXDEV. Re-stage a copy next to the
+        // destination — same filesystem by construction — and rename
+        // there; readers still never see a partial document.
+        std::error_code ec2;
+        std::string stage = path + "." +
+                            std::to_string(static_cast<long>(::getpid())) +
+                            "." +
+                            std::to_string(tmpCounter_.fetch_add(1)) +
+                            ".tmp";
+        fs::copy_file(tmp, stage, fs::copy_options::overwrite_existing,
+                      ec2);
+        if (!ec2) {
+            fs::rename(stage, path, ec2);
+            if (ec2)
+                fs::remove(stage, ec2);
+        }
+        fs::remove(tmp, ec);
+        return;
+    }
     if (ec)
         fs::remove(tmp, ec);
 }
@@ -141,8 +163,9 @@ ResultCache::atomicWrite(const std::string &path, const std::string &text)
 bool
 ResultCache::lookup(const Key &key, SimStats &stats)
 {
+    std::string path = shardPath("results", resultKeyHash(key));
     std::string text;
-    if (!readFile(shardPath("results", resultKeyHash(key)), text))
+    if (!readFile(path, text))
         return false;
     try {
         driver::Json j = driver::Json::parse(text);
@@ -160,7 +183,17 @@ ResultCache::lookup(const Key &key, SimStats &stats)
         stats = restored;
         return true;
     } catch (const driver::JsonError &) {
-        return false;   // corrupt or truncated entry: a miss, not an error
+        // Corrupt or truncated entry (torn external copy, disk
+        // trouble): a miss, not an error. Unlink the bad file so the
+        // next store repairs it atomically, and count the repair —
+        // quiet rot in a shared cache dir should be visible. (A valid
+        // document for a *different* key — shard collision, other
+        // schema version — is left alone above: it may be someone
+        // else's good entry.)
+        std::error_code ec;
+        fs::remove(path, ec);
+        ++repairs_;
+        return false;
     }
 }
 
@@ -198,8 +231,9 @@ ResultCache::lookupTraceDigest(uint64_t programDigest, uint64_t insts,
             return true;
         }
     }
+    std::string path = shardPath("workloads", hash);
     std::string text;
-    if (!readFile(shardPath("workloads", hash), text))
+    if (!readFile(path, text))
         return false;
     try {
         driver::Json j = driver::Json::parse(text);
@@ -211,6 +245,11 @@ ResultCache::lookupTraceDigest(uint64_t programDigest, uint64_t insts,
             return false;
         traceDigest = parseHex(j, "trace_digest");
     } catch (const driver::JsonError &) {
+        // Same repair as result entries: unlink the unparseable file
+        // and surface the event.
+        std::error_code ec;
+        fs::remove(path, ec);
+        ++repairs_;
         return false;
     }
     std::lock_guard<std::mutex> lock(memoMutex_);

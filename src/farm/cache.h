@@ -65,6 +65,14 @@ class ResultCache : public driver::JobCache
      */
     static std::string envDir();
 
+    /**
+     * Corrupt entries detected and removed by lookups so far: a torn
+     * external copy or disk trouble reads as a miss, the bad file is
+     * unlinked (the next store rewrites it atomically), and this
+     * counter makes the repair visible instead of silent.
+     */
+    uint64_t repairs() const { return repairs_.load(); }
+
   private:
     uint64_t resultKeyHash(const Key &key) const;
     uint64_t workloadKeyHash(uint64_t programDigest, uint64_t insts,
@@ -74,6 +82,7 @@ class ResultCache : public driver::JobCache
 
     std::string dir_;
     std::atomic<uint64_t> tmpCounter_{0};
+    std::atomic<uint64_t> repairs_{0};
 
     // In-memory mirror of the workload memo: the same (proxy, insts)
     // group is digested once per sweep, but farm workers probe per job.

@@ -1,0 +1,214 @@
+#include "farm/client.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+#include "driver/results.h"
+#include "farm/protocol.h"
+#include "farm/version.h"
+
+namespace dmdp::farm {
+
+using driver::JobResult;
+using driver::Json;
+using driver::SweepJob;
+using driver::SweepReport;
+
+namespace {
+
+std::string
+autoSweepId()
+{
+    // Unique per daemon lifetime is all that is required; pid + a
+    // wall-clock stamp + a process-local counter covers concurrent
+    // submitters on one host and repeated submits from one process.
+    static std::atomic<uint64_t> counter{0};
+    auto now = std::chrono::system_clock::now().time_since_epoch();
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(now);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "sweep-%d-%llx-%llu",
+                  static_cast<int>(::getpid()),
+                  static_cast<unsigned long long>(us.count()),
+                  static_cast<unsigned long long>(counter.fetch_add(1)));
+    return buf;
+}
+
+Socket
+connectWithin(const std::string &addr, double budgetSec)
+{
+    auto start = std::chrono::steady_clock::now();
+    std::string lastErr;
+    int attempts = 0;
+    for (;;) {
+        try {
+            ++attempts;
+            return connectTo(addr);
+        } catch (const std::exception &e) {
+            lastErr = e.what();
+        }
+        double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        if (elapsed >= budgetSec)
+            throw std::runtime_error(
+                "farm: cannot reach daemon at " + addr + " after " +
+                std::to_string(attempts) + " attempts over " +
+                std::to_string(budgetSec) + "s: " + lastErr);
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+}
+
+} // namespace
+
+SweepReport
+submitSweep(const std::vector<SweepJob> &jobs, const SubmitOptions &opt,
+            const driver::SweepRunner::Progress &progress)
+{
+    SweepReport report;
+    if (jobs.empty())
+        return report;
+
+    std::string sweepId =
+        opt.sweepId.empty() ? autoSweepId() : opt.sweepId;
+
+    Socket sock = connectWithin(opt.addr, opt.connectTimeoutSec);
+    int fd = sock.fd();
+
+    HelloInfo hello;
+    hello.peer = "client-" + std::to_string(::getpid());
+    hello.role = "client";
+    hello.token = opt.token;
+    if (!sendFrame(fd, MsgType::Hello, makeHello(hello)))
+        throw std::runtime_error("farm: daemon hung up mid-handshake");
+    MsgType type;
+    Json payload;
+    if (recvFrameD(fd, type, payload, 15.0) != IoStatus::Ok ||
+        type != MsgType::HelloAck)
+        throw std::runtime_error("farm: no HelloAck from daemon (not a "
+                                 "dmdp farm coordinator?)");
+    try {
+        if (!payload.at("ok").asBool())
+            throw std::runtime_error("farm: daemon rejected us: " +
+                                     payload.at("reason").asString());
+    } catch (const driver::JsonError &) {
+        throw std::runtime_error("farm: malformed HelloAck from daemon");
+    }
+
+    Json submit = Json::object();
+    submit.set("sweep", sweepId);
+    Json arr = Json::array();
+    for (const auto &job : jobs)
+        arr.push(jobToJson(job));
+    submit.set("jobs", std::move(arr));
+    if (!sendFrame(fd, MsgType::SweepSubmit, submit))
+        throw std::runtime_error("farm: daemon hung up on SweepSubmit");
+
+    report.results.resize(jobs.size());
+    std::vector<char> have(jobs.size(), 0);
+    size_t completed = 0;
+
+    for (;;) {
+        // Results can legitimately be a long time apart (slow jobs,
+        // few workers); only total silence of the daemon itself is a
+        // failure, and that arrives as Eof.
+        IoStatus st = recvFrameD(fd, type, payload, -1.0);
+        if (st != IoStatus::Ok)
+            throw std::runtime_error(
+                "farm: lost the daemon mid-sweep (" +
+                std::to_string(completed) + "/" +
+                std::to_string(jobs.size()) + " results in)");
+
+        if (type == MsgType::Result) {
+            size_t idx;
+            JobResult r;
+            try {
+                idx = static_cast<size_t>(payload.at("idx").asNumber());
+                if (!driver::resultFromJson(payload.at("result"), r))
+                    throw std::runtime_error(
+                        "farm: malformed result from daemon");
+            } catch (const driver::JsonError &) {
+                throw std::runtime_error(
+                    "farm: malformed result frame from daemon");
+            }
+            if (idx >= jobs.size() || have[idx])
+                throw std::runtime_error(
+                    "farm: daemon sent an out-of-range or duplicate "
+                    "result index");
+            // Job identity is authoritative locally, same as the
+            // coordinator does for worker results.
+            r.job = jobs[idx];
+            r.configDigest = driver::configDigest(jobs[idx].cfg);
+            report.results[idx] = std::move(r);
+            have[idx] = 1;
+            ++completed;
+            if (progress)
+                progress(report.results[idx], completed, jobs.size());
+            continue;
+        }
+
+        if (type == MsgType::SweepDone) {
+            bool ok = false;
+            try {
+                ok = payload.at("ok").asBool();
+            } catch (const driver::JsonError &) {
+            }
+            if (!ok) {
+                std::string err = "unspecified";
+                if (payload.has("error"))
+                    err = payload.at("error").asString();
+                throw std::runtime_error(
+                    "farm: daemon rejected the sweep: " + err);
+            }
+            if (completed != jobs.size())
+                throw std::runtime_error(
+                    "farm: daemon finished the sweep with only " +
+                    std::to_string(completed) + "/" +
+                    std::to_string(jobs.size()) + " results");
+            try {
+                if (payload.has("warnings")) {
+                    const Json &jw = payload.at("warnings");
+                    for (size_t i = 0; i < jw.size(); ++i)
+                        report.warnings.push_back(jw.at(i).asString());
+                }
+                if (payload.has("workerJobs")) {
+                    const Json &wj = payload.at("workerJobs");
+                    for (const auto &[key, val] : wj.items())
+                        report.workerJobs.emplace_back(
+                            key,
+                            static_cast<size_t>(val.asNumber()));
+                }
+                auto num = [&](const char *key) -> uint64_t {
+                    return payload.has(key)
+                        ? static_cast<uint64_t>(
+                              payload.at(key).asNumber())
+                        : 0;
+                };
+                report.cacheHits = num("cacheHits");
+                report.cacheMisses = num("cacheMisses");
+                report.reapedDispatches = num("reaped");
+                report.redispatchedJobs = num("redispatched");
+                report.rejectedPeers = num("rejected");
+            } catch (const driver::JsonError &) {
+                report.warnings.push_back(
+                    "farm: malformed SweepDone counters from daemon");
+            }
+            break;
+        }
+
+        throw std::runtime_error("farm: unexpected frame from daemon "
+                                 "mid-sweep");
+    }
+
+    for (const auto &r : report.results) {
+        report.failed += !r.ok;
+        report.timedOut += r.timedOut;
+    }
+    return report;
+}
+
+} // namespace dmdp::farm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The farm client: submit a sweep to a resident FarmDaemon and stream
+ * the results back, assembling a SweepReport exactly like a one-shot
+ * serveFarm() run would. `dmdp_sim --farm-submit host:port` is a thin
+ * wrapper around this.
+ *
+ * The client speaks the same handshake as workers (role "client"), so
+ * token/build/schema skew between the submitting binary and the daemon
+ * is rejected loudly at connect time — before a single job is queued.
+ */
+
+#ifndef DMDP_FARM_CLIENT_H
+#define DMDP_FARM_CLIENT_H
+
+#include <string>
+#include <vector>
+
+#include "driver/sweep.h"
+
+namespace dmdp::farm {
+
+struct SubmitOptions
+{
+    /** Daemon's host:port. */
+    std::string addr;
+
+    /** Shared auth token; must match the daemon's ("" = none). */
+    std::string token;
+
+    /**
+     * Sweep namespace id, unique per daemon lifetime; "" generates
+     * one from pid + clock. A duplicate id is rejected by the daemon.
+     */
+    std::string sweepId;
+
+    /** Budget for reaching the daemon, in seconds. */
+    double connectTimeoutSec = 10.0;
+};
+
+/**
+ * Submit @p jobs to the daemon at opt.addr and block until the sweep
+ * completes; results land in job order. Throws std::runtime_error when
+ * the daemon is unreachable, rejects the handshake or the submission,
+ * or vanishes mid-sweep.
+ */
+driver::SweepReport
+submitSweep(const std::vector<driver::SweepJob> &jobs,
+            const SubmitOptions &opt,
+            const driver::SweepRunner::Progress &progress = {});
+
+} // namespace dmdp::farm
+
+#endif // DMDP_FARM_CLIENT_H

@@ -1,5 +1,8 @@
 #include "farm/coordinator.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -8,12 +11,17 @@
 #include <list>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include <sys/socket.h>
+#include <sys/time.h>
+
 #include "driver/results.h"
 #include "farm/protocol.h"
+#include "farm/version.h"
 
 namespace dmdp::farm {
 
@@ -24,6 +32,12 @@ using driver::SweepReport;
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/** How long a freshly accepted connection gets to complete its
+ *  handshake (Hello in, HelloAck out) before being cut. */
+constexpr double kHandshakeTimeoutSec = 10.0;
+
 std::string
 hex16(uint64_t v)
 {
@@ -31,6 +45,12 @@ hex16(uint64_t v)
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(v));
     return buf;
+}
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
 }
 
 /**
@@ -56,218 +76,724 @@ sameOutcome(const JobResult &a, const JobResult &b)
     return true;
 }
 
-/** Everything the connection handlers share, guarded by mutex. */
-struct FarmState
+/** One sweep's namespace: jobs, dispatch state, results, counters. */
+struct SweepState
 {
-    const std::vector<SweepJob> *jobs = nullptr;
+    std::string id;
+    std::vector<SweepJob> jobs;
     std::vector<uint64_t> digests;  ///< configDigest per job, pinned
-
-    std::mutex mutex;
-    std::condition_variable doneCv;
 
     std::deque<size_t> pending;         ///< not yet dispatched anywhere
     std::map<size_t, int> outstanding;  ///< idx -> live dispatch count
+    std::map<size_t, uint32_t> requeues; ///< idx -> requeue events so far
     std::vector<JobResult> results;
     std::vector<char> haveResult;
+    std::deque<size_t> toStream;    ///< client sweeps: completed, unsent
     size_t completed = 0;
-    bool allDone = false;
+    bool done = false;
+    bool abandoned = false;         ///< client vanished: stop dispatching
+    bool local = false;             ///< one-shot sweep (serveFarm)
 
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+    uint64_t reaped = 0;
+    uint64_t redispatched = 0;
+    uint64_t rejected = 0;
     std::map<std::string, size_t> workerJobs;
     std::vector<std::string> warnings;
 
     std::ofstream journal;
-
     const driver::SweepRunner::Progress *progress = nullptr;
 
-    size_t total() const { return jobs->size(); }
+    size_t total() const { return jobs.size(); }
+};
+
+/** An epoch-stamped dispatch: which sweep/job a connection holds. */
+struct Dispatch
+{
+    std::shared_ptr<SweepState> sw;
+    size_t idx = SIZE_MAX;
+    uint64_t epoch = 0;
 };
 
 /**
- * Pick the next job for an idle connection. Returns false when the
- * sweep needs nothing more from this worker (time to say Bye). Called
- * with the state lock held.
+ * The coordinator proper, shared by one-shot serveFarm() and the
+ * resident FarmDaemon. All sweep/dispatch state is guarded by mutex;
+ * cv wakes result streamers and the run() exit condition.
  */
-bool
-pickJob(FarmState &st, size_t &idx)
+struct Server
 {
-    if (!st.pending.empty()) {
-        idx = st.pending.front();
-        st.pending.pop_front();
-        ++st.outstanding[idx];
+    CoordinatorOptions opt;
+    bool daemonMode = false;    ///< Idle instead of Bye when out of work
+
+    Socket listener;
+    uint16_t port = 0;
+    std::atomic<int> listenFd{-1};
+    std::atomic<bool> draining{false};
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::string, std::shared_ptr<SweepState>> sweeps;
+    std::vector<std::string> order;     ///< dispatch priority: submission
+    uint64_t epochCounter = 0;
+    size_t sweepsServed = 0;
+
+    std::list<std::pair<Socket, std::thread>> conns;
+    std::mutex connsMutex;
+    std::atomic<size_t> liveConns{0};
+
+    // -- lifecycle ----------------------------------------------------
+
+    uint16_t
+    doListen()
+    {
+        listener = listenOn(opt.addr, &port);
+        listenFd.store(listener.fd(), std::memory_order_release);
+        if (opt.onListening)
+            opt.onListening(port);
+        return port;
+    }
+
+    /** Async-signal-safe graceful-stop trigger. */
+    void
+    doDrain()
+    {
+        draining.store(true, std::memory_order_release);
+        int fd = listenFd.load(std::memory_order_acquire);
+        if (fd >= 0)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+
+    size_t
+    doRun()
+    {
+        std::thread acceptor([this] {
+            for (;;) {
+                Socket sock = acceptOn(listener);
+                if (!sock.valid())
+                    return;     // listener closed: draining
+                // Belt-and-braces kernel-level read timeout; the poll
+                // deadline inside recvExact is the authoritative bound.
+                timeval tv{};
+                tv.tv_sec = 60;
+                ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                             sizeof(tv));
+                std::lock_guard<std::mutex> lock(connsMutex);
+                conns.emplace_back(std::move(sock), std::thread());
+                auto it = std::prev(conns.end());
+                liveConns.fetch_add(1, std::memory_order_acq_rel);
+                it->second = std::thread([this, it] {
+                    serveConnection(it->first);
+                    liveConns.fetch_sub(1, std::memory_order_acq_rel);
+                    cv.notify_all();
+                });
+            }
+        });
+
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            // wait_for (not wait): drain() runs from signal handlers
+            // and cannot touch the cv, so the exit predicate is polled.
+            while (!shouldExit())
+                cv.wait_for(lock, std::chrono::milliseconds(200));
+        }
+
+        // Unblock the acceptor first so no new connections arrive.
+        listener.shutdown();
+        listener.close();
+        listenFd.store(-1, std::memory_order_release);
+        acceptor.join();
+
+        // Grace-drain: workers that just finished the sweep are about
+        // to send one last JobRequest and deserve a clean Bye back --
+        // cutting their sockets here would make them misread a normal
+        // shutdown as a crashed coordinator and burn their whole
+        // reconnect-backoff ladder. Only connections that stay silent
+        // past the grace window (stopped peers, stale stragglers) get
+        // force-closed.
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            auto grace = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(1500);
+            while (liveConns.load(std::memory_order_acquire) > 0 &&
+                   std::chrono::steady_clock::now() < grace)
+                cv.wait_for(lock, std::chrono::milliseconds(50));
+        }
+        {
+            std::lock_guard<std::mutex> lock(connsMutex);
+            for (auto &[sock, th] : conns)
+                sock.shutdown();
+        }
+        for (auto &[sock, th] : conns)
+            th.join();
+        return sweepsServed;
+    }
+
+    /** Lock held. run() may exit once draining and nothing is active
+     *  (finished local sweeps linger for report assembly; finished
+     *  client sweeps erase themselves after streaming). */
+    bool
+    shouldExit()
+    {
+        if (!draining.load(std::memory_order_acquire))
+            return false;
+        for (auto &[id, sw] : sweeps)
+            if (!(sw->done && sw->local))
+                return false;   // an unfinished sweep: keep serving
         return true;
     }
-    // Work stealing: nothing pending, so duplicate the outstanding job
-    // with the fewest live dispatches onto this idle worker. First
-    // bit-identical result wins; a straggling or dead original stops
-    // mattering.
-    if (!st.outstanding.empty()) {
-        auto best = st.outstanding.begin();
-        for (auto it = std::next(best); it != st.outstanding.end(); ++it)
-            if (it->second < best->second)
-                best = it;
-        idx = best->first;
-        ++best->second;
-        return true;
-    }
-    return false;
-}
 
-/**
- * The connection handler died (or the peer sent garbage) while a
- * dispatch was in flight: drop the dispatch, and re-queue the job at
- * the front if no other worker still holds a copy. Called with the
- * state lock held.
- */
-void
-dropDispatch(FarmState &st, size_t idx)
-{
-    auto it = st.outstanding.find(idx);
-    if (it == st.outstanding.end())
-        return;     // job already completed elsewhere
-    if (--it->second <= 0) {
-        st.outstanding.erase(it);
-        if (!st.haveResult[idx])
-            st.pending.push_front(idx);
-    }
-}
+    // -- sweep registry ----------------------------------------------
 
-/**
- * Record one incoming result. The first result for a job is canonical;
- * duplicates (from straggler re-dispatch) are checked for bit-identity
- * and discarded. Called with the state lock held.
- */
-void
-recordResult(FarmState &st, size_t idx, const std::string &worker,
-             bool cacheProbed, JobResult &&incoming)
-{
-    if (st.haveResult[idx]) {
-        // The canonical result erased the outstanding entry wholesale,
-        // so there is no dispatch bookkeeping left to unwind here.
-        if (!sameOutcome(st.results[idx], incoming))
-            st.warnings.push_back(
-                "farm: divergent duplicate result for job '" +
-                (*st.jobs)[idx].id + "' from worker '" + worker +
-                "' (determinism violation; kept the first result)");
-        return;
+    /** Lock held. */
+    std::shared_ptr<SweepState>
+    registerSweep(const std::string &id, std::vector<SweepJob> jobs,
+                  bool local)
+    {
+        auto sw = std::make_shared<SweepState>();
+        sw->id = id;
+        sw->jobs = std::move(jobs);
+        sw->digests.reserve(sw->jobs.size());
+        for (const auto &job : sw->jobs)
+            sw->digests.push_back(driver::configDigest(job.cfg));
+        sw->results.resize(sw->jobs.size());
+        sw->haveResult.assign(sw->jobs.size(), 0);
+        for (size_t i = 0; i < sw->jobs.size(); ++i)
+            sw->pending.push_back(i);
+        sw->local = local;
+        sweeps[id] = sw;
+        order.push_back(id);
+        return sw;
     }
 
-    // First result for this job: canonical. Erase the outstanding entry
-    // wholesale — straggler duplicates still running elsewhere no longer
-    // matter (their eventual results dedup against haveResult, their
-    // deaths must not re-queue a finished job), and pickJob() must never
-    // steal a completed job.
-    st.outstanding.erase(idx);
-
-    // The job and its full config come from the coordinator's own list
-    // — authoritative by construction; the wire carries only outcome.
-    JobResult r = std::move(incoming);
-    r.job = (*st.jobs)[idx];
-    r.configDigest = st.digests[idx];
-    st.results[idx] = std::move(r);
-    st.haveResult[idx] = 1;
-    ++st.completed;
-    ++st.workerJobs[worker];
-    if (cacheProbed) {
-        if (st.results[idx].cached)
-            ++st.cacheHits;
-        else
-            ++st.cacheMisses;
+    /** Lock held. */
+    void
+    unregisterSweep(const std::string &id)
+    {
+        sweeps.erase(id);
+        order.erase(std::remove(order.begin(), order.end(), id),
+                    order.end());
+        cv.notify_all();
     }
-    if (st.journal.is_open())
-        st.journal << driver::resultToJson(st.results[idx]).dump() << "\n"
-                   << std::flush;
-    if (st.progress && *st.progress)
-        (*st.progress)(st.results[idx], st.completed, st.total());
-    if (st.completed == st.total()) {
-        st.allDone = true;
-        st.doneCv.notify_all();
+
+    // -- dispatch -----------------------------------------------------
+
+    /** Lock held. FIFO across sweeps in submission order, then steal
+     *  the least-dispatched outstanding job. */
+    bool
+    pickJob(Dispatch &d)
+    {
+        for (const auto &id : order) {
+            auto sw = sweeps.at(id);
+            if (sw->done || sw->abandoned)
+                continue;
+            while (!sw->pending.empty()) {
+                size_t idx = sw->pending.front();
+                sw->pending.pop_front();
+                if (sw->haveResult[idx])
+                    continue;   // completed while parked in the queue
+                ++sw->outstanding[idx];
+                d = {sw, idx, ++epochCounter};
+                return true;
+            }
+        }
+        for (const auto &id : order) {
+            auto sw = sweeps.at(id);
+            if (sw->done || sw->abandoned || sw->outstanding.empty())
+                continue;
+            auto best = sw->outstanding.begin();
+            for (auto it = std::next(best); it != sw->outstanding.end();
+                 ++it)
+                if (it->second < best->second)
+                    best = it;
+            ++best->second;
+            d = {sw, best->first, ++epochCounter};
+            return true;
+        }
+        return false;
     }
-}
 
-/**
- * One worker connection, driven synchronously until Bye or EOF. The
- * socket stays owned by the connection list so serveFarm() can
- * shutdown(2) it from outside to unblock a parked recv at sweep end.
- */
-void
-serveConnection(FarmState &st, Socket &sock)
-{
-    std::string worker = "unknown";
-    // in-flight dispatch on this connection, or SIZE_MAX when idle
-    size_t inFlight = SIZE_MAX;
+    /**
+     * Lock held. A dispatch evaporated (worker death, reap, or an
+     * idle-again worker whose Result frame was lost): drop it, and
+     * re-queue the job at the front if nobody else holds a copy —
+     * unless the job has burned through its redispatch budget, in
+     * which case it fails loudly instead of circulating forever.
+     */
+    void
+    dropDispatch(SweepState &sw, size_t idx)
+    {
+        auto it = sw.outstanding.find(idx);
+        if (it == sw.outstanding.end())
+            return;     // job already completed elsewhere
+        if (--it->second > 0)
+            return;     // another worker still holds a copy
+        sw.outstanding.erase(it);
+        if (sw.haveResult[idx])
+            return;
+        uint32_t n = ++sw.requeues[idx];
+        if (n > opt.maxRedispatch) {
+            sw.warnings.push_back(
+                "farm: job '" + sw.jobs[idx].id +
+                "' exceeded its redispatch budget (" +
+                std::to_string(opt.maxRedispatch) +
+                " requeues); failing it");
+            JobResult failed;
+            failed.ok = false;
+            failed.error = "farm: exceeded redispatch budget (" +
+                           std::to_string(n - 1) + " dispatches reaped "
+                           "or lost without a result)";
+            recordResult(sw, idx, "coordinator", false,
+                         std::move(failed));
+            return;
+        }
+        ++sw.redispatched;
+        sw.pending.push_front(idx);
+    }
 
-    for (;;) {
+    /**
+     * Lock held. Record one incoming result. The first result for a
+     * job is canonical; duplicates (from straggler re-dispatch) are
+     * checked for bit-identity and discarded.
+     */
+    void
+    recordResult(SweepState &sw, size_t idx, const std::string &worker,
+                 bool cacheProbed, JobResult &&incoming)
+    {
+        if (sw.haveResult[idx]) {
+            // The canonical result erased the outstanding entry
+            // wholesale, so there is no dispatch bookkeeping left to
+            // unwind here.
+            if (!sameOutcome(sw.results[idx], incoming))
+                sw.warnings.push_back(
+                    "farm: divergent duplicate result for job '" +
+                    sw.jobs[idx].id + "' from worker '" + worker +
+                    "' (determinism violation; kept the first result)");
+            return;
+        }
+
+        // First result for this job: canonical. Erase the outstanding
+        // entry wholesale — straggler duplicates still running
+        // elsewhere no longer matter (their eventual results dedup
+        // against haveResult, their deaths must not re-queue a
+        // finished job), and pickJob() must never steal a completed
+        // job.
+        sw.outstanding.erase(idx);
+
+        // The job and its full config come from the coordinator's own
+        // list — authoritative by construction; the wire carries only
+        // outcome.
+        JobResult r = std::move(incoming);
+        r.job = sw.jobs[idx];
+        r.configDigest = sw.digests[idx];
+        sw.results[idx] = std::move(r);
+        sw.haveResult[idx] = 1;
+        ++sw.completed;
+        ++sw.workerJobs[worker];
+        if (cacheProbed) {
+            if (sw.results[idx].cached)
+                ++sw.cacheHits;
+            else
+                ++sw.cacheMisses;
+        }
+        if (sw.journal.is_open())
+            sw.journal << driver::resultToJson(sw.results[idx]).dump()
+                       << "\n"
+                       << std::flush;
+        if (sw.progress && *sw.progress)
+            (*sw.progress)(sw.results[idx], sw.completed, sw.total());
+        sw.toStream.push_back(idx);
+        if (sw.completed == sw.total()) {
+            sw.done = true;
+            ++sweepsServed;
+            if (sw.local && !daemonMode)
+                draining.store(true, std::memory_order_release);
+        }
+        cv.notify_all();
+    }
+
+    // -- connections --------------------------------------------------
+
+    void
+    serveConnection(Socket &sock)
+    {
+        int fd = sock.fd();
         MsgType type;
         Json payload;
-        if (!recvFrame(sock.fd(), type, payload))
-            break;      // EOF / killed worker / protocol garbage
-
-        if (type == MsgType::Hello) {
-            try {
-                worker = payload.at("worker").asString();
-            } catch (const driver::JsonError &) {
-            }
-            continue;
+        if (recvFrameD(fd, type, payload, kHandshakeTimeoutSec) !=
+                IoStatus::Ok ||
+            type != MsgType::Hello) {
+            sock.shutdown();
+            return;     // silent/alien peer: no business here
         }
 
-        if (type == MsgType::JobRequest) {
-            size_t idx;
-            Json msg = Json::object();
-            {
-                std::lock_guard<std::mutex> lock(st.mutex);
-                if (st.allDone || !pickJob(st, idx)) {
-                    sendFrame(sock.fd(), MsgType::Bye, Json::object());
+        HelloInfo info;
+        std::string reason = checkHello(payload, opt.token, info);
+        Json ack = Json::object();
+        ack.set("ok", reason.empty());
+        if (!reason.empty()) {
+            ack.set("reason", reason);
+            sendFrame(fd, MsgType::HelloAck, ack);
+            sock.shutdown();
+            std::string w = "farm: rejected peer '" + info.peer + "': " +
+                            reason;
+            if (!opt.quiet)
+                std::fprintf(stderr, "%s\n", w.c_str());
+            std::lock_guard<std::mutex> lock(mutex);
+            for (auto &[id, sw] : sweeps)
+                if (!sw->done) {
+                    sw->warnings.push_back(w);
+                    ++sw->rejected;
+                }
+            return;
+        }
+        ack.set("build", advertisedBuild());
+        ack.set("proto",
+                Json(static_cast<double>(kProtocolVersion)));
+        if (!sendFrame(fd, MsgType::HelloAck, ack)) {
+            sock.shutdown();
+            return;
+        }
+
+        if (info.role == "client")
+            serveClient(sock, info);
+        else
+            serveWorker(sock, info);
+        sock.shutdown();
+    }
+
+    void
+    serveWorker(Socket &sock, const HelloInfo &info)
+    {
+        int fd = sock.fd();
+        const std::string &worker = info.peer;
+        std::optional<Dispatch> inFlight;
+        auto lastActivity = Clock::now();
+        uint64_t lastInsts = 0;
+
+        // Bounded recv step so a blown liveness deadline is noticed
+        // promptly even with zero incoming frames.
+        double step = opt.deadlineSec > 0
+            ? std::clamp(opt.deadlineSec / 4.0, 0.05, 5.0)
+            : 5.0;
+
+        for (;;) {
+            MsgType type;
+            Json payload;
+            IoStatus st = recvFrameD(fd, type, payload, step);
+            if (st == IoStatus::Timeout) {
+                if (inFlight && opt.deadlineSec > 0 &&
+                    secondsSince(lastActivity) > opt.deadlineSec) {
+                    // Reap: mid-job and completely silent past the
+                    // deadline (a SIGSTOP'd, wedged, or netsplit
+                    // worker). Cut the connection and re-queue.
+                    std::lock_guard<std::mutex> lock(mutex);
+                    SweepState &sw = *inFlight->sw;
+                    char buf[192];
+                    std::snprintf(buf, sizeof(buf),
+                                  "farm: reaped worker '%s' (silent "
+                                  "%.1fs mid-job, dispatch epoch %llu, "
+                                  "last progress %llu insts); "
+                                  "re-queued '%s'",
+                                  worker.c_str(),
+                                  secondsSince(lastActivity),
+                                  static_cast<unsigned long long>(
+                                      inFlight->epoch),
+                                  static_cast<unsigned long long>(
+                                      lastInsts),
+                                  sw.jobs[inFlight->idx].id.c_str());
+                    sw.warnings.push_back(buf);
+                    ++sw.reaped;
+                    dropDispatch(sw, inFlight->idx);
+                    inFlight.reset();
                     return;
                 }
-                inFlight = idx;
+                continue;
+            }
+            if (st != IoStatus::Ok)
+                break;      // EOF / killed worker / corrupt frame
+            lastActivity = Clock::now();
+
+            if (type == MsgType::Heartbeat) {
+                // Liveness is the timestamp above; the payload's
+                // progress feeds the reap diagnostics.
+                try {
+                    lastInsts = static_cast<uint64_t>(
+                        payload.at("insts").asNumber());
+                } catch (const driver::JsonError &) {
+                }
+                continue;
+            }
+
+            if (type == MsgType::JobRequest) {
+                Json msg = Json::object();
+                bool havJob = false, sayIdle = false;
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (inFlight) {
+                        // The worker declares itself idle with a
+                        // dispatch still booked here: its Result frame
+                        // was lost on the wire. Unwind so the job
+                        // re-circulates.
+                        inFlight->sw->warnings.push_back(
+                            "farm: worker '" + worker +
+                            "' went idle with '" +
+                            inFlight->sw->jobs[inFlight->idx].id +
+                            "' in flight; re-queued");
+                        dropDispatch(*inFlight->sw, inFlight->idx);
+                        inFlight.reset();
+                    }
+                    Dispatch d;
+                    if (pickJob(d)) {
+                        inFlight = d;
+                        havJob = true;
+                        msg.set("sweep", d.sw->id);
+                        msg.set("idx",
+                                Json(static_cast<double>(d.idx)));
+                        msg.set("configDigest",
+                                hex16(d.sw->digests[d.idx]));
+                        msg.set("job", jobToJson(d.sw->jobs[d.idx]));
+                    } else if (daemonMode &&
+                               !draining.load(
+                                   std::memory_order_acquire)) {
+                        sayIdle = true;
+                    }
+                }
+                if (havJob) {
+                    if (!sendFrame(fd, MsgType::Job, msg))
+                        break;
+                } else if (sayIdle) {
+                    if (!sendFrame(fd, MsgType::Idle, Json::object()))
+                        break;
+                } else {
+                    sendFrame(fd, MsgType::Bye, Json::object());
+                    return;
+                }
+                continue;
+            }
+
+            if (type == MsgType::Result) {
+                std::string sweepId;
+                size_t idx;
+                bool cacheProbed = false;
+                JobResult incoming;
+                try {
+                    sweepId = payload.at("sweep").asString();
+                    idx = static_cast<size_t>(
+                        payload.at("idx").asNumber());
+                    if (payload.has("cache_probed"))
+                        cacheProbed =
+                            payload.at("cache_probed").asBool();
+                    if (!driver::resultFromJson(payload.at("result"),
+                                                incoming))
+                        break;  // protocol violation: drop connection
+                } catch (const driver::JsonError &) {
+                    break;
+                }
+                std::lock_guard<std::mutex> lock(mutex);
+                if (inFlight && inFlight->idx == idx &&
+                    inFlight->sw->id == sweepId)
+                    inFlight.reset();
+                auto it = sweeps.find(sweepId);
+                if (it != sweeps.end() && idx < it->second->total())
+                    recordResult(*it->second, idx, worker, cacheProbed,
+                                 std::move(incoming));
+                // Unknown sweep: an abandoned namespace's straggler —
+                // nothing to credit it against.
+                continue;
+            }
+
+            break;  // unexpected frame type: drop the connection
+        }
+
+        // Connection gone — a crashed/SIGKILLed worker mid-job most
+        // importantly. Put its in-flight job back unless someone else
+        // still holds it or already finished it.
+        if (inFlight) {
+            std::lock_guard<std::mutex> lock(mutex);
+            SweepState &sw = *inFlight->sw;
+            dropDispatch(sw, inFlight->idx);
+            if (!sw.haveResult[inFlight->idx])
+                sw.warnings.push_back(
+                    "farm: worker '" + worker +
+                    "' disconnected mid-job; re-queued '" +
+                    sw.jobs[inFlight->idx].id + "'");
+        }
+    }
+
+    void
+    serveClient(Socket &sock, const HelloInfo &info)
+    {
+        int fd = sock.fd();
+        MsgType type;
+        Json payload;
+        if (recvFrameD(fd, type, payload, kHandshakeTimeoutSec) !=
+                IoStatus::Ok ||
+            type != MsgType::SweepSubmit)
+            return;
+
+        std::shared_ptr<SweepState> sw;
+        std::string id, err;
+        try {
+            id = payload.at("sweep").asString();
+            const Json &arr = payload.at("jobs");
+            std::vector<SweepJob> jobs;
+            for (size_t i = 0; i < arr.size(); ++i) {
+                SweepJob job;
+                if (!jobFromJson(arr.at(i), job)) {
+                    err = "malformed job in SweepSubmit";
+                    break;
+                }
+                jobs.push_back(std::move(job));
+            }
+            if (err.empty()) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (draining.load(std::memory_order_acquire))
+                    err = "coordinator is draining";
+                else if (sweeps.count(id))
+                    err = "duplicate sweep id '" + id + "'";
+                else if (jobs.empty())
+                    err = "empty job list";
+                else
+                    sw = registerSweep(id, std::move(jobs), false);
+            }
+        } catch (const driver::JsonError &) {
+            err = "malformed SweepSubmit";
+        }
+        if (!sw) {
+            Json doneMsg = Json::object();
+            doneMsg.set("ok", false);
+            doneMsg.set("error", err);
+            sendFrame(fd, MsgType::SweepDone, doneMsg);
+            return;
+        }
+        if (!opt.quiet)
+            std::fprintf(stderr,
+                         "farm: sweep '%s' submitted by '%s' (%zu jobs)\n",
+                         id.c_str(), info.peer.c_str(), sw->total());
+
+        // Stream each completed result the moment it lands; the sweep
+        // finishes with a SweepDone summary.
+        for (;;) {
+            std::vector<size_t> batch;
+            bool finished;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait_for(lock, std::chrono::milliseconds(250), [&] {
+                    return !sw->toStream.empty() || sw->done;
+                });
+                batch.assign(sw->toStream.begin(), sw->toStream.end());
+                sw->toStream.clear();
+                finished = sw->done;
+            }
+            for (size_t idx : batch) {
+                Json msg = Json::object();
+                msg.set("sweep", id);
                 msg.set("idx", Json(static_cast<double>(idx)));
-                msg.set("configDigest", hex16(st.digests[idx]));
-                msg.set("job", jobToJson((*st.jobs)[idx]));
+                // Entry written once under the lock before the idx hit
+                // toStream; the vector never reallocates after
+                // registration.
+                msg.set("result",
+                        driver::resultToJson(sw->results[idx]));
+                if (!sendFrame(fd, MsgType::Result, msg)) {
+                    abandonSweep(sw);
+                    return;
+                }
             }
-            if (!sendFrame(sock.fd(), MsgType::Job, msg))
+            if (finished)
                 break;
-            continue;
         }
 
-        if (type == MsgType::Result) {
-            size_t idx;
-            bool cacheProbed = false;
-            JobResult incoming;
-            try {
-                idx = static_cast<size_t>(payload.at("idx").asNumber());
-                if (payload.has("cache_probed"))
-                    cacheProbed = payload.at("cache_probed").asBool();
-                if (idx >= st.total() ||
-                    !driver::resultFromJson(payload.at("result"), incoming))
-                    break;  // protocol violation: drop the connection
-            } catch (const driver::JsonError &) {
-                break;
-            }
-            std::lock_guard<std::mutex> lock(st.mutex);
-            if (idx == inFlight)
-                inFlight = SIZE_MAX;
-            recordResult(st, idx, worker, cacheProbed,
-                         std::move(incoming));
-            continue;
+        Json doneMsg = Json::object();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            doneMsg.set("ok", true);
+            doneMsg.set("sweep", id);
+            Json jw = Json::array();
+            for (const auto &w : sw->warnings)
+                jw.push(Json(w));
+            doneMsg.set("warnings", std::move(jw));
+            Json wj = Json::object();
+            for (const auto &[name, count] : sw->workerJobs)
+                wj.set(name, Json(static_cast<double>(count)));
+            doneMsg.set("workerJobs", std::move(wj));
+            doneMsg.set("cacheHits",
+                        Json(static_cast<double>(sw->cacheHits)));
+            doneMsg.set("cacheMisses",
+                        Json(static_cast<double>(sw->cacheMisses)));
+            doneMsg.set("reaped",
+                        Json(static_cast<double>(sw->reaped)));
+            doneMsg.set("redispatched",
+                        Json(static_cast<double>(sw->redispatched)));
+            doneMsg.set("rejected",
+                        Json(static_cast<double>(sw->rejected)));
         }
-
-        break;  // unexpected frame type: drop the connection
+        sendFrame(fd, MsgType::SweepDone, doneMsg);
+        std::lock_guard<std::mutex> lock(mutex);
+        unregisterSweep(id);
     }
 
-    // Connection gone — a crashed/SIGKILLed worker mid-job most
-    // importantly. Put its in-flight job back unless someone else still
-    // holds it or already finished it.
-    if (inFlight != SIZE_MAX) {
-        std::lock_guard<std::mutex> lock(st.mutex);
-        dropDispatch(st, inFlight);
-        if (!st.haveResult[inFlight])
-            st.warnings.push_back("farm: worker '" + worker +
-                                  "' disconnected mid-job; re-queued '" +
-                                  (*st.jobs)[inFlight].id + "'");
+    /** The submitting client vanished mid-sweep: stop dispatching its
+     *  jobs and retire the namespace. */
+    void
+    abandonSweep(const std::shared_ptr<SweepState> &sw)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        sw->abandoned = true;
+        sw->pending.clear();
+        if (!opt.quiet)
+            std::fprintf(stderr,
+                         "farm: client for sweep '%s' vanished; abandoned "
+                         "with %zu/%zu jobs done\n",
+                         sw->id.c_str(), sw->completed, sw->total());
+        unregisterSweep(sw->id);
     }
-}
+
+    // -- one-shot mode ------------------------------------------------
+
+    SweepReport
+    serveOneShot(const std::vector<SweepJob> &jobs,
+                 const driver::SweepRunner::Progress &progress)
+    {
+        std::shared_ptr<SweepState> sw;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            sw = registerSweep("local", jobs, /*local=*/true);
+            sw->progress = &progress;
+            if (!opt.journalPath.empty()) {
+                sw->journal.open(opt.journalPath, std::ios::app);
+                if (!sw->journal)
+                    throw std::runtime_error("cannot open journal: " +
+                                             opt.journalPath);
+            }
+        }
+        doListen();
+        // Single stderr line with the actual port: how scripts (and
+        // the CI smoke test) discover a port-0 coordinator.
+        if (!opt.quiet)
+            std::fprintf(stderr,
+                         "farm: listening on %s (port %u), %zu jobs\n",
+                         opt.addr.c_str(), static_cast<unsigned>(port),
+                         jobs.size());
+        doRun();
+
+        SweepReport report;
+        report.results = std::move(sw->results);
+        for (const auto &r : report.results) {
+            report.failed += !r.ok;
+            report.timedOut += r.timedOut;
+        }
+        report.cacheHits = sw->cacheHits;
+        report.cacheMisses = sw->cacheMisses;
+        for (auto &[name, count] : sw->workerJobs)
+            report.workerJobs.emplace_back(name, count);
+        report.reapedDispatches = sw->reaped;
+        report.redispatchedJobs = sw->redispatched;
+        report.rejectedPeers = sw->rejected;
+        report.warnings = std::move(sw->warnings);
+        return report;
+    }
+};
 
 } // namespace
 
@@ -275,82 +801,44 @@ SweepReport
 serveFarm(const std::vector<SweepJob> &jobs, const CoordinatorOptions &opt,
           const driver::SweepRunner::Progress &progress)
 {
-    SweepReport report;
     if (jobs.empty())
-        return report;
+        return SweepReport{};
+    Server server;
+    server.opt = opt;
+    server.daemonMode = false;
+    return server.serveOneShot(jobs, progress);
+}
 
-    FarmState st;
-    st.jobs = &jobs;
-    st.digests.reserve(jobs.size());
-    for (const auto &job : jobs)
-        st.digests.push_back(driver::configDigest(job.cfg));
-    st.results.resize(jobs.size());
-    st.haveResult.assign(jobs.size(), 0);
-    for (size_t i = 0; i < jobs.size(); ++i)
-        st.pending.push_back(i);
-    st.progress = &progress;
-    if (!opt.journalPath.empty()) {
-        st.journal.open(opt.journalPath, std::ios::app);
-        if (!st.journal)
-            throw std::runtime_error("cannot open journal: " +
-                                     opt.journalPath);
-    }
+struct FarmDaemon::Impl
+{
+    Server server;
+};
 
-    uint16_t port = 0;
-    Socket listener = listenOn(opt.addr, &port);
-    if (opt.onListening)
-        opt.onListening(port);
-    // Single stderr line with the actual port: how scripts (and the CI
-    // smoke test) discover a port-0 coordinator.
-    std::fprintf(stderr, "farm: listening on %s (port %u), %zu jobs\n",
-                 opt.addr.c_str(), static_cast<unsigned>(port),
-                 jobs.size());
+FarmDaemon::FarmDaemon(const CoordinatorOptions &opt)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->server.opt = opt;
+    impl_->server.daemonMode = true;
+}
 
-    std::list<std::pair<Socket, std::thread>> conns;
-    std::mutex connsMutex;
+FarmDaemon::~FarmDaemon() = default;
 
-    std::thread acceptor([&] {
-        for (;;) {
-            Socket sock = acceptOn(listener);
-            if (!sock.valid())
-                return;     // listener closed: sweep complete
-            std::lock_guard<std::mutex> lock(connsMutex);
-            conns.emplace_back(std::move(sock), std::thread());
-            auto it = std::prev(conns.end());
-            it->second =
-                std::thread([&st, it] { serveConnection(st, it->first); });
-        }
-    });
+uint16_t
+FarmDaemon::listen()
+{
+    return impl_->server.doListen();
+}
 
-    {
-        std::unique_lock<std::mutex> lock(st.mutex);
-        st.doneCv.wait(lock, [&] { return st.allDone; });
-    }
+size_t
+FarmDaemon::run()
+{
+    return impl_->server.doRun();
+}
 
-    // Unblock the acceptor, then every connection handler still parked
-    // in recv (idle workers waiting out their Bye, straggler dups).
-    listener.shutdown();
-    listener.close();
-    acceptor.join();
-    {
-        std::lock_guard<std::mutex> lock(connsMutex);
-        for (auto &[sock, th] : conns)
-            sock.shutdown();
-    }
-    for (auto &[sock, th] : conns)
-        th.join();
-
-    report.results = std::move(st.results);
-    for (const auto &r : report.results) {
-        report.failed += !r.ok;
-        report.timedOut += r.timedOut;
-    }
-    report.cacheHits = st.cacheHits;
-    report.cacheMisses = st.cacheMisses;
-    for (auto &[name, count] : st.workerJobs)
-        report.workerJobs.emplace_back(name, count);
-    report.warnings = std::move(st.warnings);
-    return report;
+void
+FarmDaemon::drain()
+{
+    impl_->server.doDrain();
 }
 
 } // namespace dmdp::farm

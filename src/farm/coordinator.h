@@ -1,11 +1,12 @@
 /**
  * @file
- * The farm coordinator: owns a sweep's job list and hands jobs out to
- * remote workers over the protocol in farm/protocol.h, assembling a
- * SweepReport bit-identical to a local SweepRunner run.
+ * The farm coordinator: owns sweeps' job lists and hands jobs out to
+ * remote workers over the protocol in farm/protocol.h, assembling
+ * SweepReports bit-identical to a local SweepRunner run.
  *
  * Dispatch policy (work-stealing style):
- *  - jobs are handed out FIFO while the pending queue is non-empty;
+ *  - jobs are handed out FIFO while a sweep's pending queue is
+ *    non-empty; multiple live sweeps are drained in submission order;
  *  - an idle worker with nothing pending is handed a duplicate of the
  *    outstanding job with the fewest dispatches — straggler
  *    re-dispatch, naturally throttled because only idle workers steal;
@@ -13,13 +14,28 @@
  *    checked for bit-identity (a divergence is a determinism bug and
  *    is surfaced as a warning) and discarded;
  *  - a dead worker (connection EOF — including SIGKILL mid-job) has
- *    its in-flight jobs re-queued at the front, unless another worker
+ *    its in-flight job re-queued at the front, unless another worker
  *    still holds a duplicate.
  *
- * The coordinator trusts workers to run the *exact* job it sent: each
- * Job frame carries the coordinator's configDigest, the worker
- * recomputes the digest from the deserialized config and refuses on
- * mismatch (version-skewed binaries fail loudly, not silently).
+ * Liveness: every dispatch is epoch-stamped; a worker that goes silent
+ * mid-job past CoordinatorOptions::deadlineSec — no heartbeat, no
+ * result, no frames at all — is reaped: the connection is cut and the
+ * job re-queued. Requeues (reaps and deaths alike) are bounded per job
+ * by maxRedispatch; past the budget the job fails loudly instead of
+ * circulating forever.
+ *
+ * Admission: every connection must open with a Hello carrying the
+ * shared auth token and this binary's exact protocol version, build
+ * string, and stats-schema digest; skewed or unauthenticated peers are
+ * rejected in the HelloAck, before any job or result crosses the wire.
+ * (The per-job configDigest recomputation on the worker stays as a
+ * second line of defense.)
+ *
+ * One-shot mode (serveFarm) serves a single local sweep and returns
+ * its report. Daemon mode (FarmDaemon) keeps the coordinator resident:
+ * clients submit sweeps over the same protocol (see farm/client.h),
+ * each under its own sweep-id namespace, and a SIGTERM-driven drain()
+ * finishes active sweeps before exiting.
  */
 
 #ifndef DMDP_FARM_COORDINATOR_H
@@ -27,6 +43,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +68,35 @@ struct CoordinatorOptions
      * exactly like SweepOptions::journalPath does for local sweeps.
      */
     std::string journalPath;
+
+    /**
+     * Shared auth token; "" disables authentication. Compared
+     * constant-time against the token in each Hello.
+     */
+    std::string token;
+
+    /**
+     * Liveness deadline in seconds: an in-flight dispatch whose
+     * connection has been completely silent this long (heartbeats
+     * count as activity) is reaped and its job re-queued. <= 0
+     * disables reaping (deaths still requeue via EOF).
+     */
+    double deadlineSec = 15.0;
+
+    /**
+     * Per-job budget of requeue events (reaps + worker deaths); one
+     * more and the job is failed loudly instead of re-queued — a job
+     * that kills every worker that touches it must not circulate
+     * forever.
+     */
+    uint32_t maxRedispatch = 3;
+
+    /**
+     * Suppress informational stderr lines (listening banner, sweep
+     * submissions, warnings-as-they-happen). Warnings still land in
+     * the SweepReport. The chaos harness sets this; the CLI does not.
+     */
+    bool quiet = false;
 };
 
 /**
@@ -62,6 +108,43 @@ driver::SweepReport
 serveFarm(const std::vector<driver::SweepJob> &jobs,
           const CoordinatorOptions &opt,
           const driver::SweepRunner::Progress &progress = {});
+
+/**
+ * A resident coordinator serving many client-submitted sweeps over
+ * one lifetime. Usage: construct, listen(), run() on whatever thread
+ * should block for the daemon's lifetime, drain() (async-signal-safe)
+ * from a SIGTERM handler or another thread to stop gracefully.
+ */
+class FarmDaemon
+{
+  public:
+    explicit FarmDaemon(const CoordinatorOptions &opt);
+    ~FarmDaemon();
+    FarmDaemon(const FarmDaemon &) = delete;
+    FarmDaemon &operator=(const FarmDaemon &) = delete;
+
+    /** Bind + listen; returns the bound port. Throws on failure. */
+    uint16_t listen();
+
+    /**
+     * Accept and serve until drain(); returns the number of sweeps
+     * served to completion. Workers with nothing to do are parked via
+     * Idle frames and stay connected across sweeps.
+     */
+    size_t run();
+
+    /**
+     * Graceful shutdown: stop accepting, reject new sweep
+     * submissions, let active sweeps finish, then return from run().
+     * Async-signal-safe (one atomic store + shutdown(2)) so it can be
+     * called straight from a SIGTERM handler.
+     */
+    void drain();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 } // namespace dmdp::farm
 

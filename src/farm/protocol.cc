@@ -1,17 +1,25 @@
 #include "farm/protocol.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "driver/results.h"
+#include "farm/version.h"
+#include "inject/farmfault.h"
 
 namespace dmdp::farm {
 
@@ -49,6 +57,10 @@ splitAddr(const std::string &addr)
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+std::atomic<double> gFrameDeadlineSec{kDefaultFrameDeadlineSec};
+
 sockaddr_in
 makeSockaddr(const std::string &host, uint16_t port, bool forListen)
 {
@@ -70,43 +82,96 @@ sysFail(const std::string &what)
     throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
-bool
-writeAll(int fd, const void *data, size_t len)
+/** Remaining milliseconds to @p deadline, clamped to [0, INT_MAX). */
+int
+remainingMs(Clock::time_point deadline)
 {
-    const char *p = static_cast<const char *>(data);
-    while (len > 0) {
-        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += n;
-        len -= static_cast<size_t>(n);
-    }
-    return true;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+    if (left < 0)
+        return 0;
+    if (left > 1000L * 3600)
+        return 1000 * 3600;
+    return static_cast<int>(left);
 }
 
-bool
-readAll(int fd, void *data, size_t len)
+/**
+ * Wait until @p fd is ready for @p events or @p deadline passes.
+ * Ok/Timeout/Error; a hung-up peer still reads Ok (the following
+ * recv/send reports the EOF or error properly).
+ */
+IoStatus
+waitReady(int fd, short events, Clock::time_point deadline)
 {
-    char *p = static_cast<char *>(data);
-    while (len > 0) {
-        ssize_t n = ::recv(fd, p, len, 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (n == 0)
-            return false;   // EOF mid-frame or between frames
-        p += n;
-        len -= static_cast<size_t>(n);
+    for (;;) {
+        pollfd pfd{fd, events, 0};
+        int rc = ::poll(&pfd, 1, remainingMs(deadline));
+        if (rc > 0)
+            return IoStatus::Ok;
+        if (rc == 0)
+            return IoStatus::Timeout;
+        if (errno == EINTR)
+            continue;
+        return IoStatus::Error;
     }
-    return true;
+}
+
+/** FNV-1a over the payload bytes: the frame checksum. */
+uint32_t
+payloadChecksum(const char *data, size_t len)
+{
+    uint32_t h = 2166136261u;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 16777619u;
+    }
+    return h;
+}
+
+Clock::time_point
+deadlineFrom(double sec)
+{
+    if (sec <= 0)
+        sec = frameDeadlineSec();
+    if (sec <= 0)
+        sec = 24.0 * 3600;  // "disabled": still bounded, just huge
+    return Clock::now() +
+           std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(sec));
+}
+
+constexpr size_t kFrameHeaderBytes = 9;
+
+void
+packHeader(uint8_t *header, MsgType type, const std::string &body)
+{
+    uint32_t len = static_cast<uint32_t>(body.size());
+    uint32_t sum = payloadChecksum(body.data(), body.size());
+    header[0] = static_cast<uint8_t>(len);
+    header[1] = static_cast<uint8_t>(len >> 8);
+    header[2] = static_cast<uint8_t>(len >> 16);
+    header[3] = static_cast<uint8_t>(len >> 24);
+    header[4] = static_cast<uint8_t>(type);
+    header[5] = static_cast<uint8_t>(sum);
+    header[6] = static_cast<uint8_t>(sum >> 8);
+    header[7] = static_cast<uint8_t>(sum >> 16);
+    header[8] = static_cast<uint8_t>(sum >> 24);
 }
 
 } // namespace
+
+double
+frameDeadlineSec()
+{
+    return gFrameDeadlineSec.load(std::memory_order_relaxed);
+}
+
+void
+setFrameDeadlineSec(double sec)
+{
+    gFrameDeadlineSec.store(sec, std::memory_order_relaxed);
+}
 
 Socket
 listenOn(const std::string &addr, uint16_t *boundPort)
@@ -162,46 +227,194 @@ connectTo(const std::string &addr)
     return s;
 }
 
+IoStatus
+sendAll(int fd, const void *data, size_t len, double deadlineSec)
+{
+    auto deadline = deadlineFrom(deadlineSec);
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        IoStatus ready = waitReady(fd, POLLOUT, deadline);
+        if (ready != IoStatus::Ok)
+            return ready;
+        // MSG_DONTWAIT is load-bearing: a blocking-socket send() parks
+        // in the kernel until the whole chunk fits, ignoring our poll
+        // deadline entirely. Non-blocking send + the poll above is
+        // what actually bounds a stuck peer.
+        size_t chunk = len < (256u << 10) ? len : (256u << 10);
+        ssize_t n = ::send(fd, p, chunk, MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return IoStatus::Error;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return IoStatus::Ok;
+}
+
+IoStatus
+recvExact(int fd, void *data, size_t len, double deadlineSec)
+{
+    auto deadline = deadlineFrom(deadlineSec);
+    char *p = static_cast<char *>(data);
+    while (len > 0) {
+        IoStatus ready = waitReady(fd, POLLIN, deadline);
+        if (ready != IoStatus::Ok)
+            return ready;
+        ssize_t n = ::recv(fd, p, len, MSG_DONTWAIT);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return IoStatus::Error;
+        }
+        if (n == 0)
+            return IoStatus::Eof;   // close mid-frame or between frames
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return IoStatus::Ok;
+}
+
 bool
 sendFrame(int fd, MsgType type, const driver::Json &payload)
 {
     std::string body = payload.dump();
     if (body.size() > kMaxFrameBytes)
         return false;
-    uint32_t len = static_cast<uint32_t>(body.size());
-    uint8_t header[5] = {
-        static_cast<uint8_t>(len),
-        static_cast<uint8_t>(len >> 8),
-        static_cast<uint8_t>(len >> 16),
-        static_cast<uint8_t>(len >> 24),
-        static_cast<uint8_t>(type),
-    };
-    return writeAll(fd, header, sizeof(header)) &&
-           writeAll(fd, body.data(), body.size());
+    std::string frame(kFrameHeaderBytes, '\0');
+    packHeader(reinterpret_cast<uint8_t *>(frame.data()), type, body);
+    frame += body;
+
+    if (auto *fp = inject::FarmFaultPort::armed()) {
+        inject::FarmFaultAction act;
+        if (fp->onFrame(inject::FarmFaultSite::FrameSend, act)) {
+            using inject::FarmFaultKind;
+            switch (act.kind) {
+              case FarmFaultKind::DropFrame:
+                // The wire ate it; the sender believes it went out.
+                return true;
+              case FarmFaultKind::DuplicateFrame:
+                return sendAll(fd, frame.data(), frame.size()) ==
+                           IoStatus::Ok &&
+                       sendAll(fd, frame.data(), frame.size()) ==
+                           IoStatus::Ok;
+              case FarmFaultKind::TruncateFrame: {
+                // A prefix, then a hard mid-frame disconnect.
+                size_t cut = act.param % frame.size();
+                sendAll(fd, frame.data(), cut);
+                ::shutdown(fd, SHUT_RDWR);
+                return false;
+              }
+              case FarmFaultKind::CorruptByte: {
+                // Flip one in-flight byte. Payload flips are what the
+                // checksum exists for; an empty payload flips a header
+                // byte instead (length/type corruption: desync).
+                uint8_t mask = static_cast<uint8_t>(act.param >> 32) | 1;
+                size_t idx = body.empty()
+                    ? act.param % kFrameHeaderBytes
+                    : kFrameHeaderBytes + act.param % body.size();
+                frame[idx] = static_cast<char>(frame[idx] ^ mask);
+                break;  // falls through to the normal send below
+              }
+              case FarmFaultKind::DelayFrame:
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(act.param % 300));
+                break;
+              case FarmFaultKind::Disconnect:
+                ::shutdown(fd, SHUT_RDWR);
+                return false;
+            }
+        }
+    }
+
+    return sendAll(fd, frame.data(), frame.size()) == IoStatus::Ok;
+}
+
+IoStatus
+recvFrameD(int fd, MsgType &type, driver::Json &payload,
+           double idleTimeoutSec)
+{
+    if (auto *fp = inject::FarmFaultPort::armed()) {
+        inject::FarmFaultAction act;
+        if (fp->onFrame(inject::FarmFaultSite::FrameRecv, act)) {
+            using inject::FarmFaultKind;
+            switch (act.kind) {
+              case FarmFaultKind::DelayFrame:
+                // Delayed delivery/ACK: the peer's data sits in the
+                // kernel buffer while this side dawdles.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(act.param % 300));
+                break;
+              case FarmFaultKind::Disconnect:
+                ::shutdown(fd, SHUT_RDWR);
+                break;  // the reads below observe the EOF
+              default:
+                break;  // send-only kinds: no receiver-side meaning
+            }
+        }
+    }
+
+    // Idle wait for the frame to start; only then does the per-frame
+    // deadline clock begin.
+    if (idleTimeoutSec >= 0) {
+        auto idleDeadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(idleTimeoutSec));
+        IoStatus ready = waitReady(fd, POLLIN, idleDeadline);
+        if (ready != IoStatus::Ok)
+            return ready;
+    } else {
+        // Infinite idle wait, in bounded slices so the fd staying
+        // forever-silent still parks in poll, not in a dead spin.
+        for (;;) {
+            pollfd pfd{fd, POLLIN, 0};
+            int rc = ::poll(&pfd, 1, 60 * 1000);
+            if (rc > 0)
+                break;
+            if (rc < 0 && errno != EINTR)
+                return IoStatus::Error;
+        }
+    }
+
+    uint8_t header[kFrameHeaderBytes];
+    IoStatus st = recvExact(fd, header, sizeof(header));
+    if (st != IoStatus::Ok)
+        return st;
+    uint32_t len = static_cast<uint32_t>(header[0]) |
+                   (static_cast<uint32_t>(header[1]) << 8) |
+                   (static_cast<uint32_t>(header[2]) << 16) |
+                   (static_cast<uint32_t>(header[3]) << 24);
+    uint32_t wantSum = static_cast<uint32_t>(header[5]) |
+                       (static_cast<uint32_t>(header[6]) << 8) |
+                       (static_cast<uint32_t>(header[7]) << 16) |
+                       (static_cast<uint32_t>(header[8]) << 24);
+    if (len > kMaxFrameBytes)
+        return IoStatus::Error;    // desynchronized peer
+    std::string body(len, '\0');
+    if (len > 0) {
+        st = recvExact(fd, body.data(), len);
+        if (st != IoStatus::Ok)
+            return st;
+    }
+    if (payloadChecksum(body.data(), body.size()) != wantSum)
+        return IoStatus::Error;    // corrupted in flight: drop the peer
+    type = static_cast<MsgType>(header[4]);
+    try {
+        payload = driver::Json::parse(body);
+    } catch (const driver::JsonError &) {
+        return IoStatus::Error;
+    }
+    return IoStatus::Ok;
 }
 
 bool
 recvFrame(int fd, MsgType &type, driver::Json &payload)
 {
-    uint8_t header[5];
-    if (!readAll(fd, header, sizeof(header)))
-        return false;
-    uint32_t len = static_cast<uint32_t>(header[0]) |
-                   (static_cast<uint32_t>(header[1]) << 8) |
-                   (static_cast<uint32_t>(header[2]) << 16) |
-                   (static_cast<uint32_t>(header[3]) << 24);
-    if (len > kMaxFrameBytes)
-        return false;   // desynchronized peer
-    std::string body(len, '\0');
-    if (len > 0 && !readAll(fd, body.data(), len))
-        return false;
-    type = static_cast<MsgType>(header[4]);
-    try {
-        payload = driver::Json::parse(body);
-    } catch (const driver::JsonError &) {
-        return false;
-    }
-    return true;
+    return recvFrameD(fd, type, payload, -1) == IoStatus::Ok;
 }
 
 driver::Json
@@ -228,6 +441,71 @@ jobFromJson(const driver::Json &j, driver::SweepJob &job)
     } catch (const driver::JsonError &) {
         return false;
     }
+}
+
+namespace {
+
+std::string
+schemaHex()
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      driver::statsSchemaDigest()));
+    return buf;
+}
+
+} // namespace
+
+driver::Json
+makeHello(const HelloInfo &info)
+{
+    driver::Json j = driver::Json::object();
+    j.set("peer", info.peer);
+    j.set("role", info.role.empty() ? "worker" : info.role);
+    j.set("cache", info.cache);
+    j.set("token", info.token);
+    j.set("proto", driver::Json(static_cast<double>(kProtocolVersion)));
+    j.set("build",
+          info.build.empty() ? advertisedBuild() : info.build);
+    j.set("schema", schemaHex());
+    return j;
+}
+
+std::string
+checkHello(const driver::Json &payload, const std::string &expectedToken,
+           HelloInfo &out)
+{
+    uint32_t proto = 0;
+    std::string schema;
+    try {
+        out.peer = payload.at("peer").asString();
+        out.role = payload.at("role").asString();
+        out.cache = payload.at("cache").asBool();
+        out.token = payload.at("token").asString();
+        out.build = payload.at("build").asString();
+        proto = static_cast<uint32_t>(payload.at("proto").asNumber());
+        schema = payload.at("schema").asString();
+    } catch (const driver::JsonError &) {
+        return "malformed Hello (pre-v2 peer or protocol garbage)";
+    }
+    // Token first: an unauthenticated peer learns nothing about our
+    // build/schema from the rejection ordering.
+    if (!expectedToken.empty() &&
+        !constantTimeEq(out.token, expectedToken))
+        return "auth token mismatch";
+    if (proto != kProtocolVersion)
+        return "protocol version skew (peer v" + std::to_string(proto) +
+               ", ours v" + std::to_string(kProtocolVersion) + ")";
+    if (out.build != advertisedBuild())
+        return "build version skew (peer '" + out.build + "', ours '" +
+               advertisedBuild() + "')";
+    if (schema != schemaHex())
+        return "stats-schema digest skew (peer " + schema + ", ours " +
+               schemaHex() + ")";
+    if (out.role != "worker" && out.role != "client")
+        return "unknown role '" + out.role + "'";
+    return "";
 }
 
 } // namespace dmdp::farm

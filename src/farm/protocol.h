@@ -2,25 +2,52 @@
  * @file
  * The farm's wire protocol: length-prefixed JSON frames over TCP.
  *
- * Frame layout (little-endian):
+ * Frame layout (little-endian), protocol v2:
  *
  *   u32  payloadLength        (bounded by kMaxFrameBytes)
  *   u8   type                 (MsgType)
+ *   u32  checksum             FNV-1a over the payload bytes — a
+ *                             corrupted frame drops the connection
+ *                             instead of deserializing garbage
  *   u8[] payload              JSON document, UTF-8
  *
  * Conversation, one per worker thread (each opens its own connection):
  *
- *   worker -> Hello      {"worker": name, "cache": bool}
+ *   worker -> Hello      {"peer": name, "role": "worker", "cache": b,
+ *                         "token": t, "proto": v, "build": s,
+ *                         "schema": hex}
+ *   coord  -> HelloAck   {"ok": true, ...} or {"ok": false, "reason"}
+ *                        (reject: bad token / protocol / build /
+ *                        stats-schema skew; connection then closes)
  *   worker -> JobRequest  {}
- *   coord  -> Job        {"idx": N, "configDigest": hex, "job": {...}}
- *            or Bye      {}                    (sweep complete: exit)
- *   worker -> Result     {"idx": N, "cache_probed": bool,
+ *   coord  -> Job        {"sweep": id, "idx": N, "configDigest": hex,
+ *                         "job": {...}}
+ *            or Idle     {}   (daemon with no work: re-request later)
+ *            or Bye      {}   (sweep complete / draining: exit)
+ *   worker -> Heartbeat  {"sweep": id, "idx": N, "insts": retired}
+ *                        (periodic while the job runs; liveness +
+ *                        progress for the coordinator's reap deadline)
+ *   worker -> Result     {"sweep": id, "idx": N, "cache_probed": b,
  *                         "result": resultToJson(...)}
  *   ... JobRequest/Job/Result repeats until Bye or EOF.
+ *
+ * Clients submitting a sweep to a daemon speak the same framing:
+ *
+ *   client -> Hello      {"role": "client", ...}
+ *   coord  -> HelloAck
+ *   client -> SweepSubmit {"sweep": id, "jobs": [jobToJson...]}
+ *   coord  -> Result      {"sweep": id, "idx": N, "result": ...}  (xN)
+ *   coord  -> SweepDone   {"sweep": id, "ok": b, ...counters...}
  *
  * The protocol is deliberately synchronous per connection: a
  * JobRequest means this connection is idle, which is exactly the
  * signal the coordinator's work-stealing straggler policy needs.
+ * Heartbeats are the one exception — a worker interleaves them with a
+ * running job under a per-connection send lock.
+ *
+ * Every I/O primitive is deadline-bounded: a peer that wedges mid-frame
+ * (half-sent header, stalled kernel buffer) costs one frame deadline,
+ * never a hung thread.
  */
 
 #ifndef DMDP_FARM_PROTOCOL_H
@@ -42,11 +69,25 @@ enum class MsgType : uint8_t
     Job = 3,
     Result = 4,
     Bye = 5,
+    HelloAck = 6,
+    Heartbeat = 7,
+    Idle = 8,
+    SweepSubmit = 9,
+    SweepDone = 10,
 };
 
 /** Upper bound on one frame's payload; larger frames are a protocol
  *  error (a desynchronized or hostile peer, not a big result). */
 constexpr uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/** Outcome of a bounded I/O primitive. */
+enum class IoStatus : uint8_t
+{
+    Ok = 0,
+    Eof,     ///< orderly close (or reset) from the peer
+    Timeout, ///< deadline expired — peer alive but silent/wedged
+    Error,   ///< socket error, oversized/corrupt/unparseable frame
+};
 
 /** Thin RAII wrapper for a socket file descriptor. Move-only. */
 class Socket
@@ -100,16 +141,50 @@ Socket acceptOn(const Socket &listener);
 Socket connectTo(const std::string &addr);
 
 /**
- * Send one frame. False on any socket error (peer gone). Safe against
- * SIGPIPE (uses MSG_NOSIGNAL); handles partial writes.
+ * The overall per-frame I/O deadline, in seconds: once a frame has
+ * started (first byte on the wire in either direction), the rest of it
+ * must complete within this budget or the operation fails with
+ * Timeout. Process-global; campaigns and tests lower it to keep fault
+ * runs brief. 0 or negative disables the bound (not recommended).
+ */
+double frameDeadlineSec();
+void setFrameDeadlineSec(double sec);
+constexpr double kDefaultFrameDeadlineSec = 30.0;
+
+/**
+ * Write exactly @p len bytes, retrying partial writes, with an overall
+ * deadline of @p deadlineSec (<= 0: frameDeadlineSec()). Safe against
+ * SIGPIPE (MSG_NOSIGNAL). Never blocks past the deadline: the fd is
+ * polled for writability between chunks.
+ */
+IoStatus sendAll(int fd, const void *data, size_t len,
+                 double deadlineSec = 0);
+
+/**
+ * Read exactly @p len bytes with an overall deadline of @p deadlineSec
+ * (<= 0: frameDeadlineSec()). Eof on a clean close before any or all
+ * bytes, Timeout when the peer wedges mid-read.
+ */
+IoStatus recvExact(int fd, void *data, size_t len, double deadlineSec = 0);
+
+/**
+ * Send one frame (header + checksum + payload) within the frame
+ * deadline. False on any socket error or timeout (peer gone/wedged).
  */
 bool sendFrame(int fd, MsgType type, const driver::Json &payload);
 
 /**
- * Receive one frame. False on EOF, socket error, an oversized length
- * prefix, or an unparseable payload — all of which the callers treat
- * as "this peer is gone".
+ * Receive one frame, waiting up to @p idleTimeoutSec for it to start
+ * (negative: wait forever — only the mid-frame deadline applies).
+ * Timeout distinguishes "peer silent past the liveness deadline" from
+ * Eof "peer gone"; Error covers oversized lengths, checksum
+ * mismatches, and unparseable payloads — all "drop this connection".
  */
+IoStatus recvFrameD(int fd, MsgType &type, driver::Json &payload,
+                    double idleTimeoutSec);
+
+/** Compatibility wrapper: recvFrameD with an infinite idle wait,
+ *  collapsed to bool. False on Eof/Timeout/Error alike. */
 bool recvFrame(int fd, MsgType &type, driver::Json &payload);
 
 /** One sweep job as a protocol payload (id, proxy, flags, full config). */
@@ -117,6 +192,32 @@ driver::Json jobToJson(const driver::SweepJob &job);
 
 /** Inverse of jobToJson. False on a structurally wrong document. */
 bool jobFromJson(const driver::Json &j, driver::SweepJob &job);
+
+// ---------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------
+
+/** What a Hello frame carries about the connecting peer. */
+struct HelloInfo
+{
+    std::string peer;   ///< worker/client display name
+    std::string role;   ///< "worker" or "client"
+    bool cache = false; ///< worker probes a result cache
+    std::string token;  ///< shared auth token ("" = none presented)
+    std::string build;  ///< peer's advertised build (git describe)
+};
+
+/** Build a Hello payload for this binary (fills proto/build/schema). */
+driver::Json makeHello(const HelloInfo &info);
+
+/**
+ * Validate an incoming Hello against this binary's identity and
+ * @p expectedToken ("" disables auth). Returns "" on acceptance, else
+ * a one-line rejection reason; @p out is filled with whatever the
+ * frame carried either way. Token comparison is constant-time.
+ */
+std::string checkHello(const driver::Json &payload,
+                       const std::string &expectedToken, HelloInfo &out);
 
 } // namespace dmdp::farm
 

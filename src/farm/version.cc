@@ -1,0 +1,40 @@
+#include "farm/version.h"
+
+#include <cstdlib>
+
+namespace dmdp::farm {
+
+#ifndef DMDP_BUILD_VERSION
+#define DMDP_BUILD_VERSION "unknown"
+#endif
+
+const char *
+buildVersion()
+{
+    return DMDP_BUILD_VERSION;
+}
+
+std::string
+advertisedBuild()
+{
+    const char *env = std::getenv("DMDP_FARM_BUILD_OVERRIDE");
+    return env && *env ? env : buildVersion();
+}
+
+bool
+constantTimeEq(const std::string &a, const std::string &b)
+{
+    // Fold the length difference into the accumulator up front, then
+    // walk every byte of a regardless of where the first mismatch is.
+    unsigned char acc = a.size() == b.size() ? 0 : 1;
+    for (size_t i = 0; i < a.size(); ++i) {
+        unsigned char x = static_cast<unsigned char>(a[i]);
+        unsigned char y = b.empty()
+            ? 0
+            : static_cast<unsigned char>(b[i % b.size()]);
+        acc |= static_cast<unsigned char>(x ^ y);
+    }
+    return acc == 0;
+}
+
+} // namespace dmdp::farm

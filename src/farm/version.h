@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The farm's identity for handshakes: a compiled-in build string (git
+ * describe, captured at configure time), the wire-protocol revision,
+ * and the constant-time token compare used for authentication.
+ *
+ * Every connection opens with a Hello carrying all three plus the
+ * stats-schema digest; the coordinator rejects any peer whose identity
+ * does not match its own — loudly, at connect time, instead of via a
+ * digest mismatch at first result.
+ */
+
+#ifndef DMDP_FARM_VERSION_H
+#define DMDP_FARM_VERSION_H
+
+#include <cstdint>
+#include <string>
+
+namespace dmdp::farm {
+
+/**
+ * Wire-protocol revision; part of the handshake. v1 was the PR 7
+ * protocol (no handshake ack, no checksum); v2 added HelloAck,
+ * Heartbeat, the per-frame payload checksum, and sweep namespaces.
+ */
+constexpr uint32_t kProtocolVersion = 2;
+
+/**
+ * The compiled-in build identity: `git describe --always --dirty` at
+ * CMake configure time ("unknown" outside a git checkout). Stale only
+ * until the next reconfigure — good enough to catch the real hazard,
+ * which is mixed binaries from different checkouts on different hosts.
+ */
+const char *buildVersion();
+
+/**
+ * The build string advertised in handshakes: the DMDP_FARM_BUILD_OVERRIDE
+ * environment variable when set (the test/CI hook for version-skew
+ * drills), otherwise buildVersion().
+ */
+std::string advertisedBuild();
+
+/**
+ * Constant-time string equality for auth-token compares: the time
+ * taken is a function of the lengths only, never of how many leading
+ * bytes match.
+ */
+bool constantTimeEq(const std::string &a, const std::string &b);
+
+} // namespace dmdp::farm
+
+#endif // DMDP_FARM_VERSION_H

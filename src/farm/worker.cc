@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -13,6 +16,7 @@
 
 #include "driver/results.h"
 #include "farm/protocol.h"
+#include "farm/version.h"
 
 namespace dmdp::farm {
 
@@ -32,20 +36,37 @@ defaultWorkerName()
            std::to_string(static_cast<long>(::getpid()));
 }
 
-/** Connect, retrying while the coordinator may still be binding. */
+/**
+ * Connect, retrying while the coordinator may still be binding. An
+ * exhausted budget throws with the attempt count and the last
+ * underlying error — "connection refused after 47 attempts over 10s"
+ * diagnoses a dead coordinator; "no route to host" a typo'd address.
+ */
 Socket
 connectWithRetry(const std::string &addr, double timeoutSec)
 {
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::duration<double>(timeoutSec);
+    auto start = std::chrono::steady_clock::now();
+    std::string lastErr = "no attempt made";
+    size_t attempts = 0;
     for (;;) {
         try {
+            ++attempts;
             return connectTo(addr);
-        } catch (const std::runtime_error &) {
-            if (std::chrono::steady_clock::now() >= deadline)
-                throw;
-            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        } catch (const std::runtime_error &e) {
+            lastErr = e.what();
         }
+        double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        if (elapsed >= timeoutSec) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%zu attempts over %.1fs",
+                          attempts, elapsed);
+            throw std::runtime_error("farm: cannot reach coordinator "
+                                     "at " + addr + " after " + buf +
+                                     "; last error: " + lastErr);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
     }
 }
 
@@ -54,87 +75,236 @@ connectWithRetry(const std::string &addr, double timeoutSec)
  * job per runReport call: the watchdog, retry, and cache behavior is
  * identical to a local sweep's, and single-job sweeps run their
  * workload live (no shared trace to capture), so the cache keys are
- * program-digest based.
+ * program-digest based. @p progress is bumped per retired instruction
+ * for the heartbeat thread to report.
  */
 JobResult
-runOneJob(const SweepJob &job, const WorkerOptions &opt)
+runOneJob(const SweepJob &job, const WorkerOptions &opt,
+          std::atomic<uint64_t> *progress)
 {
     driver::SweepRunner runner(1);
     driver::SweepOptions sweepOpt;
     sweepOpt.jobTimeoutSec = opt.jobTimeoutSec;
     sweepOpt.retries = opt.retries;
     sweepOpt.cache = opt.cache;
+    sweepOpt.liveProgress = progress;
     driver::SweepReport report = runner.runReport({job}, sweepOpt);
     return std::move(report.results.at(0));
 }
 
-/** One connection's pull loop; returns jobs completed on it. */
-size_t
-workerLoop(const WorkerOptions &opt, const std::string &name)
+enum class ConnEnd : uint8_t
 {
-    Socket sock = connectWithRetry(opt.addr, opt.connectTimeoutSec);
+    Bye,      ///< coordinator said Bye: sweep over, exit cleanly
+    Lost,     ///< connection died/wedged: candidate for reconnect
+    Rejected, ///< handshake refused: deterministic, do not retry
+};
 
-    Json hello = Json::object();
-    hello.set("worker", name);
-    hello.set("cache", opt.cache != nullptr);
-    if (!sendFrame(sock.fd(), MsgType::Hello, hello))
-        return 0;
+/**
+ * One established connection's pull loop: handshake, then
+ * JobRequest/Job/Result (with heartbeats while the job runs) until Bye
+ * or the connection dies. @p completed counts finished jobs across
+ * reconnects of the same thread.
+ */
+ConnEnd
+runConnection(Socket &sock, const WorkerOptions &opt,
+              const std::string &name, size_t &completed,
+              std::string &rejectReason)
+{
+    int fd = sock.fd();
+    // Heartbeats interleave with Result/JobRequest sends from the job
+    // thread; one frame at a time per socket.
+    std::mutex sendMutex;
+    auto send = [&](MsgType type, const Json &payload) {
+        std::lock_guard<std::mutex> lock(sendMutex);
+        return sendFrame(fd, type, payload);
+    };
 
-    size_t completed = 0;
+    HelloInfo hello;
+    hello.peer = name;
+    hello.role = "worker";
+    hello.cache = opt.cache != nullptr;
+    hello.token = opt.token;
+    if (!send(MsgType::Hello, makeHello(hello)))
+        return ConnEnd::Lost;
+    MsgType type;
+    Json payload;
+    if (recvFrameD(fd, type, payload, opt.idleRecvSec) !=
+            IoStatus::Ok ||
+        type != MsgType::HelloAck)
+        return ConnEnd::Lost;
+    try {
+        if (!payload.at("ok").asBool()) {
+            rejectReason = payload.at("reason").asString();
+            return ConnEnd::Rejected;
+        }
+    } catch (const driver::JsonError &) {
+        return ConnEnd::Lost;
+    }
+
     for (;;) {
-        if (!sendFrame(sock.fd(), MsgType::JobRequest, Json::object()))
-            return completed;
-        MsgType type;
-        Json payload;
-        if (!recvFrame(sock.fd(), type, payload))
-            return completed;   // coordinator gone
+        if (!send(MsgType::JobRequest, Json::object()))
+            return ConnEnd::Lost;
+        // A coordinator that answers nothing within idleRecvSec lost
+        // our request (or wedged): reconnecting re-issues it.
+        IoStatus st = recvFrameD(fd, type, payload, opt.idleRecvSec);
+        if (st != IoStatus::Ok)
+            return ConnEnd::Lost;
+        if (type == MsgType::Bye)
+            return ConnEnd::Bye;
+        if (type == MsgType::Idle) {
+            // Daemon with no work right now: stay connected, re-ask.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(250));
+            continue;
+        }
         if (type != MsgType::Job)
-            return completed;   // Bye (or protocol skew): done
+            return ConnEnd::Lost;
 
+        std::string sweepId = "local";
         size_t idx;
         uint64_t wantDigest;
         SweepJob job;
         JobResult result;
         try {
+            if (payload.has("sweep"))
+                sweepId = payload.at("sweep").asString();
             idx = static_cast<size_t>(payload.at("idx").asNumber());
             wantDigest = std::strtoull(
                 payload.at("configDigest").asString().c_str(), nullptr,
                 16);
             if (!jobFromJson(payload.at("job"), job))
-                return completed;
+                return ConnEnd::Lost;
         } catch (const driver::JsonError &) {
-            return completed;
+            return ConnEnd::Lost;
         }
 
         uint64_t gotDigest = driver::configDigest(job.cfg);
         if (gotDigest != wantDigest) {
-            // Version skew between coordinator and worker binaries: the
-            // config did not survive the round trip bit-exactly. Refuse
-            // the job loudly rather than compute numbers for a machine
-            // the coordinator did not ask for.
+            // Version skew between coordinator and worker binaries that
+            // slipped past the handshake: the config did not survive
+            // the round trip bit-exactly. Refuse the job loudly rather
+            // than compute numbers for a machine the coordinator did
+            // not ask for.
             result.job = job;
             result.configDigest = gotDigest;
             result.ok = false;
             result.error = "farm worker config digest mismatch "
                            "(coordinator/worker version skew?)";
         } else {
-            result = runOneJob(job, opt);
+            std::atomic<uint64_t> progress{0};
+            std::atomic<bool> jobDone{false};
+            std::thread heartbeat;
+            if (opt.heartbeatSec > 0)
+                heartbeat = std::thread([&] {
+                    auto last = std::chrono::steady_clock::now();
+                    for (;;) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(50));
+                        if (jobDone.load(std::memory_order_acquire))
+                            return;
+                        double sinceLast =
+                            std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - last)
+                                .count();
+                        if (sinceLast < opt.heartbeatSec)
+                            continue;
+                        last = std::chrono::steady_clock::now();
+                        Json beat = Json::object();
+                        beat.set("sweep", sweepId);
+                        beat.set("idx",
+                                 Json(static_cast<double>(idx)));
+                        beat.set("insts",
+                                 Json(static_cast<double>(
+                                     progress.load(
+                                         std::memory_order_relaxed))));
+                        // A failed heartbeat is not fatal here: the
+                        // Result send right after the job surfaces the
+                        // dead connection.
+                        send(MsgType::Heartbeat, beat);
+                    }
+                });
+            result = runOneJob(job, opt, &progress);
+            jobDone.store(true, std::memory_order_release);
+            if (heartbeat.joinable())
+                heartbeat.join();
         }
 
         Json msg = Json::object();
+        msg.set("sweep", sweepId);
         msg.set("idx", Json(static_cast<double>(idx)));
         msg.set("cache_probed", opt.cache != nullptr);
         msg.set("result", driver::resultToJson(result));
-        if (!sendFrame(sock.fd(), MsgType::Result, msg))
-            return completed;
+        if (!send(MsgType::Result, msg))
+            return ConnEnd::Lost;
         ++completed;
     }
 }
 
+struct LoopStats
+{
+    size_t jobs = 0;
+    size_t reconnects = 0;
+};
+
+/** One worker thread: connect (with retry), pull jobs, and on a lost
+ *  connection reconnect with jittered exponential backoff. */
+LoopStats
+workerLoop(const WorkerOptions &opt, const std::string &name,
+           unsigned threadIdx)
+{
+    LoopStats stats;
+    // Jitter decorrelates a fleet of workers hammering a restarting
+    // coordinator; seeded per thread, no global rand() state.
+    std::minstd_rand rng(static_cast<unsigned>(
+        std::hash<std::string>{}(name) ^ (threadIdx * 0x9e3779b9u) ^
+        static_cast<unsigned>(
+            std::chrono::steady_clock::now().time_since_epoch().count())));
+
+    bool everConnected = false;
+    uint32_t failures = 0;
+    for (;;) {
+        Socket sock;
+        if (!everConnected) {
+            sock = connectWithRetry(opt.addr, opt.connectTimeoutSec);
+            everConnected = true;
+        } else {
+            if (failures >= opt.reconnectAttempts)
+                break;
+            uint32_t baseMs = std::max(opt.reconnectBackoffMs, 1u);
+            uint32_t base = std::min(baseMs << failures, 20u * baseMs);
+            uint32_t jitter = rng() % (base / 2 + 1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(base + jitter));
+            try {
+                sock = connectTo(opt.addr);
+            } catch (const std::runtime_error &) {
+                ++failures;
+                continue;
+            }
+            ++stats.reconnects;
+        }
+
+        std::string rejectReason;
+        size_t before = stats.jobs;
+        ConnEnd end = runConnection(sock, opt, name, stats.jobs,
+                                    rejectReason);
+        if (end == ConnEnd::Bye)
+            break;
+        if (end == ConnEnd::Rejected)
+            throw std::runtime_error(
+                "farm: coordinator rejected worker '" + name + "': " +
+                rejectReason);
+        // Lost. A connection that produced work resets the budget —
+        // only consecutive fruitless attempts give up the sweep.
+        failures = stats.jobs > before ? 0 : failures + 1;
+    }
+    return stats;
+}
+
 } // namespace
 
-size_t
-runWorker(const WorkerOptions &opt)
+WorkerReport
+runWorkerReport(const WorkerOptions &opt)
 {
     unsigned threads = opt.threads ? opt.threads : driver::defaultJobCount();
     std::string name = opt.name.empty() ? defaultWorkerName() : opt.name;
@@ -142,15 +312,19 @@ runWorker(const WorkerOptions &opt)
     // Connection failures are surfaced only when no thread got any work
     // at all — an unreachable coordinator throws, but a coordinator that
     // finished (and closed) while some threads were still connecting is
-    // a normal end of sweep.
+    // a normal end of sweep. Handshake rejections always surface (total
+    // stays 0: a rejected worker is rejected on every connection).
     std::atomic<size_t> total{0};
+    std::atomic<size_t> reconnects{0};
     std::vector<std::thread> pool;
     std::exception_ptr firstError;
     std::mutex errorMutex;
     for (unsigned i = 0; i < threads; ++i)
         pool.emplace_back([&, i] {
             try {
-                total.fetch_add(workerLoop(opt, name));
+                LoopStats stats = workerLoop(opt, name, i);
+                total.fetch_add(stats.jobs);
+                reconnects.fetch_add(stats.reconnects);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(errorMutex);
                 if (!firstError)
@@ -161,7 +335,16 @@ runWorker(const WorkerOptions &opt)
         th.join();
     if (total.load() == 0 && firstError)
         std::rethrow_exception(firstError);
-    return total.load();
+    WorkerReport report;
+    report.jobs = total.load();
+    report.reconnects = reconnects.load();
+    return report;
+}
+
+size_t
+runWorker(const WorkerOptions &opt)
+{
+    return runWorkerReport(opt).jobs;
 }
 
 } // namespace dmdp::farm

@@ -8,6 +8,17 @@
  *
  * Each worker thread opens its own connection and runs one job at a
  * time; process-level parallelism is just N threads = N connections.
+ *
+ * Robustness (PR 10):
+ *  - every connection opens with the authenticated version handshake
+ *    from farm/protocol.h; a rejection (bad token, build/schema skew)
+ *    is a loud std::runtime_error, not a silent exit;
+ *  - while a job runs, a heartbeat thread reports liveness + retired
+ *    instruction progress every heartbeatSec, so the coordinator can
+ *    tell "slow" from "wedged";
+ *  - a lost connection mid-sweep triggers reconnection with jittered
+ *    exponential backoff (bounded by reconnectAttempts), which rides
+ *    out coordinator restarts and transient network faults.
  */
 
 #ifndef DMDP_FARM_WORKER_H
@@ -47,16 +58,60 @@ struct WorkerOptions
     /**
      * Seconds to keep retrying the initial connect — workers are
      * typically launched alongside the coordinator and may beat it to
-     * the port.
+     * the port. An exhausted budget throws, naming the attempt count
+     * and the last OS error.
      */
     double connectTimeoutSec = 10;
+
+    /** Shared auth token; must match the coordinator's ("" = none). */
+    std::string token;
+
+    /**
+     * Heartbeat period while a job is running, seconds; <= 0 disables
+     * heartbeats (the coordinator then reaps on its deadline even for
+     * healthy long jobs — only sane for tests).
+     */
+    double heartbeatSec = 2.0;
+
+    /**
+     * How long to wait for the coordinator's answer to a JobRequest
+     * before declaring the connection wedged and reconnecting.
+     */
+    double idleRecvSec = 30.0;
+
+    /**
+     * Reconnect budget after a lost connection: this many consecutive
+     * fruitless attempts (jittered exponential backoff between them,
+     * 100ms..2s) and the worker gives up on the sweep. Kept small by
+     * default so workers outliving a one-shot coordinator exit fast;
+     * daemons/tests expecting coordinator restarts raise it.
+     */
+    uint32_t reconnectAttempts = 3;
+
+    /**
+     * Backoff ladder base in milliseconds: attempt N sleeps
+     * base<<N (capped at 20*base) plus up to 50% jitter. Tests and
+     * chaos harnesses shrink this so dead-coordinator tails stay
+     * short; production sweeps keep the default.
+     */
+    uint32_t reconnectBackoffMs = 100;
+};
+
+/** What a worker process did over its lifetime. */
+struct WorkerReport
+{
+    size_t jobs = 0;        ///< jobs completed across all threads
+    size_t reconnects = 0;  ///< successful re-connections after drops
 };
 
 /**
- * Pull and run jobs until the coordinator says Bye (or disappears).
- * Returns the number of jobs this worker completed. Throws
- * std::runtime_error when the coordinator cannot be reached at all.
+ * Pull and run jobs until the coordinator says Bye (or disappears past
+ * the reconnect budget). Throws std::runtime_error when the
+ * coordinator cannot be reached at all or rejects the handshake.
  */
+WorkerReport runWorkerReport(const WorkerOptions &opt);
+
+/** Compatibility wrapper: runWorkerReport().jobs. */
 size_t runWorker(const WorkerOptions &opt);
 
 } // namespace dmdp::farm

@@ -1,0 +1,384 @@
+#include "inject/farmchaos.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "driver/results.h"
+#include "driver/sweep.h"
+#include "farm/coordinator.h"
+#include "farm/protocol.h"
+#include "farm/worker.h"
+
+namespace dmdp::inject {
+
+using driver::JobResult;
+using driver::Json;
+using driver::SweepJob;
+using driver::SweepReport;
+
+namespace {
+
+/**
+ * The armed port: counts every frame per site (the probe census), and
+ * in injection mode fires its one action on the trigger-th frame at
+ * the configured site. fetch_add hands each frame a unique ordinal, so
+ * exactly one frame matches even with coordinator and worker threads
+ * calling concurrently.
+ */
+class ChaosPort : public FarmFaultPort
+{
+  public:
+    std::atomic<uint64_t> count[kNumFarmFaultSites] = {};
+
+    bool injecting = false;
+    FarmFaultSite site = FarmFaultSite::FrameSend;
+    uint64_t trigger = 0;
+    FarmFaultAction action;
+    std::atomic<bool> fired{false};
+
+    bool
+    onFrame(FarmFaultSite s, FarmFaultAction &act) override
+    {
+        uint64_t ordinal =
+            count[static_cast<int>(s)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+        if (!injecting || s != site || ordinal != trigger)
+            return false;
+        fired.store(true, std::memory_order_release);
+        act = action;
+        return true;
+    }
+};
+
+/** RAII: tighten the process-global frame deadline for the campaign,
+ *  restore whatever was set on the way out. */
+class FrameDeadlineScope
+{
+  public:
+    explicit FrameDeadlineScope(double sec)
+        : saved_(farm::frameDeadlineSec())
+    {
+        farm::setFrameDeadlineSec(sec);
+    }
+    ~FrameDeadlineScope() { farm::setFrameDeadlineSec(saved_); }
+
+  private:
+    double saved_;
+};
+
+struct FarmRunResult
+{
+    SweepReport report;
+    size_t workerReconnects = 0;
+    size_t workerErrors = 0;
+    bool threw = false;
+    std::string error;
+};
+
+/** One complete in-process farm pass over loopback: a one-shot
+ *  coordinator thread + opt.workers single-threaded workers. */
+FarmRunResult
+runOneFarm(const std::vector<SweepJob> &jobs, const FarmChaosOptions &opt)
+{
+    FarmRunResult out;
+
+    std::promise<uint16_t> portPromise;
+    auto portFuture = portPromise.get_future();
+    farm::CoordinatorOptions copt;
+    copt.addr = "127.0.0.1:0";
+    copt.deadlineSec = opt.coordinatorDeadlineSec;
+    copt.quiet = true;
+    copt.onListening = [&](uint16_t p) { portPromise.set_value(p); };
+
+    std::exception_ptr coordError;
+    std::thread coordinator([&] {
+        try {
+            out.report = farm::serveFarm(jobs, copt);
+        } catch (...) {
+            coordError = std::current_exception();
+            try {
+                portPromise.set_value(0);
+            } catch (const std::future_error &) {
+            }
+        }
+    });
+    uint16_t port = portFuture.get();
+
+    std::atomic<size_t> reconnects{0};
+    std::atomic<size_t> errors{0};
+    std::mutex errorMutex;
+    std::string firstWorkerError;
+    std::vector<std::thread> workers;
+    if (port != 0)
+        for (uint32_t i = 0; i < opt.workers; ++i)
+            workers.emplace_back([&, i] {
+                farm::WorkerOptions wopt;
+                wopt.addr = "127.0.0.1:" + std::to_string(port);
+                wopt.threads = 1;
+                wopt.name = "chaos-w" + std::to_string(i);
+                wopt.connectTimeoutSec = 5;
+                wopt.heartbeatSec = 0.2;
+                wopt.idleRecvSec = opt.workerIdleRecvSec;
+                wopt.reconnectAttempts = 5;
+                wopt.reconnectBackoffMs = 25;
+                try {
+                    reconnects.fetch_add(
+                        farm::runWorkerReport(wopt).reconnects);
+                } catch (const std::exception &e) {
+                    errors.fetch_add(1);
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (firstWorkerError.empty())
+                        firstWorkerError = e.what();
+                }
+            });
+
+    coordinator.join();
+    for (auto &th : workers)
+        th.join();
+
+    out.workerReconnects = reconnects.load();
+    out.workerErrors = errors.load();
+    if (coordError) {
+        out.threw = true;
+        try {
+            std::rethrow_exception(coordError);
+        } catch (const std::exception &e) {
+            out.error = std::string("coordinator: ") + e.what();
+        }
+    } else if (out.workerErrors == opt.workers &&
+               out.report.results.empty()) {
+        out.threw = true;
+        out.error = "workers: " + firstWorkerError;
+    }
+    return out;
+}
+
+/** Bit-identity against the clean local baseline: same ok flags, same
+ *  stat counters, job for job. */
+bool
+identicalResults(const SweepReport &clean, const SweepReport &faulty,
+                 std::string &why)
+{
+    if (faulty.results.size() != clean.results.size()) {
+        why = "result count mismatch";
+        return false;
+    }
+    for (size_t i = 0; i < clean.results.size(); ++i) {
+        const JobResult &a = clean.results[i];
+        const JobResult &b = faulty.results[i];
+        if (a.ok != b.ok) {
+            why = "job '" + a.job.id + "' ok flag differs";
+            return false;
+        }
+        if (!a.ok)
+            continue;
+        auto fa = driver::statFields(a.stats);
+        auto fb = driver::statFields(b.stats);
+        if (fa.size() != fb.size()) {
+            why = "job '" + a.job.id + "' stat field count differs";
+            return false;
+        }
+        for (size_t f = 0; f < fa.size(); ++f)
+            if (fa[f].first != fb[f].first ||
+                fa[f].second != fb[f].second) {
+                why = "job '" + a.job.id + "' stat '" + fa[f].first +
+                      "' differs";
+                return false;
+            }
+    }
+    return true;
+}
+
+} // namespace
+
+FarmChaosSummary
+runFarmChaos(const FarmChaosOptions &opt,
+             const std::function<void(const std::string &)> &progress)
+{
+    FarmChaosSummary summary;
+
+    std::vector<std::string> proxies = {"perl", "gcc", "bzip2"};
+    proxies.resize(std::max<uint32_t>(
+        1, std::min<uint32_t>(opt.nProxies,
+                              static_cast<uint32_t>(proxies.size()))));
+    auto jobs = driver::crossProduct(
+        {LsuModel::NoSQ, LsuModel::DMDP}, proxies, opt.insts);
+
+    FrameDeadlineScope deadline(opt.frameDeadlineSec);
+
+    // Clean local baseline: what every faulty farm run must reproduce
+    // bit for bit.
+    driver::SweepRunner runner(2);
+    SweepReport clean = runner.runReport(jobs, {});
+    if (clean.failed)
+        throw std::runtime_error("farm chaos: clean local sweep failed "
+                                 "— fix tier-1 first");
+
+    // Probe pass: a clean farm run with the counting port armed, both
+    // to census frames per site (trigger draws) and to prove the
+    // un-faulted farm matches the local baseline.
+    ChaosPort census;
+    {
+        FarmFaultPort::ArmScope arm(census);
+        FarmRunResult probe = runOneFarm(jobs, opt);
+        std::string why;
+        if (probe.threw)
+            throw std::runtime_error("farm chaos: clean farm pass "
+                                     "failed: " + probe.error);
+        if (!identicalResults(clean, probe.report, why))
+            throw std::runtime_error("farm chaos: clean farm pass "
+                                     "diverges from local sweep: " +
+                                     why);
+    }
+    uint64_t frames[kNumFarmFaultSites];
+    for (int s = 0; s < kNumFarmFaultSites; ++s)
+        frames[s] = std::max<uint64_t>(
+            1, census.count[s].load(std::memory_order_relaxed));
+    if (progress)
+        progress("probe: " + std::to_string(frames[0]) + " sent / " +
+                 std::to_string(frames[1]) + " received frames, " +
+                 std::to_string(jobs.size()) + " jobs");
+
+    for (uint32_t f = 0; f < opt.faults; ++f) {
+        // Independent stream per fault: the golden-ratio offset keeps
+        // neighboring fault indices decorrelated.
+        Rng rng(opt.seed ^ (0x9e3779b97f4a7c15ull * (f + 1)));
+
+        FarmFaultRecord rec;
+        rec.site = static_cast<FarmFaultSite>(rng.below(2));
+        if (rec.site == FarmFaultSite::FrameSend) {
+            rec.kind = static_cast<FarmFaultKind>(rng.below(6));
+        } else {
+            // Receive-side faults model the reader's view of link
+            // trouble: delayed delivery or a cut mid-conversation.
+            // (Loss/corruption are send-side faults — the reader
+            // observes their consequences.)
+            rec.kind = rng.below(2) == 0 ? FarmFaultKind::DelayFrame
+                                         : FarmFaultKind::Disconnect;
+        }
+        rec.trigger = rng.below(frames[static_cast<int>(rec.site)]);
+        rec.param = rng.next();
+
+        ChaosPort port;
+        port.injecting = true;
+        port.site = rec.site;
+        port.trigger = rec.trigger;
+        port.action.kind = rec.kind;
+        port.action.param = rec.param;
+
+        auto t0 = std::chrono::steady_clock::now();
+        FarmRunResult run;
+        {
+            FarmFaultPort::ArmScope arm(port);
+            run = runOneFarm(jobs, opt);
+        }
+        rec.wallSec = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        rec.hung = rec.wallSec > opt.hangSec;
+        if (rec.hung)
+            ++summary.hungRuns;
+
+        std::string why;
+        bool identical =
+            !run.threw && identicalResults(clean, run.report, why);
+        uint64_t evidence = run.report.reapedDispatches +
+                            run.report.redispatchedJobs +
+                            run.report.warnings.size() +
+                            run.workerReconnects + run.workerErrors;
+
+        if (run.threw) {
+            rec.outcome = Outcome::DetectedFatal;
+            rec.detail = run.error;
+        } else if (run.report.failed > 0) {
+            rec.outcome = Outcome::DetectedFatal;
+            for (const auto &r : run.report.results)
+                if (!r.ok) {
+                    rec.detail = "job '" + r.job.id + "': " + r.error;
+                    break;
+                }
+        } else if (!identical) {
+            rec.outcome = Outcome::SilentDivergence;
+            rec.detail = why;
+        } else if (!port.fired.load()) {
+            rec.outcome = Outcome::NotTriggered;
+        } else if (evidence > 0) {
+            rec.outcome = Outcome::Recovered;
+        } else {
+            rec.outcome = Outcome::Masked;
+        }
+
+        ++summary.total;
+        ++summary.byOutcome[static_cast<int>(rec.outcome)];
+        if (progress) {
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "fault %u/%u: %s@%s#%llu -> %s%s (%.2fs)",
+                          f + 1, opt.faults,
+                          farmFaultKindName(rec.kind),
+                          farmFaultSiteName(rec.site),
+                          static_cast<unsigned long long>(rec.trigger),
+                          outcomeName(rec.outcome),
+                          rec.hung ? " HUNG" : "", rec.wallSec);
+            progress(line);
+        }
+        summary.records.push_back(std::move(rec));
+    }
+    return summary;
+}
+
+Json
+FarmChaosSummary::toJson() const
+{
+    Json histogram = Json::object();
+    for (int o = 0; o < kNumOutcomes; ++o)
+        histogram.set(outcomeName(static_cast<Outcome>(o)), byOutcome[o]);
+
+    Json runs = Json::array();
+    for (const FarmFaultRecord &rec : records) {
+        Json r = Json::object();
+        r.set("site", farmFaultSiteName(rec.site));
+        r.set("kind", farmFaultKindName(rec.kind));
+        r.set("trigger", rec.trigger);
+        r.set("param", std::to_string(rec.param));
+        r.set("outcome", outcomeName(rec.outcome));
+        r.set("wallSec", rec.wallSec);
+        if (rec.hung)
+            r.set("hung", true);
+        if (!rec.detail.empty())
+            r.set("detail", rec.detail);
+        runs.push(std::move(r));
+    }
+
+    Json root = Json::object();
+    root.set("schema", "dmdp-farm-chaos-v1");
+    root.set("faults", total);
+    root.set("hung", hungRuns);
+    root.set("ok", ok());
+    root.set("histogram", std::move(histogram));
+    root.set("runs", std::move(runs));
+    return root;
+}
+
+std::string
+FarmChaosSummary::describe() const
+{
+    std::string s = std::to_string(total) + " farm faults:";
+    for (int o = 0; o < kNumOutcomes; ++o) {
+        s += " " + std::string(outcomeName(static_cast<Outcome>(o))) +
+             "=" + std::to_string(byOutcome[o]);
+    }
+    s += " hung=" + std::to_string(hungRuns);
+    s += ok() ? " [OK]" : " [FAIL]";
+    return s;
+}
+
+} // namespace dmdp::inject

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Protocol chaos campaigns: the executable form of the farm's
+ * fault-tolerance argument, structured exactly like the simulator
+ * fault campaigns in inject/campaign.h.
+ *
+ * One campaign run stands up a real farm — a one-shot coordinator and
+ * worker threads, all in-process over loopback TCP — with one seeded
+ * frame fault armed through the FarmFaultPort hooks in
+ * farm/protocol.cc: a dropped, duplicated, truncated or corrupted
+ * frame, a delayed delivery, or a mid-frame disconnect, striking the
+ * Nth frame sent or received anywhere in the farm. The faulty sweep's
+ * results are then compared bit-for-bit against a clean local
+ * SweepRunner pass and classified:
+ *
+ *  - not-triggered: the drawn frame index was never reached (frame
+ *    counts vary with scheduling, so a draw from the probe run's
+ *    census can overshoot);
+ *  - masked: bit-identical results, no recovery machinery involved
+ *    (e.g. a delayed frame the deadlines absorbed);
+ *  - recovered: bit-identical results via visible recovery — requeued
+ *    or reaped dispatches, worker reconnects, warnings;
+ *  - detected-fatal: the sweep failed loudly (a job past its
+ *    redispatch budget, a thrown error). Loud, but worth examining;
+ *  - silent-divergence: the sweep "succeeded" with results differing
+ *    from the clean run — the class the checksummed protocol and
+ *    first-result-canonical dedup exist to make impossible; one
+ *    occurrence fails the campaign.
+ *
+ * A run whose wall clock exceeds hangSec is additionally counted as
+ * hung — every I/O primitive is deadline-bounded, so a stuck
+ * coordinator is a protocol bug, and ok() demands zero of them.
+ */
+
+#ifndef DMDP_INJECT_FARMCHAOS_H
+#define DMDP_INJECT_FARMCHAOS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/json.h"
+#include "inject/campaign.h"
+#include "inject/farmfault.h"
+
+namespace dmdp::inject {
+
+struct FarmChaosOptions
+{
+    uint64_t seed = 1;
+
+    /** Fault runs (one fault armed per run). */
+    uint32_t faults = 200;
+
+    /** Proxies in the per-run jobset: jobs = 2 models x nProxies. */
+    uint32_t nProxies = 2;
+
+    /** Instructions per job — small, the farm plumbing is under test,
+     *  not the simulator. */
+    uint64_t insts = 2000;
+
+    /** Worker threads (connections) per run. */
+    uint32_t workers = 2;
+
+    /**
+     * Tight I/O deadlines for fault runs, so a run that must ride out
+     * a timeout costs seconds, not the production 30s defaults. The
+     * process-global frame deadline is restored after the campaign.
+     */
+    double frameDeadlineSec = 1.0;
+    double coordinatorDeadlineSec = 0.75;
+    double workerIdleRecvSec = 2.0;
+
+    /** Wall-clock bound per run; past it the run counts as hung. */
+    double hangSec = 60.0;
+};
+
+/** One injected frame fault and its classification. */
+struct FarmFaultRecord
+{
+    FarmFaultSite site = FarmFaultSite::FrameSend;
+    FarmFaultKind kind = FarmFaultKind::DelayFrame;
+    uint64_t trigger = 0;   ///< fire on the Nth frame at the site
+    uint64_t param = 0;
+    Outcome outcome = Outcome::NotTriggered;
+    bool hung = false;
+    double wallSec = 0;
+    std::string detail;     ///< populated for fatal / silent outcomes
+};
+
+struct FarmChaosSummary
+{
+    uint64_t total = 0;
+    uint64_t byOutcome[kNumOutcomes] = {};
+    uint64_t hungRuns = 0;
+    std::vector<FarmFaultRecord> records;
+
+    uint64_t silent() const
+    {
+        return byOutcome[static_cast<int>(Outcome::SilentDivergence)];
+    }
+
+    /**
+     * The farm fault-tolerance claim held: no silent corruption, no
+     * hung coordinators. Detected-fatal runs are permitted — a job
+     * failing loudly after exhausting its redispatch budget is the
+     * designed behavior under repeated faults, not a defect.
+     */
+    bool ok() const { return silent() == 0 && hungRuns == 0; }
+
+    /** Machine-readable report ("dmdp-farm-chaos-v1"). */
+    driver::Json toJson() const;
+
+    std::string describe() const;
+};
+
+/**
+ * Run the campaign: one clean probe pass (frame census + baseline
+ * check), then opt.faults seeded fault runs. @p progress, when set,
+ * receives one line per run. Throws std::runtime_error if the clean
+ * farm pass does not match a local sweep bit-for-bit (the campaign's
+ * precondition is a green tier-1 state).
+ */
+FarmChaosSummary
+runFarmChaos(const FarmChaosOptions &opt,
+             const std::function<void(const std::string &)> &progress =
+                 nullptr);
+
+} // namespace dmdp::inject
+
+#endif // DMDP_INJECT_FARMCHAOS_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fault-injection port for the farm's wire protocol, mirroring
+ * inject/faultport.h for the simulator: farm/protocol.cc asks the
+ * armed port before every frame send and receive, and the port may
+ * answer with one perturbation — a dropped, duplicated, truncated or
+ * corrupted frame, a delayed delivery, or a mid-frame disconnect.
+ *
+ * Unlike the simulator port (thread-local, armed around one pipeline),
+ * this port is process-global: a chaos campaign runs coordinator and
+ * workers as threads of one process and wants to intercept every frame
+ * either side sends, whichever thread it is on. When disarmed (always,
+ * outside a campaign) the hook is one relaxed atomic load and a
+ * predictable branch per frame — frames are milliseconds apart, so
+ * cost is irrelevant; the pattern just matches faultport.h.
+ *
+ * Header-only on purpose: farm/ must not link against inject/.
+ */
+
+#ifndef DMDP_INJECT_FARMFAULT_H
+#define DMDP_INJECT_FARMFAULT_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace dmdp::inject {
+
+/** Where in the protocol a farm fault strikes. */
+enum class FarmFaultSite : uint8_t
+{
+    FrameSend,  ///< a frame about to be written to the socket
+    FrameRecv,  ///< a frame about to be read from the socket
+};
+
+constexpr int kNumFarmFaultSites = 2;
+
+const char *farmFaultSiteName(FarmFaultSite site);
+
+/** The perturbation applied to one frame. */
+enum class FarmFaultKind : uint8_t
+{
+    DropFrame,      ///< swallow the frame; sender believes it was sent
+    DuplicateFrame, ///< deliver the frame twice
+    TruncateFrame,  ///< send a prefix, then disconnect mid-frame
+    CorruptByte,    ///< flip one payload byte in flight
+    DelayFrame,     ///< hold the frame (delayed ACK / congested link)
+    Disconnect,     ///< hard-close the connection at a frame boundary
+};
+
+const char *farmFaultKindName(FarmFaultKind kind);
+
+struct FarmFaultAction
+{
+    FarmFaultKind kind = FarmFaultKind::DelayFrame;
+    /** Kind-specific parameter: truncate length / byte index + XOR
+     *  mask / delay draw. Interpreted modulo whatever is legal. */
+    uint64_t param = 0;
+};
+
+class FarmFaultPort
+{
+  public:
+    virtual ~FarmFaultPort() = default;
+
+    /**
+     * Called once per frame about to be sent/received. Return true and
+     * fill @p act to perturb this frame; false passes it through. The
+     * port does its own counting (the campaign's probe mode) and
+     * trigger matching, and must be thread-safe: coordinator and
+     * worker threads call concurrently.
+     */
+    virtual bool onFrame(FarmFaultSite site, FarmFaultAction &act) = 0;
+
+    /** The globally armed port, or nullptr. */
+    static FarmFaultPort *
+    armed()
+    {
+        return gPort.load(std::memory_order_acquire);
+    }
+
+    /** RAII arming; only one port at a time (campaigns are serial). */
+    class ArmScope
+    {
+      public:
+        explicit ArmScope(FarmFaultPort &port)
+        {
+            gPort.store(&port, std::memory_order_release);
+        }
+        ~ArmScope() { gPort.store(nullptr, std::memory_order_release); }
+        ArmScope(const ArmScope &) = delete;
+        ArmScope &operator=(const ArmScope &) = delete;
+    };
+
+  private:
+    static inline std::atomic<FarmFaultPort *> gPort{nullptr};
+};
+
+inline const char *
+farmFaultSiteName(FarmFaultSite site)
+{
+    switch (site) {
+      case FarmFaultSite::FrameSend: return "frame-send";
+      case FarmFaultSite::FrameRecv: return "frame-recv";
+    }
+    return "?";
+}
+
+inline const char *
+farmFaultKindName(FarmFaultKind kind)
+{
+    switch (kind) {
+      case FarmFaultKind::DropFrame: return "drop";
+      case FarmFaultKind::DuplicateFrame: return "duplicate";
+      case FarmFaultKind::TruncateFrame: return "truncate";
+      case FarmFaultKind::CorruptByte: return "corrupt";
+      case FarmFaultKind::DelayFrame: return "delay";
+      case FarmFaultKind::Disconnect: return "disconnect";
+    }
+    return "?";
+}
+
+} // namespace dmdp::inject
+
+#endif // DMDP_INJECT_FARMFAULT_H

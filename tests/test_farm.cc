@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -22,9 +23,11 @@
 #include "driver/results.h"
 #include "driver/sweep.h"
 #include "farm/cache.h"
+#include "farm/client.h"
 #include "farm/coordinator.h"
 #include "farm/protocol.h"
 #include "farm/worker.h"
+#include "inject/farmfault.h"
 #include "trace/tracerecorder.h"
 #include "workloads/spec_proxies.h"
 
@@ -202,20 +205,27 @@ TEST(ResultCacheTest, CorruptOrTruncatedEntryIsAMissNotAnError)
     ASSERT_FALSE(entry.empty());
 
     SimStats s;
+    EXPECT_EQ(cache.repairs(), 0u);
     {
         std::ofstream out(entry, std::ios::binary | std::ios::trunc);
         out << "{\"schema\": \"dmdp-cache-v1\", \"config_";   // truncated
     }
     EXPECT_FALSE(cache.lookup(key, s));
+    EXPECT_EQ(cache.repairs(), 1u)
+        << "a corrupt read must be counted, not silent";
+    EXPECT_FALSE(fs::exists(entry))
+        << "the corrupt entry must be removed so the re-store heals it";
     {
         std::ofstream out(entry, std::ios::binary | std::ios::trunc);
         out << "not json at all\n";
     }
     EXPECT_FALSE(cache.lookup(key, s));
+    EXPECT_EQ(cache.repairs(), 2u);
 
     // The next store repairs the entry.
     cache.store(key, r);
     EXPECT_TRUE(cache.lookup(key, s));
+    EXPECT_EQ(cache.repairs(), 2u);
 }
 
 TEST(ResultCacheTest, WorkloadMemoPersistsAcrossInstances)
@@ -361,14 +371,15 @@ struct FarmFixture
     std::future<driver::SweepReport> report;
     uint16_t port = 0;
 
-    explicit FarmFixture(const std::vector<SweepJob> &jobs)
+    explicit FarmFixture(const std::vector<SweepJob> &jobs,
+                         farm::CoordinatorOptions opt = {})
     {
         auto portPromise = std::make_shared<std::promise<uint16_t>>();
         auto portFuture = portPromise->get_future();
         std::promise<driver::SweepReport> reportPromise;
         report = reportPromise.get_future();
-        farm::CoordinatorOptions opt;
         opt.addr = "127.0.0.1:0";
+        opt.quiet = true;
         opt.onListening = [portPromise](uint16_t p) {
             portPromise->set_value(p);
         };
@@ -426,17 +437,38 @@ TEST(FarmEndToEnd, TwoWorkersBitIdenticalToLocalSweep)
     }
 }
 
-/** Minimal raw protocol client for scripting coordinator conversations. */
+/**
+ * Minimal raw protocol client for scripting coordinator conversations.
+ * Speaks the full v2 handshake (and lets a test skew any part of it to
+ * provoke a rejection).
+ */
 struct RawWorker
 {
     farm::Socket sock;
-    explicit RawWorker(const std::string &addr, const std::string &name)
+    bool accepted = false;
+    std::string rejectReason;
+
+    explicit RawWorker(const std::string &addr, const std::string &name,
+                       const std::string &token = "",
+                       const std::string &buildOverride = "")
         : sock(farm::connectTo(addr))
     {
-        Json hello = Json::object();
-        hello.set("worker", name);
-        hello.set("cache", false);
-        EXPECT_TRUE(farm::sendFrame(sock.fd(), MsgType::Hello, hello));
+        farm::HelloInfo info;
+        info.peer = name;
+        info.role = "worker";
+        info.token = token;
+        info.build = buildOverride;     // "" = this binary's build
+        EXPECT_TRUE(farm::sendFrame(sock.fd(), MsgType::Hello,
+                                    farm::makeHello(info)));
+        MsgType type = MsgType::Bye;
+        Json ack;
+        EXPECT_TRUE(farm::recvFrame(sock.fd(), type, ack));
+        EXPECT_EQ(type, MsgType::HelloAck);
+        if (type != MsgType::HelloAck)
+            return;
+        accepted = ack.at("ok").asBool();
+        if (!accepted)
+            rejectReason = ack.at("reason").asString();
     }
 
     /** JobRequest; returns the reply type, and the job idx via out. */
@@ -455,6 +487,16 @@ struct RawWorker
     }
 
     void
+    sendHeartbeat(size_t idx, uint64_t insts)
+    {
+        Json hb = Json::object();
+        hb.set("sweep", std::string("local"));
+        hb.set("idx", Json(static_cast<double>(idx)));
+        hb.set("insts", Json(static_cast<double>(insts)));
+        EXPECT_TRUE(farm::sendFrame(sock.fd(), MsgType::Heartbeat, hb));
+    }
+
+    void
     sendResult(size_t idx, const JobResult &r)
     {
         EXPECT_TRUE(trySendResult(idx, r));
@@ -466,6 +508,7 @@ struct RawWorker
     trySendResult(size_t idx, const JobResult &r)
     {
         Json msg = Json::object();
+        msg.set("sweep", std::string("local"));
         msg.set("idx", Json(static_cast<double>(idx)));
         msg.set("cache_probed", false);
         msg.set("result", driver::resultToJson(r));
@@ -548,6 +591,8 @@ TEST(FarmEndToEnd, DuplicateResultsDedupToFirstAndFlagDivergence)
     // duplicate may race coordinator shutdown — best-effort send.
     a.sendResult(2, local[2]);
     b.trySendResult(2, local[2]);
+    a.request(idx);     // drain to Bye so shutdown needs no force-close
+    b.request(idx);
 
     auto report = fx.finish();
     ASSERT_EQ(report.results.size(), jobs.size());
@@ -599,6 +644,345 @@ TEST(FarmEndToEnd, SecondFarmRunOverSameCacheIsAllHits)
     ASSERT_EQ(second.results.size(), first.results.size());
     for (size_t i = 0; i < first.results.size(); ++i)
         expectStatsIdentical(first.results[i], second.results[i]);
+}
+
+// ---------------------------------------------------------------------
+// Handshake admission: auth token + version skew
+// ---------------------------------------------------------------------
+
+TEST(FarmHandshake, WrongTokenIsRejectedBeforeAnyJob)
+{
+    auto jobs = smallJobSet(1);     // 2 jobs
+    farm::CoordinatorOptions copt;
+    copt.token = "sesame";
+    FarmFixture fx(jobs, copt);
+
+    {
+        RawWorker wrong(fx.addr(), "wrong-token", "open-barley");
+        EXPECT_FALSE(wrong.accepted);
+        EXPECT_NE(wrong.rejectReason.find("auth token"), std::string::npos)
+            << wrong.rejectReason;
+    }
+    {
+        RawWorker none(fx.addr(), "no-token");
+        EXPECT_FALSE(none.accepted);
+    }
+
+    // A full worker with the wrong token fails loudly, not silently.
+    farm::WorkerOptions bad;
+    bad.addr = fx.addr();
+    bad.threads = 1;
+    bad.token = "also-wrong";
+    bad.name = "bad-worker";
+    EXPECT_THROW(farm::runWorker(bad), std::runtime_error);
+
+    // The right token gets the sweep done.
+    farm::WorkerOptions good = bad;
+    good.token = "sesame";
+    good.name = "good-worker";
+    EXPECT_EQ(farm::runWorker(good), jobs.size());
+
+    auto report = fx.finish();
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.rejectedPeers, 3u);
+    bool flagged = false;
+    for (const auto &w : report.warnings)
+        flagged |= w.find("rejected peer") != std::string::npos;
+    EXPECT_TRUE(flagged) << "rejections must be surfaced in the report";
+}
+
+TEST(FarmHandshake, BuildSkewIsRejectedAtConnect)
+{
+    auto jobs = smallJobSet(1);
+    FarmFixture fx(jobs, {});
+
+    {
+        RawWorker skewed(fx.addr(), "old-binary", "", "v0-prehistoric");
+        EXPECT_FALSE(skewed.accepted);
+        EXPECT_NE(skewed.rejectReason.find("build version skew"),
+                  std::string::npos)
+            << skewed.rejectReason;
+    }
+
+    farm::WorkerOptions wopt;
+    wopt.addr = fx.addr();
+    wopt.threads = 1;
+    wopt.name = "current";
+    EXPECT_EQ(farm::runWorker(wopt), jobs.size());
+
+    auto report = fx.finish();
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.rejectedPeers, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Liveness: heartbeats, reaping, reconnect
+// ---------------------------------------------------------------------
+
+TEST(FarmLiveness, SilentMidJobWorkerIsReapedAndJobRequeued)
+{
+    auto jobs = smallJobSet(1);     // 2 jobs
+    auto local = SweepRunner(1).run(jobs);
+    farm::CoordinatorOptions copt;
+    copt.deadlineSec = 0.4;
+    FarmFixture fx(jobs, copt);
+
+    // Takes job 0 and goes completely silent — what a SIGSTOP'd or
+    // netsplit worker looks like. Must be reaped, not waited on.
+    RawWorker stalled(fx.addr(), "stalled");
+    ASSERT_TRUE(stalled.accepted);
+    size_t idx = SIZE_MAX;
+    ASSERT_EQ(stalled.request(idx), MsgType::Job);
+    EXPECT_EQ(idx, 0u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+
+    farm::WorkerOptions wopt;
+    wopt.addr = fx.addr();
+    wopt.threads = 1;
+    wopt.name = "healthy";
+    EXPECT_EQ(farm::runWorker(wopt), jobs.size());
+
+    auto report = fx.finish();
+    ASSERT_EQ(report.results.size(), jobs.size());
+    EXPECT_TRUE(report.ok());
+    EXPECT_GE(report.reapedDispatches, 1u);
+    EXPECT_GE(report.redispatchedJobs, 1u);
+    bool reapWarning = false;
+    for (const auto &w : report.warnings)
+        reapWarning |= w.find("reaped") != std::string::npos;
+    EXPECT_TRUE(reapWarning);
+    // The re-queued job's result must still be bit-identical.
+    for (size_t i = 0; i < jobs.size(); ++i)
+        expectStatsIdentical(local[i], report.results[i]);
+}
+
+TEST(FarmLiveness, HeartbeatsKeepASlowWorkerUnreaped)
+{
+    auto jobs = driver::crossProduct({LsuModel::DMDP}, {"perl"}, 20000);
+    auto local = SweepRunner(1).run(jobs);
+    farm::CoordinatorOptions copt;
+    copt.deadlineSec = 0.4;
+    FarmFixture fx(jobs, copt);
+
+    RawWorker slow(fx.addr(), "slow");
+    ASSERT_TRUE(slow.accepted);
+    size_t idx = SIZE_MAX;
+    ASSERT_EQ(slow.request(idx), MsgType::Job);
+    // Hold the job well past the reap deadline, heartbeating all the
+    // while: progress frames count as liveness.
+    for (int i = 0; i < 6; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        slow.sendHeartbeat(0, static_cast<uint64_t>(i) * 1000);
+    }
+    slow.sendResult(0, local[0]);
+    slow.request(idx);              // drain to Bye
+
+    auto report = fx.finish();
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.reapedDispatches, 0u)
+        << "a heartbeating worker must never be reaped";
+    EXPECT_EQ(report.redispatchedJobs, 0u);
+    expectStatsIdentical(local[0], report.results[0]);
+}
+
+/** Fires one scripted fault on the trigger-th frame at one site. */
+class ScriptedFaultPort : public inject::FarmFaultPort
+{
+  public:
+    inject::FarmFaultSite site = inject::FarmFaultSite::FrameSend;
+    uint64_t trigger = 0;
+    inject::FarmFaultAction action;
+    std::atomic<uint64_t> ordinal{0};
+    std::atomic<bool> fired{false};
+
+    bool
+    onFrame(inject::FarmFaultSite s, inject::FarmFaultAction &act) override
+    {
+        if (s != site)
+            return false;
+        if (ordinal.fetch_add(1, std::memory_order_relaxed) != trigger)
+            return false;
+        fired.store(true, std::memory_order_release);
+        act = action;
+        return true;
+    }
+};
+
+TEST(FarmLiveness, TornConnectionRecoversViaReconnect)
+{
+    auto jobs = driver::crossProduct({LsuModel::DMDP}, {"perl"}, 20000);
+    auto local = SweepRunner(1).run(jobs);
+
+    // Single worker, no heartbeat thread: the frame sequence is
+    // deterministic. Send-site ordinals: #0 worker Hello, #1 HelloAck,
+    // #2 JobRequest, #3 the Job dispatch — cut the connection there.
+    ScriptedFaultPort port;
+    port.site = inject::FarmFaultSite::FrameSend;
+    port.trigger = 3;
+    port.action.kind = inject::FarmFaultKind::Disconnect;
+
+    FarmFixture fx(jobs, {});
+    farm::WorkerReport wr;
+    {
+        inject::FarmFaultPort::ArmScope arm(port);
+        farm::WorkerOptions wopt;
+        wopt.addr = fx.addr();
+        wopt.threads = 1;
+        wopt.name = "torn";
+        wopt.heartbeatSec = 0;
+        wopt.reconnectAttempts = 5;
+        wopt.reconnectBackoffMs = 25;
+        wr = farm::runWorkerReport(wopt);
+    }
+    auto report = fx.finish();
+
+    EXPECT_TRUE(port.fired.load());
+    EXPECT_EQ(wr.reconnects, 1u);
+    EXPECT_EQ(wr.jobs, jobs.size());
+    ASSERT_EQ(report.results.size(), jobs.size());
+    EXPECT_TRUE(report.ok());
+    EXPECT_GE(report.redispatchedJobs, 1u)
+        << "the cut dispatch must have been re-queued";
+    expectStatsIdentical(local[0], report.results[0]);
+}
+
+TEST(FarmWorker, UnreachableCoordinatorFailsLoudWithAttemptCount)
+{
+    farm::WorkerOptions wopt;
+    wopt.addr = "127.0.0.1:1";      // nothing listens on port 1
+    wopt.threads = 1;
+    wopt.connectTimeoutSec = 0.3;
+    wopt.name = "lost";
+    try {
+        farm::runWorker(wopt);
+        FAIL() << "connect to a dead address must throw";
+    } catch (const std::runtime_error &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("cannot reach coordinator"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("attempts"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("127.0.0.1:1"), std::string::npos) << msg;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol deadlines
+// ---------------------------------------------------------------------
+
+/** RAII frame-deadline override for a single test. */
+struct FrameDeadlineGuard
+{
+    double saved;
+    explicit FrameDeadlineGuard(double sec)
+        : saved(farm::frameDeadlineSec())
+    {
+        farm::setFrameDeadlineSec(sec);
+    }
+    ~FrameDeadlineGuard() { farm::setFrameDeadlineSec(saved); }
+};
+
+TEST(FarmProtocol, MidFrameRecvStallHitsTheFrameDeadline)
+{
+    FrameDeadlineGuard guard(0.25);
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    farm::Socket a(fds[0]), b(fds[1]);
+
+    // Three bytes of a nine-byte header, then silence: a torn frame
+    // must be cut by the mid-frame deadline, not waited on forever.
+    uint8_t partial[3] = {0x10, 0x00, 0x00};
+    ASSERT_EQ(::send(a.fd(), partial, sizeof(partial), 0), 3);
+
+    auto t0 = std::chrono::steady_clock::now();
+    MsgType type;
+    Json payload;
+    EXPECT_EQ(farm::recvFrameD(b.fd(), type, payload, 5.0),
+              farm::IoStatus::Timeout);
+    double elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    EXPECT_GE(elapsed, 0.2);
+    EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(FarmProtocol, SendAllHitsTheFrameDeadlineOnAStuckPeer)
+{
+    FrameDeadlineGuard guard(0.25);
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    farm::Socket a(fds[0]), b(fds[1]);
+
+    // A frame far larger than any kernel socket buffer, with nobody
+    // reading the other end: sendFrame must give up at the deadline
+    // instead of wedging the coordinator on one stuck worker.
+    Json payload = Json::object();
+    payload.set("blob", std::string(8u << 20, 'x'));
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(farm::sendFrame(a.fd(), MsgType::Result, payload));
+    double elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    EXPECT_GE(elapsed, 0.2);
+    EXPECT_LT(elapsed, 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Daemon mode
+// ---------------------------------------------------------------------
+
+TEST(FarmDaemonTest, TwoConcurrentSweepsStayInTheirNamespaces)
+{
+    // Same job ids in both sweeps: only the per-sweep namespace keeps
+    // their dispatches and results apart.
+    auto jobs = smallJobSet(1);     // 2 jobs
+    auto local = SweepRunner(1).run(jobs);
+
+    farm::CoordinatorOptions copt;
+    copt.addr = "127.0.0.1:0";
+    copt.quiet = true;
+    farm::FarmDaemon daemon(copt);
+    uint16_t port = daemon.listen();
+    ASSERT_NE(port, 0);
+    std::promise<size_t> servedPromise;
+    auto served = servedPromise.get_future();
+    std::thread runner([&] { servedPromise.set_value(daemon.run()); });
+    std::string addr = "127.0.0.1:" + std::to_string(port);
+
+    // One resident worker serves both sweeps; between and after sweeps
+    // it is parked with Idle frames, not dismissed.
+    farm::WorkerOptions wopt;
+    wopt.addr = addr;
+    wopt.threads = 2;
+    wopt.name = "resident";
+    std::thread worker([&] { farm::runWorker(wopt); });
+
+    driver::SweepReport r1, r2;
+    std::thread c1([&] {
+        farm::SubmitOptions s;
+        s.addr = addr;
+        s.sweepId = "alpha";
+        r1 = farm::submitSweep(jobs, s);
+    });
+    std::thread c2([&] {
+        farm::SubmitOptions s;
+        s.addr = addr;
+        s.sweepId = "beta";
+        r2 = farm::submitSweep(jobs, s);
+    });
+    c1.join();
+    c2.join();
+
+    daemon.drain();
+    runner.join();
+    worker.join();
+    EXPECT_EQ(served.get(), 2u);
+
+    for (const driver::SweepReport *r : {&r1, &r2}) {
+        ASSERT_EQ(r->results.size(), jobs.size());
+        EXPECT_TRUE(r->ok());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            EXPECT_EQ(r->results[i].job.id, jobs[i].id);
+            expectStatsIdentical(local[i], r->results[i]);
+        }
+    }
 }
 
 } // namespace

@@ -22,6 +22,7 @@
 
 #include "driver/results.h"
 #include "inject/campaign.h"
+#include "inject/farmchaos.h"
 #include "workloads/spec_proxies.h"
 
 namespace {
@@ -51,7 +52,14 @@ usage()
         "                  the directory hooks (sharer corruption,\n"
         "                  dropped invalidations)\n"
         "  --cores N       kernel thread count for --mt (default 2)\n"
-        "  --iters N       kernel iterations for --mt (default 50)\n";
+        "  --iters N       kernel iterations for --mt (default 50)\n"
+        "  --farm          protocol chaos campaign: seeded frame faults\n"
+        "                  (drop/duplicate/truncate/corrupt/delay/\n"
+        "                  disconnect) against an in-process farm;\n"
+        "                  --seed/--faults/--insts/--json/--quiet apply,\n"
+        "                  --faults is the total fault-run count\n"
+        "                  (default 200); exit 1 on any silent\n"
+        "                  divergence or hung coordinator\n";
 }
 
 std::vector<std::string>
@@ -81,6 +89,9 @@ main(int argc, char **argv)
     std::string jsonPath;
     bool quiet = false;
     bool mt = false;
+    bool farmMode = false;
+    bool faultsSet = false;
+    bool instsSet = false;
     uint32_t mtCores = 2;
     uint32_t mtIters = 50;
 
@@ -99,6 +110,7 @@ main(int argc, char **argv)
             opt.faultsPerPair =
                 static_cast<uint32_t>(std::strtoul(value().c_str(),
                                                    nullptr, 0));
+            faultsSet = true;
         } else if (arg == "--models") {
             opt.models.clear();
             for (const std::string &name : splitCommas(value())) {
@@ -129,10 +141,13 @@ main(int argc, char **argv)
             }
         } else if (arg == "--insts") {
             proxyInsts = std::strtoull(value().c_str(), nullptr, 0);
+            instsSet = true;
         } else if (arg == "--json") {
             jsonPath = value();
         } else if (arg == "--mt") {
             mt = true;
+        } else if (arg == "--farm") {
+            farmMode = true;
         } else if (arg == "--cores") {
             mtCores = static_cast<uint32_t>(std::strtoul(value().c_str(),
                                                          nullptr, 0));
@@ -166,6 +181,34 @@ main(int argc, char **argv)
             progress = [](const std::string &line) {
                 std::cout << "  " << line << "\n";
             };
+
+        if (farmMode) {
+            inject::FarmChaosOptions chaosOpt;
+            chaosOpt.seed = opt.seed;
+            if (faultsSet)
+                chaosOpt.faults = opt.faultsPerPair;
+            if (instsSet)
+                chaosOpt.insts = proxyInsts;
+            inject::FarmChaosSummary chaos =
+                inject::runFarmChaos(chaosOpt, progress);
+            if (!jsonPath.empty())
+                driver::writeTextFile(jsonPath,
+                                      chaos.toJson().dump(2) + "\n");
+            for (const inject::FarmFaultRecord &rec : chaos.records) {
+                if (rec.outcome != inject::Outcome::SilentDivergence &&
+                    rec.outcome != inject::Outcome::DetectedFatal &&
+                    !rec.hung)
+                    continue;
+                std::cout << inject::outcomeName(rec.outcome) << " "
+                          << inject::farmFaultKindName(rec.kind) << "@"
+                          << inject::farmFaultSiteName(rec.site) << "#"
+                          << rec.trigger << (rec.hung ? " HUNG" : "")
+                          << ": " << rec.detail << "\n";
+            }
+            std::cout << "inject: " << chaos.describe() << " (seed "
+                      << opt.seed << ")\n";
+            return chaos.ok() ? 0 : 1;
+        }
 
         inject::CampaignSummary summary;
         if (mt) {

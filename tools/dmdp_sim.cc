@@ -59,6 +59,22 @@
  *                     at host:port and run them until told to stop.
  *                     Honors --cache, --job-timeout, --retries, and
  *                     DMDP_JOBS for the number of concurrent jobs.
+ *     --farm-daemon ADDR  resident coordinator: serve many client-
+ *                     submitted sweeps (see --farm-submit) until
+ *                     SIGTERM, which drains gracefully — active sweeps
+ *                     finish, new submissions are refused.
+ *     --farm-submit ADDR  client mode: run this sweep by submitting its
+ *                     jobs to the daemon at host:port; results stream
+ *                     back and the output is identical to --farm-serve.
+ *     --farm-token TOK    shared farm auth token (default:
+ *                     $DMDP_FARM_TOKEN; empty disables auth). Every
+ *                     farm connection is also version-checked: build,
+ *                     protocol, and stats-schema skew reject loudly.
+ *     --farm-connect-timeout S  budget for reaching the coordinator
+ *                     (worker/client; default 10)
+ *     --farm-heartbeat S  worker heartbeat period mid-job (default 2)
+ *     --farm-deadline S   coordinator liveness deadline: reap + requeue
+ *                     a dispatch silent this long (default 15)
  *     --json FILE     write run results as JSON ("-" for stdout)
  *     --csv FILE      write run results as CSV  ("-" for stdout)
  *     --list          list the proxy benchmarks and exit
@@ -80,10 +96,13 @@
 #include <string>
 #include <vector>
 
+#include <csignal>
+
 #include "common/table.h"
 #include "driver/results.h"
 #include "driver/sweep.h"
 #include "farm/cache.h"
+#include "farm/client.h"
 #include "farm/coordinator.h"
 #include "farm/worker.h"
 #include "isa/assembler.h"
@@ -93,6 +112,17 @@
 using namespace dmdp;
 
 namespace {
+
+/** The resident daemon, for the SIGTERM/SIGINT drain handler
+ *  (FarmDaemon::drain is async-signal-safe by contract). */
+farm::FarmDaemon *gDaemon = nullptr;
+
+void
+onDrainSignal(int)
+{
+    if (gDaemon)
+        gDaemon->drain();
+}
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -112,6 +142,11 @@ usage(const char *argv0)
                  "          [--journal FILE] [--resume FILE]\n"
                  "          [--cache DIR] [--farm-serve HOST:PORT]\n"
                  "          [--farm-worker HOST:PORT]\n"
+                 "          [--farm-daemon HOST:PORT]\n"
+                 "          [--farm-submit HOST:PORT]\n"
+                 "          [--farm-token TOK] [--farm-deadline S]\n"
+                 "          [--farm-heartbeat S]\n"
+                 "          [--farm-connect-timeout S]\n"
                  "          [--json FILE] [--csv FILE] [--list]\n",
                  argv0);
     std::exit(2);
@@ -213,14 +248,25 @@ struct MultiCore
     bool active() const { return cores > 1; }
 };
 
+/** Farm-related CLI state, shared by the serve/submit/worker modes. */
+struct FarmCli
+{
+    std::string serve;      ///< --farm-serve ADDR (one-shot coordinator)
+    std::string submit;     ///< --farm-submit ADDR (client to a daemon)
+    std::string daemonAddr; ///< --farm-daemon ADDR (resident coordinator)
+    std::string token;      ///< --farm-token / $DMDP_FARM_TOKEN
+    double deadlineSec = 15.0;
+    double heartbeatSec = 2.0;
+    double connectTimeoutSec = 10.0;
+};
+
 int
 runSweep(const std::vector<std::string> &modelNames,
          const std::vector<std::string> &proxyNames, uint64_t insts,
          uint64_t warmup, const Overrides &overrides,
          const MultiCore &mc, bool traceReuse,
-         const driver::SweepOptions &sweepOpt,
-         const std::string &farmServe, const std::string &jsonPath,
-         const std::string &csvPath)
+         const driver::SweepOptions &sweepOpt, const FarmCli &farmCli,
+         const std::string &jsonPath, const std::string &csvPath)
 {
     std::vector<LsuModel> models;
     for (const auto &name : modelNames)
@@ -292,11 +338,21 @@ runSweep(const std::vector<std::string> &modelNames,
     };
 
     driver::SweepReport report;
-    if (!farmServe.empty()) {
+    if (!farmCli.serve.empty()) {
         farm::CoordinatorOptions farmOpt;
-        farmOpt.addr = farmServe;
+        farmOpt.addr = farmCli.serve;
         farmOpt.journalPath = sweepOpt.journalPath;
+        farmOpt.token = farmCli.token;
+        farmOpt.deadlineSec = farmCli.deadlineSec;
         report = farm::serveFarm(jobs, farmOpt, progress);
+    } else if (!farmCli.submit.empty()) {
+        farm::SubmitOptions submitOpt;
+        submitOpt.addr = farmCli.submit;
+        submitOpt.token = farmCli.token;
+        submitOpt.connectTimeoutSec = farmCli.connectTimeoutSec;
+        std::fprintf(stderr, "farm: submitting %zu jobs to %s\n",
+                     jobs.size(), farmCli.submit.c_str());
+        report = farm::submitSweep(jobs, submitOpt, progress);
     } else {
         driver::SweepRunner runner;
         if (!traceReuse)
@@ -366,6 +422,17 @@ runSweep(const std::vector<std::string> &modelNames,
     for (const auto &[worker, count] : report.workerJobs)
         std::fprintf(stderr, "farm: worker %s ran %zu jobs\n",
                      worker.c_str(), count);
+    if (report.reapedDispatches || report.redispatchedJobs ||
+        report.rejectedPeers)
+        std::fprintf(stderr,
+                     "farm: %llu dispatches reaped, %llu jobs "
+                     "re-queued, %llu peers rejected\n",
+                     static_cast<unsigned long long>(
+                         report.reapedDispatches),
+                     static_cast<unsigned long long>(
+                         report.redispatchedJobs),
+                     static_cast<unsigned long long>(
+                         report.rejectedPeers));
     if (!report.ok())
         std::fprintf(stderr,
                      "sweep: %zu of %zu jobs FAILED (%zu timed out)\n",
@@ -391,8 +458,10 @@ main(int argc, char **argv)
     std::string models_list;
     std::string proxies_list;
     std::string cache_dir = farm::ResultCache::envDir();
-    std::string farm_serve;
     std::string farm_worker;
+    FarmCli farmCli;
+    if (const char *tok = std::getenv("DMDP_FARM_TOKEN"))
+        farmCli.token = tok;
     bool sweep = false;
     bool traceReuse = true;
     uint64_t insts = 200000;
@@ -447,8 +516,17 @@ main(int argc, char **argv)
         else if (arg == "--journal") sweepOpt.journalPath = next();
         else if (arg == "--resume") sweepOpt.resumePath = next();
         else if (arg == "--cache") cache_dir = next();
-        else if (arg == "--farm-serve") farm_serve = next();
+        else if (arg == "--farm-serve") farmCli.serve = next();
         else if (arg == "--farm-worker") farm_worker = next();
+        else if (arg == "--farm-daemon") farmCli.daemonAddr = next();
+        else if (arg == "--farm-submit") farmCli.submit = next();
+        else if (arg == "--farm-token") farmCli.token = next();
+        else if (arg == "--farm-deadline")
+            farmCli.deadlineSec = std::strtod(next(), nullptr);
+        else if (arg == "--farm-heartbeat")
+            farmCli.heartbeatSec = std::strtod(next(), nullptr);
+        else if (arg == "--farm-connect-timeout")
+            farmCli.connectTimeoutSec = std::strtod(next(), nullptr);
         else if (arg == "--json") json_path = next();
         else if (arg == "--csv") csv_path = next();
         else if (arg == "--list") {
@@ -476,7 +554,8 @@ main(int argc, char **argv)
             std::fprintf(stderr, "--cores cannot run --asm files\n");
             return 2;
         }
-        if (!farm_serve.empty() || !farm_worker.empty()) {
+        if (!farmCli.serve.empty() || !farm_worker.empty() ||
+            !farmCli.submit.empty()) {
             std::fprintf(stderr,
                          "multi-core jobs are local-only: the farm "
                          "protocol does not ship mix/kernel jobs\n");
@@ -501,26 +580,60 @@ main(int argc, char **argv)
         sweepOpt.cache = &*cache;
     }
 
+    if (!farmCli.daemonAddr.empty()) {
+        farm::CoordinatorOptions daemonOpt;
+        daemonOpt.addr = farmCli.daemonAddr;
+        daemonOpt.token = farmCli.token;
+        daemonOpt.deadlineSec = farmCli.deadlineSec;
+        farm::FarmDaemon daemon(daemonOpt);
+        gDaemon = &daemon;
+        std::signal(SIGTERM, onDrainSignal);
+        std::signal(SIGINT, onDrainSignal);
+        uint16_t port = daemon.listen();
+        std::fprintf(stderr,
+                     "farm: listening on %s (port %u), daemon mode\n",
+                     farmCli.daemonAddr.c_str(),
+                     static_cast<unsigned>(port));
+        size_t served = daemon.run();
+        gDaemon = nullptr;
+        std::fprintf(stderr, "farm: daemon drained after %zu sweeps\n",
+                     served);
+        return 0;
+    }
+
     if (!farm_worker.empty()) {
         farm::WorkerOptions workerOpt;
         workerOpt.addr = farm_worker;
         workerOpt.cache = sweepOpt.cache;
         workerOpt.jobTimeoutSec = sweepOpt.jobTimeoutSec;
         workerOpt.retries = sweepOpt.retries;
-        size_t ran = farm::runWorker(workerOpt);
-        std::fprintf(stderr, "farm: worker done, ran %zu jobs\n", ran);
+        workerOpt.token = farmCli.token;
+        workerOpt.heartbeatSec = farmCli.heartbeatSec;
+        workerOpt.connectTimeoutSec = farmCli.connectTimeoutSec;
+        farm::WorkerReport ran = farm::runWorkerReport(workerOpt);
+        std::fprintf(stderr,
+                     "farm: worker done, ran %zu jobs "
+                     "(%zu reconnects)\n",
+                     ran.jobs, ran.reconnects);
+        if (cache && cache->repairs())
+            std::fprintf(stderr,
+                         "cache: cache_repairs=%llu corrupt entries "
+                         "removed\n",
+                         static_cast<unsigned long long>(
+                             cache->repairs()));
         return 0;
     }
 
-    if (sweep || !farm_serve.empty()) {
+    if (sweep || !farmCli.serve.empty() || !farmCli.submit.empty()) {
         if (!asm_file.empty()) {
             std::fprintf(stderr, "--sweep cannot run --asm files\n");
             return 2;
         }
-        if (!farm_serve.empty() && !sweepOpt.resumePath.empty()) {
+        if ((!farmCli.serve.empty() || !farmCli.submit.empty()) &&
+            !sweepOpt.resumePath.empty()) {
             std::fprintf(stderr,
-                         "--farm-serve does not support --resume; use "
-                         "--cache for re-runs\n");
+                         "--farm-serve/--farm-submit do not support "
+                         "--resume; use --cache for re-runs\n");
             return 2;
         }
         std::vector<std::string> models =
@@ -539,9 +652,16 @@ main(int argc, char **argv)
         // so repeated kill/resume cycles make monotone progress.
         if (!sweepOpt.resumePath.empty() && sweepOpt.journalPath.empty())
             sweepOpt.journalPath = sweepOpt.resumePath;
-        return runSweep(models, proxies, insts, warmup, overrides, mc,
-                        traceReuse, sweepOpt, farm_serve, json_path,
-                        csv_path);
+        int rc = runSweep(models, proxies, insts, warmup, overrides, mc,
+                          traceReuse, sweepOpt, farmCli, json_path,
+                          csv_path);
+        if (cache && cache->repairs())
+            std::fprintf(stderr,
+                         "cache: cache_repairs=%llu corrupt entries "
+                         "removed\n",
+                         static_cast<unsigned long long>(
+                             cache->repairs()));
+        return rc;
     }
 
     // Single run: start from the model's paper defaults, then apply the
